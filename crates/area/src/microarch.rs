@@ -1,0 +1,94 @@
+//! Whole-microarchitecture area composition (Fig 3).
+
+use hdsmt_pipeline::MicroArch;
+
+use crate::model::{fetch_area, pipeline_area, FetchArea, PipelineArea};
+
+/// Area of a complete microarchitecture: one fetch engine plus all
+/// pipeline bodies.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct MicroArchArea {
+    pub name: String,
+    pub fetch: FetchArea,
+    pub pipes: Vec<PipelineArea>,
+}
+
+impl MicroArchArea {
+    /// Total area in mm².
+    pub fn total(&self) -> f64 {
+        self.fetch.mm2 + self.pipes.iter().map(|p| p.total()).sum::<f64>()
+    }
+
+    /// Delta versus a baseline total, in percent.
+    pub fn delta_vs(&self, baseline: f64) -> f64 {
+        (self.total() / baseline - 1.0) * 100.0
+    }
+}
+
+/// Compute the Fig 3 area of `arch` ("only one instruction fetch stage is
+/// included in the total area calculus", §3).
+pub fn microarch_area(arch: &MicroArch) -> MicroArchArea {
+    let multipipe = !arch.is_monolithic();
+    MicroArchArea {
+        name: arch.name.clone(),
+        fetch: fetch_area(multipipe),
+        pipes: arch.pipes.iter().map(|m| pipeline_area(m, multipipe)).collect(),
+    }
+}
+
+/// The full Fig 3 table: every evaluated microarchitecture with its area
+/// and delta versus the M8 baseline.
+pub fn paper_area_table() -> Vec<(String, f64, f64)> {
+    let archs = MicroArch::paper_set();
+    let base = microarch_area(&archs[0]).total();
+    archs
+        .iter()
+        .map(|a| {
+            let area = microarch_area(a);
+            (a.name.clone(), area.total(), area.delta_vs(base))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_one_fetch_engine_counted() {
+        let a = microarch_area(&MicroArch::parse("4M4").unwrap());
+        let pipe_body = crate::model::pipeline_area(&hdsmt_pipeline::M4, true).total();
+        let expected = crate::model::fetch_area(true).mm2 + 4.0 * pipe_body;
+        assert!((a.total() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_table_signs() {
+        let table = paper_area_table();
+        let get = |n: &str| table.iter().find(|(name, _, _)| name == n).unwrap().2;
+        assert_eq!(get("M8"), 0.0);
+        // "all but two microarchitectures (4M4 and 1M6+2M4+2M2) require
+        // less area than the monolithic SMT baseline" (§4.1).
+        assert!(get("3M4") < 0.0);
+        assert!(get("2M4+2M2") < 0.0);
+        assert!(get("3M4+2M2") < 1.0);
+        assert!(get("4M4") > 0.0);
+        assert!(get("1M6+2M4+2M2") > 0.0);
+        // 2M4+2M2 is the smallest machine evaluated.
+        let min = table.iter().skip(1).map(|(_, a, _)| *a).fold(f64::MAX, f64::min);
+        let (_, area_2m4, _) = table.iter().find(|(n, _, _)| n == "2M4+2M2").unwrap();
+        assert!((area_2m4 - min).abs() < 1e-9);
+    }
+
+    #[test]
+    fn totals_are_positive_and_ordered() {
+        let table = paper_area_table();
+        for (name, total, _) in &table {
+            assert!(*total > 50.0 && *total < 250.0, "{name}: {total}");
+        }
+        let get = |n: &str| table.iter().find(|(name, _, _)| name == n).unwrap().1;
+        assert!(get("4M4") > get("3M4"));
+        assert!(get("3M4+2M2") > get("2M4+2M2"));
+        assert!(get("1M6+2M4+2M2") > get("3M4+2M2"));
+    }
+}

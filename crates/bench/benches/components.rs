@@ -1,0 +1,115 @@
+//! Component micro-benchmarks: the per-cycle building blocks of the
+//! simulator. These guard the "zero allocation on the cycle path" property
+//! — a regression here multiplies into every simulated cycle.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+
+use hdsmt_bpred::{Btb, PerceptronPredictor, Ras};
+use hdsmt_isa::Pc;
+use hdsmt_mem::{Cache, CacheConfig, MemConfig, MemHier};
+use hdsmt_pipeline::{RegFile, Rob};
+use hdsmt_trace::{synthesize, TraceStream};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(1));
+    let cfg = CacheConfig { size_bytes: 64 * 1024, line_bytes: 32, ways: 2, banks: 8 };
+    g.bench_function("l1_hit", |b| {
+        let mut cache = Cache::new(cfg);
+        cache.fill(0x1000);
+        b.iter(|| black_box(cache.access(black_box(0x1000))))
+    });
+    g.bench_function("l1_miss_fill", |b| {
+        let mut cache = Cache::new(cfg);
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(4096);
+            if !cache.access(addr) {
+                cache.fill(addr);
+            }
+        })
+    });
+    g.bench_function("hier_load_hit", |b| {
+        let mut m = MemHier::new(MemConfig::default());
+        m.prewarm_data(0x1_0000, 4096, true);
+        let mut now = 0;
+        b.iter(|| {
+            now += 1;
+            black_box(m.load(0x1_0000, now))
+        })
+    });
+    g.finish();
+}
+
+fn bench_bpred(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bpred");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("perceptron_predict", |b| {
+        let mut p = PerceptronPredictor::new(2);
+        b.iter(|| black_box(p.predict(0, black_box(0xdead_beef))))
+    });
+    g.bench_function("perceptron_train", |b| {
+        let mut p = PerceptronPredictor::new(2);
+        let (_, snap) = p.predict(0, 1);
+        b.iter(|| p.train(black_box(1), &snap, black_box(true)))
+    });
+    g.bench_function("btb_lookup", |b| {
+        let mut btb = Btb::paper_config();
+        btb.update(7, Pc(0x1000));
+        b.iter(|| black_box(btb.lookup(black_box(7))))
+    });
+    g.bench_function("ras_push_pop", |b| {
+        let mut ras = Ras::paper_config();
+        b.iter(|| {
+            ras.push(Pc(0x1234));
+            black_box(ras.pop())
+        })
+    });
+    g.finish();
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace");
+    g.throughput(Throughput::Elements(1));
+    for name in ["gzip", "mcf"] {
+        let profile = hdsmt_trace::by_name(name).unwrap();
+        let program = Arc::new(synthesize(profile, hdsmt_trace::spec::program_seed(name)));
+        g.bench_function(format!("stream_next_{name}"), |b| {
+            let mut s = TraceStream::new(program.clone(), profile, 1, 0);
+            b.iter(|| black_box(s.next_inst()))
+        });
+    }
+    g.bench_function("synthesize_gzip", |b| {
+        let profile = hdsmt_trace::by_name("gzip").unwrap();
+        b.iter(|| black_box(synthesize(profile, 42)))
+    });
+    g.finish();
+}
+
+fn bench_structures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("structures");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("regfile_alloc_free", |b| {
+        let mut rf = RegFile::paper_config(4);
+        b.iter(|| {
+            let p = rf.alloc(hdsmt_isa::ArchReg::int(5)).unwrap();
+            rf.free(black_box(p));
+        })
+    });
+    g.bench_function("rob_push_pop", |b| {
+        let mut rob = Rob::paper_config();
+        b.iter(|| {
+            rob.push_tail(hdsmt_pipeline::InstId(1));
+            black_box(rob.pop_head())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cache, bench_bpred, bench_trace, bench_structures
+}
+criterion_main!(benches);

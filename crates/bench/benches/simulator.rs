@@ -1,0 +1,44 @@
+//! End-to-end simulator throughput: simulated instructions per wall-clock
+//! second for representative machine/workload combinations. These are the
+//! numbers that bound how large a reproduction campaign can run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use hdsmt_core::{run_sim, SimConfig, ThreadSpec};
+use hdsmt_pipeline::MicroArch;
+
+const INSTS: u64 = 5_000;
+
+fn run_case(arch: &str, benchmarks: &[&str], mapping: &[u8]) -> f64 {
+    let mut cfg = SimConfig::paper_defaults(MicroArch::parse(arch).unwrap(), INSTS);
+    cfg.warmup_insts = 1_000;
+    let specs: Vec<ThreadSpec> = benchmarks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| ThreadSpec::for_benchmark(b, 7 + i as u64))
+        .collect();
+    run_sim(&cfg, &specs, mapping).ipc()
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(INSTS));
+    let cases: Vec<(&str, Vec<&str>, Vec<u8>)> = vec![
+        ("M8", vec!["gzip"], vec![0]),
+        ("M8", vec!["gzip", "twolf"], vec![0, 0]),
+        ("M8", vec!["mcf", "twolf"], vec![0, 0]),
+        ("2M4+2M2", vec!["gzip", "twolf"], vec![0, 2]),
+        ("1M6+2M4+2M2", vec!["eon", "gcc", "gzip", "bzip2"], vec![0, 1, 1, 2]),
+    ];
+    for (arch, benchmarks, mapping) in cases {
+        let label = format!("{arch}/{}", benchmarks.join("+"));
+        g.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            b.iter(|| run_case(arch, &benchmarks, &mapping))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! # hdsmt-bpred — branch prediction
+//!
+//! The paper's front-end (Table 1) uses:
+//!
+//! * a **perceptron** direction predictor — "perceptron (4K local, 256
+//!   perceps)": 256 weight vectors over a 4K-entry local-history table plus
+//!   a global history register (Jiménez & Lin style);
+//! * a **256-entry, 4-way BTB** — needed here for *indirect* jumps
+//!   (direct targets are available from the instruction at fetch);
+//! * a **256-entry RAS**, replicated per thread.
+//!
+//! Tables are shared between hardware contexts (per Table 1 only RAS and
+//! ROB are replicated); per-thread state is limited to the global-history
+//! registers and the RAS. Callers fold the thread's address-space id into
+//! the lookup key so different programs do not systematically alias.
+//!
+//! A `gshare` predictor is included as the ablation baseline
+//! (`reproduce ablate-bpred`).
+//!
+//! ## Speculation protocol
+//!
+//! Direction predictors speculatively update the global history at fetch
+//! ([`DirectionPredictor::spec_update`]) and hand back a [`DirSnapshot`]
+//! carrying the inputs used; on a squash the core restores history from the
+//! snapshot ([`DirectionPredictor::recover`]), and at resolution it trains
+//! with the snapshot ([`DirectionPredictor::train`]). The RAS hands out
+//! post-action snapshots for the same purpose.
+
+pub mod btb;
+pub mod gshare;
+pub mod perceptron;
+pub mod predictor;
+pub mod ras;
+
+pub use btb::Btb;
+pub use gshare::Gshare;
+pub use perceptron::PerceptronPredictor;
+pub use predictor::{DirPredictorKind, DirSnapshot, DirectionPredictor};
+pub use ras::{Ras, RasSnapshot};
+
+/// Fold a PC and an address-space id into a table lookup key.
+#[inline]
+pub fn branch_key(pc: hdsmt_isa::Pc, asid: u8) -> u64 {
+    // Drop the always-zero byte-offset bits and spread the asid across the
+    // index range so co-running programs don't line up set-for-set.
+    (pc.0 >> 2) ^ ((asid as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsmt_isa::Pc;
+
+    #[test]
+    fn branch_keys_distinguish_asids() {
+        let pc = Pc(0x1_0000);
+        assert_ne!(branch_key(pc, 0), branch_key(pc, 1));
+        assert_eq!(branch_key(pc, 3), branch_key(pc, 3));
+    }
+
+    #[test]
+    fn branch_keys_distinguish_pcs() {
+        assert_ne!(branch_key(Pc(0x1000), 0), branch_key(Pc(0x1004), 0));
+    }
+}

@@ -1,0 +1,243 @@
+//! Perceptron direction predictor (Jiménez & Lin, HPCA 2001), in the
+//! paper's configuration: 256 perceptrons, 4K-entry local-history table.
+//!
+//! Each perceptron holds a bias weight plus one signed-byte weight per
+//! history bit (global and local). Prediction is the sign of the dot
+//! product of weights with the ±1-encoded history; training bumps weights
+//! toward the outcome whenever the prediction was wrong or the magnitude
+//! was below the threshold θ = ⌊1.93·h + 14⌋.
+
+use crate::predictor::DirSnapshot;
+
+/// Number of perceptrons ("256 perceps").
+const N_PERCEPTRONS: usize = 256;
+/// Local-history table entries ("4K local").
+const N_LOCAL: usize = 4096;
+/// Global history bits fed to each perceptron.
+const G_BITS: usize = 24;
+/// Local history bits fed to each perceptron.
+const L_BITS: usize = 14;
+/// Weights per perceptron: bias + global + local.
+const W_PER: usize = 1 + G_BITS + L_BITS;
+
+/// The perceptron predictor. Weight and local-history tables are shared
+/// across threads; the global-history register is per thread.
+pub struct PerceptronPredictor {
+    /// `N_PERCEPTRONS × W_PER` signed weights, flattened.
+    weights: Vec<i8>,
+    /// 4K local histories (low `L_BITS` bits live).
+    lht: Vec<u16>,
+    /// Per-thread speculative global history.
+    ghr: Vec<u64>,
+    /// Training threshold.
+    theta: i32,
+}
+
+impl PerceptronPredictor {
+    pub fn new(threads: usize) -> Self {
+        PerceptronPredictor {
+            weights: vec![0; N_PERCEPTRONS * W_PER],
+            lht: vec![0; N_LOCAL],
+            ghr: vec![0; threads],
+            theta: (1.93 * (G_BITS + L_BITS) as f64 + 14.0) as i32,
+        }
+    }
+
+    #[inline]
+    fn pidx(key: u64) -> usize {
+        (key as usize) % N_PERCEPTRONS
+    }
+
+    #[inline]
+    fn lidx(key: u64) -> usize {
+        (key as usize) % N_LOCAL
+    }
+
+    /// Dot product of the selected perceptron with the ±1-encoded histories.
+    fn output(&self, key: u64, ghr: u64, local: u16) -> i32 {
+        let w = &self.weights[Self::pidx(key) * W_PER..(Self::pidx(key) + 1) * W_PER];
+        let mut y = w[0] as i32;
+        for i in 0..G_BITS {
+            let x = if (ghr >> i) & 1 == 1 { 1 } else { -1 };
+            y += w[1 + i] as i32 * x;
+        }
+        for i in 0..L_BITS {
+            let x = if (local >> i) & 1 == 1 { 1 } else { -1 };
+            y += w[1 + G_BITS + i] as i32 * x;
+        }
+        y
+    }
+
+    /// Predict the direction of the conditional branch at `key` for thread
+    /// `tid`. Returns the prediction and the snapshot needed for training
+    /// and recovery. Does *not* update history — call
+    /// [`Self::spec_update`] afterwards with the predicted direction.
+    pub fn predict(&mut self, tid: usize, key: u64) -> (bool, DirSnapshot) {
+        let ghr = self.ghr[tid];
+        let local = self.lht[Self::lidx(key)];
+        let y = self.output(key, ghr, local);
+        (y >= 0, DirSnapshot { ghr, local, y })
+    }
+
+    /// Speculatively shift the predicted direction into the thread's global
+    /// history (fetch time).
+    #[inline]
+    pub fn spec_update(&mut self, tid: usize, taken: bool) {
+        self.ghr[tid] = (self.ghr[tid] << 1) | taken as u64;
+    }
+
+    /// Restore the thread's global history after a misprediction: history
+    /// becomes the pre-branch snapshot extended with the actual outcome.
+    #[inline]
+    pub fn recover(&mut self, tid: usize, snap: &DirSnapshot, actual_taken: bool) {
+        self.ghr[tid] = (snap.ghr << 1) | actual_taken as u64;
+    }
+
+    /// Train at branch resolution with the snapshot captured at prediction.
+    /// Also retires the outcome into the (non-speculative) local history.
+    pub fn train(&mut self, key: u64, snap: &DirSnapshot, actual_taken: bool) {
+        let predicted_taken = snap.y >= 0;
+        if predicted_taken != actual_taken || snap.y.abs() <= self.theta {
+            let t: i32 = if actual_taken { 1 } else { -1 };
+            let base = Self::pidx(key) * W_PER;
+            let w = &mut self.weights[base..base + W_PER];
+            w[0] = (w[0] as i32 + t).clamp(i8::MIN as i32, i8::MAX as i32) as i8;
+            for i in 0..G_BITS {
+                let x = if (snap.ghr >> i) & 1 == 1 { 1 } else { -1 };
+                let wi = &mut w[1 + i];
+                *wi = (*wi as i32 + t * x).clamp(i8::MIN as i32, i8::MAX as i32) as i8;
+            }
+            for i in 0..L_BITS {
+                let x = if (snap.local >> i) & 1 == 1 { 1 } else { -1 };
+                let wi = &mut w[1 + G_BITS + i];
+                *wi = (*wi as i32 + t * x).clamp(i8::MIN as i32, i8::MAX as i32) as i8;
+            }
+        }
+        let l = Self::lidx(key);
+        self.lht[l] = ((self.lht[l] << 1) | actual_taken as u16) & ((1 << L_BITS) - 1);
+    }
+
+    /// Current speculative global history of a thread (test hook).
+    #[inline]
+    pub fn history(&self, tid: usize) -> u64 {
+        self.ghr[tid]
+    }
+
+    /// Force a thread's global history (checkpoint restore after a
+    /// non-branch squash, e.g. the FLUSH fetch policy).
+    #[inline]
+    pub fn set_history(&mut self, tid: usize, ghr: u64) {
+        self.ghr[tid] = ghr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Run `n` predict/update/train rounds of `outcome(i)` on one static
+    /// branch and return the hit-rate of the last half.
+    fn accuracy(outcomes: impl Fn(usize) -> bool, n: usize) -> f64 {
+        let mut p = PerceptronPredictor::new(1);
+        let key = 0xdead_beef;
+        let mut hits = 0;
+        let half = n / 2;
+        for i in 0..n {
+            let actual = outcomes(i);
+            let (pred, snap) = p.predict(0, key);
+            p.spec_update(0, pred);
+            if pred != actual {
+                p.recover(0, &snap, actual);
+            }
+            p.train(key, &snap, actual);
+            if i >= half && pred == actual {
+                hits += 1;
+            }
+        }
+        hits as f64 / half as f64
+    }
+
+    #[test]
+    fn learns_always_taken() {
+        assert!(accuracy(|_| true, 2000) > 0.99);
+    }
+
+    #[test]
+    fn learns_strong_bias() {
+        // 90 % taken: steady-state accuracy should approach the bias.
+        let acc = accuracy(|i| (i * 7 + 3) % 10 != 0, 4000);
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_loop_pattern() {
+        // T T T T NT repeating (trip-4 loop): local history makes this
+        // nearly perfectly predictable — the perceptron's advantage.
+        let acc = accuracy(|i| i % 5 != 4, 6000);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_alternating_pattern() {
+        let acc = accuracy(|i| i % 2 == 0, 4000);
+        assert!(acc > 0.97, "accuracy {acc}");
+    }
+
+    #[test]
+    fn coin_flips_stay_near_half() {
+        // splitmix64-hashed outcomes: statistically random, so nothing for
+        // the history-based predictor to exploit.
+        let flip = |i: usize| {
+            let mut z = (i as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) & 1 == 1
+        };
+        let acc = accuracy(flip, 8000);
+        assert!((0.35..0.65).contains(&acc), "accuracy {acc}");
+    }
+
+    #[test]
+    fn training_converges_and_stops() {
+        // With a constant outcome the perceptron must converge (|y| > θ and
+        // correct), after which weights stop changing — this is the
+        // threshold rule that keeps weights from needless saturation.
+        let mut p = PerceptronPredictor::new(1);
+        let key = 1234;
+        for _ in 0..50_000 {
+            let (pred, snap) = p.predict(0, key);
+            p.spec_update(0, pred);
+            p.train(key, &snap, true);
+        }
+        let frozen = p.weights.clone();
+        for _ in 0..50_000 {
+            let (pred, snap) = p.predict(0, key);
+            p.spec_update(0, pred);
+            p.train(key, &snap, true);
+        }
+        assert_eq!(frozen, p.weights, "weights must be stable after convergence");
+        let (pred, _) = p.predict(0, key);
+        assert!(pred);
+    }
+
+    #[test]
+    fn recover_restores_history() {
+        let mut p = PerceptronPredictor::new(2);
+        p.spec_update(0, true);
+        p.spec_update(0, true);
+        let (_, snap) = p.predict(0, 1);
+        p.spec_update(0, true); // wrong speculation
+        p.recover(0, &snap, false);
+        assert_eq!(p.history(0), 0b110);
+        // Thread 1 untouched.
+        assert_eq!(p.history(1), 0);
+    }
+
+    #[test]
+    fn threads_have_independent_history() {
+        let mut p = PerceptronPredictor::new(2);
+        p.spec_update(0, true);
+        assert_eq!(p.history(0), 1);
+        assert_eq!(p.history(1), 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Unified direction-predictor front: enum dispatch over the concrete
+//! predictors (per the hpc-parallel guide, no boxed trait objects on the
+//! per-branch hot path).
+
+use crate::{Gshare, PerceptronPredictor};
+
+/// Snapshot of predictor state captured at prediction time; carried with
+/// the in-flight branch for training and history recovery.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DirSnapshot {
+    /// Global history at prediction.
+    pub ghr: u64,
+    /// Local history at prediction (perceptron only).
+    pub local: u16,
+    /// Raw predictor output (perceptron dot product / gshare counter).
+    pub y: i32,
+}
+
+/// Which direction predictor to instantiate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub enum DirPredictorKind {
+    /// Paper configuration (Table 1).
+    Perceptron,
+    /// Ablation baseline.
+    Gshare,
+}
+
+impl Default for DirPredictorKind {
+    fn default() -> Self {
+        DirPredictorKind::Perceptron
+    }
+}
+
+/// Enum-dispatched direction predictor.
+pub enum DirectionPredictor {
+    Perceptron(PerceptronPredictor),
+    Gshare(Gshare),
+}
+
+impl DirectionPredictor {
+    pub fn new(kind: DirPredictorKind, threads: usize) -> Self {
+        match kind {
+            DirPredictorKind::Perceptron => {
+                DirectionPredictor::Perceptron(PerceptronPredictor::new(threads))
+            }
+            DirPredictorKind::Gshare => DirectionPredictor::Gshare(Gshare::new(threads)),
+        }
+    }
+
+    /// Predict direction for thread `tid` at lookup key `key`.
+    #[inline]
+    pub fn predict(&mut self, tid: usize, key: u64) -> (bool, DirSnapshot) {
+        match self {
+            DirectionPredictor::Perceptron(p) => p.predict(tid, key),
+            DirectionPredictor::Gshare(p) => p.predict(tid, key),
+        }
+    }
+
+    /// Shift the speculative outcome into the thread's global history.
+    #[inline]
+    pub fn spec_update(&mut self, tid: usize, taken: bool) {
+        match self {
+            DirectionPredictor::Perceptron(p) => p.spec_update(tid, taken),
+            DirectionPredictor::Gshare(p) => p.spec_update(tid, taken),
+        }
+    }
+
+    /// Repair the thread's history after a misprediction.
+    #[inline]
+    pub fn recover(&mut self, tid: usize, snap: &DirSnapshot, actual_taken: bool) {
+        match self {
+            DirectionPredictor::Perceptron(p) => p.recover(tid, snap, actual_taken),
+            DirectionPredictor::Gshare(p) => p.recover(tid, snap, actual_taken),
+        }
+    }
+
+    /// Train with the resolution outcome.
+    #[inline]
+    pub fn train(&mut self, key: u64, snap: &DirSnapshot, actual_taken: bool) {
+        match self {
+            DirectionPredictor::Perceptron(p) => p.train(key, snap, actual_taken),
+            DirectionPredictor::Gshare(p) => p.train(key, snap, actual_taken),
+        }
+    }
+
+    /// Current speculative global history of a thread.
+    #[inline]
+    pub fn history(&self, tid: usize) -> u64 {
+        match self {
+            DirectionPredictor::Perceptron(p) => p.history(tid),
+            DirectionPredictor::Gshare(p) => p.history(tid),
+        }
+    }
+
+    /// Force a thread's global history (checkpoint restore after a
+    /// non-branch squash).
+    #[inline]
+    pub fn set_history(&mut self, tid: usize, ghr: u64) {
+        match self {
+            DirectionPredictor::Perceptron(p) => p.set_history(tid, ghr),
+            DirectionPredictor::Gshare(p) => p.set_history(tid, ghr),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_kinds_learn_a_bias_through_the_common_interface() {
+        for kind in [DirPredictorKind::Perceptron, DirPredictorKind::Gshare] {
+            let mut p = DirectionPredictor::new(kind, 1);
+            let key = 77;
+            let mut hits = 0;
+            let n = 2000;
+            for i in 0..n {
+                let actual = true;
+                let (pred, snap) = p.predict(0, key);
+                p.spec_update(0, pred);
+                if pred != actual {
+                    p.recover(0, &snap, actual);
+                }
+                p.train(key, &snap, actual);
+                if i >= n / 2 && pred == actual {
+                    hits += 1;
+                }
+            }
+            assert!(hits as f64 / (n / 2) as f64 > 0.99, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn default_kind_is_the_paper_config() {
+        assert_eq!(DirPredictorKind::default(), DirPredictorKind::Perceptron);
+    }
+}

@@ -1,0 +1,18 @@
+use hdsmt_core::{run_sim, SimConfig, ThreadSpec};
+use hdsmt_pipeline::MicroArch;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or("gzip".into());
+    let arch = std::env::args().nth(2).unwrap_or("M8".into());
+    let cfg = SimConfig::paper_defaults(MicroArch::parse(&arch).unwrap(), 30_000);
+    let workload = vec![ThreadSpec::for_benchmark(&name, 100)];
+    let r = run_sim(&cfg, &workload, &[0]);
+    let s = &r.stats;
+    let t = &s.threads[0];
+    println!("cycles={} retired={} IPC={:.3}", s.cycles, s.retired, s.ipc());
+    println!("fetched={} wrong_path={} squashed={}", t.fetched, t.wrong_path_fetched, t.squashed);
+    println!("branches={} mispredicts={} ({:.1}%) target_misp={}", t.branches, t.mispredicts, 100.0*t.mispredict_rate(), t.target_mispredicts);
+    println!("flushes={} icache_stall_cycles={} loads={}", t.flushes, t.icache_stall_cycles, t.loads);
+    println!("mem: {:?}", s.mem);
+    println!("fetch util: {:.2}/cycle", s.fetched_total as f64 / s.cycles as f64);
+}

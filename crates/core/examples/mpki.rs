@@ -1,0 +1,7 @@
+use hdsmt_core::{profile_benchmark, ThreadSpec};
+fn main() {
+    for n in hdsmt_trace::BENCHMARK_NAMES {
+        let m = profile_benchmark(&ThreadSpec::for_benchmark(n, 1), 500_000);
+        println!("{n:10} dcache MPK-mem-accesses={m:.1}");
+    }
+}

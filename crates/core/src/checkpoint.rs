@@ -1,0 +1,113 @@
+//! Sequence-tagged checkpoint log for speculative front-end state.
+//!
+//! Branch-misprediction recovery restores the *mispredicted branch's own*
+//! snapshot, but the FLUSH fetch policy squashes from an arbitrary load, so
+//! the front-end must be able to rewind the RAS and global history to the
+//! newest *surviving* control instruction. This log keeps one post-action
+//! snapshot per in-flight control instruction, prunes at commit, and
+//! answers "state as of sequence number N" on squash.
+
+use std::collections::VecDeque;
+
+/// Log of `(seq, state)` checkpoints, newest at the back.
+pub struct CheckpointLog<T: Copy> {
+    log: VecDeque<(u64, T)>,
+    /// Fallback when every checkpoint is younger than the rewind point.
+    base: T,
+}
+
+impl<T: Copy> CheckpointLog<T> {
+    pub fn new(initial: T) -> Self {
+        CheckpointLog { log: VecDeque::with_capacity(64), base: initial }
+    }
+
+    /// Record the state just after the control instruction `seq` acted.
+    pub fn push(&mut self, seq: u64, state: T) {
+        debug_assert!(self.log.back().map_or(true, |&(s, _)| s < seq), "seqs must ascend");
+        self.log.push_back((seq, state));
+    }
+
+    /// Squash everything younger than `seq` and return the state to restore
+    /// (the newest checkpoint with sequence ≤ `seq`).
+    pub fn rewind_to(&mut self, seq: u64) -> T {
+        while matches!(self.log.back(), Some(&(s, _)) if s > seq) {
+            self.log.pop_back();
+        }
+        self.log.back().map(|&(_, st)| st).unwrap_or(self.base)
+    }
+
+    /// Commit-side pruning: checkpoints older than `seq` can no longer be
+    /// rewind targets, except the newest of them (which still answers
+    /// rewinds landing between it and the next checkpoint).
+    pub fn prune_committed(&mut self, seq: u64) {
+        while self.log.len() > 1 && self.log[1].0 <= seq {
+            let (_, st) = self.log.pop_front().unwrap();
+            self.base = st;
+        }
+        if self.log.len() == 1 && self.log[0].0 <= seq {
+            let (_, st) = self.log.pop_front().unwrap();
+            self.base = st;
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rewind_picks_newest_surviving() {
+        let mut log = CheckpointLog::new(0u32);
+        log.push(10, 100);
+        log.push(20, 200);
+        log.push(30, 300);
+        assert_eq!(log.rewind_to(25), 200);
+        assert_eq!(log.len(), 2, "younger checkpoints dropped");
+        assert_eq!(log.rewind_to(10), 100);
+        assert_eq!(log.rewind_to(5), 0, "falls back to base state");
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn rewind_to_exact_seq_keeps_it() {
+        let mut log = CheckpointLog::new(0u32);
+        log.push(10, 100);
+        // Rewinding to the branch's own seq restores the branch's own
+        // post-action state.
+        assert_eq!(log.rewind_to(10), 100);
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn prune_retains_rewindability() {
+        let mut log = CheckpointLog::new(0u32);
+        for s in [10, 20, 30, 40] {
+            log.push(s, s as u32 * 10);
+        }
+        // Everything ≤ 30 committed: rewinds can only target ≥ 30.
+        log.prune_committed(30);
+        assert_eq!(log.rewind_to(45), 400);
+        // Rewinding to 35 squashes the seq-40 checkpoint and lands on the
+        // newest surviving (committed) state.
+        assert_eq!(log.rewind_to(35), 300, "newest committed state still answers");
+        assert_eq!(log.rewind_to(30), 300);
+    }
+
+    #[test]
+    fn prune_all_moves_base() {
+        let mut log = CheckpointLog::new(0u32);
+        log.push(10, 100);
+        log.push(20, 200);
+        log.prune_committed(50);
+        assert!(log.is_empty());
+        assert_eq!(log.rewind_to(60), 200, "base must follow the newest pruned state");
+    }
+}

@@ -1,0 +1,185 @@
+//! Dynamic thread-to-pipeline re-mapping — the paper's stated future work.
+//!
+//! §7: "Raw performance results also point out that, in future hdSMT
+//! implementations, this mapping should probably be made dynamically in
+//! order to better adapt to the dynamic changes in program behaviour
+//! during execution."
+//!
+//! This module implements that extension: at a fixed cycle interval, the
+//! §2.1 heuristic is re-evaluated on *runtime* data-cache-miss counters
+//! (instead of offline profile data) and threads whose assignment changed
+//! are migrated. A migration squashes the thread's uncommitted work
+//! (replaying the architectural instructions through the normal FLUSH
+//! recovery path) and re-homes it on the new pipeline, modelling the
+//! drain-and-move cost a real implementation would pay.
+
+use hdsmt_pipeline::MicroArch;
+
+use crate::config::{SimConfig, ThreadSpec};
+use crate::proc::Processor;
+use crate::sim::SimResult;
+
+/// Outcome of a dynamic-mapping run.
+#[derive(Clone, Debug)]
+pub struct DynMapResult {
+    pub result: SimResult,
+    /// Total migrations performed.
+    pub migrations: u64,
+    /// Re-mapping decisions evaluated (intervals elapsed).
+    pub intervals: u64,
+}
+
+/// Re-evaluate the §2.1 heuristic on runtime miss rates.
+///
+/// Threads are ranked by data-cache misses per retired instruction over
+/// the last interval; pipelines by width. The seven-step algorithm of
+/// `mapping::heuristic_mapping` is then applied verbatim.
+fn runtime_heuristic(arch: &MicroArch, interval_mpki: &[f64]) -> Vec<u8> {
+    let n = interval_mpki.len();
+    let mut threads: Vec<usize> = (0..n).collect();
+    threads.sort_by(|&a, &b| {
+        interval_mpki[a].partial_cmp(&interval_mpki[b]).unwrap().then(a.cmp(&b))
+    });
+    let mut pipes: Vec<usize> = (0..arch.pipes.len()).collect();
+    pipes.sort_by_key(|&p| (std::cmp::Reverse(arch.pipes[p].width), p));
+
+    let total_contexts: usize = arch.pipes.iter().map(|p| p.contexts as usize).sum();
+    let mut free: Vec<usize> = arch.pipes.iter().map(|p| p.contexts as usize).collect();
+    let mut mapping = vec![0u8; n];
+    let mut first = true;
+    for &t in &threads {
+        let p = *pipes.first().expect("capacity");
+        mapping[t] = p as u8;
+        free[p] -= 1;
+        if first && total_contexts > n {
+            pipes.remove(0);
+        }
+        first = false;
+        if let Some(&top) = pipes.first() {
+            if free[top] == 0 {
+                pipes.remove(0);
+            }
+        }
+    }
+    mapping
+}
+
+/// Run a simulation with periodic dynamic re-mapping every
+/// `interval_cycles`. `initial_mapping` seeds the placement (e.g. a naive
+/// round-robin — the dynamic policy should recover from it).
+pub fn run_dynamic(
+    cfg: &SimConfig,
+    workload: &[ThreadSpec],
+    initial_mapping: &[u8],
+    interval_cycles: u64,
+) -> DynMapResult {
+    assert!(interval_cycles > 0);
+    let mut proc = Processor::new(cfg.clone(), workload, initial_mapping);
+    let n = workload.len();
+    let mut prev_misses = vec![0u64; n];
+    let mut prev_retired = vec![0u64; n];
+    let mut next_decision = interval_cycles;
+    let mut migrations = 0u64;
+    let mut intervals = 0u64;
+
+    while !proc.finished() && proc.cycle() < cfg.max_cycles {
+        proc.step();
+        if proc.cycle() >= next_decision {
+            next_decision += interval_cycles;
+            intervals += 1;
+            let stats = proc.collect_stats();
+            let mpki: Vec<f64> = (0..n)
+                .map(|t| {
+                    let misses = stats.threads[t].dl1_misses - prev_misses[t];
+                    let retired = (stats.threads[t].retired - prev_retired[t]).max(1);
+                    prev_misses[t] = stats.threads[t].dl1_misses;
+                    prev_retired[t] = stats.threads[t].retired;
+                    misses as f64 * 1000.0 / retired as f64
+                })
+                .collect();
+            let target = runtime_heuristic(&proc.arch().clone(), &mpki);
+            let moves: Vec<(usize, u8)> = (0..n)
+                .filter(|&t| proc.thread_pipe(t) != target[t])
+                .map(|t| (t, target[t]))
+                .collect();
+            migrations += moves.len() as u64;
+            proc.remap_threads(&moves);
+        }
+    }
+    let stats = proc.collect_stats();
+    DynMapResult {
+        result: SimResult {
+            arch: cfg.arch.name.clone(),
+            mapping: (0..n).map(|t| proc.thread_pipe(t)).collect(),
+            stats,
+        },
+        migrations,
+        intervals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::MissProfile;
+
+    fn specs() -> Vec<ThreadSpec> {
+        vec![
+            ThreadSpec::for_benchmark("gzip", 61),
+            ThreadSpec::for_benchmark("mcf", 62),
+        ]
+    }
+
+    #[test]
+    fn runtime_heuristic_matches_static_shape() {
+        // Low-miss thread to the widest pipe, exclusively (step 4).
+        let arch = MicroArch::parse("2M4+2M2").unwrap();
+        let m = runtime_heuristic(&arch, &[120.0, 2.0]);
+        assert_eq!(m, vec![1, 0], "low-miss thread owns the widest pipe");
+    }
+
+    #[test]
+    fn dynamic_recovers_from_bad_initial_mapping() {
+        let arch = MicroArch::parse("2M4+2M2").unwrap();
+        let cfg = SimConfig::paper_defaults(arch.clone(), 15_000);
+        // Pathological start: the ILP thread on an M2, mcf on an M4.
+        let bad = vec![2u8, 0];
+        let static_bad = crate::sim::run_sim(&cfg, &specs(), &bad);
+        let dynamic = run_dynamic(&cfg, &specs(), &bad, 4_000);
+        assert!(dynamic.migrations > 0, "re-mapping must trigger");
+        assert!(
+            dynamic.result.ipc() > static_bad.ipc(),
+            "dynamic {} must beat the bad static mapping {}",
+            dynamic.result.ipc(),
+            static_bad.ipc()
+        );
+        // And it should converge to (or near) the profile heuristic's
+        // placement quality.
+        let profile = MissProfile::build_with_len(50_000);
+        let heur = crate::mapping::heuristic_mapping(
+            &arch,
+            &["gzip", "mcf"],
+            &profile,
+        );
+        let static_good = crate::sim::run_sim(&cfg, &specs(), &heur);
+        assert!(
+            dynamic.result.ipc() > 0.85 * static_good.ipc(),
+            "dynamic {} should approach the static heuristic {}",
+            dynamic.result.ipc(),
+            static_good.ipc()
+        );
+    }
+
+    #[test]
+    fn migration_preserves_architectural_progress() {
+        // Aggressive re-mapping every 500 cycles must not corrupt
+        // committed-instruction accounting or determinism.
+        let arch = MicroArch::parse("2M4+2M2").unwrap();
+        let cfg = SimConfig::paper_defaults(arch, 5_000);
+        let a = run_dynamic(&cfg, &specs(), &[0, 1], 500);
+        let b = run_dynamic(&cfg, &specs(), &[0, 1], 500);
+        assert_eq!(a.result.stats.cycles, b.result.stats.cycles, "determinism");
+        assert_eq!(a.migrations, b.migrations);
+        assert!(a.result.stats.retired >= 5_000);
+    }
+}

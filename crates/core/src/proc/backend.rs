@@ -1,0 +1,450 @@
+//! Decode, rename, dispatch, issue and writeback stages.
+
+use hdsmt_bpred::branch_key;
+use hdsmt_isa::{FuKind, Op};
+use hdsmt_pipeline::{InstId, InstState};
+
+use super::Processor;
+use crate::config::FetchPolicy;
+
+/// Load/store ordering verdict for a load in the LQ.
+enum LoadOrder {
+    /// An older same-thread store's address is still unknown.
+    Blocked,
+    /// Free to access the cache.
+    Clear,
+    /// Satisfied by store-to-load forwarding.
+    Forward,
+}
+
+impl Processor {
+    /// Move up to `width` instructions from each pipeline's decoupling
+    /// buffer into its decode latch (topping up whatever rename left
+    /// behind, so partial stalls don't quantise throughput).
+    pub(crate) fn decode_stage(&mut self) {
+        for p in 0..self.pipes.len() {
+            let width = self.pipes[p].model.width as usize;
+            let mut moved = 0;
+            while self.pipes[p].decode_latch.len() < width && moved < width {
+                let Some(id) = self.pipes[p].buffer.pop_front() else { break };
+                self.pool.get_mut(id).state = InstState::Decode;
+                self.pipes[p].decode_latch.push(id);
+                moved += 1;
+            }
+        }
+    }
+
+    /// Rename: allocate physical destinations and ROB entries, in order,
+    /// stalling on structural exhaustion (shared rename pool, per-thread
+    /// ROB).
+    pub(crate) fn rename_stage(&mut self) {
+        for p in 0..self.pipes.len() {
+            let width = self.pipes[p].model.width as usize;
+            let room = width.saturating_sub(self.pipes[p].dispatch_latch.len());
+            if room == 0 {
+                continue; // dispatch latch full: rename stalls
+            }
+            let mut latch = std::mem::take(&mut self.pipes[p].decode_latch);
+            let mut moved = 0;
+            for &id in latch.iter().take(room) {
+                let (t, dst, srcs) = {
+                    let inst = self.pool.get(id);
+                    (inst.thread.index(), inst.d.sinst.dst, inst.d.sinst.srcs)
+                };
+                if self.threads[t].rob.is_full() {
+                    break;
+                }
+                let dst_phys = match dst {
+                    Some(a) => match self.regfile.alloc(a) {
+                        Some(phys) => Some(phys),
+                        None => break, // shared rename pool exhausted
+                    },
+                    None => None,
+                };
+                let src_phys = [
+                    srcs[0].map(|a| self.threads[t].map.lookup(a)),
+                    srcs[1].map(|a| self.threads[t].map.lookup(a)),
+                ];
+                let old_phys = match (dst, dst_phys) {
+                    (Some(a), Some(phys)) => Some(self.threads[t].map.rename(a, phys)),
+                    _ => None,
+                };
+                {
+                    let inst = self.pool.get_mut(id);
+                    inst.dst_phys = dst_phys;
+                    inst.old_phys = old_phys;
+                    inst.src_phys = src_phys;
+                    inst.state = InstState::Rename;
+                }
+                let pushed = self.threads[t].rob.push_tail(id);
+                debug_assert!(pushed, "ROB space checked above");
+                self.pipes[p].dispatch_latch.push(id);
+                moved += 1;
+            }
+            latch.drain(..moved);
+            self.pipes[p].decode_latch = latch;
+        }
+    }
+
+    /// Dispatch: insert renamed instructions into their issue queues,
+    /// in order, stalling on a full queue.
+    pub(crate) fn dispatch_stage(&mut self) {
+        for p in 0..self.pipes.len() {
+            let mut latch = std::mem::take(&mut self.pipes[p].dispatch_latch);
+            let mut moved = 0;
+            for &id in latch.iter() {
+                let kind = self.pool.get(id).d.sinst.op.fu_kind();
+                let pipe = &mut self.pipes[p];
+                let q = match kind {
+                    FuKind::Int => &mut pipe.iq,
+                    FuKind::Fp => &mut pipe.fq,
+                    FuKind::LdSt => &mut pipe.lq,
+                };
+                if !q.push(id) {
+                    break;
+                }
+                let inst = self.pool.get_mut(id);
+                inst.state = InstState::Waiting;
+                inst.retry_at = 0;
+                moved += 1;
+            }
+            latch.drain(..moved);
+            self.pipes[p].dispatch_latch = latch;
+        }
+    }
+
+    /// Issue: wake ready instructions oldest-first, claim functional units,
+    /// compute completion times (register-file latency per §4, cache
+    /// latency for loads), and hand them to the execution list.
+    pub(crate) fn issue_stage(&mut self) {
+        let now = self.cycle;
+        for p in 0..self.pipes.len() {
+            let width = self.pipes[p].model.width as usize;
+
+            // Gather ready candidates across the three queues, oldest
+            // first. Buffer reuse would be nicer; candidate counts are
+            // bounded by queue sizes (≤ 192) and typically tiny.
+            let mut candidates: Vec<(u64, InstId, FuKind, bool)> = Vec::new();
+            for (kind, q) in [
+                (FuKind::Int, &self.pipes[p].iq),
+                (FuKind::Fp, &self.pipes[p].fq),
+                (FuKind::LdSt, &self.pipes[p].lq),
+            ] {
+                for id in q.iter() {
+                    let inst = self.pool.get(id);
+                    if inst.state != InstState::Waiting || inst.retry_at > now {
+                        continue;
+                    }
+                    let ready = inst.src_phys.iter().all(|s| match s {
+                        Some(r) => self.regfile.is_ready(*r),
+                        None => true,
+                    });
+                    if !ready {
+                        continue;
+                    }
+                    let mut forward = false;
+                    if inst.d.sinst.op.is_load() {
+                        match self.load_order(p, id) {
+                            LoadOrder::Blocked => continue,
+                            LoadOrder::Clear => {}
+                            LoadOrder::Forward => forward = true,
+                        }
+                    }
+                    candidates.push((inst.seq.0, id, kind, forward));
+                }
+            }
+            candidates.sort_unstable_by_key(|&(seq, id, _, _)| (seq, id.0));
+
+            let mut issued = 0;
+            for (_, id, kind, forward) in candidates {
+                if issued >= width {
+                    break;
+                }
+                let op = self.pool.get(id).d.sinst.op;
+                let occupy = if op.fu_pipelined() { 1 } else { op.exec_latency() };
+                let pipe = &mut self.pipes[p];
+                let fu = match kind {
+                    FuKind::Int => &mut pipe.int_fu,
+                    FuKind::Fp => &mut pipe.fp_fu,
+                    FuKind::LdSt => &mut pipe.ldst_fu,
+                };
+                if !fu.try_issue(now, occupy) {
+                    continue; // this pool is saturated; other kinds may go
+                }
+                issued += 1;
+                self.begin_execution(p, id, forward);
+            }
+        }
+    }
+
+    /// Transition one instruction to `Executing`: compute its completion
+    /// cycle, perform the cache access for loads, arm the FLUSH trigger.
+    fn begin_execution(&mut self, p: usize, id: InstId, forward: bool) {
+        let now = self.cycle;
+        let rf_extra = self.rf_lat - 1; // §4: +1 per access in hdSMT
+        let (op, addr, t, seq, wrong) = {
+            let i = self.pool.get(id);
+            (i.d.sinst.op, i.d.addr, i.thread.index(), i.seq.0, i.wrong_path)
+        };
+
+        let ready_cycle = if op.is_load() {
+            // Address generation, then the cache (unless forwarded).
+            let agen_done = now + 1 + rf_extra as u64;
+            if forward {
+                self.pool.get_mut(id).forwarded = true;
+                agen_done + 1
+            } else {
+                let access = self.mem.load(addr, agen_done);
+                if access.mshr_stall {
+                    // Structural replay: stay Waiting, retry shortly. The
+                    // issue slot and FU cycle are wasted, as in hardware.
+                    self.pool.get_mut(id).retry_at = now + 2;
+                    return;
+                }
+                if !wrong && access.level != hdsmt_mem::HitLevel::L1 {
+                    self.threads[t].st.dl1_misses += 1;
+                }
+                if self.cfg.fetch_policy == FetchPolicy::Flush
+                    && access.latency > self.cfg.mem.l2_hit_latency()
+                {
+                    // FLUSH (§4): the load will look like an L2 miss once it
+                    // has been outstanding longer than an L2 hit takes.
+                    let trigger = agen_done + self.cfg.mem.l2_hit_latency() as u64 + 1;
+                    self.pending_flush.push((trigger, id));
+                }
+                agen_done + access.latency as u64 + rf_extra as u64
+            }
+        } else if op.is_store() {
+            // Address generation only; data is written at commit.
+            now + 1 + rf_extra as u64
+        } else {
+            now + op.exec_latency() as u64 + rf_extra as u64
+        };
+
+        {
+            let inst = self.pool.get_mut(id);
+            inst.state = InstState::Executing;
+            inst.issue_cycle = now;
+            inst.ready_cycle = ready_cycle;
+        }
+        self.exec_list.push(id);
+        // Stores stay in the LQ (forwarding source) until commit; everything
+        // else leaves its queue at issue.
+        if !op.is_store() {
+            let pipe = &mut self.pipes[p];
+            let q = match op.fu_kind() {
+                FuKind::Int => &mut pipe.iq,
+                FuKind::Fp => &mut pipe.fq,
+                FuKind::LdSt => &mut pipe.lq,
+            };
+            let removed = q.remove(id);
+            debug_assert!(removed);
+        }
+        let th = &mut self.threads[t];
+        th.icount -= 1;
+        if op.is_load() {
+            th.inflight_loads += 1;
+            if !wrong {
+                th.st.loads += 1;
+            }
+        }
+        let _ = seq;
+    }
+
+    /// Memory-ordering check for a load against older same-thread stores in
+    /// the LQ: blocked while any has an unknown address; forwarded on an
+    /// exact (8-byte) match.
+    fn load_order(&self, p: usize, load_id: InstId) -> LoadOrder {
+        let load = self.pool.get(load_id);
+        let now = self.cycle;
+        let mut forward = false;
+        let mut best_seq = 0u64;
+        for id in self.pipes[p].lq.iter() {
+            if id == load_id {
+                continue;
+            }
+            let s = self.pool.get(id);
+            if s.thread != load.thread || !s.d.sinst.op.is_store() || s.seq >= load.seq {
+                continue;
+            }
+            let agen_known = match s.state {
+                InstState::Waiting => false,
+                InstState::Executing => s.ready_cycle <= now,
+                _ => true,
+            };
+            if !agen_known {
+                return LoadOrder::Blocked;
+            }
+            if (s.d.addr & !7) == (load.d.addr & !7) && s.seq.0 >= best_seq {
+                best_seq = s.seq.0;
+                forward = true;
+            }
+        }
+        if forward {
+            LoadOrder::Forward
+        } else {
+            LoadOrder::Clear
+        }
+    }
+
+    /// Writeback: drain completed executions, mark results ready, clear
+    /// FLUSH gates, resolve branches (training + misprediction recovery).
+    pub(crate) fn writeback_stage(&mut self) {
+        let now = self.cycle;
+        let mut resolved: Vec<InstId> = Vec::new();
+        let mut i = 0;
+        while i < self.exec_list.len() {
+            let id = self.exec_list[i];
+            let inst = self.pool.get(id);
+            if inst.squashed {
+                self.exec_list.swap_remove(i);
+                self.pool.release(id);
+                continue;
+            }
+            if inst.ready_cycle > now {
+                i += 1;
+                continue;
+            }
+            self.exec_list.swap_remove(i);
+            let (t, op, dst, wrong) =
+                (inst.thread.index(), inst.d.sinst.op, inst.dst_phys, inst.wrong_path);
+            self.pool.get_mut(id).state = InstState::Done;
+            if let Some(dstp) = dst {
+                self.regfile.set_ready(dstp);
+            }
+            if op.is_load() {
+                self.threads[t].inflight_loads -= 1;
+                if self.threads[t].flush_gate == Some(id) {
+                    // The flushed-past load returned: reopen fetch.
+                    self.threads[t].flush_gate = None;
+                    self.threads[t].stalled_until = self.threads[t].stalled_until.max(now + 1);
+                }
+            }
+            if op.is_control() && !wrong {
+                resolved.push(id);
+            }
+        }
+
+        // Resolve branches oldest-first per thread: an older misprediction
+        // squashes younger same-cycle resolutions before they can act.
+        resolved.sort_unstable_by_key(|&id| {
+            let i = self.pool.get(id);
+            (i.thread.index(), i.seq.0)
+        });
+        for id in resolved {
+            if self.pool.get(id).squashed {
+                continue; // squashed (and released) by an older resolution
+            }
+            self.resolve_branch(id);
+        }
+    }
+
+    /// Train predictors with the architectural outcome and run recovery on
+    /// a misprediction.
+    fn resolve_branch(&mut self, id: InstId) {
+        let (t, op, seq, mispredicted, dir_snap, d) = {
+            let i = self.pool.get(id);
+            (i.thread.index(), i.d.sinst.op, i.seq.0, i.mispredicted, i.dir_snap, i.d)
+        };
+        let actual = d.ctrl.expect("correct-path control inst carries its outcome");
+        let key = branch_key(d.pc, t as u8);
+
+        match op {
+            Op::CondBranch => {
+                self.dir.train(key, &dir_snap, actual.taken);
+                self.threads[t].st.branches += 1;
+                if mispredicted {
+                    self.threads[t].st.mispredicts += 1;
+                }
+            }
+            Op::IndirectJump => {
+                self.btb.update(key, actual.target);
+                if mispredicted {
+                    self.threads[t].st.target_mispredicts += 1;
+                }
+            }
+            Op::Return if mispredicted => {
+                self.threads[t].st.target_mispredicts += 1;
+            }
+            _ => {}
+        }
+
+        if !mispredicted {
+            return;
+        }
+
+        // ---- misprediction recovery ----
+        let replay = self.squash_younger(t, seq);
+        debug_assert!(replay == 0, "everything younger than a mispredict is wrong-path");
+
+        // Rewind front-end state to just before this branch, then redo the
+        // branch's own action with the architectural outcome.
+        let (ras_state, ghr) = self.threads[t].ckpt.rewind_to(seq.saturating_sub(1));
+        self.threads[t].ras.restore(ras_state);
+        match op {
+            Op::CondBranch => {
+                self.dir.recover(t, &dir_snap, actual.taken);
+            }
+            Op::Return => {
+                self.dir.set_history(t, ghr);
+                let _ = self.threads[t].ras.pop(); // redo the architectural pop
+            }
+            _ => {
+                self.dir.set_history(t, ghr);
+            }
+        }
+        let snap = (self.threads[t].ras.snapshot(), self.dir.history(t));
+        self.threads[t].ckpt.push(seq, snap);
+
+        // Redirect fetch to the correct path.
+        let th = &mut self.threads[t];
+        th.wrong_path = None;
+        th.wrong_path_branch = None;
+        th.next_correct_pc = d.next_pc();
+        th.stalled_until = th.stalled_until.max(self.cycle + 1);
+    }
+
+    /// Fire due FLUSH triggers: flush the offending thread past the load
+    /// and gate its fetch until the load completes (Tullsen & Brown).
+    pub(crate) fn process_flushes(&mut self) {
+        if self.pending_flush.is_empty() {
+            return;
+        }
+        let now = self.cycle;
+        let due: Vec<InstId> = {
+            let pool = &self.pool;
+            let mut due = Vec::new();
+            self.pending_flush.retain(|&(cycle, id)| {
+                let inst = pool.get(id);
+                // Entry is stale once the load was squashed or completed.
+                if inst.squashed || inst.state != InstState::Executing || !inst.d.sinst.op.is_load()
+                {
+                    return false;
+                }
+                if cycle <= now {
+                    due.push(id);
+                    return false;
+                }
+                true
+            });
+            due
+        };
+        for id in due {
+            let inst = self.pool.get(id);
+            if inst.squashed || inst.state != InstState::Executing {
+                continue; // an earlier flush this cycle got there first
+            }
+            let (t, seq) = (inst.thread.index(), inst.seq.0);
+            if self.threads[t].flush_gate == Some(id) {
+                continue;
+            }
+            self.squash_younger(t, seq);
+            // Rewind speculative front-end state to the flush point.
+            let (ras_state, ghr) = self.threads[t].ckpt.rewind_to(seq);
+            self.threads[t].ras.restore(ras_state);
+            self.dir.set_history(t, ghr);
+            self.threads[t].flush_gate = Some(id);
+            self.threads[t].st.flushes += 1;
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! In-order commit: per pipeline, up to `width` instructions per cycle,
+//! round-robin across the pipeline's threads. Stores write the data cache
+//! here (write-buffered: commit does not stall on store misses).
+
+use hdsmt_pipeline::InstState;
+
+use super::Processor;
+
+impl Processor {
+    pub(crate) fn commit_stage(&mut self) {
+        let now = self.cycle;
+        for p in 0..self.pipes.len() {
+            let n_threads = self.pipes[p].threads.len();
+            if n_threads == 0 {
+                continue;
+            }
+            let mut budget = self.pipes[p].model.width as u32;
+            let start = self.pipes[p].commit_rr % n_threads;
+            for k in 0..n_threads {
+                if budget == 0 {
+                    break;
+                }
+                let t = self.pipes[p].threads[(start + k) % n_threads];
+                while budget > 0 {
+                    let Some(head) = self.threads[t].rob.head() else { break };
+                    let (state, ready, op, addr, seq, wrong, old_phys, is_ctrl) = {
+                        let i = self.pool.get(head);
+                        (
+                            i.state,
+                            i.ready_cycle,
+                            i.d.sinst.op,
+                            i.d.addr,
+                            i.seq.0,
+                            i.wrong_path,
+                            i.old_phys,
+                            i.d.sinst.op.is_control(),
+                        )
+                    };
+                    if state != InstState::Done || ready > now {
+                        break;
+                    }
+                    debug_assert!(!wrong, "wrong-path instructions never reach commit");
+
+                    if op.is_store() {
+                        // Architectural memory update; write-buffered, so
+                        // the latency is not charged to commit.
+                        let _ = self.mem.store(addr, now);
+                        self.pipes[p].lq.remove(head);
+                    }
+                    // The previous mapping of the destination is now dead.
+                    if let Some(old) = old_phys {
+                        if self.regfile.is_rename_reg(old) {
+                            self.regfile.free(old);
+                        }
+                    }
+                    self.threads[t].rob.pop_head();
+                    self.threads[t].last_committed_seq = seq;
+                    if is_ctrl {
+                        self.threads[t].ckpt.prune_committed(seq);
+                    }
+                    self.pool.release(head);
+                    self.threads[t].st.retired += 1;
+                    self.pipes[p].retired += 1;
+                    budget -= 1;
+
+                    if self.warmed && self.threads[t].st.retired >= self.cfg.max_retired_per_thread
+                    {
+                        // The paper ends each simulation as soon as one
+                        // thread finishes its instruction budget (§4).
+                        self.threads[t].done = true;
+                        self.stop = true;
+                    }
+                }
+            }
+            self.pipes[p].commit_rr = self.pipes[p].commit_rr.wrapping_add(1);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! The shared fetch engine (§2, §4).
+//!
+//! One fetch unit serves every pipeline: up to 8 instructions from at most
+//! 2 threads per cycle, each thread's burst bounded by its I-cache line and
+//! ended by predicted-taken branches. Fetched instructions are pushed
+//! in-order into the owning pipeline's decoupling buffer.
+//!
+//! Thread selection implements the paper's policies: ICOUNT 2.8, FLUSH
+//! (gating flushed threads), and L1MCOUNT (fewest in-flight loads, then
+//! wider pipeline, then ICOUNT).
+
+use hdsmt_bpred::branch_key;
+use hdsmt_isa::{Op, Pc, Program, SeqNum, StaticInst, Terminator};
+use hdsmt_pipeline::InFlight;
+use hdsmt_trace::DynInst;
+
+use super::Processor;
+use crate::config::FetchPolicy;
+
+impl Processor {
+    /// Select threads and fetch up to the global bandwidth.
+    pub(crate) fn fetch_stage(&mut self) {
+        let now = self.cycle;
+        let n = self.threads.len();
+        let mut order: Vec<usize> = (0..n).filter(|&t| self.fetch_eligible(t, now)).collect();
+        let rr = self.fetch_rr;
+        let key = |p: &Processor, t: usize| -> (i64, i64, i64, i64) {
+            let th = &p.threads[t];
+            let rr_pos = ((t + n - rr % n.max(1)) % n.max(1)) as i64;
+            match p.cfg.fetch_policy {
+                FetchPolicy::Icount | FetchPolicy::Flush => (th.icount as i64, rr_pos, 0, 0),
+                FetchPolicy::L1mcount => (
+                    th.inflight_loads as i64,
+                    -(p.pipes[th.pipe as usize].model.width as i64),
+                    th.icount as i64,
+                    rr_pos,
+                ),
+                FetchPolicy::RoundRobin => (rr_pos, 0, 0, 0),
+            }
+        };
+        order.sort_by_key(|&t| key(self, t));
+
+        let mut budget = self.cfg.fetch_width as u32;
+        let mut threads_used = 0u8;
+        for t in order {
+            if threads_used >= self.cfg.fetch_threads || budget == 0 {
+                break;
+            }
+            threads_used += 1; // the I-cache port is consumed even on a stall
+            self.fetch_burst(t, &mut budget);
+        }
+        self.fetch_rr = self.fetch_rr.wrapping_add(1);
+    }
+
+    fn fetch_eligible(&self, t: usize, now: u64) -> bool {
+        let th = &self.threads[t];
+        !th.done
+            && th.stalled_until <= now
+            && th.flush_gate.is_none()
+            && !self.pipes[th.pipe as usize].buffer.is_full()
+    }
+
+    /// Fetch one thread's burst: a run of consecutive instructions from a
+    /// single I-cache line, ending at a predicted-taken branch, buffer
+    /// fill, or bandwidth exhaustion.
+    fn fetch_burst(&mut self, t: usize, budget: &mut u32) {
+        let now = self.cycle;
+        let pipe_idx = self.threads[t].pipe as usize;
+
+        let start_pc = self.current_fetch_pc(t);
+        let code_addr = self.threads[t].stream.code_base() + start_pc.0;
+        let res = self.mem.ifetch(code_addr, now);
+        if res.latency > 0 {
+            let th = &mut self.threads[t];
+            th.stalled_until = now + res.latency as u64;
+            th.st.icache_stall_cycles += res.latency as u64;
+            return;
+        }
+
+        let line_bytes = self.cfg.mem.l1i.line_bytes;
+        let insts_per_line = (line_bytes / Pc::INST_BYTES) as u32;
+        let mut line_left = insts_per_line - start_pc.line_offset(line_bytes) as u32;
+
+        while *budget > 0 && line_left > 0 && !self.pipes[pipe_idx].buffer.is_full() {
+            let (d, wrong) = self.next_fetch_inst(t);
+            let end_burst = self.fetch_one(t, pipe_idx, d, wrong);
+            *budget -= 1;
+            line_left -= 1;
+            if end_burst {
+                break;
+            }
+        }
+    }
+
+    /// PC the thread will fetch next.
+    fn current_fetch_pc(&self, t: usize) -> Pc {
+        let th = &self.threads[t];
+        if let Some(pc) = th.wrong_path {
+            pc
+        } else if let Some(d) = th.replay.front() {
+            d.pc
+        } else {
+            th.next_correct_pc
+        }
+    }
+
+    /// Pull the next instruction: wrong-path fabrication, replay, or the
+    /// architectural stream.
+    fn next_fetch_inst(&mut self, t: usize) -> (DynInst, bool) {
+        let th = &mut self.threads[t];
+        if let Some(wpc) = th.wrong_path {
+            let program = th.stream.program().clone();
+            let d = match program.lookup(wpc) {
+                Some((block, off)) => {
+                    let sinst = block.insts[off];
+                    let addr = match sinst.mem {
+                        Some(g) => th.stream.wrong_path_addr(g),
+                        None => 0,
+                    };
+                    DynInst { pc: wpc, sinst, addr, ctrl: None }
+                }
+                None => DynInst {
+                    pc: wpc,
+                    sinst: StaticInst { op: Op::Nop, dst: None, srcs: [None, None], mem: None },
+                    addr: 0,
+                    ctrl: None,
+                },
+            };
+            (d, true)
+        } else if let Some(d) = th.replay.pop_front() {
+            (d, false)
+        } else {
+            (th.stream.next_inst(), false)
+        }
+    }
+
+    /// Rename-free front half of fetch for one instruction: prediction,
+    /// RAS/history bookkeeping, wrong-path transitions, buffer insertion.
+    /// Returns whether the burst ends after this instruction.
+    fn fetch_one(&mut self, t: usize, pipe_idx: usize, d: DynInst, wrong: bool) -> bool {
+        let now = self.cycle;
+        let op = d.sinst.op;
+        let seq = self.threads[t].next_seq;
+        self.threads[t].next_seq += 1;
+
+        let mut fl = InFlight::new(self.threads[t].id, pipe_idx as u8, SeqNum(seq), d, wrong);
+        let mut end_burst = false;
+
+        if op.is_control() {
+            let key = branch_key(d.pc, t as u8);
+            let program = self.threads[t].stream.program().clone();
+            let (pred_taken, pred_target) = match op {
+                Op::CondBranch => {
+                    let (p, snap) = self.dir.predict(t, key);
+                    self.dir.spec_update(t, p);
+                    fl.dir_snap = snap;
+                    let tt = static_taken_target(&program, d.pc);
+                    (p, if p { tt } else { d.pc.next() })
+                }
+                Op::Jump | Op::Call => (true, static_taken_target(&program, d.pc)),
+                Op::Return => (true, self.threads[t].ras.pop()),
+                Op::IndirectJump => (true, self.btb.lookup(key).unwrap_or(d.pc.next())),
+                _ => unreachable!(),
+            };
+            if op == Op::Call {
+                self.threads[t].ras.push(d.pc.next());
+            }
+            // Post-action checkpoint for arbitrary-point rewinds.
+            let snap = (self.threads[t].ras.snapshot(), self.dir.history(t));
+            self.threads[t].ckpt.push(seq, snap);
+            fl.ras_snap = snap.0;
+            fl.pred_taken = pred_taken;
+            fl.pred_target = pred_target;
+
+            if !wrong {
+                let actual = d.ctrl.expect("correct-path control inst carries its outcome");
+                let mispredicted = pred_taken != actual.taken
+                    || (pred_taken && actual.taken && pred_target != actual.target);
+                fl.mispredicted = mispredicted;
+                self.threads[t].next_correct_pc = d.next_pc();
+                if mispredicted {
+                    let wrong_pc = if pred_taken { pred_target } else { d.pc.next() };
+                    self.threads[t].wrong_path = Some(wrong_pc);
+                    // Linked below once the id exists.
+                }
+            } else {
+                // Down a wrong path the machine can only follow its own
+                // prediction.
+                let next = if pred_taken { pred_target } else { d.pc.next() };
+                self.threads[t].wrong_path = Some(next);
+            }
+            if pred_taken {
+                end_burst = true;
+            }
+        } else if !wrong {
+            self.threads[t].next_correct_pc = d.pc.next();
+        } else {
+            self.threads[t].wrong_path = Some(d.pc.next());
+        }
+
+        let mispredicted = fl.mispredicted;
+        let id = self.pool.alloc(fl);
+        if mispredicted {
+            self.threads[t].wrong_path_branch = Some(id);
+        }
+        let pushed = self.pipes[pipe_idx].buffer.push_back(id);
+        debug_assert!(pushed, "buffer space checked before fetch");
+        debug_assert!(self.threads[t].rob.len() < self.cfg.rob_entries * 2);
+
+        let th = &mut self.threads[t];
+        th.icount += 1;
+        if wrong {
+            th.st.wrong_path_fetched += 1;
+        } else {
+            th.st.fetched += 1;
+        }
+        self.fetched_total += 1;
+        let _ = now;
+        end_burst
+    }
+}
+
+/// Static target of the direct control transfer ending the block at `pc`
+/// (conditional taken-target, loop back-edge, jump or call destination).
+fn static_taken_target(program: &Program, pc: Pc) -> Pc {
+    match program.lookup(pc) {
+        Some((b, off)) if off + 1 == b.len() => match &b.term {
+            Terminator::Cond { taken, .. } => program.block(*taken).start,
+            Terminator::Loop { back, .. } => program.block(*back).start,
+            Terminator::Jump { target } => program.block(*target).start,
+            Terminator::Call { callee, .. } => program.block(*callee).start,
+            _ => pc.next(),
+        },
+        _ => pc.next(),
+    }
+}

@@ -1,0 +1,441 @@
+//! The cycle-level processor model.
+//!
+//! One [`Processor`] simulates one machine (monolithic SMT or hdSMT
+//! multipipeline) running one workload under one thread-to-pipeline
+//! mapping. Stages execute back-to-front each cycle (commit first, fetch
+//! last) so instructions advance one stage per cycle through the 8-stage
+//! pipeline: fetch → buffer/decode → rename → dispatch → issue → register
+//! read (1 cycle monolithic / 2 hdSMT, §4) → execute → writeback →
+//! commit.
+
+mod backend;
+mod commit;
+mod fetch;
+mod squash;
+
+use std::collections::VecDeque;
+
+use hdsmt_bpred::{Btb, DirectionPredictor, Ras, RasSnapshot};
+use hdsmt_isa::{Pc, ThreadId};
+use hdsmt_mem::MemHier;
+use hdsmt_pipeline::{
+    FuPool, InstId, InstPool, IssueQueue, PipeModel, RegFile, RenameMap, RingBuf, Rob,
+};
+use hdsmt_trace::{DynInst, TraceStream};
+
+use crate::checkpoint::CheckpointLog;
+use crate::config::{SimConfig, ThreadSpec};
+use crate::stats::{SimStats, ThreadStats};
+
+/// Front-end + architectural state of one hardware thread.
+pub(crate) struct Thread {
+    pub id: ThreadId,
+    pub pipe: u8,
+    pub stream: TraceStream,
+    /// Squashed-but-architecturally-required instructions awaiting
+    /// re-fetch (FLUSH recovery), oldest at the front.
+    pub replay: VecDeque<DynInst>,
+    /// Next correct-path fetch PC (used when `replay` is empty and the
+    /// thread is not on a wrong path).
+    pub next_correct_pc: Pc,
+    /// `Some(pc)` while fetching a mispredicted path from the basic-block
+    /// dictionary.
+    pub wrong_path: Option<Pc>,
+    /// The unresolved mispredicted branch that opened the wrong path.
+    pub wrong_path_branch: Option<InstId>,
+    /// Fetch blocked until this cycle (I-cache miss, redirect bubble).
+    pub stalled_until: u64,
+    /// FLUSH policy gate: fetch blocked until this load completes.
+    pub flush_gate: Option<InstId>,
+    pub ras: Ras,
+    /// Post-action (RAS, global-history) checkpoints per control
+    /// instruction, for rewinds at arbitrary squash points.
+    pub ckpt: CheckpointLog<(RasSnapshot, u64)>,
+    pub map: RenameMap,
+    pub rob: Rob,
+    pub next_seq: u64,
+    pub last_committed_seq: u64,
+    /// Pre-issue instruction count (the ICOUNT priority key).
+    pub icount: i32,
+    /// Executing loads (the L1MCOUNT priority key; FLUSH bookkeeping).
+    pub inflight_loads: i32,
+    pub st: ThreadStats,
+    /// Retired its run-length target.
+    pub done: bool,
+}
+
+/// One pipeline (cluster): private decode/rename/queues/FUs.
+pub(crate) struct Pipe {
+    pub model: PipeModel,
+    /// Decoupling buffer fed by the shared fetch engine.
+    pub buffer: RingBuf<InstId>,
+    /// Decode-stage output latch (≤ width).
+    pub decode_latch: Vec<InstId>,
+    /// Rename-stage output latch (≤ width), consumed by dispatch.
+    pub dispatch_latch: Vec<InstId>,
+    pub iq: IssueQueue,
+    pub fq: IssueQueue,
+    pub lq: IssueQueue,
+    pub int_fu: FuPool,
+    pub fp_fu: FuPool,
+    pub ldst_fu: FuPool,
+    /// Threads mapped to this pipeline (global ids).
+    pub threads: Vec<usize>,
+    /// Round-robin commit pointer over `threads`.
+    pub commit_rr: usize,
+    pub retired: u64,
+}
+
+impl Pipe {
+    fn new(model: PipeModel) -> Self {
+        Pipe {
+            buffer: RingBuf::new(model.buffer as usize),
+            decode_latch: Vec::with_capacity(model.width as usize),
+            dispatch_latch: Vec::with_capacity(model.width as usize),
+            iq: IssueQueue::new(model.iq as usize),
+            fq: IssueQueue::new(model.fq as usize),
+            lq: IssueQueue::new(model.lq as usize),
+            int_fu: FuPool::new(model.int_units as usize),
+            fp_fu: FuPool::new(model.fp_units as usize),
+            ldst_fu: FuPool::new(model.ldst_units as usize),
+            threads: Vec::new(),
+            commit_rr: 0,
+            retired: 0,
+            model,
+        }
+    }
+}
+
+/// The full machine.
+pub struct Processor {
+    pub(crate) cfg: SimConfig,
+    pub(crate) cycle: u64,
+    pub(crate) pool: InstPool,
+    pub(crate) regfile: RegFile,
+    pub(crate) mem: MemHier,
+    pub(crate) dir: DirectionPredictor,
+    pub(crate) btb: Btb,
+    pub(crate) pipes: Vec<Pipe>,
+    pub(crate) threads: Vec<Thread>,
+    /// Instructions currently executing (drained by writeback).
+    pub(crate) exec_list: Vec<InstId>,
+    /// FLUSH policy: (trigger cycle, load) for loads predicted to miss L2.
+    pub(crate) pending_flush: Vec<(u64, InstId)>,
+    /// Rotating tie-break for fetch priority.
+    pub(crate) fetch_rr: usize,
+    pub(crate) fetched_total: u64,
+    pub(crate) stop: bool,
+    /// Register read/write latency (§4: 1 monolithic, 2 hdSMT).
+    pub(crate) rf_lat: u32,
+    /// Warm-up completed; statistics measure from `measure_start_cycle`.
+    pub(crate) warmed: bool,
+    pub(crate) measure_start_cycle: u64,
+}
+
+impl Processor {
+    /// Build a processor for `cfg` running `workload[i]` on thread `i`,
+    /// with `mapping[i]` giving each thread's pipeline.
+    ///
+    /// # Panics
+    /// Panics on invalid configuration, more threads than the architecture
+    /// schedules, or a mapping that exceeds a pipeline's context count.
+    pub fn new(cfg: SimConfig, workload: &[ThreadSpec], mapping: &[u8]) -> Self {
+        cfg.validate().expect("invalid simulation config");
+        assert_eq!(workload.len(), mapping.len(), "one pipeline per thread required");
+        assert!(
+            workload.len() <= cfg.arch.max_threads as usize,
+            "{} threads exceed {}'s contexts",
+            workload.len(),
+            cfg.arch.name
+        );
+        let n_threads = workload.len();
+        let mut pipes: Vec<Pipe> = cfg.arch.pipes.iter().map(|&m| Pipe::new(m)).collect();
+        // Context-capacity check (the monolithic baseline is exempt per the
+        // §3 six-thread assumption).
+        for (p, pipe) in pipes.iter().enumerate() {
+            let assigned = mapping.iter().filter(|&&m| m as usize == p).count();
+            if !cfg.arch.is_monolithic() {
+                assert!(
+                    assigned <= pipe.model.contexts as usize,
+                    "pipeline {p} ({}) given {assigned} threads but has {} contexts",
+                    pipe.model.name,
+                    pipe.model.contexts
+                );
+            }
+        }
+
+        let regfile = RegFile::new(n_threads, cfg.rename_regs, cfg.rename_regs);
+        let mut threads = Vec::with_capacity(n_threads);
+        for (i, (spec, &pipe)) in workload.iter().zip(mapping.iter()).enumerate() {
+            assert!((pipe as usize) < pipes.len(), "mapping targets missing pipeline");
+            pipes[pipe as usize].threads.push(i);
+            let stream = TraceStream::new(spec.program.clone(), spec.profile, spec.seed, i as u8);
+            let entry_pc = spec.program.block(spec.program.entry()).start;
+            let ras = Ras::paper_config();
+            let ckpt = CheckpointLog::new((ras.snapshot(), 0));
+            threads.push(Thread {
+                id: ThreadId(i as u8),
+                pipe,
+                stream,
+                replay: VecDeque::new(),
+                next_correct_pc: entry_pc,
+                wrong_path: None,
+                wrong_path_branch: None,
+                stalled_until: 0,
+                flush_gate: None,
+                ras,
+                ckpt,
+                map: RenameMap::new(i, &regfile),
+                rob: Rob::new(cfg.rob_entries),
+                next_seq: 1,
+                last_committed_seq: 0,
+                icount: 0,
+                inflight_loads: 0,
+                st: ThreadStats {
+                    benchmark: spec.profile.name.to_string(),
+                    pipe,
+                    ..Default::default()
+                },
+                done: false,
+            });
+        }
+
+        // Worst-case in-flight population: ROBs + buffers + latches.
+        let capacity = n_threads * cfg.rob_entries
+            + pipes.iter().map(|p| p.buffer.capacity() + 2 * p.model.width as usize).sum::<usize>()
+            + 64;
+        let rf_lat = cfg.effective_regfile_lat();
+        let mut p = Processor {
+            pool: InstPool::new(capacity),
+            regfile,
+            mem: MemHier::new(cfg.mem.clone()),
+            dir: DirectionPredictor::new(cfg.predictor, n_threads),
+            btb: Btb::paper_config(),
+            pipes,
+            threads,
+            exec_list: Vec::with_capacity(256),
+            pending_flush: Vec::new(),
+            fetch_rr: 0,
+            fetched_total: 0,
+            stop: false,
+            rf_lat,
+            warmed: false,
+            measure_start_cycle: 0,
+            cycle: 0,
+            cfg,
+        };
+        if p.cfg.warmup_insts == 0 {
+            p.warmed = true;
+        }
+        p.prewarm_caches();
+        p
+    }
+
+    /// Pre-load each thread's L2-resident working set and code image into
+    /// the hierarchy. The paper's 300 M-instruction runs establish this
+    /// residency naturally; scaled runs must start from it or compulsory
+    /// misses (which are measurement noise at full scale) dominate.
+    fn prewarm_caches(&mut self) {
+        /// Regions larger than this cannot be L2-resident in steady state;
+        /// their accesses genuinely miss, which is what makes the MEM-class
+        /// benchmarks memory-bound.
+        const L2_RESIDENT_CAP: u64 = 512 * 1024;
+        for t in &self.threads {
+            let (code_start, code_bytes) = t.stream.code_range();
+            self.mem.prewarm_code(code_start, code_bytes);
+            // Largest resident region first so the hot small regions end up
+            // most-recently-used and survive LRU pressure.
+            // Oversized regions: only their hot prefix (the skewed share of
+            // random draws) can plausibly be resident.
+            let mut regions: Vec<(u64, u64)> = t
+                .stream
+                .region_layout()
+                .into_iter()
+                .map(|(start, bytes)| {
+                    if bytes <= L2_RESIDENT_CAP {
+                        (start, bytes)
+                    } else {
+                        (start, (bytes / 8).min(L2_RESIDENT_CAP))
+                    }
+                })
+                .collect();
+            regions.sort_by_key(|&(_, bytes)| std::cmp::Reverse(bytes));
+            for (start, bytes) in regions {
+                let also_l1 = bytes <= 32 * 1024;
+                self.mem.prewarm_data(start, bytes, also_l1);
+            }
+        }
+    }
+
+    /// Current cycle.
+    #[inline]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Simulation finished (a thread hit its retire target)?
+    #[inline]
+    pub fn finished(&self) -> bool {
+        self.stop
+    }
+
+    /// Advance one cycle. Stages run back-to-front so in-flight state moves
+    /// at most one stage per cycle.
+    pub fn step(&mut self) {
+        self.commit_stage();
+        self.writeback_stage();
+        self.process_flushes();
+        self.issue_stage();
+        self.dispatch_stage();
+        self.rename_stage();
+        self.decode_stage();
+        self.fetch_stage();
+        self.cycle += 1;
+        if !self.warmed {
+            self.maybe_end_warmup();
+        }
+    }
+
+    /// Reset statistics once the warm-up instruction budget has committed,
+    /// keeping all microarchitectural state (caches, predictors, in-flight
+    /// work) warm.
+    fn maybe_end_warmup(&mut self) {
+        let total: u64 = self.threads.iter().map(|t| t.st.retired).sum();
+        if total < self.cfg.warmup_insts {
+            return;
+        }
+        self.warmed = true;
+        self.measure_start_cycle = self.cycle;
+        self.fetched_total = 0;
+        self.mem.reset_stats();
+        for p in &mut self.pipes {
+            p.retired = 0;
+        }
+        for t in &mut self.threads {
+            t.st = ThreadStats {
+                benchmark: t.st.benchmark.clone(),
+                pipe: t.st.pipe,
+                ..Default::default()
+            };
+        }
+    }
+
+    /// Run to completion (retire target or cycle cap) and return the
+    /// statistics.
+    pub fn run(&mut self) -> SimStats {
+        while !self.stop && self.cycle < self.cfg.max_cycles {
+            self.step();
+        }
+        self.collect_stats()
+    }
+
+    /// Gather statistics (measured post-warm-up) without consuming the
+    /// processor.
+    pub fn collect_stats(&self) -> SimStats {
+        let threads: Vec<ThreadStats> = self.threads.iter().map(|t| t.st.clone()).collect();
+        let retired = threads.iter().map(|t| t.retired).sum();
+        SimStats {
+            cycles: self.cycle - self.measure_start_cycle,
+            threads,
+            mem: self.mem.stats(),
+            retired,
+            fetched_total: self.fetched_total,
+            per_pipe_retired: self.pipes.iter().map(|p| p.retired).collect(),
+        }
+    }
+
+    /// The simulated microarchitecture.
+    pub fn arch(&self) -> &hdsmt_pipeline::MicroArch {
+        &self.cfg.arch
+    }
+
+    /// Pipeline thread `t` currently runs on.
+    pub fn thread_pipe(&self, t: usize) -> u8 {
+        self.threads[t].pipe
+    }
+
+    /// Migrate thread `t` to `new_pipe` (dynamic re-mapping, §7 future
+    /// work). Panics if the target pipeline has no free context — for
+    /// swaps between full pipelines, use [`Self::remap_threads`].
+    pub fn remap_thread(&mut self, t: usize, new_pipe: u8) {
+        self.remap_threads(&[(t, new_pipe)]);
+    }
+
+    /// Migrate a batch of threads atomically: every mover is drained and
+    /// removed from its old pipeline before any is re-homed, so swaps
+    /// between full pipelines are legal as long as the *final* assignment
+    /// respects capacities.
+    ///
+    /// Each thread's uncommitted work is squashed — architectural
+    /// instructions re-enter through the replay queue, exactly like FLUSH
+    /// recovery — and fetch resumes on the new pipeline after a redirect
+    /// bubble.
+    pub fn remap_threads(&mut self, moves: &[(usize, u8)]) {
+        let now = self.cycle;
+        // Phase 1: drain and detach every mover.
+        for &(t, new_pipe) in moves {
+            assert!((new_pipe as usize) < self.pipes.len(), "no such pipeline");
+            if self.threads[t].pipe == new_pipe {
+                continue;
+            }
+            let seq_min = self.threads[t].last_committed_seq;
+            self.squash_younger(t, seq_min);
+            let (ras_state, ghr) = self.threads[t].ckpt.rewind_to(seq_min);
+            self.threads[t].ras.restore(ras_state);
+            self.dir.set_history(t, ghr);
+            debug_assert!(self.threads[t].rob.is_empty(), "drained thread keeps no ROB state");
+            debug_assert_eq!(self.threads[t].icount, 0, "drained thread holds no pre-issue slots");
+            let old = self.threads[t].pipe as usize;
+            self.pipes[old].threads.retain(|&x| x != t);
+        }
+        // Phase 2: re-home.
+        for &(t, new_pipe) in moves {
+            if self.threads[t].pipe == new_pipe {
+                continue;
+            }
+            let p = new_pipe as usize;
+            assert!(
+                self.cfg.arch.is_monolithic()
+                    || self.pipes[p].threads.len() < self.pipes[p].model.contexts as usize,
+                "pipeline {new_pipe} has no free context after the batch"
+            );
+            self.pipes[p].threads.push(t);
+            let th = &mut self.threads[t];
+            th.pipe = new_pipe;
+            th.st.pipe = new_pipe;
+            th.flush_gate = None;
+            th.wrong_path = None;
+            th.wrong_path_branch = None;
+            th.stalled_until = th.stalled_until.max(now + 1);
+            th.st.migrations += 1;
+        }
+    }
+
+    /// Debug invariant: the per-thread ICOUNT counters must equal the
+    /// actual pre-issue population. O(everything); test-only.
+    #[cfg(any(test, feature = "invariant-checks"))]
+    pub fn check_icount_invariant(&self) {
+        let mut counts = vec![0i32; self.threads.len()];
+        for p in &self.pipes {
+            for &id in p.buffer.iter() {
+                counts[self.pool.get(id).thread.index()] += 1;
+            }
+            for &id in p.decode_latch.iter().chain(p.dispatch_latch.iter()) {
+                counts[self.pool.get(id).thread.index()] += 1;
+            }
+            for q in [&p.iq, &p.fq, &p.lq] {
+                for id in q.iter() {
+                    let inst = self.pool.get(id);
+                    // Stores stay in the LQ after issue; only pre-issue
+                    // entries count.
+                    if inst.state == hdsmt_pipeline::InstState::Waiting {
+                        counts[inst.thread.index()] += 1;
+                    }
+                }
+            }
+        }
+        for (t, &c) in self.threads.iter().zip(counts.iter()) {
+            assert_eq!(t.icount, c, "icount drift on thread {:?}", t.id);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Squash machinery: walk-back recovery of rename state, structure purge,
+//! and correct-path replay collection (FLUSH re-fetch).
+
+use hdsmt_pipeline::InstState;
+use hdsmt_trace::DynInst;
+
+use super::Processor;
+
+impl Processor {
+    /// Squash every instruction of thread `t` younger than `seq_min`, in
+    /// every structure: decoupling buffer, stage latches, issue queues,
+    /// ROB and execution list. Rename mappings are walked back youngest-
+    /// first; squashed *correct-path* instructions are pushed onto the
+    /// thread's replay queue (oldest first) so FLUSH can re-fetch them.
+    ///
+    /// Returns the number of correct-path instructions queued for replay.
+    pub(crate) fn squash_younger(&mut self, t: usize, seq_min: u64) -> usize {
+        let pipe_idx = self.threads[t].pipe as usize;
+        let mut replay: Vec<(u64, DynInst)> = Vec::new();
+        let mut to_release: Vec<hdsmt_pipeline::InstId> = Vec::new();
+
+        // ---- ROB walk-back (renamed instructions), youngest first ----
+        loop {
+            let Some(tail) = self.threads[t].rob.tail() else { break };
+            let (seq, state, wrong, d, dst, dst_phys, old_phys, is_load) = {
+                let i = self.pool.get(tail);
+                (
+                    i.seq.0,
+                    i.state,
+                    i.wrong_path,
+                    i.d,
+                    i.d.sinst.dst,
+                    i.dst_phys,
+                    i.old_phys,
+                    i.d.sinst.op.is_load(),
+                )
+            };
+            if seq <= seq_min {
+                break;
+            }
+            self.threads[t].rob.pop_tail();
+
+            // Undo the rename, youngest-first restores the oldest mapping.
+            if let (Some(a), Some(phys)) = (dst, dst_phys) {
+                self.threads[t].map.restore(a, old_phys.expect("renamed dst keeps old mapping"));
+                self.regfile.free(phys);
+            }
+            match state {
+                InstState::Rename | InstState::Waiting => {
+                    self.threads[t].icount -= 1;
+                    to_release.push(tail);
+                }
+                InstState::Executing => {
+                    if is_load {
+                        self.threads[t].inflight_loads -= 1;
+                    }
+                    // Released when the writeback drain encounters it.
+                }
+                InstState::Done => {
+                    to_release.push(tail);
+                }
+                InstState::InBuffer | InstState::Decode => {
+                    unreachable!("pre-rename instructions are not in the ROB")
+                }
+            }
+            self.mark_squashed(tail, wrong, seq, &mut replay, t);
+            let _ = d;
+        }
+
+        // ---- front-end structures (pre-rename, so younger than the ROB
+        // tail): decoupling buffer and decode latch ----
+        let buffer_ids: Vec<hdsmt_pipeline::InstId> = self.pipes[pipe_idx]
+            .buffer
+            .iter()
+            .copied()
+            .chain(self.pipes[pipe_idx].decode_latch.iter().copied())
+            .collect();
+        for id in buffer_ids {
+            let (tid, seq, wrong) = {
+                let i = self.pool.get(id);
+                (i.thread.index(), i.seq.0, i.wrong_path)
+            };
+            if tid != t || seq <= seq_min {
+                continue;
+            }
+            self.threads[t].icount -= 1;
+            self.mark_squashed(id, wrong, seq, &mut replay, t);
+            to_release.push(id);
+        }
+
+        // ---- purge containers of marked instructions ----
+        {
+            let pool = &self.pool;
+            let pipe = &mut self.pipes[pipe_idx];
+            pipe.buffer.retain(|id| !pool.get(*id).squashed);
+            pipe.decode_latch.retain(|id| !pool.get(*id).squashed);
+            pipe.dispatch_latch.retain(|id| !pool.get(*id).squashed);
+            pipe.iq.retain(|id| !pool.get(*id).squashed);
+            pipe.fq.retain(|id| !pool.get(*id).squashed);
+            pipe.lq.retain(|id| !pool.get(*id).squashed);
+        }
+
+        // ---- release everything not owned by the execution list ----
+        let n_replay = replay.len();
+        for id in to_release {
+            self.pool.release(id);
+        }
+
+        // ---- assemble the replay queue, oldest first at the front ----
+        replay.sort_unstable_by_key(|&(seq, _)| seq);
+        for (_, d) in replay.into_iter().rev() {
+            self.threads[t].replay.push_front(d);
+        }
+        n_replay
+    }
+
+    /// Mark one instruction squashed, collect it for replay if it is
+    /// architectural, and clear any thread state that pointed at it.
+    fn mark_squashed(
+        &mut self,
+        id: hdsmt_pipeline::InstId,
+        wrong: bool,
+        seq: u64,
+        replay: &mut Vec<(u64, DynInst)>,
+        t: usize,
+    ) {
+        let d = self.pool.get(id).d;
+        self.pool.get_mut(id).squashed = true;
+        self.threads[t].st.squashed += 1;
+        if !wrong {
+            replay.push((seq, d));
+        }
+        if self.threads[t].wrong_path_branch == Some(id) {
+            // The branch that opened the wrong path is gone; the wrong path
+            // dies with it and fetch resumes on the replay/correct path.
+            self.threads[t].wrong_path = None;
+            self.threads[t].wrong_path_branch = None;
+        }
+        if self.threads[t].flush_gate == Some(id) {
+            self.threads[t].flush_gate = None;
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Top-level simulation driver.
+
+use crate::config::{SimConfig, ThreadSpec};
+use crate::proc::Processor;
+use crate::stats::SimStats;
+
+/// Result of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    pub arch: String,
+    pub mapping: Vec<u8>,
+    pub stats: SimStats,
+}
+
+impl SimResult {
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+}
+
+/// Run `workload` on the machine described by `cfg` under `mapping`
+/// (thread i → pipeline `mapping[i]`), until a thread retires its budget.
+pub fn run_sim(cfg: &SimConfig, workload: &[ThreadSpec], mapping: &[u8]) -> SimResult {
+    let mut proc = Processor::new(cfg.clone(), workload, mapping);
+    let stats = proc.run();
+    SimResult { arch: cfg.arch.name.clone(), mapping: mapping.to_vec(), stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsmt_pipeline::MicroArch;
+
+    fn spec(name: &str, seed: u64) -> ThreadSpec {
+        ThreadSpec::for_benchmark(name, seed)
+    }
+
+    fn quick(arch: &str, names: &[&str], mapping: &[u8], len: u64) -> SimResult {
+        let cfg = SimConfig::paper_defaults(MicroArch::parse(arch).unwrap(), len);
+        let workload: Vec<ThreadSpec> =
+            names.iter().enumerate().map(|(i, n)| spec(n, 100 + i as u64)).collect();
+        run_sim(&cfg, &workload, mapping)
+    }
+
+    #[test]
+    fn single_thread_gzip_runs_and_retires() {
+        let r = quick("M8", &["gzip"], &[0], 50_000);
+        // Commit can overshoot the target by at most one cycle's width.
+        let retired = r.stats.threads[0].retired;
+        assert!((50_000..50_008).contains(&retired), "retired {retired}");
+        let ipc = r.ipc();
+        assert!((1.0..8.0).contains(&ipc), "gzip IPC {ipc}");
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = quick("M8", &["gcc", "twolf"], &[0, 0], 20_000);
+        let b = quick("M8", &["gcc", "twolf"], &[0, 0], 20_000);
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+        assert_eq!(a.stats.retired, b.stats.retired);
+        assert_eq!(a.stats.threads[0].mispredicts, b.stats.threads[0].mispredicts);
+    }
+
+    #[test]
+    fn mcf_is_slower_than_gzip() {
+        let gzip = quick("M8", &["gzip"], &[0], 30_000);
+        let mcf = quick("M8", &["mcf"], &[0], 30_000);
+        assert!(
+            gzip.ipc() > 2.0 * mcf.ipc(),
+            "gzip {} vs mcf {}",
+            gzip.ipc(),
+            mcf.ipc()
+        );
+    }
+
+    #[test]
+    fn two_threads_beat_one_in_throughput() {
+        let one = quick("M8", &["gzip"], &[0], 30_000);
+        let two = quick("M8", &["gzip", "crafty"], &[0, 0], 30_000);
+        assert!(
+            two.ipc() > one.ipc() * 1.1,
+            "SMT must add throughput: {} vs {}",
+            two.ipc(),
+            one.ipc()
+        );
+    }
+
+    #[test]
+    fn multipipeline_runs_with_thread_separation() {
+        let r = quick("2M4+2M2", &["gzip", "mcf"], &[0, 2], 20_000);
+        assert!(r.stats.retired > 0);
+        assert!(r.stats.per_pipe_retired[0] > 0);
+        assert!(r.stats.per_pipe_retired[2] > 0);
+        assert_eq!(r.stats.per_pipe_retired[1], 0, "unused pipeline stays idle");
+    }
+
+    #[test]
+    fn wide_pipe_beats_narrow_pipe_for_ilp_thread() {
+        let wide = quick("2M4+2M2", &["gzip"], &[0], 30_000);
+        let narrow = quick("2M4+2M2", &["gzip"], &[2], 30_000);
+        assert!(
+            wide.ipc() > narrow.ipc() * 1.2,
+            "gzip on M4 {} must beat M2 {}",
+            wide.ipc(),
+            narrow.ipc()
+        );
+    }
+
+    #[test]
+    fn narrow_pipe_barely_hurts_mcf() {
+        // The M2 halves mcf's load-queue (16 vs 32), costing some memory-
+        // level parallelism, but the absolute IPC loss is tiny — which is
+        // why the heuristic parks high-miss threads on narrow pipes.
+        let wide = quick("2M4+2M2", &["mcf"], &[0], 8_000);
+        let narrow = quick("2M4+2M2", &["mcf"], &[2], 8_000);
+        assert!(
+            narrow.ipc() > wide.ipc() * 0.5,
+            "mcf on M2 {} should stay within 2x of M4 {}",
+            narrow.ipc(),
+            wide.ipc()
+        );
+        assert!(wide.ipc() - narrow.ipc() < 0.4, "absolute loss stays small");
+    }
+
+    #[test]
+    fn branches_resolve_and_flushes_fire() {
+        let r = quick("M8", &["mcf", "gcc"], &[0, 0], 30_000);
+        let t0 = &r.stats.threads[0];
+        assert!(t0.branches > 100, "branches must resolve");
+        assert!(t0.mispredict_rate() < 0.5);
+        assert!(t0.flushes > 0, "mcf under FLUSH must flush");
+        // And the flushed instructions replayed: retired ≥ flushes.
+        assert!(t0.retired > t0.flushes);
+    }
+
+    #[test]
+    fn wrong_path_fetching_happens() {
+        let r = quick("M8", &["twolf"], &[0], 20_000);
+        assert!(
+            r.stats.threads[0].wrong_path_fetched > 0,
+            "mispredictions must trigger wrong-path fetch"
+        );
+        assert!(r.stats.threads[0].mispredicts > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "contexts")]
+    fn capacity_violation_panics() {
+        // M2 pipelines hold one context.
+        let _ = quick("2M4+2M2", &["gzip", "mcf"], &[2, 2], 1_000);
+    }
+
+    #[test]
+    fn icount_invariant_holds_during_execution() {
+        let cfg = SimConfig::paper_defaults(MicroArch::parse("2M4+2M2").unwrap(), 10_000);
+        let workload = vec![spec("gcc", 5), spec("vpr", 6), spec("gzip", 7)];
+        let mut proc = Processor::new(cfg, &workload, &[0, 1, 2]);
+        for _ in 0..5_000 {
+            proc.step();
+            if proc.cycle() % 512 == 0 {
+                proc.check_icount_invariant();
+            }
+            if proc.finished() {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Simulation statistics.
+
+use hdsmt_mem::MemHierStats;
+
+/// Per-thread counters.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct ThreadStats {
+    pub benchmark: String,
+    /// Pipeline the thread was mapped to.
+    pub pipe: u8,
+    pub retired: u64,
+    /// Correct-path instructions fetched.
+    pub fetched: u64,
+    /// Wrong-path instructions fetched (speculation volume).
+    pub wrong_path_fetched: u64,
+    /// Conditional branches resolved / mispredicted.
+    pub branches: u64,
+    pub mispredicts: u64,
+    /// Indirect-target mispredictions (BTB/RAS).
+    pub target_mispredicts: u64,
+    /// FLUSH-policy flushes suffered.
+    pub flushes: u64,
+    /// Instructions squashed (all causes).
+    pub squashed: u64,
+    /// Cycles this thread's fetch was blocked by an I-cache miss.
+    pub icache_stall_cycles: u64,
+    /// Loads executed (correct path).
+    pub loads: u64,
+    /// Correct-path loads that missed the L1D (runtime input to dynamic
+    /// re-mapping).
+    pub dl1_misses: u64,
+    /// Times this thread was migrated to a different pipeline.
+    pub migrations: u64,
+}
+
+impl ThreadStats {
+    /// Conditional-branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+/// Whole-simulation result counters.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct SimStats {
+    pub cycles: u64,
+    pub threads: Vec<ThreadStats>,
+    pub mem: MemHierStats,
+    /// Total instructions committed.
+    pub retired: u64,
+    /// Fetch-slot utilisation: instructions fetched / (cycles × width).
+    pub fetched_total: u64,
+    /// Per-pipeline committed counts (utilisation analysis).
+    pub per_pipe_retired: Vec<u64>,
+}
+
+impl SimStats {
+    /// The paper's headline metric: committed instructions per cycle,
+    /// summed over all threads.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Per-thread IPC.
+    pub fn thread_ipc(&self, t: usize) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.threads[t].retired as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Harmonic mean — the aggregation the paper uses across workloads
+/// ("the harmonic mean of all workloads of a same type and size").
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let denom: f64 = values.iter().map(|v| 1.0 / v.max(1e-12)).sum();
+    values.len() as f64 / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_computation() {
+        let s = SimStats { cycles: 100, retired: 250, ..Default::default() };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+    }
+
+    #[test]
+    fn harmonic_mean_properties() {
+        assert!((harmonic_mean(&[2.0, 2.0]) - 2.0).abs() < 1e-12);
+        // Harmonic mean is dominated by the small value.
+        let h = harmonic_mean(&[1.0, 4.0]);
+        assert!((h - 1.6).abs() < 1e-12);
+        assert_eq!(harmonic_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mispredict_rate() {
+        let t = ThreadStats { branches: 100, mispredicts: 7, ..Default::default() };
+        assert!((t.mispredict_rate() - 0.07).abs() < 1e-12);
+    }
+}

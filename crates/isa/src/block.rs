@@ -1,0 +1,252 @@
+//! Basic blocks and their control-flow behaviour models.
+
+use crate::{Pc, StaticInst};
+
+/// Index of a basic block within its [`crate::Program`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// Control-flow behaviour at the end of a basic block.
+///
+/// The variants model the branch populations that drive SPECint2000 branch
+/// predictor behaviour: counted loops (near-perfectly predictable), biased
+/// conditionals (predictable up to their bias), low-bias conditionals
+/// (data-dependent, effectively unpredictable), calls/returns (exercising
+/// the RAS) and indirect jumps (exercising the BTB).
+#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+pub enum Terminator {
+    /// No control instruction; execution continues at `next`.
+    FallThrough { next: BlockId },
+    /// Counted loop back-edge: taken `trip` consecutive times, then falls
+    /// through to `exit` and the count restarts on re-entry.
+    Loop { back: BlockId, exit: BlockId, trip: u16 },
+    /// Conditional branch taken with i.i.d. probability `p_taken`.
+    /// `p_taken` near 0 or 1 models predictable branches; near 0.5 models
+    /// data-dependent branches no predictor can learn.
+    Cond { taken: BlockId, not_taken: BlockId, p_taken: f32 },
+    /// Unconditional direct jump.
+    Jump { target: BlockId },
+    /// Direct call; the matching `Return` transfers to `ret_to`.
+    Call { callee: BlockId, ret_to: BlockId },
+    /// Return through the call stack (predicted via the RAS).
+    Return,
+    /// Indirect jump with a probability distribution over targets
+    /// (weights need not be normalised; they are treated as relative).
+    Indirect { targets: Vec<(BlockId, f32)> },
+}
+
+impl Terminator {
+    /// The op the terminating static instruction must have, if any.
+    pub fn op(&self) -> Option<crate::Op> {
+        use crate::Op;
+        match self {
+            Terminator::FallThrough { .. } => None,
+            Terminator::Loop { .. } | Terminator::Cond { .. } => Some(Op::CondBranch),
+            Terminator::Jump { .. } => Some(Op::Jump),
+            Terminator::Call { .. } => Some(Op::Call),
+            Terminator::Return => Some(Op::Return),
+            Terminator::Indirect { .. } => Some(Op::IndirectJump),
+        }
+    }
+
+    /// All statically-known successor blocks (empty for `Return`).
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::FallThrough { next } => vec![*next],
+            Terminator::Loop { back, exit, .. } => vec![*back, *exit],
+            Terminator::Cond { taken, not_taken, .. } => vec![*taken, *not_taken],
+            Terminator::Jump { target } => vec![*target],
+            Terminator::Call { callee, ret_to } => vec![*callee, *ret_to],
+            Terminator::Return => vec![],
+            Terminator::Indirect { targets } => targets.iter().map(|(b, _)| *b).collect(),
+        }
+    }
+}
+
+/// A straight-line sequence of static instructions ending in (at most) one
+/// control transfer. PCs are assigned when the owning program is built.
+#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct BasicBlock {
+    pub id: BlockId,
+    /// PC of the first instruction; assigned by [`crate::Program::build`].
+    pub start: Pc,
+    /// Instructions, including the terminating control instruction (if the
+    /// terminator requires one) as the final element.
+    pub insts: Vec<StaticInst>,
+    pub term: Terminator,
+}
+
+impl BasicBlock {
+    /// Number of instructions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// PC of the instruction at `offset`.
+    #[inline]
+    pub fn pc_at(&self, offset: usize) -> Pc {
+        debug_assert!(offset < self.insts.len());
+        self.start.advance(offset as u64)
+    }
+
+    /// PC one past the final instruction (start of the fall-through block in
+    /// the laid-out program image).
+    #[inline]
+    pub fn end(&self) -> Pc {
+        self.start.advance(self.insts.len() as u64)
+    }
+
+    /// Structural validity: non-empty, final instruction agrees with the
+    /// terminator, no control instruction in the middle of the block.
+    pub fn check(&self) -> Result<(), String> {
+        if self.insts.is_empty() {
+            return Err(format!("{:?}: empty block", self.id));
+        }
+        for inst in &self.insts {
+            inst.check().map_err(|e| format!("{:?}: {e}", self.id))?;
+        }
+        let body_end = match self.term.op() {
+            Some(op) => {
+                let last = self.insts.last().unwrap();
+                if last.op != op {
+                    return Err(format!(
+                        "{:?}: terminator needs {:?} but last inst is {:?}",
+                        self.id, op, last.op
+                    ));
+                }
+                self.insts.len() - 1
+            }
+            None => self.insts.len(),
+        };
+        if self.insts[..body_end].iter().any(|i| i.op.is_control()) {
+            return Err(format!("{:?}: control instruction inside block body", self.id));
+        }
+        if let Terminator::Indirect { targets } = &self.term {
+            if targets.is_empty() {
+                return Err(format!("{:?}: indirect jump with no targets", self.id));
+            }
+            if targets.iter().any(|(_, w)| !w.is_finite() || *w < 0.0) {
+                return Err(format!("{:?}: invalid indirect weight", self.id));
+            }
+        }
+        if let Terminator::Cond { p_taken, .. } = self.term {
+            if !(0.0..=1.0).contains(&p_taken) {
+                return Err(format!("{:?}: p_taken out of range", self.id));
+            }
+        }
+        if let Terminator::Loop { trip, .. } = self.term {
+            if trip == 0 {
+                return Err(format!("{:?}: loop with zero trip count", self.id));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArchReg, Op};
+
+    fn body_inst() -> StaticInst {
+        StaticInst::alu(Op::IntAlu, ArchReg::int(1), [Some(ArchReg::int(2)), None])
+    }
+
+    fn branch_inst() -> StaticInst {
+        StaticInst::control(Op::CondBranch, Some(ArchReg::int(1)))
+    }
+
+    #[test]
+    fn block_pcs() {
+        let b = BasicBlock {
+            id: BlockId(0),
+            start: Pc(0x1000),
+            insts: vec![body_inst(), body_inst(), branch_inst()],
+            term: Terminator::Cond { taken: BlockId(1), not_taken: BlockId(2), p_taken: 0.5 },
+        };
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.pc_at(0), Pc(0x1000));
+        assert_eq!(b.pc_at(2), Pc(0x1008));
+        assert_eq!(b.end(), Pc(0x100c));
+        b.check().unwrap();
+    }
+
+    #[test]
+    fn check_rejects_terminator_mismatch() {
+        let b = BasicBlock {
+            id: BlockId(0),
+            start: Pc(0),
+            insts: vec![body_inst()],
+            term: Terminator::Jump { target: BlockId(1) },
+        };
+        assert!(b.check().is_err());
+    }
+
+    #[test]
+    fn check_rejects_mid_block_control() {
+        let b = BasicBlock {
+            id: BlockId(0),
+            start: Pc(0),
+            insts: vec![branch_inst(), body_inst()],
+            term: Terminator::FallThrough { next: BlockId(1) },
+        };
+        assert!(b.check().is_err());
+    }
+
+    #[test]
+    fn check_rejects_empty_block() {
+        let b = BasicBlock {
+            id: BlockId(0),
+            start: Pc(0),
+            insts: vec![],
+            term: Terminator::FallThrough { next: BlockId(1) },
+        };
+        assert!(b.check().is_err());
+    }
+
+    #[test]
+    fn check_rejects_bad_probability() {
+        let b = BasicBlock {
+            id: BlockId(0),
+            start: Pc(0),
+            insts: vec![branch_inst()],
+            term: Terminator::Cond { taken: BlockId(1), not_taken: BlockId(2), p_taken: 1.5 },
+        };
+        assert!(b.check().is_err());
+    }
+
+    #[test]
+    fn successors_enumeration() {
+        let t = Terminator::Cond { taken: BlockId(1), not_taken: BlockId(2), p_taken: 0.3 };
+        assert_eq!(t.successors(), vec![BlockId(1), BlockId(2)]);
+        assert!(Terminator::Return.successors().is_empty());
+        let t = Terminator::Indirect { targets: vec![(BlockId(3), 1.0), (BlockId(4), 2.0)] };
+        assert_eq!(t.successors(), vec![BlockId(3), BlockId(4)]);
+    }
+
+    #[test]
+    fn terminator_ops() {
+        assert_eq!(Terminator::Return.op(), Some(Op::Return));
+        assert_eq!(Terminator::FallThrough { next: BlockId(0) }.op(), None);
+        assert_eq!(Terminator::Jump { target: BlockId(0) }.op(), Some(Op::Jump));
+    }
+}

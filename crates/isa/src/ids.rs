@@ -1,0 +1,92 @@
+//! Small newtype identifiers used throughout the simulator.
+
+/// A program counter. Synthetic programs lay instructions out at 4-byte
+/// boundaries, exactly like the Alpha ISA the paper traced.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Pc(pub u64);
+
+impl Pc {
+    /// Byte size of one encoded instruction (Alpha-style fixed width).
+    pub const INST_BYTES: u64 = 4;
+
+    /// The PC of the instruction following this one in straight-line code.
+    #[inline]
+    pub fn next(self) -> Pc {
+        Pc(self.0 + Self::INST_BYTES)
+    }
+
+    /// Advance by `n` instructions.
+    #[inline]
+    pub fn advance(self, n: u64) -> Pc {
+        Pc(self.0 + n * Self::INST_BYTES)
+    }
+
+    /// The cache-line-relative instruction offset for a `line_bytes` line.
+    #[inline]
+    pub fn line_offset(self, line_bytes: u64) -> u64 {
+        (self.0 % line_bytes) / Self::INST_BYTES
+    }
+}
+
+impl core::fmt::Debug for Pc {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "pc:{:#x}", self.0)
+    }
+}
+
+/// A hardware thread context identifier, unique within one simulated
+/// processor (the paper evaluates up to 8 contexts).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct ThreadId(pub u8);
+
+impl ThreadId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Per-thread dynamic sequence number: total order of a thread's dynamic
+/// instructions, used for age comparisons and squashing.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct SeqNum(pub u64);
+
+impl SeqNum {
+    #[inline]
+    pub fn next(self) -> SeqNum {
+        SeqNum(self.0 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_next_and_advance() {
+        let p = Pc(0x1000);
+        assert_eq!(p.next(), Pc(0x1004));
+        assert_eq!(p.advance(3), Pc(0x100c));
+    }
+
+    #[test]
+    fn pc_line_offset() {
+        // 32-byte lines hold 8 instructions.
+        assert_eq!(Pc(0x1000).line_offset(32), 0);
+        assert_eq!(Pc(0x1004).line_offset(32), 1);
+        assert_eq!(Pc(0x101c).line_offset(32), 7);
+        assert_eq!(Pc(0x1020).line_offset(32), 0);
+    }
+
+    #[test]
+    fn seqnum_ordering() {
+        let a = SeqNum(5);
+        assert!(a < a.next());
+    }
+}

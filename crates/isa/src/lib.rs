@@ -1,0 +1,126 @@
+//! # hdsmt-isa — instruction set and static program representation
+//!
+//! The hdSMT simulator (Acosta et al., ICPP 2005) is trace driven: a
+//! front-end produces a dynamic instruction stream per thread, while a
+//! *basic-block dictionary* containing every static instruction allows the
+//! processor model to keep fetching and executing down **wrong paths** after
+//! a branch misprediction, exactly as the paper's SMTSIM derivative does
+//! ("Our simulator also permits execution along wrong paths by having a
+//! separate basic block dictionary in which information of all static
+//! instructions is contained", §4).
+//!
+//! This crate defines the pieces shared by every other crate:
+//!
+//! * [`Op`] — the instruction-class alphabet (int/fp ALU ops, loads, stores,
+//!   branch flavours) together with functional-unit kinds and latencies;
+//! * [`ArchReg`] — architectural registers (32 integer + 32 floating point);
+//! * [`StaticInst`] — one static instruction, including the *behavioural
+//!   annotations* (memory-access generator class) used by the synthetic
+//!   trace layer;
+//! * [`BasicBlock`] / [`Terminator`] — the CFG node and its control-flow
+//!   behaviour model;
+//! * [`Program`] — a whole synthetic program plus the PC → static-instruction
+//!   dictionary used for wrong-path fetch.
+//!
+//! Nothing here is cycle-accurate; this is purely the *architecture-level*
+//! vocabulary.
+
+pub mod block;
+pub mod ids;
+pub mod inst;
+pub mod op;
+pub mod program;
+
+pub use block::{BasicBlock, BlockId, Terminator};
+pub use ids::{Pc, SeqNum, ThreadId};
+pub use inst::{MemGen, MemRegion, StaticInst};
+pub use op::{FuKind, Op};
+pub use program::{Program, ProgramStats};
+
+/// Number of architectural integer registers.
+pub const NUM_INT_ARCH_REGS: u16 = 32;
+/// Number of architectural floating-point registers.
+pub const NUM_FP_ARCH_REGS: u16 = 32;
+/// Total architectural register namespace (int followed by fp).
+pub const NUM_ARCH_REGS: u16 = NUM_INT_ARCH_REGS + NUM_FP_ARCH_REGS;
+
+/// An architectural register. Values `0..32` are integer registers,
+/// `32..64` floating-point registers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct ArchReg(pub u8);
+
+impl ArchReg {
+    /// First integer register.
+    pub const INT0: ArchReg = ArchReg(0);
+    /// First floating-point register.
+    pub const FP0: ArchReg = ArchReg(NUM_INT_ARCH_REGS as u8);
+
+    /// Integer register `n` (panics if `n >= 32`).
+    #[inline]
+    pub fn int(n: u8) -> Self {
+        assert!(n < NUM_INT_ARCH_REGS as u8, "integer register out of range");
+        ArchReg(n)
+    }
+
+    /// Floating-point register `n` (panics if `n >= 32`).
+    #[inline]
+    pub fn fp(n: u8) -> Self {
+        assert!(n < NUM_FP_ARCH_REGS as u8, "fp register out of range");
+        ArchReg(NUM_INT_ARCH_REGS as u8 + n)
+    }
+
+    /// True if this is a floating-point register.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        self.0 >= NUM_INT_ARCH_REGS as u8
+    }
+
+    /// Index into a flat 64-entry register map.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Debug for ArchReg {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.is_fp() {
+            write!(f, "f{}", self.0 - NUM_INT_ARCH_REGS as u8)
+        } else {
+            write!(f, "r{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_reg_classes() {
+        assert!(!ArchReg::int(0).is_fp());
+        assert!(!ArchReg::int(31).is_fp());
+        assert!(ArchReg::fp(0).is_fp());
+        assert!(ArchReg::fp(31).is_fp());
+        assert_eq!(ArchReg::fp(0).index(), 32);
+        assert_eq!(ArchReg::int(7).index(), 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn int_reg_out_of_range_panics() {
+        let _ = ArchReg::int(32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fp_reg_out_of_range_panics() {
+        let _ = ArchReg::fp(32);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", ArchReg::int(3)), "r3");
+        assert_eq!(format!("{:?}", ArchReg::fp(3)), "f3");
+    }
+}

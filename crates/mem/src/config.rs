@@ -1,0 +1,116 @@
+//! Memory-hierarchy configuration (defaults = Table 1 of the paper).
+
+use crate::cache::CacheConfig;
+
+/// Full parameter set for [`crate::MemHier`].
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MemConfig {
+    pub l1i: CacheConfig,
+    pub l1d: CacheConfig,
+    pub l2: CacheConfig,
+    /// L1 hit latency (cycles): "L1 lat./misspenalty 3/22 cyc."
+    pub l1_lat: u32,
+    /// Added cycles for an L1 miss that hits in L2 (includes the 12-cycle
+    /// L2 access plus transfer).
+    pub l1_miss_penalty: u32,
+    /// Added cycles for an L2 miss: "Main Memory Latency 250 cyc."
+    pub mem_lat: u32,
+    /// Page size in bytes (Alpha-style 8 KB pages).
+    pub page_bytes: u64,
+    /// I-TLB entries ("48 ent.").
+    pub itlb_entries: usize,
+    /// D-TLB entries ("128 ent.").
+    pub dtlb_entries: usize,
+    /// TLB miss penalty ("300 cyc.").
+    pub tlb_miss_penalty: u32,
+    /// Outstanding-miss capacity per L1 cache (MSHR file size).
+    pub mshrs: usize,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            l1i: CacheConfig { size_bytes: 64 * 1024, line_bytes: 32, ways: 2, banks: 8 },
+            l1d: CacheConfig { size_bytes: 64 * 1024, line_bytes: 32, ways: 2, banks: 8 },
+            l2: CacheConfig { size_bytes: 512 * 1024, line_bytes: 64, ways: 2, banks: 8 },
+            l1_lat: 3,
+            l1_miss_penalty: 22,
+            mem_lat: 250,
+            page_bytes: 8 * 1024,
+            itlb_entries: 48,
+            dtlb_entries: 128,
+            tlb_miss_penalty: 300,
+            mshrs: 16,
+        }
+    }
+}
+
+impl MemConfig {
+    /// Total load-to-use latency of an L2 hit — the FLUSH fetch policy's
+    /// threshold: a load outstanding longer than this is predicted to be an
+    /// L2 miss (Tullsen & Brown, MICRO-34).
+    #[inline]
+    pub fn l2_hit_latency(&self) -> u32 {
+        self.l1_lat + self.l1_miss_penalty
+    }
+
+    /// Total latency of a full miss to memory.
+    #[inline]
+    pub fn mem_latency(&self) -> u32 {
+        self.l2_hit_latency() + self.mem_lat
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        self.l1i.validate()?;
+        self.l1d.validate()?;
+        self.l2.validate()?;
+        if !self.page_bytes.is_power_of_two() {
+            return Err("page size must be a power of two".into());
+        }
+        if self.itlb_entries == 0 || self.dtlb_entries == 0 {
+            return Err("TLBs must have at least one entry".into());
+        }
+        if self.mshrs == 0 {
+            return Err("need at least one MSHR".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1() {
+        let c = MemConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.l1d.size_bytes, 64 * 1024);
+        assert_eq!(c.l1d.ways, 2);
+        assert_eq!(c.l1d.banks, 8);
+        assert_eq!(c.l2.size_bytes, 512 * 1024);
+        assert_eq!(c.l1_lat, 3);
+        assert_eq!(c.l1_miss_penalty, 22);
+        assert_eq!(c.mem_lat, 250);
+        assert_eq!(c.itlb_entries, 48);
+        assert_eq!(c.dtlb_entries, 128);
+        assert_eq!(c.tlb_miss_penalty, 300);
+    }
+
+    #[test]
+    fn derived_latencies() {
+        let c = MemConfig::default();
+        assert_eq!(c.l2_hit_latency(), 25);
+        assert_eq!(c.mem_latency(), 275);
+    }
+
+    #[test]
+    fn validation_catches_bad_params() {
+        let mut c = MemConfig::default();
+        c.page_bytes = 3000;
+        assert!(c.validate().is_err());
+        let mut c = MemConfig::default();
+        c.mshrs = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Miss-status holding registers: outstanding-miss tracking with
+//! coalescing and structural back-pressure.
+
+/// One MSHR file (per cache level).
+pub struct MshrFile {
+    /// (line address, fill-completion cycle) for each outstanding miss.
+    entries: Vec<(u64, u64)>,
+    capacity: usize,
+    /// Coalesced (secondary) misses observed.
+    coalesced: u64,
+    /// Allocation failures due to a full file.
+    full_stalls: u64,
+}
+
+impl MshrFile {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        MshrFile { entries: Vec::with_capacity(capacity), capacity, coalesced: 0, full_stalls: 0 }
+    }
+
+    /// Drop entries whose fills have completed by `now`.
+    pub fn expire(&mut self, now: u64) {
+        self.entries.retain(|&(_, ready)| ready > now);
+    }
+
+    /// Is a miss for `line` already outstanding at `now`? Returns its
+    /// completion cycle (coalescing).
+    pub fn lookup(&mut self, line: u64, now: u64) -> Option<u64> {
+        self.expire(now);
+        let hit = self.entries.iter().find(|&&(l, _)| l == line).map(|&(_, r)| r);
+        if hit.is_some() {
+            self.coalesced += 1;
+        }
+        hit
+    }
+
+    /// Try to allocate an entry for a new miss on `line` completing at
+    /// `ready`. Returns `false` (and records a stall) when the file is full
+    /// — the caller must replay the access later.
+    pub fn allocate(&mut self, line: u64, ready: u64, now: u64) -> bool {
+        self.expire(now);
+        if self.entries.len() >= self.capacity {
+            self.full_stalls += 1;
+            return false;
+        }
+        self.entries.push((line, ready));
+        true
+    }
+
+    /// Outstanding misses at `now`.
+    pub fn outstanding(&mut self, now: u64) -> usize {
+        self.expire(now);
+        self.entries.len()
+    }
+
+    /// (coalesced hits, full-file stalls).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.coalesced, self.full_stalls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesces_same_line() {
+        let mut m = MshrFile::new(4);
+        assert!(m.allocate(10, 100, 0));
+        assert_eq!(m.lookup(10, 5), Some(100));
+        assert_eq!(m.lookup(11, 5), None);
+        assert_eq!(m.stats().0, 1);
+    }
+
+    #[test]
+    fn entries_expire_at_completion() {
+        let mut m = MshrFile::new(2);
+        assert!(m.allocate(10, 100, 0));
+        assert_eq!(m.lookup(10, 99), Some(100));
+        assert_eq!(m.lookup(10, 100), None, "fill completed at cycle 100");
+        assert_eq!(m.outstanding(100), 0);
+    }
+
+    #[test]
+    fn full_file_applies_back_pressure() {
+        let mut m = MshrFile::new(2);
+        assert!(m.allocate(1, 50, 0));
+        assert!(m.allocate(2, 50, 0));
+        assert!(!m.allocate(3, 50, 0), "third concurrent miss must stall");
+        assert_eq!(m.stats().1, 1);
+        // After the fills complete, capacity frees up.
+        assert!(m.allocate(3, 120, 60));
+    }
+}

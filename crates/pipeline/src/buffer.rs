@@ -1,0 +1,126 @@
+//! Per-pipeline decoupling buffers.
+//!
+//! "In order to decouple the fetch engine from the characteristics of each
+//! specific pipeline it feeds, some small buffers are added before each
+//! pipeline … the fetch engine inserts in-order the fetched instructions at
+//! its own rate while each pipeline extracts in-order instructions
+//! according to its width." (§2)
+//!
+//! A squash must also be able to delete a thread's instructions that are
+//! still sitting in the buffer, hence `retain`.
+
+use std::collections::VecDeque;
+
+/// Fixed-capacity FIFO. Backed by a pre-sized `VecDeque`; never grows past
+/// its capacity, so steady-state operation is allocation-free.
+pub struct RingBuf<T> {
+    q: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> RingBuf<T> {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        RingBuf { q: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.q.len() >= self.capacity
+    }
+
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    #[inline]
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.q.len()
+    }
+
+    /// Append; `false` when full (fetch back-pressure).
+    pub fn push_back(&mut self, v: T) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.q.push_back(v);
+        true
+    }
+
+    /// In-order extraction by the pipeline's decode stage.
+    #[inline]
+    pub fn pop_front(&mut self) -> Option<T> {
+        self.q.pop_front()
+    }
+
+    #[inline]
+    pub fn front(&self) -> Option<&T> {
+        self.q.front()
+    }
+
+    /// Squash support: drop entries failing the predicate, preserving order.
+    pub fn retain(&mut self, f: impl FnMut(&T) -> bool) {
+        self.q.retain(f);
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.q.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_with_capacity() {
+        let mut b = RingBuf::new(2);
+        assert!(b.push_back(1));
+        assert!(b.push_back(2));
+        assert!(!b.push_back(3), "full buffer applies back-pressure");
+        assert_eq!(b.pop_front(), Some(1));
+        assert!(b.push_back(3));
+        assert_eq!(b.pop_front(), Some(2));
+        assert_eq!(b.pop_front(), Some(3));
+        assert_eq!(b.pop_front(), None);
+    }
+
+    #[test]
+    fn retain_preserves_order() {
+        let mut b = RingBuf::new(8);
+        for i in 0..6 {
+            b.push_back(i);
+        }
+        b.retain(|&v| v != 2 && v != 4);
+        let left: Vec<i32> = std::iter::from_fn(|| b.pop_front()).collect();
+        assert_eq!(left, [0, 1, 3, 5]);
+    }
+
+    #[test]
+    fn free_slots_accounting() {
+        let mut b = RingBuf::new(4);
+        assert_eq!(b.free_slots(), 4);
+        b.push_back(1);
+        b.push_back(2);
+        assert_eq!(b.free_slots(), 2);
+        b.pop_front();
+        assert_eq!(b.free_slots(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _ = RingBuf::<u32>::new(0);
+    }
+}

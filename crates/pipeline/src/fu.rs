@@ -1,0 +1,74 @@
+//! Functional-unit pools.
+//!
+//! Each pipeline owns private pools of integer, floating-point and
+//! load/store units (Fig 2(a)). Pipelined ops occupy their unit for one
+//! cycle; unpipelined ops (divides) hold it for their full latency.
+
+/// A pool of identical functional units.
+pub struct FuPool {
+    /// Cycle each unit becomes free.
+    busy_until: Vec<u64>,
+}
+
+impl FuPool {
+    pub fn new(count: usize) -> Self {
+        FuPool { busy_until: vec![0; count] }
+    }
+
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// Units free at `now`.
+    pub fn available(&self, now: u64) -> usize {
+        self.busy_until.iter().filter(|&&b| b <= now).count()
+    }
+
+    /// Try to claim a unit at `now`, holding it for `occupy` cycles
+    /// (1 for pipelined ops, the full latency for unpipelined ones).
+    pub fn try_issue(&mut self, now: u64, occupy: u32) -> bool {
+        debug_assert!(occupy >= 1);
+        if let Some(u) = self.busy_until.iter_mut().find(|b| **b <= now) {
+            *u = now + occupy as u64;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_units_accept_one_per_cycle() {
+        let mut p = FuPool::new(2);
+        assert!(p.try_issue(10, 1));
+        assert!(p.try_issue(10, 1));
+        assert!(!p.try_issue(10, 1), "both units claimed this cycle");
+        assert_eq!(p.available(10), 0);
+        assert!(p.try_issue(11, 1), "pipelined units free next cycle");
+    }
+
+    #[test]
+    fn unpipelined_op_blocks_unit() {
+        let mut p = FuPool::new(1);
+        assert!(p.try_issue(0, 20)); // a divide
+        for cyc in 1..20 {
+            assert!(!p.try_issue(cyc, 1), "unit busy at {cyc}");
+        }
+        assert!(p.try_issue(20, 1));
+    }
+
+    #[test]
+    fn availability_tracks_time() {
+        let mut p = FuPool::new(3);
+        p.try_issue(0, 5);
+        p.try_issue(0, 1);
+        assert_eq!(p.available(0), 1);
+        assert_eq!(p.available(1), 2);
+        assert_eq!(p.available(5), 3);
+    }
+}

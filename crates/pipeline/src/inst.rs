@@ -1,0 +1,219 @@
+//! In-flight instruction records and the slab pool that owns them.
+//!
+//! Every dynamic instruction travelling the pipeline is one slot in an
+//! [`InstPool`] (slab + free list — no per-instruction heap allocation),
+//! addressed by a 32-bit [`InstId`]. All cross-structure references (ROB,
+//! queues, buffers, FU writeback lists) are `InstId`s.
+
+use hdsmt_bpred::{DirSnapshot, RasSnapshot};
+use hdsmt_isa::{Pc, SeqNum, ThreadId};
+use hdsmt_trace::DynInst;
+
+use crate::regfile::PhysReg;
+
+/// Index of an in-flight instruction in the [`InstPool`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstId(pub u32);
+
+impl core::fmt::Debug for InstId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// Where in the pipeline an instruction currently is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InstState {
+    /// Sitting in the per-pipeline decoupling buffer.
+    InBuffer,
+    /// In the decode stage latch.
+    Decode,
+    /// In the rename stage latch.
+    Rename,
+    /// Dispatched: waiting in an issue queue for operands/FU.
+    Waiting,
+    /// Issued to a functional unit; executing.
+    Executing,
+    /// Result produced; waiting for in-order commit.
+    Done,
+}
+
+/// One in-flight dynamic instruction.
+#[derive(Clone, Debug)]
+pub struct InFlight {
+    pub thread: ThreadId,
+    /// Pipeline this instruction was steered to.
+    pub pipe: u8,
+    /// Per-thread program-order sequence number.
+    pub seq: SeqNum,
+    pub d: DynInst,
+    pub state: InstState,
+    /// Fabricated down a mispredicted path?
+    pub wrong_path: bool,
+
+    // ---- rename ----
+    pub dst_phys: Option<PhysReg>,
+    /// Previous physical mapping of the destination architectural register
+    /// (for walk-back squash recovery; freed at commit).
+    pub old_phys: Option<PhysReg>,
+    pub src_phys: [Option<PhysReg>; 2],
+
+    // ---- execution ----
+    /// Cycle the result becomes available (valid once `Executing`).
+    pub ready_cycle: u64,
+    /// Cycle this instruction entered `Executing` (FLUSH policy timing).
+    pub issue_cycle: u64,
+    /// While `Waiting`: earliest cycle a replayed access may retry
+    /// (MSHR-full back-pressure).
+    pub retry_at: u64,
+    /// Load was satisfied by store-to-load forwarding.
+    pub forwarded: bool,
+    /// Squashed while executing; skipped and reclaimed at drain.
+    pub squashed: bool,
+
+    // ---- control speculation ----
+    pub pred_taken: bool,
+    pub pred_target: Pc,
+    /// Direction/target misprediction detected at fetch against the oracle
+    /// stream; acted upon when the branch resolves.
+    pub mispredicted: bool,
+    pub dir_snap: DirSnapshot,
+    /// RAS state *after* this instruction's own push/pop.
+    pub ras_snap: RasSnapshot,
+}
+
+impl InFlight {
+    /// Fresh record for a newly fetched instruction.
+    pub fn new(thread: ThreadId, pipe: u8, seq: SeqNum, d: DynInst, wrong_path: bool) -> Self {
+        InFlight {
+            thread,
+            pipe,
+            seq,
+            d,
+            state: InstState::InBuffer,
+            wrong_path,
+            dst_phys: None,
+            old_phys: None,
+            src_phys: [None, None],
+            ready_cycle: 0,
+            issue_cycle: 0,
+            retry_at: 0,
+            forwarded: false,
+            squashed: false,
+            pred_taken: false,
+            pred_target: Pc(0),
+            mispredicted: false,
+            dir_snap: DirSnapshot::default(),
+            ras_snap: RasSnapshot::default(),
+        }
+    }
+}
+
+/// Slab of in-flight instructions with an intrusive free list.
+pub struct InstPool {
+    slots: Vec<InFlight>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl InstPool {
+    /// `capacity` should cover the worst-case in-flight population
+    /// (ROBs + decoupling buffers + stage latches).
+    pub fn new(capacity: usize) -> Self {
+        InstPool { slots: Vec::with_capacity(capacity), free: Vec::new(), live: 0 }
+    }
+
+    /// Insert a record, returning its id. Amortised O(1), allocation-free
+    /// once the pool has grown to its steady-state size.
+    pub fn alloc(&mut self, inst: InFlight) -> InstId {
+        self.live += 1;
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = inst;
+                InstId(i)
+            }
+            None => {
+                self.slots.push(inst);
+                InstId((self.slots.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// Release a record for reuse.
+    pub fn release(&mut self, id: InstId) {
+        debug_assert!(self.live > 0);
+        self.live -= 1;
+        self.free.push(id.0);
+    }
+
+    #[inline]
+    pub fn get(&self, id: InstId) -> &InFlight {
+        &self.slots[id.0 as usize]
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self, id: InstId) -> &mut InFlight {
+        &mut self.slots[id.0 as usize]
+    }
+
+    /// Currently live records.
+    #[inline]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsmt_isa::{ArchReg, Op, StaticInst};
+
+    fn mk(seq: u64) -> InFlight {
+        let d = DynInst {
+            pc: Pc(0x1000),
+            sinst: StaticInst::alu(Op::IntAlu, ArchReg::int(1), [None, None]),
+            addr: 0,
+            ctrl: None,
+        };
+        InFlight::new(ThreadId(0), 0, SeqNum(seq), d, false)
+    }
+
+    #[test]
+    fn alloc_get_release_cycle() {
+        let mut p = InstPool::new(8);
+        let a = p.alloc(mk(1));
+        let b = p.alloc(mk(2));
+        assert_eq!(p.get(a).seq, SeqNum(1));
+        assert_eq!(p.get(b).seq, SeqNum(2));
+        assert_eq!(p.live(), 2);
+        p.release(a);
+        assert_eq!(p.live(), 1);
+        // Slot reuse.
+        let c = p.alloc(mk(3));
+        assert_eq!(c, a, "freed slot must be reused");
+        assert_eq!(p.get(c).seq, SeqNum(3));
+    }
+
+    #[test]
+    fn no_growth_after_steady_state() {
+        let mut p = InstPool::new(4);
+        let ids: Vec<InstId> = (0..4).map(|i| p.alloc(mk(i))).collect();
+        let cap = p.slots.capacity();
+        for &id in &ids {
+            p.release(id);
+        }
+        for i in 0..100 {
+            let id = p.alloc(mk(i));
+            p.release(id);
+        }
+        assert_eq!(p.slots.capacity(), cap, "steady-state reuse must not grow the slab");
+    }
+
+    #[test]
+    fn mutation_through_get_mut() {
+        let mut p = InstPool::new(2);
+        let a = p.alloc(mk(1));
+        p.get_mut(a).state = InstState::Done;
+        assert_eq!(p.get(a).state, InstState::Done);
+    }
+}

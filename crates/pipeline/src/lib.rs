@@ -1,0 +1,39 @@
+//! # hdsmt-pipeline — the out-of-order execution backend
+//!
+//! An hdSMT processor "comprises all the pipeline stages of the conventional
+//! processor but the fetch stage" in each cluster (§2): decode, register
+//! rename, the instruction queues (IQ/FQ/LQ), the functional units, and
+//! instruction completion, all private per pipeline; the physical register
+//! file is shared chip-wide. This crate provides those structures plus the
+//! four pipeline models of Fig 2(a):
+//!
+//! | | M8 | M6 | M4 | M2 |
+//! |---|---|---|---|---|
+//! | Hardware contexts | 4 | 2 | 2 | 1 |
+//! | Max. instr./cycle | 8 | 6 | 4 | 2 |
+//! | Max. threads/cycle | 2 | 2 | 2 | 1 |
+//! | Queues (IQ/FQ/LQ) | 64 | 32 | 32 | 16 |
+//! | Integer FUs | 6 | 4 | 3 | 1 |
+//! | FP FUs | 3 | 2 | 2 | 1 |
+//! | LD/ST units | 4 | 2 | 2 | 1 |
+//!
+//! The cycle-by-cycle *orchestration* of these structures (fetch policies,
+//! the stage loop, squash/recovery) lives in `hdsmt-core`; everything here
+//! is independently testable state machinery, designed for zero per-cycle
+//! heap allocation (slab + free list, fixed rings, index-based links).
+
+pub mod buffer;
+pub mod fu;
+pub mod inst;
+pub mod model;
+pub mod queue;
+pub mod regfile;
+pub mod rob;
+
+pub use buffer::RingBuf;
+pub use fu::FuPool;
+pub use inst::{InFlight, InstId, InstPool, InstState};
+pub use model::{MicroArch, PipeModel, M2, M4, M6, M8};
+pub use queue::IssueQueue;
+pub use regfile::{PhysReg, RegFile, RenameMap};
+pub use rob::Rob;

@@ -1,0 +1,116 @@
+//! Issue queues (IQ / FQ / LQ).
+//!
+//! Entries stay insertion-ordered, which is program order per thread and
+//! dispatch order globally — the issue stage scans oldest-first, the
+//! standard heuristic. Capacities come from the pipeline model (Fig 2(a)).
+
+use crate::inst::InstId;
+
+/// One issue queue: an insertion-ordered, capacity-bounded list.
+pub struct IssueQueue {
+    entries: Vec<InstId>,
+    capacity: usize,
+}
+
+impl IssueQueue {
+    pub fn new(capacity: usize) -> Self {
+        IssueQueue { entries: Vec::with_capacity(capacity), capacity }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    #[inline]
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Insert at the tail. Returns `false` when full (dispatch stalls).
+    pub fn push(&mut self, id: InstId) -> bool {
+        if !self.has_space() {
+            return false;
+        }
+        self.entries.push(id);
+        true
+    }
+
+    /// Remove a specific instruction (after issue). O(n), preserving order.
+    pub fn remove(&mut self, id: InstId) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&e| e == id) {
+            self.entries.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Oldest-first iteration.
+    pub fn iter(&self) -> impl Iterator<Item = InstId> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Keep only entries satisfying `f` (squash support).
+    pub fn retain(&mut self, f: impl FnMut(&InstId) -> bool) {
+        self.entries.retain(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_enforced() {
+        let mut q = IssueQueue::new(2);
+        assert!(q.push(InstId(1)));
+        assert!(q.push(InstId(2)));
+        assert!(!q.push(InstId(3)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn oldest_first_iteration() {
+        let mut q = IssueQueue::new(4);
+        for i in [5, 1, 9] {
+            q.push(InstId(i));
+        }
+        let order: Vec<u32> = q.iter().map(|i| i.0).collect();
+        assert_eq!(order, [5, 1, 9], "insertion order preserved");
+    }
+
+    #[test]
+    fn remove_preserves_order() {
+        let mut q = IssueQueue::new(4);
+        for i in 0..4 {
+            q.push(InstId(i));
+        }
+        assert!(q.remove(InstId(1)));
+        assert!(!q.remove(InstId(99)));
+        let order: Vec<u32> = q.iter().map(|i| i.0).collect();
+        assert_eq!(order, [0, 2, 3]);
+        assert!(q.has_space());
+    }
+
+    #[test]
+    fn retain_squashes() {
+        let mut q = IssueQueue::new(8);
+        for i in 0..6 {
+            q.push(InstId(i));
+        }
+        q.retain(|id| id.0 % 2 == 0);
+        let order: Vec<u32> = q.iter().map(|i| i.0).collect();
+        assert_eq!(order, [0, 2, 4]);
+    }
+}

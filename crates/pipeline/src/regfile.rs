@@ -1,0 +1,233 @@
+//! The shared physical register file and per-thread rename maps.
+//!
+//! hdSMT's defining resource-sharing decision: the register file is shared
+//! by *all* pipelines ("we can still use the whole budget of physical
+//! registers … to improve the performance of the running applications,
+//! since they are shared by all pipelines", §2). The pool is therefore one
+//! chip-wide structure here, while each thread owns a private rename map
+//! inside whichever pipeline it is assigned to.
+//!
+//! The pool holds `32 × threads` permanently-allocated architectural
+//! registers per class plus the 256 rename registers of Table 1 per class;
+//! only the rename registers are contended.
+
+use hdsmt_isa::{ArchReg, NUM_ARCH_REGS, NUM_INT_ARCH_REGS};
+
+/// A physical register. Integer and floating-point registers live in one
+/// numbering space; the class split is fixed at construction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PhysReg(pub u16);
+
+/// Shared physical register file: free lists + ready bits.
+pub struct RegFile {
+    /// Ready bit per physical register.
+    ready: Vec<bool>,
+    free_int: Vec<u16>,
+    free_fp: Vec<u16>,
+    n_int_total: u16,
+    rename_int: u16,
+    rename_fp: u16,
+}
+
+impl RegFile {
+    /// A file for `threads` contexts with `rename_int`/`rename_fp` shared
+    /// rename registers (Table 1: 256 each).
+    pub fn new(threads: usize, rename_int: u16, rename_fp: u16) -> Self {
+        let arch_int = NUM_INT_ARCH_REGS * threads as u16;
+        let arch_fp = NUM_INT_ARCH_REGS * threads as u16;
+        let n_int_total = arch_int + rename_int;
+        let n_fp_total = arch_fp + rename_fp;
+        let total = (n_int_total + n_fp_total) as usize;
+        // Architectural registers are always ready; rename registers become
+        // ready on writeback.
+        let mut ready = vec![false; total];
+        for r in ready.iter_mut().take(arch_int as usize) {
+            *r = true;
+        }
+        for r in ready.iter_mut().skip(n_int_total as usize).take(arch_fp as usize) {
+            *r = true;
+        }
+        let free_int = (arch_int..n_int_total).rev().collect();
+        let free_fp = (n_int_total + arch_fp..n_int_total + n_fp_total).rev().collect();
+        RegFile { ready, free_int, free_fp, n_int_total, rename_int, rename_fp }
+    }
+
+    /// Paper configuration for `threads` contexts.
+    pub fn paper_config(threads: usize) -> Self {
+        Self::new(threads, 256, 256)
+    }
+
+    /// The always-ready architectural home of `(thread, arch reg)` used to
+    /// seed rename maps.
+    pub fn arch_home(&self, thread: usize, reg: ArchReg) -> PhysReg {
+        if reg.is_fp() {
+            let fp_idx = reg.0 as u16 - NUM_INT_ARCH_REGS;
+            PhysReg(self.n_int_total + thread as u16 * NUM_INT_ARCH_REGS + fp_idx)
+        } else {
+            PhysReg(thread as u16 * NUM_INT_ARCH_REGS + reg.0 as u16)
+        }
+    }
+
+    /// Allocate a rename register of the class of `reg`; `None` when the
+    /// shared pool is exhausted (rename stalls).
+    pub fn alloc(&mut self, reg: ArchReg) -> Option<PhysReg> {
+        let list = if reg.is_fp() { &mut self.free_fp } else { &mut self.free_int };
+        let p = list.pop()?;
+        self.ready[p as usize] = false;
+        Some(PhysReg(p))
+    }
+
+    /// Return a rename register to the pool. Architectural homes are never
+    /// freed; passing one is a logic error.
+    pub fn free(&mut self, p: PhysReg) {
+        debug_assert!(self.is_rename_reg(p), "freeing an architectural register");
+        self.ready[p.0 as usize] = false;
+        if p.0 < self.n_int_total {
+            self.free_int.push(p.0);
+        } else {
+            self.free_fp.push(p.0);
+        }
+    }
+
+    /// Is `p` from the contended rename pool (as opposed to an
+    /// architectural home)?
+    pub fn is_rename_reg(&self, p: PhysReg) -> bool {
+        let arch_int = self.n_int_total - self.rename_int;
+        if p.0 < self.n_int_total {
+            p.0 >= arch_int
+        } else {
+            let fp_off = p.0 - self.n_int_total;
+            let arch_fp = (self.ready.len() as u16 - self.n_int_total) - self.rename_fp;
+            fp_off >= arch_fp
+        }
+    }
+
+    #[inline]
+    pub fn set_ready(&mut self, p: PhysReg) {
+        self.ready[p.0 as usize] = true;
+    }
+
+    #[inline]
+    pub fn is_ready(&self, p: PhysReg) -> bool {
+        self.ready[p.0 as usize]
+    }
+
+    /// Free rename registers remaining (int, fp).
+    pub fn free_counts(&self) -> (usize, usize) {
+        (self.free_int.len(), self.free_fp.len())
+    }
+}
+
+/// Per-thread architectural → physical map.
+#[derive(Clone)]
+pub struct RenameMap {
+    map: [PhysReg; NUM_ARCH_REGS as usize],
+}
+
+impl RenameMap {
+    /// Initial map: every architectural register points at its permanent
+    /// home in the file.
+    pub fn new(thread: usize, rf: &RegFile) -> Self {
+        let mut map = [PhysReg(0); NUM_ARCH_REGS as usize];
+        for (i, m) in map.iter_mut().enumerate() {
+            *m = rf.arch_home(thread, ArchReg(i as u8));
+        }
+        RenameMap { map }
+    }
+
+    #[inline]
+    pub fn lookup(&self, reg: ArchReg) -> PhysReg {
+        self.map[reg.index()]
+    }
+
+    /// Point `reg` at `phys`, returning the previous mapping (kept by the
+    /// instruction for walk-back recovery and commit-time freeing).
+    #[inline]
+    pub fn rename(&mut self, reg: ArchReg, phys: PhysReg) -> PhysReg {
+        std::mem::replace(&mut self.map[reg.index()], phys)
+    }
+
+    /// Walk-back restore: undo one rename.
+    #[inline]
+    pub fn restore(&mut self, reg: ArchReg, old: PhysReg) {
+        self.map[reg.index()] = old;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_homes_are_ready_and_distinct() {
+        let rf = RegFile::new(4, 256, 256);
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..4 {
+            for r in 0..64u8 {
+                let p = rf.arch_home(t, ArchReg(r));
+                assert!(rf.is_ready(p), "arch home must be ready");
+                assert!(!rf.is_rename_reg(p));
+                assert!(seen.insert(p), "duplicate home {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn alloc_free_conservation() {
+        let mut rf = RegFile::new(2, 8, 8);
+        assert_eq!(rf.free_counts(), (8, 8));
+        let a = rf.alloc(ArchReg::int(0)).unwrap();
+        let b = rf.alloc(ArchReg::fp(0)).unwrap();
+        assert!(rf.is_rename_reg(a));
+        assert!(rf.is_rename_reg(b));
+        assert_eq!(rf.free_counts(), (7, 7));
+        rf.free(a);
+        rf.free(b);
+        assert_eq!(rf.free_counts(), (8, 8));
+    }
+
+    #[test]
+    fn pool_exhaustion_returns_none() {
+        let mut rf = RegFile::new(1, 2, 1);
+        assert!(rf.alloc(ArchReg::int(0)).is_some());
+        assert!(rf.alloc(ArchReg::int(1)).is_some());
+        assert!(rf.alloc(ArchReg::int(2)).is_none(), "int pool exhausted");
+        assert!(rf.alloc(ArchReg::fp(0)).is_some());
+        assert!(rf.alloc(ArchReg::fp(1)).is_none(), "fp pool exhausted");
+    }
+
+    #[test]
+    fn ready_protocol() {
+        let mut rf = RegFile::new(1, 4, 4);
+        let p = rf.alloc(ArchReg::int(5)).unwrap();
+        assert!(!rf.is_ready(p), "fresh rename reg starts not-ready");
+        rf.set_ready(p);
+        assert!(rf.is_ready(p));
+        rf.free(p);
+        let q = rf.alloc(ArchReg::int(5)).unwrap();
+        assert_eq!(q, p, "LIFO free list reuses the register");
+        assert!(!rf.is_ready(q), "reuse must clear readiness");
+    }
+
+    #[test]
+    fn rename_map_rename_restore() {
+        let rf = RegFile::new(2, 16, 16);
+        let mut m = RenameMap::new(1, &rf);
+        let r5 = ArchReg::int(5);
+        let home = m.lookup(r5);
+        assert_eq!(home, rf.arch_home(1, r5));
+        let old = m.rename(r5, PhysReg(999));
+        assert_eq!(old, home);
+        assert_eq!(m.lookup(r5), PhysReg(999));
+        m.restore(r5, old);
+        assert_eq!(m.lookup(r5), home);
+    }
+
+    #[test]
+    fn classes_do_not_mix() {
+        let mut rf = RegFile::new(1, 4, 4);
+        let pi = rf.alloc(ArchReg::int(0)).unwrap();
+        let pf = rf.alloc(ArchReg::fp(0)).unwrap();
+        assert!(pi.0 < pf.0, "int registers number below fp registers");
+    }
+}

@@ -1,0 +1,163 @@
+//! Per-thread reorder buffer.
+//!
+//! The paper replicates a 256-entry ROB per thread (Table 1, §3: "we have
+//! assumed a per-thread 256-entry ROB in all configurations"). Commits pop
+//! the head in order; squashes pop the tail (walk-back recovery).
+
+use crate::inst::InstId;
+
+/// Fixed-capacity FIFO of in-flight instruction ids, program-ordered.
+pub struct Rob {
+    buf: Vec<InstId>,
+    head: usize,
+    len: usize,
+}
+
+impl Rob {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Rob { buf: vec![InstId(u32::MAX); capacity], head: 0, len: 0 }
+    }
+
+    /// Paper configuration: 256 entries.
+    pub fn paper_config() -> Self {
+        Self::new(256)
+    }
+
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len == self.buf.len()
+    }
+
+    /// Append at the tail (dispatch order). Returns `false` when full.
+    pub fn push_tail(&mut self, id: InstId) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        let pos = (self.head + self.len) % self.buf.len();
+        self.buf[pos] = id;
+        self.len += 1;
+        true
+    }
+
+    /// Oldest instruction (commit candidate).
+    #[inline]
+    pub fn head(&self) -> Option<InstId> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.buf[self.head])
+        }
+    }
+
+    /// Commit the oldest instruction.
+    pub fn pop_head(&mut self) -> Option<InstId> {
+        if self.len == 0 {
+            return None;
+        }
+        let id = self.buf[self.head];
+        self.head = (self.head + 1) % self.buf.len();
+        self.len -= 1;
+        Some(id)
+    }
+
+    /// Youngest instruction (squash candidate).
+    #[inline]
+    pub fn tail(&self) -> Option<InstId> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.buf[(self.head + self.len - 1) % self.buf.len()])
+        }
+    }
+
+    /// Squash the youngest instruction.
+    pub fn pop_tail(&mut self) -> Option<InstId> {
+        if self.len == 0 {
+            return None;
+        }
+        let pos = (self.head + self.len - 1) % self.buf.len();
+        self.len -= 1;
+        Some(self.buf[pos])
+    }
+
+    /// Iterate head → tail (program order).
+    pub fn iter(&self) -> impl Iterator<Item = InstId> + '_ {
+        (0..self.len).map(move |i| self.buf[(self.head + i) % self.buf.len()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut r = Rob::new(4);
+        for i in 0..4 {
+            assert!(r.push_tail(InstId(i)));
+        }
+        assert!(!r.push_tail(InstId(99)), "full ROB rejects");
+        assert_eq!(r.pop_head(), Some(InstId(0)));
+        assert_eq!(r.pop_head(), Some(InstId(1)));
+        assert!(r.push_tail(InstId(4)));
+        let order: Vec<u32> = r.iter().map(|i| i.0).collect();
+        assert_eq!(order, [2, 3, 4]);
+    }
+
+    #[test]
+    fn tail_squash() {
+        let mut r = Rob::new(8);
+        for i in 0..5 {
+            r.push_tail(InstId(i));
+        }
+        assert_eq!(r.tail(), Some(InstId(4)));
+        assert_eq!(r.pop_tail(), Some(InstId(4)));
+        assert_eq!(r.pop_tail(), Some(InstId(3)));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.head(), Some(InstId(0)));
+        // Push after squash reuses the space.
+        assert!(r.push_tail(InstId(10)));
+        let order: Vec<u32> = r.iter().map(|i| i.0).collect();
+        assert_eq!(order, [0, 1, 2, 10]);
+    }
+
+    #[test]
+    fn wraparound_stress() {
+        let mut r = Rob::new(3);
+        let mut next = 0u32;
+        let mut expect_head = 0u32;
+        for _ in 0..100 {
+            while r.push_tail(InstId(next)) {
+                next += 1;
+            }
+            assert!(r.is_full());
+            assert_eq!(r.pop_head(), Some(InstId(expect_head)));
+            expect_head += 1;
+        }
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let mut r = Rob::new(2);
+        assert!(r.is_empty());
+        assert_eq!(r.head(), None);
+        assert_eq!(r.pop_head(), None);
+        assert_eq!(r.pop_tail(), None);
+    }
+}

@@ -1,0 +1,69 @@
+//! Dynamic instruction records produced by a [`crate::TraceStream`].
+
+use hdsmt_isa::{Pc, StaticInst};
+
+/// Architecturally-correct outcome of a control instruction.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CtrlOutcome {
+    /// Whether the branch is taken (always true for unconditional
+    /// transfers).
+    pub taken: bool,
+    /// PC control transfers to (the fall-through PC when not taken).
+    pub target: Pc,
+}
+
+/// One dynamic instruction on the architecturally-correct path.
+///
+/// Wrong-path instructions reuse the same record shape but are fabricated by
+/// the front-end from the basic-block dictionary, with addresses from the
+/// wrong-path RNG and no authoritative `ctrl` outcome.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DynInst {
+    pub pc: Pc,
+    /// Copy of the static instruction (op, registers, memory-generator
+    /// annotation).
+    pub sinst: StaticInst,
+    /// Effective address for loads/stores (0 otherwise). Already includes
+    /// the per-thread address-space base.
+    pub addr: u64,
+    /// Control outcome; `Some` iff `sinst.op.is_control()`.
+    pub ctrl: Option<CtrlOutcome>,
+}
+
+impl DynInst {
+    /// The PC the thread architecturally executes after this instruction.
+    #[inline]
+    pub fn next_pc(&self) -> Pc {
+        match self.ctrl {
+            Some(c) if c.taken => c.target,
+            _ => self.pc.next(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsmt_isa::{ArchReg, Op};
+
+    #[test]
+    fn next_pc_follows_taken_branches() {
+        let sinst = StaticInst::control(Op::CondBranch, Some(ArchReg::int(1)));
+        let taken = DynInst {
+            pc: Pc(0x1000),
+            sinst,
+            addr: 0,
+            ctrl: Some(CtrlOutcome { taken: true, target: Pc(0x2000) }),
+        };
+        assert_eq!(taken.next_pc(), Pc(0x2000));
+        let not_taken = DynInst { ctrl: Some(CtrlOutcome { taken: false, target: Pc(0x1004) }), ..taken };
+        assert_eq!(not_taken.next_pc(), Pc(0x1004));
+        let plain = DynInst {
+            pc: Pc(0x1000),
+            sinst: StaticInst::alu(Op::IntAlu, ArchReg::int(1), [None, None]),
+            addr: 0,
+            ctrl: None,
+        };
+        assert_eq!(plain.next_pc(), Pc(0x1004));
+    }
+}

@@ -1,0 +1,376 @@
+//! Synthetic program generation: [`BenchProfile`] → [`Program`].
+//!
+//! The generated CFG is a large outer ring of "main chain" blocks (the
+//! steady-state loop every SPEC benchmark spends its SimPoint segment in),
+//! decorated with:
+//!
+//! * counted self-loops (predictable loop branches),
+//! * biased and data-dependent forward conditionals,
+//! * calls into a small set of leaf functions (RAS traffic),
+//! * indirect jumps over several forward targets (BTB pressure).
+//!
+//! Architectural fall-through correctness is maintained by construction:
+//! every not-taken/fall-through successor is the next block id, which the
+//! program layout places at the next PC.
+//!
+//! Register dataflow: destinations rotate through a 24-register pool while
+//! sources are drawn either from the immediately preceding producer (with
+//! probability `serial_dep`, creating serial chains) or from a recent-
+//! producer window (leaving ILP). Load base registers optionally chain on
+//! recent load results (`ptr_chase`) to serialise cache misses like mcf's
+//! list traversals.
+
+use hdsmt_isa::{
+    ArchReg, BasicBlock, BlockId, MemGen, Op, Pc, Program, StaticInst, Terminator,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::profile::BenchProfile;
+
+/// Integer registers `r0..POOL` / fp `f0..POOL` rotate as destinations;
+/// higher registers are stable (never written), usable as loop-invariant
+/// bases.
+const DST_POOL: u8 = 24;
+/// Size of the recent-producer window sources draw from.
+const RECENT: usize = 8;
+
+/// Tracks rotating destinations and recent producers for one register class.
+struct RegAlloc {
+    next: u8,
+    recent: [u8; RECENT],
+    fp: bool,
+}
+
+impl RegAlloc {
+    fn new(fp: bool) -> Self {
+        RegAlloc { next: 0, recent: [0; RECENT], fp }
+    }
+
+    fn make(&self, n: u8) -> ArchReg {
+        if self.fp {
+            ArchReg::fp(n)
+        } else {
+            ArchReg::int(n)
+        }
+    }
+
+    /// Allocate the next rotating destination.
+    fn alloc_dst(&mut self) -> ArchReg {
+        let r = self.next;
+        self.next = (self.next + 1) % DST_POOL;
+        self.recent.rotate_right(1);
+        self.recent[0] = r;
+        self.make(r)
+    }
+
+    /// Most recent producer.
+    fn prev(&self) -> ArchReg {
+        self.make(self.recent[0])
+    }
+
+    /// A random recent producer (index 0 = newest).
+    fn recent(&self, rng: &mut SmallRng) -> ArchReg {
+        self.make(self.recent[rng.gen_range(0..RECENT)])
+    }
+
+    /// A stable, never-written register.
+    fn stable(&self, rng: &mut SmallRng) -> ArchReg {
+        self.make(rng.gen_range(DST_POOL..32))
+    }
+}
+
+/// Everything the per-block body generator needs to share across blocks.
+struct BodyGen {
+    int: RegAlloc,
+    fp: RegAlloc,
+    /// Destination of the most recent load (for pointer chasing).
+    last_load_dst: Option<ArchReg>,
+}
+
+impl BodyGen {
+    fn new() -> Self {
+        BodyGen { int: RegAlloc::new(false), fp: RegAlloc::new(true), last_load_dst: None }
+    }
+
+    /// Pick a memory-access generator annotation per the profile's locality
+    /// mix.
+    fn mem_gen(&mut self, p: &BenchProfile, rng: &mut SmallRng) -> MemGen {
+        if rng.gen::<f32>() < p.stack_frac {
+            return MemGen::Stack;
+        }
+        if rng.gen::<f32>() < p.stride_frac {
+            MemGen::Stride { stride: p.stride_bytes }
+        } else {
+            MemGen::Random
+        }
+    }
+
+    /// Generate one body instruction.
+    fn inst(&mut self, p: &BenchProfile, rng: &mut SmallRng) -> StaticInst {
+        let r = rng.gen::<f32>();
+        if r < p.frac_load {
+            // Load: base register either chases a recent load result or is a
+            // stable pointer.
+            let base = match self.last_load_dst {
+                Some(d) if rng.gen::<f32>() < p.ptr_chase => d,
+                _ => self.int.stable(rng),
+            };
+            let fp_dst = rng.gen::<f32>() < p.frac_fp;
+            let dst = if fp_dst { self.fp.alloc_dst() } else { self.int.alloc_dst() };
+            if !fp_dst {
+                self.last_load_dst = Some(dst);
+            }
+            let gen = self.mem_gen(p, rng);
+            StaticInst::load(dst, base, gen)
+        } else if r < p.frac_load + p.frac_store {
+            let value = if rng.gen::<f32>() < p.frac_fp {
+                self.fp.recent(rng)
+            } else {
+                self.int.recent(rng)
+            };
+            let base = self.int.stable(rng);
+            let gen = self.mem_gen(p, rng);
+            StaticInst::store(value, base, gen)
+        } else if rng.gen::<f32>() < p.frac_fp {
+            // FP arithmetic.
+            let op = if rng.gen::<f32>() < p.frac_mul { Op::FpMul } else { Op::FpAlu };
+            let s0 = if rng.gen::<f32>() < p.serial_dep { self.fp.prev() } else { self.fp.recent(rng) };
+            let s1 = self.fp.recent(rng);
+            let dst = self.fp.alloc_dst();
+            StaticInst::alu(op, dst, [Some(s0), Some(s1)])
+        } else {
+            // Integer arithmetic.
+            let op = if rng.gen::<f32>() < p.frac_mul { Op::IntMul } else { Op::IntAlu };
+            let s0 = if rng.gen::<f32>() < p.serial_dep { self.int.prev() } else { self.int.recent(rng) };
+            let s1 = if rng.gen::<f32>() < 0.5 { Some(self.int.recent(rng)) } else { None };
+            let dst = self.int.alloc_dst();
+            StaticInst::alu(op, dst, [Some(s0), s1])
+        }
+    }
+
+    /// Fill a block body of `len` instructions.
+    fn body(&mut self, p: &BenchProfile, rng: &mut SmallRng, len: usize) -> Vec<StaticInst> {
+        (0..len).map(|_| self.inst(p, rng)).collect()
+    }
+
+    /// Register a conditional branch tests (a recent integer producer).
+    fn branch_src(&mut self, rng: &mut SmallRng) -> ArchReg {
+        self.int.recent(rng)
+    }
+}
+
+/// Generate the static program for `profile`, deterministically from `seed`.
+///
+/// # Panics
+/// Panics if the profile fails [`BenchProfile::validate`] — profiles are
+/// compiled-in data, so an invalid one is a programming error.
+pub fn synthesize(profile: &BenchProfile, seed: u64) -> Program {
+    profile.validate().expect("invalid benchmark profile");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5d9f_4a7e_12c3_88b1);
+    let mut gen = BodyGen::new();
+
+    let n_main = profile.blocks as usize;
+    // Function layout: each function is a chain of 1–3 blocks starting at
+    // `func_starts[f]`, ending in Return.
+    let mut func_lens = Vec::with_capacity(profile.funcs as usize);
+    for _ in 0..profile.funcs {
+        func_lens.push(rng.gen_range(1..=3usize));
+    }
+    let mut func_starts = Vec::with_capacity(func_lens.len());
+    let mut next_id = n_main;
+    for &l in &func_lens {
+        func_starts.push(next_id);
+        next_id += l;
+    }
+    let total = next_id;
+
+    let body_len =
+        |rng: &mut SmallRng, p: &BenchProfile| rng.gen_range(p.block_len.0 as usize..=p.block_len.1 as usize);
+
+    let mut blocks = Vec::with_capacity(total);
+
+    // ---- main chain ----
+    for i in 0..n_main {
+        let id = BlockId(i as u32);
+        let next = BlockId(((i + 1) % n_main) as u32);
+        let body_n = body_len(&mut rng, profile);
+        let mut insts = gen.body(profile, &mut rng, body_n);
+        let term = if i == n_main - 1 {
+            // Close the outer ring with an unconditional jump (a conditional
+            // here would need a non-adjacent fall-through, which the ISA
+            // forbids).
+            insts.push(StaticInst::control(Op::Jump, None));
+            Terminator::Jump { target: BlockId(0) }
+        } else {
+            let r = rng.gen::<f32>();
+            if r < profile.call_frac && !func_starts.is_empty() {
+                let f = rng.gen_range(0..func_starts.len());
+                insts.push(StaticInst::control(Op::Call, None));
+                Terminator::Call { callee: BlockId(func_starts[f] as u32), ret_to: next }
+            } else if r < profile.call_frac + profile.indirect_frac {
+                // 2–4 forward targets in the ring.
+                let k = rng.gen_range(2..=4usize);
+                let mut targets = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let skip = rng.gen_range(1..=8usize);
+                    let t = BlockId(((i + skip) % n_main) as u32);
+                    targets.push((t, rng.gen_range(0.2..1.0f32)));
+                }
+                insts.push(StaticInst::control(Op::IndirectJump, Some(gen.int.stable(&mut rng))));
+                Terminator::Indirect { targets }
+            } else if rng.gen::<f32>() < profile.loop_frac {
+                let trip = rng.gen_range(profile.loop_trip.0..=profile.loop_trip.1);
+                insts.push(StaticInst::control(Op::CondBranch, Some(gen.branch_src(&mut rng))));
+                Terminator::Loop { back: id, exit: next, trip }
+            } else if rng.gen::<f32>() < 0.92 {
+                // Forward conditional. Taken target skips ahead in the ring;
+                // fall-through is the adjacent block.
+                let skip = rng.gen_range(2..=5usize);
+                let taken = BlockId(((i + skip) % n_main) as u32);
+                let p_taken = if rng.gen::<f32>() < profile.br_noise_frac {
+                    rng.gen_range(0.35..0.65)
+                } else {
+                    let bias = (profile.br_bias + rng.gen_range(-0.06..0.06)).clamp(0.55, 0.99);
+                    // Most predictable branches in real code are
+                    // bias-not-taken forward branches; keep a taken-biased
+                    // minority so fetch still breaks on taken branches.
+                    if rng.gen::<f32>() < 0.35 {
+                        bias
+                    } else {
+                        1.0 - bias
+                    }
+                };
+                insts.push(StaticInst::control(Op::CondBranch, Some(gen.branch_src(&mut rng))));
+                Terminator::Cond { taken, not_taken: next, p_taken }
+            } else if rng.gen::<f32>() < 0.5 {
+                insts.push(StaticInst::control(Op::Jump, None));
+                Terminator::Jump { target: next }
+            } else {
+                Terminator::FallThrough { next }
+            }
+        };
+        blocks.push(BasicBlock { id, start: Pc(0), insts, term });
+    }
+
+    // ---- functions ----
+    for (f, &start) in func_starts.iter().enumerate() {
+        let len = func_lens[f];
+        for j in 0..len {
+            let id = BlockId((start + j) as u32);
+            let body_n = body_len(&mut rng, profile);
+            let mut insts = gen.body(profile, &mut rng, body_n);
+            let term = if j + 1 == len {
+                insts.push(StaticInst::control(Op::Return, None));
+                Terminator::Return
+            } else {
+                Terminator::FallThrough { next: BlockId((start + j + 1) as u32) }
+            };
+            blocks.push(BasicBlock { id, start: Pc(0), insts, term });
+        }
+    }
+
+    Program::build(blocks, BlockId(0)).expect("synthesized program must be valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec;
+
+    fn test_profile() -> BenchProfile {
+        spec::by_name("gzip").unwrap().clone()
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let p = test_profile();
+        let a = synthesize(&p, 42);
+        let b = synthesize(&p, 42);
+        assert_eq!(a.blocks().len(), b.blocks().len());
+        for (x, y) in a.blocks().iter().zip(b.blocks().iter()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = test_profile();
+        let a = synthesize(&p, 1);
+        let b = synthesize(&p, 2);
+        let same = a
+            .blocks()
+            .iter()
+            .zip(b.blocks().iter())
+            .filter(|(x, y)| x == y)
+            .count();
+        assert!(same < a.blocks().len(), "seeds should change the program");
+    }
+
+    #[test]
+    fn fall_through_targets_are_adjacent() {
+        // The ISA requires not-taken/fall-through successors to sit at the
+        // next PC; the generator must uphold this for every block.
+        for name in spec::BENCHMARK_NAMES {
+            let prog = synthesize(spec::by_name(name).unwrap(), 7);
+            for b in prog.blocks() {
+                let adj = BlockId(b.id.0 + 1);
+                match &b.term {
+                    Terminator::FallThrough { next } => assert_eq!(*next, adj, "{name} {:?}", b.id),
+                    Terminator::Cond { not_taken, .. } => {
+                        assert_eq!(*not_taken, adj, "{name} {:?}", b.id)
+                    }
+                    Terminator::Loop { exit, back, trip } => {
+                        assert_eq!(*exit, adj, "{name} {:?}", b.id);
+                        assert_eq!(*back, b.id);
+                        assert!(*trip > 0);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_spec_programs_validate() {
+        for p in spec::all_benchmarks() {
+            let prog = synthesize(p, 123);
+            prog.validate().unwrap();
+            assert!(prog.len_insts() > 0);
+        }
+    }
+
+    #[test]
+    fn functions_end_in_return_and_are_call_reachable_only() {
+        let p = test_profile();
+        let prog = synthesize(&p, 5);
+        let n_main = p.blocks as usize;
+        // Every callee id is >= n_main; every Return block id is >= n_main.
+        for b in prog.blocks() {
+            if let Terminator::Call { callee, ret_to } = &b.term {
+                assert!(callee.index() >= n_main, "calls must target function blocks");
+                assert!(ret_to.index() < n_main, "returns come back to the main chain");
+            }
+            if matches!(b.term, Terminator::Return) {
+                assert!(b.id.index() >= n_main);
+            }
+        }
+    }
+
+    #[test]
+    fn instruction_mix_tracks_profile() {
+        let p = test_profile();
+        let prog = synthesize(&p, 99);
+        let s = prog.stats();
+        let body = s.insts - s.branches;
+        let load_frac = s.loads as f32 / body as f32;
+        // Generated mix should be within a few points of the knob.
+        assert!(
+            (load_frac - p.frac_load).abs() < 0.06,
+            "load fraction {load_frac} vs profile {}",
+            p.frac_load
+        );
+        let store_frac = s.stores as f32 / body as f32;
+        assert!((store_frac - p.frac_store).abs() < 0.06);
+    }
+}

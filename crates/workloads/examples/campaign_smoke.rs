@@ -1,0 +1,24 @@
+use hdsmt_workloads::{run_paper_experiments, summarize, ExperimentConfig};
+use hdsmt_workloads::experiments::Metric;
+use hdsmt_workloads::WorkloadClass;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let cfg = ExperimentConfig::quick();
+    let r = run_paper_experiments(&cfg);
+    println!("campaign took {:.1}s, {} envelopes", t0.elapsed().as_secs_f64(), r.envelopes.len());
+    for arch in ["M8", "3M4", "4M4", "2M4+2M2", "3M4+2M2", "1M6+2M4+2M2"] {
+        let ipc = r.hmean_ipc_all(arch, Metric::Heur);
+        let pa = ipc / r.area_of(arch);
+        println!("{arch:14} hmean-IPC={ipc:.3} IPC/mm2={:.5} (area {:.0})", pa, r.area_of(arch));
+    }
+    for class in [WorkloadClass::Ilp, WorkloadClass::Mem, WorkloadClass::Mix] {
+        print!("{:4}:", class.label());
+        for arch in ["M8", "3M4", "2M4+2M2", "1M6+2M4+2M2"] {
+            print!(" {arch}={:.2}", r.hmean_ipc(arch, class, None, Metric::Heur));
+        }
+        println!();
+    }
+    let s = summarize(&r);
+    println!("{s:#?}");
+}

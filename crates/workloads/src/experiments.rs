@@ -1,0 +1,408 @@
+//! The paper's experiment engine: BEST / HEUR / WORST mapping envelopes
+//! per (microarchitecture, workload) — the data behind Figs 4 and 5.
+//!
+//! For every multipipeline machine the oracle envelope is found exactly as
+//! in the paper: evaluate *every* distinct thread-to-pipeline mapping and
+//! keep the maximum (BEST) and minimum (WORST); HEUR is the §2.1 heuristic.
+//! Mapping search runs at a reduced instruction budget, then the three
+//! chosen mappings are re-simulated at full length (DESIGN.md §3).
+
+use hdsmt_core::{
+    enumerate_mappings, heuristic_mapping, run_sim, MissProfile, SimConfig, ThreadSpec,
+};
+use hdsmt_pipeline::MicroArch;
+
+use crate::runner::{default_workers, parallel_map};
+use crate::tables::{all_workloads, Workload, WorkloadClass};
+
+/// Scale parameters for one experiment campaign.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ExperimentConfig {
+    /// Per-thread retire target for the measured envelope runs (the paper
+    /// uses 300 M; see EXPERIMENTS.md for the scaling argument).
+    pub measure_insts: u64,
+    /// Total committed instructions before statistics reset.
+    pub warmup_insts: u64,
+    /// Per-thread retire target for oracle mapping-search runs.
+    pub search_insts: u64,
+    /// Worker threads for the parallel sweep.
+    pub workers: usize,
+    /// Base seed for workload streams.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// Full reproduction scale (the `reproduce` binary).
+    pub fn paper() -> Self {
+        ExperimentConfig {
+            measure_insts: 120_000,
+            warmup_insts: 60_000,
+            search_insts: 25_000,
+            workers: default_workers(),
+            seed: 0x5eed,
+        }
+    }
+
+    /// Reduced scale for tests and smoke benches.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            measure_insts: 12_000,
+            warmup_insts: 8_000,
+            search_insts: 5_000,
+            workers: default_workers(),
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// BEST/HEUR/WORST outcome for one (microarchitecture, workload) cell.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct EnvelopeResult {
+    pub arch: String,
+    pub workload: String,
+    pub class: WorkloadClass,
+    pub threads: usize,
+    pub best_ipc: f64,
+    pub best_mapping: Vec<u8>,
+    pub heur_ipc: f64,
+    pub heur_mapping: Vec<u8>,
+    pub worst_ipc: f64,
+    pub worst_mapping: Vec<u8>,
+    /// Size of the oracle search space (distinct mappings).
+    pub n_mappings: usize,
+}
+
+impl EnvelopeResult {
+    /// HEUR accuracy relative to the oracle (the paper's "92% average
+    /// accuracy" metric).
+    pub fn heur_accuracy(&self) -> f64 {
+        if self.best_ipc == 0.0 {
+            1.0
+        } else {
+            self.heur_ipc / self.best_ipc
+        }
+    }
+}
+
+/// Deterministic per-thread stream seed.
+fn thread_seed(base: u64, workload: &str, position: usize) -> u64 {
+    let mut h = base ^ 0x9e37_79b9_7f4a_7c15;
+    for b in workload.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ (position as u64) << 32
+}
+
+fn specs_for(w: &Workload, seed: u64) -> Vec<ThreadSpec> {
+    w.benchmarks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| ThreadSpec::for_benchmark(b, thread_seed(seed, w.id, i)))
+        .collect()
+}
+
+fn sim_config(arch: &MicroArch, insts: u64, warmup: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper_defaults(arch.clone(), insts);
+    cfg.warmup_insts = warmup;
+    cfg
+}
+
+/// Compute the envelope for one (arch, workload) cell. Convenient for
+/// examples and tests; the full campaign uses [`run_paper_experiments`],
+/// which parallelises across cells *and* mappings.
+pub fn envelope_for(
+    arch: &MicroArch,
+    w: &Workload,
+    profile: &MissProfile,
+    cfg: &ExperimentConfig,
+) -> EnvelopeResult {
+    let specs = specs_for(w, cfg.seed);
+    let mappings = enumerate_mappings(arch, w.threads());
+    let heur = heuristic_mapping(arch, w.benchmarks, profile);
+
+    let search_cfg = sim_config(arch, cfg.search_insts, cfg.warmup_insts / 2);
+    let scores: Vec<f64> =
+        parallel_map(&mappings, cfg.workers, |m| run_sim(&search_cfg, &specs, m).ipc());
+    let (bi, wi) = best_worst(&mappings, &scores);
+
+    let full_cfg = sim_config(arch, cfg.measure_insts, cfg.warmup_insts);
+    let jobs = [mappings[bi].clone(), heur.clone(), mappings[wi].clone()];
+    let measured: Vec<f64> =
+        parallel_map(&jobs, cfg.workers, |m| run_sim(&full_cfg, &specs, m).ipc());
+
+    finish_envelope(arch, w, mappings.len(), jobs, measured)
+}
+
+/// Index of the best and worst mapping by score (ties broken by mapping
+/// bytes for determinism).
+fn best_worst(mappings: &[Vec<u8>], scores: &[f64]) -> (usize, usize) {
+    let mut bi = 0;
+    let mut wi = 0;
+    for i in 1..scores.len() {
+        let better = scores[i] > scores[bi]
+            || (scores[i] == scores[bi] && mappings[i] < mappings[bi]);
+        if better {
+            bi = i;
+        }
+        let worse = scores[i] < scores[wi]
+            || (scores[i] == scores[wi] && mappings[i] < mappings[wi]);
+        if worse {
+            wi = i;
+        }
+    }
+    (bi, wi)
+}
+
+fn finish_envelope(
+    arch: &MicroArch,
+    w: &Workload,
+    n_mappings: usize,
+    jobs: [Vec<u8>; 3],
+    measured: Vec<f64>,
+) -> EnvelopeResult {
+    let [best_mapping, heur_mapping, worst_mapping] = jobs;
+    // The measured (full-length) envelope must stay ordered even if the
+    // short search mispicked: clamp so BEST ≥ HEUR ≥ WORST holds by
+    // definition of an envelope.
+    let best_ipc = measured[0].max(measured[1]);
+    let worst_ipc = measured[2].min(measured[1]);
+    EnvelopeResult {
+        arch: arch.name.clone(),
+        workload: w.id.to_string(),
+        class: w.class,
+        threads: w.threads(),
+        best_ipc,
+        best_mapping,
+        heur_ipc: measured[1],
+        heur_mapping,
+        worst_ipc,
+        worst_mapping,
+        n_mappings,
+    }
+}
+
+/// Metric selector for aggregation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Metric {
+    Best,
+    Heur,
+    Worst,
+}
+
+/// Results of the full campaign: every (arch, workload) envelope plus the
+/// area table.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct PaperResults {
+    pub envelopes: Vec<EnvelopeResult>,
+    /// (arch name, total mm²).
+    pub areas: Vec<(String, f64)>,
+    pub config: ExperimentConfig,
+}
+
+impl PaperResults {
+    pub fn area_of(&self, arch: &str) -> f64 {
+        self.areas.iter().find(|(n, _)| n == arch).map(|(_, a)| *a).unwrap_or(f64::NAN)
+    }
+
+    pub fn cell(&self, arch: &str, workload: &str) -> Option<&EnvelopeResult> {
+        self.envelopes.iter().find(|e| e.arch == arch && e.workload == workload)
+    }
+
+    fn pick(e: &EnvelopeResult, m: Metric) -> f64 {
+        match m {
+            Metric::Best => e.best_ipc,
+            Metric::Heur => e.heur_ipc,
+            Metric::Worst => e.worst_ipc,
+        }
+    }
+
+    /// Harmonic mean of IPC over the workloads of `class` (all sizes if
+    /// `threads` is `None`), for one arch and metric — one bar of Fig 4.
+    pub fn hmean_ipc(
+        &self,
+        arch: &str,
+        class: WorkloadClass,
+        threads: Option<usize>,
+        metric: Metric,
+    ) -> f64 {
+        let vals: Vec<f64> = self
+            .envelopes
+            .iter()
+            .filter(|e| {
+                e.arch == arch && e.class == class && threads.map_or(true, |t| e.threads == t)
+            })
+            .map(|e| Self::pick(e, metric))
+            .collect();
+        hdsmt_core::stats::harmonic_mean(&vals)
+    }
+
+    /// Same, in IPC per mm² — one bar of Fig 5.
+    pub fn hmean_ipc_per_area(
+        &self,
+        arch: &str,
+        class: WorkloadClass,
+        threads: Option<usize>,
+        metric: Metric,
+    ) -> f64 {
+        self.hmean_ipc(arch, class, threads, metric) / self.area_of(arch)
+    }
+
+    /// Harmonic-mean IPC over *all* workloads (the paper's global
+    /// comparisons).
+    pub fn hmean_ipc_all(&self, arch: &str, metric: Metric) -> f64 {
+        let vals: Vec<f64> = self
+            .envelopes
+            .iter()
+            .filter(|e| e.arch == arch)
+            .map(|e| Self::pick(e, metric))
+            .collect();
+        hdsmt_core::stats::harmonic_mean(&vals)
+    }
+}
+
+/// Run the full campaign: 6 microarchitectures × 22 workloads, mapping
+/// search and envelope measurement globally parallelised.
+pub fn run_paper_experiments(cfg: &ExperimentConfig) -> PaperResults {
+    run_experiments_on(&MicroArch::paper_set(), all_workloads(), cfg)
+}
+
+/// Run a campaign over explicit architectures/workloads (ablations use
+/// subsets).
+pub fn run_experiments_on(
+    archs: &[MicroArch],
+    workloads: &[Workload],
+    cfg: &ExperimentConfig,
+) -> PaperResults {
+    let profile = MissProfile::build();
+
+    // ---- phase 1: oracle mapping search, globally flattened ----
+    struct SearchJob {
+        arch_i: usize,
+        wl_i: usize,
+        mapping: Vec<u8>,
+    }
+    type Mapping = Vec<u8>;
+    let mut jobs = Vec::new();
+    let mut cell_mappings: Vec<Vec<Vec<Mapping>>> = Vec::new(); // [arch][wl] -> mappings
+    for (ai, arch) in archs.iter().enumerate() {
+        cell_mappings.push(Vec::new());
+        for (wi, w) in workloads.iter().enumerate() {
+            let mappings = enumerate_mappings(arch, w.threads());
+            for m in &mappings {
+                jobs.push(SearchJob { arch_i: ai, wl_i: wi, mapping: m.clone() });
+            }
+            cell_mappings[ai].push(mappings);
+        }
+    }
+    let search_scores: Vec<f64> = parallel_map(&jobs, cfg.workers, |j| {
+        let arch = &archs[j.arch_i];
+        let w = &workloads[j.wl_i];
+        let specs = specs_for(w, cfg.seed);
+        let scfg = sim_config(arch, cfg.search_insts, cfg.warmup_insts / 2);
+        run_sim(&scfg, &specs, &j.mapping).ipc()
+    });
+
+    // ---- reduce: pick best/worst per cell ----
+    let mut per_cell_scores: Vec<Vec<Vec<f64>>> = archs
+        .iter()
+        .enumerate()
+        .map(|(ai, _)| cell_mappings[ai].iter().map(|ms| vec![0.0; ms.len()]).collect())
+        .collect();
+    {
+        let mut counters: Vec<Vec<usize>> =
+            cell_mappings.iter().map(|per_wl| vec![0; per_wl.len()]).collect();
+        for (j, score) in jobs.iter().zip(search_scores.iter()) {
+            let k = counters[j.arch_i][j.wl_i];
+            per_cell_scores[j.arch_i][j.wl_i][k] = *score;
+            counters[j.arch_i][j.wl_i] += 1;
+        }
+    }
+
+    // ---- phase 2: measured envelope runs, globally flattened ----
+    struct MeasureJob {
+        arch_i: usize,
+        wl_i: usize,
+        mappings: [Vec<u8>; 3],
+    }
+    let mut mjobs = Vec::new();
+    for (ai, arch) in archs.iter().enumerate() {
+        for (wi, w) in workloads.iter().enumerate() {
+            let mappings = &cell_mappings[ai][wi];
+            let scores = &per_cell_scores[ai][wi];
+            let (bi, worsti) = best_worst(mappings, scores);
+            let heur = heuristic_mapping(arch, w.benchmarks, &profile);
+            mjobs.push(MeasureJob {
+                arch_i: ai,
+                wl_i: wi,
+                mappings: [mappings[bi].clone(), heur, mappings[worsti].clone()],
+            });
+        }
+    }
+    let measured: Vec<[f64; 3]> = parallel_map(&mjobs, cfg.workers, |j| {
+        let arch = &archs[j.arch_i];
+        let w = &workloads[j.wl_i];
+        let specs = specs_for(w, cfg.seed);
+        let fcfg = sim_config(arch, cfg.measure_insts, cfg.warmup_insts);
+        let mut out = [0.0; 3];
+        for (o, m) in out.iter_mut().zip(j.mappings.iter()) {
+            *o = run_sim(&fcfg, &specs, m).ipc();
+        }
+        out
+    });
+
+    let mut envelopes = Vec::with_capacity(mjobs.len());
+    for (j, m) in mjobs.into_iter().zip(measured.into_iter()) {
+        let arch = &archs[j.arch_i];
+        let w = &workloads[j.wl_i];
+        envelopes.push(finish_envelope(
+            arch,
+            w,
+            cell_mappings[j.arch_i][j.wl_i].len(),
+            j.mappings,
+            m.to_vec(),
+        ));
+    }
+
+    let areas = archs
+        .iter()
+        .map(|a| (a.name.clone(), hdsmt_area::microarch_area(a).total()))
+        .collect();
+    PaperResults { envelopes, areas, config: cfg.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::WORKLOADS;
+
+    #[test]
+    fn envelope_ordering_holds() {
+        let profile = MissProfile::build_with_len(50_000);
+        let cfg = ExperimentConfig::quick();
+        let arch = MicroArch::parse("2M4+2M2").unwrap();
+        let w = &WORKLOADS[6]; // 2W7 gzip+twolf (MIX)
+        let e = envelope_for(&arch, w, &profile, &cfg);
+        assert!(e.best_ipc >= e.heur_ipc, "{e:?}");
+        assert!(e.heur_ipc >= e.worst_ipc, "{e:?}");
+        assert!(e.n_mappings > 1);
+        assert!(e.heur_accuracy() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn monolithic_envelope_is_degenerate() {
+        let profile = MissProfile::build_with_len(50_000);
+        let cfg = ExperimentConfig::quick();
+        let arch = MicroArch::baseline();
+        let e = envelope_for(&arch, &WORKLOADS[0], &profile, &cfg);
+        assert_eq!(e.n_mappings, 1);
+        assert_eq!(e.best_ipc, e.heur_ipc);
+        assert_eq!(e.heur_ipc, e.worst_ipc);
+    }
+
+    #[test]
+    fn thread_seeds_are_stable_and_distinct() {
+        assert_eq!(thread_seed(1, "2W1", 0), thread_seed(1, "2W1", 0));
+        assert_ne!(thread_seed(1, "2W1", 0), thread_seed(1, "2W1", 1));
+        assert_ne!(thread_seed(1, "2W1", 0), thread_seed(1, "2W2", 0));
+    }
+}

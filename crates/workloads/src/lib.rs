@@ -1,0 +1,27 @@
+//! # hdsmt-workloads — workload tables and the experiment engine
+//!
+//! This crate owns everything between the raw simulator and the paper's
+//! figures:
+//!
+//! * [`tables`] — the multiprogrammed workloads of Tables 2–3 (2W1–2W9,
+//!   4W1–4W9, 6W1–6W4, classed ILP / MEM / MIX);
+//! * [`runner`] — a deterministic parallel job runner (independent
+//!   simulations fan out over a scoped thread pool; results are
+//!   order-stable regardless of scheduling);
+//! * [`experiments`] — the BEST / HEUR / WORST mapping envelope per
+//!   (microarchitecture, workload): the data behind Fig 4 (IPC) and
+//!   Fig 5 (IPC/area);
+//! * [`summary`] — the §5 headline numbers (performance-per-area
+//!   improvements, heuristic accuracy, raw-performance comparisons).
+
+pub mod experiments;
+pub mod runner;
+pub mod summary;
+pub mod tables;
+
+pub use experiments::{
+    envelope_for, run_paper_experiments, EnvelopeResult, ExperimentConfig, PaperResults,
+};
+pub use runner::parallel_map;
+pub use summary::{summarize, Summary};
+pub use tables::{all_workloads, workloads_by, Workload, WorkloadClass};

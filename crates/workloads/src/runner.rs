@@ -1,0 +1,75 @@
+//! Deterministic parallel execution of independent simulations.
+//!
+//! Each simulation is single-threaded and deterministic, so the natural
+//! parallelism is *across* runs (mapping search, workload sweeps). Jobs are
+//! claimed from an atomic counter by a crossbeam scoped pool; results land
+//! at their input index, so output order is independent of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Apply `f` to every item on up to `workers` threads, preserving order.
+pub fn parallel_map<I, O, F>(items: &[I], workers: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(items.len());
+    if workers == 1 {
+        return items.iter().map(|i| f(i)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<O>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(&items[i]);
+                results.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("worker panicked");
+    results.into_inner().into_iter().map(|o| o.expect("job completed")).collect()
+}
+
+/// Default worker count: leave a couple of cores for the OS.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get().saturating_sub(2).max(1)).unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, 8, |&x| x * x);
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(*o, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn single_worker_and_empty() {
+        let out: Vec<u32> = parallel_map(&[] as &[u32], 4, |&x| x);
+        assert!(out.is_empty());
+        let out = parallel_map(&[1, 2, 3], 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let out = parallel_map(&[5u32], 16, |&x| x * 2);
+        assert_eq!(out, vec![10]);
+    }
+}

@@ -1,0 +1,134 @@
+//! The multiprogrammed workloads of Tables 2 and 3.
+
+/// Workload classification (Tables 2–3): I = high instruction-level
+/// parallelism, M = bad memory behaviour, X = a mix of both.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum WorkloadClass {
+    Ilp,
+    Mem,
+    Mix,
+}
+
+impl WorkloadClass {
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadClass::Ilp => "ILP",
+            WorkloadClass::Mem => "MEM",
+            WorkloadClass::Mix => "MIX",
+        }
+    }
+}
+
+/// One multiprogrammed workload.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct Workload {
+    pub id: &'static str,
+    pub benchmarks: &'static [&'static str],
+    pub class: WorkloadClass,
+}
+
+impl Workload {
+    pub fn threads(&self) -> usize {
+        self.benchmarks.len()
+    }
+}
+
+use WorkloadClass::{Ilp, Mem, Mix};
+
+/// Tables 2 and 3, verbatim.
+pub const WORKLOADS: [Workload; 22] = [
+    // ---- two-threaded (Table 2, left) ----
+    Workload { id: "2W1", benchmarks: &["eon", "gcc"], class: Ilp },
+    Workload { id: "2W2", benchmarks: &["crafty", "bzip2"], class: Ilp },
+    Workload { id: "2W3", benchmarks: &["gap", "vortex"], class: Ilp },
+    Workload { id: "2W4", benchmarks: &["mcf", "twolf"], class: Mem },
+    Workload { id: "2W5", benchmarks: &["vpr", "perlbmk"], class: Mem },
+    Workload { id: "2W6", benchmarks: &["vpr", "twolf"], class: Mem },
+    Workload { id: "2W7", benchmarks: &["gzip", "twolf"], class: Mix },
+    Workload { id: "2W8", benchmarks: &["crafty", "perlbmk"], class: Mix },
+    Workload { id: "2W9", benchmarks: &["parser", "vpr"], class: Mix },
+    // ---- four-threaded (Table 2, right) ----
+    Workload { id: "4W1", benchmarks: &["eon", "gcc", "gzip", "bzip2"], class: Ilp },
+    Workload { id: "4W2", benchmarks: &["crafty", "bzip2", "eon", "gzip"], class: Ilp },
+    Workload { id: "4W3", benchmarks: &["gap", "vortex", "parser", "crafty"], class: Ilp },
+    Workload { id: "4W4", benchmarks: &["mcf", "twolf", "vpr", "perlbmk"], class: Mem },
+    Workload { id: "4W5", benchmarks: &["vpr", "perlbmk", "mcf", "twolf"], class: Mem },
+    Workload { id: "4W6", benchmarks: &["gzip", "twolf", "bzip2", "mcf"], class: Mix },
+    Workload { id: "4W7", benchmarks: &["crafty", "perlbmk", "mcf", "bzip2"], class: Mix },
+    Workload { id: "4W8", benchmarks: &["parser", "vpr", "vortex", "twolf"], class: Mix },
+    Workload { id: "4W9", benchmarks: &["vpr", "twolf", "gap", "vortex"], class: Mix },
+    // ---- six-threaded (Table 3) ----
+    Workload { id: "6W1", benchmarks: &["gzip", "gcc", "crafty", "eon", "gap", "bzip2"], class: Ilp },
+    Workload {
+        id: "6W2",
+        benchmarks: &["gcc", "crafty", "parser", "eon", "gap", "vortex"],
+        class: Ilp,
+    },
+    Workload {
+        id: "6W3",
+        benchmarks: &["gzip", "vpr", "mcf", "eon", "perlbmk", "bzip2"],
+        class: Mix,
+    },
+    Workload {
+        id: "6W4",
+        benchmarks: &["vpr", "mcf", "crafty", "perlbmk", "vortex", "twolf"],
+        class: Mix,
+    },
+];
+
+/// Every workload of Tables 2–3.
+pub fn all_workloads() -> &'static [Workload] {
+    &WORKLOADS
+}
+
+/// Workloads of a given class and thread count.
+pub fn workloads_by(class: WorkloadClass, threads: usize) -> Vec<&'static Workload> {
+    WORKLOADS.iter().filter(|w| w.class == class && w.threads() == threads).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shape_matches_paper() {
+        assert_eq!(WORKLOADS.len(), 22);
+        assert_eq!(WORKLOADS.iter().filter(|w| w.threads() == 2).count(), 9);
+        assert_eq!(WORKLOADS.iter().filter(|w| w.threads() == 4).count(), 9);
+        assert_eq!(WORKLOADS.iter().filter(|w| w.threads() == 6).count(), 4);
+        // "MEM workloads are only feasible for 2 and 4 threads" (§4).
+        assert!(workloads_by(WorkloadClass::Mem, 6).is_empty());
+        assert_eq!(workloads_by(WorkloadClass::Mem, 2).len(), 3);
+        assert_eq!(workloads_by(WorkloadClass::Ilp, 6).len(), 2);
+        assert_eq!(workloads_by(WorkloadClass::Mix, 6).len(), 2);
+    }
+
+    #[test]
+    fn all_benchmarks_exist() {
+        for w in all_workloads() {
+            for b in w.benchmarks {
+                assert!(hdsmt_trace::by_name(b).is_some(), "{}: unknown benchmark {b}", w.id);
+            }
+            // No duplicate benchmark within a workload (each thread runs a
+            // distinct program).
+            let mut names: Vec<_> = w.benchmarks.to_vec();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), w.benchmarks.len(), "{}", w.id);
+        }
+    }
+
+    #[test]
+    fn mem_workloads_use_mem_benchmarks() {
+        for w in all_workloads().iter().filter(|w| w.class == WorkloadClass::Mem) {
+            for b in w.benchmarks {
+                assert_eq!(
+                    hdsmt_trace::by_name(b).unwrap().class,
+                    hdsmt_trace::BenchClass::Mem,
+                    "{}: {b}",
+                    w.id
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Design-space sweep: one workload across all six microarchitectures of
+//! the paper (Fig 3 set), reporting raw IPC and complexity-effectiveness.
+//!
+//! ```sh
+//! cargo run --release --example design_space [-- 4W6]
+//! ```
+
+use hdsmt::area::microarch_area;
+use hdsmt::core::{heuristic_mapping, run_sim, MissProfile, SimConfig, ThreadSpec};
+use hdsmt::pipeline::MicroArch;
+use hdsmt::workloads::all_workloads;
+
+fn main() {
+    let wanted = std::env::args().nth(1).unwrap_or_else(|| "4W6".to_string());
+    let w = all_workloads()
+        .iter()
+        .find(|w| w.id == wanted)
+        .unwrap_or_else(|| panic!("unknown workload {wanted} (try 2W1..6W4)"));
+    println!("workload {} ({:?}): {}\n", w.id, w.class, w.benchmarks.join(", "));
+
+    let specs: Vec<ThreadSpec> = w
+        .benchmarks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| ThreadSpec::for_benchmark(b, 10 + i as u64))
+        .collect();
+
+    println!("profiling benchmarks for the mapping heuristic…");
+    let profile = MissProfile::build();
+
+    println!(
+        "\n{:<14}{:>8}{:>11}{:>16}   mapping",
+        "microarch", "IPC", "area mm²", "IPC/mm² ×1e3"
+    );
+    let mut best: Option<(String, f64)> = None;
+    for arch in MicroArch::paper_set() {
+        let mapping = heuristic_mapping(&arch, w.benchmarks, &profile);
+        let cfg = SimConfig::paper_defaults(arch.clone(), 30_000);
+        let r = run_sim(&cfg, &specs, &mapping);
+        let area = microarch_area(&arch).total();
+        let pa = r.ipc() / area * 1e3;
+        println!("{:<14}{:>8.3}{area:>11.1}{pa:>16.3}   {mapping:?}", arch.name, r.ipc());
+        if best.as_ref().map_or(true, |(_, b)| pa > *b) {
+            best = Some((arch.name.clone(), pa));
+        }
+    }
+    let (name, _) = best.unwrap();
+    println!("\nmost complexity-effective machine for {}: {name}", w.id);
+}

@@ -1,0 +1,44 @@
+//! Fetch-policy comparison: round-robin vs ICOUNT vs FLUSH vs L1MCOUNT on
+//! a mixed workload, on both the monolithic baseline and an hdSMT machine.
+//!
+//! ```sh
+//! cargo run --release --example fetch_policies
+//! ```
+
+use hdsmt::core::{run_sim, FetchPolicy, SimConfig, ThreadSpec};
+use hdsmt::pipeline::MicroArch;
+
+fn main() {
+    let specs = vec![
+        ThreadSpec::for_benchmark("gzip", 31),
+        ThreadSpec::for_benchmark("twolf", 32),
+    ];
+    println!("workload: gzip (ILP) + twolf (memory-bound)\n");
+
+    for (arch_name, mapping) in [("M8", vec![0u8, 0]), ("2M4+2M2", vec![0, 2])] {
+        let arch = MicroArch::parse(arch_name).unwrap();
+        println!("--- {arch_name} ---");
+        for policy in [
+            FetchPolicy::RoundRobin,
+            FetchPolicy::Icount,
+            FetchPolicy::Flush,
+            FetchPolicy::L1mcount,
+        ] {
+            let mut cfg = SimConfig::paper_defaults(arch.clone(), 30_000);
+            cfg.fetch_policy = policy;
+            let r = run_sim(&cfg, &specs, &mapping);
+            let gzip_ipc = r.stats.thread_ipc(0);
+            let twolf_ipc = r.stats.thread_ipc(1);
+            println!(
+                "  {policy:<12?} total {:.3}  (gzip {gzip_ipc:.3}, twolf {twolf_ipc:.3}, flushes {})",
+                r.ipc(),
+                r.stats.threads.iter().map(|t| t.flushes).sum::<u64>()
+            );
+        }
+    }
+    println!(
+        "\nFLUSH protects the ILP thread from the memory-bound one on the\n\
+         shared M8 core; on hdSMT, physical isolation does that job and the\n\
+         milder L1MCOUNT suffices (§4 of the paper)."
+    );
+}

@@ -1,0 +1,60 @@
+//! Quickstart: simulate one workload on the monolithic SMT baseline and on
+//! an hdSMT machine, and compare IPC and IPC-per-mm².
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hdsmt::area::microarch_area;
+use hdsmt::core::{run_sim, SimConfig, ThreadSpec};
+use hdsmt::pipeline::MicroArch;
+
+fn main() {
+    // The workload: a high-ILP compressor next to the memory-bound mcf —
+    // exactly the heterogeneity hdSMT is designed around.
+    let workload =
+        vec![ThreadSpec::for_benchmark("gzip", 1), ThreadSpec::for_benchmark("mcf", 2)];
+
+    // --- monolithic SMT baseline: both threads share one M8 pipeline ----
+    let m8 = MicroArch::baseline();
+    let m8_area = microarch_area(&m8).total();
+    let cfg = SimConfig::paper_defaults(m8, 40_000);
+    let base = run_sim(&cfg, &workload, &[0, 0]);
+
+    // --- hdSMT 2M4+2M2: gzip gets a wide M4, mcf is parked on an M2 -----
+    let hd = MicroArch::parse("2M4+2M2").unwrap();
+    let hd_area = microarch_area(&hd).total();
+    let cfg = SimConfig::paper_defaults(hd, 40_000);
+    let hdsmt = run_sim(&cfg, &workload, &[0, 2]);
+
+    println!("workload: gzip + mcf\n");
+    println!(
+        "{:<12}{:>8}{:>12}{:>16}",
+        "machine", "IPC", "area mm²", "IPC per mm²×1e3"
+    );
+    for (name, r, area) in [("M8", &base, m8_area), ("2M4+2M2", &hdsmt, hd_area)] {
+        println!(
+            "{name:<12}{:>8.3}{area:>12.1}{:>16.3}",
+            r.ipc(),
+            r.ipc() / area * 1e3
+        );
+    }
+    println!();
+    for (name, r) in [("M8", &base), ("2M4+2M2", &hdsmt)] {
+        println!("--- {name} per-thread ---");
+        for (i, t) in r.stats.threads.iter().enumerate() {
+            println!(
+                "  thread {i} ({:<7}) pipe {}  ipc {:.3}  mispredict {:.1}%  flushes {}",
+                t.benchmark,
+                t.pipe,
+                t.retired as f64 / r.stats.cycles as f64,
+                t.mispredict_rate() * 100.0,
+                t.flushes
+            );
+        }
+    }
+    println!(
+        "\nThe hdSMT machine gives up a little raw IPC but wins clearly on\n\
+         performance per area — the paper's central claim."
+    );
+}

@@ -1,0 +1,50 @@
+//! # hdsmt — a complexity-effective simultaneous multithreading architecture
+//!
+//! A from-scratch, cycle-level reproduction of **"A Complexity-Effective
+//! Simultaneous Multithreading Architecture"** (C. Acosta, A. Falcón,
+//! A. Ramirez, M. Valero — ICPP 2005): the **hdSMT** (Heterogeneously
+//! Distributed SMT) processor, in which the back-end of an SMT machine is
+//! statically partitioned into *heterogeneous* pipelines that share the
+//! fetch engine, register file and memory hierarchy, and whole threads are
+//! matched to pipelines by a profile-guided mapping policy.
+//!
+//! ## Crate map
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`isa`] | instruction set, synthetic-program representation, basic-block dictionary |
+//! | [`trace`] | calibrated SPECint2000 benchmark models and deterministic trace streams |
+//! | [`bpred`] | perceptron predictor, BTB, RAS (+ gshare ablation baseline) |
+//! | [`mem`] | banked L1I/L1D, unified L2, TLBs, MSHRs (Table 1 parameters) |
+//! | [`pipeline`] | out-of-order backend structures and the M8/M6/M4/M2 models |
+//! | [`core`] | the processor: fetch engine + policies, mapping policies, cycle loop |
+//! | [`area`] | the §3 area cost model (Fig 2(b) / Fig 3) |
+//! | [`workloads`] | Tables 2–3 workloads, parallel experiment engine, §5 summary |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hdsmt::core::{run_sim, SimConfig, ThreadSpec};
+//! use hdsmt::pipeline::MicroArch;
+//!
+//! // A 2M4+2M2 hdSMT machine running gzip (ILP) + mcf (memory-bound):
+//! // gzip on a wide M4 pipeline (0), mcf parked on an M2 (2).
+//! let arch = MicroArch::parse("2M4+2M2").unwrap();
+//! let cfg = SimConfig::paper_defaults(arch, 5_000);
+//! let workload =
+//!     vec![ThreadSpec::for_benchmark("gzip", 1), ThreadSpec::for_benchmark("mcf", 2)];
+//! let result = run_sim(&cfg, &workload, &[0, 2]);
+//! assert!(result.ipc() > 0.1);
+//! ```
+//!
+//! See `examples/` for complete scenarios and the `reproduce` binary
+//! (`crates/bench`) for full figure regeneration.
+
+pub use hdsmt_area as area;
+pub use hdsmt_bpred as bpred;
+pub use hdsmt_core as core;
+pub use hdsmt_isa as isa;
+pub use hdsmt_mem as mem;
+pub use hdsmt_pipeline as pipeline;
+pub use hdsmt_trace as trace;
+pub use hdsmt_workloads as workloads;

@@ -1,0 +1,185 @@
+//! Cross-crate integration tests: whole simulations exercising every layer
+//! (trace synthesis → front-end → backend → memory → statistics) and the
+//! paper's headline relationships at smoke scale.
+
+use hdsmt::area::microarch_area;
+use hdsmt::core::{
+    enumerate_mappings, heuristic_mapping, run_sim, FetchPolicy, MissProfile, SimConfig,
+    ThreadSpec,
+};
+use hdsmt::pipeline::MicroArch;
+use hdsmt::workloads::{all_workloads, WorkloadClass};
+
+fn specs(names: &[&str]) -> Vec<ThreadSpec> {
+    names.iter().enumerate().map(|(i, n)| ThreadSpec::for_benchmark(n, 500 + i as u64)).collect()
+}
+
+#[test]
+fn full_system_determinism_across_architectures() {
+    for arch_name in ["M8", "3M4", "2M4+2M2"] {
+        let arch = MicroArch::parse(arch_name).unwrap();
+        let mapping: Vec<u8> = if arch.is_monolithic() { vec![0, 0] } else { vec![0, 1] };
+        let cfg = SimConfig::paper_defaults(arch, 8_000);
+        let a = run_sim(&cfg, &specs(&["gcc", "vpr"]), &mapping);
+        let b = run_sim(&cfg, &specs(&["gcc", "vpr"]), &mapping);
+        assert_eq!(a.stats.cycles, b.stats.cycles, "{arch_name}");
+        assert_eq!(a.stats.retired, b.stats.retired, "{arch_name}");
+        assert_eq!(
+            a.stats.threads[0].mispredicts, b.stats.threads[0].mispredicts,
+            "{arch_name}"
+        );
+        assert_eq!(a.stats.mem, b.stats.mem, "{arch_name}");
+    }
+}
+
+#[test]
+fn ilp_class_outruns_mem_class_everywhere() {
+    for arch_name in ["M8", "2M4+2M2"] {
+        let arch = MicroArch::parse(arch_name).unwrap();
+        let mapping: Vec<u8> = if arch.is_monolithic() { vec![0, 0] } else { vec![0, 1] };
+        let cfg = SimConfig::paper_defaults(arch, 10_000);
+        let ilp = run_sim(&cfg, &specs(&["gzip", "eon"]), &mapping);
+        let mem = run_sim(&cfg, &specs(&["mcf", "twolf"]), &mapping);
+        assert!(
+            ilp.ipc() > 2.0 * mem.ipc(),
+            "{arch_name}: ILP {} vs MEM {}",
+            ilp.ipc(),
+            mem.ipc()
+        );
+    }
+}
+
+#[test]
+fn hdsmt_wins_performance_per_area_on_ilp_pair() {
+    // The paper's central claim at smoke scale: 2M4+2M2 beats M8 on
+    // IPC/mm² for an ILP pair even though M8 wins raw IPC.
+    let w = specs(&["gzip", "crafty"]);
+
+    let m8 = MicroArch::baseline();
+    let m8_area = microarch_area(&m8).total();
+    let r8 = run_sim(&SimConfig::paper_defaults(m8, 25_000), &w, &[0, 0]);
+
+    let hd = MicroArch::parse("2M4+2M2").unwrap();
+    let hd_area = microarch_area(&hd).total();
+    let rh = run_sim(&SimConfig::paper_defaults(hd, 25_000), &w, &[0, 1]);
+
+    assert!(
+        rh.ipc() / hd_area > r8.ipc() / m8_area,
+        "hdSMT {:.4}/mm² must beat M8 {:.4}/mm²",
+        rh.ipc() / hd_area * 1000.0,
+        r8.ipc() / m8_area * 1000.0
+    );
+}
+
+#[test]
+fn isolating_mem_thread_protects_ilp_thread() {
+    // On hdSMT, putting mcf on its own M2 must give gzip a better IPC than
+    // sharing gzip's M4 with it.
+    let w = specs(&["gzip", "mcf"]);
+    let hd = MicroArch::parse("2M4+2M2").unwrap();
+    let cfg = SimConfig::paper_defaults(hd, 15_000);
+    let isolated = run_sim(&cfg, &w, &[0, 2]);
+    let shared = run_sim(&cfg, &w, &[0, 0]);
+    let gzip_isolated = isolated.stats.thread_ipc(0);
+    let gzip_shared = shared.stats.thread_ipc(0);
+    assert!(
+        gzip_isolated > gzip_shared,
+        "gzip isolated {gzip_isolated} vs sharing with mcf {gzip_shared}"
+    );
+}
+
+#[test]
+fn heuristic_matches_oracle_direction_on_mix_workload() {
+    // The heuristic should land in the upper half of the mapping
+    // distribution for a MIX workload.
+    let arch = MicroArch::parse("2M4+2M2").unwrap();
+    let names = ["gzip", "twolf"];
+    let w = specs(&names);
+    let profile = MissProfile::build_with_len(100_000);
+    let heur = heuristic_mapping(&arch, &names, &profile);
+    let cfg = SimConfig::paper_defaults(arch.clone(), 8_000);
+    let heur_ipc = run_sim(&cfg, &w, &heur).ipc();
+    let all: Vec<f64> =
+        enumerate_mappings(&arch, 2).iter().map(|m| run_sim(&cfg, &w, m).ipc()).collect();
+    let median = {
+        let mut v = all.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    assert!(
+        heur_ipc >= median,
+        "heuristic {heur_ipc} must beat the median mapping {median} (all: {all:?})"
+    );
+}
+
+#[test]
+fn flush_policy_beats_plain_icount_with_memory_bound_partner() {
+    // FLUSH exists to keep a memory-bound thread from hogging shared
+    // resources (Tullsen & Brown): with mcf in the mix, the ILP partner
+    // must do better under FLUSH than under plain ICOUNT.
+    let w = specs(&["bzip2", "mcf"]);
+    let mut cfg = SimConfig::paper_defaults(MicroArch::baseline(), 20_000);
+    cfg.fetch_policy = FetchPolicy::Icount;
+    let icount = run_sim(&cfg, &w, &[0, 0]);
+    cfg.fetch_policy = FetchPolicy::Flush;
+    let flush = run_sim(&cfg, &w, &[0, 0]);
+    let bzip2_icount = icount.stats.thread_ipc(0);
+    let bzip2_flush = flush.stats.thread_ipc(0);
+    assert!(
+        bzip2_flush > bzip2_icount,
+        "bzip2 under FLUSH {bzip2_flush} vs ICOUNT {bzip2_icount}"
+    );
+}
+
+#[test]
+fn all_workloads_run_on_all_architectures() {
+    // Smoke: every (arch, workload) cell of Fig 4 simulates without panic
+    // and produces sane counters (tiny run lengths).
+    for arch in MicroArch::paper_set() {
+        for w in all_workloads() {
+            let names = w.benchmarks;
+            let specs: Vec<ThreadSpec> = names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| ThreadSpec::for_benchmark(n, i as u64))
+                .collect();
+            let profile_free: Vec<u8> = if arch.is_monolithic() {
+                vec![0; names.len()]
+            } else {
+                hdsmt::core::mapping::round_robin_mapping(&arch, names.len())
+            };
+            let mut cfg = SimConfig::paper_defaults(arch.clone(), 800);
+            cfg.warmup_insts = 400;
+            let r = run_sim(&cfg, &specs, &profile_free);
+            assert!(r.stats.retired >= 800, "{} {}", arch.name, w.id);
+            assert!(r.stats.cycles > 0, "{} {}", arch.name, w.id);
+            assert!(r.ipc() < arch.total_width() as f64, "{} {}", arch.name, w.id);
+        }
+    }
+}
+
+#[test]
+fn workload_classes_cover_expected_sizes() {
+    let count = |c, t| {
+        all_workloads().iter().filter(|w| w.class == c && w.threads() == t).count()
+    };
+    assert_eq!(count(WorkloadClass::Ilp, 2), 3);
+    assert_eq!(count(WorkloadClass::Mem, 4), 2);
+    assert_eq!(count(WorkloadClass::Mix, 4), 4);
+}
+
+#[test]
+fn mapping_capacity_is_enforced_end_to_end() {
+    let arch = MicroArch::parse("1M6+2M4+2M2").unwrap();
+    // 8 contexts: a 6-thread workload must have a valid round-robin and
+    // heuristic mapping, and every enumerated mapping must simulate.
+    let n = 6;
+    let maps = enumerate_mappings(&arch, n);
+    assert!(maps.len() > 100, "rich search space expected, got {}", maps.len());
+    for m in maps.iter().take(3) {
+        for (p, pipe) in arch.pipes.iter().enumerate() {
+            let assigned = m.iter().filter(|&&x| x as usize == p).count();
+            assert!(assigned <= pipe.contexts as usize);
+        }
+    }
+}

