@@ -82,8 +82,7 @@ pub struct FetchArea {
 
 /// Fetch-engine area for a monolithic or multipipeline chip.
 pub fn fetch_area(multipipe: bool) -> FetchArea {
-    let mm2 =
-        if multipipe { FETCH_MM2 * (1.0 + FETCH_MULTIPIPE_OVERHEAD) } else { FETCH_MM2 };
+    let mm2 = if multipipe { FETCH_MM2 * (1.0 + FETCH_MULTIPIPE_OVERHEAD) } else { FETCH_MM2 };
     FetchArea { mm2, multipipe }
 }
 

@@ -31,9 +31,7 @@ fn bench_fig2b(c: &mut Criterion) {
 
 fn bench_fig3(c: &mut Criterion) {
     c.bench_function("fig3_microarch_areas", |b| {
-        b.iter(|| {
-            MicroArch::paper_set().iter().map(|a| microarch_area(a).total()).sum::<f64>()
-        })
+        b.iter(|| MicroArch::paper_set().iter().map(|a| microarch_area(a).total()).sum::<f64>())
     });
     eprintln!("[fig3] microarchitecture areas:");
     for (name, total, delta) in paper_area_table() {

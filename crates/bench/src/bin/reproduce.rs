@@ -61,11 +61,12 @@ fn main() {
 }
 
 fn experiment_config(quick: bool) -> ExperimentConfig {
-    if quick {
-        ExperimentConfig::quick()
-    } else {
-        ExperimentConfig::paper()
-    }
+    let mut cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::paper() };
+    // Route every simulation through the campaign result cache: an
+    // interrupted or repeated `reproduce` run only simulates missing
+    // cells (`rm -rf results/sim-cache` forces a cold run).
+    cfg.cache_dir = Some("results/sim-cache".to_string());
+    cfg
 }
 
 // ---------------------------------------------------------------- Fig 2(a)
@@ -148,12 +149,30 @@ fn table1() {
     println!("RAS*                   256 entries");
     println!("ROB Size*              {} entries", cfg.rob_entries);
     println!("Rename Registers       {} regs.", cfg.rename_regs);
-    println!("L1 I-Cache             {}KB, {}-way, {} banks", m.l1i.size_bytes / 1024, m.l1i.ways, m.l1i.banks);
-    println!("L1 D-Cache             {}KB, {}-way, {} banks", m.l1d.size_bytes / 1024, m.l1d.ways, m.l1d.banks);
+    println!(
+        "L1 I-Cache             {}KB, {}-way, {} banks",
+        m.l1i.size_bytes / 1024,
+        m.l1i.ways,
+        m.l1i.banks
+    );
+    println!(
+        "L1 D-Cache             {}KB, {}-way, {} banks",
+        m.l1d.size_bytes / 1024,
+        m.l1d.ways,
+        m.l1d.banks
+    );
     println!("L1 lat./misspenalty    {}/{} cyc.", m.l1_lat, m.l1_miss_penalty);
-    println!("L2 Cache               {}KB, {}-way, {} banks", m.l2.size_bytes / 1024, m.l2.ways, m.l2.banks);
+    println!(
+        "L2 Cache               {}KB, {}-way, {} banks",
+        m.l2.size_bytes / 1024,
+        m.l2.ways,
+        m.l2.banks
+    );
     println!("Main Memory Latency    {} cyc.", m.mem_lat);
-    println!("I-TLB/D-TLB/TLB missp. {} ent. / {} ent. / {} cyc.", m.itlb_entries, m.dtlb_entries, m.tlb_miss_penalty);
+    println!(
+        "I-TLB/D-TLB/TLB missp. {} ent. / {} ent. / {} cyc.",
+        m.itlb_entries, m.dtlb_entries, m.tlb_miss_penalty
+    );
     println!("(* replicated per thread)");
     println!();
 }
@@ -187,7 +206,11 @@ fn figs45(quick: bool, what: &str) {
     );
     let t0 = std::time::Instant::now();
     let r = run_paper_experiments(&cfg);
-    eprintln!("campaign finished in {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "campaign finished in {:.1}s (cache at {})",
+        t0.elapsed().as_secs_f64(),
+        cfg.cache_dir.as_deref().unwrap_or("-")
+    );
     fs::write("results/fig45_campaign.json", serde_json::to_string_pretty(&r).unwrap()).ok();
 
     if what == "fig4" || what == "all" {
@@ -247,14 +270,19 @@ fn ablate_fetch(quick: bool) {
     for arch_name in ["M8", "2M4+2M2"] {
         let arch = MicroArch::parse(arch_name).unwrap();
         let mapping: Vec<u8> = if arch.is_monolithic() { vec![0, 0] } else { vec![0, 2] };
-        for policy in
-            [FetchPolicy::RoundRobin, FetchPolicy::Icount, FetchPolicy::Flush, FetchPolicy::L1mcount]
-        {
+        for policy in [
+            FetchPolicy::RoundRobin,
+            FetchPolicy::Icount,
+            FetchPolicy::Flush,
+            FetchPolicy::L1mcount,
+        ] {
             let mut cfg = SimConfig::paper_defaults(arch.clone(), insts);
             cfg.fetch_policy = policy;
             let ipc = run_sim(&cfg, &specs, &mapping).ipc();
             println!("{arch_name:<10} {policy:?}: IPC {ipc:.3}");
-            rows.push(serde_json::json!({"arch": arch_name, "policy": format!("{policy:?}"), "ipc": ipc}));
+            rows.push(
+                serde_json::json!({"arch": arch_name, "policy": format!("{policy:?}"), "ipc": ipc}),
+            );
         }
     }
     fs::write("results/ablate_fetch.json", serde_json::to_string_pretty(&rows).unwrap()).ok();
@@ -303,10 +331,7 @@ fn ablate_mapping(quick: bool) {
     }
     // Oracle for reference.
     let mappings = hdsmt_core::enumerate_mappings(&arch, w.threads());
-    let best = mappings
-        .iter()
-        .map(|m| run_sim(&cfg, &specs, m).ipc())
-        .fold(f64::MIN, f64::max);
+    let best = mappings.iter().map(|m| run_sim(&cfg, &specs, m).ipc()).fold(f64::MIN, f64::max);
     println!("{:<12} (over {} mappings): IPC {best:.3}", "oracle", mappings.len());
     rows.push(serde_json::json!({"policy": "oracle", "ipc": best}));
     fs::write("results/ablate_mapping.json", serde_json::to_string_pretty(&rows).unwrap()).ok();
@@ -318,17 +343,11 @@ fn ablate_bpred(quick: bool) {
     let insts = if quick { 20_000 } else { 60_000 };
     let specs = two_thread_specs();
     let mut rows = Vec::new();
-    for kind in [hdsmt_bpred::DirPredictorKind::Perceptron, hdsmt_bpred::DirPredictorKind::Gshare]
-    {
+    for kind in [hdsmt_bpred::DirPredictorKind::Perceptron, hdsmt_bpred::DirPredictorKind::Gshare] {
         let mut cfg = SimConfig::paper_defaults(MicroArch::baseline(), insts);
         cfg.predictor = kind;
         let r = run_sim(&cfg, &specs, &[0, 0]);
-        let misp: f64 = r
-            .stats
-            .threads
-            .iter()
-            .map(|t| t.mispredict_rate())
-            .sum::<f64>()
+        let misp: f64 = r.stats.threads.iter().map(|t| t.mispredict_rate()).sum::<f64>()
             / r.stats.threads.len() as f64;
         println!("{kind:?}: IPC {:.3}, mean mispredict {:.1}%", r.ipc(), misp * 100.0);
         rows.push(serde_json::json!({"predictor": format!("{kind:?}"), "ipc": r.ipc(), "mispredict": misp}));

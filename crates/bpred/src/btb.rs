@@ -29,7 +29,10 @@ pub struct Btb {
 impl Btb {
     /// `entries` must be a multiple of the associativity (4).
     pub fn new(entries: usize) -> Self {
-        assert!(entries >= WAYS && entries % WAYS == 0, "BTB size must be a multiple of {WAYS}");
+        assert!(
+            entries >= WAYS && entries.is_multiple_of(WAYS),
+            "BTB size must be a multiple of {WAYS}"
+        );
         let sets = entries / WAYS;
         Btb { sets, entries: vec![Entry::default(); entries], hits: 0, misses: 0 }
     }

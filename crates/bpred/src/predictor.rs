@@ -17,18 +17,13 @@ pub struct DirSnapshot {
 }
 
 /// Which direction predictor to instantiate.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize, Default)]
 pub enum DirPredictorKind {
     /// Paper configuration (Table 1).
+    #[default]
     Perceptron,
     /// Ablation baseline.
     Gshare,
-}
-
-impl Default for DirPredictorKind {
-    fn default() -> Self {
-        DirPredictorKind::Perceptron
-    }
 }
 
 /// Enum-dispatched direction predictor.

@@ -1,0 +1,165 @@
+//! The campaign CLI.
+//!
+//! ```text
+//! hdsmt-campaign run    <spec.(toml|json)> [--workers N] [--cache DIR]
+//! hdsmt-campaign status <spec>             [--cache DIR]
+//! hdsmt-campaign export <spec> [--out DIR] [--cache DIR]
+//! ```
+//!
+//! `run` executes the campaign (cache-first) and prints the summary;
+//! `status` reports how much of the matrix is already cached without
+//! simulating anything; `export` runs (fully cached after a prior `run`)
+//! and writes `campaign.json`, `cells.csv`, and `summary.txt`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hdsmt_campaign::{engine, export, CampaignSpec, Catalog, JobRunner, ResultCache};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct Options {
+    spec_path: PathBuf,
+    workers: Option<usize>,
+    cache_dir: Option<String>,
+    out_dir: PathBuf,
+}
+
+fn usage() -> String {
+    "usage: hdsmt-campaign <run|status|export> <spec.(toml|json)> \
+     [--workers N] [--cache DIR] [--out DIR]"
+        .to_string()
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut spec_path: Option<PathBuf> = None;
+    let mut workers = None;
+    let mut cache_dir = None;
+    let mut out_dir = PathBuf::from("results");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                workers = Some(v.parse::<usize>().map_err(|_| "--workers: not a number")?);
+            }
+            "--cache" => {
+                cache_dir = Some(it.next().ok_or("--cache needs a value")?.clone());
+            }
+            "--out" => {
+                out_dir = PathBuf::from(it.next().ok_or("--out needs a value")?);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}\n{}", usage()));
+            }
+            other => {
+                if spec_path.replace(PathBuf::from(other)).is_some() {
+                    return Err(format!("more than one spec file given\n{}", usage()));
+                }
+            }
+        }
+    }
+    Ok(Options {
+        spec_path: spec_path.ok_or_else(|| format!("missing spec file\n{}", usage()))?,
+        workers,
+        cache_dir,
+        out_dir,
+    })
+}
+
+fn load(opts: &Options) -> Result<(CampaignSpec, ResultCache), String> {
+    let mut spec = CampaignSpec::load(&opts.spec_path).map_err(|e| e.to_string())?;
+    if let Some(w) = opts.workers {
+        spec.workers = Some(w as u64);
+    }
+    if let Some(dir) = &opts.cache_dir {
+        spec.cache_dir = Some(dir.clone());
+    }
+    let cache = engine::open_cache(&spec).map_err(|e| e.to_string())?;
+    Ok((spec, cache))
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(usage());
+    };
+    let opts = parse_options(rest)?;
+    let catalog = Catalog::paper();
+    match cmd.as_str() {
+        "run" => {
+            let (spec, cache) = load(&opts)?;
+            let runner = JobRunner::new(spec.workers.unwrap_or(0) as usize, Some(cache.clone()));
+            eprintln!(
+                "campaign `{}`: {} workers, cache at {}",
+                spec.display_name(),
+                runner.workers(),
+                cache.dir().display()
+            );
+            let t0 = std::time::Instant::now();
+            let result =
+                engine::run_campaign_with(&spec, &catalog, &runner).map_err(|e| e.to_string())?;
+            eprintln!(
+                "finished in {:.1}s: {} cells, {} jobs ({} cache hits, {} simulated)",
+                t0.elapsed().as_secs_f64(),
+                result.cells.len(),
+                result.report.total,
+                result.report.cache_hits,
+                result.report.simulated,
+            );
+            print!("{}", export::summary(&result));
+            Ok(())
+        }
+        "status" => {
+            let (spec, cache) = load(&opts)?;
+            let st = engine::status(&spec, &catalog, &cache).map_err(|e| e.to_string())?;
+            println!("campaign `{}` at cache {}", spec.display_name(), cache.dir().display());
+            println!("cells:                {}", st.cells);
+            println!("search jobs cached:   {}/{}", st.search_cached, st.search_jobs);
+            println!("measure jobs cached:  {}/{}", st.measure_cached, st.measure_known);
+            if st.measure_pending_search > 0 {
+                println!(
+                    "oracle measure jobs:  {} (keys depend on search phase)",
+                    st.measure_pending_search
+                );
+            }
+            println!("cache entries on disk: {}", cache.len());
+            Ok(())
+        }
+        "export" => {
+            let (spec, cache) = load(&opts)?;
+            let runner = JobRunner::new(spec.workers.unwrap_or(0) as usize, Some(cache));
+            let result =
+                engine::run_campaign_with(&spec, &catalog, &runner).map_err(|e| e.to_string())?;
+            std::fs::create_dir_all(&opts.out_dir)
+                .map_err(|e| format!("cannot create {}: {e}", opts.out_dir.display()))?;
+            let json_path = opts.out_dir.join("campaign.json");
+            let csv_path = opts.out_dir.join("cells.csv");
+            let summary_path = opts.out_dir.join("summary.txt");
+            std::fs::write(&json_path, export::to_json(&result)).map_err(|e| e.to_string())?;
+            std::fs::write(&csv_path, export::to_csv(&result)).map_err(|e| e.to_string())?;
+            let summary = export::summary(&result);
+            std::fs::write(&summary_path, &summary).map_err(|e| e.to_string())?;
+            eprintln!(
+                "wrote {}, {}, {} ({} cells; {} cache hits / {} jobs)",
+                json_path.display(),
+                csv_path.display(),
+                summary_path.display(),
+                result.cells.len(),
+                result.report.cache_hits,
+                result.report.total,
+            );
+            print!("{summary}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}

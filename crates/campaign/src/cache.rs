@@ -1,0 +1,171 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Every simulation job serializes to a canonical JSON descriptor; its
+//! cache key is the SHA-256 of that descriptor plus a code-version salt.
+//! Entries live at `<dir>/<k0k1>/<key>.json` (sharded by the first key
+//! byte) and are written atomically (`tmp` + rename), so an interrupted
+//! campaign never leaves a truncated entry behind — a half-written file
+//! simply re-simulates. Re-running a campaign therefore only simulates
+//! the missing cells: resumability and incrementality by construction.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use hdsmt_core::SimResult;
+
+use crate::hash::sha256_hex;
+
+/// Bump when the meaning of a cached result changes (simulator semantics,
+/// result schema, key schema). Old entries are then simply never hit.
+pub const CODE_VERSION: &str = concat!("hdsmt-campaign/", env!("CARGO_PKG_VERSION"), "/schema-1");
+
+/// A content-addressed store of [`SimResult`]s.
+#[derive(Clone, Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Open (and create) a cache rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ResultCache { dir })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Cache key for a canonical job descriptor.
+    pub fn key_for(descriptor_json: &str) -> String {
+        let mut salted = String::with_capacity(descriptor_json.len() + CODE_VERSION.len() + 1);
+        salted.push_str(CODE_VERSION);
+        salted.push('\n');
+        salted.push_str(descriptor_json);
+        sha256_hex(salted.as_bytes())
+    }
+
+    fn path(&self, key: &str) -> PathBuf {
+        self.dir.join(&key[..2]).join(format!("{key}.json"))
+    }
+
+    /// Is a result for `key` present on disk?
+    pub fn contains(&self, key: &str) -> bool {
+        self.path(key).is_file()
+    }
+
+    /// Load the cached result for `key`. Corrupt or unreadable entries
+    /// count as misses (the caller re-simulates and overwrites them).
+    pub fn get(&self, key: &str) -> Option<SimResult> {
+        let text = fs::read_to_string(self.path(key)).ok()?;
+        let entry: CacheEntry = serde_json::from_str(&text).ok()?;
+        Some(entry.result)
+    }
+
+    /// Atomically store `result` under `key`, alongside its descriptor
+    /// (kept for human inspection of the cache).
+    pub fn put(&self, key: &str, descriptor_json: &str, result: &SimResult) -> std::io::Result<()> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // Unique per write: two threads simulating the same deterministic
+        // job (e.g. the heuristic mapping equalling the oracle best in one
+        // measure batch) must not share a tmp path, or the loser's rename
+        // fails. The final rename is atomic and both payloads are
+        // identical, so last-writer-wins is correct.
+        static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let descriptor = serde_json::from_str_value(descriptor_json)
+            .unwrap_or(serde_json::Value::String(descriptor_json.to_string()));
+        let entry =
+            CacheEntry { version: CODE_VERSION.to_string(), descriptor, result: result.clone() };
+        let final_path = self.path(key);
+        fs::create_dir_all(final_path.parent().unwrap())?;
+        let tmp = final_path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            WRITE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, serde_json::to_string_pretty(&entry).map_err(io_err)?)?;
+        fs::rename(&tmp, &final_path)?;
+        Ok(())
+    }
+
+    /// Number of entries on disk (status reporting).
+    pub fn len(&self) -> usize {
+        let Ok(shards) = fs::read_dir(&self.dir) else { return 0 };
+        shards
+            .flatten()
+            .filter(|d| d.path().is_dir())
+            .filter_map(|d| fs::read_dir(d.path()).ok())
+            .flat_map(|entries| entries.flatten())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn io_err(e: serde_json::Error) -> std::io::Error {
+    std::io::Error::other(e.0)
+}
+
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+struct CacheEntry {
+    version: String,
+    descriptor: serde_json::Value,
+    result: SimResult,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsmt_core::SimStats;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("hdsmt-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn fake_result() -> SimResult {
+        SimResult { arch: "M8".into(), mapping: vec![0, 0], stats: SimStats::default() }
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let cache = ResultCache::open(&dir).unwrap();
+        let key = ResultCache::key_for("{\"job\":1}");
+        assert!(!cache.contains(&key));
+        assert!(cache.get(&key).is_none());
+        cache.put(&key, "{\"job\":1}", &fake_result()).unwrap();
+        assert!(cache.contains(&key));
+        let got = cache.get(&key).unwrap();
+        assert_eq!(got.arch, "M8");
+        assert_eq!(got.mapping, vec![0, 0]);
+        assert_eq!(cache.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_is_a_miss() {
+        let dir = tmpdir("corrupt");
+        let cache = ResultCache::open(&dir).unwrap();
+        let key = ResultCache::key_for("{\"job\":2}");
+        cache.put(&key, "{\"job\":2}", &fake_result()).unwrap();
+        let path = dir.join(&key[..2]).join(format!("{key}.json"));
+        fs::write(&path, "{ truncated").unwrap();
+        assert!(cache.get(&key).is_none(), "corrupt entry must be a miss");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_depends_on_descriptor_and_version() {
+        let a = ResultCache::key_for("{\"a\":1}");
+        let b = ResultCache::key_for("{\"a\":2}");
+        assert_ne!(a, b);
+        assert_eq!(a, ResultCache::key_for("{\"a\":1}"));
+        assert_eq!(a.len(), 64);
+    }
+}

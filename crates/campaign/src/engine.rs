@@ -1,0 +1,333 @@
+//! The campaign engine: expand → resolve mappings → simulate (cached).
+//!
+//! Execution is phased so that *every* simulation — oracle mapping-search
+//! runs included — goes through the cached, work-stealing [`JobRunner`]:
+//!
+//! 1. **Expand** the spec into the deterministic cell matrix.
+//! 2. **Search** (only for `best`/`worst` cells): every distinct mapping
+//!    of every oracle cell, flattened into one global batch.
+//! 3. **Measure**: one full-length job per cell, mappings now known.
+//!
+//! Interrupting a campaign between (or inside) phases loses nothing:
+//! completed jobs sit in the content-addressed cache and are not
+//! re-simulated on the next run.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use hdsmt_core::{enumerate_mappings, heuristic_mapping, MissProfile};
+use hdsmt_pipeline::MicroArch;
+
+use crate::cache::ResultCache;
+use crate::catalog::Catalog;
+use crate::job::{CampaignError, JobRunner, JobSpec, RunReport};
+use crate::matrix::{expand, Cell, Policy};
+use crate::spec::CampaignSpec;
+
+/// Measured outcome of one cell.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct CellResult {
+    pub arch: String,
+    pub workload: String,
+    pub class: Option<String>,
+    pub threads: usize,
+    pub policy: String,
+    pub mapping: Vec<u8>,
+    pub ipc: f64,
+    pub cycles: u64,
+    pub retired: u64,
+    /// Architecture area (mm², §3 model) — for IPC/area tables.
+    pub area_mm2: f64,
+    /// Distinct mappings searched (oracle policies; 1 otherwise).
+    pub n_mappings: usize,
+}
+
+impl CellResult {
+    pub fn ipc_per_mm2(&self) -> f64 {
+        self.ipc / self.area_mm2
+    }
+}
+
+/// Full campaign outcome.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct CampaignResult {
+    pub name: String,
+    pub cells: Vec<CellResult>,
+    /// Job counters across both phases (search + measure).
+    pub report: RunReport,
+}
+
+impl CampaignResult {
+    /// Cells of one (arch, policy) slice.
+    pub fn slice<'a>(
+        &'a self,
+        arch: &'a str,
+        policy: &'a str,
+    ) -> impl Iterator<Item = &'a CellResult> + 'a {
+        self.cells.iter().filter(move |c| c.arch == arch && c.policy == policy)
+    }
+
+    /// Harmonic-mean IPC over a slice (empty slice → 0).
+    pub fn hmean_ipc(&self, arch: &str, policy: &str) -> f64 {
+        let v: Vec<f64> = self.slice(arch, policy).map(|c| c.ipc).collect();
+        hdsmt_core::stats::harmonic_mean(&v)
+    }
+}
+
+/// Per-profile-length memoized miss profiles: `heur` mappings are pure
+/// functions of (benchmarks, profile), and profiling all 12 benchmarks is
+/// ~100× one cell's simulation time — share it across cells and calls.
+fn miss_profile(profile_insts: u64) -> Arc<MissProfile> {
+    static PROFILES: OnceLock<Mutex<HashMap<u64, Arc<MissProfile>>>> = OnceLock::new();
+    let lock = PROFILES.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = lock.lock().unwrap();
+    map.entry(profile_insts)
+        .or_insert_with(|| Arc::new(MissProfile::build_with_len(profile_insts)))
+        .clone()
+}
+
+fn static_mapping(cell: &Cell, arch: &MicroArch, profile: Option<&MissProfile>) -> Option<Vec<u8>> {
+    match &cell.policy {
+        Policy::Heur => {
+            let benchmarks: Vec<&str> =
+                cell.workload.benchmarks.iter().map(String::as_str).collect();
+            Some(heuristic_mapping(arch, &benchmarks, profile.expect("profile built")))
+        }
+        Policy::RoundRobin => {
+            Some(hdsmt_core::mapping::round_robin_mapping(arch, cell.workload.threads()))
+        }
+        Policy::Random(seed) => {
+            Some(hdsmt_core::mapping::random_mapping(arch, cell.workload.threads(), *seed))
+        }
+        Policy::Best | Policy::Worst => None,
+    }
+}
+
+/// Index of the best and worst mapping by score (ties broken by mapping
+/// bytes, so the outcome is independent of enumeration details).
+pub fn best_worst(mappings: &[Vec<u8>], scores: &[f64]) -> (usize, usize) {
+    let mut bi = 0;
+    let mut wi = 0;
+    for i in 1..scores.len() {
+        if scores[i] > scores[bi] || (scores[i] == scores[bi] && mappings[i] < mappings[bi]) {
+            bi = i;
+        }
+        if scores[i] < scores[wi] || (scores[i] == scores[wi] && mappings[i] < mappings[wi]) {
+            wi = i;
+        }
+    }
+    (bi, wi)
+}
+
+/// Open the spec's cache (default directory `.hdsmt-cache`).
+pub fn open_cache(spec: &CampaignSpec) -> Result<ResultCache, CampaignError> {
+    let dir = spec.cache_dir.clone().unwrap_or_else(|| ".hdsmt-cache".to_string());
+    ResultCache::open(dir).map_err(|e| CampaignError(format!("cannot open cache: {e}")))
+}
+
+/// Build the runner a spec asks for (worker count + cache directory).
+pub fn runner_for(spec: &CampaignSpec) -> Result<JobRunner, CampaignError> {
+    let cache = open_cache(spec)?;
+    Ok(JobRunner::new(spec.workers.unwrap_or(0) as usize, Some(cache)))
+}
+
+/// Run a campaign through an explicit runner (tests inject a tmp cache;
+/// the CLI uses [`runner_for`]).
+pub fn run_campaign_with(
+    spec: &CampaignSpec,
+    catalog: &Catalog,
+    runner: &JobRunner,
+) -> Result<CampaignResult, CampaignError> {
+    let cells = expand(spec, catalog)?;
+    let budget = spec.budget();
+
+    // Pre-parse archs once; expansion already validated them.
+    let mut archs: HashMap<&str, MicroArch> = HashMap::new();
+    for cell in &cells {
+        if !archs.contains_key(cell.arch.as_str()) {
+            archs.insert(&cell.arch, MicroArch::parse(&cell.arch).map_err(CampaignError)?);
+        }
+    }
+
+    let needs_profile = cells.iter().any(|c| c.policy == Policy::Heur);
+    let profile = if needs_profile {
+        Some(miss_profile(spec.profile_insts.unwrap_or(300_000)))
+    } else {
+        None
+    };
+
+    // ---- phase 1: oracle mapping search, flattened across cells ----
+    // One sweep per distinct (arch, workload): `best` and `worst` cells
+    // of the same pair share it rather than enqueueing duplicate jobs.
+    struct SearchSweep {
+        cell_indices: Vec<usize>,
+        mappings: Vec<Vec<u8>>,
+        job_range: std::ops::Range<usize>,
+    }
+    let mut search_jobs: Vec<JobSpec> = Vec::new();
+    let mut sweeps: Vec<SearchSweep> = Vec::new();
+    let mut sweep_of: HashMap<(String, String), usize> = HashMap::new();
+    for (i, cell) in cells.iter().enumerate() {
+        if !cell.policy.is_oracle() {
+            continue;
+        }
+        let pair = (cell.arch.clone(), cell.workload.id.clone());
+        if let Some(&s) = sweep_of.get(&pair) {
+            sweeps[s].cell_indices.push(i);
+            continue;
+        }
+        let arch = &archs[cell.arch.as_str()];
+        let mappings = enumerate_mappings(arch, cell.workload.threads());
+        let start = search_jobs.len();
+        search_jobs.extend(mappings.iter().map(|m| cell.search_job(m.clone(), &budget)));
+        sweep_of.insert(pair, sweeps.len());
+        sweeps.push(SearchSweep {
+            cell_indices: vec![i],
+            mappings,
+            job_range: start..search_jobs.len(),
+        });
+    }
+    let search_results = runner.run_all(&search_jobs)?;
+
+    // ---- reduce: chosen mapping per cell ----
+    let mut chosen: Vec<Option<(Vec<u8>, usize)>> = vec![None; cells.len()];
+    for sweep in &sweeps {
+        let scores: Vec<f64> =
+            search_results[sweep.job_range.clone()].iter().map(|r| r.ipc()).collect();
+        let (bi, wi) = best_worst(&sweep.mappings, &scores);
+        for &ci in &sweep.cell_indices {
+            let pick = match cells[ci].policy {
+                Policy::Best => bi,
+                Policy::Worst => wi,
+                _ => unreachable!(),
+            };
+            chosen[ci] = Some((sweep.mappings[pick].clone(), sweep.mappings.len()));
+        }
+    }
+    for (i, cell) in cells.iter().enumerate() {
+        if chosen[i].is_none() {
+            let arch = &archs[cell.arch.as_str()];
+            let mapping =
+                static_mapping(cell, arch, profile.as_deref()).expect("static policy resolves");
+            chosen[i] = Some((mapping, 1));
+        }
+    }
+
+    // ---- phase 2: full-length measurement, one job per cell ----
+    let measure_jobs: Vec<JobSpec> = cells
+        .iter()
+        .zip(&chosen)
+        .map(|(cell, m)| cell.job(m.as_ref().unwrap().0.clone(), &budget))
+        .collect();
+    let measured = runner.run_all(&measure_jobs)?;
+
+    let mut results = Vec::with_capacity(cells.len());
+    for ((cell, m), sim) in cells.iter().zip(&chosen).zip(&measured) {
+        let (mapping, n_mappings) = m.as_ref().unwrap();
+        let arch = &archs[cell.arch.as_str()];
+        results.push(CellResult {
+            arch: cell.arch.clone(),
+            workload: cell.workload.id.clone(),
+            class: cell.workload.class.clone(),
+            threads: cell.workload.threads(),
+            policy: cell.policy.label(),
+            mapping: mapping.clone(),
+            ipc: sim.ipc(),
+            cycles: sim.stats.cycles,
+            retired: sim.stats.retired,
+            area_mm2: hdsmt_area::microarch_area(arch).total(),
+            n_mappings: *n_mappings,
+        });
+    }
+
+    Ok(CampaignResult {
+        name: spec.display_name().to_string(),
+        cells: results,
+        report: runner.report(),
+    })
+}
+
+/// Run a campaign with the runner the spec describes.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    catalog: &Catalog,
+) -> Result<CampaignResult, CampaignError> {
+    let runner = runner_for(spec)?;
+    run_campaign_with(spec, catalog, &runner)
+}
+
+/// Cache-state preview for `status`: how much of the campaign is already
+/// on disk, without simulating anything.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct CampaignStatus {
+    pub cells: usize,
+    /// Search jobs implied by oracle cells.
+    pub search_jobs: usize,
+    pub search_cached: usize,
+    /// Measure jobs whose mapping (and hence cache key) is already
+    /// decidable without running the search phase.
+    pub measure_known: usize,
+    pub measure_cached: usize,
+    /// Oracle measure jobs whose key depends on pending search results.
+    pub measure_pending_search: usize,
+}
+
+pub fn status(
+    spec: &CampaignSpec,
+    catalog: &Catalog,
+    cache: &ResultCache,
+) -> Result<CampaignStatus, CampaignError> {
+    let cells = expand(spec, catalog)?;
+    let budget = spec.budget();
+    // `heur` cache keys need the miss profile, which costs real profiling
+    // simulations — only worth it if the cache could contain anything.
+    // An empty cache trivially has zero coverage; report that without
+    // simulating a single instruction.
+    let needs_profile = cells.iter().any(|c| c.policy == Policy::Heur) && !cache.is_empty();
+    let profile = if needs_profile {
+        Some(miss_profile(spec.profile_insts.unwrap_or(300_000)))
+    } else {
+        None
+    };
+
+    let mut st = CampaignStatus {
+        cells: cells.len(),
+        search_jobs: 0,
+        search_cached: 0,
+        measure_known: 0,
+        measure_cached: 0,
+        measure_pending_search: 0,
+    };
+    // Oracle cells of the same (arch, workload) share one search sweep in
+    // the engine — count it once here too, so status totals match `run`.
+    let mut counted_sweeps: std::collections::HashSet<(String, String)> =
+        std::collections::HashSet::new();
+    for cell in &cells {
+        let arch = MicroArch::parse(&cell.arch).map_err(CampaignError)?;
+        if cell.policy.is_oracle() {
+            st.measure_pending_search += 1;
+            if !counted_sweeps.insert((cell.arch.clone(), cell.workload.id.clone())) {
+                continue;
+            }
+            for m in enumerate_mappings(&arch, cell.workload.threads()) {
+                st.search_jobs += 1;
+                if !cache.is_empty() {
+                    let job = cell.search_job(m, &budget);
+                    if cache.contains(&job.key()) {
+                        st.search_cached += 1;
+                    }
+                }
+            }
+        } else {
+            st.measure_known += 1;
+            if cell.policy == Policy::Heur && profile.is_none() {
+                continue; // empty cache: trivially uncached
+            }
+            let mapping = static_mapping(cell, &arch, profile.as_deref()).expect("static policy");
+            if cache.contains(&cell.job(mapping, &budget).key()) {
+                st.measure_cached += 1;
+            }
+        }
+    }
+    Ok(st)
+}

@@ -1,0 +1,184 @@
+//! Result export: JSON, CSV, and a §5-style text summary.
+
+use std::fmt::Write as _;
+
+use crate::engine::CampaignResult;
+
+/// Full campaign result as pretty JSON.
+pub fn to_json(result: &CampaignResult) -> String {
+    serde_json::to_string_pretty(result).expect("CampaignResult serializes")
+}
+
+/// Cell table as CSV (mappings joined with `|` to stay comma-free).
+pub fn to_csv(result: &CampaignResult) -> String {
+    let mut out = String::from(
+        "arch,workload,class,threads,policy,mapping,ipc,ipc_per_mm2,area_mm2,cycles,retired,n_mappings\n",
+    );
+    for c in &result.cells {
+        let mapping: Vec<String> = c.mapping.iter().map(|p| p.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{:.6},{:.8},{:.2},{},{},{}",
+            csv_field(&c.arch),
+            csv_field(&c.workload),
+            csv_field(c.class.as_deref().unwrap_or("")),
+            c.threads,
+            csv_field(&c.policy),
+            mapping.join("|"),
+            c.ipc,
+            c.ipc_per_mm2(),
+            c.area_mm2,
+            c.cycles,
+            c.retired,
+            c.n_mappings,
+        );
+    }
+    out
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// §5-style text summary: per-(arch, policy) harmonic means, the most
+/// complexity-effective machine, and the paper's headline comparisons
+/// when the relevant machines are present.
+pub fn summary(result: &CampaignResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "campaign `{}`", result.name);
+    let _ = writeln!(
+        out,
+        "jobs: {} total, {} cache hits, {} simulated",
+        result.report.total, result.report.cache_hits, result.report.simulated
+    );
+
+    let mut archs: Vec<&str> = Vec::new();
+    let mut policies: Vec<&str> = Vec::new();
+    for c in &result.cells {
+        if !archs.contains(&c.arch.as_str()) {
+            archs.push(&c.arch);
+        }
+        if !policies.contains(&c.policy.as_str()) {
+            policies.push(&c.policy);
+        }
+    }
+
+    let _ = writeln!(out);
+    let _ = write!(out, "{:<16}{:>10}", "hmean IPC", "area mm2");
+    for p in &policies {
+        let _ = write!(out, "{p:>14}{:>16}", "IPC/mm2 x1e3");
+    }
+    let _ = writeln!(out);
+    let mut best: Option<(&str, f64)> = None;
+    for arch in &archs {
+        let area =
+            result.cells.iter().find(|c| c.arch == *arch).map(|c| c.area_mm2).unwrap_or(f64::NAN);
+        let _ = write!(out, "{arch:<16}{area:>10.1}");
+        for p in &policies {
+            let ipc = result.hmean_ipc(arch, p);
+            let pa = ipc / area * 1e3;
+            let _ = write!(out, "{ipc:>14.3}{pa:>16.3}");
+            if *p == policies[0] && best.as_ref().is_none_or(|(_, b)| pa > *b) {
+                best = Some((arch, pa));
+            }
+        }
+        let _ = writeln!(out);
+    }
+
+    if let Some((name, _)) = best {
+        let _ = writeln!(out, "\nmost complexity-effective machine ({}): {name}", policies[0]);
+        // Paper-style comparisons when the reference machines are in the
+        // campaign: perf/area vs the monolithic M8 baseline.
+        if archs.contains(&"M8") && name != "M8" {
+            let p = policies[0];
+            let m8 = result.hmean_ipc("M8", p)
+                / result.cells.iter().find(|c| c.arch == "M8").unwrap().area_mm2;
+            let them = result.hmean_ipc(name, p)
+                / result.cells.iter().find(|c| c.arch == name).unwrap().area_mm2;
+            let _ = writeln!(
+                out,
+                "perf/area vs monolithic M8: {:+.1}%   (paper's best hdSMT: +13%)",
+                (them / m8 - 1.0) * 100.0
+            );
+            let m8_raw = result.hmean_ipc("M8", p);
+            let them_raw = result.hmean_ipc(name, p);
+            let _ = writeln!(
+                out,
+                "raw IPC vs monolithic M8:   {:+.1}%   (paper: monolithic ahead ~6%)",
+                (them_raw / m8_raw - 1.0) * 100.0
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CellResult;
+    use crate::job::RunReport;
+
+    fn fake() -> CampaignResult {
+        CampaignResult {
+            name: "t".into(),
+            cells: vec![
+                CellResult {
+                    arch: "M8".into(),
+                    workload: "2W7".into(),
+                    class: Some("MIX".into()),
+                    threads: 2,
+                    policy: "heur".into(),
+                    mapping: vec![0, 0],
+                    ipc: 3.0,
+                    cycles: 100,
+                    retired: 300,
+                    area_mm2: 170.0,
+                    n_mappings: 1,
+                },
+                CellResult {
+                    arch: "2M4+2M2".into(),
+                    workload: "2W7".into(),
+                    class: Some("MIX".into()),
+                    threads: 2,
+                    policy: "heur".into(),
+                    mapping: vec![0, 2],
+                    ipc: 2.5,
+                    cycles: 120,
+                    retired: 300,
+                    area_mm2: 124.0,
+                    n_mappings: 1,
+                },
+            ],
+            report: RunReport { total: 2, cache_hits: 0, simulated: 2 },
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = to_csv(&fake());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("arch,workload,class"));
+        assert!(lines[1].starts_with("M8,2W7,MIX,2,heur,0|0,"));
+    }
+
+    #[test]
+    fn json_parses_back() {
+        let json = to_json(&fake());
+        let v = serde_json::from_str_value(&json).unwrap();
+        assert_eq!(v.get("name").and_then(|n| n.as_str()), Some("t"));
+        assert_eq!(v.get("cells").and_then(|c| c.as_array()).map(|a| a.len()), Some(2));
+    }
+
+    #[test]
+    fn summary_names_the_per_area_winner() {
+        let s = summary(&fake());
+        assert!(s.contains("most complexity-effective machine"), "{s}");
+        assert!(s.contains("2M4+2M2"), "{s}");
+        assert!(s.contains("perf/area vs monolithic M8"), "{s}");
+    }
+}

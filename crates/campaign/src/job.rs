@@ -1,0 +1,211 @@
+//! The unit of campaign work: one deterministic simulation, fully
+//! described by a serializable [`JobSpec`] — which is also its cache
+//! identity — plus the cached, work-stealing [`JobRunner`] that executes
+//! batches of them.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use hdsmt_core::{run_sim, FetchPolicy, SimConfig, SimResult, ThreadSpec};
+use hdsmt_pipeline::MicroArch;
+
+use crate::cache::ResultCache;
+use crate::sched::{default_workers, parallel_map};
+
+/// One software thread of a job: benchmark model + stream seed.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct JobThread {
+    pub bench: String,
+    pub seed: u64,
+}
+
+/// A complete, self-contained description of one simulation run.
+///
+/// Serializing a `JobSpec` to canonical JSON and hashing it (plus the
+/// code-version salt) yields the job's cache key; two jobs with equal
+/// specs are bit-identical simulations, because the simulator is
+/// deterministic.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct JobSpec {
+    /// Microarchitecture name (`M8`, `2M4+2M2`, ...).
+    pub arch: String,
+    pub threads: Vec<JobThread>,
+    /// Thread i runs on pipeline `mapping[i]`.
+    pub mapping: Vec<u8>,
+    /// Per-thread retire target after warm-up.
+    pub max_insts: u64,
+    /// Committed instructions before statistics reset.
+    pub warmup_insts: u64,
+    /// Fetch-policy override (`icount`/`flush`/`l1mcount`/`rr`);
+    /// `None` = the paper's per-architecture rule.
+    pub fetch_policy: Option<String>,
+    /// Register-file latency override; `None` = the §4 rule.
+    pub regfile_lat: Option<u32>,
+}
+
+/// Spec/expansion error with a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CampaignError(pub String);
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl JobSpec {
+    /// Canonical JSON descriptor (field order is fixed by the struct).
+    pub fn descriptor(&self) -> String {
+        serde_json::to_string(self).expect("JobSpec serializes")
+    }
+
+    /// Content hash identifying this job in the result cache.
+    pub fn key(&self) -> String {
+        ResultCache::key_for(&self.descriptor())
+    }
+
+    fn parse_fetch_policy(name: &str) -> Result<FetchPolicy, CampaignError> {
+        match name.to_ascii_lowercase().as_str() {
+            "icount" => Ok(FetchPolicy::Icount),
+            "flush" => Ok(FetchPolicy::Flush),
+            "l1mcount" => Ok(FetchPolicy::L1mcount),
+            "rr" | "round-robin" | "roundrobin" => Ok(FetchPolicy::RoundRobin),
+            other => Err(CampaignError(format!("unknown fetch policy `{other}`"))),
+        }
+    }
+
+    /// Validate the job and build its simulator configuration — cheap
+    /// (no program synthesis), suitable for batch pre-flight checks.
+    pub fn check(&self) -> Result<SimConfig, CampaignError> {
+        let arch = MicroArch::parse(&self.arch)
+            .map_err(|e| CampaignError(format!("bad arch `{}`: {e}", self.arch)))?;
+        if self.threads.is_empty() {
+            return Err(CampaignError("job has no threads".into()));
+        }
+        if self.mapping.len() != self.threads.len() {
+            return Err(CampaignError(format!(
+                "mapping length {} != thread count {}",
+                self.mapping.len(),
+                self.threads.len()
+            )));
+        }
+        for t in &self.threads {
+            if hdsmt_trace::by_name(&t.bench).is_none() {
+                return Err(CampaignError(format!("unknown benchmark `{}`", t.bench)));
+            }
+        }
+        for (i, &p) in self.mapping.iter().enumerate() {
+            if p as usize >= arch.pipes.len() {
+                return Err(CampaignError(format!(
+                    "thread {i} mapped to pipeline {p}, but {} has {} pipelines",
+                    self.arch,
+                    arch.pipes.len()
+                )));
+            }
+        }
+        let mut cfg = SimConfig::paper_defaults(arch, self.max_insts);
+        cfg.warmup_insts = self.warmup_insts;
+        if let Some(fp) = &self.fetch_policy {
+            cfg.fetch_policy = Self::parse_fetch_policy(fp)?;
+        }
+        cfg.regfile_lat = self.regfile_lat;
+        cfg.validate().map_err(CampaignError)?;
+        Ok(cfg)
+    }
+
+    /// Validate and build the simulator configuration + thread specs
+    /// (synthesizes each thread's program — only call when simulating).
+    pub fn materialize(&self) -> Result<(SimConfig, Vec<ThreadSpec>), CampaignError> {
+        let cfg = self.check()?;
+        let specs =
+            self.threads.iter().map(|t| ThreadSpec::for_benchmark(&t.bench, t.seed)).collect();
+        Ok((cfg, specs))
+    }
+
+    /// Run the simulation, bypassing any cache.
+    pub fn run_uncached(&self) -> Result<SimResult, CampaignError> {
+        let (cfg, specs) = self.materialize()?;
+        Ok(run_sim(&cfg, &specs, &self.mapping))
+    }
+}
+
+/// Execution counters for one `run_all` batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct RunReport {
+    pub total: usize,
+    pub cache_hits: usize,
+    pub simulated: usize,
+}
+
+impl RunReport {
+    fn merge(&mut self, other: RunReport) {
+        self.total += other.total;
+        self.cache_hits += other.cache_hits;
+        self.simulated += other.simulated;
+    }
+}
+
+/// Batch executor: work-stealing parallelism + content-addressed caching.
+pub struct JobRunner {
+    workers: usize,
+    cache: Option<ResultCache>,
+    report: std::sync::Mutex<RunReport>,
+}
+
+impl JobRunner {
+    /// `workers = 0` means auto (cores − 2).
+    pub fn new(workers: usize, cache: Option<ResultCache>) -> Self {
+        let workers = if workers == 0 { default_workers() } else { workers };
+        JobRunner { workers, cache, report: std::sync::Mutex::new(RunReport::default()) }
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    pub fn cache(&self) -> Option<&ResultCache> {
+        self.cache.as_ref()
+    }
+
+    /// Cumulative counters across every `run_all` on this runner.
+    pub fn report(&self) -> RunReport {
+        *self.report.lock().unwrap()
+    }
+
+    /// Execute `jobs` (cache-first), returning results in input order.
+    pub fn run_all(&self, jobs: &[JobSpec]) -> Result<Vec<SimResult>, CampaignError> {
+        // Validate everything up front (cheaply — no program synthesis)
+        // so a bad cell fails the campaign before burning simulation time
+        // on its neighbours.
+        for job in jobs {
+            job.check()?;
+        }
+        let hits = AtomicUsize::new(0);
+        let results: Vec<Result<SimResult, CampaignError>> =
+            parallel_map(jobs, self.workers, |job| {
+                let descriptor = job.descriptor();
+                let key = ResultCache::key_for(&descriptor);
+                if let Some(cache) = &self.cache {
+                    if let Some(hit) = cache.get(&key) {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(hit);
+                    }
+                }
+                let result = job.run_uncached()?;
+                if let Some(cache) = &self.cache {
+                    cache
+                        .put(&key, &descriptor, &result)
+                        .map_err(|e| CampaignError(format!("cache write failed for {key}: {e}")))?;
+                }
+                Ok(result)
+            });
+        let hits = hits.load(Ordering::Relaxed);
+        self.report.lock().unwrap().merge(RunReport {
+            total: jobs.len(),
+            cache_hits: hits,
+            simulated: jobs.len() - hits,
+        });
+        results.into_iter().collect()
+    }
+}

@@ -1,0 +1,136 @@
+//! Work-stealing sharded scheduler for independent simulation jobs.
+//!
+//! Jobs are pre-sharded round-robin across per-worker deques; a worker
+//! drains its own shard from the front and, when empty, steals from the
+//! back of the other shards. Because the job set is static (no job spawns
+//! another), a full sweep that finds every deque empty is a terminal
+//! condition. Results land at their input index, so output order is
+//! independent of scheduling — determinism is preserved no matter how the
+//! steal race plays out.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default worker count: leave a couple of cores for the OS.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get().saturating_sub(2).max(1)).unwrap_or(4)
+}
+
+/// Apply `f` to every item on up to `workers` threads, preserving order.
+///
+/// `f` receives `(index, &item)` so callers can correlate results without
+/// interior mutability.
+pub fn parallel_map_indexed<I, O, F>(items: &[I], workers: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, items.len());
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    // Round-robin pre-sharding: job j starts on deque j % workers.
+    let shards: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for j in 0..items.len() {
+        shards[j % workers].lock().unwrap().push_back(j);
+    }
+    let results: Vec<Mutex<Option<O>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let shards = &shards;
+            let results = &results;
+            let f = &f;
+            scope.spawn(move || loop {
+                // Own shard first (front), then steal (back) in ring order.
+                let mut job = shards[w].lock().unwrap().pop_front();
+                if job.is_none() {
+                    for v in 1..workers {
+                        let victim = (w + v) % workers;
+                        job = shards[victim].lock().unwrap().pop_back();
+                        if job.is_some() {
+                            break;
+                        }
+                    }
+                }
+                match job {
+                    Some(j) => {
+                        let out = f(j, &items[j]);
+                        *results[j].lock().unwrap() = Some(out);
+                    }
+                    // Static job set: all deques empty means no work will
+                    // ever appear again.
+                    None => break,
+                }
+            });
+        }
+    });
+
+    results.into_iter().map(|slot| slot.into_inner().unwrap().expect("job completed")).collect()
+}
+
+/// Order-preserving parallel map (index-free convenience wrapper).
+pub fn parallel_map<I, O, F>(items: &[I], workers: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    parallel_map_indexed(items, workers, |_, item| f(item))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = parallel_map(&items, 8, |&x| x * x);
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(*o, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn single_worker_empty_and_overprovisioned() {
+        let out: Vec<u32> = parallel_map(&[] as &[u32], 4, |&x| x);
+        assert!(out.is_empty());
+        let out = parallel_map(&[1, 2, 3], 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+        let out = parallel_map(&[5u32], 16, |&x| x * 2);
+        assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..1000).collect();
+        let out = parallel_map(&items, 7, |&x| {
+            count.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn stealing_balances_skewed_work() {
+        // Front-load all the heavy jobs onto the shards of the first
+        // worker; with stealing, wall-clock must stay well under the
+        // serial sum. (Soft check: just assert completion + order.)
+        let items: Vec<u64> = (0..64).map(|i| if i % 8 == 0 { 3 } else { 0 }).collect();
+        let out = parallel_map(&items, 8, |&ms| {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            ms
+        });
+        assert_eq!(out, items);
+    }
+}

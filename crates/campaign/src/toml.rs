@@ -1,0 +1,280 @@
+//! A small TOML-subset reader producing the `serde` shim's [`Value`]
+//! tree, sufficient for campaign spec files:
+//!
+//! * top-level and `[table]` sections, `[[array-of-tables]]` entries;
+//! * `key = value` with strings, integers, floats, booleans;
+//! * single- and multi-line arrays of scalars;
+//! * `#` comments, blank lines.
+//!
+//! Dotted keys, inline tables, datetimes and nested arrays are out of
+//! scope and rejected with a line-numbered error.
+
+use serde::{Number, Value};
+
+pub fn parse(text: &str) -> Result<Value, String> {
+    let mut root: Vec<(String, Value)> = Vec::new();
+    // Path of the section currently being filled (None = root).
+    let mut section: Option<(String, bool)> = None; // (name, is_array_entry)
+
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((lineno, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            let name = name.trim().to_string();
+            check_key(&name, lineno)?;
+            push_array_table(&mut root, &name);
+            section = Some((name, true));
+        } else if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            let name = name.trim().to_string();
+            check_key(&name, lineno)?;
+            if root.iter().any(|(k, _)| *k == name) {
+                return Err(format!("line {}: duplicate table [{name}]", lineno + 1));
+            }
+            root.push((name.clone(), Value::Object(Vec::new())));
+            section = Some((name, false));
+        } else if let Some(eq) = line.find('=') {
+            let key = line[..eq].trim().to_string();
+            check_key(&key, lineno)?;
+            let mut rhs = line[eq + 1..].trim().to_string();
+            // Multi-line array: keep consuming lines until brackets match.
+            while rhs.starts_with('[') && !balanced(&rhs) {
+                let Some((_, next)) = lines.next() else {
+                    return Err(format!("line {}: unterminated array", lineno + 1));
+                };
+                rhs.push(' ');
+                rhs.push_str(strip_comment(next).trim());
+            }
+            let value = parse_value(&rhs, lineno)?;
+            insert(&mut root, &section, key, value, lineno)?;
+        } else {
+            return Err(format!("line {}: expected `key = value` or a [section]", lineno + 1));
+        }
+    }
+    Ok(Value::Object(root))
+}
+
+fn check_key(key: &str, lineno: usize) -> Result<(), String> {
+    let ok =
+        !key.is_empty() && key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if !ok {
+        return Err(format!("line {}: unsupported key `{key}` (bare keys only)", lineno + 1));
+    }
+    Ok(())
+}
+
+/// Strip a `#` comment, respecting quoted strings (and `\"` escapes
+/// inside them).
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn balanced(s: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+fn push_array_table(root: &mut Vec<(String, Value)>, name: &str) {
+    match root.iter_mut().find(|(k, _)| k == name) {
+        Some((_, Value::Array(items))) => items.push(Value::Object(Vec::new())),
+        Some(_) => {
+            // Key collision with a non-array: overwrite with an array.
+            root.retain(|(k, _)| k != name);
+            root.push((name.to_string(), Value::Array(vec![Value::Object(Vec::new())])));
+        }
+        None => {
+            root.push((name.to_string(), Value::Array(vec![Value::Object(Vec::new())])));
+        }
+    }
+}
+
+fn insert(
+    root: &mut Vec<(String, Value)>,
+    section: &Option<(String, bool)>,
+    key: String,
+    value: Value,
+    lineno: usize,
+) -> Result<(), String> {
+    let target: &mut Vec<(String, Value)> = match section {
+        None => root,
+        Some((name, is_array)) => {
+            let slot =
+                root.iter_mut().find(|(k, _)| k == name).map(|(_, v)| v).expect("section exists");
+            match (slot, is_array) {
+                (Value::Array(items), true) => match items.last_mut() {
+                    Some(Value::Object(o)) => o,
+                    _ => return Err(format!("line {}: internal array-table state", lineno + 1)),
+                },
+                (Value::Object(o), false) => o,
+                _ => return Err(format!("line {}: section/type mismatch", lineno + 1)),
+            }
+        }
+    };
+    if target.iter().any(|(k, _)| *k == key) {
+        return Err(format!("line {}: duplicate key `{key}`", lineno + 1));
+    }
+    target.push((key, value));
+    Ok(())
+}
+
+fn parse_value(s: &str, lineno: usize) -> Result<Value, String> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(format!("line {}: missing value", lineno + 1));
+    }
+    if let Some(body) = s.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| format!("line {}: unterminated array", lineno + 1))?;
+        let mut items = Vec::new();
+        for part in split_top_level(body) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            items.push(parse_value(part, lineno)?);
+        }
+        return Ok(Value::Array(items));
+    }
+    if let Some(body) = s.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .ok_or_else(|| format!("line {}: unterminated string", lineno + 1))?;
+        return Ok(Value::String(unescape(body, lineno)?));
+    }
+    match s {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let clean: String = s.replace('_', "");
+    if let Ok(u) = clean.parse::<u64>() {
+        return Ok(Value::Number(Number::PosInt(u)));
+    }
+    if let Ok(i) = clean.parse::<i64>() {
+        return Ok(Value::Number(Number::NegInt(i)));
+    }
+    if let Ok(f) = clean.parse::<f64>() {
+        return Ok(Value::Number(Number::Float(f)));
+    }
+    Err(format!("line {}: cannot parse value `{s}`", lineno + 1))
+}
+
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        match c {
+            _ if escaped => {
+                escaped = false;
+                cur.push(c);
+            }
+            '\\' if in_str => {
+                escaped = true;
+                cur.push(c);
+            }
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+fn unescape(s: &str, lineno: usize) -> Result<String, String> {
+    let mut out = String::new();
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            other => return Err(format!("line {}: unsupported escape \\{other:?}", lineno + 1)),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaped_quotes_survive_comment_stripping_and_splitting() {
+        let v = parse(
+            "name = \"say \\\"hi\\\" # not a comment\"  # real comment\n\
+             tags = [\"a\\\"b\", \"c\"]\n",
+        )
+        .unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("say \"hi\" # not a comment"));
+        let tags = v.get("tags").unwrap().as_array().unwrap();
+        assert_eq!(tags[0].as_str(), Some("a\"b"));
+        assert_eq!(tags[1].as_str(), Some("c"));
+    }
+
+    #[test]
+    fn sections_arrays_and_scalars() {
+        let v = parse(
+            "a = 1\nneg = -2\nf = 1.5\nyes = true\n\n[t]\nx = \"s\"\n\n[[arr]]\nk = 1\n\n[[arr]]\nk = 2\n",
+        )
+        .unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("neg").unwrap().as_i64(), Some(-2));
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("yes").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("t").unwrap().get("x").unwrap().as_str(), Some("s"));
+        let arr = v.get("arr").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[1].get("k").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("key").is_err());
+        assert!(parse("a = [1, 2").is_err());
+        assert!(parse("a = \"unterminated").is_err());
+        assert!(parse("a = 1\na = 2").is_err());
+        assert!(parse("a.b = 1").is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! End-to-end campaign engine tests: cache identity, resumability, and
+//! the `hdsmt-campaign` CLI acceptance flow (≥24-cell matrix, 100% cache
+//! hits on the second invocation, valid JSON/CSV exports).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use hdsmt_campaign::{
+    engine, expand, Budget, CampaignSpec, Catalog, JobRunner, JobSpec, JobThread, Policy,
+    ResultCache,
+};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("hdsmt-campaign-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn tiny_spec(archs: &[&str], workloads: &[&str], policies: &[&str], cache: &Path) -> CampaignSpec {
+    CampaignSpec {
+        name: Some("it".into()),
+        archs: archs.iter().map(|s| s.to_string()).collect(),
+        workloads: workloads.iter().map(|s| s.to_string()).collect(),
+        policies: Some(policies.iter().map(|s| s.to_string()).collect()),
+        budget: Some(Budget { measure_insts: 1_500, warmup_insts: 600, search_insts: 600 }),
+        seed: Some(3),
+        workers: Some(4),
+        cache_dir: Some(cache.to_string_lossy().into_owned()),
+        profile_insts: Some(15_000),
+        extra_workloads: None,
+    }
+}
+
+fn job() -> JobSpec {
+    JobSpec {
+        arch: "2M4+2M2".into(),
+        threads: vec![
+            JobThread { bench: "gzip".into(), seed: 11 },
+            JobThread { bench: "mcf".into(), seed: 12 },
+        ],
+        mapping: vec![0, 2],
+        max_insts: 2_000,
+        warmup_insts: 800,
+        fetch_policy: None,
+        regfile_lat: None,
+    }
+}
+
+/// Byte-faithful comparison proxy: the JSON encoding keeps integers in
+/// exact lanes and floats in shortest-round-trip form, so equal strings
+/// ⇔ bit-identical results.
+fn fingerprint(r: &hdsmt_campaign::SimResult) -> String {
+    serde_json::to_string(r).unwrap()
+}
+
+#[test]
+fn cache_hit_is_bit_identical_to_cold_run() {
+    let dir = tmpdir("bitident");
+    let cache = ResultCache::open(&dir).unwrap();
+    let runner = JobRunner::new(2, Some(cache));
+    let job = job();
+
+    let cold = runner.run_all(std::slice::from_ref(&job)).unwrap().remove(0);
+    assert_eq!(runner.report().simulated, 1);
+    let warm = runner.run_all(std::slice::from_ref(&job)).unwrap().remove(0);
+    assert_eq!(runner.report().cache_hits, 1, "second run must hit");
+
+    let uncached = job.run_uncached().unwrap();
+    assert_eq!(fingerprint(&cold), fingerprint(&uncached), "cold == direct");
+    assert_eq!(fingerprint(&cold), fingerprint(&warm), "cache round-trip must be bit-identical");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rerun_simulates_nothing_and_interrupt_resumes() {
+    let dir = tmpdir("resume");
+    let catalog = Catalog::paper();
+
+    // "Interrupted" campaign: only half the architectures ran before the
+    // plug was pulled.
+    let partial = tiny_spec(&["M8"], &["2W7", "2W4"], &["heur"], &dir);
+    let r1 = engine::run_campaign(&partial, &catalog).unwrap();
+    assert_eq!(r1.report.simulated, 2);
+    assert_eq!(r1.report.cache_hits, 0);
+
+    // Resume with the full spec: only the new cells simulate.
+    let full = tiny_spec(&["M8", "2M4+2M2"], &["2W7", "2W4"], &["heur"], &dir);
+    let r2 = engine::run_campaign(&full, &catalog).unwrap();
+    assert_eq!(r2.report.total, 4);
+    assert_eq!(r2.report.cache_hits, 2, "already-simulated cells must be hits");
+    assert_eq!(r2.report.simulated, 2);
+
+    // Identical re-run: zero re-simulated cells.
+    let r3 = engine::run_campaign(&full, &catalog).unwrap();
+    assert_eq!(r3.report.cache_hits, r3.report.total);
+    assert_eq!(r3.report.simulated, 0);
+
+    // And the numbers are bit-stable across the resume boundary.
+    let pick = |r: &engine::CampaignResult| {
+        r.cells
+            .iter()
+            .find(|c| c.arch == "M8" && c.workload == "2W7")
+            .map(|c| c.ipc.to_bits())
+            .unwrap()
+    };
+    assert_eq!(pick(&r1), pick(&r3));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn oracle_policies_share_the_search_phase_and_order_correctly() {
+    let dir = tmpdir("oracle");
+    let catalog = Catalog::paper();
+    let spec = tiny_spec(&["2M4+2M2"], &["2W7"], &["best", "worst", "heur"], &dir);
+
+    let cells = expand(&spec, &catalog).unwrap();
+    assert_eq!(cells.len(), 3);
+    assert!(cells.iter().any(|c| c.policy == Policy::Best));
+
+    let r = engine::run_campaign(&spec, &catalog).unwrap();
+    let ipc_of = |p: &str| r.cells.iter().find(|c| c.policy == p).unwrap().ipc;
+    assert!(ipc_of("best") >= ipc_of("worst"), "oracle envelope must be ordered");
+    let best = r.cells.iter().find(|c| c.policy == "best").unwrap();
+    assert!(best.n_mappings > 1, "2 threads on 2M4+2M2 have multiple mappings");
+
+    // best and worst share ONE search sweep even on a cold cache: total
+    // jobs = one sweep over the mapping space + three measure runs.
+    assert_eq!(r.report.total, best.n_mappings + 3, "duplicate search sweeps enqueued");
+
+    // And a re-run is fully cached.
+    let r2 = engine::run_campaign(&spec, &catalog).unwrap();
+    assert_eq!(r2.report.simulated, 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn status_reports_cache_coverage() {
+    let dir = tmpdir("status");
+    let catalog = Catalog::paper();
+    let spec = tiny_spec(&["M8", "3M4"], &["2W1"], &["heur"], &dir);
+    let cache = engine::open_cache(&spec).unwrap();
+
+    let st = engine::status(&spec, &catalog, &cache).unwrap();
+    assert_eq!(st.cells, 2);
+    assert_eq!(st.measure_cached, 0);
+
+    engine::run_campaign(&spec, &catalog).unwrap();
+    let st = engine::status(&spec, &catalog, &cache).unwrap();
+    assert_eq!(st.measure_cached, 2, "after a run, status must see the cache");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ------------------------------------------------------------------- CLI
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hdsmt-campaign"))
+}
+
+#[test]
+fn cli_run_export_acceptance_flow() {
+    let dir = tmpdir("cli");
+    let cache = dir.join("cache");
+    let out = dir.join("out");
+    // 6 archs × 4 workloads × 1 policy = 24 cells (the acceptance floor).
+    let spec_text = format!(
+        r#"
+name = "cli-acceptance"
+archs = ["M8", "3M4", "4M4", "2M4+2M2", "3M4+2M2", "1M6+2M4+2M2"]
+workloads = ["2W1", "2W7", "4W4", "4W6"]
+policies = ["heur"]
+seed = 5
+profile_insts = 15000
+cache_dir = "{}"
+
+[budget]
+measure_insts = 1200
+warmup_insts = 500
+search_insts = 400
+"#,
+        cache.display()
+    );
+    let spec_path = dir.join("spec.toml");
+    fs::write(&spec_path, spec_text).unwrap();
+
+    // First run: everything simulates.
+    let run1 = cli().arg("run").arg(&spec_path).output().unwrap();
+    assert!(run1.status.success(), "stderr: {}", String::from_utf8_lossy(&run1.stderr));
+    let err1 = String::from_utf8_lossy(&run1.stderr);
+    assert!(err1.contains("24 cells"), "{err1}");
+    assert!(err1.contains("0 cache hits, 24 simulated"), "{err1}");
+
+    // Second run: 100% cache hits.
+    let run2 = cli().arg("run").arg(&spec_path).output().unwrap();
+    assert!(run2.status.success());
+    let err2 = String::from_utf8_lossy(&run2.stderr);
+    assert!(err2.contains("24 cache hits, 0 simulated"), "{err2}");
+
+    // Status sees full coverage.
+    let status = cli().arg("status").arg(&spec_path).output().unwrap();
+    assert!(status.status.success());
+    let out_s = String::from_utf8_lossy(&status.stdout);
+    assert!(out_s.contains("measure jobs cached:  24/24"), "{out_s}");
+
+    // Export writes valid JSON + CSV + summary.
+    let export = cli().arg("export").arg(&spec_path).arg("--out").arg(&out).output().unwrap();
+    assert!(export.status.success(), "stderr: {}", String::from_utf8_lossy(&export.stderr));
+
+    let json = fs::read_to_string(out.join("campaign.json")).unwrap();
+    let v = serde_json::from_str_value(&json).expect("campaign.json is valid JSON");
+    assert_eq!(v.get("cells").and_then(|c| c.as_array()).map(|a| a.len()), Some(24));
+
+    let csv = fs::read_to_string(out.join("cells.csv")).unwrap();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 25, "header + 24 rows");
+    assert!(lines[0].starts_with("arch,workload,class,threads,policy,mapping,ipc"));
+    for row in &lines[1..] {
+        assert_eq!(row.split(',').count(), lines[0].split(',').count(), "{row}");
+    }
+
+    let summary = fs::read_to_string(out.join("summary.txt")).unwrap();
+    assert!(summary.contains("most complexity-effective machine"), "{summary}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_rejects_bad_input() {
+    let dir = tmpdir("cli-bad");
+    let bad_spec = dir.join("bad.toml");
+    fs::write(&bad_spec, "archs = [\"M8\"]\n").unwrap(); // no workloads
+    assert!(!cli().arg("run").arg(&bad_spec).output().unwrap().status.success());
+    assert!(!cli().arg("run").arg(dir.join("missing.toml")).output().unwrap().status.success());
+    assert!(!cli().arg("frobnicate").arg(&bad_spec).output().unwrap().status.success());
+    assert!(!cli().output().unwrap().status.success());
+    let _ = fs::remove_dir_all(&dir);
+}

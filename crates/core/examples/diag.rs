@@ -11,8 +11,17 @@ fn main() {
     let t = &s.threads[0];
     println!("cycles={} retired={} IPC={:.3}", s.cycles, s.retired, s.ipc());
     println!("fetched={} wrong_path={} squashed={}", t.fetched, t.wrong_path_fetched, t.squashed);
-    println!("branches={} mispredicts={} ({:.1}%) target_misp={}", t.branches, t.mispredicts, 100.0*t.mispredict_rate(), t.target_mispredicts);
-    println!("flushes={} icache_stall_cycles={} loads={}", t.flushes, t.icache_stall_cycles, t.loads);
+    println!(
+        "branches={} mispredicts={} ({:.1}%) target_misp={}",
+        t.branches,
+        t.mispredicts,
+        100.0 * t.mispredict_rate(),
+        t.target_mispredicts
+    );
+    println!(
+        "flushes={} icache_stall_cycles={} loads={}",
+        t.flushes, t.icache_stall_cycles, t.loads
+    );
     println!("mem: {:?}", s.mem);
     println!("fetch util: {:.2}/cycle", s.fetched_total as f64 / s.cycles as f64);
 }

@@ -13,13 +13,22 @@ fn main() {
         mapping.push(p.parse::<u8>().unwrap());
     }
     let cfg = SimConfig::paper_defaults(arch, 30_000);
-    let workload: Vec<ThreadSpec> =
-        names.iter().enumerate().map(|(i, n)| ThreadSpec::for_benchmark(n, 100 + i as u64)).collect();
+    let workload: Vec<ThreadSpec> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| ThreadSpec::for_benchmark(n, 100 + i as u64))
+        .collect();
     let r = run_sim(&cfg, &workload, &mapping);
     println!("arch={} cycles={} IPC={:.3}", r.arch, r.stats.cycles, r.stats.ipc());
     println!("  mem {:?}", r.stats.mem);
     for (i, t) in r.stats.threads.iter().enumerate() {
-        println!("  t{i} {:8} pipe{} ipc={:.3} fl={} misp={:.1}%", t.benchmark, t.pipe,
-            t.retired as f64 / r.stats.cycles as f64, t.flushes, 100.0*t.mispredict_rate());
+        println!(
+            "  t{i} {:8} pipe{} ipc={:.3} fl={} misp={:.1}%",
+            t.benchmark,
+            t.pipe,
+            t.retired as f64 / r.stats.cycles as f64,
+            t.flushes,
+            100.0 * t.mispredict_rate()
+        );
     }
 }

@@ -4,12 +4,28 @@ use std::sync::Arc;
 
 fn probe(name: &'static str, weights: [f32; 3], stride_frac: f32, stack_frac: f32) -> f64 {
     let p = BenchProfile {
-        name, class: BenchClass::Ilp, blocks: 300, block_len: (4, 9), funcs: 4,
-        frac_load: 0.26, frac_store: 0.10, frac_fp: 0.0, frac_mul: 0.02,
-        serial_dep: 0.2, ptr_chase: 0.2, stack_frac, stride_frac, stride_bytes: 8,
-        ws_kb: [32, 512, 2048], region_weights: weights,
-        loop_frac: 0.2, loop_trip: (3, 12), br_bias: 0.87, br_noise_frac: 0.1,
-        call_frac: 0.05, indirect_frac: 0.01,
+        name,
+        class: BenchClass::Ilp,
+        blocks: 300,
+        block_len: (4, 9),
+        funcs: 4,
+        frac_load: 0.26,
+        frac_store: 0.10,
+        frac_fp: 0.0,
+        frac_mul: 0.02,
+        serial_dep: 0.2,
+        ptr_chase: 0.2,
+        stack_frac,
+        stride_frac,
+        stride_bytes: 8,
+        ws_kb: [32, 512, 2048],
+        region_weights: weights,
+        loop_frac: 0.2,
+        loop_trip: (3, 12),
+        br_bias: 0.87,
+        br_noise_frac: 0.1,
+        call_frac: 0.05,
+        indirect_frac: 0.01,
     };
     let prog = Arc::new(hdsmt_trace::synthesize(&p, 42));
     let spec = hdsmt_core::ThreadSpec { profile: Box::leak(Box::new(p)), program: prog, seed: 1 };

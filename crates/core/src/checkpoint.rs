@@ -23,7 +23,7 @@ impl<T: Copy> CheckpointLog<T> {
 
     /// Record the state just after the control instruction `seq` acted.
     pub fn push(&mut self, seq: u64, state: T) {
-        debug_assert!(self.log.back().map_or(true, |&(s, _)| s < seq), "seqs must ascend");
+        debug_assert!(self.log.back().is_none_or(|&(s, _)| s < seq), "seqs must ascend");
         self.log.push_back((seq, state));
     }
 

@@ -37,9 +37,8 @@ pub struct DynMapResult {
 fn runtime_heuristic(arch: &MicroArch, interval_mpki: &[f64]) -> Vec<u8> {
     let n = interval_mpki.len();
     let mut threads: Vec<usize> = (0..n).collect();
-    threads.sort_by(|&a, &b| {
-        interval_mpki[a].partial_cmp(&interval_mpki[b]).unwrap().then(a.cmp(&b))
-    });
+    threads
+        .sort_by(|&a, &b| interval_mpki[a].partial_cmp(&interval_mpki[b]).unwrap().then(a.cmp(&b)));
     let mut pipes: Vec<usize> = (0..arch.pipes.len()).collect();
     pipes.sort_by_key(|&p| (std::cmp::Reverse(arch.pipes[p].width), p));
 
@@ -90,8 +89,10 @@ pub fn run_dynamic(
             let stats = proc.collect_stats();
             let mpki: Vec<f64> = (0..n)
                 .map(|t| {
-                    let misses = stats.threads[t].dl1_misses - prev_misses[t];
-                    let retired = (stats.threads[t].retired - prev_retired[t]).max(1);
+                    // Saturating: the warm-up statistics reset can move
+                    // the counters backwards across one interval.
+                    let misses = stats.threads[t].dl1_misses.saturating_sub(prev_misses[t]);
+                    let retired = stats.threads[t].retired.saturating_sub(prev_retired[t]).max(1);
                     prev_misses[t] = stats.threads[t].dl1_misses;
                     prev_retired[t] = stats.threads[t].retired;
                     misses as f64 * 1000.0 / retired as f64
@@ -124,10 +125,7 @@ mod tests {
     use crate::mapping::MissProfile;
 
     fn specs() -> Vec<ThreadSpec> {
-        vec![
-            ThreadSpec::for_benchmark("gzip", 61),
-            ThreadSpec::for_benchmark("mcf", 62),
-        ]
+        vec![ThreadSpec::for_benchmark("gzip", 61), ThreadSpec::for_benchmark("mcf", 62)]
     }
 
     #[test]
@@ -156,11 +154,7 @@ mod tests {
         // And it should converge to (or near) the profile heuristic's
         // placement quality.
         let profile = MissProfile::build_with_len(50_000);
-        let heur = crate::mapping::heuristic_mapping(
-            &arch,
-            &["gzip", "mcf"],
-            &profile,
-        );
+        let heur = crate::mapping::heuristic_mapping(&arch, &["gzip", "mcf"], &profile);
         let static_good = crate::sim::run_sim(&cfg, &specs(), &heur);
         assert!(
             dynamic.result.ipc() > 0.85 * static_good.ipc(),

@@ -29,16 +29,14 @@ pub mod checkpoint;
 pub mod config;
 pub mod dynmap;
 pub mod mapping;
-pub mod profiler;
 pub mod proc;
+pub mod profiler;
 pub mod sim;
 pub mod stats;
 
 pub use config::{FetchPolicy, SimConfig, ThreadSpec};
 pub use dynmap::{run_dynamic, DynMapResult};
-pub use mapping::{
-    enumerate_mappings, heuristic_mapping, MappingPolicy, MissProfile,
-};
+pub use mapping::{enumerate_mappings, heuristic_mapping, MappingPolicy, MissProfile};
 pub use proc::Processor;
 pub use profiler::profile_benchmark;
 pub use sim::{run_sim, SimResult};

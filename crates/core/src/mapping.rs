@@ -77,11 +77,7 @@ pub enum MappingPolicy {
 /// 5. remove the mapped thread;
 /// 6. if the top pipeline has no free contexts, retire it;
 /// 7. repeat from 3 while threads remain.
-pub fn heuristic_mapping(
-    arch: &MicroArch,
-    benchmarks: &[&str],
-    profile: &MissProfile,
-) -> Vec<u8> {
+pub fn heuristic_mapping(arch: &MicroArch, benchmarks: &[&str], profile: &MissProfile) -> Vec<u8> {
     let n = benchmarks.len();
     if arch.is_monolithic() {
         return vec![0; n];
@@ -89,11 +85,7 @@ pub fn heuristic_mapping(
     // Step 1: threads by misses ascending (stable on ties by position).
     let mut threads: Vec<usize> = (0..n).collect();
     threads.sort_by(|&a, &b| {
-        profile
-            .get(benchmarks[a])
-            .partial_cmp(&profile.get(benchmarks[b]))
-            .unwrap()
-            .then(a.cmp(&b))
+        profile.get(benchmarks[a]).partial_cmp(&profile.get(benchmarks[b])).unwrap().then(a.cmp(&b))
     });
     // Step 2: pipelines by width descending (stable on ties by index).
     let mut pipes: Vec<usize> = (0..arch.pipes.len()).collect();
@@ -239,13 +231,17 @@ fn canonicalize(arch: &MicroArch, mapping: &[u8]) -> Vec<u8> {
         let mut sets: Vec<(Vec<usize>, usize)> = pipes
             .iter()
             .map(|&p| {
-                let set: Vec<usize> =
-                    mapping.iter().enumerate().filter(|(_, &m)| m as usize == p).map(|(t, _)| t).collect();
+                let set: Vec<usize> = mapping
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &m)| m as usize == p)
+                    .map(|(t, _)| t)
+                    .collect();
                 (set, p)
             })
             .collect();
         sets.sort();
-        for (target, (_, orig)) in pipes.iter().zip(sets.into_iter()) {
+        for (target, (_, orig)) in pipes.iter().zip(sets) {
             relabel.insert(orig as u8, *target as u8);
         }
     }
@@ -369,8 +365,7 @@ mod tests {
     #[test]
     fn round_robin_and_random_respect_capacity() {
         let a = arch("1M6+2M4+2M2");
-        for m in [round_robin_mapping(&a, 6), random_mapping(&a, 6, 42), random_mapping(&a, 6, 7)]
-        {
+        for m in [round_robin_mapping(&a, 6), random_mapping(&a, 6, 42), random_mapping(&a, 6, 7)] {
             let mut counts = vec![0usize; a.pipes.len()];
             for &p in &m {
                 counts[p as usize] += 1;

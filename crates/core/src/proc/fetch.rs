@@ -42,6 +42,7 @@ impl Processor {
 
         let mut budget = self.cfg.fetch_width as u32;
         let mut threads_used = 0u8;
+        #[allow(clippy::explicit_counter_loop)] // the counter is a port budget, not an index
         for t in order {
             if threads_used >= self.cfg.fetch_threads || budget == 0 {
                 break;

@@ -20,8 +20,7 @@ impl Processor {
         let mut to_release: Vec<hdsmt_pipeline::InstId> = Vec::new();
 
         // ---- ROB walk-back (renamed instructions), youngest first ----
-        loop {
-            let Some(tail) = self.threads[t].rob.tail() else { break };
+        while let Some(tail) = self.threads[t].rob.tail() {
             let (seq, state, wrong, d, dst, dst_phys, old_phys, is_load) = {
                 let i = self.pool.get(tail);
                 (

@@ -14,7 +14,7 @@ use crate::config::ThreadSpec;
 
 /// Seed used for profiling runs: fixed and distinct from simulation seeds,
 /// like a profile run on its own input.
-const PROFILE_SEED: u64 = 0x9_0f11e_5eed;
+const PROFILE_SEED: u64 = 0x0090_f11e_5eed;
 
 /// Data-cache misses per 1000 instructions for `spec`'s benchmark, measured
 /// over `n_insts` instructions on a Table 1 L1D.

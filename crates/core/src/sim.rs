@@ -4,8 +4,9 @@ use crate::config::{SimConfig, ThreadSpec};
 use crate::proc::Processor;
 use crate::stats::SimStats;
 
-/// Result of one simulation run.
-#[derive(Clone, Debug)]
+/// Result of one simulation run. Serializable so the campaign engine can
+/// store it in (and bit-identically restore it from) the result cache.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct SimResult {
     pub arch: String,
     pub mapping: Vec<u8>,
@@ -65,12 +66,7 @@ mod tests {
     fn mcf_is_slower_than_gzip() {
         let gzip = quick("M8", &["gzip"], &[0], 30_000);
         let mcf = quick("M8", &["mcf"], &[0], 30_000);
-        assert!(
-            gzip.ipc() > 2.0 * mcf.ipc(),
-            "gzip {} vs mcf {}",
-            gzip.ipc(),
-            mcf.ipc()
-        );
+        assert!(gzip.ipc() > 2.0 * mcf.ipc(), "gzip {} vs mcf {}", gzip.ipc(), mcf.ipc());
     }
 
     #[test]
@@ -157,7 +153,7 @@ mod tests {
         let mut proc = Processor::new(cfg, &workload, &[0, 1, 2]);
         for _ in 0..5_000 {
             proc.step();
-            if proc.cycle() % 512 == 0 {
+            if proc.cycle().is_multiple_of(512) {
                 proc.check_icount_invariant();
             }
             if proc.finished() {

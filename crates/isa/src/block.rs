@@ -3,7 +3,9 @@
 use crate::{Pc, StaticInst};
 
 /// Index of a basic block within its [`crate::Program`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct BlockId(pub u32);
 
 impl BlockId {

@@ -2,7 +2,9 @@
 
 /// A program counter. Synthetic programs lay instructions out at 4-byte
 /// boundaries, exactly like the Alpha ISA the paper traced.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Pc(pub u64);
 
 impl Pc {
@@ -36,7 +38,9 @@ impl core::fmt::Debug for Pc {
 
 /// A hardware thread context identifier, unique within one simulated
 /// processor (the paper evaluates up to 8 contexts).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct ThreadId(pub u8);
 
 impl ThreadId {

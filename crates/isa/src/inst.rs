@@ -125,11 +125,7 @@ mod tests {
     fn constructors_are_consistent() {
         let a = StaticInst::alu(Op::IntAlu, ArchReg::int(1), [Some(ArchReg::int(2)), None]);
         a.check().unwrap();
-        let l = StaticInst::load(
-            ArchReg::int(3),
-            ArchReg::int(4),
-            MemGen::Stride { stride: 8 },
-        );
+        let l = StaticInst::load(ArchReg::int(3), ArchReg::int(4), MemGen::Stride { stride: 8 });
         l.check().unwrap();
         assert_eq!(l.src_count(), 1);
         let s = StaticInst::store(ArchReg::int(3), ArchReg::int(4), MemGen::Stack);
@@ -142,7 +138,8 @@ mod tests {
     #[test]
     fn check_rejects_mismatches() {
         // Load without a mem annotation.
-        let bad = StaticInst { op: Op::Load, dst: Some(ArchReg::int(1)), srcs: [None, None], mem: None };
+        let bad =
+            StaticInst { op: Op::Load, dst: Some(ArchReg::int(1)), srcs: [None, None], mem: None };
         assert!(bad.check().is_err());
         // ALU op with a mem annotation.
         let bad = StaticInst {
@@ -153,7 +150,8 @@ mod tests {
         };
         assert!(bad.check().is_err());
         // FP op writing an integer register.
-        let bad = StaticInst { op: Op::FpAlu, dst: Some(ArchReg::int(1)), srcs: [None, None], mem: None };
+        let bad =
+            StaticInst { op: Op::FpAlu, dst: Some(ArchReg::int(1)), srcs: [None, None], mem: None };
         assert!(bad.check().is_err());
         // Store writing a register.
         let bad = StaticInst {

@@ -46,7 +46,9 @@ pub const NUM_ARCH_REGS: u16 = NUM_INT_ARCH_REGS + NUM_FP_ARCH_REGS;
 
 /// An architectural register. Values `0..32` are integer registers,
 /// `32..64` floating-point registers.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct ArchReg(pub u8);
 
 impl ArchReg {

@@ -113,10 +113,7 @@ impl Op {
     /// True for every control-transfer instruction.
     #[inline]
     pub fn is_control(self) -> bool {
-        matches!(
-            self,
-            Op::CondBranch | Op::Jump | Op::Call | Op::Return | Op::IndirectJump
-        )
+        matches!(self, Op::CondBranch | Op::Jump | Op::Call | Op::Return | Op::IndirectJump)
     }
 
     /// True if the control transfer's target cannot be derived from the
@@ -157,7 +154,9 @@ mod tests {
             match op.fu_kind() {
                 FuKind::Fp => assert!(matches!(op, Op::FpAlu | Op::FpMul | Op::FpDiv)),
                 FuKind::LdSt => assert!(op.is_mem()),
-                FuKind::Int => assert!(!op.is_mem() && !matches!(op, Op::FpAlu | Op::FpMul | Op::FpDiv)),
+                FuKind::Int => {
+                    assert!(!op.is_mem() && !matches!(op, Op::FpAlu | Op::FpMul | Op::FpDiv))
+                }
             }
         }
     }

@@ -113,7 +113,7 @@ impl Program {
     /// Returns `None` for PCs outside the program image (a wrong path can
     /// run off the end; the front-end then fabricates no-ops).
     pub fn lookup(&self, pc: Pc) -> Option<(&BasicBlock, usize)> {
-        if pc.0 < Self::BASE_PC.0 || pc.0 % Pc::INST_BYTES != 0 {
+        if pc.0 < Self::BASE_PC.0 || !pc.0.is_multiple_of(Pc::INST_BYTES) {
             return None;
         }
         // partition_point: index of the first block whose start is > pc.

@@ -298,7 +298,8 @@ mod tests {
 
     #[test]
     fn paper_l1_geometry() {
-        let c = Cache::new(CacheConfig { size_bytes: 64 * 1024, line_bytes: 32, ways: 2, banks: 8 });
+        let c =
+            Cache::new(CacheConfig { size_bytes: 64 * 1024, line_bytes: 32, ways: 2, banks: 8 });
         assert_eq!(c.config().num_sets(), 1024);
     }
 

@@ -106,11 +106,9 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_params() {
-        let mut c = MemConfig::default();
-        c.page_bytes = 3000;
+        let c = MemConfig { page_bytes: 3000, ..MemConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = MemConfig::default();
-        c.mshrs = 0;
+        let c = MemConfig { mshrs: 0, ..MemConfig::default() };
         assert!(c.validate().is_err());
     }
 }

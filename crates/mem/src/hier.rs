@@ -188,12 +188,7 @@ impl MemHier {
         if self.l1i.access(addr) {
             // L1I hits are the pipelined common case; fetch charges no
             // extra latency for them.
-            return AccessResult {
-                latency: 0,
-                level: HitLevel::L1,
-                tlb_miss,
-                mshr_stall: false,
-            };
+            return AccessResult { latency: 0, level: HitLevel::L1, tlb_miss, mshr_stall: false };
         }
         self.stats.ifetch_l1_misses += 1;
         let (lat, level) = if self.l2.access(addr) {
@@ -344,12 +339,11 @@ mod tests {
 
     #[test]
     fn mshr_back_pressure_reports_stall() {
-        let mut cfg = MemConfig::default();
-        cfg.mshrs = 2;
+        let cfg = MemConfig { mshrs: 2, ..MemConfig::default() };
         let mut m = MemHier::new(cfg);
         m.load(0x1_0000, 0); // warm-up miss; its fill completes by cycle 600
-        // Three distinct-line misses in the same cycle window, after the
-        // warm-up fill has drained.
+                             // Three distinct-line misses in the same cycle window, after the
+                             // warm-up fill has drained.
         let a = m.load(0x500_0000, 1000);
         let b = m.load(0x600_0000, 1000);
         let c = m.load(0x700_0000, 1000);

@@ -156,7 +156,7 @@ impl MicroArch {
             }
             let model =
                 PipeModel::by_name(model_s).ok_or_else(|| format!("unknown model {model_s}"))?;
-            pipes.extend(std::iter::repeat(model).take(count));
+            pipes.extend(std::iter::repeat_n(model, count));
         }
         if pipes.is_empty() {
             return Err("empty microarchitecture".into());

@@ -142,6 +142,7 @@ mod tests {
         let mut r = Rob::new(3);
         let mut next = 0u32;
         let mut expect_head = 0u32;
+        #[allow(clippy::explicit_counter_loop)] // head lags tail; not a plain index
         for _ in 0..100 {
             while r.push_tail(InstId(next)) {
                 next += 1;

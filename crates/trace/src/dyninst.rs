@@ -56,7 +56,8 @@ mod tests {
             ctrl: Some(CtrlOutcome { taken: true, target: Pc(0x2000) }),
         };
         assert_eq!(taken.next_pc(), Pc(0x2000));
-        let not_taken = DynInst { ctrl: Some(CtrlOutcome { taken: false, target: Pc(0x1004) }), ..taken };
+        let not_taken =
+            DynInst { ctrl: Some(CtrlOutcome { taken: false, target: Pc(0x1004) }), ..taken };
         assert_eq!(not_taken.next_pc(), Pc(0x1004));
         let plain = DynInst {
             pc: Pc(0x1000),

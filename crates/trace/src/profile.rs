@@ -127,7 +127,7 @@ impl BenchProfile {
         if self.loop_trip.0 == 0 || self.loop_trip.0 > self.loop_trip.1 {
             return Err(format!("{}: bad loop_trip range", self.name));
         }
-        if self.ws_kb.iter().any(|&k| k == 0) {
+        if self.ws_kb.contains(&0) {
             return Err(format!("{}: zero-sized working-set region", self.name));
         }
         if self.region_weights.iter().any(|&w| w < 0.0 || !w.is_finite())

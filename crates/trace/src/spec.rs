@@ -32,7 +32,7 @@ pub const BENCHMARK_NAMES: [&str; 12] = [
 
 /// All twelve calibrated benchmark models.
 pub fn all_benchmarks() -> &'static [BenchProfile] {
-    &*BENCHMARKS
+    &BENCHMARKS
 }
 
 /// Look a benchmark model up by name.

@@ -379,9 +379,8 @@ mod tests {
             let d = s.next_inst();
             if d.sinst.op.is_mem() {
                 assert_eq!(d.addr & 7, 0, "addresses are 8-byte aligned");
-                let ok = layout
-                    .iter()
-                    .any(|&(start, bytes)| (start..start + bytes).contains(&d.addr));
+                let ok =
+                    layout.iter().any(|&(start, bytes)| (start..start + bytes).contains(&d.addr));
                 assert!(ok, "address {:#x} outside every region", d.addr);
             }
         }

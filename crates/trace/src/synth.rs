@@ -20,9 +20,7 @@
 //! recent load results (`ptr_chase`) to serialise cache misses like mcf's
 //! list traversals.
 
-use hdsmt_isa::{
-    ArchReg, BasicBlock, BlockId, MemGen, Op, Pc, Program, StaticInst, Terminator,
-};
+use hdsmt_isa::{ArchReg, BasicBlock, BlockId, MemGen, Op, Pc, Program, StaticInst, Terminator};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -135,14 +133,19 @@ impl BodyGen {
         } else if rng.gen::<f32>() < p.frac_fp {
             // FP arithmetic.
             let op = if rng.gen::<f32>() < p.frac_mul { Op::FpMul } else { Op::FpAlu };
-            let s0 = if rng.gen::<f32>() < p.serial_dep { self.fp.prev() } else { self.fp.recent(rng) };
+            let s0 =
+                if rng.gen::<f32>() < p.serial_dep { self.fp.prev() } else { self.fp.recent(rng) };
             let s1 = self.fp.recent(rng);
             let dst = self.fp.alloc_dst();
             StaticInst::alu(op, dst, [Some(s0), Some(s1)])
         } else {
             // Integer arithmetic.
             let op = if rng.gen::<f32>() < p.frac_mul { Op::IntMul } else { Op::IntAlu };
-            let s0 = if rng.gen::<f32>() < p.serial_dep { self.int.prev() } else { self.int.recent(rng) };
+            let s0 = if rng.gen::<f32>() < p.serial_dep {
+                self.int.prev()
+            } else {
+                self.int.recent(rng)
+            };
             let s1 = if rng.gen::<f32>() < 0.5 { Some(self.int.recent(rng)) } else { None };
             let dst = self.int.alloc_dst();
             StaticInst::alu(op, dst, [Some(s0), s1])
@@ -185,8 +188,9 @@ pub fn synthesize(profile: &BenchProfile, seed: u64) -> Program {
     }
     let total = next_id;
 
-    let body_len =
-        |rng: &mut SmallRng, p: &BenchProfile| rng.gen_range(p.block_len.0 as usize..=p.block_len.1 as usize);
+    let body_len = |rng: &mut SmallRng, p: &BenchProfile| {
+        rng.gen_range(p.block_len.0 as usize..=p.block_len.1 as usize)
+    };
 
     let mut blocks = Vec::with_capacity(total);
 
@@ -298,12 +302,7 @@ mod tests {
         let p = test_profile();
         let a = synthesize(&p, 1);
         let b = synthesize(&p, 2);
-        let same = a
-            .blocks()
-            .iter()
-            .zip(b.blocks().iter())
-            .filter(|(x, y)| x == y)
-            .count();
+        let same = a.blocks().iter().zip(b.blocks().iter()).filter(|(x, y)| x == y).count();
         assert!(same < a.blocks().len(), "seeds should change the program");
     }
 

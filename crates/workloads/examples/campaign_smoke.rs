@@ -1,6 +1,6 @@
-use hdsmt_workloads::{run_paper_experiments, summarize, ExperimentConfig};
 use hdsmt_workloads::experiments::Metric;
 use hdsmt_workloads::WorkloadClass;
+use hdsmt_workloads::{run_paper_experiments, summarize, ExperimentConfig};
 
 fn main() {
     let t0 = std::time::Instant::now();

@@ -1,7 +1,7 @@
-use hdsmt_workloads::experiments::{envelope_for, ExperimentConfig};
 use hdsmt_core::MissProfile;
 use hdsmt_pipeline::MicroArch;
 use hdsmt_workloads::all_workloads;
+use hdsmt_workloads::experiments::{envelope_for, ExperimentConfig};
 
 fn main() {
     let profile = MissProfile::build();
@@ -11,8 +11,10 @@ fn main() {
         for arch in ["M8", "1M6+2M4+2M2", "3M4+2M2"] {
             let a = MicroArch::parse(arch).unwrap();
             let e = envelope_for(&a, wl, &profile, &cfg);
-            println!("{} {arch:14} best={:.3} heur={:.3} worst={:.3} (n={})",
-                wl.id, e.best_ipc, e.heur_ipc, e.worst_ipc, e.n_mappings);
+            println!(
+                "{} {arch:14} best={:.3} heur={:.3} worst={:.3} (n={})",
+                wl.id, e.best_ipc, e.heur_ipc, e.worst_ipc, e.n_mappings
+            );
         }
     }
 }

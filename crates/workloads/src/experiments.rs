@@ -6,13 +6,18 @@
 //! keep the maximum (BEST) and minimum (WORST); HEUR is the §2.1 heuristic.
 //! Mapping search runs at a reduced instruction budget, then the three
 //! chosen mappings are re-simulated at full length (DESIGN.md §3).
+//!
+//! Since the campaign engine landed, both phases execute as
+//! [`hdsmt_campaign::JobSpec`] batches on the shared work-stealing
+//! [`JobRunner`] — optionally backed by the content-addressed result
+//! cache (`cache_dir`), which makes interrupted or repeated figure
+//! regeneration incremental.
 
-use hdsmt_core::{
-    enumerate_mappings, heuristic_mapping, run_sim, MissProfile, SimConfig, ThreadSpec,
-};
+use hdsmt_campaign::{best_worst, JobRunner, JobSpec, JobThread, ResultCache};
+use hdsmt_core::{enumerate_mappings, heuristic_mapping, MissProfile, SimResult};
 use hdsmt_pipeline::MicroArch;
 
-use crate::runner::{default_workers, parallel_map};
+use crate::runner::default_workers;
 use crate::tables::{all_workloads, Workload, WorkloadClass};
 
 /// Scale parameters for one experiment campaign.
@@ -29,6 +34,8 @@ pub struct ExperimentConfig {
     pub workers: usize,
     /// Base seed for workload streams.
     pub seed: u64,
+    /// Content-addressed result cache (None = always simulate).
+    pub cache_dir: Option<String>,
 }
 
 impl ExperimentConfig {
@@ -40,6 +47,7 @@ impl ExperimentConfig {
             search_insts: 25_000,
             workers: default_workers(),
             seed: 0x5eed,
+            cache_dir: None,
         }
     }
 
@@ -51,7 +59,19 @@ impl ExperimentConfig {
             search_insts: 5_000,
             workers: default_workers(),
             seed: 0x5eed,
+            cache_dir: None,
         }
+    }
+
+    fn runner(&self) -> JobRunner {
+        let cache = self.cache_dir.as_ref().and_then(|dir| match ResultCache::open(dir) {
+            Ok(cache) => Some(cache),
+            Err(e) => {
+                eprintln!("warning: result cache at {dir} unavailable ({e}); running uncached");
+                None
+            }
+        });
+        JobRunner::new(self.workers, cache)
     }
 }
 
@@ -84,27 +104,53 @@ impl EnvelopeResult {
     }
 }
 
-/// Deterministic per-thread stream seed.
+/// Deterministic per-thread stream seed (shared with the campaign matrix
+/// expander, so envelope runs and campaign runs hit the same cache keys).
 fn thread_seed(base: u64, workload: &str, position: usize) -> u64 {
-    let mut h = base ^ 0x9e37_79b9_7f4a_7c15;
-    for b in workload.bytes() {
-        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
-    }
-    h ^ (position as u64) << 32
+    hdsmt_campaign::matrix::thread_seed(base, workload, position)
 }
 
-fn specs_for(w: &Workload, seed: u64) -> Vec<ThreadSpec> {
+fn job_threads(w: &Workload, seed: u64) -> Vec<JobThread> {
     w.benchmarks
         .iter()
         .enumerate()
-        .map(|(i, b)| ThreadSpec::for_benchmark(b, thread_seed(seed, w.id, i)))
+        .map(|(i, b)| JobThread { bench: b.to_string(), seed: thread_seed(seed, w.id, i) })
         .collect()
 }
 
-fn sim_config(arch: &MicroArch, insts: u64, warmup: u64) -> SimConfig {
-    let mut cfg = SimConfig::paper_defaults(arch.clone(), insts);
-    cfg.warmup_insts = warmup;
-    cfg
+fn search_job(arch: &MicroArch, w: &Workload, mapping: Vec<u8>, cfg: &ExperimentConfig) -> JobSpec {
+    JobSpec {
+        arch: arch.name.clone(),
+        threads: job_threads(w, cfg.seed),
+        mapping,
+        max_insts: cfg.search_insts,
+        warmup_insts: cfg.warmup_insts / 2,
+        fetch_policy: None,
+        regfile_lat: None,
+    }
+}
+
+fn measure_job(
+    arch: &MicroArch,
+    w: &Workload,
+    mapping: Vec<u8>,
+    cfg: &ExperimentConfig,
+) -> JobSpec {
+    JobSpec {
+        arch: arch.name.clone(),
+        threads: job_threads(w, cfg.seed),
+        mapping,
+        max_insts: cfg.measure_insts,
+        warmup_insts: cfg.warmup_insts,
+        fetch_policy: None,
+        regfile_lat: None,
+    }
+}
+
+fn run_jobs(runner: &JobRunner, jobs: Vec<JobSpec>) -> Vec<SimResult> {
+    // Jobs are valid by construction, but run_all can also fail on cache
+    // I/O (e.g. full disk) — surface the real error, not a misleading one.
+    runner.run_all(&jobs).unwrap_or_else(|e| panic!("envelope job batch failed: {e}"))
 }
 
 /// Compute the envelope for one (arch, workload) cell. Convenient for
@@ -116,41 +162,21 @@ pub fn envelope_for(
     profile: &MissProfile,
     cfg: &ExperimentConfig,
 ) -> EnvelopeResult {
-    let specs = specs_for(w, cfg.seed);
+    let runner = cfg.runner();
     let mappings = enumerate_mappings(arch, w.threads());
     let heur = heuristic_mapping(arch, w.benchmarks, profile);
 
-    let search_cfg = sim_config(arch, cfg.search_insts, cfg.warmup_insts / 2);
-    let scores: Vec<f64> =
-        parallel_map(&mappings, cfg.workers, |m| run_sim(&search_cfg, &specs, m).ipc());
+    let search_jobs: Vec<JobSpec> =
+        mappings.iter().map(|m| search_job(arch, w, m.clone(), cfg)).collect();
+    let scores: Vec<f64> = run_jobs(&runner, search_jobs).iter().map(SimResult::ipc).collect();
     let (bi, wi) = best_worst(&mappings, &scores);
 
-    let full_cfg = sim_config(arch, cfg.measure_insts, cfg.warmup_insts);
     let jobs = [mappings[bi].clone(), heur.clone(), mappings[wi].clone()];
-    let measured: Vec<f64> =
-        parallel_map(&jobs, cfg.workers, |m| run_sim(&full_cfg, &specs, m).ipc());
+    let measure_jobs: Vec<JobSpec> =
+        jobs.iter().map(|m| measure_job(arch, w, m.clone(), cfg)).collect();
+    let measured: Vec<f64> = run_jobs(&runner, measure_jobs).iter().map(SimResult::ipc).collect();
 
     finish_envelope(arch, w, mappings.len(), jobs, measured)
-}
-
-/// Index of the best and worst mapping by score (ties broken by mapping
-/// bytes for determinism).
-fn best_worst(mappings: &[Vec<u8>], scores: &[f64]) -> (usize, usize) {
-    let mut bi = 0;
-    let mut wi = 0;
-    for i in 1..scores.len() {
-        let better = scores[i] > scores[bi]
-            || (scores[i] == scores[bi] && mappings[i] < mappings[bi]);
-        if better {
-            bi = i;
-        }
-        let worse = scores[i] < scores[wi]
-            || (scores[i] == scores[wi] && mappings[i] < mappings[wi]);
-        if worse {
-            wi = i;
-        }
-    }
-    (bi, wi)
 }
 
 fn finish_envelope(
@@ -229,7 +255,7 @@ impl PaperResults {
             .envelopes
             .iter()
             .filter(|e| {
-                e.arch == arch && e.class == class && threads.map_or(true, |t| e.threads == t)
+                e.arch == arch && e.class == class && threads.is_none_or(|t| e.threads == t)
             })
             .map(|e| Self::pick(e, metric))
             .collect();
@@ -261,7 +287,8 @@ impl PaperResults {
 }
 
 /// Run the full campaign: 6 microarchitectures × 22 workloads, mapping
-/// search and envelope measurement globally parallelised.
+/// search and envelope measurement globally parallelised (and cached,
+/// when `cfg.cache_dir` is set).
 pub fn run_paper_experiments(cfg: &ExperimentConfig) -> PaperResults {
     run_experiments_on(&MicroArch::paper_set(), all_workloads(), cfg)
 }
@@ -274,99 +301,73 @@ pub fn run_experiments_on(
     cfg: &ExperimentConfig,
 ) -> PaperResults {
     let profile = MissProfile::build();
+    let runner = cfg.runner();
 
     // ---- phase 1: oracle mapping search, globally flattened ----
-    struct SearchJob {
-        arch_i: usize,
-        wl_i: usize,
-        mapping: Vec<u8>,
-    }
-    type Mapping = Vec<u8>;
-    let mut jobs = Vec::new();
-    let mut cell_mappings: Vec<Vec<Vec<Mapping>>> = Vec::new(); // [arch][wl] -> mappings
+    let mut cell_mappings: Vec<Vec<Vec<Vec<u8>>>> = Vec::new(); // [arch][wl] -> mappings
+    let mut search_jobs: Vec<JobSpec> = Vec::new();
+    let mut job_cell: Vec<(usize, usize)> = Vec::new();
     for (ai, arch) in archs.iter().enumerate() {
         cell_mappings.push(Vec::new());
         for (wi, w) in workloads.iter().enumerate() {
             let mappings = enumerate_mappings(arch, w.threads());
             for m in &mappings {
-                jobs.push(SearchJob { arch_i: ai, wl_i: wi, mapping: m.clone() });
+                search_jobs.push(search_job(arch, w, m.clone(), cfg));
+                job_cell.push((ai, wi));
             }
             cell_mappings[ai].push(mappings);
         }
     }
-    let search_scores: Vec<f64> = parallel_map(&jobs, cfg.workers, |j| {
-        let arch = &archs[j.arch_i];
-        let w = &workloads[j.wl_i];
-        let specs = specs_for(w, cfg.seed);
-        let scfg = sim_config(arch, cfg.search_insts, cfg.warmup_insts / 2);
-        run_sim(&scfg, &specs, &j.mapping).ipc()
-    });
+    let search_scores: Vec<f64> =
+        run_jobs(&runner, search_jobs).iter().map(SimResult::ipc).collect();
 
     // ---- reduce: pick best/worst per cell ----
-    let mut per_cell_scores: Vec<Vec<Vec<f64>>> = archs
+    let mut per_cell_scores: Vec<Vec<Vec<f64>>> = cell_mappings
         .iter()
-        .enumerate()
-        .map(|(ai, _)| cell_mappings[ai].iter().map(|ms| vec![0.0; ms.len()]).collect())
+        .map(|per_wl| per_wl.iter().map(|ms| Vec::with_capacity(ms.len())).collect())
         .collect();
-    {
-        let mut counters: Vec<Vec<usize>> =
-            cell_mappings.iter().map(|per_wl| vec![0; per_wl.len()]).collect();
-        for (j, score) in jobs.iter().zip(search_scores.iter()) {
-            let k = counters[j.arch_i][j.wl_i];
-            per_cell_scores[j.arch_i][j.wl_i][k] = *score;
-            counters[j.arch_i][j.wl_i] += 1;
-        }
+    for (&(ai, wi), score) in job_cell.iter().zip(search_scores.iter()) {
+        per_cell_scores[ai][wi].push(*score);
     }
 
     // ---- phase 2: measured envelope runs, globally flattened ----
-    struct MeasureJob {
+    struct MeasureCell {
         arch_i: usize,
         wl_i: usize,
         mappings: [Vec<u8>; 3],
     }
-    let mut mjobs = Vec::new();
+    let mut cells = Vec::new();
+    let mut measure_jobs = Vec::new();
     for (ai, arch) in archs.iter().enumerate() {
         for (wi, w) in workloads.iter().enumerate() {
             let mappings = &cell_mappings[ai][wi];
             let scores = &per_cell_scores[ai][wi];
             let (bi, worsti) = best_worst(mappings, scores);
             let heur = heuristic_mapping(arch, w.benchmarks, &profile);
-            mjobs.push(MeasureJob {
-                arch_i: ai,
-                wl_i: wi,
-                mappings: [mappings[bi].clone(), heur, mappings[worsti].clone()],
-            });
+            let chosen = [mappings[bi].clone(), heur, mappings[worsti].clone()];
+            for m in &chosen {
+                measure_jobs.push(measure_job(arch, w, m.clone(), cfg));
+            }
+            cells.push(MeasureCell { arch_i: ai, wl_i: wi, mappings: chosen });
         }
     }
-    let measured: Vec<[f64; 3]> = parallel_map(&mjobs, cfg.workers, |j| {
-        let arch = &archs[j.arch_i];
-        let w = &workloads[j.wl_i];
-        let specs = specs_for(w, cfg.seed);
-        let fcfg = sim_config(arch, cfg.measure_insts, cfg.warmup_insts);
-        let mut out = [0.0; 3];
-        for (o, m) in out.iter_mut().zip(j.mappings.iter()) {
-            *o = run_sim(&fcfg, &specs, m).ipc();
-        }
-        out
-    });
+    let measured: Vec<f64> = run_jobs(&runner, measure_jobs).iter().map(SimResult::ipc).collect();
 
-    let mut envelopes = Vec::with_capacity(mjobs.len());
-    for (j, m) in mjobs.into_iter().zip(measured.into_iter()) {
-        let arch = &archs[j.arch_i];
-        let w = &workloads[j.wl_i];
+    let mut envelopes = Vec::with_capacity(cells.len());
+    for (ci, cell) in cells.into_iter().enumerate() {
+        let arch = &archs[cell.arch_i];
+        let w = &workloads[cell.wl_i];
         envelopes.push(finish_envelope(
             arch,
             w,
-            cell_mappings[j.arch_i][j.wl_i].len(),
-            j.mappings,
-            m.to_vec(),
+            cell_mappings[cell.arch_i][cell.wl_i].len(),
+            cell.mappings,
+            measured[ci * 3..ci * 3 + 3].to_vec(),
         ));
     }
 
-    let areas = archs
-        .iter()
-        .map(|a| (a.name.clone(), hdsmt_area::microarch_area(a).total()))
-        .collect();
+    let areas =
+        archs.iter().map(|a| (a.name.clone(), hdsmt_area::microarch_area(a).total())).collect();
     PaperResults { envelopes, areas, config: cfg.clone() }
 }
 
@@ -404,5 +405,25 @@ mod tests {
         assert_eq!(thread_seed(1, "2W1", 0), thread_seed(1, "2W1", 0));
         assert_ne!(thread_seed(1, "2W1", 0), thread_seed(1, "2W1", 1));
         assert_ne!(thread_seed(1, "2W1", 0), thread_seed(1, "2W2", 0));
+    }
+
+    #[test]
+    fn cached_envelope_is_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("hdsmt-envelope-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let profile = MissProfile::build_with_len(50_000);
+        let mut cfg = ExperimentConfig::quick();
+        cfg.measure_insts = 3_000;
+        cfg.search_insts = 1_500;
+        cfg.warmup_insts = 1_000;
+        cfg.cache_dir = Some(dir.to_string_lossy().into_owned());
+        let arch = MicroArch::parse("2M4+2M2").unwrap();
+        let cold = envelope_for(&arch, &WORKLOADS[6], &profile, &cfg);
+        let warm = envelope_for(&arch, &WORKLOADS[6], &profile, &cfg);
+        assert_eq!(cold.best_ipc.to_bits(), warm.best_ipc.to_bits());
+        assert_eq!(cold.heur_ipc.to_bits(), warm.heur_ipc.to_bits());
+        assert_eq!(cold.worst_ipc.to_bits(), warm.worst_ipc.to_bits());
+        assert_eq!(cold.best_mapping, warm.best_mapping);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

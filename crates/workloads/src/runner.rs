@@ -1,50 +1,12 @@
 //! Deterministic parallel execution of independent simulations.
 //!
 //! Each simulation is single-threaded and deterministic, so the natural
-//! parallelism is *across* runs (mapping search, workload sweeps). Jobs are
-//! claimed from an atomic counter by a crossbeam scoped pool; results land
-//! at their input index, so output order is independent of scheduling.
+//! parallelism is *across* runs (mapping search, workload sweeps). Since
+//! the campaign engine landed, this module is a thin façade over its
+//! work-stealing sharded scheduler (`hdsmt_campaign::sched`) — kept so
+//! existing callers and examples have a stable, workload-local name.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
-
-/// Apply `f` to every item on up to `workers` threads, preserving order.
-pub fn parallel_map<I, O, F>(items: &[I], workers: usize, f: F) -> Vec<O>
-where
-    I: Sync,
-    O: Send,
-    F: Fn(&I) -> O + Sync,
-{
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let workers = workers.max(1).min(items.len());
-    if workers == 1 {
-        return items.iter().map(|i| f(i)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<O>>> = Mutex::new((0..items.len()).map(|_| None).collect());
-    crossbeam::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let out = f(&items[i]);
-                results.lock()[i] = Some(out);
-            });
-        }
-    })
-    .expect("worker panicked");
-    results.into_inner().into_iter().map(|o| o.expect("job completed")).collect()
-}
-
-/// Default worker count: leave a couple of cores for the OS.
-pub fn default_workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get().saturating_sub(2).max(1)).unwrap_or(4)
-}
+pub use hdsmt_campaign::sched::{default_workers, parallel_map, parallel_map_indexed};
 
 #[cfg(test)]
 mod tests {

@@ -37,8 +37,7 @@ const HOMO: [&str; 2] = ["3M4", "4M4"];
 /// Compute the summary from a campaign. Uses the HEUR results — the
 /// configuration a real system would run.
 pub fn summarize(r: &PaperResults) -> Summary {
-    let per_area_all =
-        |arch: &str| r.hmean_ipc_all(arch, Metric::Heur) / r.area_of(arch);
+    let per_area_all = |arch: &str| r.hmean_ipc_all(arch, Metric::Heur) / r.area_of(arch);
     let raw_all = |arch: &str| r.hmean_ipc_all(arch, Metric::Heur);
 
     let best_het = HET
@@ -46,8 +45,7 @@ pub fn summarize(r: &PaperResults) -> Summary {
         .max_by(|a, b| per_area_all(a).partial_cmp(&per_area_all(b)).unwrap())
         .unwrap()
         .to_string();
-    let best_homo_pa =
-        HOMO.iter().map(|a| per_area_all(a)).fold(f64::MIN, f64::max);
+    let best_homo_pa = HOMO.iter().map(|a| per_area_all(a)).fold(f64::MIN, f64::max);
     let best_homo_raw = HOMO.iter().map(|a| raw_all(a)).fold(f64::MIN, f64::max);
     let best_het_raw = HET.iter().map(|a| raw_all(a)).fold(f64::MIN, f64::max);
 
@@ -66,20 +64,15 @@ pub fn summarize(r: &PaperResults) -> Summary {
         .iter()
         .chain(HOMO.iter())
         .map(|arch| {
-            let cells: Vec<f64> = r
-                .envelopes
-                .iter()
-                .filter(|e| e.arch == *arch)
-                .map(|e| e.heur_accuracy())
-                .collect();
+            let cells: Vec<f64> =
+                r.envelopes.iter().filter(|e| e.arch == *arch).map(|e| e.heur_accuracy()).collect();
             (arch.to_string(), cells.iter().sum::<f64>() / cells.len().max(1) as f64)
         })
         .collect();
 
     let m8_6ilp = r.hmean_ipc("M8", WorkloadClass::Ilp, Some(6), Metric::Best);
-    let six_thread_ilp_upset = HET
-        .iter()
-        .any(|a| r.hmean_ipc(a, WorkloadClass::Ilp, Some(6), Metric::Best) > m8_6ilp);
+    let six_thread_ilp_upset =
+        HET.iter().any(|a| r.hmean_ipc(a, WorkloadClass::Ilp, Some(6), Metric::Best) > m8_6ilp);
 
     Summary {
         per_area_vs_mono_pct: pct(per_area_all(&best_het), per_area_all("M8")),

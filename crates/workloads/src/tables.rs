@@ -58,7 +58,11 @@ pub const WORKLOADS: [Workload; 22] = [
     Workload { id: "4W8", benchmarks: &["parser", "vpr", "vortex", "twolf"], class: Mix },
     Workload { id: "4W9", benchmarks: &["vpr", "twolf", "gap", "vortex"], class: Mix },
     // ---- six-threaded (Table 3) ----
-    Workload { id: "6W1", benchmarks: &["gzip", "gcc", "crafty", "eon", "gap", "bzip2"], class: Ilp },
+    Workload {
+        id: "6W1",
+        benchmarks: &["gzip", "gcc", "crafty", "eon", "gap", "bzip2"],
+        class: Ilp,
+    },
     Workload {
         id: "6W2",
         benchmarks: &["gcc", "crafty", "parser", "eon", "gap", "vortex"],
@@ -115,6 +119,20 @@ mod tests {
             names.sort_unstable();
             names.dedup();
             assert_eq!(names.len(), w.benchmarks.len(), "{}", w.id);
+        }
+    }
+
+    #[test]
+    fn matches_campaign_catalog() {
+        // The campaign engine ships the same Tables 2-3 as its built-in
+        // catalog (plain static data, since it sits below this crate in
+        // the dependency graph). The two must never drift.
+        let catalog = hdsmt_campaign::Catalog::paper();
+        assert_eq!(catalog.entries().len(), WORKLOADS.len());
+        for w in all_workloads() {
+            let e = catalog.get(w.id).unwrap_or_else(|| panic!("{} missing", w.id));
+            assert_eq!(e.benchmarks, w.benchmarks, "{}", w.id);
+            assert_eq!(e.class.as_deref(), Some(w.class.label()), "{}", w.id);
         }
     }
 

@@ -1,49 +1,68 @@
 //! Design-space sweep: one workload across all six microarchitectures of
 //! the paper (Fig 3 set), reporting raw IPC and complexity-effectiveness.
 //!
+//! Driven entirely by the campaign engine: the sweep is a declarative
+//! [`CampaignSpec`] built in code, executed on the work-stealing runner
+//! with the on-disk result cache — re-running the example is ~instant.
+//!
 //! ```sh
 //! cargo run --release --example design_space [-- 4W6]
 //! ```
 
-use hdsmt::area::microarch_area;
-use hdsmt::core::{heuristic_mapping, run_sim, MissProfile, SimConfig, ThreadSpec};
-use hdsmt::pipeline::MicroArch;
-use hdsmt::workloads::all_workloads;
+use hdsmt::campaign::{engine, export, CampaignSpec, Catalog};
 
 fn main() {
     let wanted = std::env::args().nth(1).unwrap_or_else(|| "4W6".to_string());
-    let w = all_workloads()
-        .iter()
-        .find(|w| w.id == wanted)
-        .unwrap_or_else(|| panic!("unknown workload {wanted} (try 2W1..6W4)"));
-    println!("workload {} ({:?}): {}\n", w.id, w.class, w.benchmarks.join(", "));
-
-    let specs: Vec<ThreadSpec> = w
-        .benchmarks
-        .iter()
-        .enumerate()
-        .map(|(i, b)| ThreadSpec::for_benchmark(b, 10 + i as u64))
-        .collect();
-
-    println!("profiling benchmarks for the mapping heuristic…");
-    let profile = MissProfile::build();
-
+    let catalog = Catalog::paper();
+    let w =
+        catalog.get(&wanted).unwrap_or_else(|| panic!("unknown workload {wanted} (try 2W1..6W4)"));
     println!(
-        "\n{:<14}{:>8}{:>11}{:>16}   mapping",
-        "microarch", "IPC", "area mm²", "IPC/mm² ×1e3"
+        "workload {} ({}): {}\n",
+        w.id,
+        w.class.as_deref().unwrap_or("?"),
+        w.benchmarks.join(", ")
     );
+
+    let spec = CampaignSpec {
+        name: Some(format!("design-space-{wanted}")),
+        archs: ["M8", "3M4", "4M4", "2M4+2M2", "3M4+2M2", "1M6+2M4+2M2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        workloads: vec![wanted.clone()],
+        policies: Some(vec!["heur".into()]),
+        budget: Some(hdsmt::campaign::Budget {
+            measure_insts: 30_000,
+            warmup_insts: 15_000,
+            search_insts: 8_000,
+        }),
+        seed: Some(10),
+        workers: None,
+        cache_dir: Some(".hdsmt-cache".into()),
+        profile_insts: None,
+        extra_workloads: None,
+    };
+
+    println!("running campaign (profiling for the mapping heuristic on first use)…");
+    let result = engine::run_campaign(&spec, &catalog).expect("campaign runs");
+
+    println!("\n{:<14}{:>8}{:>11}{:>16}   mapping", "microarch", "IPC", "area mm²", "IPC/mm² ×1e3");
     let mut best: Option<(String, f64)> = None;
-    for arch in MicroArch::paper_set() {
-        let mapping = heuristic_mapping(&arch, w.benchmarks, &profile);
-        let cfg = SimConfig::paper_defaults(arch.clone(), 30_000);
-        let r = run_sim(&cfg, &specs, &mapping);
-        let area = microarch_area(&arch).total();
-        let pa = r.ipc() / area * 1e3;
-        println!("{:<14}{:>8.3}{area:>11.1}{pa:>16.3}   {mapping:?}", arch.name, r.ipc());
-        if best.as_ref().map_or(true, |(_, b)| pa > *b) {
-            best = Some((arch.name.clone(), pa));
+    for cell in &result.cells {
+        let pa = cell.ipc_per_mm2() * 1e3;
+        println!(
+            "{:<14}{:>8.3}{:>11.1}{pa:>16.3}   {:?}",
+            cell.arch, cell.ipc, cell.area_mm2, cell.mapping
+        );
+        if best.as_ref().is_none_or(|(_, b)| pa > *b) {
+            best = Some((cell.arch.clone(), pa));
         }
     }
-    let (name, _) = best.unwrap();
+    let (name, _) = best.expect("non-empty campaign");
     println!("\nmost complexity-effective machine for {}: {name}", w.id);
+    println!(
+        "(jobs: {} total, {} cache hits, {} simulated)",
+        result.report.total, result.report.cache_hits, result.report.simulated
+    );
+    let _ = export::summary(&result);
 }

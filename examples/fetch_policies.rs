@@ -9,10 +9,7 @@ use hdsmt::core::{run_sim, FetchPolicy, SimConfig, ThreadSpec};
 use hdsmt::pipeline::MicroArch;
 
 fn main() {
-    let specs = vec![
-        ThreadSpec::for_benchmark("gzip", 31),
-        ThreadSpec::for_benchmark("twolf", 32),
-    ];
+    let specs = vec![ThreadSpec::for_benchmark("gzip", 31), ThreadSpec::for_benchmark("twolf", 32)];
     println!("workload: gzip (ILP) + twolf (memory-bound)\n");
 
     for (arch_name, mapping) in [("M8", vec![0u8, 0]), ("2M4+2M2", vec![0, 2])] {

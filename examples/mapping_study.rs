@@ -17,14 +17,17 @@ use hdsmt::pipeline::MicroArch;
 fn main() {
     let arch = MicroArch::parse("2M4+2M2").unwrap();
     let benchmarks = ["gzip", "twolf", "bzip2", "mcf"]; // 4W6 (MIX)
-    println!("machine: {} — pipes {:?}", arch.name, arch.pipes.iter().map(|p| p.name).collect::<Vec<_>>());
+    println!(
+        "machine: {} — pipes {:?}",
+        arch.name,
+        arch.pipes.iter().map(|p| p.name).collect::<Vec<_>>()
+    );
     println!("workload: {benchmarks:?}\n");
 
     // --- step 1: the profile the heuristic sorts by -----------------------
     let profile = MissProfile::build();
     println!("profiled data-cache misses per 1K instructions:");
-    let mut ranked: Vec<(&str, f64)> =
-        benchmarks.iter().map(|b| (*b, profile.get(b))).collect();
+    let mut ranked: Vec<(&str, f64)> = benchmarks.iter().map(|b| (*b, profile.get(b))).collect();
     ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
     for (b, m) in &ranked {
         println!("  {b:<8} {m:7.1}");

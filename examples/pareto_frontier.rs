@@ -7,12 +7,16 @@
 //! possible hardware configurations in between SMT and CMP processors" —
 //! here the heterogeneity-aware frontier is computed rather than sampled.
 //!
+//! The sweep itself is one campaign: the enumerated compositions become
+//! the spec's `archs` list and the engine handles mapping, parallelism,
+//! and caching (a second run is served from `.hdsmt-cache`).
+//!
 //! ```sh
 //! cargo run --release --example pareto_frontier
 //! ```
 
 use hdsmt::area::microarch_area;
-use hdsmt::core::{heuristic_mapping, run_sim, MissProfile, SimConfig, ThreadSpec};
+use hdsmt::campaign::{engine, Budget, CampaignSpec, Catalog, ExtraWorkload};
 use hdsmt::pipeline::{MicroArch, PipeModel, M2, M4, M6};
 
 fn compositions(budget_mm2: f64) -> Vec<MicroArch> {
@@ -50,33 +54,38 @@ fn compositions(budget_mm2: f64) -> Vec<MicroArch> {
 
 fn main() {
     let budget = 200.0; // mm² — everything up to slightly above the M8
-    let benchmarks = ["gzip", "twolf", "bzip2", "mcf"]; // 4W6 (MIX)
-    let specs: Vec<ThreadSpec> = benchmarks
-        .iter()
-        .enumerate()
-        .map(|(i, b)| ThreadSpec::for_benchmark(b, 80 + i as u64))
-        .collect();
-    println!("profiling for the mapping heuristic…");
-    let profile = MissProfile::build();
-
     let archs = compositions(budget);
-    println!("evaluating {} compositions of M6/M4/M2 under {budget} mm²…\n", archs.len());
+    println!("evaluating {} compositions of M6/M4/M2 under {budget} mm²…", archs.len());
 
-    let mut points: Vec<(String, f64, f64)> = Vec::new(); // (name, area, ipc)
-    for arch in archs {
-        let mapping = heuristic_mapping(&arch, &benchmarks, &profile);
-        let cfg = SimConfig::paper_defaults(arch.clone(), 12_000);
-        let ipc = run_sim(&cfg, &specs, &mapping).ipc();
-        points.push((arch.name.clone(), microarch_area(&arch).total(), ipc));
-    }
-    // Include the monolithic baseline for reference.
-    {
-        let arch = MicroArch::baseline();
-        let cfg = SimConfig::paper_defaults(arch.clone(), 12_000);
-        let ipc = run_sim(&cfg, &specs, &vec![0; 4]).ipc();
-        points.push((arch.name, microarch_area(&MicroArch::baseline()).total(), ipc));
-    }
+    // One campaign over every composition plus the monolithic baseline,
+    // on the 4W6 benchmark mix (declared inline so the seeds match the
+    // original hand-rolled sweep's intent).
+    let mut arch_names: Vec<String> = archs.iter().map(|a| a.name.clone()).collect();
+    arch_names.push("M8".to_string());
+    let spec = CampaignSpec {
+        name: Some("pareto-frontier".into()),
+        archs: arch_names,
+        workloads: vec!["mix4".into()],
+        policies: Some(vec!["heur".into()]),
+        budget: Some(Budget { measure_insts: 12_000, warmup_insts: 6_000, search_insts: 4_000 }),
+        seed: Some(80),
+        workers: None,
+        cache_dir: Some(".hdsmt-cache".into()),
+        profile_insts: None,
+        extra_workloads: Some(vec![ExtraWorkload {
+            id: "mix4".into(),
+            benchmarks: vec!["gzip".into(), "twolf".into(), "bzip2".into(), "mcf".into()],
+            class: Some("MIX".into()),
+        }]),
+    };
+    let result = engine::run_campaign(&spec, &Catalog::paper()).expect("campaign runs");
+    println!(
+        "(jobs: {} total, {} cache hits, {} simulated)\n",
+        result.report.total, result.report.cache_hits, result.report.simulated
+    );
 
+    let mut points: Vec<(String, f64, f64)> =
+        result.cells.iter().map(|c| (c.arch.clone(), c.area_mm2, c.ipc)).collect();
     points.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
     println!("{:<16}{:>10}{:>8}{:>14}  on frontier?", "machine", "area mm²", "IPC", "IPC/mm²×1e3");
     let mut best_ipc = f64::MIN;

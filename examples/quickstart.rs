@@ -12,8 +12,7 @@ use hdsmt::pipeline::MicroArch;
 fn main() {
     // The workload: a high-ILP compressor next to the memory-bound mcf —
     // exactly the heterogeneity hdSMT is designed around.
-    let workload =
-        vec![ThreadSpec::for_benchmark("gzip", 1), ThreadSpec::for_benchmark("mcf", 2)];
+    let workload = vec![ThreadSpec::for_benchmark("gzip", 1), ThreadSpec::for_benchmark("mcf", 2)];
 
     // --- monolithic SMT baseline: both threads share one M8 pipeline ----
     let m8 = MicroArch::baseline();
@@ -28,16 +27,9 @@ fn main() {
     let hdsmt = run_sim(&cfg, &workload, &[0, 2]);
 
     println!("workload: gzip + mcf\n");
-    println!(
-        "{:<12}{:>8}{:>12}{:>16}",
-        "machine", "IPC", "area mm²", "IPC per mm²×1e3"
-    );
+    println!("{:<12}{:>8}{:>12}{:>16}", "machine", "IPC", "area mm²", "IPC per mm²×1e3");
     for (name, r, area) in [("M8", &base, m8_area), ("2M4+2M2", &hdsmt, hd_area)] {
-        println!(
-            "{name:<12}{:>8.3}{area:>12.1}{:>16.3}",
-            r.ipc(),
-            r.ipc() / area * 1e3
-        );
+        println!("{name:<12}{:>8.3}{area:>12.1}{:>16.3}", r.ipc(), r.ipc() / area * 1e3);
     }
     println!();
     for (name, r) in [("M8", &base), ("2M4+2M2", &hdsmt)] {

@@ -19,7 +19,8 @@
 //! | [`pipeline`] | out-of-order backend structures and the M8/M6/M4/M2 models |
 //! | [`core`] | the processor: fetch engine + policies, mapping policies, cycle loop |
 //! | [`area`] | the §3 area cost model (Fig 2(b) / Fig 3) |
-//! | [`workloads`] | Tables 2–3 workloads, parallel experiment engine, §5 summary |
+//! | [`workloads`] | Tables 2–3 workloads, envelope experiments, §5 summary |
+//! | [`campaign`] | declarative, cached, resumable experiment-campaign engine + CLI |
 //!
 //! ## Quickstart
 //!
@@ -39,9 +40,43 @@
 //!
 //! See `examples/` for complete scenarios and the `reproduce` binary
 //! (`crates/bench`) for full figure regeneration.
+//!
+//! ## Campaigns
+//!
+//! Design-space sweeps run through the campaign engine: declare the
+//! matrix in a TOML (or JSON) spec —
+//!
+//! ```toml
+//! name = "paper-smoke"
+//! archs = ["M8", "3M4", "4M4", "2M4+2M2", "3M4+2M2", "1M6+2M4+2M2"]
+//! workloads = ["2W7", "4W6", "MEM"]   # ids, classes (ILP/MEM/MIX), 2T/4T/6T, all
+//! policies = ["heur"]                 # heur | rr | random:<seed> | best | worst
+//!
+//! [budget]
+//! measure_insts = 12000
+//! warmup_insts = 6000
+//! search_insts = 4000
+//! ```
+//!
+//! — then run it (`examples/specs/` has ready-made specs):
+//!
+//! ```sh
+//! cargo run --release -p hdsmt-campaign -- run    examples/specs/paper_smoke.toml
+//! cargo run --release -p hdsmt-campaign -- status examples/specs/paper_smoke.toml
+//! cargo run --release -p hdsmt-campaign -- export examples/specs/paper_smoke.toml --out results
+//! ```
+//!
+//! Every simulation result lands in a content-addressed cache
+//! (`.hdsmt-cache/` by default), so a second `run` is 100% cache hits,
+//! an interrupted campaign resumes where it stopped, and editing the
+//! spec only simulates the new cells. `export` writes `campaign.json`,
+//! `cells.csv`, and a §5-style `summary.txt`. The same engine backs the
+//! programmatic API ([`campaign::run_campaign`], [`campaign::JobRunner`])
+//! used by `workloads`' envelope experiments and the examples.
 
 pub use hdsmt_area as area;
 pub use hdsmt_bpred as bpred;
+pub use hdsmt_campaign as campaign;
 pub use hdsmt_core as core;
 pub use hdsmt_isa as isa;
 pub use hdsmt_mem as mem;

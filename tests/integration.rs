@@ -4,8 +4,7 @@
 
 use hdsmt::area::microarch_area;
 use hdsmt::core::{
-    enumerate_mappings, heuristic_mapping, run_sim, FetchPolicy, MissProfile, SimConfig,
-    ThreadSpec,
+    enumerate_mappings, heuristic_mapping, run_sim, FetchPolicy, MissProfile, SimConfig, ThreadSpec,
 };
 use hdsmt::pipeline::MicroArch;
 use hdsmt::workloads::{all_workloads, WorkloadClass};
@@ -24,10 +23,7 @@ fn full_system_determinism_across_architectures() {
         let b = run_sim(&cfg, &specs(&["gcc", "vpr"]), &mapping);
         assert_eq!(a.stats.cycles, b.stats.cycles, "{arch_name}");
         assert_eq!(a.stats.retired, b.stats.retired, "{arch_name}");
-        assert_eq!(
-            a.stats.threads[0].mispredicts, b.stats.threads[0].mispredicts,
-            "{arch_name}"
-        );
+        assert_eq!(a.stats.threads[0].mispredicts, b.stats.threads[0].mispredicts, "{arch_name}");
         assert_eq!(a.stats.mem, b.stats.mem, "{arch_name}");
     }
 }
@@ -40,12 +36,7 @@ fn ilp_class_outruns_mem_class_everywhere() {
         let cfg = SimConfig::paper_defaults(arch, 10_000);
         let ilp = run_sim(&cfg, &specs(&["gzip", "eon"]), &mapping);
         let mem = run_sim(&cfg, &specs(&["mcf", "twolf"]), &mapping);
-        assert!(
-            ilp.ipc() > 2.0 * mem.ipc(),
-            "{arch_name}: ILP {} vs MEM {}",
-            ilp.ipc(),
-            mem.ipc()
-        );
+        assert!(ilp.ipc() > 2.0 * mem.ipc(), "{arch_name}: ILP {} vs MEM {}", ilp.ipc(), mem.ipc());
     }
 }
 
@@ -125,10 +116,7 @@ fn flush_policy_beats_plain_icount_with_memory_bound_partner() {
     let flush = run_sim(&cfg, &w, &[0, 0]);
     let bzip2_icount = icount.stats.thread_ipc(0);
     let bzip2_flush = flush.stats.thread_ipc(0);
-    assert!(
-        bzip2_flush > bzip2_icount,
-        "bzip2 under FLUSH {bzip2_flush} vs ICOUNT {bzip2_icount}"
-    );
+    assert!(bzip2_flush > bzip2_icount, "bzip2 under FLUSH {bzip2_flush} vs ICOUNT {bzip2_icount}");
 }
 
 #[test]
@@ -160,9 +148,7 @@ fn all_workloads_run_on_all_architectures() {
 
 #[test]
 fn workload_classes_cover_expected_sizes() {
-    let count = |c, t| {
-        all_workloads().iter().filter(|w| w.class == c && w.threads() == t).count()
-    };
+    let count = |c, t| all_workloads().iter().filter(|w| w.class == c && w.threads() == t).count();
     assert_eq!(count(WorkloadClass::Ilp, 2), 3);
     assert_eq!(count(WorkloadClass::Mem, 4), 2);
     assert_eq!(count(WorkloadClass::Mix, 4), 4);

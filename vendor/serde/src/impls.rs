@@ -1,0 +1,232 @@
+//! `Serialize`/`Deserialize` impls for the std types this repo uses.
+
+use crate::{DeError, Deserialize, Number, Serialize, Value};
+
+// ---------------------------------------------------------------- integers
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| DeError::expected("unsigned integer", stringify!($t)))?;
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::Number(Number::PosInt(n as u64))
+                } else {
+                    Value::Number(Number::NegInt(n))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| DeError::expected("integer", stringify!($t)))?;
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, isize);
+
+// ------------------------------------------------------------------ floats
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        // f32 -> f64 is exact, so the round-trip is bit-identical.
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.as_f64().ok_or_else(|| DeError::expected("number", "f32"))? as f32)
+    }
+}
+
+// --------------------------------------------------------- bool / strings
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool", "bool"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.as_str().ok_or_else(|| DeError::expected("string", "String"))?.to_string())
+    }
+}
+
+/// `&'static str` deserialization leaks the string. It exists so derived
+/// impls on profile tables with `&'static str` names compile; it is only
+/// exercised if such a table is actually read back (never on hot paths).
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::expected("string", "&str"))?;
+        Ok(Box::leak(s.to_string().into_boxed_str()))
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array", "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let a = v.as_array().ok_or_else(|| DeError::expected("array", "array"))?;
+        if a.len() != N {
+            return Err(DeError::custom(format!("expected {N} elements, got {}", a.len())));
+        }
+        let items: Vec<T> = a.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        items.try_into().map_err(|_| DeError::custom("array length mismatch"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            Ok(Some(T::from_value(v)?))
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let a = v.as_array().ok_or_else(|| DeError::expected("array", "tuple"))?;
+                let expected = [$($idx),+].len();
+                if a.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected {expected}-tuple, got {} elements",
+                        a.len()
+                    )));
+                }
+                Ok(($($name::from_value(&a[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+// ------------------------------------------------------------------ Value
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,61 @@
+//! Minimal offline shim for `serde` (see `vendor/README.md`).
+//!
+//! The data model is reduced: `Serialize` renders directly into a
+//! JSON-like [`Value`] tree and `Deserialize` reads back out of one.
+//! This supports exactly the usage in this repository (derived impls on
+//! plain structs/enums, driven through `serde_json`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+mod value;
+
+pub use value::{Number, Value};
+
+/// Serialization: render `self` into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization: reconstruct `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialization error: a human-readable path/expectation message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn expected(what: &str, ctx: &str) -> Self {
+        DeError(format!("expected {what} while deserializing {ctx}"))
+    }
+
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Look up and deserialize one named field of an object (derive support).
+///
+/// A missing field is treated as `Value::Null`, which lets `Option` fields
+/// of older serialized artefacts default to `None`.
+pub fn de_field<T: Deserialize>(
+    obj: &[(String, Value)],
+    name: &str,
+    ctx: &str,
+) -> Result<T, DeError> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v).map_err(|e| DeError(format!("{ctx}.{name}: {e}"))),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| DeError(format!("{ctx}: missing field `{name}`"))),
+    }
+}

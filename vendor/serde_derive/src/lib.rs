@@ -1,0 +1,418 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline `serde` shim (see `vendor/README.md`).
+//!
+//! Supports the shapes this repository actually derives on: named-field
+//! structs, tuple structs (including newtypes), unit structs, and enums
+//! with unit / named-field / tuple variants. Generic type parameters and
+//! `#[serde(...)]` attributes are intentionally unsupported — the macro
+//! fails loudly rather than guessing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ------------------------------------------------------------------ model
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+// ----------------------------------------------------------------- parser
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut toks = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`, including doc comments) and
+    // visibility qualifiers.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let keyword = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    if matches!(&toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde shim derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde shim derive: cannot derive for `{other}`"),
+    };
+    Input { name, kind }
+}
+
+/// Field names of a `{ ... }` field list (types are skipped; the generated
+/// code lets inference pick the right `Deserialize` impl).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility in front of the field name.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(field) = tok else {
+            panic!("serde shim derive: expected field name, got {tok:?}");
+        };
+        fields.push(field.to_string());
+        // Consume `: Type` up to the next top-level comma. Generic
+        // argument lists are tracked by angle-bracket depth (their commas
+        // are not field separators).
+        let mut angle: i32 = 0;
+        for tok in toks.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct/tuple-variant `( ... )` list.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut any = false;
+    let mut angle: i32 = 0;
+    let mut trailing_comma = false;
+    for tok in stream {
+        any = true;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    match (any, trailing_comma) {
+        (false, _) => 0,
+        (true, true) => count,
+        (true, false) => count + 1,
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(name) = tok else {
+            panic!("serde shim derive: expected variant name, got {tok:?}");
+        };
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                Shape::Tuple(n)
+            }
+            _ => Shape::Unit,
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => {
+                variants.push(Variant { name: name.to_string(), shape });
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde shim derive: explicit discriminants are not supported");
+            }
+            other => panic!("serde shim derive: unexpected token after variant: {other:?}"),
+        }
+        variants.push(Variant { name: name.to_string(), shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+fn ser_variant_arm(name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.shape {
+        Shape::Unit => format!(
+            "{name}::{vn} => ::serde::Value::String(::std::string::String::from(\"{vn}\")),"
+        ),
+        Shape::Named(fields) => {
+            let binders = fields.join(", ");
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vn} {{ {binders} }} => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{vn}\"), \
+                      ::serde::Value::Object(::std::vec![{}]))]),",
+                pairs.join(", ")
+            )
+        }
+        Shape::Tuple(1) => format!(
+            "{name}::{vn}(__f0) => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{vn}\"), \
+                  ::serde::Serialize::to_value(__f0))]),"
+        ),
+        Shape::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let items: Vec<String> =
+                binders.iter().map(|b| format!("::serde::Serialize::to_value({b})")).collect();
+            format!(
+                "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{vn}\"), \
+                      ::serde::Value::Array(::std::vec![{}]))]),",
+                binders.join(", "),
+                items.join(", ")
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(__obj, \"{f}\", \"{name}\")?"))
+                .collect();
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let inits: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?")).collect();
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| \
+                     ::serde::DeError::expected(\"array\", \"{name}\"))?;\n\
+                 if __a.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::custom(\
+                         format!(\"expected {n} elements for {name}, got {{}}\", __a.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => de_enum_body(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+fn de_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => {
+                unit_arms
+                    .push_str(&format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"));
+            }
+            Shape::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::de_field(__obj, \"{f}\", \"{name}::{vn}\")?"))
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                         let __obj = __inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object\", \"{name}::{vn}\"))?;\n\
+                         ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                     }}\n",
+                    inits.join(", ")
+                ));
+            }
+            Shape::Tuple(1) => {
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(__inner)?)),\n"
+                ));
+            }
+            Shape::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                         let __a = __inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::expected(\"array\", \"{name}::{vn}\"))?;\n\
+                         if __a.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::custom(\
+                                 \"tuple variant arity mismatch in {name}::{vn}\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}::{vn}({}))\n\
+                     }}\n",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match __v {{\n\
+             ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+             }},\n\
+             ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                 let (__k, __inner) = &__o[0];\n\
+                 let __inner: &::serde::Value = __inner;\n\
+                 match __k.as_str() {{\n\
+                     {data_arms}\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             _ => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"enum value\", \"{name}\")),\n\
+         }}"
+    )
+}

@@ -1,0 +1,118 @@
+//! Minimal offline shim for `serde_json` (see `vendor/README.md`).
+//!
+//! Renders and parses the `serde` shim's [`Value`] tree. Integers stay in
+//! exact `u64`/`i64` lanes and floats use Rust's shortest round-trip
+//! formatting, so serialize → parse is bit-exact for the types this
+//! repository stores (the campaign result cache depends on that).
+
+pub use serde::{Number, Value};
+
+mod parse;
+mod write;
+
+pub use parse::from_str_value;
+
+/// Serialization/deserialization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize any `Serialize` type into a [`Value`].
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Deserialize any `Deserialize` type out of a [`Value`].
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value).map_err(|e| Error(e.0))
+}
+
+/// Compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::write_compact(&value.to_value()))
+}
+
+/// Pretty-printed JSON text (two-space indent, like real serde_json).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::write_pretty(&value.to_value()))
+}
+
+/// Parse JSON text into any `Deserialize` type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse::from_str_value(s)?;
+    from_value(&v)
+}
+
+/// Build a [`Value`] literal. Supports the flat object/array/expression
+/// forms used in this repository; values go through `Serialize`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $( (::std::string::String::from($key), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_exactness() {
+        let v = json!({
+            "u": u64::MAX,
+            "i": -42i64,
+            "f": 0.1f64,
+            "tiny": 5e-324f64,
+            "neg_zero": -0.0f64,
+            "s": "he\"llo\n\u{1F600}",
+            "arr": vec![1u64, 2, 3],
+            "b": true
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str_value(&text).unwrap();
+        assert_eq!(v, back);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back: Value = from_str_value(&pretty).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn floats_keep_their_lane() {
+        let text = to_string(&json!({"x": 3.0f64, "n": 3u64})).unwrap();
+        let v: Value = from_str_value(&text).unwrap();
+        assert_eq!(v.get("x"), Some(&Value::Number(Number::Float(3.0))));
+        assert_eq!(v.get("n"), Some(&Value::Number(Number::PosInt(3))));
+    }
+
+    #[test]
+    fn parses_escapes_and_nesting() {
+        let v: Value =
+            from_str_value(r#"{"a": [1, -2, 3.5e2, "xA\n"], "b": {"c": null, "d": false}}"#)
+                .unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 4);
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[3], Value::String("xA\n".into()));
+        assert!(v.get("b").unwrap().get("c").unwrap().is_null());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str_value("{").is_err());
+        assert!(from_str_value("[1,]").is_err());
+        assert!(from_str_value("nul").is_err());
+        assert!(from_str_value("1 2").is_err());
+    }
+}

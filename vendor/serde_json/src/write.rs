@@ -1,0 +1,110 @@
+//! JSON rendering (compact and pretty).
+
+use serde::{Number, Value};
+
+pub fn write_compact(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, None, 0);
+    out
+}
+
+pub fn write_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, Some(2), 0);
+    out
+}
+
+fn newline(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(n) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', n * depth));
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    use std::fmt::Write as _;
+    match n {
+        Number::PosInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Number::NegInt(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Number::Float(f) if f.is_finite() => {
+            // `{:?}` is Rust's shortest round-trip form and always carries
+            // a `.` or an exponent, so the parser keeps it in the float
+            // lane (including -0.0).
+            let _ = write!(out, "{f:?}");
+        }
+        // JSON has no NaN/Infinity; mirror serde_json and emit null.
+        Number::Float(_) => out.push_str("null"),
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
