@@ -17,7 +17,7 @@ use crate::hash::sha256_hex;
 
 /// Bump when the meaning of a cached result changes (simulator semantics,
 /// result schema, key schema). Old entries are then simply never hit.
-pub const CODE_VERSION: &str = concat!("hdsmt-campaign/", env!("CARGO_PKG_VERSION"), "/schema-1");
+pub const CODE_VERSION: &str = concat!("hdsmt-campaign/", env!("CARGO_PKG_VERSION"), "/schema-2");
 
 /// A content-addressed store of [`SimResult`]s.
 #[derive(Clone, Debug)]

@@ -2,15 +2,26 @@
 
 use hdsmt_bpred::branch_key;
 use hdsmt_isa::{FuKind, Op};
-use hdsmt_pipeline::{InstId, InstState};
+use hdsmt_pipeline::{InstId, InstState, ReadyEntry};
 
-use super::Processor;
+use super::{DispatchEntry, LqStore, Processor};
 use crate::config::FetchPolicy;
+
+/// Packed issue-age priority: sequence number in the high bits, thread
+/// index (the deterministic cross-thread tie-break) in the low bits.
+#[inline]
+fn age_key(seq: u64, thread: u8) -> u64 {
+    debug_assert!(seq < 1 << 56);
+    (seq << 8) | thread as u64
+}
 
 /// Load/store ordering verdict for a load in the LQ.
 enum LoadOrder {
-    /// An older same-thread store's address is still unknown.
-    Blocked,
+    /// An older same-thread store's address is still unknown. Carries the
+    /// blocking store (the oldest unknown one) so the load can wait on the
+    /// exact event that unblocks it: the store's issue (`known_at ==
+    /// u64::MAX`) or its in-flight address generation (`known_at` > now).
+    Blocked { store_seq: u64, known_at: u64 },
     /// Free to access the cache.
     Clear,
     /// Satisfied by store-to-load forwarding.
@@ -27,7 +38,9 @@ impl Processor {
             let mut moved = 0;
             while self.pipes[p].decode_latch.len() < width && moved < width {
                 let Some(id) = self.pipes[p].buffer.pop_front() else { break };
-                self.pool.get_mut(id).state = InstState::Decode;
+                // The record keeps `InBuffer` until rename: nothing
+                // distinguishes the decode latch by state, so the stage
+                // moves ids without touching the pool.
                 self.pipes[p].decode_latch.push(id);
                 moved += 1;
             }
@@ -44,9 +57,9 @@ impl Processor {
             if room == 0 {
                 continue; // dispatch latch full: rename stalls
             }
-            let mut latch = std::mem::take(&mut self.pipes[p].decode_latch);
             let mut moved = 0;
-            for &id in latch.iter().take(room) {
+            while moved < room && moved < self.pipes[p].decode_latch.len() {
+                let id = self.pipes[p].decode_latch[moved];
                 let (t, dst, srcs) = {
                     let inst = self.pool.get(id);
                     (inst.thread.index(), inst.d.sinst.dst, inst.d.sinst.srcs)
@@ -69,101 +82,160 @@ impl Processor {
                     (Some(a), Some(phys)) => Some(self.threads[t].map.rename(a, phys)),
                     _ => None,
                 };
-                {
+                let entry = {
                     let inst = self.pool.get_mut(id);
                     inst.dst_phys = dst_phys;
                     inst.old_phys = old_phys;
                     inst.src_phys = src_phys;
                     inst.state = InstState::Rename;
-                }
+                    DispatchEntry {
+                        id,
+                        op: inst.d.sinst.op,
+                        seq: inst.seq.0,
+                        addr: inst.d.addr,
+                        thread: t as u8,
+                        src_phys,
+                    }
+                };
                 let pushed = self.threads[t].rob.push_tail(id);
                 debug_assert!(pushed, "ROB space checked above");
-                self.pipes[p].dispatch_latch.push(id);
+                self.pipes[p].dispatch_latch.push(entry);
                 moved += 1;
             }
-            latch.drain(..moved);
-            self.pipes[p].decode_latch = latch;
+            self.pipes[p].decode_latch.drain(..moved);
         }
     }
 
-    /// Dispatch: insert renamed instructions into their issue queues,
-    /// in order, stalling on a full queue.
+    /// Dispatch: insert renamed instructions into their issue queues, in
+    /// order, stalling on a full queue. Entry point of the event-driven
+    /// scheduler: an instruction with outstanding sources subscribes to
+    /// their wakeup lists; one with none goes straight onto its queue's
+    /// ready set. Stores are also appended to their thread's in-LQ store
+    /// list for incremental load-ordering checks.
     pub(crate) fn dispatch_stage(&mut self) {
         for p in 0..self.pipes.len() {
-            let mut latch = std::mem::take(&mut self.pipes[p].dispatch_latch);
             let mut moved = 0;
-            for &id in latch.iter() {
-                let kind = self.pool.get(id).d.sinst.op.fu_kind();
-                let pipe = &mut self.pipes[p];
-                let q = match kind {
-                    FuKind::Int => &mut pipe.iq,
-                    FuKind::Fp => &mut pipe.fq,
-                    FuKind::LdSt => &mut pipe.lq,
-                };
-                if !q.push(id) {
-                    break;
+            while moved < self.pipes[p].dispatch_latch.len() {
+                let de = self.pipes[p].dispatch_latch[moved];
+                let (id, op, srcs, t, seq, addr_word) =
+                    (de.id, de.op, de.src_phys, de.thread as usize, de.seq, de.addr & !7);
+                let kind = op.fu_kind();
+                {
+                    let pipe = &mut self.pipes[p];
+                    let q = match kind {
+                        FuKind::Int => &mut pipe.iq,
+                        FuKind::Fp => &mut pipe.fq,
+                        FuKind::LdSt => &mut pipe.lq,
+                    };
+                    if !q.push(id) {
+                        break;
+                    }
                 }
-                let inst = self.pool.get_mut(id);
-                inst.state = InstState::Waiting;
-                inst.retry_at = 0;
+                let gen = self.pool.gen(id);
+                let mut pending = 0u8;
+                for &s in srcs.iter().flatten() {
+                    if !self.regfile.is_ready(s) {
+                        self.regfile.subscribe(s, id, gen);
+                        pending += 1;
+                    }
+                }
+                {
+                    let inst = self.pool.get_mut(id);
+                    inst.state = InstState::Waiting;
+                    inst.pending_srcs = pending;
+                }
+                if pending == 0 {
+                    let pipe = &mut self.pipes[p];
+                    let q = match kind {
+                        FuKind::Int => &mut pipe.iq,
+                        FuKind::Fp => &mut pipe.fq,
+                        FuKind::LdSt => &mut pipe.lq,
+                    };
+                    q.mark_ready(ReadyEntry { seq, addr_word, id, thread: t as u8, op });
+                }
+                if op.is_store() {
+                    self.threads[t].lq_stores.push_back(LqStore {
+                        seq,
+                        addr_word,
+                        known_at: u64::MAX,
+                        id,
+                    });
+                }
                 moved += 1;
             }
-            latch.drain(..moved);
-            self.pipes[p].dispatch_latch = latch;
+            self.pipes[p].dispatch_latch.drain(..moved);
         }
     }
 
-    /// Issue: wake ready instructions oldest-first, claim functional units,
-    /// compute completion times (register-file latency per §4, cache
-    /// latency for loads), and hand them to the execution list.
+    /// Issue: visit the wakeup-fed ready sets oldest-first, claim
+    /// functional units, compute completion times (register-file latency
+    /// per §4, cache latency for loads), and file completions on the
+    /// wheel. Event-driven: only instructions whose operands became ready
+    /// are examined, never the whole queues.
     pub(crate) fn issue_stage(&mut self) {
         let now = self.cycle;
+        let mut candidates = std::mem::take(&mut self.scratch_candidates);
         for p in 0..self.pipes.len() {
             let width = self.pipes[p].model.width as usize;
 
-            // Gather ready candidates across the three queues, oldest
-            // first. Buffer reuse would be nicer; candidate counts are
-            // bounded by queue sizes (≤ 192) and typically tiny.
-            let mut candidates: Vec<(u64, InstId, FuKind, bool)> = Vec::new();
-            for (kind, q) in [
-                (FuKind::Int, &self.pipes[p].iq),
-                (FuKind::Fp, &self.pipes[p].fq),
-                (FuKind::LdSt, &self.pipes[p].lq),
-            ] {
-                for id in q.iter() {
-                    let inst = self.pool.get(id);
-                    if inst.state != InstState::Waiting || inst.retry_at > now {
-                        continue;
-                    }
-                    let ready = inst.src_phys.iter().all(|s| match s {
-                        Some(r) => self.regfile.is_ready(*r),
-                        None => true,
-                    });
-                    if !ready {
-                        continue;
-                    }
+            // Re-admit parked entries whose wait expired.
+            {
+                let pipe = &mut self.pipes[p];
+                for q in [&mut pipe.iq, &mut pipe.fq, &mut pipe.lq] {
+                    q.unpark_due(now);
+                }
+            }
+            // Gather candidates from the ready sets. Entries are eagerly
+            // maintained and self-contained, so selection touches no
+            // instruction-pool memory; loads found blocked move to the
+            // parking structures instead of being re-polled every cycle.
+            candidates.clear();
+            let mut blocked = std::mem::take(&mut self.scratch_blocked);
+            blocked.clear();
+            for q in [&self.pipes[p].iq, &self.pipes[p].fq, &self.pipes[p].lq] {
+                for &e in q.ready_entries() {
                     let mut forward = false;
-                    if inst.d.sinst.op.is_load() {
-                        match self.load_order(p, id) {
-                            LoadOrder::Blocked => continue,
+                    if e.op.is_load() {
+                        debug_assert_eq!(self.pool.get(e.id).state, InstState::Waiting);
+                        match self.load_order(e.thread as usize, e.seq, e.addr_word) {
+                            LoadOrder::Blocked { store_seq, known_at } => {
+                                blocked.push((e, store_seq, known_at));
+                                continue;
+                            }
                             LoadOrder::Clear => {}
                             LoadOrder::Forward => forward = true,
                         }
                     }
-                    candidates.push((inst.seq.0, id, kind, forward));
+                    candidates.push((age_key(e.seq, e.thread), e.id, e.op, forward));
                 }
             }
-            candidates.sort_unstable_by_key(|&(seq, id, _, _)| (seq, id.0));
+            for &(e, store_seq, known_at) in &blocked {
+                let lq = &mut self.pipes[p].lq;
+                let was_ready = lq.remove_ready(e.id);
+                debug_assert!(was_ready);
+                if known_at == u64::MAX {
+                    // Wait for the store's issue; its agen completion
+                    // re-parks the load with a concrete cycle.
+                    self.threads[e.thread as usize].blocked_loads.push((store_seq, e));
+                } else {
+                    lq.park_at(known_at, e);
+                }
+            }
+            self.scratch_blocked = blocked;
+            // Age order on one packed key: `seq` is per-thread, so the
+            // cross-thread tie-break must not depend on pool slot
+            // numbering (allocator history): thread index gives a total,
+            // reproducible order.
+            candidates.sort_unstable_by_key(|&(key, _, _, _)| key);
 
             let mut issued = 0;
-            for (_, id, kind, forward) in candidates {
+            for &(_, id, op, forward) in candidates.iter() {
                 if issued >= width {
                     break;
                 }
-                let op = self.pool.get(id).d.sinst.op;
                 let occupy = if op.fu_pipelined() { 1 } else { op.exec_latency() };
                 let pipe = &mut self.pipes[p];
-                let fu = match kind {
+                let fu = match op.fu_kind() {
                     FuKind::Int => &mut pipe.int_fu,
                     FuKind::Fp => &mut pipe.fp_fu,
                     FuKind::LdSt => &mut pipe.ldst_fu,
@@ -175,6 +247,7 @@ impl Processor {
                 self.begin_execution(p, id, forward);
             }
         }
+        self.scratch_candidates = candidates;
     }
 
     /// Transition one instruction to `Executing`: compute its completion
@@ -196,9 +269,21 @@ impl Processor {
             } else {
                 let access = self.mem.load(addr, agen_done);
                 if access.mshr_stall {
-                    // Structural replay: stay Waiting, retry shortly. The
-                    // issue slot and FU cycle are wasted, as in hardware.
-                    self.pool.get_mut(id).retry_at = now + 2;
+                    // Structural replay: stay Waiting, retry two cycles
+                    // later. The issue slot and FU cycle are wasted, as in
+                    // hardware. The entry leaves the ready set for the
+                    // timed park, so the back-off costs nothing to poll.
+                    let (seq2, thread2) = {
+                        let i = self.pool.get(id);
+                        (i.seq.0, i.thread.index() as u8)
+                    };
+                    let lq = &mut self.pipes[p].lq;
+                    let was_ready = lq.remove_ready(id);
+                    debug_assert!(was_ready, "replayed load came from the ready set");
+                    lq.park_at(
+                        now + 2,
+                        ReadyEntry { seq: seq2, addr_word: addr & !7, id, thread: thread2, op },
+                    );
                     return;
                 }
                 if !wrong && access.level != hdsmt_mem::HitLevel::L1 {
@@ -210,13 +295,39 @@ impl Processor {
                     // FLUSH (§4): the load will look like an L2 miss once it
                     // has been outstanding longer than an L2 hit takes.
                     let trigger = agen_done + self.cfg.mem.l2_hit_latency() as u64 + 1;
-                    self.pending_flush.push((trigger, id));
+                    self.flush_wheel.schedule(trigger, id, self.pool.gen(id), now);
                 }
                 agen_done + access.latency as u64 + rf_extra as u64
             }
         } else if op.is_store() {
-            // Address generation only; data is written at commit.
-            now + 1 + rf_extra as u64
+            // Address generation only; data is written at commit. The
+            // thread's store list learns the agen completion cycle so
+            // load-ordering checks need no pool lookup, and loads blocked
+            // on this store move to the timed park (they cannot clear
+            // before the agen result is visible).
+            let agen_done = now + 1 + rf_extra as u64;
+            let stores = &mut self.threads[t].lq_stores;
+            let pos = stores.partition_point(|s| s.seq < seq);
+            debug_assert!(stores[pos].id == id, "issuing store must be in its thread's list");
+            stores[pos].known_at = agen_done;
+            let blocked = &mut self.threads[t].blocked_loads;
+            if !blocked.is_empty() {
+                let mut unblocked = std::mem::take(&mut self.scratch_unblocked);
+                unblocked.clear();
+                blocked.retain(|&(store_seq, e)| {
+                    if store_seq == seq {
+                        unblocked.push(e);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                for &e in &unblocked {
+                    self.pipes[p].lq.park_at(agen_done, e);
+                }
+                self.scratch_unblocked = unblocked;
+            }
+            agen_done
         } else {
             now + op.exec_latency() as u64 + rf_extra as u64
         };
@@ -224,21 +335,25 @@ impl Processor {
         {
             let inst = self.pool.get_mut(id);
             inst.state = InstState::Executing;
-            inst.issue_cycle = now;
             inst.ready_cycle = ready_cycle;
         }
-        self.exec_list.push(id);
-        // Stores stay in the LQ (forwarding source) until commit; everything
-        // else leaves its queue at issue.
-        if !op.is_store() {
+        self.wheel.schedule(ready_cycle, id, self.pool.gen(id), now);
+        // The issued instruction leaves the ready set; stores stay in the
+        // LQ itself (forwarding source) until commit, everything else
+        // leaves its queue entirely.
+        {
             let pipe = &mut self.pipes[p];
             let q = match op.fu_kind() {
                 FuKind::Int => &mut pipe.iq,
                 FuKind::Fp => &mut pipe.fq,
                 FuKind::LdSt => &mut pipe.lq,
             };
-            let removed = q.remove(id);
-            debug_assert!(removed);
+            let was_ready = q.remove_ready(id);
+            debug_assert!(was_ready, "issued from the ready set");
+            if !op.is_store() {
+                let removed = q.remove(id);
+                debug_assert!(removed);
+            }
         }
         let th = &mut self.threads[t];
         th.icount -= 1;
@@ -253,30 +368,25 @@ impl Processor {
 
     /// Memory-ordering check for a load against older same-thread stores in
     /// the LQ: blocked while any has an unknown address; forwarded on an
-    /// exact (8-byte) match.
-    fn load_order(&self, p: usize, load_id: InstId) -> LoadOrder {
-        let load = self.pool.get(load_id);
+    /// exact (8-byte) match (the youngest older match is the forwarding
+    /// source). Walks the thread's incremental in-LQ store list — program-
+    /// ordered, so the scan stops at the first store younger than the load
+    /// — instead of rescanning the whole LQ.
+    fn load_order(&self, thread: usize, load_seq: u64, load_word: u64) -> LoadOrder {
         let now = self.cycle;
         let mut forward = false;
-        let mut best_seq = 0u64;
-        for id in self.pipes[p].lq.iter() {
-            if id == load_id {
-                continue;
+        for s in &self.threads[thread].lq_stores {
+            if s.seq >= load_seq {
+                break; // program order: everything after is younger too
             }
-            let s = self.pool.get(id);
-            if s.thread != load.thread || !s.d.sinst.op.is_store() || s.seq >= load.seq {
-                continue;
+            // Address known once agen completed (`known_at` is MAX while
+            // the store waits in its queue).
+            if s.known_at > now {
+                return LoadOrder::Blocked { store_seq: s.seq, known_at: s.known_at };
             }
-            let agen_known = match s.state {
-                InstState::Waiting => false,
-                InstState::Executing => s.ready_cycle <= now,
-                _ => true,
-            };
-            if !agen_known {
-                return LoadOrder::Blocked;
-            }
-            if (s.d.addr & !7) == (load.d.addr & !7) && s.seq.0 >= best_seq {
-                best_seq = s.seq.0;
+            // Ascending seq: a later match overwrites an earlier one, so
+            // the youngest older store wins.
+            if s.addr_word == load_word {
                 forward = true;
             }
         }
@@ -287,25 +397,36 @@ impl Processor {
         }
     }
 
-    /// Writeback: drain completed executions, mark results ready, clear
-    /// FLUSH gates, resolve branches (training + misprediction recovery).
+    /// Writeback: reclaim squashed executions, drain the completion-wheel
+    /// bucket due this cycle, mark results ready (firing wakeups into the
+    /// ready sets), clear FLUSH gates, resolve branches (training +
+    /// misprediction recovery).
     pub(crate) fn writeback_stage(&mut self) {
         let now = self.cycle;
-        let mut resolved: Vec<InstId> = Vec::new();
-        let mut i = 0;
-        while i < self.exec_list.len() {
-            let id = self.exec_list[i];
+        // Squashed in-flight executions, marked since the last writeback:
+        // release their slots now (the cycle the old linear drain
+        // reclaimed them). Their wheel entries go stale with the release
+        // and are dropped when their bucket comes due.
+        for i in 0..self.squashed_exec.len() {
+            let id = self.squashed_exec[i];
+            debug_assert!(self.pool.get(id).squashed);
+            self.pool.release(id);
+        }
+        self.squashed_exec.clear();
+
+        let mut due = std::mem::take(&mut self.scratch_due);
+        due.clear();
+        self.wheel.drain_due(now, &mut due);
+        let mut resolved = std::mem::take(&mut self.scratch_resolved);
+        resolved.clear();
+        for &(id, gen) in &due {
+            if self.pool.gen(id) != gen {
+                continue; // squashed and reclaimed above, slot recycled
+            }
             let inst = self.pool.get(id);
-            if inst.squashed {
-                self.exec_list.swap_remove(i);
-                self.pool.release(id);
-                continue;
-            }
-            if inst.ready_cycle > now {
-                i += 1;
-                continue;
-            }
-            self.exec_list.swap_remove(i);
+            debug_assert!(!inst.squashed, "squashed executions never stay a full cycle");
+            debug_assert_eq!(inst.state, InstState::Executing);
+            debug_assert_eq!(inst.ready_cycle, now);
             let (t, op, dst, wrong) =
                 (inst.thread.index(), inst.d.sinst.op, inst.dst_phys, inst.wrong_path);
             self.pool.get_mut(id).state = InstState::Done;
@@ -324,6 +445,11 @@ impl Processor {
                 resolved.push(id);
             }
         }
+        self.scratch_due = due;
+
+        // Route this cycle's register wakeups into the queue ready sets
+        // before issue runs.
+        self.drain_wakeups();
 
         // Resolve branches oldest-first per thread: an older misprediction
         // squashes younger same-cycle resolutions before they can act.
@@ -331,12 +457,56 @@ impl Processor {
             let i = self.pool.get(id);
             (i.thread.index(), i.seq.0)
         });
-        for id in resolved {
+        for &id in &resolved {
             if self.pool.get(id).squashed {
                 continue; // squashed (and released) by an older resolution
             }
             self.resolve_branch(id);
         }
+        self.scratch_resolved = resolved;
+    }
+
+    /// Deliver pending register-file wakeups: each subscriber counts one
+    /// outstanding source down and enters its queue's ready set when none
+    /// remain. Subscriptions of since-squashed (recycled) instructions are
+    /// discarded by generation mismatch.
+    fn drain_wakeups(&mut self) {
+        let mut woken = std::mem::take(&mut self.scratch_woken);
+        woken.clear();
+        self.regfile.drain_woken(&mut woken);
+        for w in &woken {
+            if self.pool.gen(w.id) != w.gen {
+                continue; // subscriber squashed; slot since recycled
+            }
+            let (ready_now, pipe, seq, thread, op, addr_word) = {
+                let inst = self.pool.get_mut(w.id);
+                debug_assert_eq!(
+                    inst.state,
+                    InstState::Waiting,
+                    "a live subscriber is always still waiting"
+                );
+                debug_assert!(inst.pending_srcs > 0);
+                inst.pending_srcs -= 1;
+                (
+                    inst.pending_srcs == 0,
+                    inst.pipe as usize,
+                    inst.seq.0,
+                    inst.thread.index() as u8,
+                    inst.d.sinst.op,
+                    inst.d.addr & !7,
+                )
+            };
+            if ready_now {
+                let p = &mut self.pipes[pipe];
+                let q = match op.fu_kind() {
+                    FuKind::Int => &mut p.iq,
+                    FuKind::Fp => &mut p.fq,
+                    FuKind::LdSt => &mut p.lq,
+                };
+                q.mark_ready(ReadyEntry { seq, addr_word, id: w.id, thread, op });
+            }
+        }
+        self.scratch_woken = woken;
     }
 
     /// Train predictors with the architectural outcome and run recovery on
@@ -407,32 +577,23 @@ impl Processor {
     /// Fire due FLUSH triggers: flush the offending thread past the load
     /// and gate its fetch until the load completes (Tullsen & Brown).
     pub(crate) fn process_flushes(&mut self) {
-        if self.pending_flush.is_empty() {
-            return;
+        if self.flush_wheel.is_empty() {
+            return; // every bucket empty: nothing can be due
         }
         let now = self.cycle;
-        let due: Vec<InstId> = {
-            let pool = &self.pool;
-            let mut due = Vec::new();
-            self.pending_flush.retain(|&(cycle, id)| {
-                let inst = pool.get(id);
-                // Entry is stale once the load was squashed or completed.
-                if inst.squashed || inst.state != InstState::Executing || !inst.d.sinst.op.is_load()
-                {
-                    return false;
-                }
-                if cycle <= now {
-                    due.push(id);
-                    return false;
-                }
-                true
-            });
-            due
-        };
-        for id in due {
+        let mut due = std::mem::take(&mut self.scratch_flush_due);
+        due.clear();
+        self.flush_wheel.drain_due(now, &mut due);
+        for &(id, gen) in &due {
+            // Validate at fire time: the load may have been squashed (slot
+            // reclaimed, generation bumped — possibly by an earlier flush
+            // this same cycle) or already completed.
+            if self.pool.gen(id) != gen {
+                continue;
+            }
             let inst = self.pool.get(id);
-            if inst.squashed || inst.state != InstState::Executing {
-                continue; // an earlier flush this cycle got there first
+            if inst.squashed || inst.state != InstState::Executing || !inst.d.sinst.op.is_load() {
+                continue;
             }
             let (t, seq) = (inst.thread.index(), inst.seq.0);
             if self.threads[t].flush_gate == Some(id) {
@@ -446,5 +607,188 @@ impl Processor {
             self.threads[t].flush_gate = Some(id);
             self.threads[t].st.flushes += 1;
         }
+        self.scratch_flush_due = due;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use hdsmt_isa::{Op, Pc, SeqNum, StaticInst, ThreadId};
+    use hdsmt_pipeline::{InFlight, InstId, InstState, MicroArch};
+    use hdsmt_trace::DynInst;
+
+    use super::super::Processor;
+    use super::{LoadOrder, LqStore, ReadyEntry};
+    use crate::config::{SimConfig, ThreadSpec};
+
+    /// A two-thread M8 machine with empty pipelines, used as a harness to
+    /// hand-place instructions into the LQ.
+    fn mini_proc(cfg_tweak: impl FnOnce(&mut SimConfig)) -> Processor {
+        let mut cfg = SimConfig::paper_defaults(MicroArch::baseline(), 1_000);
+        cfg_tweak(&mut cfg);
+        let w = vec![ThreadSpec::for_benchmark("gzip", 1), ThreadSpec::for_benchmark("gcc", 2)];
+        Processor::new(cfg, &w, &[0, 0])
+    }
+
+    /// Place a load or store in pipe 0's LQ in the given state. Sources are
+    /// `None` (always operand-ready).
+    fn inject(
+        p: &mut Processor,
+        t: usize,
+        seq: u64,
+        op: Op,
+        addr: u64,
+        state: InstState,
+        ready_cycle: u64,
+    ) -> InstId {
+        let sinst = StaticInst { op, dst: None, srcs: [None, None], mem: None };
+        let d = DynInst { pc: Pc(0x100), sinst, addr, ctrl: None };
+        let id = p.pool.alloc(InFlight::new(ThreadId(t as u8), 0, SeqNum(seq), d, false));
+        {
+            let i = p.pool.get_mut(id);
+            i.state = state;
+            i.ready_cycle = ready_cycle;
+        }
+        assert!(p.pipes[0].lq.push(id));
+        if state == InstState::Waiting {
+            // Sources are None, so dispatch would mark it ready at once.
+            p.pipes[0].lq.mark_ready(ReadyEntry {
+                seq,
+                addr_word: addr & !7,
+                id,
+                thread: t as u8,
+                op,
+            });
+        }
+        if op.is_store() {
+            let known_at = match state {
+                InstState::Waiting => u64::MAX,
+                _ => ready_cycle,
+            };
+            p.threads[t].lq_stores.push_back(LqStore { seq, addr_word: addr & !7, known_at, id });
+        }
+        p.threads[t].icount += 1; // mirrors dispatch bookkeeping
+        id
+    }
+
+    fn verdict(p: &Processor, id: InstId) -> &'static str {
+        let i = p.pool.get(id);
+        match p.load_order(i.thread.index(), i.seq.0, i.d.addr & !7) {
+            LoadOrder::Blocked { .. } => "blocked",
+            LoadOrder::Clear => "clear",
+            LoadOrder::Forward => "forward",
+        }
+    }
+
+    #[test]
+    fn forwarding_requires_exact_8_byte_match() {
+        let mut p = mini_proc(|_| {});
+        inject(&mut p, 0, 1, Op::Store, 0x1000, InstState::Done, 0);
+        let same_word = inject(&mut p, 0, 2, Op::Load, 0x1004, InstState::Waiting, 0);
+        let next_word = inject(&mut p, 0, 3, Op::Load, 0x1008, InstState::Waiting, 0);
+        let prev_word = inject(&mut p, 0, 4, Op::Load, 0x0ff8, InstState::Waiting, 0);
+        assert_eq!(verdict(&p, same_word), "forward", "same 8-byte word forwards");
+        assert_eq!(verdict(&p, next_word), "clear", "next word does not forward");
+        assert_eq!(verdict(&p, prev_word), "clear", "previous word does not forward");
+    }
+
+    #[test]
+    fn unknown_older_store_address_blocks_even_with_an_older_match() {
+        let mut p = mini_proc(|_| {});
+        // seq 1: store with known, matching address.
+        inject(&mut p, 0, 1, Op::Store, 0x2000, InstState::Done, 0);
+        // seq 3: store whose address is still unknown (pre-agen).
+        inject(&mut p, 0, 3, Op::Store, 0x9999, InstState::Waiting, 0);
+        // A load younger than both must be Blocked: the unknown address
+        // dominates the older forwarding match.
+        let young = inject(&mut p, 0, 4, Op::Load, 0x2000, InstState::Waiting, 0);
+        assert_eq!(verdict(&p, young), "blocked");
+        // A load *between* them only sees the known store: forwards.
+        let mid = inject(&mut p, 0, 2, Op::Load, 0x2000, InstState::Waiting, 0);
+        assert_eq!(verdict(&p, mid), "forward");
+    }
+
+    #[test]
+    fn only_same_thread_stores_participate_in_ordering() {
+        let mut p = mini_proc(|_| {});
+        // Thread 1 has an unknown-address store; thread 0's load ignores it.
+        inject(&mut p, 1, 1, Op::Store, 0x3000, InstState::Waiting, 0);
+        let load = inject(&mut p, 0, 5, Op::Load, 0x3000, InstState::Waiting, 0);
+        assert_eq!(verdict(&p, load), "clear");
+    }
+
+    #[test]
+    fn executing_store_address_becomes_known_at_its_ready_cycle() {
+        let mut p = mini_proc(|_| {});
+        inject(&mut p, 0, 1, Op::Store, 0x4000, InstState::Executing, 10);
+        let load = inject(&mut p, 0, 2, Op::Load, 0x4004, InstState::Waiting, 0);
+        p.cycle = 9;
+        assert_eq!(verdict(&p, load), "blocked", "agen not complete at cycle 9");
+        p.cycle = 10;
+        assert_eq!(verdict(&p, load), "forward", "agen result visible at its ready cycle");
+    }
+
+    #[test]
+    fn youngest_matching_store_is_chosen_for_forwarding() {
+        let mut p = mini_proc(|_| {});
+        inject(&mut p, 0, 1, Op::Store, 0x5000, InstState::Done, 0);
+        inject(&mut p, 0, 2, Op::Store, 0x5000, InstState::Done, 0);
+        let load = inject(&mut p, 0, 3, Op::Load, 0x5004, InstState::Waiting, 0);
+        assert_eq!(verdict(&p, load), "forward");
+    }
+
+    #[test]
+    fn forwarded_load_bypasses_the_cache_with_fixed_latency() {
+        let mut p = mini_proc(|_| {});
+        inject(&mut p, 0, 1, Op::Store, 0x6000, InstState::Done, 0);
+        let load = inject(&mut p, 0, 2, Op::Load, 0x6000, InstState::Waiting, 0);
+        p.cycle = 100;
+        p.begin_execution(0, load, true);
+        let i = p.pool.get(load);
+        assert_eq!(i.state, InstState::Executing);
+        assert!(i.forwarded);
+        // agen (1 cycle + rf extra) + 1-cycle bypass, no cache access.
+        let rf_extra = (p.rf_lat - 1) as u64;
+        assert_eq!(i.ready_cycle, 100 + 1 + rf_extra + 1);
+    }
+
+    #[test]
+    fn mshr_full_load_replays_with_retry_backoff() {
+        let mut p = mini_proc(|c| c.mem.mshrs = 1);
+        // Saturate the single MSHR with an outstanding far miss.
+        let first = p.mem.load(0x5000_0000, 0);
+        assert!(!first.mshr_stall, "first miss allocates the MSHR");
+        assert!(first.latency > 1, "must actually miss");
+        // A second missing load now structurally replays.
+        let load = inject(&mut p, 0, 1, Op::Load, 0x6000_0000, InstState::Waiting, 0);
+        p.cycle = 0;
+        p.begin_execution(0, load, false);
+        let i = p.pool.get(load);
+        assert_eq!(i.state, InstState::Waiting, "MSHR stall keeps the load waiting");
+        assert!(p.pipes[0].lq.iter().any(|x| x == load), "the load stays in its queue");
+        assert!(
+            p.pipes[0].lq.parked_entries().any(|e| e.id == load),
+            "the replayed load waits in the timed park"
+        );
+        assert!(
+            !p.pipes[0].lq.ready_entries().iter().any(|e| e.id == load),
+            "parked entries are not re-polled"
+        );
+
+        // Once the outstanding miss has drained, the retry succeeds. The
+        // park wheel is drained once per cycle, as the cycle loop does.
+        let resume = first.latency as u64 + 8;
+        for c in 1..=resume {
+            p.cycle = c;
+            p.pipes[0].lq.unpark_due(c);
+        }
+        assert!(
+            p.pipes[0].lq.ready_entries().iter().any(|e| e.id == load),
+            "expired back-off rejoins the ready set"
+        );
+        p.begin_execution(0, load, false);
+        let i = p.pool.get(load);
+        assert_eq!(i.state, InstState::Executing, "retry issues once an MSHR frees up");
+        assert!(i.ready_cycle > p.cycle);
     }
 }

@@ -46,6 +46,10 @@ impl Processor {
                         // the latency is not charged to commit.
                         let _ = self.mem.store(addr, now);
                         self.pipes[p].lq.remove(head);
+                        // In-order commit retires this thread's oldest
+                        // in-LQ store: the front of its store list.
+                        let popped = self.threads[t].lq_stores.pop_front();
+                        debug_assert_eq!(popped.map(|s| s.id), Some(head));
                     }
                     // The previous mapping of the destination is now dead.
                     if let Some(old) = old_phys {
@@ -61,6 +65,7 @@ impl Processor {
                     self.pool.release(head);
                     self.threads[t].st.retired += 1;
                     self.pipes[p].retired += 1;
+                    self.committed_total += 1;
                     budget -= 1;
 
                     if self.warmed && self.threads[t].st.retired >= self.cfg.max_retired_per_thread

@@ -22,7 +22,9 @@ impl Processor {
     pub(crate) fn fetch_stage(&mut self) {
         let now = self.cycle;
         let n = self.threads.len();
-        let mut order: Vec<usize> = (0..n).filter(|&t| self.fetch_eligible(t, now)).collect();
+        let mut order = std::mem::take(&mut self.scratch_order);
+        order.clear();
+        order.extend((0..n).filter(|&t| self.fetch_eligible(t, now)));
         let rr = self.fetch_rr;
         let key = |p: &Processor, t: usize| -> (i64, i64, i64, i64) {
             let th = &p.threads[t];
@@ -43,13 +45,14 @@ impl Processor {
         let mut budget = self.cfg.fetch_width as u32;
         let mut threads_used = 0u8;
         #[allow(clippy::explicit_counter_loop)] // the counter is a port budget, not an index
-        for t in order {
+        for &t in &order {
             if threads_used >= self.cfg.fetch_threads || budget == 0 {
                 break;
             }
             threads_used += 1; // the I-cache port is consumed even on a stall
             self.fetch_burst(t, &mut budget);
         }
+        self.scratch_order = order;
         self.fetch_rr = self.fetch_rr.wrapping_add(1);
     }
 
@@ -110,10 +113,24 @@ impl Processor {
     fn next_fetch_inst(&mut self, t: usize) -> (DynInst, bool) {
         let th = &mut self.threads[t];
         if let Some(wpc) = th.wrong_path {
-            let program = th.stream.program().clone();
-            let d = match program.lookup(wpc) {
-                Some((block, off)) => {
-                    let sinst = block.insts[off];
+            // Sequential wrong-path fetches hit the cursor; only taken
+            // targets (and redirects) pay the dictionary search.
+            let hit = if th.wp_cursor.0 == wpc {
+                Some((th.wp_cursor.1, th.wp_cursor.2 as usize))
+            } else {
+                th.stream.program().lookup_id(wpc)
+            };
+            let d = match hit {
+                Some((blk, off)) => {
+                    let (sinst, blk_len) = {
+                        let b = th.stream.program().block(blk);
+                        (b.insts[off], b.insts.len())
+                    };
+                    th.wp_cursor = if off + 1 < blk_len {
+                        (wpc.next(), blk, (off + 1) as u32)
+                    } else {
+                        (Pc(u64::MAX), blk, 0)
+                    };
                     let addr = match sinst.mem {
                         Some(g) => th.stream.wrong_path_addr(g),
                         None => 0,
@@ -135,6 +152,19 @@ impl Processor {
         }
     }
 
+    /// Taken target of the control transfer at `pc` (a pure function of
+    /// the thread's program), through a per-thread direct-mapped memo.
+    fn taken_target(&mut self, t: usize, pc: Pc) -> Pc {
+        let slot = (((pc.0 >> 2) ^ (pc.0 >> 9)) as usize) & 63;
+        let th = &mut self.threads[t];
+        if th.taken_memo[slot].0 == pc {
+            return th.taken_memo[slot].1;
+        }
+        let target = static_taken_target(th.stream.program(), pc);
+        th.taken_memo[slot] = (pc, target);
+        target
+    }
+
     /// Rename-free front half of fetch for one instruction: prediction,
     /// RAS/history bookkeeping, wrong-path transitions, buffer insertion.
     /// Returns whether the burst ends after this instruction.
@@ -149,16 +179,15 @@ impl Processor {
 
         if op.is_control() {
             let key = branch_key(d.pc, t as u8);
-            let program = self.threads[t].stream.program().clone();
             let (pred_taken, pred_target) = match op {
                 Op::CondBranch => {
                     let (p, snap) = self.dir.predict(t, key);
                     self.dir.spec_update(t, p);
                     fl.dir_snap = snap;
-                    let tt = static_taken_target(&program, d.pc);
+                    let tt = self.taken_target(t, d.pc);
                     (p, if p { tt } else { d.pc.next() })
                 }
-                Op::Jump | Op::Call => (true, static_taken_target(&program, d.pc)),
+                Op::Jump | Op::Call => (true, self.taken_target(t, d.pc)),
                 Op::Return => (true, self.threads[t].ras.pop()),
                 Op::IndirectJump => (true, self.btb.lookup(key).unwrap_or(d.pc.next())),
                 _ => unreachable!(),
@@ -169,9 +198,6 @@ impl Processor {
             // Post-action checkpoint for arbitrary-point rewinds.
             let snap = (self.threads[t].ras.snapshot(), self.dir.history(t));
             self.threads[t].ckpt.push(seq, snap);
-            fl.ras_snap = snap.0;
-            fl.pred_taken = pred_taken;
-            fl.pred_target = pred_target;
 
             if !wrong {
                 let actual = d.ctrl.expect("correct-path control inst carries its outcome");

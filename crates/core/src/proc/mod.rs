@@ -7,6 +7,44 @@
 //! pipeline: fetch → buffer/decode → rename → dispatch → issue → register
 //! read (1 cycle monolithic / 2 hdSMT, §4) → execute → writeback →
 //! commit.
+//!
+//! # The event-driven scheduler core
+//!
+//! The per-cycle hot path is *event-driven*, not polled: no stage scans a
+//! whole structure to find the few entries that can act this cycle.
+//!
+//! * **Wakeup lists** ([`RegFile`]): a dispatched instruction with
+//!   unready sources subscribes to those physical registers; writeback's
+//!   `set_ready` moves the subscribers to a woken buffer that the
+//!   processor drains into the queues' ready sets. Subscriptions carry
+//!   the pool **generation** of the consumer, so wakeups for
+//!   since-squashed (recycled) instructions are discarded on delivery.
+//! * **Ready sets** ([`IssueQueue`]): each queue tracks its operand-ready
+//!   members as self-contained entries (seq, thread, op, address), kept
+//!   eagerly in sync — issue and squash remove entries immediately — so
+//!   the issue stage sorts only genuine candidates by age and touches no
+//!   pool memory for selection.
+//! * **Blocked loads** are fully evented too: a load whose oldest
+//!   unknown-address older store has not issued waits on that store's
+//!   issue (`Thread::blocked_loads`); once the store's agen completion
+//!   cycle is known the load sits in the queue's timed park and rejoins
+//!   the ready set exactly when the address becomes visible. The
+//!   load-ordering walk itself reads the per-thread [`LqStore`] list
+//!   (program-ordered, denormalised) instead of rescanning the LQ.
+//! * **Completion wheel** ([`CompletionWheel`]): executing instructions
+//!   are filed under their completion cycle; writeback drains exactly the
+//!   bucket due now. Squashed in-flight executions are reclaimed from
+//!   `squashed_exec` at the next writeback (the cycle the old linear
+//!   drain freed them), leaving their wheel entries to die by generation
+//!   mismatch. FLUSH triggers ride a second wheel the same way.
+//!
+//! Every structure is deterministic, and issue order uses the pool-
+//! independent `(seq, thread)` age key, so the refactor is bit-identical
+//! to the polled core on the golden-stats matrix
+//! (`tests/golden_stats.rs`). The invariants tying the lazy/evented
+//! structures together are asserted by
+//! [`Processor::check_scheduler_invariants`] (tests and the
+//! `invariant-checks` feature).
 
 mod backend;
 mod commit;
@@ -16,16 +54,31 @@ mod squash;
 use std::collections::VecDeque;
 
 use hdsmt_bpred::{Btb, DirectionPredictor, Ras, RasSnapshot};
-use hdsmt_isa::{Pc, ThreadId};
+use hdsmt_isa::{BlockId, Pc, ThreadId};
 use hdsmt_mem::MemHier;
 use hdsmt_pipeline::{
-    FuPool, InstId, InstPool, IssueQueue, PipeModel, RegFile, RenameMap, RingBuf, Rob,
+    CompletionWheel, FuPool, InstId, InstPool, IssueQueue, PipeModel, ReadyEntry, RegFile,
+    RenameMap, RingBuf, Rob, Waiter,
 };
 use hdsmt_trace::{DynInst, TraceStream};
 
 use crate::checkpoint::CheckpointLog;
 use crate::config::{SimConfig, ThreadSpec};
 use crate::stats::{SimStats, ThreadStats};
+
+/// One in-LQ store, denormalised for the load-ordering check: the walk
+/// reads only this 32-byte record, never the instruction pool.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct LqStore {
+    /// Program-order sequence number (the list is ascending).
+    pub seq: u64,
+    /// Store address at 8-byte granularity (the forwarding match key).
+    pub addr_word: u64,
+    /// Cycle the address becomes architecturally visible: `u64::MAX`
+    /// until the store issues, then its agen completion cycle.
+    pub known_at: u64,
+    pub id: InstId,
+}
 
 /// Front-end + architectural state of one hardware thread.
 pub(crate) struct Thread {
@@ -59,9 +112,39 @@ pub(crate) struct Thread {
     pub icount: i32,
     /// Executing loads (the L1MCOUNT priority key; FLUSH bookkeeping).
     pub inflight_loads: i32,
+    /// This thread's stores currently in its pipeline's LQ, in program
+    /// order (pushed at dispatch, popped at commit, pruned on squash).
+    /// Load/store ordering checks walk this short, self-contained list —
+    /// no LQ rescans and no instruction-pool traffic per candidate load.
+    pub lq_stores: VecDeque<LqStore>,
+    /// Ready loads blocked on a specific not-yet-issued older store
+    /// (keyed by that store's sequence number). Woken — moved to the LQ's
+    /// timed park — when the store issues.
+    pub blocked_loads: Vec<(u64, ReadyEntry)>,
+    /// Wrong-path fetch cursor: (pc, block, offset) of the next
+    /// fabricated instruction. Caches the pure pc → block dictionary
+    /// mapping so sequential wrong-path runs skip the binary search;
+    /// keyed by pc, so a stale cursor simply misses.
+    pub wp_cursor: (Pc, BlockId, u32),
+    /// Direct-mapped memo of control-transfer taken targets (also a pure
+    /// function of the program; loops make it hit constantly).
+    pub taken_memo: Vec<(Pc, Pc)>,
     pub st: ThreadStats,
     /// Retired its run-length target.
     pub done: bool,
+}
+
+/// One renamed instruction in flight between rename and dispatch.
+/// Carries what dispatch needs so it re-reads nothing from the pool
+/// (rename had the record open anyway).
+#[derive(Clone, Copy)]
+pub(crate) struct DispatchEntry {
+    pub id: InstId,
+    pub op: hdsmt_isa::Op,
+    pub seq: u64,
+    pub addr: u64,
+    pub thread: u8,
+    pub src_phys: [Option<hdsmt_pipeline::PhysReg>; 2],
 }
 
 /// One pipeline (cluster): private decode/rename/queues/FUs.
@@ -72,7 +155,7 @@ pub(crate) struct Pipe {
     /// Decode-stage output latch (≤ width).
     pub decode_latch: Vec<InstId>,
     /// Rename-stage output latch (≤ width), consumed by dispatch.
-    pub dispatch_latch: Vec<InstId>,
+    pub dispatch_latch: Vec<DispatchEntry>,
     pub iq: IssueQueue,
     pub fq: IssueQueue,
     pub lq: IssueQueue,
@@ -117,10 +200,16 @@ pub struct Processor {
     pub(crate) btb: Btb,
     pub(crate) pipes: Vec<Pipe>,
     pub(crate) threads: Vec<Thread>,
-    /// Instructions currently executing (drained by writeback).
-    pub(crate) exec_list: Vec<InstId>,
-    /// FLUSH policy: (trigger cycle, load) for loads predicted to miss L2.
-    pub(crate) pending_flush: Vec<(u64, InstId)>,
+    /// Executing instructions, filed by completion cycle: writeback
+    /// drains exactly the bucket due now instead of scanning a list.
+    pub(crate) wheel: CompletionWheel,
+    /// Squashed-while-executing instructions awaiting slot release at the
+    /// next writeback (the cycle the old linear drain reclaimed them).
+    pub(crate) squashed_exec: Vec<InstId>,
+    /// FLUSH policy triggers (loads predicted to miss L2), filed by
+    /// trigger cycle like the completion wheel: no per-cycle scan of
+    /// outstanding candidates.
+    pub(crate) flush_wheel: CompletionWheel,
     /// Rotating tie-break for fetch priority.
     pub(crate) fetch_rr: usize,
     pub(crate) fetched_total: u64,
@@ -130,6 +219,29 @@ pub struct Processor {
     /// Warm-up completed; statistics measure from `measure_start_cycle`.
     pub(crate) warmed: bool,
     pub(crate) measure_start_cycle: u64,
+    /// Running total of committed instructions (never reset; the warm-up
+    /// check compares it against the budget instead of re-summing every
+    /// thread's counter each cycle).
+    pub(crate) committed_total: u64,
+
+    // ---- reusable per-cycle scratch (kept across cycles so the steady-
+    // state hot loop allocates nothing) ----
+    /// Issue candidates: (packed age key, id, op, store-forwarded).
+    scratch_candidates: Vec<(u64, InstId, hdsmt_isa::Op, bool)>,
+    /// Register-file wakeups being routed to ready sets.
+    scratch_woken: Vec<Waiter>,
+    /// Completions drained from the wheel this cycle.
+    scratch_due: Vec<(InstId, u32)>,
+    /// Correct-path branches resolving this cycle.
+    scratch_resolved: Vec<InstId>,
+    /// FLUSH triggers firing this cycle.
+    scratch_flush_due: Vec<(InstId, u32)>,
+    /// Fetch-priority ordering of eligible threads.
+    scratch_order: Vec<usize>,
+    /// Loads found blocked during the gather (applied after it).
+    scratch_blocked: Vec<(ReadyEntry, u64, u64)>,
+    /// Loads released by a store's issue (moved to the timed park).
+    scratch_unblocked: Vec<ReadyEntry>,
 }
 
 impl Processor {
@@ -191,6 +303,10 @@ impl Processor {
                 last_committed_seq: 0,
                 icount: 0,
                 inflight_loads: 0,
+                lq_stores: VecDeque::new(),
+                blocked_loads: Vec::new(),
+                wp_cursor: (Pc(u64::MAX), BlockId(0), 0),
+                taken_memo: vec![(Pc(u64::MAX), Pc(0)); 64],
                 st: ThreadStats {
                     benchmark: spec.profile.name.to_string(),
                     pipe,
@@ -205,6 +321,8 @@ impl Processor {
             + pipes.iter().map(|p| p.buffer.capacity() + 2 * p.model.width as usize).sum::<usize>()
             + 64;
         let rf_lat = cfg.effective_regfile_lat();
+        // Horizon covering the longest possible completion: address
+        // generation + TLB refill + a full memory miss + register file.
         let mut p = Processor {
             pool: InstPool::new(capacity),
             regfile,
@@ -213,14 +331,24 @@ impl Processor {
             btb: Btb::paper_config(),
             pipes,
             threads,
-            exec_list: Vec::with_capacity(256),
-            pending_flush: Vec::new(),
+            wheel: CompletionWheel::new(),
+            squashed_exec: Vec::new(),
+            flush_wheel: CompletionWheel::new(),
             fetch_rr: 0,
             fetched_total: 0,
             stop: false,
             rf_lat,
             warmed: false,
             measure_start_cycle: 0,
+            committed_total: 0,
+            scratch_candidates: Vec::new(),
+            scratch_woken: Vec::new(),
+            scratch_due: Vec::new(),
+            scratch_resolved: Vec::new(),
+            scratch_flush_due: Vec::new(),
+            scratch_order: Vec::new(),
+            scratch_blocked: Vec::new(),
+            scratch_unblocked: Vec::new(),
             cycle: 0,
             cfg,
         };
@@ -300,8 +428,9 @@ impl Processor {
     /// keeping all microarchitectural state (caches, predictors, in-flight
     /// work) warm.
     fn maybe_end_warmup(&mut self) {
-        let total: u64 = self.threads.iter().map(|t| t.st.retired).sum();
-        if total < self.cfg.warmup_insts {
+        // `committed_total` runs forever and is never reset, so this is a
+        // single compare instead of an all-threads sum every cycle.
+        if self.committed_total < self.cfg.warmup_insts {
             return;
         }
         self.warmed = true;
@@ -420,8 +549,11 @@ impl Processor {
             for &id in p.buffer.iter() {
                 counts[self.pool.get(id).thread.index()] += 1;
             }
-            for &id in p.decode_latch.iter().chain(p.dispatch_latch.iter()) {
+            for &id in p.decode_latch.iter() {
                 counts[self.pool.get(id).thread.index()] += 1;
+            }
+            for e in p.dispatch_latch.iter() {
+                counts[e.thread as usize] += 1;
             }
             for q in [&p.iq, &p.fq, &p.lq] {
                 for id in q.iter() {
@@ -436,6 +568,175 @@ impl Processor {
         }
         for (t, &c) in self.threads.iter().zip(counts.iter()) {
             assert_eq!(t.icount, c, "icount drift on thread {:?}", t.id);
+        }
+    }
+
+    /// Debug invariants of the event-driven scheduler structures: ready
+    /// sets sound and complete w.r.t. the queues, completion-wheel
+    /// population matching the executing instructions, and the per-thread
+    /// store lists matching the LQs. O(everything); test-only. Call
+    /// between cycles (mid-cycle the lazily-maintained sets are allowed to
+    /// be stale).
+    #[cfg(any(test, feature = "invariant-checks"))]
+    pub fn check_scheduler_invariants(&self) {
+        use hdsmt_pipeline::InstState;
+
+        let operands_ready = |id: InstId| {
+            self.pool.get(id).src_phys.iter().flatten().all(|&s| self.regfile.is_ready(s))
+        };
+
+        for (pi, p) in self.pipes.iter().enumerate() {
+            for q in [&p.iq, &p.fq, &p.lq] {
+                // Soundness: ready sets are eagerly maintained, so every
+                // entry is a live Waiting queue member with all operands
+                // available and metadata matching its instruction.
+                for e in q.ready_entries() {
+                    let inst = self.pool.get(e.id);
+                    assert_eq!(
+                        inst.state,
+                        InstState::Waiting,
+                        "pipe {pi}: ready entry {:?} is not waiting",
+                        e.id
+                    );
+                    assert!(q.contains(e.id), "pipe {pi}: ready entry {:?} not in its queue", e.id);
+                    assert!(
+                        operands_ready(e.id),
+                        "pipe {pi}: ready entry {:?} has an unready operand",
+                        e.id
+                    );
+                    assert!(
+                        e.seq == inst.seq.0
+                            && e.thread == inst.thread.index() as u8
+                            && e.op == inst.d.sinst.op,
+                        "pipe {pi}: ready entry {:?} carries stale metadata",
+                        e.id
+                    );
+                    assert_eq!(
+                        q.ready_entries().iter().filter(|o| o.id == e.id).count(),
+                        1,
+                        "pipe {pi}: duplicate ready entry {:?}",
+                        e.id
+                    );
+                }
+                // Timed park: entries are live waiting members too, and
+                // never double-listed with the ready set.
+                for e in q.parked_entries() {
+                    let inst = self.pool.get(e.id);
+                    assert_eq!(
+                        inst.state,
+                        InstState::Waiting,
+                        "pipe {pi}: parked entry {:?} is not waiting",
+                        e.id
+                    );
+                    assert!(
+                        q.contains(e.id),
+                        "pipe {pi}: parked entry {:?} not in its queue",
+                        e.id
+                    );
+                    assert!(
+                        !q.ready_entries().iter().any(|r| r.id == e.id),
+                        "pipe {pi}: {:?} both parked and ready",
+                        e.id
+                    );
+                }
+                // Completeness: every operand-ready Waiting entry is in
+                // the ready set, the timed park, or blocked on a store's
+                // issue (the event-driven core never strands a wakeup).
+                for id in q.iter() {
+                    let inst = self.pool.get(id);
+                    if inst.state == InstState::Waiting && operands_ready(id) {
+                        let t = inst.thread.index();
+                        assert!(
+                            q.ready_entries().iter().any(|e| e.id == id)
+                                || q.parked_entries().any(|e| e.id == id)
+                                || self.threads[t].blocked_loads.iter().any(|&(_, e)| e.id == id),
+                            "pipe {pi}: operand-ready {id:?} missing from the ready set"
+                        );
+                        assert_eq!(
+                            self.pool.get(id).pending_srcs,
+                            0,
+                            "pipe {pi}: {id:?} ready but counts pending sources"
+                        );
+                    }
+                }
+            }
+        }
+        // Store-blocked loads: live waiting LQ members whose recorded
+        // blocker is a real, not-yet-issued older store of the same
+        // thread.
+        for (t, th) in self.threads.iter().enumerate() {
+            let lq = &self.pipes[th.pipe as usize].lq;
+            for &(store_seq, e) in &th.blocked_loads {
+                assert_eq!(e.thread as usize, t, "blocked load filed under the wrong thread");
+                let inst = self.pool.get(e.id);
+                assert_eq!(inst.state, InstState::Waiting, "blocked load {:?} not waiting", e.id);
+                assert!(lq.contains(e.id), "blocked load {:?} not in its LQ", e.id);
+                assert!(store_seq < e.seq, "blocker must be older than the load");
+                let blocker =
+                    th.lq_stores.iter().find(|s| s.seq == store_seq).unwrap_or_else(|| {
+                        panic!("blocked load {:?} waits on a missing store", e.id)
+                    });
+                assert_eq!(
+                    blocker.known_at,
+                    u64::MAX,
+                    "load {:?} still filed under an already-issued store",
+                    e.id
+                );
+            }
+        }
+        assert_eq!(self.regfile.pending_wakeups(), 0, "undrained register wakeups");
+
+        // Wheel population == executing (non-squashed) instructions. Every
+        // non-squashed Executing instruction sits in its thread's ROB;
+        // squashed ones await release on `squashed_exec`.
+        let wheel_live = self
+            .wheel
+            .iter()
+            .filter(|e| {
+                self.pool.gen(e.id) == e.gen && {
+                    let i = self.pool.get(e.id);
+                    !i.squashed && i.state == InstState::Executing
+                }
+            })
+            .count();
+        let executing = self
+            .threads
+            .iter()
+            .flat_map(|t| t.rob.iter())
+            .filter(|&id| self.pool.get(id).state == InstState::Executing)
+            .count();
+        assert_eq!(wheel_live, executing, "completion wheel out of step with the ROBs");
+
+        // Per-thread store lists mirror the same-thread stores of the LQ
+        // (queue iteration is unordered; the list itself must be
+        // program-ordered).
+        for (t, th) in self.threads.iter().enumerate() {
+            let lq = &self.pipes[th.pipe as usize].lq;
+            let mut expect: Vec<InstId> = lq
+                .iter()
+                .filter(|&id| {
+                    let i = self.pool.get(id);
+                    i.thread.index() == t && i.d.sinst.op.is_store()
+                })
+                .collect();
+            expect.sort_unstable_by_key(|&id| self.pool.get(id).seq.0);
+            let got: Vec<InstId> = th.lq_stores.iter().map(|s| s.id).collect();
+            let seqs: Vec<u64> = th.lq_stores.iter().map(|s| s.seq).collect();
+            assert!(
+                seqs.windows(2).all(|w| w[0] < w[1]),
+                "lq_stores not program-ordered on thread {t}"
+            );
+            assert_eq!(got, expect, "lq_stores drift on thread {t}");
+            for s in th.lq_stores.iter() {
+                let i = self.pool.get(s.id);
+                assert_eq!(s.seq, i.seq.0, "lq_stores stale seq on thread {t}");
+                assert_eq!(s.addr_word, i.d.addr & !7, "lq_stores stale address on thread {t}");
+                let want_known = match i.state {
+                    InstState::Waiting => u64::MAX,
+                    _ => i.ready_cycle,
+                };
+                assert_eq!(s.known_at, want_known, "lq_stores stale agen cycle on thread {t}");
+            }
         }
     }
 }

@@ -45,25 +45,48 @@ impl Processor {
                 self.regfile.free(phys);
             }
             match state {
-                InstState::Rename | InstState::Waiting => {
+                InstState::Rename => {
                     self.threads[t].icount -= 1;
+                    to_release.push(tail);
+                }
+                InstState::Waiting => {
+                    self.threads[t].icount -= 1;
+                    // Eagerly maintained ready sets: drop the entry (if
+                    // its operands had become ready) before the slot is
+                    // reclaimed.
+                    let pipe = &mut self.pipes[pipe_idx];
+                    let q = match d.sinst.op.fu_kind() {
+                        hdsmt_isa::FuKind::Int => &mut pipe.iq,
+                        hdsmt_isa::FuKind::Fp => &mut pipe.fq,
+                        hdsmt_isa::FuKind::LdSt => &mut pipe.lq,
+                    };
+                    q.remove_ready(tail);
                     to_release.push(tail);
                 }
                 InstState::Executing => {
                     if is_load {
                         self.threads[t].inflight_loads -= 1;
                     }
-                    // Released when the writeback drain encounters it.
+                    // Released at the next writeback; its completion-wheel
+                    // entry goes stale with that release.
+                    self.squashed_exec.push(tail);
                 }
                 InstState::Done => {
                     to_release.push(tail);
                 }
-                InstState::InBuffer | InstState::Decode => {
+                InstState::InBuffer => {
                     unreachable!("pre-rename instructions are not in the ROB")
                 }
             }
             self.mark_squashed(tail, wrong, seq, &mut replay, t);
             let _ = d;
+        }
+
+        // Prune the thread's in-LQ store list: squashed stores are
+        // exactly those younger than the squash point, a suffix of the
+        // program-ordered list.
+        while self.threads[t].lq_stores.back().is_some_and(|s| s.seq > seq_min) {
+            self.threads[t].lq_stores.pop_back();
         }
 
         // ---- front-end structures (pre-rename, so younger than the ROB
@@ -93,10 +116,19 @@ impl Processor {
             let pipe = &mut self.pipes[pipe_idx];
             pipe.buffer.retain(|id| !pool.get(*id).squashed);
             pipe.decode_latch.retain(|id| !pool.get(*id).squashed);
-            pipe.dispatch_latch.retain(|id| !pool.get(*id).squashed);
+            pipe.dispatch_latch.retain(|e| !pool.get(e.id).squashed);
             pipe.iq.retain(|id| !pool.get(*id).squashed);
             pipe.fq.retain(|id| !pool.get(*id).squashed);
             pipe.lq.retain(|id| !pool.get(*id).squashed);
+            let tt = t as u8;
+            for q in [&mut pipe.iq, &mut pipe.fq, &mut pipe.lq] {
+                q.purge_parked(|e| !(e.thread == tt && e.seq > seq_min));
+            }
+        }
+        // Loads waiting on a blocking store's issue: squashed ones are
+        // exactly those younger than the squash point.
+        {
+            self.threads[t].blocked_loads.retain(|&(_, e)| e.seq <= seq_min);
         }
 
         // ---- release everything not owned by the execution list ----

@@ -161,4 +161,28 @@ mod tests {
             }
         }
     }
+
+    #[test]
+    fn scheduler_invariants_hold_during_execution() {
+        // Ready sets ⊆ queues (and complete), wheel population == executing
+        // instructions, per-thread store lists == LQ contents — checked
+        // frequently on both a monolithic and a multipipeline machine so
+        // squash/flush/replay traffic is exercised between checks.
+        for arch in ["M8", "2M4+2M2"] {
+            let cfg = SimConfig::paper_defaults(MicroArch::parse(arch).unwrap(), 6_000);
+            let workload = vec![spec("gcc", 5), spec("mcf", 6)];
+            let mapping: Vec<u8> = if arch == "M8" { vec![0, 0] } else { vec![0, 1] };
+            let mut proc = Processor::new(cfg, &workload, &mapping);
+            for _ in 0..4_000 {
+                proc.step();
+                if proc.cycle().is_multiple_of(64) {
+                    proc.check_scheduler_invariants();
+                }
+                if proc.finished() {
+                    break;
+                }
+            }
+            proc.check_scheduler_invariants();
+        }
+    }
 }

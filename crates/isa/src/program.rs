@@ -113,6 +113,12 @@ impl Program {
     /// Returns `None` for PCs outside the program image (a wrong path can
     /// run off the end; the front-end then fabricates no-ops).
     pub fn lookup(&self, pc: Pc) -> Option<(&BasicBlock, usize)> {
+        self.lookup_id(pc).map(|(id, off)| (self.block(id), off))
+    }
+
+    /// [`Self::lookup`] returning the block id, for callers that cache
+    /// fetch cursors across calls.
+    pub fn lookup_id(&self, pc: Pc) -> Option<(BlockId, usize)> {
         if pc.0 < Self::BASE_PC.0 || !pc.0.is_multiple_of(Pc::INST_BYTES) {
             return None;
         }
@@ -124,7 +130,7 @@ impl Program {
         let b = &self.blocks[idx - 1];
         let off = ((pc.0 - b.start.0) / Pc::INST_BYTES) as usize;
         if off < b.insts.len() {
-            Some((b, off))
+            Some((b.id, off))
         } else {
             None // PC past the final block's end.
         }

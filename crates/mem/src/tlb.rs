@@ -2,11 +2,29 @@
 //! Table 1 (48-entry I-TLB, 128-entry D-TLB, 300-cycle miss penalty).
 
 /// Fully-associative TLB over virtual page numbers.
+///
+/// True LRU via per-entry use stamps: a hit bumps the entry's stamp, a
+/// fill on a full TLB evicts the minimum-stamp entry (stamps are unique,
+/// so the victim is deterministic — exactly the recency-list victim). The
+/// old implementation kept the entries recency-ordered, paying a
+/// `rotate_right` memmove on every single translation; stamps make the
+/// common case (hit) a pure scan, and consecutive same-page accesses —
+/// the overwhelmingly common pattern for instruction fetch and stack
+/// traffic — short-circuit on a one-entry memo.
+/// Recent-translation memo slots (power of two). Purely an accelerator:
+/// it can only point at a slot, never decide a hit — the authoritative
+/// entry is always re-verified.
+const MEMO_SLOTS: usize = 16;
+
 pub struct Tlb {
-    /// Valid page numbers, most-recently-used first. A `Vec` scan over at
-    /// most 128 `u64`s is cheaper than pointer-chasing map structures at
-    /// these sizes.
-    pages: Vec<u64>,
+    /// Resident page numbers, unordered (slot-stable between evictions).
+    vpns: Vec<u64>,
+    /// Last-use stamp per slot (parallel to `vpns`).
+    stamps: Vec<u64>,
+    /// vpn-hash → probable slot. Stale entries are caught by verifying
+    /// `vpns[slot]` before use.
+    memo: [u32; MEMO_SLOTS],
+    clock: u64,
     capacity: usize,
     page_shift: u32,
     hits: u64,
@@ -18,7 +36,10 @@ impl Tlb {
         assert!(entries > 0);
         assert!(page_bytes.is_power_of_two());
         Tlb {
-            pages: Vec::with_capacity(entries),
+            vpns: Vec::with_capacity(entries),
+            stamps: Vec::with_capacity(entries),
+            memo: [u32::MAX; MEMO_SLOTS],
+            clock: 0,
             capacity: entries,
             page_shift: page_bytes.trailing_zeros(),
             hits: 0,
@@ -31,23 +52,52 @@ impl Tlb {
         addr >> self.page_shift
     }
 
+    #[inline]
+    fn memo_slot(vpn: u64) -> usize {
+        // Fibonacci hash: pages are region-clustered, low bits alone alias.
+        (vpn.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 60) as usize & (MEMO_SLOTS - 1)
+    }
+
     /// Translate `addr`: returns `true` on TLB hit. A miss walks (modelled
     /// by the caller's latency charge) and fills.
     pub fn access(&mut self, addr: u64) -> bool {
         let vpn = self.vpn(addr);
-        if let Some(pos) = self.pages.iter().position(|&p| p == vpn) {
-            // Move to front (MRU).
-            self.pages[..=pos].rotate_right(1);
-            self.hits += 1;
-            true
-        } else {
-            self.misses += 1;
-            if self.pages.len() == self.capacity {
-                self.pages.pop();
+        self.clock += 1;
+        // Memo fast path: recently used pages resolve without a scan.
+        let m = Self::memo_slot(vpn);
+        let cached = self.memo[m] as usize;
+        if let Some(&p) = self.vpns.get(cached) {
+            if p == vpn {
+                self.stamps[cached] = self.clock;
+                self.hits += 1;
+                return true;
             }
-            self.pages.insert(0, vpn);
-            false
         }
+        if let Some(pos) = self.vpns.iter().position(|&p| p == vpn) {
+            self.stamps[pos] = self.clock;
+            self.memo[m] = pos as u32;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.vpns.len() < self.capacity {
+            self.memo[m] = self.vpns.len() as u32;
+            self.vpns.push(vpn);
+            self.stamps.push(self.clock);
+        } else {
+            // Evict the least recently used entry (unique minimum stamp).
+            let victim = self
+                .stamps
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &stamp)| stamp)
+                .map(|(i, _)| i)
+                .expect("full TLB is non-empty");
+            self.vpns[victim] = vpn;
+            self.stamps[victim] = self.clock;
+            self.memo[m] = victim as u32;
+        }
+        false
     }
 
     pub fn stats(&self) -> (u64, u64) {

@@ -5,14 +5,24 @@
 //! cycle; unpipelined ops (divides) hold it for their full latency.
 
 /// A pool of identical functional units.
+///
+/// `try_issue` keeps a per-cycle free count: the `busy_until` vector is
+/// scanned once per (pool, cycle) to seed the count, after which a
+/// saturated pool rejects further issue attempts in O(1) — the common
+/// case under contention, where the old code re-scanned every unit for
+/// every rejected candidate.
 pub struct FuPool {
     /// Cycle each unit becomes free.
     busy_until: Vec<u64>,
+    /// Cycle `cached_free` is valid for (`u64::MAX` = never computed).
+    cached_cycle: u64,
+    /// Units free at `cached_cycle`, kept in step by `try_issue`.
+    cached_free: usize,
 }
 
 impl FuPool {
     pub fn new(count: usize) -> Self {
-        FuPool { busy_until: vec![0; count] }
+        FuPool { busy_until: vec![0; count], cached_cycle: u64::MAX, cached_free: 0 }
     }
 
     #[inline]
@@ -22,6 +32,9 @@ impl FuPool {
 
     /// Units free at `now`.
     pub fn available(&self, now: u64) -> usize {
+        if self.cached_cycle == now {
+            return self.cached_free;
+        }
         self.busy_until.iter().filter(|&&b| b <= now).count()
     }
 
@@ -29,12 +42,21 @@ impl FuPool {
     /// (1 for pipelined ops, the full latency for unpipelined ones).
     pub fn try_issue(&mut self, now: u64, occupy: u32) -> bool {
         debug_assert!(occupy >= 1);
-        if let Some(u) = self.busy_until.iter_mut().find(|b| **b <= now) {
-            *u = now + occupy as u64;
-            true
-        } else {
-            false
+        if self.cached_cycle != now {
+            self.cached_cycle = now;
+            self.cached_free = self.busy_until.iter().filter(|&&b| b <= now).count();
         }
+        if self.cached_free == 0 {
+            return false;
+        }
+        let u = self
+            .busy_until
+            .iter_mut()
+            .find(|b| **b <= now)
+            .expect("free count says a unit is available");
+        *u = now + occupy as u64;
+        self.cached_free -= 1;
+        true
     }
 }
 
@@ -70,5 +92,23 @@ mod tests {
         assert_eq!(p.available(0), 1);
         assert_eq!(p.available(1), 2);
         assert_eq!(p.available(5), 3);
+    }
+
+    #[test]
+    fn saturation_fast_path_resets_each_cycle() {
+        let mut p = FuPool::new(2);
+        assert!(p.try_issue(7, 1));
+        assert!(p.try_issue(7, 1));
+        // Saturated: many rejected attempts in the same cycle (the O(1)
+        // path) must not disturb the units' state.
+        for _ in 0..100 {
+            assert!(!p.try_issue(7, 1));
+        }
+        assert_eq!(p.available(7), 0);
+        // A new cycle reseeds the count.
+        assert!(p.try_issue(8, 3));
+        assert!(p.try_issue(8, 1));
+        assert!(!p.try_issue(8, 1));
+        assert_eq!(p.available(9), 1, "only the occupy=3 unit is still busy");
     }
 }

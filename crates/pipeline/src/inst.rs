@@ -5,8 +5,8 @@
 //! addressed by a 32-bit [`InstId`]. All cross-structure references (ROB,
 //! queues, buffers, FU writeback lists) are `InstId`s.
 
-use hdsmt_bpred::{DirSnapshot, RasSnapshot};
-use hdsmt_isa::{Pc, SeqNum, ThreadId};
+use hdsmt_bpred::DirSnapshot;
+use hdsmt_isa::{SeqNum, ThreadId};
 use hdsmt_trace::DynInst;
 
 use crate::regfile::PhysReg;
@@ -24,10 +24,9 @@ impl core::fmt::Debug for InstId {
 /// Where in the pipeline an instruction currently is.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum InstState {
-    /// Sitting in the per-pipeline decoupling buffer.
+    /// Sitting in the per-pipeline decoupling buffer or the decode
+    /// latch (the decode stage moves ids without touching the pool).
     InBuffer,
-    /// In the decode stage latch.
-    Decode,
     /// In the rename stage latch.
     Rename,
     /// Dispatched: waiting in an issue queue for operands/FU.
@@ -61,25 +60,21 @@ pub struct InFlight {
     // ---- execution ----
     /// Cycle the result becomes available (valid once `Executing`).
     pub ready_cycle: u64,
-    /// Cycle this instruction entered `Executing` (FLUSH policy timing).
-    pub issue_cycle: u64,
-    /// While `Waiting`: earliest cycle a replayed access may retry
-    /// (MSHR-full back-pressure).
-    pub retry_at: u64,
+    /// While `Waiting`: source operands still outstanding. Counted down by
+    /// register-file wakeups; the instruction enters its queue's ready set
+    /// when it hits zero.
+    pub pending_srcs: u8,
     /// Load was satisfied by store-to-load forwarding.
     pub forwarded: bool,
     /// Squashed while executing; skipped and reclaimed at drain.
     pub squashed: bool,
 
     // ---- control speculation ----
-    pub pred_taken: bool,
-    pub pred_target: Pc,
     /// Direction/target misprediction detected at fetch against the oracle
     /// stream; acted upon when the branch resolves.
     pub mispredicted: bool,
+    /// Predictor state at prediction time (training/recovery input).
     pub dir_snap: DirSnapshot,
-    /// RAS state *after* this instruction's own push/pop.
-    pub ras_snap: RasSnapshot,
 }
 
 impl InFlight {
@@ -96,22 +91,24 @@ impl InFlight {
             old_phys: None,
             src_phys: [None, None],
             ready_cycle: 0,
-            issue_cycle: 0,
-            retry_at: 0,
+            pending_srcs: 0,
             forwarded: false,
             squashed: false,
-            pred_taken: false,
-            pred_target: Pc(0),
             mispredicted: false,
             dir_snap: DirSnapshot::default(),
-            ras_snap: RasSnapshot::default(),
         }
     }
 }
 
 /// Slab of in-flight instructions with an intrusive free list.
+///
+/// Each slot carries a generation counter, bumped on release: stale
+/// references held by lazily-maintained structures (wakeup lists, ready
+/// sets, the completion wheel) pair the id with the generation they
+/// captured and are dropped when the two no longer match.
 pub struct InstPool {
     slots: Vec<InFlight>,
+    gens: Vec<u32>,
     free: Vec<u32>,
     live: usize,
 }
@@ -120,7 +117,12 @@ impl InstPool {
     /// `capacity` should cover the worst-case in-flight population
     /// (ROBs + decoupling buffers + stage latches).
     pub fn new(capacity: usize) -> Self {
-        InstPool { slots: Vec::with_capacity(capacity), free: Vec::new(), live: 0 }
+        InstPool {
+            slots: Vec::with_capacity(capacity),
+            gens: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            live: 0,
+        }
     }
 
     /// Insert a record, returning its id. Amortised O(1), allocation-free
@@ -134,16 +136,26 @@ impl InstPool {
             }
             None => {
                 self.slots.push(inst);
+                self.gens.push(0);
                 InstId((self.slots.len() - 1) as u32)
             }
         }
     }
 
-    /// Release a record for reuse.
+    /// Release a record for reuse, invalidating outstanding `(id, gen)`
+    /// references.
     pub fn release(&mut self, id: InstId) {
         debug_assert!(self.live > 0);
         self.live -= 1;
+        self.gens[id.0 as usize] = self.gens[id.0 as usize].wrapping_add(1);
         self.free.push(id.0);
+    }
+
+    /// Current generation of a slot. References captured before the slot's
+    /// last release carry an older generation and must be ignored.
+    #[inline]
+    pub fn gen(&self, id: InstId) -> u32 {
+        self.gens[id.0 as usize]
     }
 
     #[inline]
@@ -166,7 +178,7 @@ impl InstPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hdsmt_isa::{ArchReg, Op, StaticInst};
+    use hdsmt_isa::{ArchReg, Op, Pc, StaticInst};
 
     fn mk(seq: u64) -> InFlight {
         let d = DynInst {
@@ -207,6 +219,18 @@ mod tests {
             p.release(id);
         }
         assert_eq!(p.slots.capacity(), cap, "steady-state reuse must not grow the slab");
+    }
+
+    #[test]
+    fn generations_invalidate_released_slots() {
+        let mut p = InstPool::new(2);
+        let a = p.alloc(mk(1));
+        let g0 = p.gen(a);
+        p.release(a);
+        assert_ne!(p.gen(a), g0, "release bumps the generation");
+        let b = p.alloc(mk(2));
+        assert_eq!(b, a, "slot reused");
+        assert_ne!(p.gen(b), g0, "reused slot keeps the bumped generation");
     }
 
     #[test]

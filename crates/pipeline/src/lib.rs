@@ -21,6 +21,14 @@
 //! the stage loop, squash/recovery) lives in `hdsmt-core`; everything here
 //! is independently testable state machinery, designed for zero per-cycle
 //! heap allocation (slab + free list, fixed rings, index-based links).
+//!
+//! The scheduler-facing structures are *event-driven*: the register file
+//! keeps producer-indexed wakeup lists, each issue queue keeps an eagerly
+//! maintained ready set plus a timed park for replayed/blocked entries,
+//! and the completion wheel files executing instructions by completion
+//! cycle so writeback drains O(due) work. Stale cross-references are
+//! impossible by construction: the instruction pool gives every slot a
+//! generation, and consumers validate `(id, generation)` pairs on use.
 
 pub mod buffer;
 pub mod fu;
@@ -29,11 +37,13 @@ pub mod model;
 pub mod queue;
 pub mod regfile;
 pub mod rob;
+pub mod wheel;
 
 pub use buffer::RingBuf;
 pub use fu::FuPool;
 pub use inst::{InFlight, InstId, InstPool, InstState};
 pub use model::{MicroArch, PipeModel, M2, M4, M6, M8};
-pub use queue::IssueQueue;
-pub use regfile::{PhysReg, RegFile, RenameMap};
+pub use queue::{IssueQueue, ReadyEntry};
+pub use regfile::{PhysReg, RegFile, RenameMap, Waiter};
 pub use rob::Rob;
+pub use wheel::{CompletionWheel, WheelEntry};

@@ -1,20 +1,74 @@
 //! Issue queues (IQ / FQ / LQ).
 //!
-//! Entries stay insertion-ordered, which is program order per thread and
-//! dispatch order globally — the issue stage scans oldest-first, the
-//! standard heuristic. Capacities come from the pipeline model (Fig 2(a)).
+//! A queue is an unordered membership set with a capacity bound: age
+//! priority is the issue stage's job (it sorts its candidates by sequence
+//! number), and load/store ordering walks the per-thread store lists, so
+//! nothing depends on queue iteration order any more. That makes removal
+//! O(1): a per-id position index plus `swap_remove`, instead of the old
+//! position scan + `Vec::remove` memmove per issued instruction.
+//! Capacities come from the pipeline model (Fig 2(a)).
+//!
+//! Each queue also carries a **ready set**: the entries whose operands are
+//! all available, fed by register-file wakeups. The issue stage visits
+//! only the ready set instead of polling every entry's ready bits each
+//! cycle. The set is maintained eagerly — the scheduler removes an entry
+//! the moment its instruction issues or is squashed — so every entry is
+//! live, and it carries the immutable fields issue selection needs
+//! (sequence, thread, opcode): selecting non-load candidates touches no
+//! instruction-pool memory at all.
+
+use hdsmt_isa::Op;
 
 use crate::inst::InstId;
 
-/// One issue queue: an insertion-ordered, capacity-bounded list.
+/// Position sentinel: not in this queue.
+const ABSENT: u32 = u32::MAX;
+
+/// Park-wheel size: must exceed the longest park distance (MSHR back-off
+/// of 2, store address-generation of 1 + register-file latency ≤ 8).
+const PARK_SLOTS: usize = 16;
+
+/// One operand-ready instruction, with the metadata issue selection sorts
+/// and filters on. Self-contained: age ordering, FU routing and the
+/// load-ordering check all run without touching the instruction pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadyEntry {
+    /// Per-thread program-order sequence number (issue age priority).
+    pub seq: u64,
+    /// Memory address at 8-byte granularity (loads/stores; 0 otherwise).
+    pub addr_word: u64,
+    pub id: InstId,
+    /// Thread index (the deterministic cross-thread age tie-break).
+    pub thread: u8,
+    pub op: Op,
+}
+
+/// One issue queue: a capacity-bounded membership set with O(1)
+/// insert/remove, a wakeup-fed ready set, and a retry park for
+/// structurally-replayed entries (MSHR back-pressure).
 pub struct IssueQueue {
     entries: Vec<InstId>,
+    /// `pos[id] == i` ⇔ `entries[i] == id`; `ABSENT` when not a member.
+    pos: Vec<u32>,
+    /// Operand-ready members, every entry live (eagerly maintained).
+    ready: Vec<ReadyEntry>,
+    /// Near-future re-admissions (MSHR back-off, store-agen waits), a
+    /// small timing wheel: bucket `cycle % PARK_SLOTS`.
+    parked: [Vec<(u64, ReadyEntry)>; PARK_SLOTS],
+    parked_count: usize,
     capacity: usize,
 }
 
 impl IssueQueue {
     pub fn new(capacity: usize) -> Self {
-        IssueQueue { entries: Vec::with_capacity(capacity), capacity }
+        IssueQueue {
+            entries: Vec::with_capacity(capacity),
+            pos: Vec::new(),
+            ready: Vec::new(),
+            parked: std::array::from_fn(|_| Vec::new()),
+            parked_count: 0,
+            capacity,
+        }
     }
 
     #[inline]
@@ -37,33 +91,125 @@ impl IssueQueue {
         self.entries.len() < self.capacity
     }
 
-    /// Insert at the tail. Returns `false` when full (dispatch stalls).
+    /// Insert. Returns `false` when full (dispatch stalls).
     pub fn push(&mut self, id: InstId) -> bool {
         if !self.has_space() {
             return false;
         }
+        let i = id.0 as usize;
+        if i >= self.pos.len() {
+            self.pos.resize(i + 1, ABSENT);
+        }
+        debug_assert_eq!(self.pos[i], ABSENT, "double insert");
+        self.pos[i] = self.entries.len() as u32;
         self.entries.push(id);
         true
     }
 
-    /// Remove a specific instruction (after issue). O(n), preserving order.
+    /// Remove a specific instruction (after issue / store commit). O(1).
     pub fn remove(&mut self, id: InstId) -> bool {
-        if let Some(pos) = self.entries.iter().position(|&e| e == id) {
-            self.entries.remove(pos);
+        let Some(&p) = self.pos.get(id.0 as usize) else { return false };
+        if p == ABSENT {
+            return false;
+        }
+        self.entries.swap_remove(p as usize);
+        self.pos[id.0 as usize] = ABSENT;
+        if let Some(&moved) = self.entries.get(p as usize) {
+            self.pos[moved.0 as usize] = p;
+        }
+        true
+    }
+
+    /// Membership iteration (no meaningful order).
+    pub fn iter(&self) -> impl Iterator<Item = InstId> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Is `id` currently in this queue?
+    pub fn contains(&self, id: InstId) -> bool {
+        self.pos.get(id.0 as usize).is_some_and(|&p| p != ABSENT)
+    }
+
+    /// Keep only entries satisfying `f` (squash support). This does NOT
+    /// touch the ready set or the timed park: callers removing members
+    /// must also evict their ready/parked entries (the scheduler does so
+    /// eagerly — see `squash_younger`), since every ready entry is
+    /// required to be live.
+    pub fn retain(&mut self, mut f: impl FnMut(&InstId) -> bool) {
+        let mut w = 0;
+        for r in 0..self.entries.len() {
+            let id = self.entries[r];
+            if f(&id) {
+                self.entries[w] = id;
+                self.pos[id.0 as usize] = w as u32;
+                w += 1;
+            } else {
+                self.pos[id.0 as usize] = ABSENT;
+            }
+        }
+        self.entries.truncate(w);
+    }
+
+    /// Record that a member's operands are all available. Callers mark
+    /// each instruction at most once (at dispatch when nothing is
+    /// outstanding, or when its last wakeup fires), so the set holds no
+    /// duplicates.
+    #[inline]
+    pub fn mark_ready(&mut self, e: ReadyEntry) {
+        debug_assert!(self.contains(e.id));
+        self.ready.push(e);
+    }
+
+    /// The operand-ready members (unordered; issue sorts its candidates).
+    #[inline]
+    pub fn ready_entries(&self) -> &[ReadyEntry] {
+        &self.ready
+    }
+
+    /// Drop `id`'s ready entry (it issued or was squashed). Returns
+    /// `false` when it had none (operands still outstanding). O(ready).
+    pub fn remove_ready(&mut self, id: InstId) -> bool {
+        if let Some(i) = self.ready.iter().position(|e| e.id == id) {
+            self.ready.swap_remove(i);
             true
         } else {
             false
         }
     }
 
-    /// Oldest-first iteration.
-    pub fn iter(&self) -> impl Iterator<Item = InstId> + '_ {
-        self.entries.iter().copied()
+    /// Park an entry until cycle `at` (MSHR back-off, or a blocking
+    /// store's pending address generation). `at` must be within
+    /// `PARK_SLOTS` cycles of the current cycle, and [`IssueQueue::
+    /// unpark_due`] must run every cycle so buckets hold one lap only.
+    pub fn park_at(&mut self, at: u64, e: ReadyEntry) {
+        self.parked[(at as usize) % PARK_SLOTS].push((at, e));
+        self.parked_count += 1;
     }
 
-    /// Keep only entries satisfying `f` (squash support).
-    pub fn retain(&mut self, f: impl FnMut(&InstId) -> bool) {
-        self.entries.retain(f);
+    /// Move every parked entry due exactly at `now` back onto the ready
+    /// set, in park order. O(due).
+    pub fn unpark_due(&mut self, now: u64) {
+        if self.parked_count == 0 {
+            return;
+        }
+        let bucket = &mut self.parked[(now as usize) % PARK_SLOTS];
+        debug_assert!(bucket.iter().all(|&(at, _)| at == now), "park beyond the wheel horizon");
+        self.parked_count -= bucket.len();
+        self.ready.extend(bucket.drain(..).map(|(_, e)| e));
+    }
+
+    /// Drop parked entries rejected by `keep` (squash support).
+    pub fn purge_parked(&mut self, mut keep: impl FnMut(&ReadyEntry) -> bool) {
+        for b in &mut self.parked {
+            let before = b.len();
+            b.retain(|(_, e)| keep(e));
+            self.parked_count -= before - b.len();
+        }
+    }
+
+    /// Parked entries (debug/invariant support).
+    pub fn parked_entries(&self) -> impl Iterator<Item = &ReadyEntry> {
+        self.parked.iter().flatten().map(|(_, e)| e)
     }
 }
 
@@ -81,26 +227,62 @@ mod tests {
     }
 
     #[test]
-    fn oldest_first_iteration() {
+    fn iteration_covers_members() {
         let mut q = IssueQueue::new(4);
         for i in [5, 1, 9] {
             q.push(InstId(i));
         }
-        let order: Vec<u32> = q.iter().map(|i| i.0).collect();
-        assert_eq!(order, [5, 1, 9], "insertion order preserved");
+        let mut members: Vec<u32> = q.iter().map(|i| i.0).collect();
+        members.sort_unstable();
+        assert_eq!(members, [1, 5, 9]);
+        assert!(q.contains(InstId(5)));
+        assert!(!q.contains(InstId(2)));
     }
 
     #[test]
-    fn remove_preserves_order() {
+    fn remove_is_constant_time_membership_update() {
         let mut q = IssueQueue::new(4);
         for i in 0..4 {
             q.push(InstId(i));
         }
         assert!(q.remove(InstId(1)));
+        assert!(!q.remove(InstId(1)), "already gone");
         assert!(!q.remove(InstId(99)));
-        let order: Vec<u32> = q.iter().map(|i| i.0).collect();
-        assert_eq!(order, [0, 2, 3]);
+        let mut members: Vec<u32> = q.iter().map(|i| i.0).collect();
+        members.sort_unstable();
+        assert_eq!(members, [0, 2, 3]);
+        assert!(!q.contains(InstId(1)));
         assert!(q.has_space());
+        // The vacated slot is reusable and consistent.
+        assert!(q.push(InstId(7)));
+        assert!(q.contains(InstId(7)));
+        assert!(q.remove(InstId(0)) && q.remove(InstId(2)) && q.remove(InstId(3)));
+        let members: Vec<u32> = q.iter().map(|i| i.0).collect();
+        assert_eq!(members, [7]);
+    }
+
+    fn re(id: u32, seq: u64) -> ReadyEntry {
+        ReadyEntry { seq, addr_word: 0, id: InstId(id), thread: 0, op: Op::IntAlu }
+    }
+
+    #[test]
+    fn ready_set_marks_and_removes() {
+        let mut q = IssueQueue::new(8);
+        for i in 0..4 {
+            q.push(InstId(i));
+        }
+        q.mark_ready(re(2, 20));
+        q.mark_ready(re(0, 10));
+        q.mark_ready(re(3, 30));
+        let mut seqs: Vec<u64> = q.ready_entries().iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, [10, 20, 30]);
+        assert!(q.remove_ready(InstId(0)), "issued: eagerly removed");
+        assert!(!q.remove_ready(InstId(0)), "already gone");
+        assert!(!q.remove_ready(InstId(1)), "never marked ready");
+        let mut seqs: Vec<u64> = q.ready_entries().iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, [20, 30]);
     }
 
     #[test]
@@ -112,5 +294,8 @@ mod tests {
         q.retain(|id| id.0 % 2 == 0);
         let order: Vec<u32> = q.iter().map(|i| i.0).collect();
         assert_eq!(order, [0, 2, 4]);
+        assert!(q.contains(InstId(4)));
+        assert!(!q.contains(InstId(3)));
+        assert!(q.remove(InstId(4)), "position index survives a retain");
     }
 }

@@ -13,15 +13,38 @@
 
 use hdsmt_isa::{ArchReg, NUM_ARCH_REGS, NUM_INT_ARCH_REGS};
 
+use crate::inst::InstId;
+
 /// A physical register. Integer and floating-point registers live in one
 /// numbering space; the class split is fixed at construction.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct PhysReg(pub u16);
 
-/// Shared physical register file: free lists + ready bits.
+/// A consumer waiting on a register, recorded with the generation of its
+/// pool slot so wakeups for since-recycled instructions can be discarded.
+#[derive(Clone, Copy, Debug)]
+pub struct Waiter {
+    pub id: InstId,
+    pub gen: u32,
+}
+
+/// Shared physical register file: free lists, ready bits, and
+/// producer-indexed wakeup lists.
+///
+/// The wakeup lists make issue event-driven: instead of every issue-queue
+/// entry polling its operands' ready bits each cycle, a consumer with an
+/// unready source subscribes to that register at dispatch, and
+/// [`RegFile::set_ready`] (writeback) moves the register's subscribers to
+/// an internal woken buffer the processor drains into the per-queue ready
+/// sets. Lists are cleared on [`RegFile::alloc`], so entries never leak
+/// across a register's reuse.
 pub struct RegFile {
     /// Ready bit per physical register.
     ready: Vec<bool>,
+    /// Wakeup list per physical register: consumers to notify on ready.
+    waiters: Vec<Vec<Waiter>>,
+    /// Subscribers of registers that became ready, awaiting a drain.
+    woken: Vec<Waiter>,
     free_int: Vec<u16>,
     free_fp: Vec<u16>,
     n_int_total: u16,
@@ -49,7 +72,17 @@ impl RegFile {
         }
         let free_int = (arch_int..n_int_total).rev().collect();
         let free_fp = (n_int_total + arch_fp..n_int_total + n_fp_total).rev().collect();
-        RegFile { ready, free_int, free_fp, n_int_total, rename_int, rename_fp }
+        let waiters = vec![Vec::new(); total];
+        RegFile {
+            ready,
+            waiters,
+            woken: Vec::new(),
+            free_int,
+            free_fp,
+            n_int_total,
+            rename_int,
+            rename_fp,
+        }
     }
 
     /// Paper configuration for `threads` contexts.
@@ -74,6 +107,9 @@ impl RegFile {
         let list = if reg.is_fp() { &mut self.free_fp } else { &mut self.free_int };
         let p = list.pop()?;
         self.ready[p as usize] = false;
+        // Any leftover subscribers belong to the previous (squashed)
+        // incarnation of this register.
+        self.waiters[p as usize].clear();
         Some(PhysReg(p))
     }
 
@@ -102,14 +138,38 @@ impl RegFile {
         }
     }
 
+    /// Mark `p` ready and queue its subscribers for a wakeup drain.
     #[inline]
     pub fn set_ready(&mut self, p: PhysReg) {
         self.ready[p.0 as usize] = true;
+        let w = &mut self.waiters[p.0 as usize];
+        if !w.is_empty() {
+            self.woken.append(w);
+        }
     }
 
     #[inline]
     pub fn is_ready(&self, p: PhysReg) -> bool {
         self.ready[p.0 as usize]
+    }
+
+    /// Subscribe a waiting consumer to `p`'s wakeup list. Call only while
+    /// `p` is not ready; the subscription fires exactly once.
+    #[inline]
+    pub fn subscribe(&mut self, p: PhysReg, id: InstId, gen: u32) {
+        debug_assert!(!self.ready[p.0 as usize], "subscribing to a ready register");
+        self.waiters[p.0 as usize].push(Waiter { id, gen });
+    }
+
+    /// Move every subscriber woken since the last drain into `out`
+    /// (appended; `out` is not cleared).
+    pub fn drain_woken(&mut self, out: &mut Vec<Waiter>) {
+        out.append(&mut self.woken);
+    }
+
+    /// Subscribers woken but not yet drained (debug/invariant support).
+    pub fn pending_wakeups(&self) -> usize {
+        self.woken.len()
     }
 
     /// Free rename registers remaining (int, fp).
@@ -207,6 +267,40 @@ mod tests {
         let q = rf.alloc(ArchReg::int(5)).unwrap();
         assert_eq!(q, p, "LIFO free list reuses the register");
         assert!(!rf.is_ready(q), "reuse must clear readiness");
+    }
+
+    #[test]
+    fn wakeup_lists_fire_once_and_clear_on_reuse() {
+        let mut rf = RegFile::new(1, 4, 4);
+        let p = rf.alloc(ArchReg::int(1)).unwrap();
+        rf.subscribe(p, InstId(7), 3);
+        rf.subscribe(p, InstId(9), 0);
+        let mut woken = Vec::new();
+        rf.drain_woken(&mut woken);
+        assert!(woken.is_empty(), "nothing woken before set_ready");
+
+        rf.set_ready(p);
+        rf.drain_woken(&mut woken);
+        assert_eq!(woken.len(), 2);
+        assert_eq!((woken[0].id, woken[0].gen), (InstId(7), 3));
+        assert_eq!((woken[1].id, woken[1].gen), (InstId(9), 0));
+
+        // A second drain yields nothing: subscriptions fire exactly once.
+        woken.clear();
+        rf.drain_woken(&mut woken);
+        assert!(woken.is_empty());
+
+        // Stale subscribers left behind by a squash are dropped when the
+        // register is reallocated.
+        let mut rf = RegFile::new(1, 4, 4);
+        let p = rf.alloc(ArchReg::int(1)).unwrap();
+        rf.subscribe(p, InstId(7), 3);
+        rf.free(p);
+        let q = rf.alloc(ArchReg::int(2)).unwrap();
+        assert_eq!(q, p, "LIFO reuse");
+        rf.set_ready(q);
+        rf.drain_woken(&mut woken);
+        assert!(woken.is_empty(), "previous incarnation's subscribers are gone");
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! The completion wheel: time-indexed buckets of executing instructions.
+//!
+//! Writeback used to scan a linear execution list every cycle, touching
+//! every in-flight instruction to find the few whose `ready_cycle` is
+//! *now*. The wheel replaces that with a classic timing wheel: an
+//! instruction is filed under `ready_cycle % capacity` at issue, and
+//! writeback drains exactly the bucket for the current cycle — O(due)
+//! instead of O(in-flight).
+//!
+//! The wheel is two-tier: a small near ring (cache-resident — the vast
+//! majority of completions are ALU/FP/L1/L2 latencies within a few dozen
+//! cycles) and an unbounded far list for memory misses, swept into the
+//! ring once per lap. Entries are `(cycle, id, generation)`. Squashed
+//! instructions are *not* removed from their bucket; the processor
+//! releases their pool slot (bumping the generation) and the stale entry
+//! is discarded when its bucket comes up.
+
+use crate::inst::InstId;
+
+/// Near-ring size: covers every non-memory-miss completion latency.
+const NEAR_SLOTS: usize = 64;
+
+/// One scheduled completion.
+#[derive(Clone, Copy, Debug)]
+pub struct WheelEntry {
+    /// Absolute cycle the instruction completes.
+    pub at: u64,
+    pub id: InstId,
+    /// Pool generation at scheduling time; mismatch marks a stale entry.
+    pub gen: u32,
+}
+
+/// Time-indexed completion buckets (near ring + far overflow).
+pub struct CompletionWheel {
+    /// One lap of buckets; an entry due within `NEAR_SLOTS` cycles lives
+    /// in bucket `at % NEAR_SLOTS`.
+    near: Vec<Vec<WheelEntry>>,
+    /// Completions beyond the ring horizon (memory misses), migrated into
+    /// the ring at lap boundaries.
+    far: Vec<WheelEntry>,
+    /// Entries filed and not yet drained (stale entries included).
+    scheduled: usize,
+}
+
+impl Default for CompletionWheel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompletionWheel {
+    /// A wheel. The two-tier design handles any completion distance: the
+    /// near ring covers one lap, the far list everything beyond it.
+    pub fn new() -> Self {
+        CompletionWheel {
+            near: (0..NEAR_SLOTS).map(|_| Vec::new()).collect(),
+            far: Vec::new(),
+            scheduled: 0,
+        }
+    }
+
+    #[inline]
+    fn index(at: u64) -> usize {
+        (at as usize) & (NEAR_SLOTS - 1)
+    }
+
+    /// File a completion for cycle `at` (strictly in the future of `now`).
+    pub fn schedule(&mut self, at: u64, id: InstId, gen: u32, now: u64) {
+        debug_assert!(at > now, "completions are always at least one cycle out");
+        let e = WheelEntry { at, id, gen };
+        if ((at - now) as usize) < NEAR_SLOTS {
+            self.near[Self::index(at)].push(e);
+        } else {
+            self.far.push(e);
+        }
+        self.scheduled += 1;
+    }
+
+    /// Remove and append to `out` every completion due exactly at `now`.
+    /// Must be called every cycle (buckets hold one lap only).
+    pub fn drain_due(&mut self, now: u64, out: &mut Vec<(InstId, u32)>) {
+        // Lap boundary: pull the next lap's far entries into the ring.
+        if (now as usize) & (NEAR_SLOTS - 1) == 0 && !self.far.is_empty() {
+            let near = &mut self.near;
+            self.far.retain(|&e| {
+                if ((e.at - now) as usize) < NEAR_SLOTS {
+                    near[Self::index(e.at)].push(e);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        let bucket = &mut self.near[Self::index(now)];
+        debug_assert!(bucket.iter().all(|e| e.at == now), "bucket holds another lap's entry");
+        self.scheduled -= bucket.len();
+        out.extend(bucket.drain(..).map(|e| (e.id, e.gen)));
+    }
+
+    /// Entries currently filed (stale ones included).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.scheduled
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.scheduled == 0
+    }
+
+    /// Every filed entry, for invariant checking.
+    pub fn iter(&self) -> impl Iterator<Item = &WheelEntry> {
+        self.near.iter().flatten().chain(self.far.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_exactly_the_due_cycle() {
+        let mut w = CompletionWheel::new();
+        w.schedule(3, InstId(1), 0, 0);
+        w.schedule(5, InstId(2), 0, 0);
+        w.schedule(3, InstId(3), 0, 0);
+        assert_eq!(w.len(), 3);
+        let mut out = Vec::new();
+        for cycle in 1..=5 {
+            out.clear();
+            w.drain_due(cycle, &mut out);
+            match cycle {
+                3 => assert_eq!(out, vec![(InstId(1), 0), (InstId(3), 0)]),
+                5 => assert_eq!(out, vec![(InstId(2), 0)]),
+                _ => assert!(out.is_empty(), "cycle {cycle}"),
+            }
+        }
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn far_completions_survive_the_ring_horizon() {
+        let mut w = CompletionWheel::new();
+        w.schedule(2, InstId(1), 0, 0);
+        // 1000 cycles out: far beyond the near ring — rides the far list.
+        w.schedule(1000, InstId(2), 7, 0);
+        let mut out = Vec::new();
+        w.drain_due(2, &mut out);
+        assert_eq!(out, vec![(InstId(1), 0)]);
+        out.clear();
+        for cycle in 3..1000 {
+            w.drain_due(cycle, &mut out);
+            assert!(out.is_empty(), "cycle {cycle}");
+        }
+        w.drain_due(1000, &mut out);
+        assert_eq!(out, vec![(InstId(2), 7)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn stale_entries_survive_until_their_cycle() {
+        // The wheel itself never validates generations — it reports what
+        // was filed; the drainer filters. This pins that contract.
+        let mut w = CompletionWheel::new();
+        w.schedule(4, InstId(9), 3, 1);
+        assert_eq!(w.iter().count(), 1);
+        let mut out = Vec::new();
+        w.drain_due(4, &mut out);
+        assert_eq!(out, vec![(InstId(9), 3)]);
+    }
+}

@@ -16,7 +16,7 @@
 //! | [`trace`] | calibrated SPECint2000 benchmark models and deterministic trace streams |
 //! | [`bpred`] | perceptron predictor, BTB, RAS (+ gshare ablation baseline) |
 //! | [`mem`] | banked L1I/L1D, unified L2, TLBs, MSHRs (Table 1 parameters) |
-//! | [`pipeline`] | out-of-order backend structures and the M8/M6/M4/M2 models |
+//! | [`pipeline`] | out-of-order backend structures (wakeup lists, ready sets, completion wheel) and the M8/M6/M4/M2 models |
 //! | [`core`] | the processor: fetch engine + policies, mapping policies, cycle loop |
 //! | [`area`] | the §3 area cost model (Fig 2(b) / Fig 3) |
 //! | [`workloads`] | Tables 2–3 workloads, envelope experiments, §5 summary |

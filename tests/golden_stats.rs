@@ -1,0 +1,160 @@
+//! Golden-statistics regression matrix.
+//!
+//! Each cell runs a small (arch × workload × fetch-policy) simulation and
+//! compares its serialized `SimStats` byte-for-byte against a committed
+//! fixture. Any change to simulator *behavior* — as opposed to simulator
+//! *speed* — shows up here as a diff. The event-driven scheduler refactor
+//! (wakeup lists, completion wheel, incremental load/store ordering) was
+//! landed against this matrix: the hot path changed, the statistics did
+//! not.
+//!
+//! To bless new fixtures after an intentional behavior change:
+//!
+//! ```text
+//! HDSMT_BLESS=1 cargo test --test golden_stats
+//! ```
+
+use std::path::PathBuf;
+
+use hdsmt::core::{run_sim, FetchPolicy, SimConfig, ThreadSpec};
+use hdsmt::pipeline::MicroArch;
+
+struct Cell {
+    name: &'static str,
+    arch: &'static str,
+    benchmarks: &'static [&'static str],
+    mapping: &'static [u8],
+    policy: Option<FetchPolicy>,
+    run_len: u64,
+}
+
+/// The matrix: every architecture family, every workload class, and every
+/// fetch policy appears at least once.
+const MATRIX: &[Cell] = &[
+    Cell {
+        name: "m8_ilp2_flush",
+        arch: "M8",
+        benchmarks: &["gzip", "eon"],
+        mapping: &[0, 0],
+        policy: None, // monolithic default: FLUSH
+        run_len: 6_000,
+    },
+    Cell {
+        name: "m8_mem2_flush",
+        arch: "M8",
+        benchmarks: &["mcf", "twolf"],
+        mapping: &[0, 0],
+        policy: None,
+        run_len: 3_000,
+    },
+    Cell {
+        name: "m8_mix4_icount",
+        arch: "M8",
+        benchmarks: &["gzip", "mcf", "gcc", "twolf"],
+        mapping: &[0, 0, 0, 0],
+        policy: Some(FetchPolicy::Icount),
+        run_len: 4_000,
+    },
+    Cell {
+        name: "hd_2m4_2m2_mix4_l1mcount",
+        arch: "2M4+2M2",
+        benchmarks: &["gzip", "mcf", "gcc", "twolf"],
+        mapping: &[0, 1, 2, 3],
+        policy: None, // multipipeline default: L1MCOUNT
+        run_len: 4_000,
+    },
+    Cell {
+        name: "hd_3m4_ilp2_l1mcount",
+        arch: "3M4",
+        benchmarks: &["gzip", "eon"],
+        mapping: &[0, 1],
+        policy: None,
+        run_len: 6_000,
+    },
+    Cell {
+        name: "hd_2m4_2m2_mem2_roundrobin",
+        arch: "2M4+2M2",
+        benchmarks: &["mcf", "twolf"],
+        mapping: &[0, 1],
+        policy: Some(FetchPolicy::RoundRobin),
+        run_len: 3_000,
+    },
+    Cell {
+        name: "m8_int2_l1mcount",
+        arch: "M8",
+        benchmarks: &["gcc", "vpr"],
+        mapping: &[0, 0],
+        policy: Some(FetchPolicy::L1mcount),
+        run_len: 4_000,
+    },
+    Cell {
+        name: "hd_1m6_2m4_2m2_six_thread",
+        arch: "1M6+2M4+2M2",
+        benchmarks: &["gzip", "eon", "gcc", "vpr", "mcf", "twolf"],
+        mapping: &[0, 0, 1, 2, 3, 4],
+        policy: None,
+        run_len: 3_000,
+    },
+];
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/golden")
+        .join(format!("{name}.json"))
+}
+
+fn render(cell: &Cell) -> String {
+    let arch = MicroArch::parse(cell.arch).unwrap();
+    let mut cfg = SimConfig::paper_defaults(arch, cell.run_len);
+    if let Some(p) = cell.policy {
+        cfg.fetch_policy = p;
+    }
+    let specs: Vec<ThreadSpec> = cell
+        .benchmarks
+        .iter()
+        .enumerate()
+        .map(|(i, n)| ThreadSpec::for_benchmark(n, 1000 + i as u64))
+        .collect();
+    let r = run_sim(&cfg, &specs, cell.mapping);
+    let mut s = serde_json::to_string_pretty(&r.stats).unwrap();
+    s.push('\n');
+    s
+}
+
+#[test]
+fn golden_stats_matrix_is_bit_identical() {
+    let bless = std::env::var_os("HDSMT_BLESS").is_some();
+    let mut mismatches = Vec::new();
+    for cell in MATRIX {
+        let got = render(cell);
+        let path = fixture_path(cell.name);
+        if bless {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("missing fixture {} ({e}); run with HDSMT_BLESS=1", cell.name)
+        });
+        if got != want {
+            mismatches.push(cell.name);
+            eprintln!("--- golden mismatch: {} ---", cell.name);
+            for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+                if g != w {
+                    eprintln!("  line {}: got  {g}", i + 1);
+                    eprintln!("  line {}: want {w}", i + 1);
+                }
+            }
+        }
+    }
+    assert!(mismatches.is_empty(), "golden-stat drift in cells: {mismatches:?}");
+}
+
+/// The fixtures themselves stay deterministic: rendering a cell twice in
+/// one process must give the same bytes (extends the determinism tests to
+/// the serialized form the campaign cache relies on).
+#[test]
+fn golden_cells_render_deterministically() {
+    let cell = &MATRIX[0];
+    assert_eq!(render(cell), render(cell));
+}
