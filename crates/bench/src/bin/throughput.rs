@@ -8,7 +8,8 @@
 //!
 //! ```text
 //! cargo run --release -p hdsmt-bench --bin throughput -- \
-//!     [--quick] [--label NAME] [--out PATH] [--baseline PATH]
+//!     [--quick] [--label NAME] [--out PATH] [--baseline PATH] \
+//!     [--compare PATH] [--warn-pct N]
 //! ```
 //!
 //! * `--quick`     20 k instructions, 1 rep (CI smoke scale).
@@ -16,6 +17,14 @@
 //! * `--out`       write a JSON report (default `BENCH_hotpath.json`).
 //! * `--baseline`  prepend the runs of a previous report and report the
 //!   speedup of this run over its first entry.
+//! * `--compare`   check this run's KIPS against the *last* run of a
+//!   committed report (the repo's `BENCH_hotpath.json`); if it falls more
+//!   than `--warn-pct` percent short (default 15), print a GitHub Actions
+//!   `::warning` annotation. Never fatal — including when the report is
+//!   missing or unparsable: shared CI runners are slower than the bench
+//!   host, so this is a trend alarm, not a gate. Compare full-scale runs
+//!   against the committed full-scale baseline; `--quick` runs measure a
+//!   different cell size and would alarm permanently.
 //!
 //! The harness always verifies determinism first: the verification cell is
 //! simulated twice and the serialized statistics must match exactly, else
@@ -116,11 +125,54 @@ fn measure(label: &str, insts: u64, reps: u32) -> Measurement {
     }
 }
 
+/// Compare a fresh measurement against the last run of a committed report
+/// and emit a non-fatal GitHub `::warning` annotation when it regresses by
+/// more than `warn_pct` percent.
+fn compare_against(m: &Measurement, path: &str, warn_pct: f64) {
+    // Never fatal, including on a missing/corrupt report: the comparison
+    // is a trend alarm, not a gate.
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("--compare report {path} unreadable ({e}); skipping the check");
+            return;
+        }
+    };
+    let prev: Report = match serde_json::from_str(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("--compare report {path} unparsable ({e}); skipping the check");
+            return;
+        }
+    };
+    let Some(base) = prev.runs.last() else {
+        eprintln!("--compare report {path} has no runs; skipping the check");
+        return;
+    };
+    let floor = base.kips * (1.0 - warn_pct / 100.0);
+    let pct = 100.0 * (m.kips / base.kips - 1.0);
+    eprintln!(
+        "compare: {:.1} KIPS vs committed '{}' at {:.1} KIPS ({pct:+.1}%, warn floor {floor:.1})",
+        m.kips, base.label, base.kips
+    );
+    if m.kips < floor {
+        // GitHub Actions annotation syntax; harmless noise anywhere else.
+        println!(
+            "::warning title=throughput regression::measured {:.1} simulated KIPS is \
+             {:.1}% below the committed '{}' baseline ({:.1} KIPS, floor {:.1}). If this \
+             slowdown is real and intended, re-measure and update BENCH_hotpath.json.",
+            m.kips, -pct, base.label, base.kips, floor
+        );
+    }
+}
+
 fn main() {
     let mut quick = false;
     let mut label = "current".to_string();
     let mut out = "BENCH_hotpath.json".to_string();
     let mut baseline: Option<String> = None;
+    let mut compare: Option<String> = None;
+    let mut warn_pct = 15.0f64;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -129,6 +181,11 @@ fn main() {
             "--label" => label = args.next().expect("--label NAME"),
             "--out" => out = args.next().expect("--out PATH"),
             "--baseline" => baseline = Some(args.next().expect("--baseline PATH")),
+            "--compare" => compare = Some(args.next().expect("--compare PATH")),
+            "--warn-pct" => {
+                warn_pct =
+                    args.next().expect("--warn-pct N").parse().expect("--warn-pct takes a number")
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -144,6 +201,9 @@ fn main() {
         "{}: {:.1} simulated KIPS ({} insts in {:.1} ms)",
         m.label, m.kips, m.retired, m.wall_ms
     );
+    if let Some(path) = &compare {
+        compare_against(&m, path, warn_pct);
+    }
 
     let mut runs = Vec::new();
     let mut methodology = None;

@@ -54,15 +54,20 @@ impl PerceptronPredictor {
     }
 
     /// Dot product of the selected perceptron with the ±1-encoded histories.
+    ///
+    /// The ±1 encoding is computed arithmetically (`2·bit − 1`), not with a
+    /// branch per bit: history bits are close to random, so a branchy
+    /// encoding costs the *host* a branch mispredict per bit. Identical
+    /// integer results either way.
     fn output(&self, key: u64, ghr: u64, local: u16) -> i32 {
         let w = &self.weights[Self::pidx(key) * W_PER..(Self::pidx(key) + 1) * W_PER];
         let mut y = w[0] as i32;
         for i in 0..G_BITS {
-            let x = if (ghr >> i) & 1 == 1 { 1 } else { -1 };
+            let x = (((ghr >> i) & 1) as i32) * 2 - 1;
             y += w[1 + i] as i32 * x;
         }
         for i in 0..L_BITS {
-            let x = if (local >> i) & 1 == 1 { 1 } else { -1 };
+            let x = (((local >> i) & 1) as i32) * 2 - 1;
             y += w[1 + G_BITS + i] as i32 * x;
         }
         y
@@ -103,12 +108,12 @@ impl PerceptronPredictor {
             let w = &mut self.weights[base..base + W_PER];
             w[0] = (w[0] as i32 + t).clamp(i8::MIN as i32, i8::MAX as i32) as i8;
             for i in 0..G_BITS {
-                let x = if (snap.ghr >> i) & 1 == 1 { 1 } else { -1 };
+                let x = (((snap.ghr >> i) & 1) as i32) * 2 - 1;
                 let wi = &mut w[1 + i];
                 *wi = (*wi as i32 + t * x).clamp(i8::MIN as i32, i8::MAX as i32) as i8;
             }
             for i in 0..L_BITS {
-                let x = if (snap.local >> i) & 1 == 1 { 1 } else { -1 };
+                let x = (((snap.local >> i) & 1) as i32) * 2 - 1;
                 let wi = &mut w[1 + G_BITS + i];
                 *wi = (*wi as i32 + t * x).clamp(i8::MIN as i32, i8::MAX as i32) as i8;
             }

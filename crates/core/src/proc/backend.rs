@@ -2,7 +2,7 @@
 
 use hdsmt_bpred::branch_key;
 use hdsmt_isa::{FuKind, Op};
-use hdsmt_pipeline::{InstId, InstState, ReadyEntry};
+use hdsmt_pipeline::{Completion, InstId, InstState, ReadyEntry};
 
 use super::{DispatchEntry, LqStore, Processor};
 use crate::config::FetchPolicy;
@@ -37,11 +37,11 @@ impl Processor {
             let width = self.pipes[p].model.width as usize;
             let mut moved = 0;
             while self.pipes[p].decode_latch.len() < width && moved < width {
-                let Some(id) = self.pipes[p].buffer.pop_front() else { break };
+                let Some(e) = self.pipes[p].buffer.pop_front() else { break };
                 // The record keeps `InBuffer` until rename: nothing
                 // distinguishes the decode latch by state, so the stage
-                // moves ids without touching the pool.
-                self.pipes[p].decode_latch.push(id);
+                // moves self-contained entries without touching the pool.
+                self.pipes[p].decode_latch.push(e);
                 moved += 1;
             }
         }
@@ -59,11 +59,16 @@ impl Processor {
             }
             let mut moved = 0;
             while moved < room && moved < self.pipes[p].decode_latch.len() {
-                let id = self.pipes[p].decode_latch[moved];
-                let (t, dst, srcs) = {
-                    let inst = self.pool.get(id);
-                    (inst.thread.index(), inst.d.sinst.dst, inst.d.sinst.srcs)
-                };
+                let fe = self.pipes[p].decode_latch[moved];
+                let id = fe.id;
+                let (dst, srcs) = (fe.dst, fe.srcs);
+                // The operands and address arrived with the front-end
+                // entry, so rename's only cold touch is *writing* the
+                // source mappings; the pool borrow is disjoint from the
+                // rename map / register file / ROB it works against, so
+                // the whole transaction runs on one `pair_mut` access.
+                let (hot, cold) = self.pool.pair_mut(id);
+                let t = hot.thread().index();
                 if self.threads[t].rob.is_full() {
                     break;
                 }
@@ -82,20 +87,17 @@ impl Processor {
                     (Some(a), Some(phys)) => Some(self.threads[t].map.rename(a, phys)),
                     _ => None,
                 };
-                let entry = {
-                    let inst = self.pool.get_mut(id);
-                    inst.dst_phys = dst_phys;
-                    inst.old_phys = old_phys;
-                    inst.src_phys = src_phys;
-                    inst.state = InstState::Rename;
-                    DispatchEntry {
-                        id,
-                        op: inst.d.sinst.op,
-                        seq: inst.seq.0,
-                        addr: inst.d.addr,
-                        thread: t as u8,
-                        src_phys,
-                    }
+                hot.set_dst_phys(dst_phys);
+                hot.set_old_phys(old_phys);
+                cold.src_phys = src_phys;
+                hot.set_state(InstState::Rename);
+                let entry = DispatchEntry {
+                    id,
+                    op: hot.op,
+                    seq: hot.seq.0,
+                    addr: fe.addr,
+                    thread: t as u8,
+                    src_phys,
                 };
                 let pushed = self.threads[t].rob.push_tail(id);
                 debug_assert!(pushed, "ROB space checked above");
@@ -131,7 +133,8 @@ impl Processor {
                         break;
                     }
                 }
-                let gen = self.pool.gen(id);
+                let hot = self.pool.hot_mut(id);
+                let gen = hot.gen();
                 let mut pending = 0u8;
                 for &s in srcs.iter().flatten() {
                     if !self.regfile.is_ready(s) {
@@ -139,11 +142,8 @@ impl Processor {
                         pending += 1;
                     }
                 }
-                {
-                    let inst = self.pool.get_mut(id);
-                    inst.state = InstState::Waiting;
-                    inst.pending_srcs = pending;
-                }
+                hot.set_state(InstState::Waiting);
+                hot.pending_srcs = pending;
                 if pending == 0 {
                     let pipe = &mut self.pipes[p];
                     let q = match kind {
@@ -171,7 +171,8 @@ impl Processor {
     /// functional units, compute completion times (register-file latency
     /// per §4, cache latency for loads), and file completions on the
     /// wheel. Event-driven: only instructions whose operands became ready
-    /// are examined, never the whole queues.
+    /// are examined — a handful of self-contained entries — never the
+    /// whole queues, and never the instruction pool.
     pub(crate) fn issue_stage(&mut self) {
         let now = self.cycle;
         let mut candidates = std::mem::take(&mut self.scratch_candidates);
@@ -196,7 +197,7 @@ impl Processor {
                 for &e in q.ready_entries() {
                     let mut forward = false;
                     if e.op.is_load() {
-                        debug_assert_eq!(self.pool.get(e.id).state, InstState::Waiting);
+                        debug_assert_eq!(self.pool.hot(e.id).state(), InstState::Waiting);
                         match self.load_order(e.thread as usize, e.seq, e.addr_word) {
                             LoadOrder::Blocked { store_seq, known_at } => {
                                 blocked.push((e, store_seq, known_at));
@@ -250,21 +251,32 @@ impl Processor {
         self.scratch_candidates = candidates;
     }
 
-    /// Transition one instruction to `Executing`: compute its completion
-    /// cycle, perform the cache access for loads, arm the FLUSH trigger.
+    /// Issue reads one cold field per issued *memory* instruction — the
+    /// effective address — right here; non-memory instructions and
+    /// candidate *selection* never touch cold pool memory at all.
     fn begin_execution(&mut self, p: usize, id: InstId, forward: bool) {
         let now = self.cycle;
         let rf_extra = self.rf_lat - 1; // §4: +1 per access in hdSMT
-        let (op, addr, t, seq, wrong) = {
-            let i = self.pool.get(id);
-            (i.d.sinst.op, i.d.addr, i.thread.index(), i.seq.0, i.wrong_path)
+        let addr = {
+            let h = self.pool.hot(id);
+            if h.op.is_mem() {
+                self.pool.cold(id).d.addr
+            } else {
+                0
+            }
         };
+        // One hot access covers the whole transition: the reads here and
+        // the state/ready-cycle writes at the end. Everything in between
+        // works on disjoint Processor fields.
+        let hot = self.pool.hot_mut(id);
+        let (t, seq, wrong, op, gen) =
+            (hot.thread().index(), hot.seq.0, hot.is_wrong_path(), hot.op, hot.gen());
 
         let ready_cycle = if op.is_load() {
             // Address generation, then the cache (unless forwarded).
             let agen_done = now + 1 + rf_extra as u64;
             if forward {
-                self.pool.get_mut(id).forwarded = true;
+                hot.set_forwarded();
                 agen_done + 1
             } else {
                 let access = self.mem.load(addr, agen_done);
@@ -273,16 +285,12 @@ impl Processor {
                     // later. The issue slot and FU cycle are wasted, as in
                     // hardware. The entry leaves the ready set for the
                     // timed park, so the back-off costs nothing to poll.
-                    let (seq2, thread2) = {
-                        let i = self.pool.get(id);
-                        (i.seq.0, i.thread.index() as u8)
-                    };
                     let lq = &mut self.pipes[p].lq;
                     let was_ready = lq.remove_ready(id);
                     debug_assert!(was_ready, "replayed load came from the ready set");
                     lq.park_at(
                         now + 2,
-                        ReadyEntry { seq: seq2, addr_word: addr & !7, id, thread: thread2, op },
+                        ReadyEntry { seq, addr_word: addr & !7, id, thread: t as u8, op },
                     );
                     return;
                 }
@@ -295,7 +303,7 @@ impl Processor {
                     // FLUSH (§4): the load will look like an L2 miss once it
                     // has been outstanding longer than an L2 hit takes.
                     let trigger = agen_done + self.cfg.mem.l2_hit_latency() as u64 + 1;
-                    self.flush_wheel.schedule(trigger, id, self.pool.gen(id), now);
+                    self.flush_wheel.schedule(trigger, Completion { id, gen }, now);
                 }
                 agen_done + access.latency as u64 + rf_extra as u64
             }
@@ -332,12 +340,9 @@ impl Processor {
             now + op.exec_latency() as u64 + rf_extra as u64
         };
 
-        {
-            let inst = self.pool.get_mut(id);
-            inst.state = InstState::Executing;
-            inst.ready_cycle = ready_cycle;
-        }
-        self.wheel.schedule(ready_cycle, id, self.pool.gen(id), now);
+        hot.set_state(InstState::Executing);
+        hot.ready_cycle = ready_cycle;
+        self.wheel.schedule(ready_cycle, Completion { id, gen }, now);
         // The issued instruction leaves the ready set; stores stay in the
         // LQ itself (forwarding source) until commit, everything else
         // leaves its queue entirely.
@@ -363,7 +368,6 @@ impl Processor {
                 th.st.loads += 1;
             }
         }
-        let _ = seq;
     }
 
     /// Memory-ordering check for a load against older same-thread stores in
@@ -409,40 +413,44 @@ impl Processor {
         // and are dropped when their bucket comes due.
         for i in 0..self.squashed_exec.len() {
             let id = self.squashed_exec[i];
-            debug_assert!(self.pool.get(id).squashed);
+            debug_assert!(self.pool.hot(id).is_squashed());
             self.pool.release(id);
         }
         self.squashed_exec.clear();
 
+        // Destination register, opcode classification and state all live
+        // in the hot record, so this loop never opens a cold record — the
+        // cold half is only read later, for resolved branches.
         let mut due = std::mem::take(&mut self.scratch_due);
         due.clear();
         self.wheel.drain_due(now, &mut due);
         let mut resolved = std::mem::take(&mut self.scratch_resolved);
         resolved.clear();
-        for &(id, gen) in &due {
-            if self.pool.gen(id) != gen {
+        for &c in &due {
+            if self.pool.gen(c.id) != c.gen {
                 continue; // squashed and reclaimed above, slot recycled
             }
-            let inst = self.pool.get(id);
-            debug_assert!(!inst.squashed, "squashed executions never stay a full cycle");
-            debug_assert_eq!(inst.state, InstState::Executing);
-            debug_assert_eq!(inst.ready_cycle, now);
-            let (t, op, dst, wrong) =
-                (inst.thread.index(), inst.d.sinst.op, inst.dst_phys, inst.wrong_path);
-            self.pool.get_mut(id).state = InstState::Done;
+            let (t, wrong, op, dst) = {
+                let hot = self.pool.hot_mut(c.id);
+                debug_assert!(!hot.is_squashed(), "squashed executions never stay a full cycle");
+                debug_assert_eq!(hot.state(), InstState::Executing);
+                debug_assert_eq!(hot.ready_cycle, now);
+                hot.set_state(InstState::Done);
+                (hot.thread().index(), hot.is_wrong_path(), hot.op, hot.dst_phys())
+            };
             if let Some(dstp) = dst {
                 self.regfile.set_ready(dstp);
             }
             if op.is_load() {
                 self.threads[t].inflight_loads -= 1;
-                if self.threads[t].flush_gate == Some(id) {
+                if self.threads[t].flush_gate == Some(c.id) {
                     // The flushed-past load returned: reopen fetch.
                     self.threads[t].flush_gate = None;
                     self.threads[t].stalled_until = self.threads[t].stalled_until.max(now + 1);
                 }
             }
             if op.is_control() && !wrong {
-                resolved.push(id);
+                resolved.push(c.id);
             }
         }
         self.scratch_due = due;
@@ -454,11 +462,11 @@ impl Processor {
         // Resolve branches oldest-first per thread: an older misprediction
         // squashes younger same-cycle resolutions before they can act.
         resolved.sort_unstable_by_key(|&id| {
-            let i = self.pool.get(id);
-            (i.thread.index(), i.seq.0)
+            let h = self.pool.hot(id);
+            (h.thread().index(), h.seq.0)
         });
         for &id in &resolved {
-            if self.pool.get(id).squashed {
+            if self.pool.hot(id).is_squashed() {
                 continue; // squashed (and released) by an older resolution
             }
             self.resolve_branch(id);
@@ -470,6 +478,11 @@ impl Processor {
     /// outstanding source down and enters its queue's ready set when none
     /// remain. Subscriptions of since-squashed (recycled) instructions are
     /// discarded by generation mismatch.
+    ///
+    /// Delivery runs on the hot record: the pending-source countdown and
+    /// every ready-entry field except the address live there. Only a
+    /// memory op becoming ready reads its cold record (the address word
+    /// the load-ordering walk matches on).
     fn drain_wakeups(&mut self) {
         let mut woken = std::mem::take(&mut self.scratch_woken);
         woken.clear();
@@ -478,25 +491,30 @@ impl Processor {
             if self.pool.gen(w.id) != w.gen {
                 continue; // subscriber squashed; slot since recycled
             }
-            let (ready_now, pipe, seq, thread, op, addr_word) = {
-                let inst = self.pool.get_mut(w.id);
+            let (ready_now, pipe, seq, thread, op) = {
+                let hot = self.pool.hot_mut(w.id);
                 debug_assert_eq!(
-                    inst.state,
+                    hot.state(),
                     InstState::Waiting,
                     "a live subscriber is always still waiting"
                 );
-                debug_assert!(inst.pending_srcs > 0);
-                inst.pending_srcs -= 1;
+                debug_assert!(hot.pending_srcs > 0);
+                hot.pending_srcs -= 1;
                 (
-                    inst.pending_srcs == 0,
-                    inst.pipe as usize,
-                    inst.seq.0,
-                    inst.thread.index() as u8,
-                    inst.d.sinst.op,
-                    inst.d.addr & !7,
+                    hot.pending_srcs == 0,
+                    hot.pipe() as usize,
+                    hot.seq.0,
+                    hot.thread().index() as u8,
+                    hot.op,
                 )
             };
             if ready_now {
+                let addr_word = match op.fu_kind() {
+                    // The effective address is 0 for non-memory ops, so
+                    // only loads/stores pay the cold read.
+                    FuKind::LdSt => self.pool.cold(w.id).d.addr & !7,
+                    _ => 0,
+                };
                 let p = &mut self.pipes[pipe];
                 let q = match op.fu_kind() {
                     FuKind::Int => &mut p.iq,
@@ -510,11 +528,19 @@ impl Processor {
     }
 
     /// Train predictors with the architectural outcome and run recovery on
-    /// a misprediction.
+    /// a misprediction. Branch resolution is a legitimate cold-record
+    /// consumer: it needs the fetched instruction and predictor snapshot.
     fn resolve_branch(&mut self, id: InstId) {
-        let (t, op, seq, mispredicted, dir_snap, d) = {
-            let i = self.pool.get(id);
-            (i.thread.index(), i.d.sinst.op, i.seq.0, i.mispredicted, i.dir_snap, i.d)
+        let (t, seq, mispredicted, op) = {
+            let h = self.pool.hot(id);
+            (h.thread().index(), h.seq.0, h.is_mispredicted(), h.op)
+        };
+        let d = self.pool.cold(id).d;
+        // Only conditional branches wrote a snapshot; reading it for other
+        // control ops would be stale garbage, so fetch it per-arm below.
+        let dir_snap = match op {
+            Op::CondBranch => *self.pool.snap(id),
+            _ => hdsmt_bpred::DirSnapshot::default(),
         };
         let actual = d.ctrl.expect("correct-path control inst carries its outcome");
         let key = branch_key(d.pc, t as u8);
@@ -584,18 +610,22 @@ impl Processor {
         let mut due = std::mem::take(&mut self.scratch_flush_due);
         due.clear();
         self.flush_wheel.drain_due(now, &mut due);
-        for &(id, gen) in &due {
+        for &c in &due {
+            let id = c.id;
             // Validate at fire time: the load may have been squashed (slot
             // reclaimed, generation bumped — possibly by an earlier flush
-            // this same cycle) or already completed.
-            if self.pool.gen(id) != gen {
+            // this same cycle) or already completed. A generation match
+            // guarantees the same incarnation, so the schedule-time
+            // classification still holds.
+            if self.pool.gen(id) != c.gen {
                 continue;
             }
-            let inst = self.pool.get(id);
-            if inst.squashed || inst.state != InstState::Executing || !inst.d.sinst.op.is_load() {
+            let hot = self.pool.hot(id);
+            debug_assert!(hot.op.is_load(), "only loads arm FLUSH triggers");
+            if hot.is_squashed() || hot.state() != InstState::Executing {
                 continue;
             }
-            let (t, seq) = (inst.thread.index(), inst.seq.0);
+            let (t, seq) = (hot.thread().index(), hot.seq.0);
             if self.threads[t].flush_gate == Some(id) {
                 continue;
             }
@@ -614,7 +644,7 @@ impl Processor {
 #[cfg(test)]
 mod tests {
     use hdsmt_isa::{Op, Pc, SeqNum, StaticInst, ThreadId};
-    use hdsmt_pipeline::{InFlight, InstId, InstState, MicroArch};
+    use hdsmt_pipeline::{ColdInst, HotInst, InstId, InstState, MicroArch};
     use hdsmt_trace::DynInst;
 
     use super::super::Processor;
@@ -643,11 +673,13 @@ mod tests {
     ) -> InstId {
         let sinst = StaticInst { op, dst: None, srcs: [None, None], mem: None };
         let d = DynInst { pc: Pc(0x100), sinst, addr, ctrl: None };
-        let id = p.pool.alloc(InFlight::new(ThreadId(t as u8), 0, SeqNum(seq), d, false));
+        let id = p
+            .pool
+            .alloc(HotInst::new(ThreadId(t as u8), 0, SeqNum(seq), op, false), ColdInst::new(d));
         {
-            let i = p.pool.get_mut(id);
-            i.state = state;
-            i.ready_cycle = ready_cycle;
+            let h = p.pool.hot_mut(id);
+            h.set_state(state);
+            h.ready_cycle = ready_cycle;
         }
         assert!(p.pipes[0].lq.push(id));
         if state == InstState::Waiting {
@@ -672,8 +704,8 @@ mod tests {
     }
 
     fn verdict(p: &Processor, id: InstId) -> &'static str {
-        let i = p.pool.get(id);
-        match p.load_order(i.thread.index(), i.seq.0, i.d.addr & !7) {
+        let h = p.pool.hot(id);
+        match p.load_order(h.thread().index(), h.seq.0, p.pool.cold(id).d.addr & !7) {
             LoadOrder::Blocked { .. } => "blocked",
             LoadOrder::Clear => "clear",
             LoadOrder::Forward => "forward",
@@ -744,12 +776,12 @@ mod tests {
         let load = inject(&mut p, 0, 2, Op::Load, 0x6000, InstState::Waiting, 0);
         p.cycle = 100;
         p.begin_execution(0, load, true);
-        let i = p.pool.get(load);
-        assert_eq!(i.state, InstState::Executing);
-        assert!(i.forwarded);
+        let h = p.pool.hot(load);
+        assert_eq!(h.state(), InstState::Executing);
+        assert!(h.is_forwarded());
         // agen (1 cycle + rf extra) + 1-cycle bypass, no cache access.
         let rf_extra = (p.rf_lat - 1) as u64;
-        assert_eq!(i.ready_cycle, 100 + 1 + rf_extra + 1);
+        assert_eq!(h.ready_cycle, 100 + 1 + rf_extra + 1);
     }
 
     #[test]
@@ -763,8 +795,11 @@ mod tests {
         let load = inject(&mut p, 0, 1, Op::Load, 0x6000_0000, InstState::Waiting, 0);
         p.cycle = 0;
         p.begin_execution(0, load, false);
-        let i = p.pool.get(load);
-        assert_eq!(i.state, InstState::Waiting, "MSHR stall keeps the load waiting");
+        assert_eq!(
+            p.pool.hot(load).state(),
+            InstState::Waiting,
+            "MSHR stall keeps the load waiting"
+        );
         assert!(p.pipes[0].lq.iter().any(|x| x == load), "the load stays in its queue");
         assert!(
             p.pipes[0].lq.parked_entries().any(|e| e.id == load),
@@ -787,8 +822,8 @@ mod tests {
             "expired back-off rejoins the ready set"
         );
         p.begin_execution(0, load, false);
-        let i = p.pool.get(load);
-        assert_eq!(i.state, InstState::Executing, "retry issues once an MSHR frees up");
-        assert!(i.ready_cycle > p.cycle);
+        let h = p.pool.hot(load);
+        assert_eq!(h.state(), InstState::Executing, "retry issues once an MSHR frees up");
+        assert!(h.ready_cycle > p.cycle);
     }
 }

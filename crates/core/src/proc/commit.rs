@@ -23,27 +23,25 @@ impl Processor {
                 let t = self.pipes[p].threads[(start + k) % n_threads];
                 while budget > 0 {
                     let Some(head) = self.threads[t].rob.head() else { break };
-                    let (state, ready, op, addr, seq, wrong, old_phys, is_ctrl) = {
-                        let i = self.pool.get(head);
-                        (
-                            i.state,
-                            i.ready_cycle,
-                            i.d.sinst.op,
-                            i.d.addr,
-                            i.seq.0,
-                            i.wrong_path,
-                            i.old_phys,
-                            i.d.sinst.op.is_control(),
-                        )
+                    // Hot half first: a head that cannot retire yet — the
+                    // common case every polled cycle — is decided without
+                    // touching its cold record.
+                    let (state, ready, seq, wrong, op, old_phys) = {
+                        let h = self.pool.hot(head);
+                        (h.state(), h.ready_cycle, h.seq.0, h.is_wrong_path(), h.op, h.old_phys())
                     };
                     if state != InstState::Done || ready > now {
                         break;
                     }
                     debug_assert!(!wrong, "wrong-path instructions never reach commit");
+                    let is_ctrl = op.is_control();
 
                     if op.is_store() {
-                        // Architectural memory update; write-buffered, so
-                        // the latency is not charged to commit.
+                        // Only a store retirement opens its cold record:
+                        // the architectural memory update needs the
+                        // effective address. Write-buffered, so the
+                        // latency is not charged to commit.
+                        let addr = self.pool.cold(head).d.addr;
                         let _ = self.mem.store(addr, now);
                         self.pipes[p].lq.remove(head);
                         // In-order commit retires this thread's oldest

@@ -11,7 +11,7 @@
 
 use hdsmt_bpred::branch_key;
 use hdsmt_isa::{Op, Pc, Program, SeqNum, StaticInst, Terminator};
-use hdsmt_pipeline::InFlight;
+use hdsmt_pipeline::{ColdInst, HotInst};
 use hdsmt_trace::DynInst;
 
 use super::Processor;
@@ -174,7 +174,9 @@ impl Processor {
         let seq = self.threads[t].next_seq;
         self.threads[t].next_seq += 1;
 
-        let mut fl = InFlight::new(self.threads[t].id, pipe_idx as u8, SeqNum(seq), d, wrong);
+        let mut hot = HotInst::new(self.threads[t].id, pipe_idx as u8, SeqNum(seq), op, wrong);
+        let cold = ColdInst::new(d);
+        let mut dir_snap = None;
         let mut end_burst = false;
 
         if op.is_control() {
@@ -183,7 +185,7 @@ impl Processor {
                 Op::CondBranch => {
                     let (p, snap) = self.dir.predict(t, key);
                     self.dir.spec_update(t, p);
-                    fl.dir_snap = snap;
+                    dir_snap = Some(snap);
                     let tt = self.taken_target(t, d.pc);
                     (p, if p { tt } else { d.pc.next() })
                 }
@@ -203,7 +205,9 @@ impl Processor {
                 let actual = d.ctrl.expect("correct-path control inst carries its outcome");
                 let mispredicted = pred_taken != actual.taken
                     || (pred_taken && actual.taken && pred_target != actual.target);
-                fl.mispredicted = mispredicted;
+                if mispredicted {
+                    hot.set_mispredicted();
+                }
                 self.threads[t].next_correct_pc = d.next_pc();
                 if mispredicted {
                     let wrong_pc = if pred_taken { pred_target } else { d.pc.next() };
@@ -225,12 +229,18 @@ impl Processor {
             self.threads[t].wrong_path = Some(d.pc.next());
         }
 
-        let mispredicted = fl.mispredicted;
-        let id = self.pool.alloc(fl);
+        let mispredicted = hot.is_mispredicted();
+        let id = self.pool.alloc(hot, cold);
+        if let Some(snap) = dir_snap {
+            // Conditional branches only: the snapshot array is untouched —
+            // and unread — for everything else.
+            *self.pool.snap_mut(id) = snap;
+        }
         if mispredicted {
             self.threads[t].wrong_path_branch = Some(id);
         }
-        let pushed = self.pipes[pipe_idx].buffer.push_back(id);
+        let fe = super::FrontEntry { id, dst: d.sinst.dst, srcs: d.sinst.srcs, addr: d.addr };
+        let pushed = self.pipes[pipe_idx].buffer.push_back(fe);
         debug_assert!(pushed, "buffer space checked before fetch");
         debug_assert!(self.threads[t].rob.len() < self.cfg.rob_entries * 2);
 

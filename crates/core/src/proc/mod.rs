@@ -45,6 +45,25 @@
 //! structures together are asserted by
 //! [`Processor::check_scheduler_invariants`] (tests and the
 //! `invariant-checks` feature).
+//!
+//! # Hot/cold pool traffic per stage
+//!
+//! The instruction pool is hot/cold split (see `hdsmt_pipeline::inst`);
+//! each stage touches the narrowest half that can serve it:
+//!
+//! | stage | hot | cold |
+//! |---|---|---|
+//! | fetch | alloc (writes both once) | alloc |
+//! | decode | — | — |
+//! | rename | state, seq, dst | operands, old/src mappings (`pair_mut`) |
+//! | dispatch | state, `pending_srcs` | — (operands ride `DispatchEntry`) |
+//! | wakeup drain | countdown, seq/thread/op | address word, memory ops only |
+//! | issue selection | — (ready sets are self-contained) | — |
+//! | issue (`begin_execution`) | state, `ready_cycle`, op | address, memory ops only |
+//! | writeback | state, dst, op classification | — |
+//! | branch resolution | seq, flags, op | instruction (+ the snapshot array, cond branches) |
+//! | commit | retire poll, op, freed mapping | one read per retiring *store* (its address) |
+//! | squash | walk stop, squash marking, mappings | arch dst + replay of squashed entries |
 
 mod backend;
 mod commit;
@@ -57,8 +76,8 @@ use hdsmt_bpred::{Btb, DirectionPredictor, Ras, RasSnapshot};
 use hdsmt_isa::{BlockId, Pc, ThreadId};
 use hdsmt_mem::MemHier;
 use hdsmt_pipeline::{
-    CompletionWheel, FuPool, InstId, InstPool, IssueQueue, PipeModel, ReadyEntry, RegFile,
-    RenameMap, RingBuf, Rob, Waiter,
+    Completion, CompletionWheel, FuPool, InstId, InstPool, IssueQueue, PipeModel, ReadyEntry,
+    RegFile, RenameMap, RingBuf, Rob, Waiter,
 };
 use hdsmt_trace::{DynInst, TraceStream};
 
@@ -134,6 +153,18 @@ pub(crate) struct Thread {
     pub done: bool,
 }
 
+/// One fetched instruction travelling the in-order front end (decoupling
+/// buffer → decode latch → rename). Carries the static operands and the
+/// effective address — all known at fetch — so rename reads nothing from
+/// the cold pool record.
+#[derive(Clone, Copy)]
+pub(crate) struct FrontEntry {
+    pub id: InstId,
+    pub dst: Option<hdsmt_isa::ArchReg>,
+    pub srcs: [Option<hdsmt_isa::ArchReg>; 2],
+    pub addr: u64,
+}
+
 /// One renamed instruction in flight between rename and dispatch.
 /// Carries what dispatch needs so it re-reads nothing from the pool
 /// (rename had the record open anyway).
@@ -151,9 +182,9 @@ pub(crate) struct DispatchEntry {
 pub(crate) struct Pipe {
     pub model: PipeModel,
     /// Decoupling buffer fed by the shared fetch engine.
-    pub buffer: RingBuf<InstId>,
+    pub buffer: RingBuf<FrontEntry>,
     /// Decode-stage output latch (≤ width).
-    pub decode_latch: Vec<InstId>,
+    pub decode_latch: Vec<FrontEntry>,
     /// Rename-stage output latch (≤ width), consumed by dispatch.
     pub dispatch_latch: Vec<DispatchEntry>,
     pub iq: IssueQueue,
@@ -228,20 +259,26 @@ pub struct Processor {
     // state hot loop allocates nothing) ----
     /// Issue candidates: (packed age key, id, op, store-forwarded).
     scratch_candidates: Vec<(u64, InstId, hdsmt_isa::Op, bool)>,
+    /// Loads found blocked during the gather (applied after it).
+    scratch_blocked: Vec<(ReadyEntry, u64, u64)>,
     /// Register-file wakeups being routed to ready sets.
     scratch_woken: Vec<Waiter>,
     /// Completions drained from the wheel this cycle.
-    scratch_due: Vec<(InstId, u32)>,
+    scratch_due: Vec<Completion>,
     /// Correct-path branches resolving this cycle.
     scratch_resolved: Vec<InstId>,
     /// FLUSH triggers firing this cycle.
-    scratch_flush_due: Vec<(InstId, u32)>,
+    scratch_flush_due: Vec<Completion>,
     /// Fetch-priority ordering of eligible threads.
     scratch_order: Vec<usize>,
-    /// Loads found blocked during the gather (applied after it).
-    scratch_blocked: Vec<(ReadyEntry, u64, u64)>,
     /// Loads released by a store's issue (moved to the timed park).
     scratch_unblocked: Vec<ReadyEntry>,
+    /// Squash scratch: correct-path instructions awaiting replay assembly.
+    scratch_replay: Vec<(u64, DynInst)>,
+    /// Squash scratch: slots to release after the structure purge.
+    scratch_release: Vec<InstId>,
+    /// Squash scratch: front-end ids snapshotted for the sweep.
+    scratch_buffer_ids: Vec<InstId>,
 }
 
 impl Processor {
@@ -342,13 +379,16 @@ impl Processor {
             measure_start_cycle: 0,
             committed_total: 0,
             scratch_candidates: Vec::new(),
+            scratch_blocked: Vec::new(),
             scratch_woken: Vec::new(),
             scratch_due: Vec::new(),
             scratch_resolved: Vec::new(),
             scratch_flush_due: Vec::new(),
             scratch_order: Vec::new(),
-            scratch_blocked: Vec::new(),
             scratch_unblocked: Vec::new(),
+            scratch_replay: Vec::new(),
+            scratch_release: Vec::new(),
+            scratch_buffer_ids: Vec::new(),
             cycle: 0,
             cfg,
         };
@@ -363,6 +403,7 @@ impl Processor {
     /// the hierarchy. The paper's 300 M-instruction runs establish this
     /// residency naturally; scaled runs must start from it or compulsory
     /// misses (which are measurement noise at full scale) dominate.
+    #[cold]
     fn prewarm_caches(&mut self) {
         /// Regions larger than this cannot be L2-resident in steady state;
         /// their accesses genuinely miss, which is what makes the MEM-class
@@ -546,22 +587,22 @@ impl Processor {
     pub fn check_icount_invariant(&self) {
         let mut counts = vec![0i32; self.threads.len()];
         for p in &self.pipes {
-            for &id in p.buffer.iter() {
-                counts[self.pool.get(id).thread.index()] += 1;
+            for e in p.buffer.iter() {
+                counts[self.pool.hot(e.id).thread().index()] += 1;
             }
-            for &id in p.decode_latch.iter() {
-                counts[self.pool.get(id).thread.index()] += 1;
+            for e in p.decode_latch.iter() {
+                counts[self.pool.hot(e.id).thread().index()] += 1;
             }
             for e in p.dispatch_latch.iter() {
                 counts[e.thread as usize] += 1;
             }
             for q in [&p.iq, &p.fq, &p.lq] {
                 for id in q.iter() {
-                    let inst = self.pool.get(id);
+                    let hot = self.pool.hot(id);
                     // Stores stay in the LQ after issue; only pre-issue
                     // entries count.
-                    if inst.state == hdsmt_pipeline::InstState::Waiting {
-                        counts[inst.thread.index()] += 1;
+                    if hot.state() == hdsmt_pipeline::InstState::Waiting {
+                        counts[hot.thread().index()] += 1;
                     }
                 }
             }
@@ -582,7 +623,7 @@ impl Processor {
         use hdsmt_pipeline::InstState;
 
         let operands_ready = |id: InstId| {
-            self.pool.get(id).src_phys.iter().flatten().all(|&s| self.regfile.is_ready(s))
+            self.pool.cold(id).src_phys.iter().flatten().all(|&s| self.regfile.is_ready(s))
         };
 
         for (pi, p) in self.pipes.iter().enumerate() {
@@ -591,9 +632,9 @@ impl Processor {
                 // entry is a live Waiting queue member with all operands
                 // available and metadata matching its instruction.
                 for e in q.ready_entries() {
-                    let inst = self.pool.get(e.id);
+                    let hot = self.pool.hot(e.id);
                     assert_eq!(
-                        inst.state,
+                        hot.state(),
                         InstState::Waiting,
                         "pipe {pi}: ready entry {:?} is not waiting",
                         e.id
@@ -605,9 +646,9 @@ impl Processor {
                         e.id
                     );
                     assert!(
-                        e.seq == inst.seq.0
-                            && e.thread == inst.thread.index() as u8
-                            && e.op == inst.d.sinst.op,
+                        e.seq == hot.seq.0
+                            && e.thread == hot.thread().index() as u8
+                            && e.op == hot.op,
                         "pipe {pi}: ready entry {:?} carries stale metadata",
                         e.id
                     );
@@ -621,9 +662,8 @@ impl Processor {
                 // Timed park: entries are live waiting members too, and
                 // never double-listed with the ready set.
                 for e in q.parked_entries() {
-                    let inst = self.pool.get(e.id);
                     assert_eq!(
-                        inst.state,
+                        self.pool.hot(e.id).state(),
                         InstState::Waiting,
                         "pipe {pi}: parked entry {:?} is not waiting",
                         e.id
@@ -643,9 +683,9 @@ impl Processor {
                 // the ready set, the timed park, or blocked on a store's
                 // issue (the event-driven core never strands a wakeup).
                 for id in q.iter() {
-                    let inst = self.pool.get(id);
-                    if inst.state == InstState::Waiting && operands_ready(id) {
-                        let t = inst.thread.index();
+                    let hot = self.pool.hot(id);
+                    if hot.state() == InstState::Waiting && operands_ready(id) {
+                        let t = hot.thread().index();
                         assert!(
                             q.ready_entries().iter().any(|e| e.id == id)
                                 || q.parked_entries().any(|e| e.id == id)
@@ -653,7 +693,7 @@ impl Processor {
                             "pipe {pi}: operand-ready {id:?} missing from the ready set"
                         );
                         assert_eq!(
-                            self.pool.get(id).pending_srcs,
+                            self.pool.hot(id).pending_srcs,
                             0,
                             "pipe {pi}: {id:?} ready but counts pending sources"
                         );
@@ -668,8 +708,8 @@ impl Processor {
             let lq = &self.pipes[th.pipe as usize].lq;
             for &(store_seq, e) in &th.blocked_loads {
                 assert_eq!(e.thread as usize, t, "blocked load filed under the wrong thread");
-                let inst = self.pool.get(e.id);
-                assert_eq!(inst.state, InstState::Waiting, "blocked load {:?} not waiting", e.id);
+                let state = self.pool.hot(e.id).state();
+                assert_eq!(state, InstState::Waiting, "blocked load {:?} not waiting", e.id);
                 assert!(lq.contains(e.id), "blocked load {:?} not in its LQ", e.id);
                 assert!(store_seq < e.seq, "blocker must be older than the load");
                 let blocker =
@@ -693,9 +733,9 @@ impl Processor {
             .wheel
             .iter()
             .filter(|e| {
-                self.pool.gen(e.id) == e.gen && {
-                    let i = self.pool.get(e.id);
-                    !i.squashed && i.state == InstState::Executing
+                self.pool.gen(e.c.id) == e.c.gen && {
+                    let h = self.pool.hot(e.c.id);
+                    !h.is_squashed() && h.state() == InstState::Executing
                 }
             })
             .count();
@@ -703,7 +743,7 @@ impl Processor {
             .threads
             .iter()
             .flat_map(|t| t.rob.iter())
-            .filter(|&id| self.pool.get(id).state == InstState::Executing)
+            .filter(|&id| self.pool.hot(id).state() == InstState::Executing)
             .count();
         assert_eq!(wheel_live, executing, "completion wheel out of step with the ROBs");
 
@@ -715,11 +755,11 @@ impl Processor {
             let mut expect: Vec<InstId> = lq
                 .iter()
                 .filter(|&id| {
-                    let i = self.pool.get(id);
-                    i.thread.index() == t && i.d.sinst.op.is_store()
+                    let h = self.pool.hot(id);
+                    h.thread().index() == t && h.op.is_store()
                 })
                 .collect();
-            expect.sort_unstable_by_key(|&id| self.pool.get(id).seq.0);
+            expect.sort_unstable_by_key(|&id| self.pool.hot(id).seq.0);
             let got: Vec<InstId> = th.lq_stores.iter().map(|s| s.id).collect();
             let seqs: Vec<u64> = th.lq_stores.iter().map(|s| s.seq).collect();
             assert!(
@@ -728,12 +768,16 @@ impl Processor {
             );
             assert_eq!(got, expect, "lq_stores drift on thread {t}");
             for s in th.lq_stores.iter() {
-                let i = self.pool.get(s.id);
-                assert_eq!(s.seq, i.seq.0, "lq_stores stale seq on thread {t}");
-                assert_eq!(s.addr_word, i.d.addr & !7, "lq_stores stale address on thread {t}");
-                let want_known = match i.state {
+                let h = self.pool.hot(s.id);
+                assert_eq!(s.seq, h.seq.0, "lq_stores stale seq on thread {t}");
+                assert_eq!(
+                    s.addr_word,
+                    self.pool.cold(s.id).d.addr & !7,
+                    "lq_stores stale address on thread {t}"
+                );
+                let want_known = match h.state() {
                     InstState::Waiting => u64::MAX,
-                    _ => i.ready_cycle,
+                    _ => h.ready_cycle,
                 };
                 assert_eq!(s.known_at, want_known, "lq_stores stale agen cycle on thread {t}");
             }

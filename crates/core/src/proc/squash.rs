@@ -14,25 +14,33 @@ impl Processor {
     /// thread's replay queue (oldest first) so FLUSH can re-fetch them.
     ///
     /// Returns the number of correct-path instructions queued for replay.
+    ///
+    /// `#[cold]`: squashes fire every few dozen cycles at worst, and
+    /// keeping this large recovery body out of line keeps the per-cycle
+    /// stage loop's instruction footprint tight.
+    #[cold]
     pub(crate) fn squash_younger(&mut self, t: usize, seq_min: u64) -> usize {
         let pipe_idx = self.threads[t].pipe as usize;
-        let mut replay: Vec<(u64, DynInst)> = Vec::new();
-        let mut to_release: Vec<hdsmt_pipeline::InstId> = Vec::new();
+        let mut replay = std::mem::take(&mut self.scratch_replay);
+        let mut to_release = std::mem::take(&mut self.scratch_release);
+        replay.clear();
+        to_release.clear();
 
         // ---- ROB walk-back (renamed instructions), youngest first ----
+        //
+        // The walk knows each squashed instruction's exact whereabouts, so
+        // queue membership is undone with O(1) targeted removes here — no
+        // whole-queue purge passes afterwards. Only the pre-rename
+        // front-end containers (decoupling buffer, stage latches) are
+        // swept by flag below.
         while let Some(tail) = self.threads[t].rob.tail() {
-            let (seq, state, wrong, d, dst, dst_phys, old_phys, is_load) = {
-                let i = self.pool.get(tail);
-                (
-                    i.seq.0,
-                    i.state,
-                    i.wrong_path,
-                    i.d,
-                    i.d.sinst.dst,
-                    i.dst_phys,
-                    i.old_phys,
-                    i.d.sinst.op.is_load(),
-                )
+            // Hot half decides whether the walk stops; the cold half (rename
+            // mappings, the fetched instruction) is opened only for entries
+            // actually being squashed — walk-back is one of the two stages
+            // allowed to rewrite both.
+            let (seq, state, wrong, op, dst_phys, old_phys) = {
+                let h = self.pool.hot(tail);
+                (h.seq.0, h.state(), h.is_wrong_path(), h.op, h.dst_phys(), h.old_phys())
             };
             if seq <= seq_min {
                 break;
@@ -40,8 +48,14 @@ impl Processor {
             self.threads[t].rob.pop_tail();
 
             // Undo the rename, youngest-first restores the oldest mapping.
-            if let (Some(a), Some(phys)) = (dst, dst_phys) {
-                self.threads[t].map.restore(a, old_phys.expect("renamed dst keeps old mapping"));
+            // Only a renamed destination needs the cold record opened (for
+            // the architectural register being restored).
+            if let Some(phys) = dst_phys {
+                let a = self.pool.cold(tail).d.sinst.dst;
+                self.threads[t].map.restore(
+                    a.expect("physical dst implies an architectural dst"),
+                    old_phys.expect("renamed dst keeps old mapping"),
+                );
                 self.regfile.free(phys);
             }
             match state {
@@ -51,27 +65,37 @@ impl Processor {
                 }
                 InstState::Waiting => {
                     self.threads[t].icount -= 1;
-                    // Eagerly maintained ready sets: drop the entry (if
-                    // its operands had become ready) before the slot is
-                    // reclaimed.
+                    // Eagerly maintained ready sets: drop the membership
+                    // and the ready entry (if its operands had become
+                    // ready) before the slot is reclaimed.
                     let pipe = &mut self.pipes[pipe_idx];
-                    let q = match d.sinst.op.fu_kind() {
+                    let q = match op.fu_kind() {
                         hdsmt_isa::FuKind::Int => &mut pipe.iq,
                         hdsmt_isa::FuKind::Fp => &mut pipe.fq,
                         hdsmt_isa::FuKind::LdSt => &mut pipe.lq,
                     };
                     q.remove_ready(tail);
+                    let removed = q.remove(tail);
+                    debug_assert!(removed, "waiting instruction must be in its queue");
                     to_release.push(tail);
                 }
                 InstState::Executing => {
-                    if is_load {
+                    if op.is_load() {
                         self.threads[t].inflight_loads -= 1;
+                    }
+                    if op.is_store() {
+                        // Issued stores remain LQ members (forwarding
+                        // source) until commit; squash evicts them here.
+                        self.pipes[pipe_idx].lq.remove(tail);
                     }
                     // Released at the next writeback; its completion-wheel
                     // entry goes stale with that release.
                     self.squashed_exec.push(tail);
                 }
                 InstState::Done => {
+                    if op.is_store() {
+                        self.pipes[pipe_idx].lq.remove(tail);
+                    }
                     to_release.push(tail);
                 }
                 InstState::InBuffer => {
@@ -79,7 +103,6 @@ impl Processor {
                 }
             }
             self.mark_squashed(tail, wrong, seq, &mut replay, t);
-            let _ = d;
         }
 
         // Prune the thread's in-LQ store list: squashed stores are
@@ -91,16 +114,19 @@ impl Processor {
 
         // ---- front-end structures (pre-rename, so younger than the ROB
         // tail): decoupling buffer and decode latch ----
-        let buffer_ids: Vec<hdsmt_pipeline::InstId> = self.pipes[pipe_idx]
-            .buffer
-            .iter()
-            .copied()
-            .chain(self.pipes[pipe_idx].decode_latch.iter().copied())
-            .collect();
-        for id in buffer_ids {
+        let mut buffer_ids = std::mem::take(&mut self.scratch_buffer_ids);
+        buffer_ids.clear();
+        buffer_ids.extend(
+            self.pipes[pipe_idx]
+                .buffer
+                .iter()
+                .map(|e| e.id)
+                .chain(self.pipes[pipe_idx].decode_latch.iter().map(|e| e.id)),
+        );
+        for &id in &buffer_ids {
             let (tid, seq, wrong) = {
-                let i = self.pool.get(id);
-                (i.thread.index(), i.seq.0, i.wrong_path)
+                let h = self.pool.hot(id);
+                (h.thread().index(), h.seq.0, h.is_wrong_path())
             };
             if tid != t || seq <= seq_min {
                 continue;
@@ -109,17 +135,17 @@ impl Processor {
             self.mark_squashed(id, wrong, seq, &mut replay, t);
             to_release.push(id);
         }
+        self.scratch_buffer_ids = buffer_ids;
 
-        // ---- purge containers of marked instructions ----
+        // ---- purge the front-end containers of marked instructions ----
+        // (The issue queues were already cleaned by the targeted removes
+        // in the walk above.)
         {
             let pool = &self.pool;
             let pipe = &mut self.pipes[pipe_idx];
-            pipe.buffer.retain(|id| !pool.get(*id).squashed);
-            pipe.decode_latch.retain(|id| !pool.get(*id).squashed);
-            pipe.dispatch_latch.retain(|e| !pool.get(e.id).squashed);
-            pipe.iq.retain(|id| !pool.get(*id).squashed);
-            pipe.fq.retain(|id| !pool.get(*id).squashed);
-            pipe.lq.retain(|id| !pool.get(*id).squashed);
+            pipe.buffer.retain(|e| !pool.hot(e.id).is_squashed());
+            pipe.decode_latch.retain(|e| !pool.hot(e.id).is_squashed());
+            pipe.dispatch_latch.retain(|e| !pool.hot(e.id).is_squashed());
             let tt = t as u8;
             for q in [&mut pipe.iq, &mut pipe.fq, &mut pipe.lq] {
                 q.purge_parked(|e| !(e.thread == tt && e.seq > seq_min));
@@ -133,15 +159,17 @@ impl Processor {
 
         // ---- release everything not owned by the execution list ----
         let n_replay = replay.len();
-        for id in to_release {
+        for &id in &to_release {
             self.pool.release(id);
         }
+        self.scratch_release = to_release;
 
         // ---- assemble the replay queue, oldest first at the front ----
         replay.sort_unstable_by_key(|&(seq, _)| seq);
-        for (_, d) in replay.into_iter().rev() {
+        for (_, d) in replay.drain(..).rev() {
             self.threads[t].replay.push_front(d);
         }
+        self.scratch_replay = replay;
         n_replay
     }
 
@@ -155,11 +183,12 @@ impl Processor {
         replay: &mut Vec<(u64, DynInst)>,
         t: usize,
     ) {
-        let d = self.pool.get(id).d;
-        self.pool.get_mut(id).squashed = true;
+        self.pool.hot_mut(id).set_squashed();
         self.threads[t].st.squashed += 1;
         if !wrong {
-            replay.push((seq, d));
+            // Only architectural (replayed) instructions need their cold
+            // record read back; wrong-path ones die on the hot flag alone.
+            replay.push((seq, self.pool.cold(id).d));
         }
         if self.threads[t].wrong_path_branch == Some(id) {
             // The branch that opened the wrong path is gone; the wrong path

@@ -26,6 +26,18 @@ impl CacheConfig {
         if self.ways == 0 || self.banks == 0 {
             return Err("ways and banks must be positive".into());
         }
+        // Per-way LRU ranks are stored as `u8` (0 = MRU, one rank per way in
+        // the set): more than 256 ways cannot be ranked distinctly, and the
+        // old silent acceptance corrupted replacement order. 256 itself is
+        // excluded too — `fill` ages every way with `saturating_add(1)`, so
+        // rank 255 must remain reachable only as the oldest rank.
+        if self.ways > u8::MAX as usize {
+            return Err(format!(
+                "ways = {} exceeds {} (per-way LRU ranks are u8)",
+                self.ways,
+                u8::MAX
+            ));
+        }
         if self.size_bytes < self.line_bytes * self.ways as u64 {
             return Err("cache smaller than one set".into());
         }
@@ -57,16 +69,27 @@ impl CacheStats {
     }
 }
 
+/// One way of one set: tag, valid bit and LRU rank interleaved, so a
+/// whole low-associativity set sits on one host cache line. (The old
+/// layout kept three parallel arrays — every simulated access touched a
+/// tag line, a valid line *and* an LRU line; this is the simulator's
+/// single hottest leaf, hit several times per cycle.)
+#[derive(Clone, Copy)]
+struct WayEntry {
+    /// Line-granular address; meaningful only while `valid`.
+    tag: u64,
+    valid: bool,
+    /// LRU rank within the set (0 = MRU).
+    lru: u8,
+}
+
 /// Tag array of one cache level.
 pub struct Cache {
     cfg: CacheConfig,
     line_shift: u32,
     set_mask: u64,
-    /// Flattened `[set][way]` tag store; tag = full line address.
-    tags: Vec<u64>,
-    valid: Vec<bool>,
-    /// Per-way LRU rank within the set (0 = MRU).
-    lru: Vec<u8>,
+    /// Flattened `[set][way]` store.
+    ways: Vec<WayEntry>,
     stats: CacheStats,
 }
 
@@ -77,9 +100,7 @@ impl Cache {
         Cache {
             line_shift: cfg.line_bytes.trailing_zeros(),
             set_mask: (cfg.num_sets() - 1) as u64,
-            tags: vec![0; n],
-            valid: vec![false; n],
-            lru: vec![0; n],
+            ways: vec![WayEntry { tag: 0, valid: false, lru: 0 }; n],
             stats: CacheStats::default(),
             cfg,
         }
@@ -116,7 +137,8 @@ impl Cache {
         self.stats.accesses += 1;
         let ways = self.cfg.ways;
         for w in 0..ways {
-            if self.valid[base + w] && self.tags[base + w] == line {
+            let e = self.ways[base + w];
+            if e.valid && e.tag == line {
                 self.touch(base, w);
                 self.stats.hits += 1;
                 return true;
@@ -130,7 +152,7 @@ impl Cache {
     pub fn probe(&self, addr: u64) -> bool {
         let line = self.line_addr(addr);
         let base = self.set_base(line);
-        (0..self.cfg.ways).any(|w| self.valid[base + w] && self.tags[base + w] == line)
+        self.ways[base..base + self.cfg.ways].iter().any(|e| e.valid && e.tag == line)
     }
 
     /// Allocate the line containing `addr`, evicting the LRU way if needed.
@@ -141,7 +163,8 @@ impl Cache {
         let ways = self.cfg.ways;
         // Already present (e.g. race between coalesced misses): just touch.
         for w in 0..ways {
-            if self.valid[base + w] && self.tags[base + w] == line {
+            let e = self.ways[base + w];
+            if e.valid && e.tag == line {
                 self.touch(base, w);
                 return None;
             }
@@ -150,20 +173,23 @@ impl Cache {
         let mut victim = 0;
         let mut best = 0u16;
         for w in 0..ways {
-            let score = if self.valid[base + w] { self.lru[base + w] as u16 } else { u16::MAX };
+            let e = self.ways[base + w];
+            let score = if e.valid { e.lru as u16 } else { u16::MAX };
             if score >= best {
                 best = score;
                 victim = w;
             }
         }
-        let evicted = if self.valid[base + victim] { Some(self.tags[base + victim]) } else { None };
-        self.tags[base + victim] = line;
-        self.valid[base + victim] = true;
+        let v = self.ways[base + victim];
+        let evicted = if v.valid { Some(v.tag) } else { None };
+        self.ways[base + victim].tag = line;
+        self.ways[base + victim].valid = true;
         // A fresh fill is least-recent history-wise: age everyone, then MRU.
         for w in 0..ways {
-            self.lru[base + w] = self.lru[base + w].saturating_add(1);
+            let r = &mut self.ways[base + w].lru;
+            *r = r.saturating_add(1);
         }
-        self.lru[base + victim] = 0;
+        self.ways[base + victim].lru = 0;
         evicted
     }
 
@@ -171,21 +197,22 @@ impl Cache {
     pub fn invalidate(&mut self, addr: u64) {
         let line = self.line_addr(addr);
         let base = self.set_base(line);
-        for w in 0..self.cfg.ways {
-            if self.valid[base + w] && self.tags[base + w] == line {
-                self.valid[base + w] = false;
+        for e in &mut self.ways[base..base + self.cfg.ways] {
+            if e.valid && e.tag == line {
+                e.valid = false;
             }
         }
     }
 
     fn touch(&mut self, base: usize, way: usize) {
-        let old = self.lru[base + way];
+        let old = self.ways[base + way].lru;
         for w in 0..self.cfg.ways {
-            if self.lru[base + w] < old {
-                self.lru[base + w] += 1;
+            let e = &mut self.ways[base + w];
+            if e.lru < old {
+                e.lru += 1;
             }
         }
-        self.lru[base + way] = 0;
+        self.ways[base + way].lru = 0;
     }
 
     #[inline]
@@ -307,5 +334,17 @@ mod tests {
     #[should_panic]
     fn rejects_invalid_geometry() {
         let _ = Cache::new(CacheConfig { size_bytes: 100, line_bytes: 32, ways: 2, banks: 1 });
+    }
+
+    #[test]
+    fn rejects_ways_beyond_u8_lru_ranks() {
+        // 512 ways would silently wrap the u8 per-way LRU ranks; the
+        // validator must reject it rather than corrupt replacement order.
+        let cfg = CacheConfig { size_bytes: 1 << 20, line_bytes: 32, ways: 512, banks: 1 };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("ways = 512"), "unclear error: {err}");
+        // High-but-representable associativity still validates.
+        let ok = CacheConfig { size_bytes: 1 << 13, line_bytes: 32, ways: 128, banks: 1 };
+        ok.validate().unwrap();
     }
 }

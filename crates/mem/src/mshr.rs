@@ -6,6 +6,10 @@ pub struct MshrFile {
     /// (line address, fill-completion cycle) for each outstanding miss.
     entries: Vec<(u64, u64)>,
     capacity: usize,
+    /// Earliest outstanding fill completion (`u64::MAX` when empty): the
+    /// per-access expiry sweep — which runs on *every* load and ifetch —
+    /// is skipped entirely while nothing can have completed yet.
+    next_expiry: u64,
     /// Coalesced (secondary) misses observed.
     coalesced: u64,
     /// Allocation failures due to a full file.
@@ -15,12 +19,22 @@ pub struct MshrFile {
 impl MshrFile {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        MshrFile { entries: Vec::with_capacity(capacity), capacity, coalesced: 0, full_stalls: 0 }
+        MshrFile {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            next_expiry: u64::MAX,
+            coalesced: 0,
+            full_stalls: 0,
+        }
     }
 
     /// Drop entries whose fills have completed by `now`.
     pub fn expire(&mut self, now: u64) {
+        if self.next_expiry > now {
+            return; // nothing outstanding can have completed
+        }
         self.entries.retain(|&(_, ready)| ready > now);
+        self.next_expiry = self.entries.iter().map(|&(_, ready)| ready).min().unwrap_or(u64::MAX);
     }
 
     /// Is a miss for `line` already outstanding at `now`? Returns its
@@ -44,6 +58,7 @@ impl MshrFile {
             return false;
         }
         self.entries.push((line, ready));
+        self.next_expiry = self.next_expiry.min(ready);
         true
     }
 

@@ -1,0 +1,119 @@
+//! Microbenchmarks for the hot/cold [`InstPool`] layout.
+//!
+//! These make instruction-record layout regressions visible without a full
+//! simulator run: the `churn` group exercises alloc/release slot reuse
+//! (fetch/commit traffic), and the `sweep` group streams hot records the
+//! way the per-cycle stages do — commit's retire-check poll, writeback's
+//! flag reads, dispatch's pending-source countdowns. If `HotInst` grows or
+//! the halves get re-merged, the sweep numbers degrade long before a
+//! KIPS-level benchmark notices.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use hdsmt_isa::{ArchReg, Op, Pc, SeqNum, StaticInst, ThreadId};
+use hdsmt_pipeline::{ColdInst, HotInst, InstId, InstPool, InstState};
+use hdsmt_trace::DynInst;
+
+/// An M8-scale in-flight population: 4 threads × 256 ROB entries plus
+/// front-end slack, matching the processor's worst-case pool sizing.
+const POOL_CAP: usize = 4 * 256 + 128;
+
+fn record(seq: u64) -> (HotInst, ColdInst) {
+    let d = DynInst {
+        pc: Pc(0x1000 + 4 * seq),
+        sinst: StaticInst::alu(Op::IntAlu, ArchReg::int((seq % 31) as u8 + 1), [None, None]),
+        addr: 0,
+        ctrl: None,
+    };
+    (HotInst::new(ThreadId((seq % 4) as u8), 0, SeqNum(seq), Op::IntAlu, false), ColdInst::new(d))
+}
+
+/// A pool filled to its steady-state population.
+fn full_pool() -> (InstPool, Vec<InstId>) {
+    let mut pool = InstPool::new(POOL_CAP);
+    let ids = (0..POOL_CAP as u64)
+        .map(|s| {
+            let (h, c) = record(s);
+            pool.alloc(h, c)
+        })
+        .collect();
+    (pool, ids)
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("instpool_churn");
+    g.throughput(Throughput::Elements(1));
+    // Fetch/commit traffic at steady state: release the oldest slot, then
+    // allocate a fresh record into it (LIFO reuse, no slab growth).
+    g.bench_function("alloc_release_reuse", |b| {
+        let (mut pool, ids) = full_pool();
+        let mut next = ids[0];
+        let mut seq = POOL_CAP as u64;
+        b.iter(|| {
+            pool.release(next);
+            let (h, c) = record(seq);
+            seq += 1;
+            next = pool.alloc(h, c);
+            black_box(next)
+        })
+    });
+    g.finish();
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("instpool_sweep");
+    let (mut pool, ids) = full_pool();
+    for (i, &id) in ids.iter().enumerate() {
+        let h = pool.hot_mut(id);
+        h.set_state(if i % 3 == 0 { InstState::Done } else { InstState::Executing });
+        h.ready_cycle = (i % 7) as u64;
+    }
+    g.throughput(Throughput::Elements(ids.len() as u64));
+    // Commit-style poll: state + ready_cycle of every in-flight record.
+    // This is the access pattern the hot/cold split exists for — the whole
+    // population's hot halves fit in a fraction of the cache the unified
+    // records needed.
+    g.bench_function("hot_retire_check", |b| {
+        let now = 3u64;
+        b.iter(|| {
+            let mut retirable = 0u32;
+            for &id in &ids {
+                let h = pool.hot(id);
+                if h.state() == InstState::Done && h.ready_cycle <= now {
+                    retirable += 1;
+                }
+            }
+            black_box(retirable)
+        })
+    });
+    // Writeback/squash-style flag scan over the packed bitfield byte.
+    g.bench_function("hot_flag_scan", |b| {
+        b.iter(|| {
+            let mut live = 0u32;
+            for &id in &ids {
+                let h = pool.hot(id);
+                if !h.is_squashed() && !h.is_wrong_path() {
+                    live += 1;
+                }
+            }
+            black_box(live)
+        })
+    });
+    // The contrast case: a sweep that insists on the cold half too,
+    // modelling what every stage paid before the split.
+    g.bench_function("hot_plus_cold", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &id in &ids {
+                let h = pool.hot(id);
+                let c = pool.cold(id);
+                acc = acc.wrapping_add(h.seq.0).wrapping_add(c.d.addr);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_churn, bench_sweep);
+criterion_main!(benches);

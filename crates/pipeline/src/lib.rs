@@ -29,6 +29,25 @@
 //! cycle so writeback drains O(due) work. Stale cross-references are
 //! impossible by construction: the instruction pool gives every slot a
 //! generation, and consumers validate `(id, generation)` pairs on use.
+//!
+//! # Cache-conscious data layout
+//!
+//! The same partitioning argument the paper applies to SMT hardware is
+//! applied to the simulator's own records: in-flight instructions live in
+//! a **hot/cold split** [`InstPool`] ([`inst`] module). The 32-byte
+//! [`HotInst`] (packed state+flag byte, `seq`, thread/pipe, opcode, both
+//! destination mappings, generation, `ready_cycle`, `pending_srcs`) sits
+//! in its own line-tiled dense array the per-cycle stages stream; the
+//! one-line [`ColdInst`] (the fetched instruction, source mappings) is
+//! touched only at per-instruction events, and predictor snapshots sit
+//! in a third array that only conditional branches ever reach. The
+//! event-carrying structures stay lean to match: each queue's
+//! [`ReadyEntry`] set makes issue selection pool-free, while register-
+//! file [`Waiter`]s and wheel [`Completion`]s are bare `(id, generation)`
+//! pairs — wakeup delivery and writeback resolve everything else from
+//! the hot record. Stage-scoped accessors (`hot`/`hot_mut`/`cold`/
+//! `cold_mut`/`pair_mut`/`snap`) replace raw record access, so each
+//! stage's cache traffic is visible in the types it touches.
 
 pub mod buffer;
 pub mod fu;
@@ -41,9 +60,9 @@ pub mod wheel;
 
 pub use buffer::RingBuf;
 pub use fu::FuPool;
-pub use inst::{InFlight, InstId, InstPool, InstState};
+pub use inst::{ColdInst, HotInst, InstId, InstPool, InstState};
 pub use model::{MicroArch, PipeModel, M2, M4, M6, M8};
 pub use queue::{IssueQueue, ReadyEntry};
 pub use regfile::{PhysReg, RegFile, RenameMap, Waiter};
 pub use rob::Rob;
-pub use wheel::{CompletionWheel, WheelEntry};
+pub use wheel::{Completion, CompletionWheel, WheelEntry};

@@ -1,21 +1,25 @@
 //! Issue queues (IQ / FQ / LQ).
 //!
-//! A queue is an unordered membership set with a capacity bound: age
-//! priority is the issue stage's job (it sorts its candidates by sequence
-//! number), and load/store ordering walks the per-thread store lists, so
-//! nothing depends on queue iteration order any more. That makes removal
-//! O(1): a per-id position index plus `swap_remove`, instead of the old
-//! position scan + `Vec::remove` memmove per issued instruction.
-//! Capacities come from the pipeline model (Fig 2(a)).
+//! A queue is an unordered membership set with a capacity bound —
+//! load/store ordering walks the per-thread store lists, so nothing
+//! depends on queue iteration order. That makes membership removal O(1):
+//! a per-id position index plus `swap_remove`. Capacities come from the
+//! pipeline model (Fig 2(a)).
 //!
-//! Each queue also carries a **ready set**: the entries whose operands are
-//! all available, fed by register-file wakeups. The issue stage visits
-//! only the ready set instead of polling every entry's ready bits each
-//! cycle. The set is maintained eagerly — the scheduler removes an entry
-//! the moment its instruction issues or is squashed — so every entry is
-//! live, and it carries the immutable fields issue selection needs
-//! (sequence, thread, opcode): selecting non-load candidates touches no
-//! instruction-pool memory at all.
+//! Each queue also carries a **ready set**: the entries whose operands
+//! are all available, fed by register-file wakeups. The issue stage
+//! visits only the ready sets — a handful of entries — instead of
+//! polling every queue member each cycle, sorting its candidates on the
+//! pool-independent `(seq, thread)` age key. (The sets stay unordered on
+//! purpose: with the wakeup-fed population this small, a per-cycle sort
+//! of the genuine candidates is cheaper than keeping every insertion in
+//! age position.) The set is maintained eagerly — the scheduler removes
+//! an entry the moment its instruction issues or is squashed — so every
+//! entry is live, and each [`ReadyEntry`] is self-contained (sequence,
+//! thread, opcode, address): candidate selection touches no
+//! instruction-pool memory at all, which is what lets the scheduler's
+//! per-cycle paths run on the hot half of the instruction pool alone
+//! (see `inst`).
 
 use hdsmt_isa::Op;
 
@@ -283,6 +287,23 @@ mod tests {
         let mut seqs: Vec<u64> = q.ready_entries().iter().map(|e| e.seq).collect();
         seqs.sort_unstable();
         assert_eq!(seqs, [20, 30]);
+    }
+
+    #[test]
+    fn parked_entries_rejoin_the_ready_set_when_due() {
+        let mut q = IssueQueue::new(8);
+        for i in 0..3 {
+            q.push(InstId(i));
+        }
+        q.mark_ready(re(0, 10));
+        q.park_at(7, re(1, 20));
+        assert_eq!(q.ready_entries().len(), 1, "parked entries are not ready yet");
+        q.unpark_due(6);
+        assert_eq!(q.ready_entries().len(), 1, "not due yet");
+        q.unpark_due(7);
+        let mut seqs: Vec<u64> = q.ready_entries().iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, [10, 20]);
     }
 
     #[test]

@@ -22,6 +22,10 @@ pub struct PhysReg(pub u16);
 
 /// A consumer waiting on a register, recorded with the generation of its
 /// pool slot so wakeups for since-recycled instructions can be discarded.
+/// Deliberately just eight bytes: everything delivery needs beyond the
+/// identity (sequence, thread, opcode, pending count) sits in the
+/// consumer's *hot* pool record, so subscription stays cheap and the
+/// wakeup drain never opens a cold record for non-memory instructions.
 #[derive(Clone, Copy, Debug)]
 pub struct Waiter {
     pub id: InstId,

@@ -10,10 +10,15 @@
 //! The wheel is two-tier: a small near ring (cache-resident — the vast
 //! majority of completions are ALU/FP/L1/L2 latencies within a few dozen
 //! cycles) and an unbounded far list for memory misses, swept into the
-//! ring once per lap. Entries are `(cycle, id, generation)`. Squashed
-//! instructions are *not* removed from their bucket; the processor
-//! releases their pool slot (bumping the generation) and the stale entry
-//! is discarded when its bucket comes up.
+//! ring once per lap.
+//!
+//! Entries are deliberately just `(cycle, id, generation)` — twelve
+//! bytes of payload: everything writeback needs beyond the identity
+//! (state, destination register, opcode classification) sits in the
+//! instruction's *hot* pool record, so the drain runs without opening a
+//! single cold record. Squashed instructions are *not* removed from their
+//! bucket; the processor releases their pool slot (bumping the generation)
+//! and the stale entry is discarded when its bucket comes up.
 
 use crate::inst::InstId;
 
@@ -21,13 +26,19 @@ use crate::inst::InstId;
 const NEAR_SLOTS: usize = 64;
 
 /// One scheduled completion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Completion {
+    pub id: InstId,
+    /// Pool generation at scheduling time; mismatch marks a stale entry.
+    pub gen: u32,
+}
+
+/// One wheel slot: a completion plus its absolute due cycle.
 #[derive(Clone, Copy, Debug)]
 pub struct WheelEntry {
     /// Absolute cycle the instruction completes.
     pub at: u64,
-    pub id: InstId,
-    /// Pool generation at scheduling time; mismatch marks a stale entry.
-    pub gen: u32,
+    pub c: Completion,
 }
 
 /// Time-indexed completion buckets (near ring + far overflow).
@@ -65,9 +76,9 @@ impl CompletionWheel {
     }
 
     /// File a completion for cycle `at` (strictly in the future of `now`).
-    pub fn schedule(&mut self, at: u64, id: InstId, gen: u32, now: u64) {
+    pub fn schedule(&mut self, at: u64, c: Completion, now: u64) {
         debug_assert!(at > now, "completions are always at least one cycle out");
-        let e = WheelEntry { at, id, gen };
+        let e = WheelEntry { at, c };
         if ((at - now) as usize) < NEAR_SLOTS {
             self.near[Self::index(at)].push(e);
         } else {
@@ -78,7 +89,7 @@ impl CompletionWheel {
 
     /// Remove and append to `out` every completion due exactly at `now`.
     /// Must be called every cycle (buckets hold one lap only).
-    pub fn drain_due(&mut self, now: u64, out: &mut Vec<(InstId, u32)>) {
+    pub fn drain_due(&mut self, now: u64, out: &mut Vec<Completion>) {
         // Lap boundary: pull the next lap's far entries into the ring.
         if (now as usize) & (NEAR_SLOTS - 1) == 0 && !self.far.is_empty() {
             let near = &mut self.near;
@@ -94,7 +105,7 @@ impl CompletionWheel {
         let bucket = &mut self.near[Self::index(now)];
         debug_assert!(bucket.iter().all(|e| e.at == now), "bucket holds another lap's entry");
         self.scheduled -= bucket.len();
-        out.extend(bucket.drain(..).map(|e| (e.id, e.gen)));
+        out.extend(bucket.drain(..).map(|e| e.c));
     }
 
     /// Entries currently filed (stale ones included).
@@ -118,20 +129,24 @@ impl CompletionWheel {
 mod tests {
     use super::*;
 
+    fn c(id: u32, gen: u32) -> Completion {
+        Completion { id: InstId(id), gen }
+    }
+
     #[test]
     fn drains_exactly_the_due_cycle() {
         let mut w = CompletionWheel::new();
-        w.schedule(3, InstId(1), 0, 0);
-        w.schedule(5, InstId(2), 0, 0);
-        w.schedule(3, InstId(3), 0, 0);
+        w.schedule(3, c(1, 0), 0);
+        w.schedule(5, c(2, 0), 0);
+        w.schedule(3, c(3, 0), 0);
         assert_eq!(w.len(), 3);
         let mut out = Vec::new();
         for cycle in 1..=5 {
             out.clear();
             w.drain_due(cycle, &mut out);
             match cycle {
-                3 => assert_eq!(out, vec![(InstId(1), 0), (InstId(3), 0)]),
-                5 => assert_eq!(out, vec![(InstId(2), 0)]),
+                3 => assert_eq!(out, vec![c(1, 0), c(3, 0)]),
+                5 => assert_eq!(out, vec![c(2, 0)]),
                 _ => assert!(out.is_empty(), "cycle {cycle}"),
             }
         }
@@ -141,19 +156,19 @@ mod tests {
     #[test]
     fn far_completions_survive_the_ring_horizon() {
         let mut w = CompletionWheel::new();
-        w.schedule(2, InstId(1), 0, 0);
+        w.schedule(2, c(1, 0), 0);
         // 1000 cycles out: far beyond the near ring — rides the far list.
-        w.schedule(1000, InstId(2), 7, 0);
+        w.schedule(1000, c(2, 7), 0);
         let mut out = Vec::new();
         w.drain_due(2, &mut out);
-        assert_eq!(out, vec![(InstId(1), 0)]);
+        assert_eq!(out, vec![c(1, 0)]);
         out.clear();
         for cycle in 3..1000 {
             w.drain_due(cycle, &mut out);
             assert!(out.is_empty(), "cycle {cycle}");
         }
         w.drain_due(1000, &mut out);
-        assert_eq!(out, vec![(InstId(2), 7)]);
+        assert_eq!(out, vec![c(2, 7)]);
         assert!(w.is_empty());
     }
 
@@ -162,10 +177,10 @@ mod tests {
         // The wheel itself never validates generations — it reports what
         // was filed; the drainer filters. This pins that contract.
         let mut w = CompletionWheel::new();
-        w.schedule(4, InstId(9), 3, 1);
+        w.schedule(4, c(9, 3), 1);
         assert_eq!(w.iter().count(), 1);
         let mut out = Vec::new();
         w.drain_due(4, &mut out);
-        assert_eq!(out, vec![(InstId(9), 3)]);
+        assert_eq!(out, vec![c(9, 3)]);
     }
 }

@@ -88,6 +88,19 @@ const MATRIX: &[Cell] = &[
         run_len: 4_000,
     },
     Cell {
+        // Wrong-path/squash-heavy cell: the four most misprediction-prone
+        // profiles (br_noise_frac 0.11–0.13) under FLUSH, so both recovery
+        // mechanisms — misprediction walk-back and flush-past-a-load — run
+        // constantly. Pins the squash path, the riskiest consumer of the
+        // hot/cold instruction-pool layout.
+        name: "m8_branchy4_flush",
+        arch: "M8",
+        benchmarks: &["vpr", "perlbmk", "parser", "twolf"],
+        mapping: &[0, 0, 0, 0],
+        policy: Some(FetchPolicy::Flush),
+        run_len: 4_000,
+    },
+    Cell {
         name: "hd_1m6_2m4_2m2_six_thread",
         arch: "1M6+2M4+2M2",
         benchmarks: &["gzip", "eon", "gcc", "vpr", "mcf", "twolf"],
