@@ -14,7 +14,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use hdsmt_campaign::{engine, export, CampaignSpec, Catalog, JobRunner, ResultCache};
+use hdsmt_campaign::{engine, export, CampaignSpec, JobRunner, ResultCache};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -93,10 +93,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
         return Err(usage());
     };
     let opts = parse_options(rest)?;
-    let catalog = Catalog::paper();
     match cmd.as_str() {
         "run" => {
             let (spec, cache) = load(&opts)?;
+            let catalog = engine::catalog_for(&spec);
             let runner = JobRunner::new(spec.workers.unwrap_or(0) as usize, Some(cache.clone()));
             eprintln!(
                 "campaign `{}`: {} workers, cache at {}",
@@ -120,6 +120,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         }
         "status" => {
             let (spec, cache) = load(&opts)?;
+            let catalog = engine::catalog_for(&spec);
             let st = engine::status(&spec, &catalog, &cache).map_err(|e| e.to_string())?;
             println!("campaign `{}` at cache {}", spec.display_name(), cache.dir().display());
             println!("cells:                {}", st.cells);
@@ -136,6 +137,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         }
         "export" => {
             let (spec, cache) = load(&opts)?;
+            let catalog = engine::catalog_for(&spec);
             let runner = JobRunner::new(spec.workers.unwrap_or(0) as usize, Some(cache));
             let result =
                 engine::run_campaign_with(&spec, &catalog, &runner).map_err(|e| e.to_string())?;

@@ -48,6 +48,28 @@ pub const PAPER_WORKLOADS: &[(&str, &[&str], &str)] = &[
     ("6W4", &["vpr", "mcf", "crafty", "perlbmk", "vortex", "twolf"], "MIX"),
 ];
 
+/// Program-backed workloads: pure RV64I cells (`RV`) and mixed
+/// synthetic+real cells (`XRV`). Opt-in via a spec's
+/// `use_rv_workloads = true` (so existing specs using `all` / `2T`
+/// selectors keep their exact matrices and cache keys).
+pub const RV_WORKLOADS: &[(&str, &[&str], &str)] = &[
+    ("RV2", &["rv:matmul", "rv:sort"], "RV"),
+    ("RV4", &["rv:matmul", "rv:sort", "rv:prime", "rv:fib"], "RV"),
+    ("XRV2", &["gzip", "rv:matmul"], "XRV"),
+    ("XRV4", &["mcf", "rv:sort", "gzip", "rv:prime"], "XRV"),
+];
+
+fn entries_of(table: &[(&str, &[&str], &str)]) -> Vec<CatalogEntry> {
+    table
+        .iter()
+        .map(|(id, benchmarks, class)| CatalogEntry {
+            id: id.to_string(),
+            benchmarks: benchmarks.iter().map(|b| b.to_string()).collect(),
+            class: Some(class.to_string()),
+        })
+        .collect()
+}
+
 /// A resolvable set of named workloads.
 #[derive(Clone, Debug, Default)]
 pub struct Catalog {
@@ -61,16 +83,14 @@ impl Catalog {
 
     /// The built-in paper catalog (Tables 2–3).
     pub fn paper() -> Self {
-        Catalog {
-            entries: PAPER_WORKLOADS
-                .iter()
-                .map(|(id, benchmarks, class)| CatalogEntry {
-                    id: id.to_string(),
-                    benchmarks: benchmarks.iter().map(|b| b.to_string()).collect(),
-                    class: Some(class.to_string()),
-                })
-                .collect(),
-        }
+        Catalog { entries: entries_of(PAPER_WORKLOADS) }
+    }
+
+    /// The paper catalog plus the program-backed RV64I workloads.
+    pub fn paper_with_rv() -> Self {
+        let mut c = Catalog::paper();
+        c.entries.extend(entries_of(RV_WORKLOADS));
+        c
     }
 
     pub fn with_entry(mut self, entry: CatalogEntry) -> Self {
@@ -99,7 +119,7 @@ impl Catalog {
         if upper == "ALL" {
             return self.entries.iter().collect();
         }
-        if let Some(class) = ["ILP", "MEM", "MIX"].iter().find(|c| **c == upper) {
+        if let Some(class) = ["ILP", "MEM", "MIX", "RV", "XRV"].iter().find(|c| **c == upper) {
             return self.entries.iter().filter(|e| e.class.as_deref() == Some(*class)).collect();
         }
         if let Some(count) = upper.strip_suffix('T').and_then(|n| n.parse::<usize>().ok()) {
@@ -135,5 +155,26 @@ mod tests {
                 assert!(hdsmt_trace::by_name(b).is_some(), "{}: unknown benchmark {b}", e.id);
             }
         }
+    }
+
+    #[test]
+    fn rv_catalog_extends_without_disturbing_paper_selectors() {
+        let c = Catalog::paper_with_rv();
+        assert_eq!(c.entries().len(), 22 + RV_WORKLOADS.len());
+        // Paper selectors keep their exact meaning…
+        assert_eq!(c.resolve("MEM").len(), 5);
+        // …while the new entries resolve by id and class.
+        assert_eq!(c.resolve("RV").len(), 2);
+        assert_eq!(c.resolve("XRV").len(), 2);
+        assert_eq!(c.resolve("XRV2").len(), 1);
+        // Every rv benchmark name resolves through either front-end.
+        for e in c.entries() {
+            for b in &e.benchmarks {
+                assert!(hdsmt_core::ThreadSpec::exists(b), "{}: unknown benchmark {b}", e.id);
+            }
+        }
+        // The default catalog stays rv-free: existing specs' matrices
+        // (and hence cache keys) are untouched.
+        assert!(Catalog::paper().get("RV2").is_none());
     }
 }

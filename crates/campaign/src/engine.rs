@@ -77,13 +77,40 @@ impl CampaignResult {
 /// Per-profile-length memoized miss profiles: `heur` mappings are pure
 /// functions of (benchmarks, profile), and profiling all 12 benchmarks is
 /// ~100× one cell's simulation time — share it across cells and calls.
-fn miss_profile(profile_insts: u64) -> Arc<MissProfile> {
-    static PROFILES: OnceLock<Mutex<HashMap<u64, Arc<MissProfile>>>> = OnceLock::new();
+/// The bundled `rv:*` programs are profiled only when a campaign's heur
+/// cells actually reference one (keyed separately so an rv-free campaign
+/// never pays the emulation cost).
+fn miss_profile(profile_insts: u64, with_rv: bool) -> Arc<MissProfile> {
+    /// Memo key: (profile length, rv programs included).
+    type ProfileMemo = HashMap<(u64, bool), Arc<MissProfile>>;
+    static PROFILES: OnceLock<Mutex<ProfileMemo>> = OnceLock::new();
     let lock = PROFILES.get_or_init(|| Mutex::new(HashMap::new()));
     let mut map = lock.lock().unwrap();
-    map.entry(profile_insts)
+    if let Some(hit) = map.get(&(profile_insts, with_rv)) {
+        return hit.clone();
+    }
+    // The rv-extended profile layers on top of the synthetic base, so a
+    // process running both rv and rv-free campaigns profiles the twelve
+    // synthetic models once, not once per variant.
+    let base = map
+        .entry((profile_insts, false))
         .or_insert_with(|| Arc::new(MissProfile::build_with_len(profile_insts)))
-        .clone()
+        .clone();
+    if !with_rv {
+        return base;
+    }
+    let extended = Arc::new((*base).clone().with_rv_programs(profile_insts));
+    map.insert((profile_insts, true), extended.clone());
+    extended
+}
+
+/// Do any heur cells contain an `rv:*` thread (whose ranking needs the
+/// rv programs profiled)?
+fn heur_needs_rv(cells: &[Cell]) -> bool {
+    cells.iter().any(|c| {
+        c.policy == Policy::Heur
+            && c.workload.benchmarks.iter().any(|b| b.starts_with(hdsmt_core::RV_BENCH_PREFIX))
+    })
 }
 
 fn static_mapping(cell: &Cell, arch: &MicroArch, profile: Option<&MissProfile>) -> Option<Vec<u8>> {
@@ -119,6 +146,16 @@ pub fn best_worst(mappings: &[Vec<u8>], scores: &[f64]) -> (usize, usize) {
     (bi, wi)
 }
 
+/// The built-in catalog a spec asks for: the paper's Tables 2–3, plus
+/// the program-backed RV64I workloads when `use_rv_workloads = true`.
+pub fn catalog_for(spec: &CampaignSpec) -> Catalog {
+    if spec.use_rv_workloads() {
+        Catalog::paper_with_rv()
+    } else {
+        Catalog::paper()
+    }
+}
+
 /// Open the spec's cache (default directory `.hdsmt-cache`).
 pub fn open_cache(spec: &CampaignSpec) -> Result<ResultCache, CampaignError> {
     let dir = spec.cache_dir.clone().unwrap_or_else(|| ".hdsmt-cache".to_string());
@@ -151,7 +188,7 @@ pub fn run_campaign_with(
 
     let needs_profile = cells.iter().any(|c| c.policy == Policy::Heur);
     let profile = if needs_profile {
-        Some(miss_profile(spec.profile_insts.unwrap_or(300_000)))
+        Some(miss_profile(spec.profile_insts.unwrap_or(300_000), heur_needs_rv(&cells)))
     } else {
         None
     };
@@ -285,7 +322,7 @@ pub fn status(
     // simulating a single instruction.
     let needs_profile = cells.iter().any(|c| c.policy == Policy::Heur) && !cache.is_empty();
     let profile = if needs_profile {
-        Some(miss_profile(spec.profile_insts.unwrap_or(300_000)))
+        Some(miss_profile(spec.profile_insts.unwrap_or(300_000), heur_needs_rv(&cells)))
     } else {
         None
     };

@@ -91,7 +91,8 @@ impl JobSpec {
             )));
         }
         for t in &self.threads {
-            if hdsmt_trace::by_name(&t.bench).is_none() {
+            // Either front-end: synthetic models or `rv:*` programs.
+            if !ThreadSpec::exists(&t.bench) {
                 return Err(CampaignError(format!("unknown benchmark `{}`", t.bench)));
             }
         }
@@ -192,7 +193,17 @@ impl JobRunner {
                         return Ok(hit);
                     }
                 }
-                let result = job.run_uncached()?;
+                // A panicking simulation (a model bug, or a structural
+                // impossibility `check` cannot see, like a context-count
+                // violation) fails *this job* — the sibling jobs finish
+                // and the campaign reports one clean error instead of a
+                // poisoned-lock abort.
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run_uncached()))
+                        .unwrap_or_else(|p| {
+                        let msg = crate::sched::payload_msg(p.as_ref());
+                        Err(CampaignError(format!("job `{descriptor}` panicked: {msg}")))
+                    })?;
                 if let Some(cache) = &self.cache {
                     cache
                         .put(&key, &descriptor, &result)

@@ -130,7 +130,7 @@ pub fn expand(spec: &CampaignSpec, catalog: &Catalog) -> Result<Vec<Cell>, Campa
     let mut catalog = catalog.clone();
     for extra in spec.extra_workloads.clone().unwrap_or_default() {
         for b in &extra.benchmarks {
-            if hdsmt_trace::by_name(b).is_none() {
+            if !hdsmt_core::ThreadSpec::exists(b) {
                 return Err(CampaignError(format!(
                     "extra workload `{}`: unknown benchmark `{b}`",
                     extra.id
@@ -220,6 +220,7 @@ mod tests {
             cache_dir: None,
             profile_insts: None,
             extra_workloads: None,
+            use_rv_workloads: None,
         }
     }
 

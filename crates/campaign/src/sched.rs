@@ -7,9 +7,37 @@
 //! condition. Results land at their input index, so output order is
 //! independent of scheduling — determinism is preserved no matter how the
 //! steal race plays out.
+//!
+//! A **panicking job** is contained, not amplified: the panic is caught
+//! at the job boundary, the remaining jobs still run, and the parent
+//! re-raises the *original* payload (of the lowest-indexed panicking
+//! job) once the batch drains. Without this, the unwinding worker
+//! poisoned shared mutexes and every sibling worker died on a confusing
+//! `PoisonError` far from the actual fault; lock acquisition is also
+//! poison-tolerant for the same reason.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Poison-tolerant lock: a mutex poisoned by some other thread's panic
+/// still guards plain data we can safely read (job indices, result
+/// slots).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Human-readable panic payload (the `&str`/`String` forms `panic!`
+/// produces).
+pub(crate) fn payload_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Default worker count: leave a couple of cores for the OS.
 pub fn default_workers() -> usize {
@@ -38,22 +66,25 @@ where
     let shards: Vec<Mutex<VecDeque<usize>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
     for j in 0..items.len() {
-        shards[j % workers].lock().unwrap().push_back(j);
+        lock(&shards[j % workers]).push_back(j);
     }
     let results: Vec<Mutex<Option<O>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    // (job index, payload) of every panicking job.
+    let panics: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         for w in 0..workers {
             let shards = &shards;
             let results = &results;
+            let panics = &panics;
             let f = &f;
             scope.spawn(move || loop {
                 // Own shard first (front), then steal (back) in ring order.
-                let mut job = shards[w].lock().unwrap().pop_front();
+                let mut job = lock(&shards[w]).pop_front();
                 if job.is_none() {
                     for v in 1..workers {
                         let victim = (w + v) % workers;
-                        job = shards[victim].lock().unwrap().pop_back();
+                        job = lock(&shards[victim]).pop_back();
                         if job.is_some() {
                             break;
                         }
@@ -61,8 +92,13 @@ where
                 }
                 match job {
                     Some(j) => {
-                        let out = f(j, &items[j]);
-                        *results[j].lock().unwrap() = Some(out);
+                        // Contain a panicking job at its own boundary so
+                        // the worker (and its siblings) keep draining the
+                        // batch.
+                        match catch_unwind(AssertUnwindSafe(|| f(j, &items[j]))) {
+                            Ok(out) => *lock(&results[j]) = Some(out),
+                            Err(payload) => lock(panics).push((j, payload)),
+                        }
                     }
                     // Static job set: all deques empty means no work will
                     // ever appear again.
@@ -71,6 +107,14 @@ where
             });
         }
     });
+
+    // Deterministic re-raise: the lowest-indexed panicking job wins,
+    // regardless of which worker hit it first.
+    let mut panics = panics.into_inner().unwrap_or_else(PoisonError::into_inner);
+    if let Some((j, payload)) = panics.drain(..).min_by_key(|&(j, _)| j) {
+        eprintln!("parallel_map: job {j} panicked: {}", payload_msg(payload.as_ref()));
+        std::panic::resume_unwind(payload);
+    }
 
     results.into_iter().map(|slot| slot.into_inner().unwrap().expect("job completed")).collect()
 }
@@ -119,6 +163,46 @@ mod tests {
         });
         assert_eq!(count.load(Ordering::Relaxed), 1000);
         assert_eq!(out, items);
+    }
+
+    #[test]
+    fn panicking_job_does_not_poison_siblings() {
+        // One job panics; every other job must still run, and the parent
+        // must re-raise the *original* payload — not a PoisonError from
+        // a shard or result mutex.
+        let done = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map(&items, 8, |&x| {
+                if x == 13 {
+                    panic!("job 13 exploded");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+        }));
+        let payload = caught.expect_err("the batch must re-raise the job panic");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("<not a str>");
+        assert_eq!(msg, "job 13 exploded", "original payload, not a poisoned-lock error");
+        assert_eq!(done.load(Ordering::Relaxed), 63, "sibling jobs must all complete");
+    }
+
+    #[test]
+    fn lowest_indexed_panic_wins_deterministically() {
+        for _ in 0..4 {
+            let items: Vec<usize> = (0..32).collect();
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                parallel_map(&items, 8, |&x| {
+                    if x == 7 || x == 23 {
+                        panic!("job {x} exploded");
+                    }
+                    x
+                })
+            }));
+            let payload = caught.unwrap_err();
+            let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert_eq!(msg, "job 7 exploded");
+        }
     }
 
     #[test]

@@ -72,6 +72,10 @@ pub struct CampaignSpec {
     pub profile_insts: Option<u64>,
     /// Workloads defined inline, usable from `workloads` by id.
     pub extra_workloads: Option<Vec<ExtraWorkload>>,
+    /// Register the program-backed RV64I workloads (`RV2`, `XRV2`, …) in
+    /// the catalog. Opt-in so specs using broad selectors (`all`, `2T`)
+    /// keep their existing matrices and cache keys.
+    pub use_rv_workloads: Option<bool>,
 }
 
 impl CampaignSpec {
@@ -89,6 +93,11 @@ impl CampaignSpec {
 
     pub fn policies(&self) -> Vec<String> {
         self.policies.clone().unwrap_or_else(|| vec!["heur".to_string()])
+    }
+
+    /// Should the catalog include the program-backed RV64I workloads?
+    pub fn use_rv_workloads(&self) -> bool {
+        self.use_rv_workloads.unwrap_or(false)
     }
 
     /// Parse a spec from TOML or JSON text (format auto-detected: JSON

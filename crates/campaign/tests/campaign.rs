@@ -30,6 +30,7 @@ fn tiny_spec(archs: &[&str], workloads: &[&str], policies: &[&str], cache: &Path
         cache_dir: Some(cache.to_string_lossy().into_owned()),
         profile_insts: Some(15_000),
         extra_workloads: None,
+        use_rv_workloads: None,
     }
 }
 
@@ -132,6 +133,69 @@ fn oracle_policies_share_the_search_phase_and_order_correctly() {
     // And a re-run is fully cached.
     let r2 = engine::run_campaign(&spec, &catalog).unwrap();
     assert_eq!(r2.report.simulated, 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rv_program_workloads_sweep_mixed_cells_through_the_cache() {
+    // Acceptance: a campaign mixing RV64I-program threads with synthetic
+    // ones — catalog entries (RV2/XRV2) plus an inline mixed extra —
+    // completes through the cache on both machine families, and a re-run
+    // is 100% hits.
+    let dir = tmpdir("rvmix");
+    let mut spec = tiny_spec(&["M8", "2M4+2M2"], &["RV2", "XRV2", "fibmix"], &["heur"], &dir);
+    spec.use_rv_workloads = Some(true);
+    spec.extra_workloads = Some(vec![hdsmt_campaign::ExtraWorkload {
+        id: "fibmix".into(),
+        benchmarks: vec!["rv:fib".into(), "twolf".into()],
+        class: Some("XRV".into()),
+    }]);
+    let catalog = engine::catalog_for(&spec);
+    assert!(catalog.get("RV2").is_some(), "rv workloads must register in the catalog");
+
+    let r = engine::run_campaign(&spec, &catalog).unwrap();
+    assert_eq!(r.cells.len(), 6);
+    for c in &r.cells {
+        assert!(c.ipc > 0.1, "{}/{}: ipc {}", c.arch, c.workload, c.ipc);
+        assert!(c.retired > 0);
+    }
+    // The mixed cells genuinely interleave front-ends on one machine.
+    let xrv = r.cells.iter().find(|c| c.workload == "XRV2").unwrap();
+    assert_eq!(xrv.threads, 2);
+
+    let r2 = engine::run_campaign(&spec, &catalog).unwrap();
+    assert_eq!(r2.report.simulated, 0, "second sweep must be fully cached");
+    assert_eq!(r2.report.cache_hits, r2.report.total);
+
+    // Spec-reader path: the same opt-in round-trips through TOML.
+    let toml_spec = CampaignSpec::parse(
+        "archs = [\"M8\"]\nworkloads = [\"XRV2\"]\nuse_rv_workloads = true\n\
+         [budget]\nmeasure_insts = 1000\nwarmup_insts = 400\nsearch_insts = 300\n",
+    )
+    .unwrap();
+    assert!(toml_spec.use_rv_workloads());
+    assert!(engine::catalog_for(&toml_spec).get("XRV2").is_some());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn one_panicking_job_fails_cleanly_without_aborting_the_batch() {
+    // Mapping [2, 2] on 2M4+2M2 passes the cheap pre-flight `check` (the
+    // pipeline index is valid) but panics in the simulator: the M2 has a
+    // single context. The batch must return one clean error naming the
+    // panic — not abort the process on a poisoned lock — and the healthy
+    // sibling jobs must land in the cache.
+    let dir = tmpdir("panicjob");
+    let cache = ResultCache::open(&dir).unwrap();
+    let runner = JobRunner::new(4, Some(cache.clone()));
+    let mut bad = job();
+    bad.mapping = vec![2, 2];
+    assert!(bad.check().is_ok(), "the panic must come from the simulator, not pre-flight");
+    let batch = vec![job(), bad, job()];
+    let err = runner.run_all(&batch).expect_err("the bad job must surface as an error");
+    assert!(err.0.contains("panicked"), "{err}");
+    assert!(err.0.contains("contexts"), "the original panic message survives: {err}");
+    assert_eq!(cache.len(), 1, "the healthy sibling job still completed and cached");
     let _ = fs::remove_dir_all(&dir);
 }
 

@@ -28,7 +28,7 @@ fn probe(name: &'static str, weights: [f32; 3], stride_frac: f32, stack_frac: f3
         indirect_frac: 0.01,
     };
     let prog = Arc::new(hdsmt_trace::synthesize(&p, 42));
-    let spec = hdsmt_core::ThreadSpec { profile: Box::leak(Box::new(p)), program: prog, seed: 1 };
+    let spec = hdsmt_core::ThreadSpec::synthetic(Box::leak(Box::new(p)), prog, 1);
     profile_benchmark(&spec, 500_000)
 }
 

@@ -6,7 +6,8 @@ use hdsmt_bpred::DirPredictorKind;
 use hdsmt_isa::Program;
 use hdsmt_mem::MemConfig;
 use hdsmt_pipeline::MicroArch;
-use hdsmt_trace::BenchProfile;
+use hdsmt_riscv::{RvImage, RvTraceSource};
+use hdsmt_trace::{BenchProfile, TraceSource, TraceStream};
 
 /// Instruction-fetch policy (§4).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
@@ -26,25 +27,107 @@ pub enum FetchPolicy {
     RoundRobin,
 }
 
-/// One software thread of the workload: which benchmark model it runs.
+/// Which front-end produces a thread's dynamic instruction stream.
+#[derive(Clone)]
+pub enum WorkloadKind {
+    /// A statistically synthesized SPECint2000 benchmark model.
+    Synthetic {
+        profile: &'static BenchProfile,
+        /// The benchmark's synthetic binary (shared across simulations).
+        program: Arc<Program>,
+    },
+    /// A real RV64I(+M) program executed architecturally.
+    Riscv { image: Arc<RvImage> },
+}
+
+/// Benchmark-name prefix selecting the RV64I front-end (`rv:matmul`).
+pub const RV_BENCH_PREFIX: &str = "rv:";
+
+/// One software thread of the workload: which program it runs (by either
+/// front-end) and its stream seed.
 #[derive(Clone)]
 pub struct ThreadSpec {
-    pub profile: &'static BenchProfile,
-    /// The benchmark's synthetic binary (shared across simulations).
-    pub program: Arc<Program>,
-    /// Stream seed (outcome/address draws).
+    /// Benchmark name (`gzip`, `rv:matmul`, …) — labels statistics rows.
+    pub name: String,
+    pub kind: WorkloadKind,
+    /// Stream seed (synthetic outcome/address draws; wrong-path draws for
+    /// the RV64I front-end, whose correct path is seed-independent).
     pub seed: u64,
 }
 
 impl ThreadSpec {
     /// Build the spec for `benchmark`, synthesizing (or reusing) its
-    /// program deterministically.
+    /// program deterministically. Names starting with
+    /// [`RV_BENCH_PREFIX`] resolve to bundled RV64I programs.
+    ///
+    /// # Panics
+    /// Panics on an unknown benchmark name; use
+    /// [`Self::try_for_benchmark`] to validate untrusted input.
     pub fn for_benchmark(benchmark: &str, seed: u64) -> Self {
-        let profile = hdsmt_trace::by_name(benchmark)
-            .unwrap_or_else(|| panic!("unknown benchmark {benchmark}"));
-        let program =
-            Arc::new(hdsmt_trace::synthesize(profile, hdsmt_trace::spec::program_seed(benchmark)));
-        ThreadSpec { profile, program, seed }
+        Self::try_for_benchmark(benchmark, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::for_benchmark`].
+    pub fn try_for_benchmark(benchmark: &str, seed: u64) -> Result<Self, String> {
+        let kind = if let Some(prog) = benchmark.strip_prefix(RV_BENCH_PREFIX) {
+            let image = hdsmt_riscv::by_name(prog)
+                .ok_or_else(|| format!("unknown RISC-V program `{benchmark}`"))?;
+            WorkloadKind::Riscv { image }
+        } else {
+            let profile = hdsmt_trace::by_name(benchmark)
+                .ok_or_else(|| format!("unknown benchmark `{benchmark}`"))?;
+            let program = Arc::new(hdsmt_trace::synthesize(
+                profile,
+                hdsmt_trace::spec::program_seed(benchmark),
+            ));
+            WorkloadKind::Synthetic { profile, program }
+        };
+        Ok(ThreadSpec { name: benchmark.to_string(), kind, seed })
+    }
+
+    /// A spec over an explicit synthetic profile + program (calibration
+    /// probes and tests).
+    pub fn synthetic(profile: &'static BenchProfile, program: Arc<Program>, seed: u64) -> Self {
+        ThreadSpec {
+            name: profile.name.to_string(),
+            kind: WorkloadKind::Synthetic { profile, program },
+            seed,
+        }
+    }
+
+    /// Does `benchmark` name a known workload (either front-end)?
+    pub fn exists(benchmark: &str) -> bool {
+        match benchmark.strip_prefix(RV_BENCH_PREFIX) {
+            Some(prog) => hdsmt_riscv::by_name(prog).is_some(),
+            None => hdsmt_trace::by_name(benchmark).is_some(),
+        }
+    }
+
+    /// The static program image (the fetch engine's dictionary).
+    pub fn program(&self) -> &Arc<Program> {
+        match &self.kind {
+            WorkloadKind::Synthetic { program, .. } => program,
+            WorkloadKind::Riscv { image } => &image.program,
+        }
+    }
+
+    /// Instantiate this thread's dynamic-instruction source with the
+    /// spec's own seed.
+    pub fn build_source(&self, asid: u8) -> Box<dyn TraceSource> {
+        self.build_source_seeded(self.seed, asid)
+    }
+
+    /// Instantiate the source with an explicit seed (profiling runs use a
+    /// fixed profile seed instead of the simulation seed).
+    pub fn build_source_seeded(&self, seed: u64, asid: u8) -> Box<dyn TraceSource> {
+        match &self.kind {
+            WorkloadKind::Synthetic { profile, program } => {
+                Box::new(TraceStream::new(program.clone(), profile, seed, asid))
+            }
+            WorkloadKind::Riscv { image } => {
+                Box::new(RvTraceSource::new(image.clone(), seed, asid))
+            }
+        }
     }
 }
 
@@ -153,8 +236,36 @@ mod tests {
     fn thread_spec_reuses_the_fixed_binary() {
         let a = ThreadSpec::for_benchmark("gzip", 1);
         let b = ThreadSpec::for_benchmark("gzip", 2);
-        assert_eq!(a.program.len_insts(), b.program.len_insts());
-        assert_eq!(a.profile.name, "gzip");
+        assert_eq!(a.program().len_insts(), b.program().len_insts());
+        assert_eq!(a.name, "gzip");
+    }
+
+    #[test]
+    fn thread_spec_resolves_both_front_ends() {
+        let rv = ThreadSpec::for_benchmark("rv:matmul", 1);
+        assert_eq!(rv.name, "rv:matmul");
+        assert!(matches!(rv.kind, WorkloadKind::Riscv { .. }));
+        // Both images share the fixed binary across specs.
+        let rv2 = ThreadSpec::for_benchmark("rv:matmul", 2);
+        assert!(Arc::ptr_eq(rv.program(), rv2.program()));
+
+        assert!(ThreadSpec::exists("gzip"));
+        assert!(ThreadSpec::exists("rv:sum"));
+        assert!(!ThreadSpec::exists("rv:nope"));
+        assert!(!ThreadSpec::exists("nope"));
+        assert!(ThreadSpec::try_for_benchmark("rv:nope", 0).is_err());
+        assert!(ThreadSpec::try_for_benchmark("nope", 0).is_err());
+    }
+
+    #[test]
+    fn sources_build_for_both_front_ends() {
+        for name in ["twolf", "rv:sum"] {
+            let spec = ThreadSpec::for_benchmark(name, 5);
+            let mut s = spec.build_source(0);
+            let d = s.next_inst();
+            assert!(spec.program().inst_at(d.pc).is_some(), "{name}: first pc in the image");
+            assert_eq!(s.emitted(), 1);
+        }
     }
 
     #[test]

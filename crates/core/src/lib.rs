@@ -34,7 +34,7 @@ pub mod profiler;
 pub mod sim;
 pub mod stats;
 
-pub use config::{FetchPolicy, SimConfig, ThreadSpec};
+pub use config::{FetchPolicy, SimConfig, ThreadSpec, WorkloadKind, RV_BENCH_PREFIX};
 pub use dynmap::{run_dynamic, DynMapResult};
 pub use mapping::{enumerate_mappings, heuristic_mapping, MappingPolicy, MissProfile};
 pub use proc::Processor;

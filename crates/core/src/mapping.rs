@@ -23,7 +23,7 @@ use crate::profiler::profile_benchmark;
 /// the heuristic (the paper's "profile information").
 #[derive(Clone, Debug)]
 pub struct MissProfile {
-    mpki: HashMap<&'static str, f64>,
+    mpki: HashMap<String, f64>,
 }
 
 /// Instructions profiled per benchmark when building a [`MissProfile`].
@@ -40,12 +40,26 @@ impl MissProfile {
         let mut mpki = HashMap::new();
         for p in hdsmt_trace::all_benchmarks() {
             let spec = ThreadSpec::for_benchmark(p.name, 0);
-            mpki.insert(p.name, profile_benchmark(&spec, n_insts));
+            mpki.insert(p.name.to_string(), profile_benchmark(&spec, n_insts));
         }
         MissProfile { mpki }
     }
 
-    /// Misses per 1000 instructions for `benchmark`.
+    /// Additionally profile the bundled `rv:*` programs (through the
+    /// same `TraceSource` path, so mixed synthetic+real workloads rank
+    /// on one scale). Separate from [`Self::build_with_len`] because
+    /// emulating five programs is real cost that campaigns without any
+    /// rv workload should not pay.
+    pub fn with_rv_programs(mut self, n_insts: u64) -> Self {
+        for name in hdsmt_riscv::program_names() {
+            let bench = format!("{}{name}", crate::config::RV_BENCH_PREFIX);
+            let spec = ThreadSpec::for_benchmark(&bench, 0);
+            self.mpki.entry(bench).or_insert_with(|| profile_benchmark(&spec, n_insts));
+        }
+        self
+    }
+
+    /// Misses per 1000 instructions for `benchmark` (0 if unprofiled).
     pub fn get(&self, benchmark: &str) -> f64 {
         *self.mpki.get(benchmark).unwrap_or(&0.0)
     }
@@ -273,7 +287,7 @@ mod tests {
             ("twolf", 40.0),
             ("mcf", 120.0),
         ] {
-            mpki.insert(n, m);
+            mpki.insert(n.to_string(), m);
         }
         MissProfile { mpki }
     }
@@ -310,6 +324,21 @@ mod tests {
         assert_eq!(m[3], 1, "gzip on first M4");
         assert_eq!(m[0], 1, "vpr shares first M4");
         assert_eq!(m[2], 2, "mcf on second M4");
+    }
+
+    #[test]
+    fn rv_programs_profile_on_demand() {
+        let base = MissProfile::build_with_len(20_000);
+        assert_eq!(base.get("rv:sum"), 0.0, "rv programs are not profiled by default");
+        let with_rv = base.with_rv_programs(20_000);
+        for name in hdsmt_riscv::program_names() {
+            let m = with_rv.get(&format!("rv:{name}"));
+            assert!(m.is_finite() && m >= 0.0, "rv:{name}: {m}");
+        }
+        // And the heuristic maps a mixed workload without panicking.
+        let a = arch("2M4+2M2");
+        let m = heuristic_mapping(&a, &["mcf", "rv:sum"], &with_rv);
+        assert_eq!(m.len(), 2);
     }
 
     #[test]

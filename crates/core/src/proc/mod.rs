@@ -79,7 +79,7 @@ use hdsmt_pipeline::{
     Completion, CompletionWheel, FuPool, InstId, InstPool, IssueQueue, PipeModel, ReadyEntry,
     RegFile, RenameMap, RingBuf, Rob, Waiter,
 };
-use hdsmt_trace::{DynInst, TraceStream};
+use hdsmt_trace::{DynInst, TraceSource};
 
 use crate::checkpoint::CheckpointLog;
 use crate::config::{SimConfig, ThreadSpec};
@@ -103,7 +103,9 @@ pub(crate) struct LqStore {
 pub(crate) struct Thread {
     pub id: ThreadId,
     pub pipe: u8,
-    pub stream: TraceStream,
+    /// The thread's dynamic-instruction front-end (synthetic benchmark
+    /// model or RV64I emulator — see [`TraceSource`]).
+    pub stream: Box<dyn TraceSource>,
     /// Squashed-but-architecturally-required instructions awaiting
     /// re-fetch (FLUSH recovery), oldest at the front.
     pub replay: VecDeque<DynInst>,
@@ -318,8 +320,8 @@ impl Processor {
         for (i, (spec, &pipe)) in workload.iter().zip(mapping.iter()).enumerate() {
             assert!((pipe as usize) < pipes.len(), "mapping targets missing pipeline");
             pipes[pipe as usize].threads.push(i);
-            let stream = TraceStream::new(spec.program.clone(), spec.profile, spec.seed, i as u8);
-            let entry_pc = spec.program.block(spec.program.entry()).start;
+            let stream = spec.build_source(i as u8);
+            let entry_pc = spec.program().block(spec.program().entry()).start;
             let ras = Ras::paper_config();
             let ckpt = CheckpointLog::new((ras.snapshot(), 0));
             threads.push(Thread {
@@ -344,11 +346,7 @@ impl Processor {
                 blocked_loads: Vec::new(),
                 wp_cursor: (Pc(u64::MAX), BlockId(0), 0),
                 taken_memo: vec![(Pc(u64::MAX), Pc(0)); 64],
-                st: ThreadStats {
-                    benchmark: spec.profile.name.to_string(),
-                    pipe,
-                    ..Default::default()
-                },
+                st: ThreadStats { benchmark: spec.name.clone(), pipe, ..Default::default() },
                 done: false,
             });
         }

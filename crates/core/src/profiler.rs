@@ -8,7 +8,6 @@
 //! offline profiling runs.
 
 use hdsmt_mem::{Cache, MemConfig};
-use hdsmt_trace::TraceStream;
 
 use crate::config::ThreadSpec;
 
@@ -17,9 +16,11 @@ use crate::config::ThreadSpec;
 const PROFILE_SEED: u64 = 0x0090_f11e_5eed;
 
 /// Data-cache misses per 1000 instructions for `spec`'s benchmark, measured
-/// over `n_insts` instructions on a Table 1 L1D.
+/// over `n_insts` instructions on a Table 1 L1D. Works through the
+/// [`hdsmt_trace::TraceSource`] abstraction, so both synthetic models and
+/// RV64I programs profile the same way.
 pub fn profile_benchmark(spec: &ThreadSpec, n_insts: u64) -> f64 {
-    let mut stream = TraceStream::new(spec.program.clone(), spec.profile, PROFILE_SEED, 0);
+    let mut stream = spec.build_source_seeded(PROFILE_SEED, 0);
     let mut l1d = Cache::new(MemConfig::default().l1d);
     let mut misses = 0u64;
     for _ in 0..n_insts {
@@ -68,5 +69,16 @@ mod tests {
     #[test]
     fn profiling_is_deterministic() {
         assert_eq!(mpki("parser"), mpki("parser"));
+    }
+
+    #[test]
+    fn riscv_programs_profile_through_the_same_path() {
+        for name in ["rv:sum", "rv:sort"] {
+            let m = profile_benchmark(&ThreadSpec::for_benchmark(name, 1), 100_000);
+            // Small kernels are L1-friendly: a sane, low-but-measurable
+            // miss rate, and deterministic.
+            assert!((0.0..50.0).contains(&m), "{name}: {m}");
+            assert_eq!(m, profile_benchmark(&ThreadSpec::for_benchmark(name, 1), 100_000));
+        }
     }
 }

@@ -140,6 +140,42 @@ mod tests {
     }
 
     #[test]
+    fn riscv_program_runs_and_retires() {
+        // A real RV64I trace drives the whole pipeline: fetch, rename,
+        // issue, the cache hierarchy, branch prediction, commit.
+        let r = quick("M8", &["rv:matmul"], &[0], 30_000);
+        let retired = r.stats.threads[0].retired;
+        assert!((30_000..30_008).contains(&retired), "retired {retired}");
+        assert!((0.5..8.0).contains(&r.ipc()), "rv:matmul IPC {}", r.ipc());
+        let t0 = &r.stats.threads[0];
+        assert_eq!(t0.benchmark, "rv:matmul");
+        assert!(t0.branches > 100, "real branches must resolve");
+        assert!(t0.loads > 100, "real loads must execute");
+        assert!(t0.mispredict_rate() < 0.5);
+    }
+
+    #[test]
+    fn riscv_simulation_is_deterministic() {
+        let a = quick("M8", &["rv:sort", "rv:prime"], &[0, 0], 10_000);
+        let b = quick("M8", &["rv:sort", "rv:prime"], &[0, 0], 10_000);
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+        assert_eq!(a.stats.retired, b.stats.retired);
+        assert_eq!(a.stats.threads[0].mispredicts, b.stats.threads[0].mispredicts);
+        assert_eq!(a.stats.mem, b.stats.mem);
+    }
+
+    #[test]
+    fn mixed_synthetic_and_riscv_workload_runs_on_hdsmt() {
+        // The tentpole scenario: one synthetic thread and one real
+        // program co-scheduled on a multipipeline machine.
+        let r = quick("2M4+2M2", &["gzip", "rv:fib"], &[0, 1], 10_000);
+        assert!(r.stats.per_pipe_retired[0] > 0 && r.stats.per_pipe_retired[1] > 0);
+        assert_eq!(r.stats.threads[1].benchmark, "rv:fib");
+        assert!(r.stats.threads[1].branches > 50);
+        assert!(r.ipc() > 1.0, "mixed IPC {}", r.ipc());
+    }
+
+    #[test]
     #[should_panic(expected = "contexts")]
     fn capacity_violation_panics() {
         // M2 pipelines hold one context.

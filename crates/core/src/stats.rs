@@ -81,11 +81,16 @@ impl SimStats {
 
 /// Harmonic mean — the aggregation the paper uses across workloads
 /// ("the harmonic mean of all workloads of a same type and size").
+///
+/// The harmonic mean of any set containing a non-positive value is 0:
+/// a stalled workload (zero IPC) must drag the aggregate to zero, not
+/// vanish behind a clamp. (The old `max(1e-12)` clamp silently turned a
+/// zero-IPC cell into a huge bogus reciprocal-free mean.)
 pub fn harmonic_mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
         return 0.0;
     }
-    let denom: f64 = values.iter().map(|v| 1.0 / v.max(1e-12)).sum();
+    let denom: f64 = values.iter().map(|v| 1.0 / v).sum();
     values.len() as f64 / denom
 }
 
@@ -108,6 +113,18 @@ mod tests {
         let h = harmonic_mean(&[1.0, 4.0]);
         assert!((h - 1.6).abs() < 1e-12);
         assert_eq!(harmonic_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn harmonic_mean_of_a_stalled_workload_is_zero() {
+        // A zero-IPC (stalled/empty) member must zero the aggregate, not
+        // disappear behind a 1e-12 clamp into a bogus huge mean.
+        assert_eq!(harmonic_mean(&[0.0]), 0.0);
+        assert_eq!(harmonic_mean(&[2.0, 0.0, 3.0]), 0.0);
+        assert_eq!(harmonic_mean(&[-1.0, 2.0]), 0.0, "negative values are equally degenerate");
+        // Small-but-positive values still aggregate normally.
+        let h = harmonic_mean(&[1e-9, 1.0]);
+        assert!(h > 0.0 && h < 1e-8);
     }
 
     #[test]

@@ -26,6 +26,14 @@ impl CacheConfig {
         if self.ways == 0 || self.banks == 0 {
             return Err("ways and banks must be positive".into());
         }
+        // A line narrower than one 8-byte word breaks every consumer's
+        // geometry arithmetic (fetch derives instructions-per-line from
+        // it; data accesses are word-granular): the old silent acceptance
+        // surfaced as a zero-length fetch burst that hung the simulation
+        // at the cycle cap.
+        if self.line_bytes < 8 {
+            return Err(format!("line size {} is below one 8-byte word", self.line_bytes));
+        }
         // Per-way LRU ranks are stored as `u8` (0 = MRU, one rank per way in
         // the set): more than 256 ways cannot be ranked distinctly, and the
         // old silent acceptance corrupted replacement order. 256 itself is
@@ -334,6 +342,18 @@ mod tests {
     #[should_panic]
     fn rejects_invalid_geometry() {
         let _ = Cache::new(CacheConfig { size_bytes: 100, line_bytes: 32, ways: 2, banks: 1 });
+    }
+
+    #[test]
+    fn rejects_sub_word_lines() {
+        // A 4-byte line used to validate and then hang fetch (zero
+        // instructions per line → empty bursts forever).
+        for line in [1u64, 2, 4] {
+            let cfg = CacheConfig { size_bytes: 1 << 14, line_bytes: line, ways: 2, banks: 1 };
+            let err = cfg.validate().unwrap_err();
+            assert!(err.contains("8-byte word"), "line {line}: {err}");
+        }
+        CacheConfig { size_bytes: 1 << 14, line_bytes: 8, ways: 2, banks: 1 }.validate().unwrap();
     }
 
     #[test]

@@ -67,6 +67,29 @@ impl MemConfig {
         if !self.page_bytes.is_power_of_two() {
             return Err("page size must be a power of two".into());
         }
+        // A cache line must not span pages: the hierarchy translates
+        // once per access, so a line crossing a page boundary would get
+        // one page's translation silently applied to the next page's
+        // bytes (and prewarm would touch pages the TLB never saw).
+        for (name, c) in [("L1I", &self.l1i), ("L1D", &self.l1d), ("L2", &self.l2)] {
+            if c.line_bytes > self.page_bytes {
+                return Err(format!(
+                    "{name} line ({} B) exceeds the page size ({} B)",
+                    c.line_bytes, self.page_bytes
+                ));
+            }
+        }
+        // An L1 fill brings exactly one L2 line along with it (`load`
+        // touches the L2 once per L1 miss). An L1 line wider than the L2
+        // line would silently leave the tail of every fill untracked in
+        // the L2 — mis-modelled inclusion rather than a crash, which is
+        // worse.
+        if self.l1i.line_bytes > self.l2.line_bytes || self.l1d.line_bytes > self.l2.line_bytes {
+            return Err(format!(
+                "L1 lines ({} B I / {} B D) must not exceed the L2 line ({} B)",
+                self.l1i.line_bytes, self.l1d.line_bytes, self.l2.line_bytes
+            ));
+        }
         if self.itlb_entries == 0 || self.dtlb_entries == 0 {
             return Err("TLBs must have at least one entry".into());
         }
@@ -95,6 +118,36 @@ mod tests {
         assert_eq!(c.itlb_entries, 48);
         assert_eq!(c.dtlb_entries, 128);
         assert_eq!(c.tlb_miss_penalty, 300);
+    }
+
+    #[test]
+    fn rejects_lines_spanning_pages() {
+        // A line wider than a page would reuse one page's translation
+        // for the next page's bytes.
+        let c = MemConfig {
+            page_bytes: 1024,
+            l2: CacheConfig { size_bytes: 512 * 1024, line_bytes: 2048, ways: 2, banks: 8 },
+            ..Default::default()
+        };
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("page size"), "{err}");
+    }
+
+    #[test]
+    fn rejects_l1_lines_wider_than_l2_lines() {
+        // One L1 miss fills exactly one L2 line; a wider L1 line would
+        // leave its tail untracked in the L2 (silent mis-modelling).
+        let c = MemConfig {
+            l1d: CacheConfig { size_bytes: 64 * 1024, line_bytes: 128, ways: 2, banks: 8 },
+            ..Default::default()
+        };
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("must not exceed the L2 line"), "{err}");
+        // Equal lines are fine.
+        let mut c = MemConfig::default();
+        c.l1d.line_bytes = 64;
+        c.l1i.line_bytes = 64;
+        c.validate().unwrap();
     }
 
     #[test]

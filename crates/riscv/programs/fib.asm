@@ -1,0 +1,31 @@
+// fib — naive recursive Fibonacci: deep call/return traffic for the
+// RAS, plus stack loads/stores. Publishes fib(16) = 987 at 4096.
+
+	li a0, 16
+	call fib
+	li t0, 4096
+	sd a0, 0(t0)        // publish the result
+	j done
+
+fib:
+	li t0, 2
+	bge t0, a0, base    // n <= 2 -> 1
+	addi sp, sp, -24
+	sd ra, 0(sp)
+	sd a0, 8(sp)
+	addi a0, a0, -1
+	call fib
+	sd a0, 16(sp)       // fib(n-1)
+	ld a0, 8(sp)
+	addi a0, a0, -2
+	call fib
+	ld t1, 16(sp)
+	add a0, a0, t1      // fib(n-1) + fib(n-2)
+	ld ra, 0(sp)
+	addi sp, sp, 24
+	ret
+base:
+	li a0, 1
+	ret
+
+done:

@@ -1,0 +1,61 @@
+// matmul — 12x12 integer matrix multiply.
+// Generates a = b = I (and c = 0), computes c = a*b, so the result is
+// the identity again: c[0] = 1, c[1] = 0, trace checkable.
+
+	li s0, 12           // dim
+	li s1, 4096         // a base
+	li s2, 8192         // b base
+	li s3, 12288        // c base
+
+// ---- generate: a = b = identity, c = 0 ----
+	li t0, 0            // i
+gen_i:
+	li t1, 0            // j
+gen_j:
+	mul t2, t0, s0
+	add t2, t2, t1      // i*dim + j
+	slli t2, t2, 3
+	sub t3, t0, t1
+	seqz t3, t3         // 1 iff i == j
+	add t4, s1, t2
+	sd t3, 0(t4)
+	add t4, s2, t2
+	sd t3, 0(t4)
+	add t4, s3, t2
+	sd zero, 0(t4)
+	addi t1, t1, 1
+	blt t1, s0, gen_j
+	addi t0, t0, 1
+	blt t0, s0, gen_i
+
+// ---- c[i][j] = sum_k a[i][k] * b[k][j] ----
+	li t0, 0            // i
+mm_i:
+	li t1, 0            // j
+mm_j:
+	li t2, 0            // k
+	li a0, 0            // acc
+mm_k:
+	mul t3, t0, s0
+	add t3, t3, t2      // i*dim + k
+	slli t3, t3, 3
+	add t3, s1, t3
+	ld a1, 0(t3)
+	mul t4, t2, s0
+	add t4, t4, t1      // k*dim + j
+	slli t4, t4, 3
+	add t4, s2, t4
+	ld a2, 0(t4)
+	mul a3, a1, a2
+	add a0, a0, a3
+	addi t2, t2, 1
+	blt t2, s0, mm_k
+	mul t5, t0, s0
+	add t5, t5, t1
+	slli t5, t5, 3
+	add t5, s3, t5
+	sd a0, 0(t5)
+	addi t1, t1, 1
+	blt t1, s0, mm_j
+	addi t0, t0, 1
+	blt t0, s0, mm_i

@@ -1,0 +1,24 @@
+// prime — trial-division prime counting up to 600: long-latency
+// divides and data-dependent loop exits. Publishes pi(600) = 109
+// at 4096.
+
+	li s0, 600          // limit
+	li s1, 1            // count (2 is prime)
+	li t0, 3            // candidate (odd numbers only)
+cand:
+	li t1, 3            // divisor
+trial:
+	mul t2, t1, t1
+	bgt t2, t0, isprime // d*d > n -> no divisor found
+	rem t3, t0, t1
+	beqz t3, next       // divisible -> composite
+	addi t1, t1, 2
+	j trial
+isprime:
+	addi s1, s1, 1
+next:
+	addi t0, t0, 2
+	ble t0, s0, cand
+
+	li t6, 4096
+	sd s1, 0(t6)        // publish the count

@@ -1,0 +1,58 @@
+// sort — fill 96 elements from an LCG, insertion-sort them, checksum.
+// Data-dependent branches (the predictor's worst case) plus shifting
+// store traffic. Publishes sum(a[i] * i) at 8192.
+
+	li s0, 96           // n
+	li s1, 4096         // array base
+	li t0, 12345       // LCG state
+	li s2, 1103515245
+	li t1, 0            // i
+fill:
+	mul t0, t0, s2
+	addi t0, t0, 12345
+	srli t2, t0, 16
+	li t3, 0x7fff
+	and t2, t2, t3      // 15-bit key
+	slli t4, t1, 3
+	add t4, s1, t4
+	sd t2, 0(t4)
+	addi t1, t1, 1
+	blt t1, s0, fill
+
+// ---- insertion sort ----
+	li t1, 1            // i
+outer:
+	slli t2, t1, 3
+	add t2, s1, t2
+	ld a0, 0(t2)        // key = a[i]
+	addi t3, t1, -1     // j
+inner:
+	bltz t3, place
+	slli t4, t3, 3
+	add t4, s1, t4
+	ld a1, 0(t4)
+	ble a1, a0, place   // a[j] <= key -> insert here
+	sd a1, 8(t4)        // shift a[j] up
+	addi t3, t3, -1
+	j inner
+place:
+	addi t5, t3, 1
+	slli t5, t5, 3
+	add t5, s1, t5
+	sd a0, 0(t5)
+	addi t1, t1, 1
+	blt t1, s0, outer
+
+// ---- order-sensitive checksum ----
+	li t1, 0
+	li a2, 0
+check:
+	slli t2, t1, 3
+	add t2, s1, t2
+	ld a3, 0(t2)
+	mul a4, a3, t1
+	add a2, a2, a4
+	addi t1, t1, 1
+	blt t1, s0, check
+	li t6, 8192
+	sd a2, 0(t6)        // publish the checksum

@@ -1,0 +1,42 @@
+// sum — vector add + reduction over 64-element arrays, 40 passes.
+// Init: b[i] = i, c[i] = 2*i. Each pass: a[i] = b[i] + c[i], s += a[i].
+// Publishes the final sum (sum of 3*i for i in 0..64 = 6048) at 16384.
+
+	li s0, 0            // pass counter
+	li s1, 40           // passes
+	li s2, 64           // n
+	li s3, 4096         // b base
+	li s4, 8192         // c base
+	li s5, 12288        // a base
+
+	li t0, 0            // i
+init:
+	slli t1, t0, 3
+	add t2, s3, t1
+	sd t0, 0(t2)
+	slli t3, t0, 1
+	add t2, s4, t1
+	sd t3, 0(t2)
+	addi t0, t0, 1
+	blt t0, s2, init
+
+pass:
+	li t0, 0            // i
+	li a0, 0            // running sum
+body:
+	slli t1, t0, 3
+	add t2, s3, t1
+	ld t3, 0(t2)
+	add t2, s4, t1
+	ld t4, 0(t2)
+	add t5, t3, t4
+	add t2, s5, t1
+	sd t5, 0(t2)
+	add a0, a0, t5
+	addi t0, t0, 1
+	blt t0, s2, body
+	addi s0, s0, 1
+	blt s0, s1, pass
+
+	li t6, 16384
+	sd a0, 0(t6)        // publish the final sum

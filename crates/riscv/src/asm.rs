@@ -1,0 +1,604 @@
+//! Assembly-format front end: the textual RV64I(+M) subset.
+//!
+//! The format follows the plain-assembler style of small RISC-V teaching
+//! simulators (labels ending in `:`, `offset(reg)` memory operands,
+//! `//`/`#`/`;` comments, ABI register names) so programs written for
+//! them port over with at most mnemonic tweaks. Parsing is two-pass:
+//! pass one records label positions, pass two resolves every
+//! control-transfer target to an *instruction index* — the unit the
+//! emulator executes and the CFG translator lays out at 4-byte PCs.
+
+use std::collections::HashMap;
+
+/// An architectural register, by x-index (0–31).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    pub const ZERO: Reg = Reg(0);
+    pub const RA: Reg = Reg(1);
+    pub const SP: Reg = Reg(2);
+
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// ABI names (and raw `xN`) accepted by the parser.
+fn parse_reg(s: &str) -> Result<Reg, String> {
+    const ABI: [&str; 32] = [
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+        "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+        "t5", "t6",
+    ];
+    let s = s.trim();
+    if let Some(pos) = ABI.iter().position(|&n| n == s) {
+        return Ok(Reg(pos as u8));
+    }
+    if s == "fp" {
+        return Ok(Reg(8)); // s0 alias
+    }
+    if let Some(n) = s.strip_prefix('x').and_then(|n| n.parse::<u8>().ok()) {
+        if n < 32 {
+            return Ok(Reg(n));
+        }
+    }
+    Err(format!("unknown register `{s}`"))
+}
+
+fn parse_imm(s: &str) -> Result<i64, String> {
+    let s = s.trim();
+    let (neg, rest) = match s.strip_prefix('-') {
+        Some(r) => (true, r),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = rest.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        rest.parse::<i64>()
+    }
+    .map_err(|_| format!("invalid immediate `{s}`"))?;
+    Ok(if neg { -v } else { v })
+}
+
+/// `offset(reg)` memory operand.
+fn parse_memref(s: &str) -> Result<(Reg, i64), String> {
+    let s = s.trim();
+    let open = s.find('(').ok_or_else(|| format!("invalid memory operand `{s}` (no `(`)"))?;
+    let close = s.rfind(')').ok_or_else(|| format!("invalid memory operand `{s}` (no `)`)"))?;
+    if close != s.len() - 1 || close <= open {
+        return Err(format!("invalid memory operand `{s}`"));
+    }
+    let off = if s[..open].trim().is_empty() { 0 } else { parse_imm(&s[..open])? };
+    let base = parse_reg(&s[open + 1..close])?;
+    Ok((base, off))
+}
+
+/// ALU operation (register-register and register-immediate forms share
+/// the alphabet; `*W` variants are the RV64 32-bit-operand ops).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AluOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    Slt,
+    Sltu,
+    Mul,
+    Mulh,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+    AddW,
+    SubW,
+    MulW,
+    DivW,
+    RemW,
+}
+
+impl AluOp {
+    /// True for the M-extension multiply ops.
+    pub fn is_mul(self) -> bool {
+        matches!(self, AluOp::Mul | AluOp::Mulh | AluOp::MulW)
+    }
+
+    /// True for the M-extension divide/remainder ops.
+    pub fn is_div(self) -> bool {
+        matches!(
+            self,
+            AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu | AluOp::DivW | AluOp::RemW
+        )
+    }
+}
+
+/// Memory access width in bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemWidth {
+    B,
+    H,
+    W,
+    D,
+}
+
+impl MemWidth {
+    #[inline]
+    pub fn bytes(self) -> usize {
+        match self {
+            MemWidth::B => 1,
+            MemWidth::H => 2,
+            MemWidth::W => 4,
+            MemWidth::D => 8,
+        }
+    }
+}
+
+/// Branch condition (the six RV64I conditional branches).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BranchCond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+/// One decoded instruction. Control-transfer targets are resolved
+/// instruction indices into the owning [`AsmProgram`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RvInst {
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    AluImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i64,
+    },
+    Lui {
+        rd: Reg,
+        imm: i64,
+    },
+    Load {
+        width: MemWidth,
+        signed: bool,
+        rd: Reg,
+        base: Reg,
+        off: i64,
+    },
+    Store {
+        width: MemWidth,
+        rs2: Reg,
+        base: Reg,
+        off: i64,
+    },
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        target: usize,
+    },
+    /// Unconditional direct jump (`j` / `jal zero`).
+    Jump {
+        target: usize,
+    },
+    /// Direct call (`jal` / `jal ra` / `call`): links `ra`.
+    Call {
+        target: usize,
+    },
+    /// Return through `ra` (`ret` / `jr ra` / `jalr zero, 0(ra)`).
+    Ret,
+}
+
+impl RvInst {
+    /// True for every control-transfer instruction.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            RvInst::Branch { .. } | RvInst::Jump { .. } | RvInst::Call { .. } | RvInst::Ret
+        )
+    }
+}
+
+/// A parsed program: the executable instruction list plus label map
+/// (label → instruction index; a label at the very end maps to
+/// `insts.len()`, i.e. the wrap-around restart point).
+#[derive(Clone, Debug)]
+pub struct AsmProgram {
+    pub insts: Vec<RvInst>,
+    pub labels: HashMap<String, usize>,
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut end = line.len();
+    for pat in ["//", "#", ";"] {
+        if let Some(i) = line.find(pat) {
+            end = end.min(i);
+        }
+    }
+    &line[..end]
+}
+
+fn is_label_name(s: &str) -> bool {
+    !s.is_empty() && s.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+}
+
+/// Parse an assembly text into an [`AsmProgram`].
+pub fn parse(text: &str) -> Result<AsmProgram, String> {
+    // Pass 1: split into (lineno, stmt) instruction statements and record
+    // label positions.
+    let mut stmts: Vec<(usize, &str)> = Vec::new();
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_suffix(':') {
+            let name = name.trim();
+            if !is_label_name(name) {
+                return Err(format!("line {}: invalid label `{name}`", lineno + 1));
+            }
+            if labels.insert(name.to_string(), stmts.len()).is_some() {
+                return Err(format!("line {}: duplicate label `{name}`", lineno + 1));
+            }
+        } else {
+            stmts.push((lineno, line));
+        }
+    }
+    if stmts.is_empty() {
+        return Err("program has no instructions".into());
+    }
+
+    // Pass 2: decode, resolving branch targets through the label map.
+    let mut insts = Vec::with_capacity(stmts.len());
+    for &(lineno, stmt) in &stmts {
+        let inst = parse_inst(stmt, &labels).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        insts.push(inst);
+    }
+    Ok(AsmProgram { insts, labels })
+}
+
+fn parse_inst(stmt: &str, labels: &HashMap<String, usize>) -> Result<RvInst, String> {
+    let (op, rest) = stmt.split_once(char::is_whitespace).unwrap_or((stmt, ""));
+    let args: Vec<&str> =
+        if rest.trim().is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
+    let argn = |n: usize| -> Result<&str, String> {
+        args.get(n)
+            .copied()
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| format!("`{op}` missing operand {}", n + 1))
+    };
+    let reg = |n: usize| parse_reg(argn(n)?);
+    let imm = |n: usize| parse_imm(argn(n)?);
+    let mem = |n: usize| parse_memref(argn(n)?);
+    let label = |n: usize| -> Result<usize, String> {
+        let name = argn(n)?;
+        labels.get(name).copied().ok_or_else(|| format!("unknown label `{name}`"))
+    };
+    let want = |n: usize| -> Result<(), String> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(format!("`{op}` takes {n} operands, got {}", args.len()))
+        }
+    };
+
+    let alu = |o: AluOp, args_reg: bool| -> Result<RvInst, String> {
+        want(3)?;
+        if args_reg {
+            Ok(RvInst::Alu { op: o, rd: reg(0)?, rs1: reg(1)?, rs2: reg(2)? })
+        } else {
+            Ok(RvInst::AluImm { op: o, rd: reg(0)?, rs1: reg(1)?, imm: imm(2)? })
+        }
+    };
+    let load = |w: MemWidth, signed: bool| -> Result<RvInst, String> {
+        want(2)?;
+        let (base, off) = mem(1)?;
+        Ok(RvInst::Load { width: w, signed, rd: reg(0)?, base, off })
+    };
+    let store = |w: MemWidth| -> Result<RvInst, String> {
+        want(2)?;
+        let (base, off) = mem(1)?;
+        Ok(RvInst::Store { width: w, rs2: reg(0)?, base, off })
+    };
+    let branch = |c: BranchCond, swap: bool| -> Result<RvInst, String> {
+        want(3)?;
+        let (a, b) = (reg(0)?, reg(1)?);
+        let (rs1, rs2) = if swap { (b, a) } else { (a, b) };
+        Ok(RvInst::Branch { cond: c, rs1, rs2, target: label(2)? })
+    };
+    // Branch-against-zero pseudo-instructions: `cond(rs1, zero)`.
+    let branch_z = |c: BranchCond, swap: bool| -> Result<RvInst, String> {
+        want(2)?;
+        let r = reg(0)?;
+        let (rs1, rs2) = if swap { (Reg::ZERO, r) } else { (r, Reg::ZERO) };
+        Ok(RvInst::Branch { cond: c, rs1, rs2, target: label(1)? })
+    };
+
+    use AluOp::*;
+    use BranchCond::*;
+    use MemWidth::*;
+    let inst = match op.to_ascii_lowercase().as_str() {
+        // -------- loads / stores --------
+        "lb" => load(B, true)?,
+        "lh" => load(H, true)?,
+        "lw" => load(W, true)?,
+        "ld" => load(D, true)?,
+        "lbu" => load(B, false)?,
+        "lhu" => load(H, false)?,
+        "lwu" => load(W, false)?,
+        "sb" => store(B)?,
+        "sh" => store(H)?,
+        "sw" => store(W)?,
+        "sd" => store(D)?,
+        // -------- register-register ALU --------
+        "add" => alu(Add, true)?,
+        "sub" => alu(Sub, true)?,
+        "and" => alu(And, true)?,
+        "or" => alu(Or, true)?,
+        "xor" => alu(Xor, true)?,
+        "sll" => alu(Sll, true)?,
+        "srl" => alu(Srl, true)?,
+        "sra" => alu(Sra, true)?,
+        "slt" => alu(Slt, true)?,
+        "sltu" => alu(Sltu, true)?,
+        "addw" => alu(AddW, true)?,
+        "subw" => alu(SubW, true)?,
+        // -------- M extension --------
+        "mul" => alu(Mul, true)?,
+        "mulh" => alu(Mulh, true)?,
+        "mulw" => alu(MulW, true)?,
+        "div" => alu(Div, true)?,
+        "divu" => alu(Divu, true)?,
+        "divw" => alu(DivW, true)?,
+        "rem" => alu(Rem, true)?,
+        "remu" => alu(Remu, true)?,
+        "remw" => alu(RemW, true)?,
+        // -------- register-immediate ALU --------
+        "addi" => alu(Add, false)?,
+        "andi" => alu(And, false)?,
+        "ori" => alu(Or, false)?,
+        "xori" => alu(Xor, false)?,
+        "slli" => alu(Sll, false)?,
+        "srli" => alu(Srl, false)?,
+        "srai" => alu(Sra, false)?,
+        "slti" => alu(Slt, false)?,
+        "sltiu" => alu(Sltu, false)?,
+        "addiw" => alu(AddW, false)?,
+        "lui" => {
+            want(2)?;
+            let v = imm(1)?;
+            // The encoding holds exactly 20 bits (assemblers accept them
+            // written unsigned or as a negative upper-immediate).
+            if !(-(1 << 19)..(1 << 20)).contains(&v) {
+                return Err(format!("`lui` immediate {v} outside the 20-bit encoding"));
+            }
+            RvInst::Lui { rd: reg(0)?, imm: v & 0xf_ffff }
+        }
+        // -------- pseudo-instructions --------
+        "li" => {
+            want(2)?;
+            RvInst::AluImm { op: Add, rd: reg(0)?, rs1: Reg::ZERO, imm: imm(1)? }
+        }
+        "mv" => {
+            want(2)?;
+            RvInst::AluImm { op: Add, rd: reg(0)?, rs1: reg(1)?, imm: 0 }
+        }
+        "neg" => {
+            want(2)?;
+            RvInst::Alu { op: Sub, rd: reg(0)?, rs1: Reg::ZERO, rs2: reg(1)? }
+        }
+        "not" => {
+            want(2)?;
+            RvInst::AluImm { op: Xor, rd: reg(0)?, rs1: reg(1)?, imm: -1 }
+        }
+        "seqz" => {
+            want(2)?;
+            RvInst::AluImm { op: Sltu, rd: reg(0)?, rs1: reg(1)?, imm: 1 }
+        }
+        "snez" => {
+            want(2)?;
+            RvInst::Alu { op: Sltu, rd: reg(0)?, rs1: Reg::ZERO, rs2: reg(1)? }
+        }
+        "nop" => {
+            want(0)?;
+            RvInst::AluImm { op: Add, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 }
+        }
+        // -------- branches --------
+        "beq" => branch(Eq, false)?,
+        "bne" => branch(Ne, false)?,
+        "blt" => branch(Lt, false)?,
+        "bge" => branch(Ge, false)?,
+        "bltu" => branch(Ltu, false)?,
+        "bgeu" => branch(Geu, false)?,
+        "bgt" => branch(Lt, true)?,
+        "ble" => branch(Ge, true)?,
+        "bgtu" => branch(Ltu, true)?,
+        "bleu" => branch(Geu, true)?,
+        "beqz" => branch_z(Eq, false)?,
+        "bnez" => branch_z(Ne, false)?,
+        "bltz" => branch_z(Lt, false)?,
+        "bgez" => branch_z(Ge, false)?,
+        "bgtz" => branch_z(Lt, true)?,
+        "blez" => branch_z(Ge, true)?,
+        // -------- jumps / calls --------
+        "j" => {
+            want(1)?;
+            RvInst::Jump { target: label(0)? }
+        }
+        "call" => {
+            want(1)?;
+            RvInst::Call { target: label(0)? }
+        }
+        "jal" => match args.len() {
+            // `jal label` links ra implicitly.
+            1 => RvInst::Call { target: label(0)? },
+            2 => {
+                let rd = reg(0)?;
+                let target = label(1)?;
+                match rd {
+                    Reg::ZERO => RvInst::Jump { target },
+                    Reg::RA => RvInst::Call { target },
+                    _ => return Err("`jal` link register must be `zero` or `ra`".into()),
+                }
+            }
+            n => return Err(format!("`jal` takes 1 or 2 operands, got {n}")),
+        },
+        "ret" => {
+            want(0)?;
+            RvInst::Ret
+        }
+        "jr" => {
+            want(1)?;
+            if reg(0)? != Reg::RA {
+                return Err("`jr` is only supported through `ra`".into());
+            }
+            RvInst::Ret
+        }
+        "jalr" => {
+            // Only the return idiom `jalr zero, 0(ra)` / `jalr ra`.
+            let ret_ok = match args.len() {
+                1 => reg(0)? == Reg::RA,
+                2 => reg(0)? == Reg::ZERO && mem(1)? == (Reg::RA, 0),
+                _ => false,
+            };
+            if !ret_ok {
+                return Err("`jalr` is only supported as a return through `ra`".into());
+            }
+            RvInst::Ret
+        }
+        other => return Err(format!("unknown instruction `{other}`")),
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_parse_by_abi_and_index() {
+        assert_eq!(parse_reg("zero").unwrap(), Reg(0));
+        assert_eq!(parse_reg("ra").unwrap(), Reg(1));
+        assert_eq!(parse_reg("sp").unwrap(), Reg(2));
+        assert_eq!(parse_reg("a0").unwrap(), Reg(10));
+        assert_eq!(parse_reg("t6").unwrap(), Reg(31));
+        assert_eq!(parse_reg("s11").unwrap(), Reg(27));
+        assert_eq!(parse_reg("fp").unwrap(), Reg(8));
+        assert_eq!(parse_reg("x17").unwrap(), Reg(17));
+        assert!(parse_reg("x32").is_err());
+        assert!(parse_reg("q1").is_err());
+    }
+
+    #[test]
+    fn memrefs_and_immediates() {
+        assert_eq!(parse_memref("8(sp)").unwrap(), (Reg::SP, 8));
+        assert_eq!(parse_memref("-16(a0)").unwrap(), (Reg(10), -16));
+        assert_eq!(parse_memref("0x40(t0)").unwrap(), (Reg(5), 0x40));
+        assert_eq!(parse_memref("(a1)").unwrap(), (Reg(11), 0));
+        assert!(parse_memref("a1").is_err());
+        assert_eq!(parse_imm("-0x10").unwrap(), -16);
+        assert_eq!(parse_imm("1024").unwrap(), 1024);
+        assert!(parse_imm("ten").is_err());
+    }
+
+    #[test]
+    fn parses_a_small_program_with_labels() {
+        let p = parse(
+            "// add the numbers 1..=3\n\
+             \tli t0, 0          // acc\n\
+             \tli t1, 3\n\
+             loop:\n\
+             \tadd t0, t0, t1\n\
+             \taddi t1, t1, -1\n\
+             \tbnez t1, loop\n\
+             end:\n",
+        )
+        .unwrap();
+        assert_eq!(p.insts.len(), 5);
+        assert_eq!(p.labels["loop"], 2);
+        assert_eq!(p.labels["end"], 5, "trailing label maps one past the end");
+        assert_eq!(
+            p.insts[4],
+            RvInst::Branch { cond: BranchCond::Ne, rs1: Reg(6), rs2: Reg::ZERO, target: 2 }
+        );
+    }
+
+    #[test]
+    fn pseudo_instructions_expand() {
+        let p = parse("a:\n mv a0, a1\n neg a2, a3\n seqz a4, a5\n nop\n j a\n").unwrap();
+        assert_eq!(
+            p.insts[0],
+            RvInst::AluImm { op: AluOp::Add, rd: Reg(10), rs1: Reg(11), imm: 0 }
+        );
+        assert_eq!(
+            p.insts[1],
+            RvInst::Alu { op: AluOp::Sub, rd: Reg(12), rs1: Reg::ZERO, rs2: Reg(13) }
+        );
+        assert_eq!(
+            p.insts[2],
+            RvInst::AluImm { op: AluOp::Sltu, rd: Reg(14), rs1: Reg(15), imm: 1 }
+        );
+        assert_eq!(p.insts[4], RvInst::Jump { target: 0 });
+    }
+
+    #[test]
+    fn swapped_branch_pseudos() {
+        let p = parse("top:\n ble a0, a1, top\n bgt a2, a3, top\n").unwrap();
+        assert_eq!(
+            p.insts[0],
+            RvInst::Branch { cond: BranchCond::Ge, rs1: Reg(11), rs2: Reg(10), target: 0 }
+        );
+        assert_eq!(
+            p.insts[1],
+            RvInst::Branch { cond: BranchCond::Lt, rs1: Reg(13), rs2: Reg(12), target: 0 }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_programs() {
+        assert!(parse("").is_err(), "empty program");
+        assert!(parse("frobnicate a0, a1\n").is_err(), "unknown mnemonic");
+        assert!(parse("beq a0, a1, nowhere\n").is_err(), "dangling label");
+        assert!(parse("add a0, a1\n").is_err(), "missing operand");
+        assert!(parse("l: \n nop\n l:\n nop\n").is_err(), "duplicate label");
+        assert!(parse("jalr t0\n").is_err(), "indirect jumps beyond `ret` unsupported");
+        assert!(parse("jal t3, somewhere\n").is_err(), "non-standard link register");
+    }
+
+    #[test]
+    fn rejects_extra_operands() {
+        // A typo'd extra operand must fail loudly, not silently drop.
+        assert!(parse("add a0, a1, a2, a3\n").is_err());
+        assert!(parse("l:\n beq t0, t1, l, l\n").is_err());
+        assert!(parse("lw a0, 0(a1), 8\n").is_err());
+        assert!(parse("sd a0, 0(a1), a2\n").is_err());
+        assert!(parse("addi a0, a1, 1, 2\n").is_err());
+    }
+
+    #[test]
+    fn lui_range_is_enforced() {
+        assert!(parse("lui t0, 0x100000\n").is_err(), "21 bits must not encode");
+        assert!(parse("lui t0, -524289\n").is_err());
+        let p = parse("lui t0, 0x80000\n lui t1, -1\n").unwrap();
+        // Negative upper-immediates normalize into the 20-bit field.
+        assert_eq!(p.insts[1], RvInst::Lui { rd: Reg(6), imm: 0xf_ffff });
+    }
+
+    #[test]
+    fn comment_styles_are_stripped() {
+        let p = parse("nop // c++ style\n nop # shell style\n nop ; asm style\n").unwrap();
+        assert_eq!(p.insts.len(), 3);
+    }
+}

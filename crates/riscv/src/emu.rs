@@ -1,0 +1,336 @@
+//! The functional RV64I(+M) machine: registers, flat data memory, and
+//! single-instruction architectural execution.
+//!
+//! This is a *functional* emulator — it computes what the program does,
+//! not how long it takes. Timing belongs to the cycle-level processor
+//! model; the emulator's job is to hand it an architecturally-true
+//! dynamic stream (which instruction executes next, whether each branch
+//! is taken, which address each load/store touches).
+
+use hdsmt_isa::Program;
+
+use crate::asm::{AluOp, BranchCond, Reg, RvInst};
+
+/// Bytes of flat data memory per program instance (power of two). Small
+/// enough that one lap's reset is cheap, large enough for the bundled
+/// kernels' data plus stack.
+pub const MEM_BYTES: usize = 256 * 1024;
+
+/// Result of executing one instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Step {
+    /// Instruction index executing next.
+    pub next: usize,
+    /// `Some(taken)` for conditional branches.
+    pub taken: Option<bool>,
+    /// Effective virtual address for loads/stores (masked into the data
+    /// memory).
+    pub vaddr: Option<u64>,
+}
+
+/// Architectural state of one program instance.
+pub struct Machine {
+    pub regs: [u64; 32],
+    pub mem: Vec<u8>,
+    /// Index of the next instruction to execute.
+    pub next_idx: usize,
+}
+
+/// Global PC value of instruction index `idx` (the CFG translator lays
+/// every instruction out at consecutive 4-byte PCs from
+/// [`Program::BASE_PC`]).
+#[inline]
+pub fn pc_value_of(idx: usize) -> u64 {
+    Program::BASE_PC.0 + 4 * idx as u64
+}
+
+/// Inverse of [`pc_value_of`]: `None` for values outside the image or
+/// misaligned (a clobbered `ra`).
+#[inline]
+pub fn idx_of_pc_value(v: u64, n_insts: usize) -> Option<usize> {
+    if v < Program::BASE_PC.0 || !(v - Program::BASE_PC.0).is_multiple_of(4) {
+        return None;
+    }
+    let idx = ((v - Program::BASE_PC.0) / 4) as usize;
+    (idx < n_insts).then_some(idx)
+}
+
+impl Machine {
+    pub fn new() -> Self {
+        let mut m = Machine { regs: [0; 32], mem: vec![0; MEM_BYTES], next_idx: 0 };
+        m.reset();
+        m
+    }
+
+    /// Restore the pristine start-of-program state (registers cleared,
+    /// stack pointer at the top of memory, memory zeroed). Called between
+    /// laps so every lap replays the identical architectural execution.
+    pub fn reset(&mut self) {
+        self.regs = [0; 32];
+        self.regs[Reg::SP.0 as usize] = MEM_BYTES as u64;
+        self.mem.fill(0);
+        self.next_idx = 0;
+    }
+
+    #[inline]
+    fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.0 as usize]
+    }
+
+    #[inline]
+    fn set_reg(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.0 as usize] = v;
+        }
+    }
+
+    /// Little-endian read of `bytes` at `vaddr`, each byte masked into
+    /// the memory (out-of-range programs wrap rather than fault — the
+    /// simulator must never crash on a wild pointer).
+    fn read(&self, vaddr: u64, bytes: usize) -> u64 {
+        let mut v = 0u64;
+        for i in 0..bytes {
+            let b = self.mem[(vaddr.wrapping_add(i as u64) as usize) & (MEM_BYTES - 1)];
+            v |= (b as u64) << (8 * i);
+        }
+        v
+    }
+
+    fn write(&mut self, vaddr: u64, bytes: usize, v: u64) {
+        for i in 0..bytes {
+            self.mem[(vaddr.wrapping_add(i as u64) as usize) & (MEM_BYTES - 1)] =
+                (v >> (8 * i)) as u8;
+        }
+    }
+
+    fn alu(op: AluOp, a: u64, b: u64) -> u64 {
+        let (sa, sb) = (a as i64, b as i64);
+        match op {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => a.wrapping_shl((b & 63) as u32),
+            AluOp::Srl => a.wrapping_shr((b & 63) as u32),
+            AluOp::Sra => (sa >> (b & 63)) as u64,
+            AluOp::Slt => (sa < sb) as u64,
+            AluOp::Sltu => (a < b) as u64,
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Mulh => (((sa as i128) * (sb as i128)) >> 64) as u64,
+            // RV64M: division by zero yields all-ones / the dividend
+            // (no trap), overflow (MIN / -1) yields MIN / 0.
+            AluOp::Div => {
+                if sb == 0 {
+                    u64::MAX
+                } else {
+                    sa.wrapping_div(sb) as u64
+                }
+            }
+            AluOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
+            AluOp::Rem => {
+                if sb == 0 {
+                    a
+                } else {
+                    sa.wrapping_rem(sb) as u64
+                }
+            }
+            AluOp::Remu => a.checked_rem(b).unwrap_or(a),
+            AluOp::AddW => (a as i32).wrapping_add(b as i32) as i64 as u64,
+            AluOp::SubW => (a as i32).wrapping_sub(b as i32) as i64 as u64,
+            AluOp::MulW => (a as i32).wrapping_mul(b as i32) as i64 as u64,
+            AluOp::DivW => {
+                let (wa, wb) = (a as i32, b as i32);
+                if wb == 0 {
+                    u64::MAX
+                } else {
+                    wa.wrapping_div(wb) as i64 as u64
+                }
+            }
+            AluOp::RemW => {
+                let (wa, wb) = (a as i32, b as i32);
+                if wb == 0 {
+                    wa as i64 as u64
+                } else {
+                    wa.wrapping_rem(wb) as i64 as u64
+                }
+            }
+        }
+    }
+
+    /// Execute the instruction at index `idx` of `insts`, updating the
+    /// architectural state and returning where control goes.
+    pub fn step(&mut self, insts: &[RvInst], idx: usize) -> Step {
+        let fall = idx + 1;
+        let step = match insts[idx] {
+            RvInst::Alu { op, rd, rs1, rs2 } => {
+                let v = Self::alu(op, self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, v);
+                Step { next: fall, taken: None, vaddr: None }
+            }
+            RvInst::AluImm { op, rd, rs1, imm } => {
+                let v = Self::alu(op, self.reg(rs1), imm as u64);
+                self.set_reg(rd, v);
+                Step { next: fall, taken: None, vaddr: None }
+            }
+            RvInst::Lui { rd, imm } => {
+                // RV64: the 32-bit upper-immediate result sign-extends
+                // (bit 31 of `imm << 12` propagates through bits 63:32).
+                self.set_reg(rd, ((imm << 12) as i32) as i64 as u64);
+                Step { next: fall, taken: None, vaddr: None }
+            }
+            RvInst::Load { width, signed, rd, base, off } => {
+                let vaddr = self.reg(base).wrapping_add(off as u64);
+                let bytes = width.bytes();
+                let raw = self.read(vaddr, bytes);
+                let v = if signed && bytes < 8 {
+                    let shift = 64 - 8 * bytes as u32;
+                    (((raw << shift) as i64) >> shift) as u64
+                } else {
+                    raw
+                };
+                self.set_reg(rd, v);
+                Step { next: fall, taken: None, vaddr: Some(vaddr) }
+            }
+            RvInst::Store { width, rs2, base, off } => {
+                let vaddr = self.reg(base).wrapping_add(off as u64);
+                self.write(vaddr, width.bytes(), self.reg(rs2));
+                Step { next: fall, taken: None, vaddr: Some(vaddr) }
+            }
+            RvInst::Branch { cond, rs1, rs2, target } => {
+                let (a, b) = (self.reg(rs1), self.reg(rs2));
+                let (sa, sb) = (a as i64, b as i64);
+                let taken = match cond {
+                    BranchCond::Eq => a == b,
+                    BranchCond::Ne => a != b,
+                    BranchCond::Lt => sa < sb,
+                    BranchCond::Ge => sa >= sb,
+                    BranchCond::Ltu => a < b,
+                    BranchCond::Geu => a >= b,
+                };
+                Step { next: if taken { target } else { fall }, taken: Some(taken), vaddr: None }
+            }
+            RvInst::Jump { target } => Step { next: target, taken: None, vaddr: None },
+            RvInst::Call { target } => {
+                self.set_reg(Reg::RA, pc_value_of(fall));
+                Step { next: target, taken: None, vaddr: None }
+            }
+            // A clobbered return address falls back to the end of the
+            // image — the wrap-around restart point — instead of faulting.
+            RvInst::Ret => {
+                let next =
+                    idx_of_pc_value(self.reg(Reg::RA), insts.len()).unwrap_or(insts.len() - 1);
+                Step { next, taken: None, vaddr: None }
+            }
+        };
+        self.next_idx = step.next;
+        step
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::parse;
+
+    /// Run `text` until control reaches the end of the instruction list
+    /// (the fall-off-the-end restart point), with a step bound.
+    fn run(text: &str) -> Machine {
+        let p = parse(text).unwrap();
+        let mut m = Machine::new();
+        for _ in 0..1_000_000 {
+            if m.next_idx >= p.insts.len() {
+                return m;
+            }
+            let idx = m.next_idx;
+            m.step(&p.insts, idx);
+        }
+        panic!("program did not terminate");
+    }
+
+    #[test]
+    fn arithmetic_and_branches() {
+        // Sum 1..=10 by loop.
+        let m =
+            run("li t0, 0\n li t1, 10\nloop:\n add t0, t0, t1\n addi t1, t1, -1\n bnez t1, loop\n");
+        assert_eq!(m.regs[5], 55);
+    }
+
+    #[test]
+    fn loads_sign_and_zero_extend() {
+        let m = run("li t0, 4096\n\
+             li t1, -2\n\
+             sw t1, 0(t0)\n\
+             lw t2, 0(t0)\n\
+             lwu t3, 0(t0)\n\
+             lb t4, 0(t0)\n\
+             lbu t5, 0(t0)\n");
+        assert_eq!(m.regs[7] as i64, -2, "lw sign-extends");
+        assert_eq!(m.regs[28], 0xffff_fffe, "lwu zero-extends");
+        assert_eq!(m.regs[29] as i64, -2, "lb sign-extends");
+        assert_eq!(m.regs[30], 0xfe, "lbu zero-extends");
+    }
+
+    #[test]
+    fn division_semantics_follow_rv64m() {
+        let m = run("li t0, 7\n li t1, 0\n\
+             div t2, t0, t1\n\
+             rem t3, t0, t1\n\
+             li t4, -9\n li t5, 4\n\
+             div t6, t4, t5\n");
+        assert_eq!(m.regs[7], u64::MAX, "divide by zero → all ones");
+        assert_eq!(m.regs[28], 7, "remainder by zero → dividend");
+        assert_eq!(m.regs[31] as i64, -2, "signed division truncates toward zero");
+    }
+
+    #[test]
+    fn lui_sign_extends_like_rv64() {
+        let m = run("lui t0, 0x80000\n lui t1, 0x7ffff\n lui t2, 1\n");
+        assert_eq!(m.regs[5], 0xffff_ffff_8000_0000, "bit 31 propagates to 63:32");
+        assert_eq!(m.regs[6], 0x7fff_f000);
+        assert_eq!(m.regs[7], 0x1000);
+    }
+
+    #[test]
+    fn call_and_ret_link_through_ra() {
+        let m = run("li a0, 5\n\
+             call double\n\
+             mv a1, a0\n\
+             j end\n\
+             double:\n\
+             add a0, a0, a0\n\
+             ret\n\
+             end:\n");
+        assert_eq!(m.regs[11], 10);
+    }
+
+    #[test]
+    fn writes_to_zero_are_discarded_and_memory_wraps() {
+        let m = run("li t0, 7\n add zero, t0, t0\n");
+        assert_eq!(m.regs[0], 0);
+        // A wild store must wrap into the data memory, not crash.
+        let m = run("li t0, 0x7fffffff0\n sd t0, 0(t0)\n ld t1, 0(t0)\n");
+        assert_eq!(m.regs[6], m.regs[5], "wrapped store reads back");
+    }
+
+    #[test]
+    fn stack_starts_at_top_and_reset_restores() {
+        let p = parse("addi sp, sp, -16\n sd ra, 8(sp)\n").unwrap();
+        let mut m = Machine::new();
+        assert_eq!(m.regs[2], MEM_BYTES as u64);
+        m.step(&p.insts, 0);
+        m.step(&p.insts, 1);
+        assert_eq!(m.regs[2], MEM_BYTES as u64 - 16);
+        m.mem[0] = 99;
+        m.reset();
+        assert_eq!(m.regs[2], MEM_BYTES as u64);
+        assert_eq!(m.mem[0], 0);
+        assert_eq!(m.next_idx, 0);
+    }
+}

@@ -1,0 +1,304 @@
+//! CFG translation: a parsed [`AsmProgram`] becomes an
+//! [`hdsmt_isa::Program`] — the basic-block dictionary the shared fetch
+//! engine needs for wrong-path decoding and static taken-targets.
+//!
+//! Layout invariant: instruction index `i` sits at PC
+//! `Program::BASE_PC + 4*i` (blocks are created in index order and the
+//! program builder lays them out contiguously), so the emulator and the
+//! dictionary agree on every PC without a mapping table.
+//!
+//! Because real programs are finite while the simulator's streams must be
+//! endless, translation appends one synthetic **restart block** — a
+//! single `Jump` back to the entry — at the end of the image. Execution
+//! that falls off the end (or returns through a clobbered `ra`) flows
+//! into it, the trace source emits it as a real taken jump, and the
+//! machine resets for the next identical lap.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use hdsmt_isa::{ArchReg, BasicBlock, BlockId, MemGen, Op, Program, StaticInst, Terminator};
+
+use crate::asm::{AsmProgram, Reg, RvInst};
+
+/// A translated, executable program image: the emulator-facing
+/// instruction list and the pipeline-facing basic-block dictionary, index
+/// aligned (entry `i` of [`insts`](Self::insts) sits at PC
+/// `BASE_PC + 4*i`; the last entry is the synthetic restart jump).
+#[derive(Debug)]
+pub struct RvImage {
+    pub name: String,
+    pub program: Arc<Program>,
+    pub insts: Vec<RvInst>,
+    /// Flat copy of each instruction's [`StaticInst`] (same indexing), so
+    /// the trace source never searches the dictionary on the hot path.
+    pub sinsts: Vec<StaticInst>,
+    /// Index of the synthetic restart jump (`== insts.len() - 1`).
+    pub restart_idx: usize,
+}
+
+fn reg_opt(r: Reg) -> Option<ArchReg> {
+    if r.is_zero() {
+        None
+    } else {
+        Some(ArchReg::int(r.0))
+    }
+}
+
+/// Address-behaviour annotation for one memory instruction. The
+/// annotation only steers *wrong-path* address fabrication (correct-path
+/// addresses come from the emulator); stack-pointer-relative accesses
+/// fabricate near the stack, everything else anywhere in the data image.
+fn mem_gen(base: Reg) -> MemGen {
+    if base == Reg::SP {
+        MemGen::Stack
+    } else {
+        MemGen::Random
+    }
+}
+
+/// The pipeline-facing classification of one instruction.
+fn static_of(inst: &RvInst) -> StaticInst {
+    match *inst {
+        RvInst::Alu { op, rd, rs1, rs2 } => StaticInst {
+            op: if op.is_mul() {
+                Op::IntMul
+            } else if op.is_div() {
+                Op::IntDiv
+            } else {
+                Op::IntAlu
+            },
+            dst: reg_opt(rd),
+            srcs: [reg_opt(rs1), reg_opt(rs2)],
+            mem: None,
+        },
+        RvInst::AluImm { op, rd, rs1, .. } => StaticInst {
+            op: if op.is_mul() {
+                Op::IntMul
+            } else if op.is_div() {
+                Op::IntDiv
+            } else {
+                Op::IntAlu
+            },
+            dst: reg_opt(rd),
+            srcs: [reg_opt(rs1), None],
+            mem: None,
+        },
+        RvInst::Lui { rd, .. } => {
+            StaticInst { op: Op::IntAlu, dst: reg_opt(rd), srcs: [None, None], mem: None }
+        }
+        RvInst::Load { rd, base, .. } => StaticInst {
+            op: Op::Load,
+            dst: reg_opt(rd),
+            srcs: [reg_opt(base), None],
+            mem: Some(mem_gen(base)),
+        },
+        RvInst::Store { rs2, base, .. } => StaticInst {
+            op: Op::Store,
+            dst: None,
+            srcs: [reg_opt(base), reg_opt(rs2)],
+            mem: Some(mem_gen(base)),
+        },
+        RvInst::Branch { rs1, rs2, .. } => StaticInst {
+            op: Op::CondBranch,
+            dst: None,
+            srcs: [reg_opt(rs1), reg_opt(rs2)],
+            mem: None,
+        },
+        RvInst::Jump { .. } => {
+            StaticInst { op: Op::Jump, dst: None, srcs: [None, None], mem: None }
+        }
+        RvInst::Call { .. } => StaticInst {
+            op: Op::Call,
+            dst: Some(ArchReg::int(Reg::RA.0)),
+            srcs: [None, None],
+            mem: None,
+        },
+        RvInst::Ret => StaticInst {
+            op: Op::Return,
+            dst: None,
+            srcs: [Some(ArchReg::int(Reg::RA.0)), None],
+            mem: None,
+        },
+    }
+}
+
+/// Translate a parsed program into an executable [`RvImage`].
+pub fn translate(name: &str, asm: &AsmProgram) -> Result<RvImage, String> {
+    // The executable image: every parsed instruction plus the synthetic
+    // restart jump at the end.
+    let mut insts = asm.insts.clone();
+    let restart_idx = insts.len();
+    insts.push(RvInst::Jump { target: 0 });
+    let n = insts.len();
+
+    // Block boundaries: entry, the restart jump, every label, every
+    // branch target, and every control-transfer fall-through.
+    let mut bounds: BTreeSet<usize> = BTreeSet::new();
+    bounds.insert(0);
+    bounds.insert(restart_idx);
+    for &idx in asm.labels.values() {
+        bounds.insert(idx.min(restart_idx));
+    }
+    for (i, inst) in insts.iter().enumerate() {
+        match *inst {
+            RvInst::Branch { target, .. } | RvInst::Jump { target } | RvInst::Call { target } => {
+                if target > restart_idx {
+                    return Err(format!("{name}: branch target {target} outside the image"));
+                }
+                bounds.insert(target.min(restart_idx));
+                if i < restart_idx {
+                    bounds.insert(i + 1);
+                }
+            }
+            RvInst::Ret => {
+                bounds.insert((i + 1).min(restart_idx));
+            }
+            _ => {}
+        }
+    }
+    bounds.remove(&n); // the restart jump never falls through
+
+    let starts: Vec<usize> = bounds.into_iter().collect();
+    let block_of = |idx: usize| -> BlockId {
+        // Last boundary ≤ idx (targets are always boundaries, so this is
+        // exact for them).
+        let pos = starts.partition_point(|&s| s <= idx) - 1;
+        BlockId(pos as u32)
+    };
+
+    let mut blocks = Vec::with_capacity(starts.len());
+    for (bi, &start) in starts.iter().enumerate() {
+        let end = starts.get(bi + 1).copied().unwrap_or(n);
+        debug_assert!(start < end, "empty block at {start}");
+        let body: Vec<StaticInst> = insts[start..end].iter().map(static_of).collect();
+        let last = &insts[end - 1];
+        let term = match *last {
+            RvInst::Branch { target, .. } => Terminator::Cond {
+                taken: block_of(target),
+                not_taken: block_of(end.min(restart_idx)),
+                // Outcomes come from the emulator; the probability is a
+                // structural placeholder (validators require [0, 1]).
+                p_taken: 0.5,
+            },
+            RvInst::Jump { target } => Terminator::Jump { target: block_of(target) },
+            RvInst::Call { target } => Terminator::Call {
+                callee: block_of(target),
+                ret_to: block_of(end.min(restart_idx)),
+            },
+            RvInst::Ret => Terminator::Return,
+            _ => Terminator::FallThrough { next: block_of(end.min(restart_idx)) },
+        };
+        blocks.push(BasicBlock {
+            id: BlockId(bi as u32),
+            start: hdsmt_isa::Pc(0), // assigned by Program::build
+            insts: body,
+            term,
+        });
+    }
+
+    let program =
+        Program::build(blocks, BlockId(0)).map_err(|e| format!("{name}: invalid CFG: {e}"))?;
+    debug_assert_eq!(program.len_insts(), n as u64);
+    let sinsts: Vec<StaticInst> = insts.iter().map(static_of).collect();
+    Ok(RvImage { name: name.to_string(), program: Arc::new(program), insts, sinsts, restart_idx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::parse;
+    use hdsmt_isa::Pc;
+
+    fn image(text: &str) -> RvImage {
+        translate("test", &parse(text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn instruction_index_matches_pc_layout() {
+        let img = image("li t0, 1\nloop:\n addi t0, t0, 1\n bne t0, t1, loop\n");
+        for (i, s) in img.sinsts.iter().enumerate() {
+            let pc = Pc(Program::BASE_PC.0 + 4 * i as u64);
+            assert_eq!(img.program.inst_at(pc), Some(s), "inst {i} not at its PC");
+        }
+        assert_eq!(img.program.len_insts(), img.insts.len() as u64);
+    }
+
+    #[test]
+    fn restart_block_jumps_to_entry() {
+        let img = image("nop\n nop\n");
+        assert_eq!(img.restart_idx, 2);
+        assert_eq!(img.insts[2], RvInst::Jump { target: 0 });
+        let restart_pc = Pc(Program::BASE_PC.0 + 4 * img.restart_idx as u64);
+        let (b, off) = img.program.lookup(restart_pc).unwrap();
+        assert_eq!(off, 0, "restart jump opens its own block");
+        assert_eq!(b.term, Terminator::Jump { target: BlockId(0) });
+        assert_eq!(b.insts[0].op, Op::Jump);
+    }
+
+    #[test]
+    fn branch_terminators_carry_taken_and_fallthrough() {
+        let img = image("top:\n addi t0, t0, 1\n blt t0, t1, top\n sub t2, t0, t1\n");
+        let (b, _) = img.program.lookup(Program::BASE_PC).unwrap();
+        match b.term {
+            Terminator::Cond { taken, not_taken, .. } => {
+                assert_eq!(img.program.block(taken).start, Program::BASE_PC);
+                // Fall-through block starts right after the branch.
+                assert_eq!(img.program.block(not_taken).start, Pc(Program::BASE_PC.0 + 8));
+            }
+            ref t => panic!("expected Cond, got {t:?}"),
+        }
+    }
+
+    #[test]
+    fn calls_and_returns_translate() {
+        let img = image("call f\n j done\n f:\n ret\n done:\n nop\n");
+        let (b, _) = img.program.lookup(Program::BASE_PC).unwrap();
+        match b.term {
+            Terminator::Call { callee, ret_to } => {
+                assert_eq!(img.program.block(callee).insts[0].op, Op::Return);
+                assert_eq!(img.program.block(ret_to).insts[0].op, Op::Jump);
+            }
+            ref t => panic!("expected Call, got {t:?}"),
+        }
+        // `ra` is the architectural link register in the static image.
+        assert_eq!(img.sinsts[0].dst, Some(ArchReg::int(1)));
+        assert_eq!(img.sinsts[2].srcs[0], Some(ArchReg::int(1)));
+    }
+
+    #[test]
+    fn trailing_label_branch_reaches_the_restart_block() {
+        // `bne … end` with `end:` at the very end must resolve to the
+        // restart block, wrapping execution around.
+        let img = image("loop:\n addi t0, t0, 1\n bne t0, t1, end\n j loop\n end:\n");
+        let (b, _) = img.program.lookup(Pc(Program::BASE_PC.0 + 4)).unwrap();
+        match b.term {
+            Terminator::Cond { taken, .. } => {
+                assert_eq!(img.program.block(taken).term, Terminator::Jump { target: BlockId(0) });
+            }
+            ref t => panic!("expected Cond, got {t:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_annotations_split_stack_from_heap() {
+        let img = image("lw t0, 8(sp)\n sw t0, 16(a0)\n");
+        assert_eq!(img.sinsts[0].mem, Some(MemGen::Stack));
+        assert_eq!(img.sinsts[1].mem, Some(MemGen::Random));
+        assert_eq!(img.sinsts[1].srcs, [Some(ArchReg::int(10)), Some(ArchReg::int(5))]);
+    }
+
+    #[test]
+    fn every_builtin_asm_shape_validates() {
+        // The program builder re-validates structure (mid-block control,
+        // terminator mismatches, dangling successors) — translating any
+        // parseable program must yield a valid CFG.
+        let img = image(
+            "li a0, 3\n\
+             start:\n call f\n addi a0, a0, -1\n bnez a0, start\n j out\n\
+             f:\n addi a1, a1, 1\n ret\n\
+             out:\n nop\n",
+        );
+        img.program.validate().unwrap();
+    }
+}

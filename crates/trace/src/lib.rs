@@ -27,12 +27,14 @@
 
 pub mod dyninst;
 pub mod profile;
+pub mod source;
 pub mod spec;
 pub mod stream;
 pub mod synth;
 
 pub use dyninst::{CtrlOutcome, DynInst};
 pub use profile::{BenchClass, BenchProfile};
+pub use source::TraceSource;
 pub use spec::{all_benchmarks, by_name, BENCHMARK_NAMES};
 pub use stream::TraceStream;
 pub use synth::synthesize;

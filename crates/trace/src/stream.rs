@@ -314,6 +314,46 @@ impl TraceStream {
     }
 }
 
+/// The synthetic stream is one of the two [`crate::TraceSource`]
+/// front-ends (the other is the RV64I emulator in `hdsmt-riscv`); the
+/// trait methods delegate to the inherent API above.
+impl crate::TraceSource for TraceStream {
+    #[inline]
+    fn next_inst(&mut self) -> DynInst {
+        TraceStream::next_inst(self)
+    }
+
+    #[inline]
+    fn wrong_path_addr(&mut self, g: MemGen) -> u64 {
+        TraceStream::wrong_path_addr(self, g)
+    }
+
+    #[inline]
+    fn program(&self) -> &Arc<Program> {
+        TraceStream::program(self)
+    }
+
+    #[inline]
+    fn code_base(&self) -> u64 {
+        TraceStream::code_base(self)
+    }
+
+    #[inline]
+    fn code_range(&self) -> (u64, u64) {
+        TraceStream::code_range(self)
+    }
+
+    #[inline]
+    fn region_layout(&self) -> [(u64, u64); 4] {
+        TraceStream::region_layout(self)
+    }
+
+    #[inline]
+    fn emitted(&self) -> u64 {
+        TraceStream::emitted(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

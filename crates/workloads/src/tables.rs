@@ -1,12 +1,16 @@
 //! The multiprogrammed workloads of Tables 2 and 3.
 
-/// Workload classification (Tables 2–3): I = high instruction-level
-/// parallelism, M = bad memory behaviour, X = a mix of both.
+/// Workload classification: Tables 2–3 use I = high instruction-level
+/// parallelism, M = bad memory behaviour, X = a mix of both. The
+/// program-backed extension adds RV (all-real RV64I threads) and XRV
+/// (real + synthetic mixes).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
 pub enum WorkloadClass {
     Ilp,
     Mem,
     Mix,
+    Rv,
+    RvMix,
 }
 
 impl WorkloadClass {
@@ -15,6 +19,8 @@ impl WorkloadClass {
             WorkloadClass::Ilp => "ILP",
             WorkloadClass::Mem => "MEM",
             WorkloadClass::Mix => "MIX",
+            WorkloadClass::Rv => "RV",
+            WorkloadClass::RvMix => "XRV",
         }
     }
 }
@@ -80,9 +86,26 @@ pub const WORKLOADS: [Workload; 22] = [
     },
 ];
 
+use WorkloadClass::{Rv, RvMix};
+
+/// Program-backed workloads: real RV64I instruction streams, pure and
+/// mixed with the synthetic models. Mirrors the campaign catalog's
+/// opt-in RV extension.
+pub const RV_WORKLOADS: [Workload; 4] = [
+    Workload { id: "RV2", benchmarks: &["rv:matmul", "rv:sort"], class: Rv },
+    Workload { id: "RV4", benchmarks: &["rv:matmul", "rv:sort", "rv:prime", "rv:fib"], class: Rv },
+    Workload { id: "XRV2", benchmarks: &["gzip", "rv:matmul"], class: RvMix },
+    Workload { id: "XRV4", benchmarks: &["mcf", "rv:sort", "gzip", "rv:prime"], class: RvMix },
+];
+
 /// Every workload of Tables 2–3.
 pub fn all_workloads() -> &'static [Workload] {
     &WORKLOADS
+}
+
+/// The program-backed (RV64I) workload extension.
+pub fn rv_workloads() -> &'static [Workload] {
+    &RV_WORKLOADS
 }
 
 /// Workloads of a given class and thread count.
@@ -133,6 +156,26 @@ mod tests {
             let e = catalog.get(w.id).unwrap_or_else(|| panic!("{} missing", w.id));
             assert_eq!(e.benchmarks, w.benchmarks, "{}", w.id);
             assert_eq!(e.class.as_deref(), Some(w.class.label()), "{}", w.id);
+        }
+    }
+
+    #[test]
+    fn rv_workloads_match_campaign_catalog_and_resolve() {
+        // Same drift guard as the paper tables: the typed RV table and
+        // the campaign catalog extension must agree entry for entry.
+        let catalog = hdsmt_campaign::Catalog::paper_with_rv();
+        for w in rv_workloads() {
+            let e = catalog.get(w.id).unwrap_or_else(|| panic!("{} missing", w.id));
+            assert_eq!(e.benchmarks, w.benchmarks, "{}", w.id);
+            assert_eq!(e.class.as_deref(), Some(w.class.label()), "{}", w.id);
+            for b in w.benchmarks {
+                assert!(hdsmt_core::ThreadSpec::exists(b), "{}: unknown benchmark {b}", w.id);
+            }
+            // Mixed workloads really mix: at least one thread per front-end.
+            if w.class == WorkloadClass::RvMix {
+                assert!(w.benchmarks.iter().any(|b| b.starts_with("rv:")));
+                assert!(w.benchmarks.iter().any(|b| !b.starts_with("rv:")));
+            }
         }
     }
 

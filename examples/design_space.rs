@@ -41,6 +41,7 @@ fn main() {
         cache_dir: Some(".hdsmt-cache".into()),
         profile_insts: None,
         extra_workloads: None,
+        use_rv_workloads: None,
     };
 
     println!("running campaign (profiling for the mapping heuristic on first use)…");

@@ -72,6 +72,7 @@ fn main() {
         workers: None,
         cache_dir: Some(".hdsmt-cache".into()),
         profile_insts: None,
+        use_rv_workloads: None,
         extra_workloads: Some(vec![ExtraWorkload {
             id: "mix4".into(),
             benchmarks: vec!["gzip".into(), "twolf".into(), "bzip2".into(), "mcf".into()],

@@ -13,7 +13,8 @@
 //! | Crate | Role |
 //! |---|---|
 //! | [`isa`] | instruction set, synthetic-program representation, basic-block dictionary |
-//! | [`trace`] | calibrated SPECint2000 benchmark models and deterministic trace streams |
+//! | [`trace`] | the [`trace::TraceSource`] front-end abstraction + calibrated SPECint2000 benchmark models |
+//! | [`riscv`] | RV64I(+M) functional emulator: real-program trace sources (`rv:*` benchmarks) |
 //! | [`bpred`] | perceptron predictor, BTB, RAS (+ gshare ablation baseline) |
 //! | [`mem`] | banked L1I/L1D, unified L2, TLBs, MSHRs (Table 1 parameters) |
 //! | [`pipeline`] | out-of-order backend structures (wakeup lists, ready sets, completion wheel) and the M8/M6/M4/M2 models |
@@ -40,6 +41,30 @@
 //!
 //! See `examples/` for complete scenarios and the `reproduce` binary
 //! (`crates/bench`) for full figure regeneration.
+//!
+//! ## Workload front-ends
+//!
+//! Every thread's dynamic instruction stream comes from a
+//! [`trace::TraceSource`]: either a synthetic SPECint2000 model
+//! (`"gzip"`, `"mcf"`, …) or a real RV64I(+M) program executed
+//! architecturally by the `riscv` crate (`"rv:matmul"`, `"rv:fib"`, …).
+//! The two mix freely within one workload:
+//!
+//! ```
+//! use hdsmt::core::{run_sim, SimConfig, ThreadSpec};
+//! use hdsmt::pipeline::MicroArch;
+//!
+//! let arch = MicroArch::parse("2M4+2M2").unwrap();
+//! let cfg = SimConfig::paper_defaults(arch, 2_000);
+//! let workload =
+//!     vec![ThreadSpec::for_benchmark("gzip", 1), ThreadSpec::for_benchmark("rv:fib", 2)];
+//! let result = run_sim(&cfg, &workload, &[0, 1]);
+//! assert!(result.ipc() > 0.1);
+//! ```
+//!
+//! Campaign specs opt into the program-backed catalog entries
+//! (`RV2`, `XRV2`, …) with `use_rv_workloads = true` — see
+//! `examples/specs/riscv_mix.toml`.
 //!
 //! ## Campaigns
 //!
@@ -81,5 +106,6 @@ pub use hdsmt_core as core;
 pub use hdsmt_isa as isa;
 pub use hdsmt_mem as mem;
 pub use hdsmt_pipeline as pipeline;
+pub use hdsmt_riscv as riscv;
 pub use hdsmt_trace as trace;
 pub use hdsmt_workloads as workloads;

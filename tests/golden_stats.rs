@@ -108,6 +108,29 @@ const MATRIX: &[Cell] = &[
         policy: None,
         run_len: 3_000,
     },
+    Cell {
+        // Real-program front-end: two RV64I kernels executed
+        // architecturally (genuine PCs, branch outcomes, addresses). Pins
+        // the emulator, the CFG translation, and the TraceSource seam
+        // the same way the synthetic cells pin the generator.
+        name: "m8_rv2_flush",
+        arch: "M8",
+        benchmarks: &["rv:matmul", "rv:sort"],
+        mapping: &[0, 0],
+        policy: None,
+        run_len: 4_000,
+    },
+    Cell {
+        // Mixed cell: one synthetic model and one real program sharing
+        // an hdSMT machine (the tentpole scenario for program-backed
+        // workloads).
+        name: "hd_2m4_2m2_rvmix2_l1mcount",
+        arch: "2M4+2M2",
+        benchmarks: &["gzip", "rv:fib"],
+        mapping: &[0, 1],
+        policy: None,
+        run_len: 4_000,
+    },
 ];
 
 fn fixture_path(name: &str) -> PathBuf {
