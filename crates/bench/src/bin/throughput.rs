@@ -1,43 +1,95 @@
 //! Host-side throughput harness for the simulator's per-cycle hot path.
 //!
-//! Runs the fixed reference cell — M8, four threads (2×ILP + 2×MEM:
-//! gzip, eon, mcf, twolf), 200 k instructions per thread — and reports
-//! simulated KIPS (thousands of committed instructions per host second).
-//! This is the number the event-driven scheduler work is measured by, and
-//! the one future PRs must not silently regress.
+//! Measures simulated KIPS (thousands of committed instructions per host
+//! second) on a named *cell* — a fixed (arch × workload) configuration —
+//! and records the result per cell in a JSON report. These are the
+//! numbers the scheduler/warp/front-end optimisation work is measured
+//! by, and the ones future PRs must not silently regress.
 //!
 //! ```text
 //! cargo run --release -p hdsmt-bench --bin throughput -- \
-//!     [--quick] [--label NAME] [--out PATH] [--baseline PATH] \
-//!     [--compare PATH] [--warn-pct N]
+//!     [--cell NAME] [--quick] [--label NAME] [--out PATH] \
+//!     [--baseline PATH] [--compare PATH] [--warn-pct N] [--list-cells]
 //! ```
 //!
+//! * `--cell`      which cell to run (default `m8_mix4`; see below).
 //! * `--quick`     20 k instructions, 1 rep (CI smoke scale).
 //! * `--label`     name recorded for this measurement (default "current").
-//! * `--out`       write a JSON report (default `BENCH_hotpath.json`).
-//! * `--baseline`  prepend the runs of a previous report and report the
-//!   speedup of this run over its first entry.
-//! * `--compare`   check this run's KIPS against the *last* run of a
-//!   committed report (the repo's `BENCH_hotpath.json`); if it falls more
-//!   than `--warn-pct` percent short (default 15), print a GitHub Actions
-//!   `::warning` annotation. Never fatal — including when the report is
-//!   missing or unparsable: shared CI runners are slower than the bench
-//!   host, so this is a trend alarm, not a gate. Compare full-scale runs
-//!   against the committed full-scale baseline; `--quick` runs measure a
-//!   different cell size and would alarm permanently.
+//! * `--out`       write/merge the JSON report (default `BENCH_hotpath.json`).
+//! * `--baseline`  prepend the named report's runs (all cells carried
+//!   through; this cell's runs extend) and report the speedup of this run
+//!   over the cell's first entry.
+//! * `--compare`   check this run's KIPS against the *last* run of the
+//!   same cell in a committed report; if it falls more than `--warn-pct`
+//!   percent short (default 15), print a GitHub Actions `::warning`
+//!   annotation. Never fatal — including when the report is missing,
+//!   unparsable or lacks the cell: shared CI runners are slower than the
+//!   bench host, so this is a trend alarm, not a gate. Compare full-scale
+//!   runs only; `--quick` runs measure a different cell size and would
+//!   alarm permanently.
 //!
-//! The harness always verifies determinism first: the verification cell is
-//! simulated twice and the serialized statistics must match exactly, else
-//! the process panics (CI fails).
+//! # Cells
+//!
+//! | name | arch | workload | regime |
+//! |---|---|---|---|
+//! | `m8_mix4` | M8 | gzip+eon+mcf+twolf (FLUSH) | reference ILP+MEM mix |
+//! | `m8_mcf4` | M8 | mcf×4 (ICOUNT) | memory-saturated: every thread blocked on L2/memory misses for long stretches — the cycle-warping regime |
+//! | `m8_rv4`  | M8 | rv:sum+rv:matmul+rv:fib+rv:prime (FLUSH) | real-program front-end (emulator + chunked generation carry fetch) |
+//!
+//! The harness always verifies determinism first: the cell is simulated
+//! twice at probe scale and the serialized statistics must match exactly,
+//! else the process panics (CI fails).
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
-use hdsmt_core::{run_sim, SimConfig, ThreadSpec};
+use hdsmt_core::{run_sim, FetchPolicy, SimConfig, ThreadSpec};
 use hdsmt_pipeline::MicroArch;
 
-const REFERENCE_BENCHMARKS: [&str; 4] = ["gzip", "eon", "mcf", "twolf"];
 const FULL_INSTS: u64 = 200_000;
 const QUICK_INSTS: u64 = 20_000;
+
+struct CellDef {
+    name: &'static str,
+    arch: &'static str,
+    benchmarks: &'static [&'static str],
+    /// Fetch-policy override (`None` = the architecture's paper default).
+    policy: Option<FetchPolicy>,
+    regime: &'static str,
+}
+
+/// The measured cells. Warm-up is disabled so every commit is timed;
+/// each cell uses the architecture's paper-default fetch policy unless
+/// it overrides one.
+const CELLS: &[CellDef] = &[
+    CellDef {
+        name: "m8_mix4",
+        arch: "M8",
+        benchmarks: &["gzip", "eon", "mcf", "twolf"],
+        policy: None, // M8 default: FLUSH
+        regime: "reference 2xILP+2xMEM mix",
+    },
+    CellDef {
+        // Four miss-bound threads under ICOUNT: the machine spends most
+        // of its cycles with every thread blocked on an L2/memory miss —
+        // the stalled-machine regime the quiescence-warping engine
+        // targets. (FLUSH would convert those stalls into refetch churn
+        // instead; that regime is covered by m8_mix4's default policy and
+        // pinned by the m8_memsat4_flush golden cell.)
+        name: "m8_mcf4",
+        arch: "M8",
+        benchmarks: &["mcf", "mcf", "mcf", "mcf"],
+        policy: Some(FetchPolicy::Icount),
+        regime: "memory-saturated (all threads miss-bound, ICOUNT)",
+    },
+    CellDef {
+        name: "m8_rv4",
+        arch: "M8",
+        benchmarks: &["rv:sum", "rv:matmul", "rv:fib", "rv:prime"],
+        policy: None,
+        regime: "real-program RV64I front-end",
+    },
+];
 
 #[derive(Clone, serde::Serialize, serde::Deserialize)]
 struct Measurement {
@@ -55,26 +107,47 @@ struct Measurement {
     reps: u32,
 }
 
-#[derive(serde::Serialize, serde::Deserialize)]
-struct Report {
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
+struct CellReport {
     reference: String,
     quick: bool,
-    /// Free-form provenance text (hand-authored in the committed report);
-    /// carried through `--baseline` merges untouched.
-    methodology: Option<String>,
     runs: Vec<Measurement>,
     /// kips of the last run over kips of the first run (after merging the
     /// baseline), i.e. the recorded before → after improvement.
     speedup_last_over_first: Option<f64>,
-    /// Free-form commentary, carried through like `methodology`.
-    notes: Option<String>,
 }
 
-fn reference_config(insts: u64) -> (SimConfig, Vec<ThreadSpec>, Vec<u8>) {
-    let mut cfg = SimConfig::paper_defaults(MicroArch::baseline(), insts);
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Report {
+    /// Free-form provenance text (hand-authored in the committed report);
+    /// carried through `--baseline` merges untouched.
+    methodology: Option<String>,
+    /// Free-form commentary, carried through like `methodology`.
+    notes: Option<String>,
+    /// Per-cell measurement histories, keyed by cell name.
+    cells: BTreeMap<String, CellReport>,
+}
+
+fn cell_by_name(name: &str) -> &'static CellDef {
+    CELLS.iter().find(|c| c.name == name).unwrap_or_else(|| {
+        eprintln!("unknown cell `{name}`; available:");
+        for c in CELLS {
+            eprintln!("  {} — {} on {}: {}", c.name, c.benchmarks.join("+"), c.arch, c.regime);
+        }
+        std::process::exit(2);
+    })
+}
+
+fn cell_config(cell: &CellDef, insts: u64) -> (SimConfig, Vec<ThreadSpec>, Vec<u8>) {
+    let arch = MicroArch::parse(cell.arch).expect("cell arch parses");
+    let mut cfg = SimConfig::paper_defaults(arch, insts);
     // Measure every committed instruction: no warm-up blackout.
     cfg.warmup_insts = 0;
-    let specs: Vec<ThreadSpec> = REFERENCE_BENCHMARKS
+    if let Some(p) = cell.policy {
+        cfg.fetch_policy = p;
+    }
+    let specs: Vec<ThreadSpec> = cell
+        .benchmarks
         .iter()
         .enumerate()
         .map(|(i, n)| ThreadSpec::for_benchmark(n, 42 + i as u64))
@@ -83,23 +156,24 @@ fn reference_config(insts: u64) -> (SimConfig, Vec<ThreadSpec>, Vec<u8>) {
     (cfg, specs, mapping)
 }
 
-fn check_determinism() {
-    let (cfg, specs, mapping) = reference_config(5_000);
+fn check_determinism(cell: &CellDef) {
+    let (cfg, specs, mapping) = cell_config(cell, 5_000);
     let a = serde_json::to_string(&run_sim(&cfg, &specs, &mapping).stats).unwrap();
     let b = serde_json::to_string(&run_sim(&cfg, &specs, &mapping).stats).unwrap();
-    assert_eq!(a, b, "reference cell is non-deterministic; refusing to benchmark");
-    eprintln!("determinism check: ok");
+    assert_eq!(a, b, "cell {} is non-deterministic; refusing to benchmark", cell.name);
+    eprintln!("determinism check ({}): ok", cell.name);
 }
 
-fn measure(label: &str, insts: u64, reps: u32) -> Measurement {
-    let (cfg, specs, mapping) = reference_config(insts);
+fn measure(cell: &CellDef, label: &str, insts: u64, reps: u32) -> Measurement {
+    let (cfg, specs, mapping) = cell_config(cell, insts);
     let mut best: Option<(f64, u64, u64)> = None; // (wall_ms, retired, cycles)
     for rep in 0..reps {
         let t0 = Instant::now();
         let r = run_sim(&cfg, &specs, &mapping);
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         eprintln!(
-            "rep {}/{}: {} insts, {} cycles in {:.1} ms ({:.1} KIPS)",
+            "{} rep {}/{}: {} insts, {} cycles in {:.1} ms ({:.1} KIPS)",
+            cell.name,
             rep + 1,
             reps,
             r.stats.retired,
@@ -114,8 +188,8 @@ fn measure(label: &str, insts: u64, reps: u32) -> Measurement {
     let (wall_ms, retired, cycles) = best.unwrap();
     Measurement {
         label: label.to_string(),
-        arch: "M8".to_string(),
-        threads: REFERENCE_BENCHMARKS.len(),
+        arch: cell.arch.to_string(),
+        threads: cell.benchmarks.len(),
         insts_per_thread: insts,
         retired,
         cycles,
@@ -125,10 +199,10 @@ fn measure(label: &str, insts: u64, reps: u32) -> Measurement {
     }
 }
 
-/// Compare a fresh measurement against the last run of a committed report
-/// and emit a non-fatal GitHub `::warning` annotation when it regresses by
-/// more than `warn_pct` percent.
-fn compare_against(m: &Measurement, path: &str, warn_pct: f64) {
+/// Compare a fresh measurement against the last same-cell run of a
+/// committed report and emit a non-fatal GitHub `::warning` annotation
+/// when it regresses by more than `warn_pct` percent.
+fn compare_against(cell: &CellDef, m: &Measurement, path: &str, warn_pct: f64) {
     // Never fatal, including on a missing/corrupt report: the comparison
     // is a trend alarm, not a gate.
     let text = match std::fs::read_to_string(path) {
@@ -145,28 +219,30 @@ fn compare_against(m: &Measurement, path: &str, warn_pct: f64) {
             return;
         }
     };
-    let Some(base) = prev.runs.last() else {
-        eprintln!("--compare report {path} has no runs; skipping the check");
+    let Some(base) = prev.cells.get(cell.name).and_then(|c| c.runs.last()) else {
+        eprintln!("--compare report {path} has no {} runs; skipping the check", cell.name);
         return;
     };
     let floor = base.kips * (1.0 - warn_pct / 100.0);
     let pct = 100.0 * (m.kips / base.kips - 1.0);
     eprintln!(
-        "compare: {:.1} KIPS vs committed '{}' at {:.1} KIPS ({pct:+.1}%, warn floor {floor:.1})",
-        m.kips, base.label, base.kips
+        "compare[{}]: {:.1} KIPS vs committed '{}' at {:.1} KIPS ({pct:+.1}%, warn floor \
+         {floor:.1})",
+        cell.name, m.kips, base.label, base.kips
     );
     if m.kips < floor {
         // GitHub Actions annotation syntax; harmless noise anywhere else.
         println!(
-            "::warning title=throughput regression::measured {:.1} simulated KIPS is \
+            "::warning title=throughput regression ({})::measured {:.1} simulated KIPS is \
              {:.1}% below the committed '{}' baseline ({:.1} KIPS, floor {:.1}). If this \
              slowdown is real and intended, re-measure and update BENCH_hotpath.json.",
-            m.kips, -pct, base.label, base.kips, floor
+            cell.name, m.kips, -pct, base.label, base.kips, floor
         );
     }
 }
 
 fn main() {
+    let mut cell_name = "m8_mix4".to_string();
     let mut quick = false;
     let mut label = "current".to_string();
     let mut out = "BENCH_hotpath.json".to_string();
@@ -177,6 +253,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--cell" => cell_name = args.next().expect("--cell NAME"),
             "--quick" => quick = true,
             "--label" => label = args.next().expect("--label NAME"),
             "--out" => out = args.next().expect("--out PATH"),
@@ -186,55 +263,66 @@ fn main() {
                 warn_pct =
                     args.next().expect("--warn-pct N").parse().expect("--warn-pct takes a number")
             }
+            "--list-cells" => {
+                for c in CELLS {
+                    println!("{} — {} on {}: {}", c.name, c.benchmarks.join("+"), c.arch, c.regime);
+                }
+                return;
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
             }
         }
     }
+    let cell = cell_by_name(&cell_name);
 
-    check_determinism();
+    check_determinism(cell);
 
     let (insts, reps) = if quick { (QUICK_INSTS, 1) } else { (FULL_INSTS, 3) };
-    let m = measure(&label, insts, reps);
+    let m = measure(cell, &label, insts, reps);
     println!(
-        "{}: {:.1} simulated KIPS ({} insts in {:.1} ms)",
-        m.label, m.kips, m.retired, m.wall_ms
+        "{}[{}]: {:.1} simulated KIPS ({} insts in {:.1} ms)",
+        m.label, cell.name, m.kips, m.retired, m.wall_ms
     );
     if let Some(path) = &compare {
-        compare_against(&m, path, warn_pct);
+        compare_against(cell, &m, path, warn_pct);
     }
 
-    let mut runs = Vec::new();
+    let mut cells: BTreeMap<String, CellReport> = BTreeMap::new();
     let mut methodology = None;
     let mut notes = None;
     if let Some(path) = baseline {
         let text = std::fs::read_to_string(&path).expect("readable --baseline report");
         let prev: Report = serde_json::from_str(&text).expect("parsable --baseline report");
-        runs.extend(prev.runs);
+        cells = prev.cells;
         methodology = prev.methodology;
         notes = prev.notes;
     }
-    runs.push(m);
-    let speedup = match (runs.first(), runs.last()) {
-        (Some(f), Some(l)) if runs.len() > 1 && f.kips > 0.0 => Some(l.kips / f.kips),
+    let entry = cells.entry(cell.name.to_string()).or_insert_with(|| CellReport {
+        reference: String::new(),
+        quick,
+        runs: Vec::new(),
+        speedup_last_over_first: None,
+    });
+    entry.reference = format!(
+        "{}, {} ({}), {} insts/thread — {}",
+        cell.arch,
+        cell.benchmarks.len(),
+        cell.benchmarks.join("+"),
+        insts,
+        cell.regime
+    );
+    entry.quick = quick;
+    entry.runs.push(m);
+    entry.speedup_last_over_first = match (entry.runs.first(), entry.runs.last()) {
+        (Some(f), Some(l)) if entry.runs.len() > 1 && f.kips > 0.0 => Some(l.kips / f.kips),
         _ => None,
     };
-    if let Some(s) = speedup {
-        println!("speedup over '{}': {:.2}x", runs[0].label, s);
+    if let Some(s) = entry.speedup_last_over_first {
+        println!("speedup over '{}': {:.2}x", entry.runs[0].label, s);
     }
-    let report = Report {
-        reference: format!(
-            "M8, 4-thread ILP+MEM mix ({}), {} insts/thread",
-            REFERENCE_BENCHMARKS.join("+"),
-            insts
-        ),
-        quick,
-        methodology,
-        runs,
-        speedup_last_over_first: speedup,
-        notes,
-    };
+    let report = Report { methodology, notes, cells };
     let mut json = serde_json::to_string_pretty(&report).unwrap();
     json.push('\n');
     std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));

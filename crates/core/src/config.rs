@@ -160,6 +160,14 @@ pub struct SimConfig {
     pub warmup_insts: u64,
     /// Hard safety cap on simulated cycles.
     pub max_cycles: u64,
+    /// Quiescence-skipping cycle engine: when a cycle provably does
+    /// nothing, `Processor::run` warps straight to the next scheduled
+    /// event instead of idling through the dead range. Statistics are
+    /// bit-identical either way (enforced by the golden-stats matrix and
+    /// the warp differential proptest); disabling it only costs time.
+    /// The `HDSMT_NO_WARP=1` environment variable force-disables it at
+    /// `Processor` construction regardless of this flag.
+    pub warp: bool,
 }
 
 impl SimConfig {
@@ -182,6 +190,7 @@ impl SimConfig {
             max_retired_per_thread: max_retired,
             warmup_insts: max_retired.min(400_000),
             max_cycles: u64::MAX,
+            warp: true,
         }
     }
 

@@ -33,6 +33,7 @@ pub mod proc;
 pub mod profiler;
 pub mod sim;
 pub mod stats;
+pub mod timeline;
 
 pub use config::{FetchPolicy, SimConfig, ThreadSpec, WorkloadKind, RV_BENCH_PREFIX};
 pub use dynmap::{run_dynamic, DynMapResult};
@@ -41,3 +42,4 @@ pub use proc::Processor;
 pub use profiler::profile_benchmark;
 pub use sim::{run_sim, SimResult};
 pub use stats::{SimStats, ThreadStats};
+pub use timeline::Timeline;

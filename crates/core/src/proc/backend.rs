@@ -44,6 +44,9 @@ impl Processor {
                 self.pipes[p].decode_latch.push(e);
                 moved += 1;
             }
+            if moved > 0 {
+                self.activity |= super::act::DECODE;
+            }
         }
     }
 
@@ -104,6 +107,9 @@ impl Processor {
                 self.pipes[p].dispatch_latch.push(entry);
                 moved += 1;
             }
+            if moved > 0 {
+                self.activity |= super::act::RENAME;
+            }
             self.pipes[p].decode_latch.drain(..moved);
         }
     }
@@ -119,8 +125,8 @@ impl Processor {
             let mut moved = 0;
             while moved < self.pipes[p].dispatch_latch.len() {
                 let de = self.pipes[p].dispatch_latch[moved];
-                let (id, op, srcs, t, seq, addr_word) =
-                    (de.id, de.op, de.src_phys, de.thread as usize, de.seq, de.addr & !7);
+                let (id, op, srcs, t, seq, addr) =
+                    (de.id, de.op, de.src_phys, de.thread as usize, de.seq, de.addr);
                 let kind = op.fu_kind();
                 {
                     let pipe = &mut self.pipes[p];
@@ -151,17 +157,20 @@ impl Processor {
                         FuKind::Fp => &mut pipe.fq,
                         FuKind::LdSt => &mut pipe.lq,
                     };
-                    q.mark_ready(ReadyEntry { seq, addr_word, id, thread: t as u8, op });
+                    q.mark_ready(ReadyEntry { seq, addr, id, thread: t as u8, op });
                 }
                 if op.is_store() {
                     self.threads[t].lq_stores.push_back(LqStore {
                         seq,
-                        addr_word,
+                        addr_word: addr & !7,
                         known_at: u64::MAX,
                         id,
                     });
                 }
                 moved += 1;
+            }
+            if moved > 0 {
+                self.activity |= super::act::DISPATCH;
             }
             self.pipes[p].dispatch_latch.drain(..moved);
         }
@@ -182,8 +191,12 @@ impl Processor {
             // Re-admit parked entries whose wait expired.
             {
                 let pipe = &mut self.pipes[p];
+                let mut unparked = 0;
                 for q in [&mut pipe.iq, &mut pipe.fq, &mut pipe.lq] {
-                    q.unpark_due(now);
+                    unparked += q.unpark_due(now);
+                }
+                if unparked > 0 {
+                    self.activity |= super::act::ISSUE_UNPARK;
                 }
             }
             // Gather candidates from the ready sets. Entries are eagerly
@@ -198,7 +211,7 @@ impl Processor {
                     let mut forward = false;
                     if e.op.is_load() {
                         debug_assert_eq!(self.pool.hot(e.id).state(), InstState::Waiting);
-                        match self.load_order(e.thread as usize, e.seq, e.addr_word) {
+                        match self.load_order(e.thread as usize, e.seq, e.addr & !7) {
                             LoadOrder::Blocked { store_seq, known_at } => {
                                 blocked.push((e, store_seq, known_at));
                                 continue;
@@ -207,7 +220,7 @@ impl Processor {
                             LoadOrder::Forward => forward = true,
                         }
                     }
-                    candidates.push((age_key(e.seq, e.thread), e.id, e.op, forward));
+                    candidates.push((age_key(e.seq, e.thread), e.id, e.op, e.addr, forward));
                 }
             }
             for &(e, store_seq, known_at) in &blocked {
@@ -223,14 +236,23 @@ impl Processor {
                 }
             }
             self.scratch_blocked = blocked;
+            if !candidates.is_empty() || !self.scratch_blocked.is_empty() {
+                // A non-empty ready set always acts: issued instructions
+                // move state, blocked loads move to the park/store-wait
+                // structures, and even a rejected candidate consumed FU
+                // arbitration whose pressure resolves via wheel
+                // completions — counting all of it as activity merely
+                // defers the warp one cycle.
+                self.activity |= super::act::ISSUE_READY;
+            }
             // Age order on one packed key: `seq` is per-thread, so the
             // cross-thread tie-break must not depend on pool slot
             // numbering (allocator history): thread index gives a total,
             // reproducible order.
-            candidates.sort_unstable_by_key(|&(key, _, _, _)| key);
+            candidates.sort_unstable_by_key(|&(key, _, _, _, _)| key);
 
             let mut issued = 0;
-            for &(_, id, op, forward) in candidates.iter() {
+            for &(_, id, op, addr, forward) in candidates.iter() {
                 if issued >= width {
                     break;
                 }
@@ -245,32 +267,31 @@ impl Processor {
                     continue; // this pool is saturated; other kinds may go
                 }
                 issued += 1;
-                self.begin_execution(p, id, forward);
+                self.begin_execution(p, id, op, addr, forward);
             }
         }
         self.scratch_candidates = candidates;
     }
 
-    /// Issue reads one cold field per issued *memory* instruction — the
-    /// effective address — right here; non-memory instructions and
-    /// candidate *selection* never touch cold pool memory at all.
-    fn begin_execution(&mut self, p: usize, id: InstId, forward: bool) {
+    /// Issue touches no cold pool memory at all: the candidate entry
+    /// carries the opcode and the full effective address, so the whole
+    /// transition runs on one hot access (the reads here and the
+    /// state/ready-cycle writes at the end; everything in between works
+    /// on disjoint Processor fields).
+    fn begin_execution(
+        &mut self,
+        p: usize,
+        id: InstId,
+        op: hdsmt_isa::Op,
+        addr: u64,
+        forward: bool,
+    ) {
         let now = self.cycle;
         let rf_extra = self.rf_lat - 1; // §4: +1 per access in hdSMT
-        let addr = {
-            let h = self.pool.hot(id);
-            if h.op.is_mem() {
-                self.pool.cold(id).d.addr
-            } else {
-                0
-            }
-        };
-        // One hot access covers the whole transition: the reads here and
-        // the state/ready-cycle writes at the end. Everything in between
-        // works on disjoint Processor fields.
         let hot = self.pool.hot_mut(id);
-        let (t, seq, wrong, op, gen) =
-            (hot.thread().index(), hot.seq.0, hot.is_wrong_path(), hot.op, hot.gen());
+        debug_assert_eq!(hot.op, op, "candidate entry carries a stale opcode");
+        let (t, seq, wrong, gen) =
+            (hot.thread().index(), hot.seq.0, hot.is_wrong_path(), hot.gen());
 
         let ready_cycle = if op.is_load() {
             // Address generation, then the cache (unless forwarded).
@@ -288,10 +309,7 @@ impl Processor {
                     let lq = &mut self.pipes[p].lq;
                     let was_ready = lq.remove_ready(id);
                     debug_assert!(was_ready, "replayed load came from the ready set");
-                    lq.park_at(
-                        now + 2,
-                        ReadyEntry { seq, addr_word: addr & !7, id, thread: t as u8, op },
-                    );
+                    lq.park_at(now + 2, ReadyEntry { seq, addr, id, thread: t as u8, op });
                     return;
                 }
                 if !wrong && access.level != hdsmt_mem::HitLevel::L1 {
@@ -379,19 +397,24 @@ impl Processor {
     fn load_order(&self, thread: usize, load_seq: u64, load_word: u64) -> LoadOrder {
         let now = self.cycle;
         let mut forward = false;
-        for s in &self.threads[thread].lq_stores {
-            if s.seq >= load_seq {
-                break; // program order: everything after is younger too
-            }
-            // Address known once agen completed (`known_at` is MAX while
-            // the store waits in its queue).
-            if s.known_at > now {
-                return LoadOrder::Blocked { store_seq: s.seq, known_at: s.known_at };
-            }
-            // Ascending seq: a later match overwrites an earlier one, so
-            // the youngest older store wins.
-            if s.addr_word == load_word {
-                forward = true;
+        // Slice-at-a-time over the deque so the hot walk (every ready
+        // load, every cycle it is considered) skips per-step wrap checks.
+        let (front, back) = self.threads[thread].lq_stores.as_slices();
+        for part in [front, back] {
+            for s in part {
+                if s.seq >= load_seq {
+                    return if forward { LoadOrder::Forward } else { LoadOrder::Clear };
+                }
+                // Address known once agen completed (`known_at` is MAX
+                // while the store waits in its queue).
+                if s.known_at > now {
+                    return LoadOrder::Blocked { store_seq: s.seq, known_at: s.known_at };
+                }
+                // Ascending seq: a later match overwrites an earlier one,
+                // so the youngest older store wins.
+                if s.addr_word == load_word {
+                    forward = true;
+                }
             }
         }
         if forward {
@@ -411,6 +434,9 @@ impl Processor {
         // release their slots now (the cycle the old linear drain
         // reclaimed them). Their wheel entries go stale with the release
         // and are dropped when their bucket comes due.
+        if !self.squashed_exec.is_empty() {
+            self.activity |= super::act::WB_RECLAIM;
+        }
         for i in 0..self.squashed_exec.len() {
             let id = self.squashed_exec[i];
             debug_assert!(self.pool.hot(id).is_squashed());
@@ -424,6 +450,12 @@ impl Processor {
         let mut due = std::mem::take(&mut self.scratch_due);
         due.clear();
         self.wheel.drain_due(now, &mut due);
+        if !due.is_empty() {
+            // Stale (squashed-and-reclaimed) completions count too: their
+            // discard is the cheapest possible cycle, and treating them as
+            // activity keeps the wheel's next-due report conservative.
+            self.activity |= super::act::WB_COMPLETE;
+        }
         let mut resolved = std::mem::take(&mut self.scratch_resolved);
         resolved.clear();
         for &c in &due {
@@ -487,6 +519,9 @@ impl Processor {
         let mut woken = std::mem::take(&mut self.scratch_woken);
         woken.clear();
         self.regfile.drain_woken(&mut woken);
+        if !woken.is_empty() {
+            self.activity |= super::act::WB_WAKEUP;
+        }
         for w in &woken {
             if self.pool.gen(w.id) != w.gen {
                 continue; // subscriber squashed; slot since recycled
@@ -509,10 +544,10 @@ impl Processor {
                 )
             };
             if ready_now {
-                let addr_word = match op.fu_kind() {
+                let addr = match op.fu_kind() {
                     // The effective address is 0 for non-memory ops, so
                     // only loads/stores pay the cold read.
-                    FuKind::LdSt => self.pool.cold(w.id).d.addr & !7,
+                    FuKind::LdSt => self.pool.cold(w.id).d.addr,
                     _ => 0,
                 };
                 let p = &mut self.pipes[pipe];
@@ -521,7 +556,7 @@ impl Processor {
                     FuKind::Fp => &mut p.fq,
                     FuKind::LdSt => &mut p.lq,
                 };
-                q.mark_ready(ReadyEntry { seq, addr_word, id: w.id, thread, op });
+                q.mark_ready(ReadyEntry { seq, addr, id: w.id, thread, op });
             }
         }
         self.scratch_woken = woken;
@@ -610,6 +645,9 @@ impl Processor {
         let mut due = std::mem::take(&mut self.scratch_flush_due);
         due.clear();
         self.flush_wheel.drain_due(now, &mut due);
+        if !due.is_empty() {
+            self.activity |= super::act::FLUSH;
+        }
         for &c in &due {
             let id = c.id;
             // Validate at fire time: the load may have been squashed (slot
@@ -684,13 +722,7 @@ mod tests {
         assert!(p.pipes[0].lq.push(id));
         if state == InstState::Waiting {
             // Sources are None, so dispatch would mark it ready at once.
-            p.pipes[0].lq.mark_ready(ReadyEntry {
-                seq,
-                addr_word: addr & !7,
-                id,
-                thread: t as u8,
-                op,
-            });
+            p.pipes[0].lq.mark_ready(ReadyEntry { seq, addr, id, thread: t as u8, op });
         }
         if op.is_store() {
             let known_at = match state {
@@ -775,7 +807,7 @@ mod tests {
         inject(&mut p, 0, 1, Op::Store, 0x6000, InstState::Done, 0);
         let load = inject(&mut p, 0, 2, Op::Load, 0x6000, InstState::Waiting, 0);
         p.cycle = 100;
-        p.begin_execution(0, load, true);
+        p.begin_execution(0, load, Op::Load, p.pool.cold(load).d.addr, true);
         let h = p.pool.hot(load);
         assert_eq!(h.state(), InstState::Executing);
         assert!(h.is_forwarded());
@@ -794,7 +826,7 @@ mod tests {
         // A second missing load now structurally replays.
         let load = inject(&mut p, 0, 1, Op::Load, 0x6000_0000, InstState::Waiting, 0);
         p.cycle = 0;
-        p.begin_execution(0, load, false);
+        p.begin_execution(0, load, Op::Load, p.pool.cold(load).d.addr, false);
         assert_eq!(
             p.pool.hot(load).state(),
             InstState::Waiting,
@@ -821,7 +853,7 @@ mod tests {
             p.pipes[0].lq.ready_entries().iter().any(|e| e.id == load),
             "expired back-off rejoins the ready set"
         );
-        p.begin_execution(0, load, false);
+        p.begin_execution(0, load, Op::Load, p.pool.cold(load).d.addr, false);
         let h = p.pool.hot(load);
         assert_eq!(h.state(), InstState::Executing, "retry issues once an MSHR frees up");
         assert!(h.ready_cycle > p.cycle);

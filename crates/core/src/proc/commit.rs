@@ -33,6 +33,7 @@ impl Processor {
                     if state != InstState::Done || ready > now {
                         break;
                     }
+                    self.activity |= super::act::COMMIT;
                     debug_assert!(!wrong, "wrong-path instructions never reach commit");
                     let is_ctrl = op.is_control();
 

@@ -25,6 +25,11 @@ impl Processor {
         let mut order = std::mem::take(&mut self.scratch_order);
         order.clear();
         order.extend((0..n).filter(|&t| self.fetch_eligible(t, now)));
+        // An eligible thread always acts: even a burst that stalls on an
+        // I-cache miss touches the hierarchy and re-arms its stall timer.
+        if !order.is_empty() {
+            self.activity |= super::act::FETCH;
+        }
         let rr = self.fetch_rr;
         let key = |p: &Processor, t: usize| -> (i64, i64, i64, i64) {
             let th = &p.threads[t];
@@ -148,7 +153,19 @@ impl Processor {
         } else if let Some(d) = th.replay.pop_front() {
             (d, false)
         } else {
-            (th.stream.next_inst(), false)
+            // Correct-path fetch drains the thread's chunk buffer and
+            // crosses the `Box<dyn TraceSource>` seam only to refill it:
+            // one virtual call (one tight block-at-a-time generation
+            // loop) per chunk instead of per instruction.
+            let d = match th.chunk.pop() {
+                Some(d) => d,
+                None => {
+                    th.chunk.reset();
+                    th.stream.fill(&mut th.chunk);
+                    th.chunk.pop().expect("an endless TraceSource must fill at least one inst")
+                }
+            };
+            (d, false)
         }
     }
 
@@ -211,7 +228,13 @@ impl Processor {
                 self.threads[t].next_correct_pc = d.next_pc();
                 if mispredicted {
                     let wrong_pc = if pred_taken { pred_target } else { d.pc.next() };
-                    self.threads[t].wrong_path = Some(wrong_pc);
+                    let th = &mut self.threads[t];
+                    th.wrong_path = Some(wrong_pc);
+                    // A wrong-path episode opens here: anchor the stream's
+                    // wrong-path fabrication to the consumption point (the
+                    // chunk buffer holds generated-but-unfetched work the
+                    // fabrication must not see).
+                    th.stream.sync_wrong_path_view(th.chunk.len() as u64);
                     // Linked below once the id exists.
                 }
             } else {

@@ -46,6 +46,47 @@
 //! [`Processor::check_scheduler_invariants`] (tests and the
 //! `invariant-checks` feature).
 //!
+//! # The quiescence-skipping cycle engine
+//!
+//! On memory-saturated workloads the machine spends long stretches with
+//! every thread blocked on an L2/memory miss; the event-driven core made
+//! those cycles cheap, and the warp engine removes them entirely:
+//!
+//! * **Quiescence proof.** Every stage sets a bit in
+//!   [`Processor::activity`] the moment it does observable work (the
+//!   [`act`] flags). A step that ends with the mask zero changed nothing
+//!   but the per-cycle rotation counters — and, since every inter-cycle
+//!   dependency in the machine is *scheduled* (wheel completions, FLUSH
+//!   triggers, park expiries, fetch-stall releases, MSHR fills), the
+//!   machine will do nothing again until the earliest scheduled event.
+//! * **The [`Timeline`] contract.** Each time-bearing subsystem reports
+//!   its next-activity cycle: both wheels via
+//!   `CompletionWheel::next_due` (O(1): near-ring occupancy mask + far
+//!   minimum; stale entries included, which is conservative, never
+//!   wrong), each issue queue's timed park via
+//!   `IssueQueue::park_next_due`, and each live thread's
+//!   `stalled_until` (threads that are done report nothing; FLUSH-gated
+//!   or buffer-blocked threads ride the completion that releases them).
+//!   The MSHR files deliberately report nothing: a fill expiry on its
+//!   own wakes no stage — every access that could exploit the freed
+//!   capacity arrives via a reporter above (a parked retry, a stall
+//!   release), so `MemHier::next_mshr_expiry` would only truncate warps.
+//!   Quiescence makes the list exhaustive: anything that could act
+//!   sooner would have set an activity bit this cycle.
+//! * **The warp.** [`Processor::run`] jumps `cycle` straight to
+//!   `min(next event, max_cycles)`, advancing `fetch_rr`/`commit_rr` by
+//!   the skipped distance (they tick on idle cycles and feed priority
+//!   tie-breaks) and letting the wheels perform the far-entry migrations
+//!   the skipped lap boundaries would have done. Nothing else moves —
+//!   that is exactly what the proof established — so statistics are
+//!   **bit-identical** to single-stepping: enforced by the golden-stats
+//!   matrix, by a warp-on/off differential proptest, and — under
+//!   `invariant-checks` — by *shadow-stepping*, which single-steps every
+//!   warped range, asserts each skipped cycle was inert, and checks the
+//!   fast path's counter math against the stepped result.
+//!   `SimConfig::warp` (or `HDSMT_NO_WARP=1`) force-disables the engine;
+//!   external `step()` callers are never warped.
+//!
 //! # Hot/cold pool traffic per stage
 //!
 //! The instruction pool is hot/cold split (see `hdsmt_pipeline::inst`);
@@ -57,9 +98,9 @@
 //! | decode | — | — |
 //! | rename | state, seq, dst | operands, old/src mappings (`pair_mut`) |
 //! | dispatch | state, `pending_srcs` | — (operands ride `DispatchEntry`) |
-//! | wakeup drain | countdown, seq/thread/op | address word, memory ops only |
+//! | wakeup drain | countdown, seq/thread/op | address, memory ops only |
 //! | issue selection | — (ready sets are self-contained) | — |
-//! | issue (`begin_execution`) | state, `ready_cycle`, op | address, memory ops only |
+//! | issue (`begin_execution`) | state, `ready_cycle` | — (op + address ride the ready entry) |
 //! | writeback | state, dst, op classification | — |
 //! | branch resolution | seq, flags, op | instruction (+ the snapshot array, cond branches) |
 //! | commit | retire poll, op, freed mapping | one read per retiring *store* (its address) |
@@ -79,11 +120,28 @@ use hdsmt_pipeline::{
     Completion, CompletionWheel, FuPool, InstId, InstPool, IssueQueue, PipeModel, ReadyEntry,
     RegFile, RenameMap, RingBuf, Rob, Waiter,
 };
-use hdsmt_trace::{DynInst, TraceSource};
+use hdsmt_trace::{ChunkBuf, DynInst, TraceSource};
 
 use crate::checkpoint::CheckpointLog;
 use crate::config::{SimConfig, ThreadSpec};
 use crate::stats::{SimStats, ThreadStats};
+use crate::timeline::Timeline;
+
+/// Per-stage activity bits for the quiescence proof (see
+/// [`Processor::activity`]).
+pub(crate) mod act {
+    pub const COMMIT: u32 = 1 << 0;
+    pub const WB_RECLAIM: u32 = 1 << 1;
+    pub const WB_COMPLETE: u32 = 1 << 2;
+    pub const WB_WAKEUP: u32 = 1 << 3;
+    pub const FLUSH: u32 = 1 << 4;
+    pub const ISSUE_UNPARK: u32 = 1 << 5;
+    pub const ISSUE_READY: u32 = 1 << 6;
+    pub const DISPATCH: u32 = 1 << 7;
+    pub const RENAME: u32 = 1 << 8;
+    pub const DECODE: u32 = 1 << 9;
+    pub const FETCH: u32 = 1 << 10;
+}
 
 /// One in-LQ store, denormalised for the load-ordering check: the walk
 /// reads only this 32-byte record, never the instruction pool.
@@ -106,6 +164,11 @@ pub(crate) struct Thread {
     /// The thread's dynamic-instruction front-end (synthetic benchmark
     /// model or RV64I emulator — see [`TraceSource`]).
     pub stream: Box<dyn TraceSource>,
+    /// Fetch-side chunk buffer over `stream`: correct-path fetch pops
+    /// plain records here and crosses the trait object only on a refill
+    /// ([`TraceSource::fill`]), amortizing the virtual dispatch and the
+    /// source's per-call re-entry ~[`hdsmt_trace::CHUNK_INSTS`]×.
+    pub chunk: ChunkBuf,
     /// Squashed-but-architecturally-required instructions awaiting
     /// re-fetch (FLUSH recovery), oldest at the front.
     pub replay: VecDeque<DynInst>,
@@ -256,11 +319,29 @@ pub struct Processor {
     /// check compares it against the budget instead of re-summing every
     /// thread's counter each cycle).
     pub(crate) committed_total: u64,
+    /// Which stages performed observable work in the cycle just stepped
+    /// (bitmask of [`act`] flags)? Every stage sets its bit the moment it
+    /// moves, issues, completes, fetches, commits or squashes anything; a
+    /// cycle that ends with the mask zero is *proven quiescent* and
+    /// [`Self::run`] may warp over the dead range to the [`Timeline`]'s
+    /// next event. The per-stage resolution costs nothing extra on the
+    /// hot path and names the offender when the shadow-stepping
+    /// differential (under `invariant-checks`) catches a bad warp.
+    pub(crate) activity: u32,
+    /// Cycle warping enabled (config flag, minus the `HDSMT_NO_WARP`
+    /// environment override).
+    warp_enabled: bool,
+    /// Cycles skipped by warping (diagnostics; not part of `SimStats`).
+    warped_cycles: u64,
+    /// Warp jumps taken (diagnostics).
+    warps: u64,
+    /// Quiescent steps observed (diagnostics).
+    quiescent_steps: u64,
 
     // ---- reusable per-cycle scratch (kept across cycles so the steady-
     // state hot loop allocates nothing) ----
-    /// Issue candidates: (packed age key, id, op, store-forwarded).
-    scratch_candidates: Vec<(u64, InstId, hdsmt_isa::Op, bool)>,
+    /// Issue candidates: (packed age key, id, op, address, forwarded).
+    scratch_candidates: Vec<(u64, InstId, hdsmt_isa::Op, u64, bool)>,
     /// Loads found blocked during the gather (applied after it).
     scratch_blocked: Vec<(ReadyEntry, u64, u64)>,
     /// Register-file wakeups being routed to ready sets.
@@ -328,6 +409,7 @@ impl Processor {
                 id: ThreadId(i as u8),
                 pipe,
                 stream,
+                chunk: ChunkBuf::new(),
                 replay: VecDeque::new(),
                 next_correct_pc: entry_pc,
                 wrong_path: None,
@@ -376,6 +458,11 @@ impl Processor {
             warmed: false,
             measure_start_cycle: 0,
             committed_total: 0,
+            activity: 0,
+            warp_enabled: cfg.warp && std::env::var_os("HDSMT_NO_WARP").is_none(),
+            warped_cycles: 0,
+            warps: 0,
+            quiescent_steps: 0,
             scratch_candidates: Vec::new(),
             scratch_blocked: Vec::new(),
             scratch_woken: Vec::new(),
@@ -446,9 +533,34 @@ impl Processor {
         self.stop
     }
 
+    /// Cycles skipped so far by the quiescence engine (diagnostics; never
+    /// part of `SimStats`).
+    #[inline]
+    pub fn warped_cycles(&self) -> u64 {
+        self.warped_cycles
+    }
+
+    /// Warp jumps taken so far (diagnostics).
+    #[inline]
+    pub fn warps(&self) -> u64 {
+        self.warps
+    }
+
+    /// Quiescent steps observed so far (diagnostics).
+    #[inline]
+    pub fn quiescent_steps(&self) -> u64 {
+        self.quiescent_steps
+    }
+
+    /// Raw MSHR statistics (diagnostics; see [`MemHier::mshr_stats`]).
+    pub fn mshr_stats(&self) -> ((u64, u64), (u64, u64)) {
+        self.mem.mshr_stats()
+    }
+
     /// Advance one cycle. Stages run back-to-front so in-flight state moves
     /// at most one stage per cycle.
     pub fn step(&mut self) {
+        self.activity = 0;
         self.commit_stage();
         self.writeback_stage();
         self.process_flushes();
@@ -490,11 +602,183 @@ impl Processor {
 
     /// Run to completion (retire target or cycle cap) and return the
     /// statistics.
+    ///
+    /// The loop is *quiescence-skipping*: whenever a step proves the
+    /// machine did nothing (see the module docs), the cycle counter warps
+    /// straight to `min(next scheduled event, max_cycles)` instead of
+    /// idling through the dead range — the statistics are bit-identical
+    /// to single-stepping (golden-stats matrix + warp differential
+    /// proptest), only the host time differs.
     pub fn run(&mut self) -> SimStats {
         while !self.stop && self.cycle < self.cfg.max_cycles {
             self.step();
+            if self.activity == 0 && self.warp_enabled {
+                self.quiescent_steps += 1;
+                self.try_warp();
+            }
         }
         self.collect_stats()
+    }
+
+    /// Aggregate every subsystem's next-activity report. Only meaningful
+    /// right after a quiescent step (otherwise the current cycle's own
+    /// work is the next activity). See the [`Timeline`] docs for the list
+    /// of reporters and why it is exhaustive.
+    fn timeline(&mut self) -> Timeline {
+        let now = self.cycle;
+        let mut tl = Timeline::new();
+        tl.observe("completion-wheel", self.wheel.next_due(now));
+        tl.observe("flush-wheel", self.flush_wheel.next_due(now));
+        for p in &self.pipes {
+            for q in [&p.iq, &p.fq, &p.lq] {
+                tl.observe("timed-park", q.park_next_due());
+            }
+        }
+        // The MSHR files report nothing: a fill expiry on its own wakes
+        // no stage — its only effect is freeing capacity for a *later*
+        // access, and every such access is driven by a reporter above (a
+        // parked retry or a fetch-stall release). Reporting the expiry
+        // (`MemHier::next_mshr_expiry`) was measured to only truncate
+        // warps one or two cycles short of the corresponding completion;
+        // the shadow-stepping differential and the warp proptest enforce
+        // that leaving it out never skips real work.
+        for t in &self.threads {
+            // A done thread never acts again; a FLUSH-gated or buffer-
+            // blocked thread's release rides another reporter (the gating
+            // load's completion-wheel entry / the completion that lets
+            // decode drain the buffer), though a pending stall still
+            // bounds it. A thread blocked by nothing but its stall timer
+            // fetches the moment it expires — and quiescence proves that
+            // expiry has not happened yet (`stalled_until >= now`, where
+            // `now` is already the *next* step's cycle: a stall releasing
+            // exactly now is an event on the very next step).
+            if t.done {
+                continue;
+            }
+            let externally_blocked =
+                t.flush_gate.is_some() || self.pipes[t.pipe as usize].buffer.is_full();
+            if !externally_blocked {
+                debug_assert!(
+                    t.stalled_until >= now,
+                    "a fetchable thread past its stall cannot be quiescent"
+                );
+                tl.observe("fetch-stall", t.stalled_until);
+            } else if t.stalled_until > now {
+                tl.observe("fetch-stall", t.stalled_until);
+            }
+        }
+        tl
+    }
+
+    /// After a proven-quiescent step: jump to the next event on the
+    /// timeline (capped at `max_cycles`). No-op when the next event is
+    /// the very next cycle or the timeline is empty with no finite cycle
+    /// cap (an idle-forever machine keeps its single-stepped semantics).
+    fn try_warp(&mut self) {
+        debug_assert_eq!(self.activity, 0);
+        debug_assert_eq!(self.regfile.pending_wakeups(), 0, "quiescent with undrained wakeups");
+        debug_assert!(self.squashed_exec.is_empty(), "quiescent with unreclaimed squashes");
+        // Quiescent cycles commit nothing, so a warp can never jump the
+        // warm-up boundary: it was either crossed before this stretch
+        // began or needs commits that the warp target's events unlock.
+        debug_assert!(self.warmed || self.committed_total < self.cfg.warmup_insts);
+        let target = match self.timeline().next_event() {
+            // `cycle` was already incremented past the quiescent step, so
+            // an event at exactly `cycle` means "due on the very next
+            // step" — no warp, but not a bug. Strictly earlier would be a
+            // missed event.
+            Some(at) => {
+                debug_assert!(at >= self.cycle, "a past event cannot be pending while quiescent");
+                at.min(self.cfg.max_cycles)
+            }
+            // Nothing scheduled, ever. With a finite cycle cap the
+            // single-stepped machine would idle to the cap; replicate
+            // that. With no cap it would hang — preserve that semantic
+            // (such a machine is a modelling bug, not a warp decision).
+            None => {
+                if self.cfg.max_cycles == u64::MAX {
+                    return;
+                }
+                self.cfg.max_cycles
+            }
+        };
+        if target <= self.cycle {
+            return;
+        }
+        self.warp_to(target);
+    }
+
+    /// Jump from the current cycle to `target`, reproducing exactly the
+    /// state a run of quiescent single-steps would have left: the
+    /// rotation counters advance by the skipped distance and the timing
+    /// wheels perform the far-entry migrations the skipped lap boundaries
+    /// would have done. Everything else is untouched — that is what
+    /// quiescence proved.
+    ///
+    /// With the `invariant-checks` feature the skip is *shadow-stepped*
+    /// instead: every skipped cycle is executed and asserted inert, and
+    /// the resulting counters are asserted equal to what the warp would
+    /// have produced — the differential proof that warping is invisible.
+    fn warp_to(&mut self, target: u64) {
+        let skipped = target - self.cycle;
+        self.warped_cycles += skipped;
+        self.warps += 1;
+
+        #[cfg(feature = "invariant-checks")]
+        {
+            let want_fetch_rr = self.fetch_rr.wrapping_add(skipped as usize);
+            let want_commit_rr: Vec<usize> = self
+                .pipes
+                .iter()
+                .map(|p| {
+                    if p.threads.is_empty() {
+                        p.commit_rr
+                    } else {
+                        p.commit_rr.wrapping_add(skipped as usize)
+                    }
+                })
+                .collect();
+            // Only the cycle counter may move across a warp; pre-age it
+            // so everything else can be compared wholesale.
+            let mut before = self.collect_stats();
+            before.cycles = target - self.measure_start_cycle;
+            let source = self.timeline().source();
+            while self.cycle < target {
+                let at = self.cycle;
+                self.step();
+                assert_eq!(
+                    self.activity, 0,
+                    "cycle {at} inside a warp to {target} (source: {source}) performed \
+                     work (activity mask {:#b})",
+                    self.activity
+                );
+                assert!(!self.stop, "a quiescent cycle cannot end the run");
+            }
+            assert_eq!(self.collect_stats(), before, "shadow-stepped warp changed statistics");
+            assert_eq!(self.fetch_rr, want_fetch_rr, "warp fetch-rotation mismatch");
+            for (p, want) in self.pipes.iter().zip(want_commit_rr) {
+                assert_eq!(p.commit_rr, want, "warp commit-rotation mismatch");
+            }
+            return;
+        }
+
+        #[cfg(not(feature = "invariant-checks"))]
+        {
+            self.cycle = target;
+            // Per-cycle rotation counters tick even on dead cycles; the
+            // fetch priority and commit round-robin orders after the warp
+            // must match the single-stepped machine's exactly.
+            self.fetch_rr = self.fetch_rr.wrapping_add(skipped as usize);
+            for p in &mut self.pipes {
+                if !p.threads.is_empty() {
+                    p.commit_rr = p.commit_rr.wrapping_add(skipped as usize);
+                }
+            }
+            // The wheels' skipped lap boundaries would have migrated far
+            // entries into the near rings.
+            self.wheel.warp_to(target);
+            self.flush_wheel.warp_to(target);
+        }
     }
 
     /// Gather statistics (measured post-warm-up) without consuming the
@@ -650,6 +934,14 @@ impl Processor {
                         "pipe {pi}: ready entry {:?} carries stale metadata",
                         e.id
                     );
+                    if e.op.is_mem() {
+                        assert_eq!(
+                            e.addr,
+                            self.pool.cold(e.id).d.addr,
+                            "pipe {pi}: ready entry {:?} carries a stale address",
+                            e.id
+                        );
+                    }
                     assert_eq!(
                         q.ready_entries().iter().filter(|o| o.id == e.id).count(),
                         1,

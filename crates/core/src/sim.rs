@@ -175,6 +175,92 @@ mod tests {
         assert!(r.ipc() > 1.0, "mixed IPC {}", r.ipc());
     }
 
+    /// Run one workload twice — quiescence warping on and force-disabled —
+    /// and return both results plus the warping run's skip counters.
+    fn warp_ab(
+        arch: &str,
+        names: &[&str],
+        mapping: &[u8],
+        tweak: impl Fn(&mut SimConfig),
+    ) -> (SimResult, SimResult, u64, u64) {
+        let arch = MicroArch::parse(arch).unwrap();
+        let workload: Vec<ThreadSpec> =
+            names.iter().enumerate().map(|(i, n)| spec(n, 900 + i as u64)).collect();
+        let mut on = SimConfig::paper_defaults(arch.clone(), 4_000);
+        tweak(&mut on);
+        let mut off = on.clone();
+        off.warp = false;
+        let mut p = Processor::new(on, &workload, mapping);
+        let warped =
+            SimResult { arch: arch.name.clone(), mapping: mapping.to_vec(), stats: p.run() };
+        let (skipped, warps) = (p.warped_cycles(), p.warps());
+        let stepped = run_sim(&off, &workload, mapping);
+        (warped, stepped, skipped, warps)
+    }
+
+    use crate::proc::Processor;
+
+    #[test]
+    fn warping_is_statistically_invisible_and_actually_engages() {
+        // Memory-saturated FLUSH mix: the regime the quiescence engine
+        // targets. The warped run must skip a substantial share of the
+        // simulated cycles and still produce bit-identical statistics.
+        let (warped, stepped, skipped, warps) =
+            warp_ab("M8", &["mcf", "mcf", "twolf", "vpr"], &[0, 0, 0, 0], |_| {});
+        assert_eq!(warped.stats, stepped.stats, "warping must be invisible in the statistics");
+        assert!(warps > 0, "the memory-saturated cell must trigger warps");
+        let total = warped.stats.cycles;
+        assert!(
+            skipped * 5 > total,
+            "expected a substantial fraction of {total} cycles skipped, got {skipped}"
+        );
+    }
+
+    #[test]
+    fn warp_respects_the_cycle_cap_exactly() {
+        // The cap lands inside a quiescent stretch: the warp must clamp to
+        // max_cycles, never jump past it, and report the same cycle count
+        // a single-stepped run idling to the cap would.
+        for cap in [1_000, 2_048, 3_333] {
+            let (warped, stepped, _, _) = warp_ab("M8", &["mcf"], &[0], |c| c.max_cycles = cap);
+            assert_eq!(warped.stats, stepped.stats, "cap {cap}");
+            assert!(warped.stats.cycles <= cap);
+        }
+    }
+
+    #[test]
+    fn warp_observes_the_warmup_boundary_exactly() {
+        // Non-trivial warm-up: the statistics reset at the warm-up commit
+        // boundary must fall on the same cycle with and without warping
+        // (a warp can never jump the boundary — quiescent cycles commit
+        // nothing — but the reset bookkeeping must agree exactly).
+        for warmup in [500, 1_999] {
+            let (warped, stepped, _, _) = warp_ab("M8", &["mcf", "twolf"], &[0, 0], |c| {
+                c.warmup_insts = warmup;
+                c.max_retired_per_thread = 1_500;
+            });
+            assert_eq!(warped.stats, stepped.stats, "warmup {warmup}");
+        }
+    }
+
+    #[test]
+    fn no_warp_env_override_disables_warping() {
+        // HDSMT_NO_WARP is read at Processor construction. Avoid mutating
+        // the process environment (other tests run in parallel): build
+        // with the config flag both ways and check the counters instead.
+        let cfg = SimConfig::paper_defaults(MicroArch::baseline(), 2_000);
+        let workload = vec![spec("mcf", 3)];
+        let mut off_cfg = cfg.clone();
+        off_cfg.warp = false;
+        let mut on = Processor::new(cfg, &workload, &[0]);
+        let mut off = Processor::new(off_cfg, &workload, &[0]);
+        let a = on.run();
+        let b = off.run();
+        assert_eq!(a, b);
+        assert!(on.warped_cycles() > 0);
+        assert_eq!(off.warped_cycles(), 0, "disabled engine must never skip");
+    }
+
     #[test]
     #[should_panic(expected = "contexts")]
     fn capacity_violation_panics() {

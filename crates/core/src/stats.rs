@@ -3,7 +3,7 @@
 use hdsmt_mem::MemHierStats;
 
 /// Per-thread counters.
-#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ThreadStats {
     pub benchmark: String,
     /// Pipeline the thread was mapped to.
@@ -45,7 +45,7 @@ impl ThreadStats {
 }
 
 /// Whole-simulation result counters.
-#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SimStats {
     pub cycles: u64,
     pub threads: Vec<ThreadStats>,

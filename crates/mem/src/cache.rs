@@ -144,16 +144,28 @@ impl Cache {
         let base = self.set_base(line);
         self.stats.accesses += 1;
         let ways = self.cfg.ways;
-        for w in 0..ways {
-            let e = self.ways[base + w];
-            if e.valid && e.tag == line {
-                self.touch(base, w);
-                self.stats.hits += 1;
-                return true;
+        // One bounds check for the whole set; the scan and the promotion
+        // share the slice.
+        let set = &mut self.ways[base..base + ways];
+        let Some(way) = set.iter().position(|e| e.valid && e.tag == line) else {
+            self.stats.misses += 1;
+            return false;
+        };
+        let old = set[way].lru;
+        if old != 0 {
+            // Promote to MRU. Hitting the MRU way again — the dominant
+            // pattern: sequential fetch walking one I-line, a replayed
+            // load re-probing the same L2 line — skips the re-rank pass
+            // entirely (promoting rank 0 is a no-op).
+            for e in set.iter_mut() {
+                if e.lru < old {
+                    e.lru += 1;
+                }
             }
+            set[way].lru = 0;
         }
-        self.stats.misses += 1;
-        false
+        self.stats.hits += 1;
+        true
     }
 
     /// Tag probe without statistics or LRU update.

@@ -238,9 +238,32 @@ impl MemHier {
         }
     }
 
+    /// Earliest cycle after `now` at which any outstanding miss fill (data
+    /// or instruction MSHRs) completes, or `u64::MAX` when none is
+    /// outstanding. Diagnostics only — deliberately **not** a reporter
+    /// into the processor's quiescence `Timeline`: a fill expiry on its
+    /// own wakes no pipeline stage (it only frees capacity that a later,
+    /// separately-scheduled access exploits), so reporting it would just
+    /// truncate warps short of the completion that actually wakes the
+    /// machine (see `hdsmt_core::timeline`). Expires completed entries
+    /// first, the same lazy sweep every access performs, so calling this
+    /// on an arbitrary schedule cannot change observable behaviour.
+    pub fn next_mshr_expiry(&mut self, now: u64) -> u64 {
+        self.d_mshrs.expire(now);
+        self.i_mshrs.expire(now);
+        self.d_mshrs.next_expiry().min(self.i_mshrs.next_expiry())
+    }
+
     #[inline]
     pub fn stats(&self) -> MemHierStats {
         self.stats
+    }
+
+    /// Raw MSHR statistics `((data coalesced, data full-stalls),
+    /// (ifetch coalesced, ifetch full-stalls))` — diagnostics only, not
+    /// part of the serialized statistics.
+    pub fn mshr_stats(&self) -> ((u64, u64), (u64, u64)) {
+        (self.d_mshrs.stats(), self.i_mshrs.stats())
     }
 
     /// Per-cache raw statistics `(l1i, l1d, l2)`.
@@ -365,6 +388,19 @@ mod tests {
         // 100 loads covering 25 distinct 32 B lines → 25 misses → 250 MPKA.
         assert!((200.0..300.0).contains(&mpka), "mpka {mpka}");
         assert!(m.stats().loads == 100);
+    }
+
+    #[test]
+    fn next_mshr_expiry_reports_the_earliest_outstanding_fill() {
+        let mut m = hier();
+        assert_eq!(m.next_mshr_expiry(0), u64::MAX, "no outstanding misses");
+        m.load(0x1_0000, 0); // warm the TLB page
+        let r = m.load(0x900_0000, 100);
+        assert_eq!(r.level, HitLevel::Mem);
+        let fill = 100 + r.latency as u64;
+        let next = m.next_mshr_expiry(150);
+        assert!(next > 150 && next <= fill, "next expiry {next} vs fill {fill}");
+        assert_eq!(m.next_mshr_expiry(fill), u64::MAX, "completed fills expire");
     }
 
     #[test]

@@ -62,6 +62,15 @@ impl MshrFile {
         true
     }
 
+    /// Earliest outstanding fill-completion cycle (`u64::MAX` when
+    /// nothing is outstanding). Call [`Self::expire`] first for a value
+    /// guaranteed to be in the future — this is the file's next-activity
+    /// report into the processor's `Timeline`.
+    #[inline]
+    pub fn next_expiry(&self) -> u64 {
+        self.next_expiry
+    }
+
     /// Outstanding misses at `now`.
     pub fn outstanding(&mut self, now: u64) -> usize {
         self.expire(now);

@@ -30,6 +30,15 @@
 //! impossible by construction: the instruction pool gives every slot a
 //! generation, and consumers validate `(id, generation)` pairs on use.
 //!
+//! The time-bearing structures also *report their horizon* for the
+//! processor's quiescence-skipping cycle engine: the completion wheel's
+//! [`CompletionWheel::next_due`] (O(1) — near-ring occupancy bitmask plus
+//! a maintained far-list minimum) and each queue's
+//! [`IssueQueue::park_next_due`] tell the core `Timeline` the earliest
+//! cycle they could act, and [`CompletionWheel::warp_to`] performs the
+//! far-entry migrations that skipped lap boundaries would have done. See
+//! `hdsmt_core::proc` for the full contract.
+//!
 //! # Cache-conscious data layout
 //!
 //! The same partitioning argument the paper applies to SMT hardware is

@@ -39,8 +39,11 @@ const PARK_SLOTS: usize = 16;
 pub struct ReadyEntry {
     /// Per-thread program-order sequence number (issue age priority).
     pub seq: u64,
-    /// Memory address at 8-byte granularity (loads/stores; 0 otherwise).
-    pub addr_word: u64,
+    /// Full effective address (loads/stores; 0 otherwise). The
+    /// load-ordering walk masks it to 8-byte granularity; issue passes it
+    /// straight to the memory hierarchy, so issuing a memory op touches
+    /// no cold pool record at all.
+    pub addr: u64,
     pub id: InstId,
     /// Thread index (the deterministic cross-thread age tie-break).
     pub thread: u8,
@@ -191,15 +194,29 @@ impl IssueQueue {
     }
 
     /// Move every parked entry due exactly at `now` back onto the ready
-    /// set, in park order. O(due).
-    pub fn unpark_due(&mut self, now: u64) {
+    /// set, in park order, returning how many moved. O(due).
+    pub fn unpark_due(&mut self, now: u64) -> usize {
         if self.parked_count == 0 {
-            return;
+            return 0;
         }
         let bucket = &mut self.parked[(now as usize) % PARK_SLOTS];
         debug_assert!(bucket.iter().all(|&(at, _)| at == now), "park beyond the wheel horizon");
-        self.parked_count -= bucket.len();
+        let n = bucket.len();
+        self.parked_count -= n;
         self.ready.extend(bucket.drain(..).map(|(_, e)| e));
+        n
+    }
+
+    /// Earliest cycle any parked entry comes due, or `u64::MAX` when the
+    /// park is empty — the queue's next-activity report into the
+    /// processor's `Timeline`. Every parked entry is within `PARK_SLOTS`
+    /// cycles of now, so this scan is tiny and only runs when the machine
+    /// already looks quiescent.
+    pub fn park_next_due(&self) -> u64 {
+        if self.parked_count == 0 {
+            return u64::MAX;
+        }
+        self.parked.iter().flatten().map(|&(at, _)| at).min().unwrap_or(u64::MAX)
     }
 
     /// Drop parked entries rejected by `keep` (squash support).
@@ -266,7 +283,7 @@ mod tests {
     }
 
     fn re(id: u32, seq: u64) -> ReadyEntry {
-        ReadyEntry { seq, addr_word: 0, id: InstId(id), thread: 0, op: Op::IntAlu }
+        ReadyEntry { seq, addr: 0, id: InstId(id), thread: 0, op: Op::IntAlu }
     }
 
     #[test]
@@ -304,6 +321,23 @@ mod tests {
         let mut seqs: Vec<u64> = q.ready_entries().iter().map(|e| e.seq).collect();
         seqs.sort_unstable();
         assert_eq!(seqs, [10, 20]);
+    }
+
+    #[test]
+    fn park_next_due_tracks_the_earliest_parked_entry() {
+        let mut q = IssueQueue::new(8);
+        for i in 0..3 {
+            q.push(InstId(i));
+        }
+        assert_eq!(q.park_next_due(), u64::MAX, "empty park reports no activity");
+        q.park_at(9, re(0, 10));
+        q.park_at(4, re(1, 20));
+        assert_eq!(q.park_next_due(), 4);
+        q.unpark_due(4);
+        assert_eq!(q.park_next_due(), 9);
+        q.unpark_due(9);
+        assert_eq!(q.park_next_due(), u64::MAX);
+        assert!(!q.ready_entries().is_empty());
     }
 
     #[test]

@@ -46,9 +46,20 @@ pub struct CompletionWheel {
     /// One lap of buckets; an entry due within `NEAR_SLOTS` cycles lives
     /// in bucket `at % NEAR_SLOTS`.
     near: Vec<Vec<WheelEntry>>,
+    /// Bit `b` set ⇔ `near[b]` is non-empty. Because a bucket only ever
+    /// holds entries of one due cycle at a time (it is drained at that
+    /// cycle before the index can recur), the mask plus the current cycle
+    /// determine the earliest near completion in O(1) — which is what
+    /// keeps [`Self::next_due`] cheap enough to consult on every
+    /// quiescence check.
+    occupied: u64,
     /// Completions beyond the ring horizon (memory misses), migrated into
     /// the ring at lap boundaries.
     far: Vec<WheelEntry>,
+    /// Exact earliest `at` on the far list (`u64::MAX` when empty);
+    /// maintained on push and recomputed during the migration pass that
+    /// removes entries.
+    far_min: u64,
     /// Entries filed and not yet drained (stale entries included).
     scheduled: usize,
 }
@@ -65,7 +76,9 @@ impl CompletionWheel {
     pub fn new() -> Self {
         CompletionWheel {
             near: (0..NEAR_SLOTS).map(|_| Vec::new()).collect(),
+            occupied: 0,
             far: Vec::new(),
+            far_min: u64::MAX,
             scheduled: 0,
         }
     }
@@ -81,8 +94,10 @@ impl CompletionWheel {
         let e = WheelEntry { at, c };
         if ((at - now) as usize) < NEAR_SLOTS {
             self.near[Self::index(at)].push(e);
+            self.occupied |= 1 << Self::index(at);
         } else {
             self.far.push(e);
+            self.far_min = self.far_min.min(at);
         }
         self.scheduled += 1;
     }
@@ -92,20 +107,74 @@ impl CompletionWheel {
     pub fn drain_due(&mut self, now: u64, out: &mut Vec<Completion>) {
         // Lap boundary: pull the next lap's far entries into the ring.
         if (now as usize) & (NEAR_SLOTS - 1) == 0 && !self.far.is_empty() {
-            let near = &mut self.near;
-            self.far.retain(|&e| {
-                if ((e.at - now) as usize) < NEAR_SLOTS {
-                    near[Self::index(e.at)].push(e);
-                    false
-                } else {
-                    true
-                }
-            });
+            self.migrate_far(now);
         }
         let bucket = &mut self.near[Self::index(now)];
         debug_assert!(bucket.iter().all(|e| e.at == now), "bucket holds another lap's entry");
         self.scheduled -= bucket.len();
+        self.occupied &= !(1 << Self::index(now));
         out.extend(bucket.drain(..).map(|e| e.c));
+    }
+
+    /// Move far entries due within one lap of `from` into the near ring,
+    /// recomputing the far minimum over what stays.
+    fn migrate_far(&mut self, from: u64) {
+        let near = &mut self.near;
+        let occupied = &mut self.occupied;
+        let mut far_min = u64::MAX;
+        self.far.retain(|&e| {
+            if ((e.at - from) as usize) < NEAR_SLOTS {
+                near[Self::index(e.at)].push(e);
+                *occupied |= 1 << Self::index(e.at);
+                false
+            } else {
+                far_min = far_min.min(e.at);
+                true
+            }
+        });
+        self.far_min = far_min;
+    }
+
+    /// Earliest cycle (`>= now`, the cycle about to be stepped) any filed
+    /// entry — stale ones included — comes due, or `u64::MAX` when the
+    /// wheel is empty: the wheel's next-activity report into the
+    /// processor's `Timeline`. O(1): one rotation of the near-ring
+    /// occupancy mask plus the maintained far minimum, so the quiescence
+    /// engine can consult it on every quiescent cycle without touching
+    /// the population.
+    ///
+    /// Stale (squashed) entries are deliberately included: they make the
+    /// report *conservative* (the warp lands on a cycle whose drain
+    /// discards them and does nothing, and the next quiescence check warps
+    /// onward), never wrong.
+    pub fn next_due(&self, now: u64) -> u64 {
+        let mut best = self.far_min;
+        if self.occupied != 0 {
+            // Every near entry is due within [now, now + NEAR_SLOTS): one
+            // rotation of the occupancy mask finds the earliest occupied
+            // bucket's unique due cycle.
+            let rot = self.occupied.rotate_right((now as u32) & (NEAR_SLOTS as u32 - 1));
+            best = best.min(now + rot.trailing_zeros() as u64);
+        }
+        debug_assert_eq!(
+            best,
+            self.iter().map(|e| e.at).min().unwrap_or(u64::MAX),
+            "incremental next-due out of step with the population"
+        );
+        best
+    }
+
+    /// Jump the wheel's notion of time from wherever it was to `to`
+    /// without draining the skipped cycles. Callers must guarantee no
+    /// entry is due *before* `to` (the processor warps to the minimum
+    /// next-activity cycle, so none is); the only bookkeeping the skipped
+    /// cycles would have done is the lap-boundary migration of far
+    /// entries into the near ring, which this performs explicitly.
+    pub fn warp_to(&mut self, to: u64) {
+        debug_assert!(self.iter().all(|e| e.at >= to), "warp must not jump over a completion");
+        if !self.far.is_empty() {
+            self.migrate_far(to);
+        }
     }
 
     /// Entries currently filed (stale ones included).
@@ -170,6 +239,67 @@ mod tests {
         w.drain_due(1000, &mut out);
         assert_eq!(out, vec![c(2, 7)]);
         assert!(w.is_empty());
+    }
+
+    #[test]
+    fn next_due_reports_the_earliest_entry_across_both_tiers() {
+        let mut w = CompletionWheel::new();
+        assert_eq!(w.next_due(1), u64::MAX, "empty wheel has no activity");
+        w.schedule(500, c(1, 0), 0); // far
+        assert_eq!(w.next_due(1), 500);
+        w.schedule(7, c(2, 0), 0); // near
+        assert_eq!(w.next_due(1), 7);
+        let mut out = Vec::new();
+        for cycle in 1..=7 {
+            assert_eq!(w.next_due(cycle), 7, "query cycle {cycle}");
+            w.drain_due(cycle, &mut out);
+        }
+        assert_eq!(out, vec![c(2, 0)]);
+        assert_eq!(w.next_due(8), 500, "drained entries stop reporting");
+        // After migration at a lap boundary the near mask takes over.
+        for cycle in 8..=500 {
+            w.drain_due(cycle, &mut out);
+        }
+        assert_eq!(out, vec![c(2, 0), c(1, 0)]);
+        assert_eq!(w.next_due(501), u64::MAX);
+    }
+
+    #[test]
+    fn warp_skips_lap_boundaries_without_stranding_far_entries() {
+        // A far entry due at 100; warping from cycle 10 to 100 skips the
+        // lap boundary at 64 where drain_due would have migrated it into
+        // the near ring. warp_to must perform that migration itself.
+        let mut w = CompletionWheel::new();
+        w.schedule(100, c(3, 1), 10);
+        w.warp_to(100);
+        let mut out = Vec::new();
+        w.drain_due(100, &mut out);
+        assert_eq!(out, vec![c(3, 1)]);
+        assert!(w.is_empty());
+
+        // An entry still beyond the ring horizon after the warp stays far
+        // and is migrated by the next ordinary lap boundary.
+        let mut w = CompletionWheel::new();
+        w.schedule(400, c(4, 0), 10);
+        w.warp_to(200);
+        out.clear();
+        for cycle in 200..400 {
+            w.drain_due(cycle, &mut out);
+            assert!(out.is_empty(), "cycle {cycle}");
+        }
+        w.drain_due(400, &mut out);
+        assert_eq!(out, vec![c(4, 0)]);
+    }
+
+    #[test]
+    fn warp_to_an_entrys_own_cycle_is_exact() {
+        let mut w = CompletionWheel::new();
+        w.schedule(1000, c(5, 2), 0);
+        w.warp_to(1000);
+        assert_eq!(w.next_due(1000), 1000);
+        let mut out = Vec::new();
+        w.drain_due(1000, &mut out);
+        assert_eq!(out, vec![c(5, 2)]);
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Microbenchmarks for batched (chunked) vs per-call trace generation.
+//!
+//! The processor fetches through a per-thread [`ChunkBuf`] and crosses
+//! the `Box<dyn TraceSource>` seam once per chunk; these benches measure
+//! exactly that seam for both front-ends — the synthetic SPECint2000
+//! models (RNG-driven walks) and the RV64I emulator (`rv:matmul`,
+//! architectural execution per instruction) — so a regression in the
+//! block-at-a-time `fill` paths shows up here without a simulator run.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use hdsmt_trace::{spec, synthesize, ChunkBuf, TraceSource, TraceStream, CHUNK_INSTS};
+
+fn synth_source(name: &str) -> Box<dyn TraceSource> {
+    let p = spec::by_name(name).expect("known benchmark");
+    let prog = Arc::new(synthesize(p, spec::program_seed(name)));
+    Box::new(TraceStream::new(prog, p, 42, 0))
+}
+
+fn rv_source(name: &str) -> Box<dyn TraceSource> {
+    let image = hdsmt_riscv::by_name(name).expect("bundled rv kernel");
+    Box::new(hdsmt_riscv::RvTraceSource::new(image, 42, 0))
+}
+
+fn bench_generation(c: &mut Criterion) {
+    // One batch worth of instructions per iteration, both ways, so the
+    // per-instruction cost is directly comparable.
+    for (label, make) in [
+        ("synth_gzip", synth_source as fn(&str) -> Box<dyn TraceSource>),
+        ("synth_mcf", synth_source),
+        ("rv_matmul", rv_source),
+    ] {
+        let name = match label {
+            "synth_gzip" => "gzip",
+            "synth_mcf" => "mcf",
+            _ => "matmul",
+        };
+        let mut g = c.benchmark_group(format!("trace_gen_{label}"));
+        g.throughput(Throughput::Elements(CHUNK_INSTS as u64));
+
+        g.bench_function("per_call", |b| {
+            let mut src = make(name);
+            b.iter(|| {
+                for _ in 0..CHUNK_INSTS {
+                    black_box(src.next_inst());
+                }
+            });
+        });
+
+        g.bench_function("chunked_fill", |b| {
+            let mut src = make(name);
+            let mut buf = ChunkBuf::new();
+            b.iter(|| {
+                buf.reset();
+                src.fill(&mut buf);
+                while let Some(d) = buf.pop() {
+                    black_box(d);
+                }
+            });
+        });
+
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

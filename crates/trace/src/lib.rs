@@ -25,6 +25,7 @@
 //! gzip/eon/crafty/bzip2 at the high-ILP end, perlbmk indirect-branch heavy,
 //! gcc/vortex with large instruction footprints, …).
 
+pub mod chunk;
 pub mod dyninst;
 pub mod profile;
 pub mod source;
@@ -32,6 +33,7 @@ pub mod spec;
 pub mod stream;
 pub mod synth;
 
+pub use chunk::{ChunkBuf, CHUNK_INSTS};
 pub use dyninst::{CtrlOutcome, DynInst};
 pub use profile::{BenchClass, BenchProfile};
 pub use source::TraceSource;

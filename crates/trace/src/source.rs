@@ -38,11 +38,18 @@
 //! * **Control outcomes.** Every emitted instruction whose op
 //!   `is_control()` carries `Some(ctrl)`, with `target == pc.next()` when
 //!   not taken.
+//! * **Batched generation.** [`fill`](TraceSource::fill) appends exactly
+//!   the instructions repeated `next_inst` calls would produce; the two
+//!   entry points are freely interleavable. The fetch engine consumes
+//!   streams through a per-thread [`crate::ChunkBuf`], so `fill` is the
+//!   hot path and implementations override it with block-at-a-time loops
+//!   (the default loops `next_inst`).
 
 use std::sync::Arc;
 
 use hdsmt_isa::{MemGen, Program};
 
+use crate::chunk::ChunkBuf;
 use crate::dyninst::DynInst;
 
 /// A deterministic, endless dynamic-instruction source for one hardware
@@ -51,10 +58,46 @@ pub trait TraceSource: Send {
     /// Produce the next architecturally-correct dynamic instruction.
     fn next_inst(&mut self) -> DynInst;
 
+    /// Produce the next run of architecturally-correct instructions in
+    /// bulk: append between 1 and [`buf.room()`](ChunkBuf::room)
+    /// instructions, **exactly** the sequence repeated
+    /// [`next_inst`](Self::next_inst) calls would have produced
+    /// (interleaving the two freely must never change the stream — the
+    /// equivalence tests in each implementation pin this).
+    ///
+    /// The processor buffers fetch through a per-thread [`ChunkBuf`] and
+    /// crosses the trait object only on a refill, so this is the hot
+    /// generation path: implementations should override the default
+    /// (which loops `next_inst`) with a block-at-a-time loop that hoists
+    /// per-call setup out of the per-instruction work.
+    fn fill(&mut self, buf: &mut ChunkBuf) {
+        for _ in 0..buf.room() {
+            buf.push(self.next_inst());
+        }
+    }
+
     /// Fabricate an effective address for a *wrong-path* instruction with
     /// memory-generator annotation `g`. Must not perturb the correct
     /// path.
     fn wrong_path_addr(&mut self, g: MemGen) -> u64;
+
+    /// Re-anchor wrong-path fabrication to the *consumption point*: the
+    /// consumer holds `unconsumed` generated-but-not-yet-fetched
+    /// instructions (its chunk backlog), and subsequent
+    /// [`wrong_path_addr`](Self::wrong_path_addr) calls must behave as if
+    /// the stream had generated only up to the last consumed instruction.
+    ///
+    /// Batched generation runs the source ahead of the machine; a source
+    /// whose wrong-path fabrication reads evolving internal state (the
+    /// synthetic stream's strided-scan cursors) would otherwise leak the
+    /// generation frontier into mis-speculated addresses and diverge
+    /// from per-call generation. The processor calls this once per
+    /// wrong-path episode (on fetching a mispredicted branch); sources
+    /// whose fabrication is frontier-independent (the RV64I emulator)
+    /// keep this default no-op.
+    fn sync_wrong_path_view(&mut self, unconsumed: u64) {
+        let _ = unconsumed;
+    }
 
     /// The static program being executed (the front-end's basic-block
     /// dictionary).
@@ -100,5 +143,52 @@ mod tests {
         assert_eq!(a.code_range(), b.code_range());
         assert_eq!(a.region_layout(), b.region_layout());
         assert!(Arc::ptr_eq(a.program(), b.program()));
+    }
+
+    /// The trait's *default* `fill` (a `next_inst` loop) honours the
+    /// batched-generation contract for implementations that never
+    /// override it.
+    #[test]
+    fn default_fill_matches_per_call_generation() {
+        /// Delegates everything except `fill`, so the default engages.
+        struct NoOverride(TraceStream);
+        impl TraceSource for NoOverride {
+            fn next_inst(&mut self) -> crate::DynInst {
+                self.0.next_inst()
+            }
+            fn wrong_path_addr(&mut self, g: hdsmt_isa::MemGen) -> u64 {
+                self.0.wrong_path_addr(g)
+            }
+            fn program(&self) -> &Arc<Program> {
+                self.0.program()
+            }
+            fn code_base(&self) -> u64 {
+                self.0.code_base()
+            }
+            fn code_range(&self) -> (u64, u64) {
+                self.0.code_range()
+            }
+            fn region_layout(&self) -> [(u64, u64); 4] {
+                self.0.region_layout()
+            }
+            fn emitted(&self) -> u64 {
+                self.0.emitted()
+            }
+        }
+
+        let p = spec::by_name("twolf").unwrap();
+        let prog = Arc::new(synthesize(p, spec::program_seed("twolf")));
+        let mut a: Box<dyn TraceSource> =
+            Box::new(NoOverride(TraceStream::new(prog.clone(), p, 4, 0)));
+        let mut b = TraceStream::new(prog, p, 4, 0);
+        let mut buf = ChunkBuf::with_capacity(32);
+        for _ in 0..200 {
+            buf.reset();
+            a.fill(&mut buf);
+            assert_eq!(buf.len(), 32, "the default fill tops the chunk up");
+            while let Some(d) = buf.pop() {
+                assert_eq!(d, b.next_inst());
+            }
+        }
     }
 }

@@ -18,6 +18,7 @@ use hdsmt_isa::{BlockId, MemGen, Pc, Program, Terminator};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::chunk::ChunkBuf;
 use crate::dyninst::{CtrlOutcome, DynInst};
 use crate::profile::BenchProfile;
 
@@ -43,6 +44,10 @@ const WINDOW_JUMP_P: f32 = 0.10;
 /// memory-bound without the unrealistic uniform-thrash of the full region.
 const HOT_P: f32 = 0.75;
 const HOT_DIVISOR: u64 = 8;
+/// Instructions of cursor-mutation history kept for
+/// [`TraceStream::sync_wrong_path_view`] rewinds — comfortably above any
+/// sane chunk capacity (the default is 64).
+const WP_VIEW_HORIZON: u64 = 4096;
 
 /// Deterministic dynamic-instruction source for one thread.
 pub struct TraceStream {
@@ -61,9 +66,22 @@ pub struct TraceStream {
     /// threads do not alias set-for-set in the physically-indexed caches
     /// (the job an OS page allocator does).
     region_start: [u64; 4],
+    /// Undo log of scan-cursor mutations made by batched generation:
+    /// `(instruction index that mutated, region, prior state)`. Lets
+    /// [`Self::sync_wrong_path_view`] reconstruct the cursors as of any
+    /// recently consumed instruction, so wrong-path fabrication never
+    /// sees the generation frontier the chunk buffer runs ahead by.
+    /// Only [`Self::fill`] logs (per-call generation never outruns its
+    /// consumer); pruned to a bounded horizon.
+    cursor_log: std::collections::VecDeque<(u64, u8, (u64, u64))>,
+    /// Frozen cursor view for the current wrong-path episode (`None` ⇒
+    /// the consumption point is the frontier; peek live cursors).
+    wp_view: Option<[(u64, u64); 4]>,
     code_start: u64,
     /// Dynamic heap-region selection weights (from the benchmark profile).
     region_weights: [f32; 3],
+    /// Cached `region_weights` sum (same f32 fold, computed once).
+    region_weight_total: f32,
     emitted: u64,
 }
 
@@ -103,15 +121,18 @@ impl TraceStream {
             cursors: [(0, 0); 4],
             region_size,
             region_start,
+            cursor_log: std::collections::VecDeque::new(),
+            wp_view: None,
             code_start: asid_base + color(997),
             region_weights: profile.region_weights,
+            region_weight_total: profile.region_weights.iter().sum(),
             emitted: 0,
         }
     }
 
     /// Weighted draw of a heap region (1–3) from the profile distribution.
-    fn draw_region(weights: [f32; 3], rng: &mut SmallRng) -> usize {
-        let total: f32 = weights.iter().sum();
+    /// `total` is the caller's cached weight sum (identical f32 fold).
+    fn draw_region(weights: [f32; 3], total: f32, rng: &mut SmallRng) -> usize {
         let mut x = rng.gen::<f32>() * total;
         for (i, &w) in weights.iter().enumerate() {
             if x < w {
@@ -185,6 +206,82 @@ impl TraceStream {
         DynInst { pc, sinst, addr, ctrl }
     }
 
+    /// Produce the next run of instructions block-at-a-time: one block
+    /// lookup per basic block instead of one per instruction, with the
+    /// per-instruction work reduced to the address draw and the record
+    /// write. Emits exactly the sequence repeated [`Self::next_inst`]
+    /// calls would (same RNG draw order), which the equivalence test
+    /// pins.
+    pub fn fill(&mut self, buf: &mut ChunkBuf) {
+        // Keep the cursor-undo log bounded: nothing older than the
+        // rewind horizon can ever be asked for again.
+        while self
+            .cursor_log
+            .front()
+            .is_some_and(|&(stamp, _, _)| stamp + WP_VIEW_HORIZON < self.emitted)
+        {
+            self.cursor_log.pop_front();
+        }
+        // A second handle on the program so block borrows don't conflict
+        // with the RNG/cursor state `correct_addr_impl` mutates.
+        let program = Arc::clone(&self.program);
+        while buf.room() > 0 {
+            let cur = self.cur;
+            let b = program.block(cur);
+            let len = b.len();
+            // Body instructions (everything before the block's last slot).
+            while self.off + 1 < len && buf.room() > 0 {
+                let sinst = b.insts[self.off];
+                let pc = b.pc_at(self.off);
+                let addr = match sinst.mem {
+                    Some(g) => self.correct_addr_impl(g, true),
+                    None => 0,
+                };
+                self.off += 1;
+                self.emitted += 1;
+                buf.push(DynInst { pc, sinst, addr, ctrl: None });
+            }
+            if buf.room() == 0 {
+                return;
+            }
+            // The block's last instruction resolves the terminator.
+            let sinst = b.insts[self.off];
+            let pc = b.pc_at(self.off);
+            let addr = match sinst.mem {
+                Some(g) => self.correct_addr_impl(g, true),
+                None => 0,
+            };
+            let (next, ctrl) = self.resolve_terminator(cur, pc);
+            self.cur = next;
+            self.off = 0;
+            self.emitted += 1;
+            buf.push(DynInst { pc, sinst, addr, ctrl });
+        }
+    }
+
+    /// Freeze the wrong-path cursor view at the consumption point: the
+    /// machine has consumed everything generated except the last
+    /// `unconsumed` instructions (its chunk backlog). See
+    /// [`crate::TraceSource::sync_wrong_path_view`].
+    pub fn sync_wrong_path_view(&mut self, unconsumed: u64) {
+        if unconsumed == 0 {
+            self.wp_view = None;
+            return;
+        }
+        debug_assert!(unconsumed <= WP_VIEW_HORIZON, "chunk backlog outran the undo log");
+        let consumed = self.emitted - unconsumed;
+        let mut view = self.cursors;
+        // Newest-to-oldest: the final write per region is its *oldest*
+        // unconsumed mutation's prior state — the state at `consumed`.
+        for &(stamp, r, prev) in self.cursor_log.iter().rev() {
+            if stamp < consumed {
+                break; // stamps ascend: everything earlier is consumed
+            }
+            view[r as usize] = prev;
+        }
+        self.wp_view = Some(view);
+    }
+
     /// Fabricate an effective address for a *wrong-path* instruction with
     /// memory-generator `g`. Uses the dedicated wrong-path RNG and never
     /// mutates scan cursors, so correct-path determinism is preserved no
@@ -196,15 +293,28 @@ impl TraceStream {
                 self.region_start[0] + off
             }
             MemGen::Stride { stride } => {
-                let r = Self::draw_region(self.region_weights, &mut self.wp_rng);
-                // Peek the scan state without committing it.
-                let (base, cursor) = self.cursors[r];
+                let r = Self::draw_region(
+                    self.region_weights,
+                    self.region_weight_total,
+                    &mut self.wp_rng,
+                );
+                // Peek the scan state without committing it — through the
+                // consumption-point view when batched generation has run
+                // the live cursors ahead of the machine.
+                let (base, cursor) = match self.wp_view {
+                    Some(view) => view[r],
+                    None => self.cursors[r],
+                };
                 let window = STRIDE_WINDOW.min(self.region_size[r]);
                 let next = base + (cursor + stride as u64) % window;
                 self.region_start[r] + next
             }
             MemGen::Random => {
-                let r = Self::draw_region(self.region_weights, &mut self.wp_rng);
+                let r = Self::draw_region(
+                    self.region_weights,
+                    self.region_weight_total,
+                    &mut self.wp_rng,
+                );
                 let span = if self.wp_rng.gen::<f32>() < HOT_P {
                     (self.region_size[r] / HOT_DIVISOR).max(8)
                 } else {
@@ -217,15 +327,27 @@ impl TraceStream {
     }
 
     fn correct_addr(&mut self, g: MemGen) -> u64 {
+        self.correct_addr_impl(g, false)
+    }
+
+    /// `log`: batched generation records cursor mutations (with the index
+    /// of the mutating instruction) so [`Self::sync_wrong_path_view`] can
+    /// rewind to a consumption point. Per-call generation never outruns
+    /// its consumer, so it skips the log.
+    fn correct_addr_impl(&mut self, g: MemGen, log: bool) -> u64 {
         match g {
             MemGen::Stack => {
                 let off = self.rng.gen_range(0..STACK_BYTES / 8) * 8;
                 self.region_start[0] + off
             }
             MemGen::Stride { stride } => {
-                let r = Self::draw_region(self.region_weights, &mut self.rng);
+                let r =
+                    Self::draw_region(self.region_weights, self.region_weight_total, &mut self.rng);
                 let window = STRIDE_WINDOW.min(self.region_size[r]);
                 let (mut base, mut cursor) = self.cursors[r];
+                if log {
+                    self.cursor_log.push_back((self.emitted, r as u8, (base, cursor)));
+                }
                 cursor += stride as u64;
                 if cursor >= window {
                     // Lap complete: usually rescan (temporal reuse), but
@@ -240,7 +362,8 @@ impl TraceStream {
                 self.region_start[r] + base + cursor
             }
             MemGen::Random => {
-                let r = Self::draw_region(self.region_weights, &mut self.rng);
+                let r =
+                    Self::draw_region(self.region_weights, self.region_weight_total, &mut self.rng);
                 let span = if self.rng.gen::<f32>() < HOT_P {
                     (self.region_size[r] / HOT_DIVISOR).max(8)
                 } else {
@@ -324,8 +447,18 @@ impl crate::TraceSource for TraceStream {
     }
 
     #[inline]
+    fn fill(&mut self, buf: &mut ChunkBuf) {
+        TraceStream::fill(self, buf)
+    }
+
+    #[inline]
     fn wrong_path_addr(&mut self, g: MemGen) -> u64 {
         TraceStream::wrong_path_addr(self, g)
+    }
+
+    #[inline]
+    fn sync_wrong_path_view(&mut self, unconsumed: u64) {
+        TraceStream::sync_wrong_path_view(self, unconsumed)
     }
 
     #[inline]
@@ -375,6 +508,71 @@ mod tests {
             assert_eq!(a.next_inst(), b.next_inst());
         }
         assert_eq!(a.emitted(), 20_000);
+    }
+
+    #[test]
+    fn block_at_a_time_fill_matches_per_call_generation() {
+        // The batched path must emit exactly the per-call sequence, for
+        // chunk capacities that land refills on every possible offset
+        // within a block — and stay equivalent when the two entry points
+        // interleave mid-block.
+        for cap in [1, 3, 7, 64] {
+            let mut a = stream_for("gcc", 17, 1);
+            let mut b = stream_for("gcc", 17, 1);
+            let mut buf = ChunkBuf::with_capacity(cap);
+            let mut produced = 0u64;
+            while produced < 20_000 {
+                buf.reset();
+                a.fill(&mut buf);
+                assert!(!buf.is_empty(), "fill must emit at least one instruction");
+                while let Some(d) = buf.pop() {
+                    assert_eq!(d, b.next_inst(), "cap {cap}, inst {produced}");
+                    produced += 1;
+                }
+                if produced.is_multiple_of(640) {
+                    // Interleave a direct call between refills.
+                    assert_eq!(a.next_inst(), b.next_inst());
+                    produced += 1;
+                }
+            }
+            assert_eq!(a.emitted(), b.emitted());
+        }
+    }
+
+    #[test]
+    fn synced_wrong_path_view_matches_per_call_generation() {
+        // A chunked consumer that anchors the wrong-path view at each
+        // episode start must fabricate exactly the addresses a per-call
+        // consumer sees, even though its generation frontier runs a
+        // chunk ahead of the machine.
+        let mut per_call = stream_for("mcf", 23, 0);
+        let mut chunked = stream_for("mcf", 23, 0);
+        let mut buf = ChunkBuf::with_capacity(48);
+        let g = hdsmt_isa::MemGen::Stride { stride: 64 };
+        let mut consumed = 0u64;
+        while consumed < 30_000 {
+            buf.reset();
+            chunked.fill(&mut buf);
+            while let Some(d) = buf.pop() {
+                assert_eq!(d, per_call.next_inst());
+                consumed += 1;
+                if consumed.is_multiple_of(97) {
+                    // Wrong-path episode opens at this instruction.
+                    chunked.sync_wrong_path_view(buf.len() as u64);
+                    for _ in 0..4 {
+                        assert_eq!(
+                            chunked.wrong_path_addr(g),
+                            per_call.wrong_path_addr(g),
+                            "stride fabrication diverged at inst {consumed}"
+                        );
+                        assert_eq!(
+                            chunked.wrong_path_addr(hdsmt_isa::MemGen::Random),
+                            per_call.wrong_path_addr(hdsmt_isa::MemGen::Random)
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

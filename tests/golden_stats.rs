@@ -109,6 +109,33 @@ const MATRIX: &[Cell] = &[
         run_len: 3_000,
     },
     Cell {
+        // Memory-saturated cell: two mcf instances plus the two next-
+        // missiest profiles under FLUSH — long stretches where every
+        // thread is gated or waiting on an L2/memory miss. This is the
+        // regime where the quiescence-warping cycle engine skips most
+        // aggressively, so the fixture (blessed *before* that engine
+        // landed) pins that warped runs stay bit-identical exactly where
+        // skipping is hottest.
+        name: "m8_memsat4_flush",
+        arch: "M8",
+        benchmarks: &["mcf", "mcf", "twolf", "vpr"],
+        mapping: &[0, 0, 0, 0],
+        policy: Some(FetchPolicy::Flush),
+        run_len: 3_000,
+    },
+    Cell {
+        // RV-heavy cell: four real RV64I kernels, so the emulator + the
+        // batched (chunked) trace generation path carry the whole fetch
+        // load. Blessed before the chunked front-end landed, pinning
+        // block-at-a-time generation to per-call generation.
+        name: "m8_rv4_flush",
+        arch: "M8",
+        benchmarks: &["rv:sum", "rv:matmul", "rv:fib", "rv:prime"],
+        mapping: &[0, 0, 0, 0],
+        policy: Some(FetchPolicy::Flush),
+        run_len: 4_000,
+    },
+    Cell {
         // Real-program front-end: two RV64I kernels executed
         // architecturally (genuine PCs, branch outcomes, addresses). Pins
         // the emulator, the CFG translation, and the TraceSource seam

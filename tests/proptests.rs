@@ -159,7 +159,59 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The quiescence-skipping cycle engine is statistically invisible:
+    /// any (arch × workload × policy × run length × warm-up) cell must
+    /// serialize to byte-identical `SimStats` with warping on and
+    /// force-disabled (the differential the golden matrix pins for fixed
+    /// cells, here over random small configurations — including the
+    /// memory-bound mixes where warps are longest and the cycle caps
+    /// that land inside quiescent stretches).
+    #[test]
+    fn warp_on_and_off_produce_identical_stats(
+        arch_i in 0usize..3,
+        bench_a in 0usize..4,
+        bench_b in 0usize..4,
+        policy_i in 0usize..4,
+        run_len in 400u64..1_500,
+        warmup_i in 0usize..3,
+        cap_i in 0usize..3,
+        seed in 0u64..100,
+    ) {
+        use hdsmt::core::FetchPolicy;
+        let archs = ["M8", "2M4+2M2", "3M4"];
+        let pool = ["mcf", "gzip", "twolf", "rv:prime"];
+        let policies = [
+            FetchPolicy::Icount,
+            FetchPolicy::Flush,
+            FetchPolicy::L1mcount,
+            FetchPolicy::RoundRobin,
+        ];
+        let warmup = [0u64, 300, 900][warmup_i];
+        let cap = [u64::MAX, 2_000, 7_777][cap_i];
+        let arch = MicroArch::parse(archs[arch_i]).unwrap();
+        let names = [pool[bench_a], pool[bench_b]];
+        let mapping: &[u8] = if arch_i == 0 { &[0, 0] } else { &[0, 1] };
+        let specs: Vec<ThreadSpec> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| ThreadSpec::for_benchmark(n, seed * 7 + i as u64))
+            .collect();
+        let mut cfg = SimConfig::paper_defaults(arch, run_len);
+        cfg.fetch_policy = policies[policy_i];
+        cfg.warmup_insts = warmup;
+        cfg.max_cycles = cap;
+        cfg.warp = true;
+        let on = run_sim(&cfg, &specs, mapping);
+        cfg.warp = false;
+        let off = run_sim(&cfg, &specs, mapping);
+        prop_assert_eq!(
+            serde_json::to_string(&on.stats).unwrap(),
+            serde_json::to_string(&off.stats).unwrap(),
+            "warp changed observable statistics"
+        );
+    }
 
     /// Architectural invariant: retired instruction counts are independent
     /// of the machine shape (same streams, same seeds → same committed
