@@ -1,0 +1,243 @@
+//! Throughput harness for the `hdsmt-campaign serve` daemon.
+//!
+//! Boots an in-process daemon on an ephemeral port, warms its cache with
+//! one small campaign, then measures requests per second against the hot
+//! endpoints — every request a fresh TCP connection (the daemon speaks
+//! `Connection: close` HTTP/1.1), so the numbers include connect, parse,
+//! route, and serialize:
+//!
+//! * `healthz`   — router floor (no state touched).
+//! * `campaign`  — `GET /campaigns/:id` progress snapshot.
+//! * `cell`      — `GET /cells/:hash`: a content-addressed cache-hit read
+//!   straight off disk; the headline "cache-hit requests/sec" number.
+//! * `results`   — `GET /campaigns/:id/results` full JSON export.
+//! * `resubmit`  — whole submit→poll→done cycles of the already-cached
+//!   campaign (100% hits), in campaigns/sec.
+//!
+//! ```text
+//! cargo run --release -p hdsmt-bench --bin serve_bench -- \
+//!     [--quick] [--label NAME] [--threads N] [--out PATH] [--baseline PATH]
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hdsmt_campaign::serve::http::{http_get, http_post};
+use hdsmt_campaign::serve::{Server, ServerConfig};
+use hdsmt_campaign::{engine, expand, CampaignSpec, MicroArch};
+
+const SPEC: &str = r#"
+name = "serve-bench"
+archs = ["M8", "2M4+2M2"]
+workloads = ["2W1", "2W7"]
+policies = ["rr"]
+seed = 17
+[budget]
+measure_insts = 1500
+warmup_insts = 600
+search_insts = 500
+"#;
+
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
+struct Measurement {
+    label: String,
+    threads: usize,
+    requests: u64,
+    wall_ms: f64,
+    /// Requests (or campaigns, for `resubmit`) per host second.
+    rps: f64,
+}
+
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
+struct EndpointReport {
+    reference: String,
+    quick: bool,
+    runs: Vec<Measurement>,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Report {
+    methodology: Option<String>,
+    notes: Option<String>,
+    endpoints: BTreeMap<String, EndpointReport>,
+}
+
+fn wait_done(addr: &str, id: &str) {
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let (status, body) = http_get(addr, &format!("/campaigns/{id}")).expect("daemon reachable");
+        assert_eq!(status, 200, "{body}");
+        let snap = serde_json::from_str_value(&body).expect("snapshot JSON");
+        match snap.get("status").and_then(|s| s.as_str()) {
+            Some("done") => return,
+            Some("failed") | Some("cancelled") => panic!("warm-up campaign died: {body}"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "warm-up campaign stuck");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn submit(addr: &str) -> String {
+    let (status, body) = http_post(addr, "/campaigns", SPEC).expect("daemon reachable");
+    assert_eq!(status, 202, "{body}");
+    serde_json::from_str_value(&body)
+        .expect("submit JSON")
+        .get("id")
+        .and_then(|i| i.as_str())
+        .expect("id")
+        .to_string()
+}
+
+/// `threads` clients hammer `path` with `per_thread` sequential GETs.
+fn measure_gets(addr: &str, path: &str, threads: usize, per_thread: u64) -> (f64, u64) {
+    let failed = Arc::new(AtomicBool::new(false));
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let addr = addr.to_string();
+            let path = path.to_string();
+            let failed = failed.clone();
+            std::thread::spawn(move || {
+                for _ in 0..per_thread {
+                    match http_get(&addr, &path) {
+                        Ok((200, _)) => {}
+                        _ => {
+                            failed.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(!failed.load(Ordering::Relaxed), "a request to {path} failed");
+    (t0.elapsed().as_secs_f64() * 1e3, threads as u64 * per_thread)
+}
+
+fn main() {
+    let mut quick = false;
+    let mut label = "current".to_string();
+    let mut threads = 4usize;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut baseline: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--label" => label = args.next().expect("--label NAME"),
+            "--threads" => threads = args.next().expect("--threads N").parse().expect("a number"),
+            "--out" => out = args.next().expect("--out PATH"),
+            "--baseline" => baseline = Some(args.next().expect("--baseline PATH")),
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cache_dir = std::env::temp_dir().join(format!("hdsmt-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        cache_dir: cache_dir.to_string_lossy().into_owned(),
+        ..ServerConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = server.addr().to_string();
+
+    // Warm the cache: one full campaign, then one fully cached resubmit
+    // to verify the 100%-hit steady state the benchmark measures.
+    let id = submit(&addr);
+    wait_done(&addr, &id);
+    let id2 = submit(&addr);
+    wait_done(&addr, &id2);
+
+    // A content key for the cache-hit read path, computed client-side.
+    let spec = CampaignSpec::parse(SPEC).unwrap();
+    let catalog = engine::catalog_for(&spec);
+    let cell = &expand(&spec, &catalog).unwrap()[0];
+    let arch = MicroArch::parse(&cell.arch).unwrap();
+    let mapping = hdsmt_core::mapping::round_robin_mapping(&arch, cell.workload.threads());
+    let key = cell.job(mapping, &spec.budget()).key();
+
+    let per_thread: u64 = if quick { 50 } else { 500 };
+    let endpoints: Vec<(&str, String)> = vec![
+        ("healthz", "/healthz".into()),
+        ("campaign", format!("/campaigns/{id}")),
+        ("cell", format!("/cells/{key}")),
+        ("results", format!("/campaigns/{id}/results")),
+    ];
+
+    let mut measured: Vec<(String, String, Measurement)> = Vec::new();
+    for (name, path) in &endpoints {
+        let (wall_ms, requests) = measure_gets(&addr, path, threads, per_thread);
+        let m = Measurement {
+            label: label.clone(),
+            threads,
+            requests,
+            wall_ms,
+            rps: requests as f64 / (wall_ms / 1e3),
+        };
+        println!("{name:>9}: {:8.0} req/s  ({requests} requests in {wall_ms:.0} ms)", m.rps);
+        measured.push((name.to_string(), format!("GET {path}"), m));
+    }
+
+    // Whole cached campaigns per second: submit → poll → done, serially.
+    let resubmits: u64 = if quick { 3 } else { 10 };
+    let t0 = Instant::now();
+    for _ in 0..resubmits {
+        let rid = submit(&addr);
+        wait_done(&addr, &rid);
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let m = Measurement {
+        label: label.clone(),
+        threads: 1,
+        requests: resubmits,
+        wall_ms,
+        rps: resubmits as f64 / (wall_ms / 1e3),
+    };
+    println!("{:>9}: {:8.1} campaigns/s (fully cached, {resubmits} cycles)", "resubmit", m.rps);
+    measured.push(("resubmit".into(), "POST /campaigns + poll to done, 100% cache hits".into(), m));
+
+    server.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let mut endpoints_out: BTreeMap<String, EndpointReport> = BTreeMap::new();
+    let mut methodology = Some(
+        "In-process daemon on 127.0.0.1 (ephemeral port), release build. Every request \
+         is a fresh TCP connection (HTTP/1.1 Connection: close): numbers include \
+         connect/parse/route/serialize. Cache warmed by one campaign + one fully \
+         cached resubmit before measuring."
+            .to_string(),
+    );
+    let mut notes = None;
+    if let Some(path) = baseline {
+        let text = std::fs::read_to_string(&path).expect("readable --baseline report");
+        let prev: Report = serde_json::from_str(&text).expect("parsable --baseline report");
+        endpoints_out = prev.endpoints;
+        methodology = prev.methodology.or(methodology);
+        notes = prev.notes;
+    }
+    for (name, reference, m) in measured {
+        let entry = endpoints_out.entry(name).or_insert_with(|| EndpointReport {
+            reference: String::new(),
+            quick,
+            runs: Vec::new(),
+        });
+        entry.reference = reference;
+        entry.quick = quick;
+        entry.runs.push(m);
+    }
+    let report = Report { methodology, notes, endpoints: endpoints_out };
+    let mut json = serde_json::to_string_pretty(&report).unwrap();
+    json.push('\n');
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("report written to {out}");
+}

@@ -1,20 +1,31 @@
 //! The campaign CLI.
 //!
 //! ```text
-//! hdsmt-campaign run    <spec.(toml|json)> [--workers N] [--cache DIR]
-//! hdsmt-campaign status <spec>             [--cache DIR]
-//! hdsmt-campaign export <spec> [--out DIR] [--cache DIR]
+//! hdsmt-campaign run    <spec.(toml|json)> [--workers N] [--cache DIR] [--remote ADDR]
+//! hdsmt-campaign status [<spec>]           [--cache DIR] [--remote ADDR]
+//! hdsmt-campaign export <spec> [--out DIR] [--cache DIR] [--remote ADDR]
+//! hdsmt-campaign serve  [--addr A] [--cache DIR] [--workers N]
+//!                       [--executors N] [--queue-cap N] [--shard I/N]
 //! ```
 //!
 //! `run` executes the campaign (cache-first) and prints the summary;
 //! `status` reports how much of the matrix is already cached without
 //! simulating anything; `export` runs (fully cached after a prior `run`)
-//! and writes `campaign.json`, `cells.csv`, and `summary.txt`.
+//! and writes `campaign.json`, `cells.csv`, and `summary.txt`; `serve`
+//! runs the sweep-service daemon (see `hdsmt_campaign::serve`).
+//!
+//! With `--remote ADDR`, `run`/`status`/`export` become thin HTTP clients
+//! of a `serve` daemon instead of simulating locally: `run` submits the
+//! spec and polls to completion, `status` queries `/stats` and the
+//! campaign list, `export` fetches all three result formats.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use hdsmt_campaign::{engine, export, CampaignSpec, JobRunner, ResultCache};
+use hdsmt_campaign::serve::http::{http_get, http_post};
+use hdsmt_campaign::serve::{Server, ServerConfig};
+use hdsmt_campaign::{engine, export, CampaignSpec, JobRunner, ResultCache, ShardSpec};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,56 +39,89 @@ fn main() -> ExitCode {
 }
 
 struct Options {
-    spec_path: PathBuf,
+    spec_path: Option<PathBuf>,
     workers: Option<usize>,
     cache_dir: Option<String>,
     out_dir: PathBuf,
+    /// `serve` listen address.
+    addr: String,
+    /// Thin-client mode: talk to a daemon instead of simulating locally.
+    remote: Option<String>,
+    executors: usize,
+    queue_cap: usize,
+    shard: Option<ShardSpec>,
 }
 
 fn usage() -> String {
     "usage: hdsmt-campaign <run|status|export> <spec.(toml|json)> \
-     [--workers N] [--cache DIR] [--out DIR]"
+     [--workers N] [--cache DIR] [--out DIR] [--remote ADDR]\n       \
+     hdsmt-campaign serve [--addr A] [--cache DIR] [--workers N] \
+     [--executors N] [--queue-cap N] [--shard I/N]"
         .to_string()
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
-    let mut spec_path: Option<PathBuf> = None;
-    let mut workers = None;
-    let mut cache_dir = None;
-    let mut out_dir = PathBuf::from("results");
+    let mut opts = Options {
+        spec_path: None,
+        workers: None,
+        cache_dir: None,
+        out_dir: PathBuf::from("results"),
+        addr: "127.0.0.1:8181".to_string(),
+        remote: None,
+        executors: 1,
+        queue_cap: 64,
+        shard: None,
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--workers" => {
                 let v = it.next().ok_or("--workers needs a value")?;
-                workers = Some(v.parse::<usize>().map_err(|_| "--workers: not a number")?);
+                opts.workers = Some(v.parse::<usize>().map_err(|_| "--workers: not a number")?);
             }
             "--cache" => {
-                cache_dir = Some(it.next().ok_or("--cache needs a value")?.clone());
+                opts.cache_dir = Some(it.next().ok_or("--cache needs a value")?.clone());
             }
             "--out" => {
-                out_dir = PathBuf::from(it.next().ok_or("--out needs a value")?);
+                opts.out_dir = PathBuf::from(it.next().ok_or("--out needs a value")?);
+            }
+            "--addr" => {
+                opts.addr = it.next().ok_or("--addr needs a value")?.clone();
+            }
+            "--remote" => {
+                opts.remote = Some(it.next().ok_or("--remote needs a value")?.clone());
+            }
+            "--executors" => {
+                let v = it.next().ok_or("--executors needs a value")?;
+                opts.executors = v.parse::<usize>().map_err(|_| "--executors: not a number")?;
+            }
+            "--queue-cap" => {
+                let v = it.next().ok_or("--queue-cap needs a value")?;
+                opts.queue_cap = v.parse::<usize>().map_err(|_| "--queue-cap: not a number")?;
+            }
+            "--shard" => {
+                let v = it.next().ok_or("--shard needs a value (I/N)")?;
+                opts.shard = Some(ShardSpec::parse(v).map_err(|e| e.to_string())?);
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}\n{}", usage()));
             }
             other => {
-                if spec_path.replace(PathBuf::from(other)).is_some() {
+                if opts.spec_path.replace(PathBuf::from(other)).is_some() {
                     return Err(format!("more than one spec file given\n{}", usage()));
                 }
             }
         }
     }
-    Ok(Options {
-        spec_path: spec_path.ok_or_else(|| format!("missing spec file\n{}", usage()))?,
-        workers,
-        cache_dir,
-        out_dir,
-    })
+    Ok(opts)
+}
+
+fn spec_path(opts: &Options) -> Result<&PathBuf, String> {
+    opts.spec_path.as_ref().ok_or_else(|| format!("missing spec file\n{}", usage()))
 }
 
 fn load(opts: &Options) -> Result<(CampaignSpec, ResultCache), String> {
-    let mut spec = CampaignSpec::load(&opts.spec_path).map_err(|e| e.to_string())?;
+    let mut spec = CampaignSpec::load(spec_path(opts)?).map_err(|e| e.to_string())?;
     if let Some(w) = opts.workers {
         spec.workers = Some(w as u64);
     }
@@ -93,8 +137,11 @@ fn run(args: Vec<String>) -> Result<(), String> {
         return Err(usage());
     };
     let opts = parse_options(rest)?;
-    match cmd.as_str() {
-        "run" => {
+    match (cmd.as_str(), &opts.remote) {
+        ("run", Some(remote)) => remote_run(remote, &opts),
+        ("status", Some(remote)) => remote_status(remote),
+        ("export", Some(remote)) => remote_export(remote, &opts),
+        ("run", None) => {
             let (spec, cache) = load(&opts)?;
             let catalog = engine::catalog_for(&spec);
             let runner = JobRunner::new(spec.workers.unwrap_or(0) as usize, Some(cache.clone()));
@@ -118,7 +165,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             print!("{}", export::summary(&result));
             Ok(())
         }
-        "status" => {
+        ("status", None) => {
             let (spec, cache) = load(&opts)?;
             let catalog = engine::catalog_for(&spec);
             let st = engine::status(&spec, &catalog, &cache).map_err(|e| e.to_string())?;
@@ -133,35 +180,156 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 );
             }
             println!("cache entries on disk: {}", cache.len());
+            // Rotten entries re-simulate silently on the next run; the
+            // count makes that visible here instead of just slow.
+            println!("cache corrupt entries: {}", cache.corrupt_entries());
             Ok(())
         }
-        "export" => {
+        ("export", None) => {
             let (spec, cache) = load(&opts)?;
             let catalog = engine::catalog_for(&spec);
             let runner = JobRunner::new(spec.workers.unwrap_or(0) as usize, Some(cache));
             let result =
                 engine::run_campaign_with(&spec, &catalog, &runner).map_err(|e| e.to_string())?;
-            std::fs::create_dir_all(&opts.out_dir)
-                .map_err(|e| format!("cannot create {}: {e}", opts.out_dir.display()))?;
-            let json_path = opts.out_dir.join("campaign.json");
-            let csv_path = opts.out_dir.join("cells.csv");
-            let summary_path = opts.out_dir.join("summary.txt");
-            std::fs::write(&json_path, export::to_json(&result)).map_err(|e| e.to_string())?;
-            std::fs::write(&csv_path, export::to_csv(&result)).map_err(|e| e.to_string())?;
-            let summary = export::summary(&result);
-            std::fs::write(&summary_path, &summary).map_err(|e| e.to_string())?;
+            write_exports(&opts.out_dir, &export_texts(&result))?;
             eprintln!(
-                "wrote {}, {}, {} ({} cells; {} cache hits / {} jobs)",
-                json_path.display(),
-                csv_path.display(),
-                summary_path.display(),
+                "wrote {} ({} cells; {} cache hits / {} jobs)",
+                opts.out_dir.display(),
                 result.cells.len(),
                 result.report.cache_hits,
                 result.report.total,
             );
-            print!("{summary}");
+            print!("{}", export::summary(&result));
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+        ("serve", _) => {
+            let config = ServerConfig {
+                addr: opts.addr.clone(),
+                cache_dir: opts.cache_dir.clone().unwrap_or_else(|| ".hdsmt-cache".into()),
+                sim_workers: opts.workers.unwrap_or(0),
+                executors: opts.executors,
+                queue_cap: opts.queue_cap,
+                shard: opts.shard,
+                ..ServerConfig::default()
+            };
+            let cache_dir = config.cache_dir.clone();
+            let server =
+                Server::start(config).map_err(|e| format!("cannot start on {}: {e}", opts.addr))?;
+            eprintln!(
+                "hdsmt-campaign serve: listening on {} (cache {}, {} executor(s){})",
+                server.addr(),
+                cache_dir,
+                opts.executors.max(1),
+                match opts.shard {
+                    Some(s) => format!(", shard {s}"),
+                    None => String::new(),
+                }
+            );
+            server.run();
+            eprintln!("hdsmt-campaign serve: drained, exiting");
+            Ok(())
+        }
+        (other, _) => Err(format!("unknown command `{other}`\n{}", usage())),
     }
+}
+
+// ------------------------------------------------------- remote clients
+
+/// `GET` a path and fail on any non-2xx (surfacing the structured error
+/// body the daemon returns).
+fn remote_get(addr: &str, path: &str) -> Result<String, String> {
+    let (status, body) = http_get(addr, path).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    if !(200..300).contains(&status) {
+        return Err(format!("{addr} answered {status} for {path}: {body}"));
+    }
+    Ok(body)
+}
+
+/// Submit the spec file and poll until the campaign reaches a terminal
+/// phase; returns its id.
+fn remote_submit_and_wait(addr: &str, opts: &Options) -> Result<String, String> {
+    let path = spec_path(opts)?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let (status, body) =
+        http_post(addr, "/campaigns", &text).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    if status != 202 {
+        return Err(format!("{addr} rejected the spec ({status}): {body}"));
+    }
+    let snapshot =
+        serde_json::from_str_value(&body).map_err(|e| format!("bad submit response: {e}"))?;
+    let id =
+        snapshot.get("id").and_then(|i| i.as_str()).ok_or("submit response has no id")?.to_string();
+    eprintln!("submitted as `{id}`; polling {addr}");
+    loop {
+        std::thread::sleep(Duration::from_millis(200));
+        let body = remote_get(addr, &format!("/campaigns/{id}"))?;
+        let snap =
+            serde_json::from_str_value(&body).map_err(|e| format!("bad progress response: {e}"))?;
+        let phase = snap.get("status").and_then(|s| s.as_str()).unwrap_or("?").to_string();
+        match phase.as_str() {
+            "done" => return Ok(id),
+            "failed" | "cancelled" => {
+                let why = snap
+                    .get("error")
+                    .and_then(|e| e.as_str())
+                    .unwrap_or("no error message")
+                    .to_string();
+                return Err(format!("campaign `{id}` {phase}: {why}"));
+            }
+            _ => {}
+        }
+    }
+}
+
+fn remote_run(addr: &str, opts: &Options) -> Result<(), String> {
+    let id = remote_submit_and_wait(addr, opts)?;
+    print!("{}", remote_get(addr, &format!("/campaigns/{id}/results?format=summary"))?);
+    Ok(())
+}
+
+fn remote_status(addr: &str) -> Result<(), String> {
+    println!("{}", remote_get(addr, "/stats")?);
+    println!("{}", remote_get(addr, "/campaigns")?);
+    Ok(())
+}
+
+fn remote_export(addr: &str, opts: &Options) -> Result<(), String> {
+    let id = remote_submit_and_wait(addr, opts)?;
+    let json = remote_get(addr, &format!("/campaigns/{id}/results?format=json"))?;
+    let csv = remote_get(addr, &format!("/campaigns/{id}/results?format=csv"))?;
+    let summary = remote_get(addr, &format!("/campaigns/{id}/results?format=summary"))?;
+    write_exports(&opts.out_dir, &ExportTexts { json, csv, summary })?;
+    eprintln!("wrote {} (campaign `{id}` from {addr})", opts.out_dir.display());
+    Ok(())
+}
+
+// ------------------------------------------------------------- exports
+
+struct ExportTexts {
+    json: String,
+    csv: String,
+    summary: String,
+}
+
+fn export_texts(result: &hdsmt_campaign::CampaignResult) -> ExportTexts {
+    ExportTexts {
+        json: export::to_json(result),
+        csv: export::to_csv(result),
+        summary: export::summary(result),
+    }
+}
+
+/// Write `campaign.json`, `cells.csv`, `summary.txt` — one layout for the
+/// local and remote export paths.
+fn write_exports(out_dir: &std::path::Path, texts: &ExportTexts) -> Result<(), String> {
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    for (name, text) in
+        [("campaign.json", &texts.json), ("cells.csv", &texts.csv), ("summary.txt", &texts.summary)]
+    {
+        std::fs::write(out_dir.join(name), text)
+            .map_err(|e| format!("cannot write {name}: {e}"))?;
+    }
+    Ok(())
 }

@@ -10,6 +10,8 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use hdsmt_core::SimResult;
 
@@ -19,10 +21,42 @@ use crate::hash::sha256_hex;
 /// result schema, key schema). Old entries are then simply never hit.
 pub const CODE_VERSION: &str = concat!("hdsmt-campaign/", env!("CARGO_PKG_VERSION"), "/schema-2");
 
+/// Runtime lookup counters, shared by every clone of a [`ResultCache`]
+/// (the serve daemon reports them in `GET /stats`). A **corrupt** entry is
+/// one that exists on disk but fails to deserialize — still served as a
+/// miss (the caller re-simulates and overwrites it), but counted
+/// separately so silent cache rot is visible instead of just slow.
+#[derive(Debug, Default)]
+pub struct CacheTelemetry {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+/// Point-in-time snapshot of [`CacheTelemetry`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct CacheCounters {
+    pub hits: u64,
+    pub misses: u64,
+    /// Entries present on disk but undeserializable at lookup time.
+    pub corrupt: u64,
+}
+
+/// Outcome of a raw entry lookup (`GET /cells/:hash`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EntryLookup {
+    /// The verbatim JSON entry text (version + descriptor + result).
+    Hit(String),
+    Miss,
+    /// Present on disk but does not deserialize.
+    Corrupt,
+}
+
 /// A content-addressed store of [`SimResult`]s.
 #[derive(Clone, Debug)]
 pub struct ResultCache {
     dir: PathBuf,
+    telemetry: Arc<CacheTelemetry>,
 }
 
 impl ResultCache {
@@ -30,7 +64,7 @@ impl ResultCache {
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(ResultCache { dir })
+        Ok(ResultCache { dir, telemetry: Arc::new(CacheTelemetry::default()) })
     }
 
     pub fn dir(&self) -> &Path {
@@ -56,17 +90,59 @@ impl ResultCache {
     }
 
     /// Load the cached result for `key`. Corrupt or unreadable entries
-    /// count as misses (the caller re-simulates and overwrites them).
+    /// count as misses (the caller re-simulates and overwrites them), but
+    /// corrupt ones are additionally tallied in [`Self::counters`].
     pub fn get(&self, key: &str) -> Option<SimResult> {
-        let text = fs::read_to_string(self.path(key)).ok()?;
-        let entry: CacheEntry = serde_json::from_str(&text).ok()?;
-        Some(entry.result)
+        match self.entry_text(key) {
+            EntryLookup::Hit(text) => {
+                let entry: CacheEntry = serde_json::from_str(&text).expect("validated above");
+                Some(entry.result)
+            }
+            EntryLookup::Miss | EntryLookup::Corrupt => None,
+        }
+    }
+
+    /// Raw entry lookup: the verbatim on-disk JSON, validated. This is the
+    /// `GET /cells/:hash` backend — the entry text is already the response
+    /// body. Updates the telemetry counters like [`Self::get`].
+    pub fn entry_text(&self, key: &str) -> EntryLookup {
+        let Ok(text) = fs::read_to_string(self.path(key)) else {
+            self.telemetry.misses.fetch_add(1, Ordering::Relaxed);
+            return EntryLookup::Miss;
+        };
+        if serde_json::from_str::<CacheEntry>(&text).is_err() {
+            self.telemetry.corrupt.fetch_add(1, Ordering::Relaxed);
+            return EntryLookup::Corrupt;
+        }
+        self.telemetry.hits.fetch_add(1, Ordering::Relaxed);
+        EntryLookup::Hit(text)
+    }
+
+    /// Snapshot of the runtime lookup counters (shared across clones).
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.telemetry.hits.load(Ordering::Relaxed),
+            misses: self.telemetry.misses.load(Ordering::Relaxed),
+            corrupt: self.telemetry.corrupt.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Walk every entry on disk and count the ones that fail to
+    /// deserialize. O(cache size) — used by `status` reporting, not by
+    /// the lookup path (which counts lazily via [`Self::counters`]).
+    pub fn corrupt_entries(&self) -> usize {
+        self.entry_paths()
+            .filter(|p| {
+                fs::read_to_string(p)
+                    .map(|t| serde_json::from_str::<CacheEntry>(&t).is_err())
+                    .unwrap_or(true)
+            })
+            .count()
     }
 
     /// Atomically store `result` under `key`, alongside its descriptor
     /// (kept for human inspection of the cache).
     pub fn put(&self, key: &str, descriptor_json: &str, result: &SimResult) -> std::io::Result<()> {
-        use std::sync::atomic::{AtomicU64, Ordering};
         // Unique per write: two threads simulating the same deterministic
         // job (e.g. the heuristic mapping equalling the oracle best in one
         // measure batch) must not share a tmp path, or the loser's rename
@@ -89,16 +165,22 @@ impl ResultCache {
         Ok(())
     }
 
-    /// Number of entries on disk (status reporting).
-    pub fn len(&self) -> usize {
-        let Ok(shards) = fs::read_dir(&self.dir) else { return 0 };
-        shards
+    /// Every `*.json` entry path on disk, in directory order.
+    fn entry_paths(&self) -> impl Iterator<Item = PathBuf> + '_ {
+        fs::read_dir(&self.dir)
+            .into_iter()
+            .flatten()
             .flatten()
             .filter(|d| d.path().is_dir())
             .filter_map(|d| fs::read_dir(d.path()).ok())
             .flat_map(|entries| entries.flatten())
-            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
-            .count()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+    }
+
+    /// Number of entries on disk (status reporting).
+    pub fn len(&self) -> usize {
+        self.entry_paths().count()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -149,14 +231,38 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_entry_is_a_miss() {
+    fn corrupt_entry_is_a_counted_miss() {
         let dir = tmpdir("corrupt");
         let cache = ResultCache::open(&dir).unwrap();
         let key = ResultCache::key_for("{\"job\":2}");
+        let good = ResultCache::key_for("{\"job\":3}");
         cache.put(&key, "{\"job\":2}", &fake_result()).unwrap();
+        cache.put(&good, "{\"job\":3}", &fake_result()).unwrap();
+        // Truncate one entry mid-file — the shape an interrupted write
+        // would leave if the tmp+rename protocol were ever violated.
         let path = dir.join(&key[..2]).join(format!("{key}.json"));
         fs::write(&path, "{ truncated").unwrap();
+
         assert!(cache.get(&key).is_none(), "corrupt entry must be a miss");
+        assert_eq!(cache.entry_text(&key), EntryLookup::Corrupt);
+        assert!(cache.get(&good).is_some(), "sibling entries are unaffected");
+        assert!(cache.get(&ResultCache::key_for("{\"job\":4}")).is_none(), "clean miss");
+
+        // Telemetry distinguishes the three outcomes — and is shared
+        // across clones (the daemon holds clones per worker).
+        let counters = cache.clone().counters();
+        assert_eq!(counters.corrupt, 2, "both corrupt lookups counted: {counters:?}");
+        assert_eq!(counters.hits, 1, "{counters:?}");
+        assert_eq!(counters.misses, 1, "{counters:?}");
+
+        // The O(n) scan finds exactly the one rotten file.
+        assert_eq!(cache.corrupt_entries(), 1);
+        assert_eq!(cache.len(), 2);
+
+        // Re-simulating overwrites the corrupt entry and heals the cache.
+        cache.put(&key, "{\"job\":2}", &fake_result()).unwrap();
+        assert!(cache.get(&key).is_some());
+        assert_eq!(cache.corrupt_entries(), 0);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -20,9 +20,31 @@ use hdsmt_pipeline::MicroArch;
 
 use crate::cache::ResultCache;
 use crate::catalog::Catalog;
-use crate::job::{CampaignError, JobRunner, JobSpec, RunReport};
-use crate::matrix::{expand, Cell, Policy};
+use crate::job::{CampaignError, JobEvent, JobOutcome, JobRunner, JobSpec, RunReport};
+use crate::matrix::{expand, Cell, Policy, ShardSpec};
 use crate::spec::CampaignSpec;
+
+/// Observer of one campaign run (all methods optional). Callbacks fire
+/// from worker threads, so implementations must be `Sync`; the unit
+/// implementation `()` observes nothing.
+///
+/// The serve daemon implements this to maintain the per-cell progress
+/// counters behind `GET /campaigns/:id`.
+pub trait CampaignProgress: Sync {
+    /// The matrix was expanded (and shard-filtered): these are the cells
+    /// this run will measure, in order.
+    fn cells_expanded(&self, _cells: &[Cell]) {}
+    /// The oracle search phase will run `_jobs` reduced-budget jobs.
+    fn search_planned(&self, _jobs: usize) {}
+    fn search_job_finished(&self, _outcome: JobOutcome) {}
+    /// A cell's full-length measure job left the queue (`_cell` indexes
+    /// the `cells_expanded` slice). Cancelled cells never start.
+    fn cell_started(&self, _cell: usize) {}
+    /// One full-length measure job per cell concluded.
+    fn cell_finished(&self, _cell: usize, _outcome: JobOutcome) {}
+}
+
+impl CampaignProgress for () {}
 
 /// Measured outcome of one cell.
 #[derive(Clone, Debug, serde::Serialize)]
@@ -175,7 +197,27 @@ pub fn run_campaign_with(
     catalog: &Catalog,
     runner: &JobRunner,
 ) -> Result<CampaignResult, CampaignError> {
-    let cells = expand(spec, catalog)?;
+    run_campaign_observed(spec, catalog, runner, None, &())
+}
+
+/// [`run_campaign_with`] plus the daemon's two hooks: an optional
+/// [`ShardSpec`] restricting this run to the cells it owns (the other
+/// shards' cells are neither searched nor measured here), and a
+/// [`CampaignProgress`] observer fed per-job completion events. Cache
+/// keys, phase structure, and panic isolation are identical to the
+/// unobserved path.
+pub fn run_campaign_observed(
+    spec: &CampaignSpec,
+    catalog: &Catalog,
+    runner: &JobRunner,
+    shard: Option<ShardSpec>,
+    progress: &dyn CampaignProgress,
+) -> Result<CampaignResult, CampaignError> {
+    let mut cells = expand(spec, catalog)?;
+    if let Some(shard) = shard {
+        cells.retain(|c| shard.owns(c));
+    }
+    progress.cells_expanded(&cells);
     let budget = spec.budget();
 
     // Pre-parse archs once; expansion already validated them.
@@ -224,7 +266,12 @@ pub fn run_campaign_with(
             job_range: start..search_jobs.len(),
         });
     }
-    let search_results = runner.run_all(&search_jobs)?;
+    progress.search_planned(search_jobs.len());
+    let search_results = runner.run_all_observed(&search_jobs, &|_, event| {
+        if let JobEvent::Finished(outcome) = event {
+            progress.search_job_finished(outcome);
+        }
+    })?;
 
     // ---- reduce: chosen mapping per cell ----
     let mut chosen: Vec<Option<(Vec<u8>, usize)>> = vec![None; cells.len()];
@@ -256,7 +303,10 @@ pub fn run_campaign_with(
         .zip(&chosen)
         .map(|(cell, m)| cell.job(m.as_ref().unwrap().0.clone(), &budget))
         .collect();
-    let measured = runner.run_all(&measure_jobs)?;
+    let measured = runner.run_all_observed(&measure_jobs, &|i, event| match event {
+        JobEvent::Started => progress.cell_started(i),
+        JobEvent::Finished(outcome) => progress.cell_finished(i, outcome),
+    })?;
 
     let mut results = Vec::with_capacity(cells.len());
     for ((cell, m), sim) in cells.iter().zip(&chosen).zip(&measured) {

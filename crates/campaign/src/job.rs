@@ -3,13 +3,14 @@
 //! identity — plus the cached, work-stealing [`JobRunner`] that executes
 //! batches of them.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use hdsmt_core::{run_sim, FetchPolicy, SimConfig, SimResult, ThreadSpec};
 use hdsmt_pipeline::MicroArch;
 
 use crate::cache::ResultCache;
-use crate::sched::{default_workers, parallel_map};
+use crate::sched::default_workers;
 
 /// One software thread of a job: benchmark model + stream seed.
 #[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -131,6 +132,32 @@ impl JobSpec {
     }
 }
 
+/// How one job of a batch concluded (reported to [`JobRunner`]
+/// observers — the serve daemon turns these into per-cell progress).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Served from the content-addressed cache.
+    CacheHit,
+    /// Simulated (and written to the cache, if one is attached).
+    Simulated,
+    /// The job errored or its simulation panicked.
+    Failed,
+    /// Skipped because the runner's cancel token fired before it started.
+    Cancelled,
+}
+
+/// One job's lifecycle, as seen by a [`JobRunner`] observer.
+///
+/// `Started` is emitted when a worker picks the job up (cache probe
+/// included); `Finished` when it concludes. A job skipped by
+/// cancellation emits **only** `Finished(Cancelled)` — it never starts —
+/// so observers can treat `Started` as "left the queue".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobEvent {
+    Started,
+    Finished(JobOutcome),
+}
+
 /// Execution counters for one `run_all` batch.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
 pub struct RunReport {
@@ -152,13 +179,23 @@ pub struct JobRunner {
     workers: usize,
     cache: Option<ResultCache>,
     report: std::sync::Mutex<RunReport>,
+    /// Cooperative cancellation: once set, jobs that have not started yet
+    /// fail fast with a `cancelled` error; in-flight simulations finish
+    /// (and cache) normally. The serve daemon's graceful shutdown relies
+    /// on this to leave a resumable cache behind.
+    cancel: Arc<AtomicBool>,
 }
 
 impl JobRunner {
     /// `workers = 0` means auto (cores − 2).
     pub fn new(workers: usize, cache: Option<ResultCache>) -> Self {
         let workers = if workers == 0 { default_workers() } else { workers };
-        JobRunner { workers, cache, report: std::sync::Mutex::new(RunReport::default()) }
+        JobRunner {
+            workers,
+            cache,
+            report: std::sync::Mutex::new(RunReport::default()),
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
     }
 
     pub fn workers(&self) -> usize {
@@ -169,6 +206,24 @@ impl JobRunner {
         self.cache.as_ref()
     }
 
+    /// Shared cancellation token. Setting it to `true` makes every
+    /// not-yet-started job of any current or future batch fail with a
+    /// `cancelled by shutdown` error; completed work stays cached.
+    pub fn cancel_token(&self) -> Arc<AtomicBool> {
+        self.cancel.clone()
+    }
+
+    /// Link this runner to an externally owned cancel token (the serve
+    /// daemon points every campaign's runner at its shutdown flag).
+    pub fn with_cancel_token(mut self, token: Arc<AtomicBool>) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
     /// Cumulative counters across every `run_all` on this runner.
     pub fn report(&self) -> RunReport {
         *self.report.lock().unwrap()
@@ -176,6 +231,18 @@ impl JobRunner {
 
     /// Execute `jobs` (cache-first), returning results in input order.
     pub fn run_all(&self, jobs: &[JobSpec]) -> Result<Vec<SimResult>, CampaignError> {
+        self.run_all_observed(jobs, &|_, _| {})
+    }
+
+    /// [`Self::run_all`] with a per-job lifecycle callback `(index,
+    /// event)`, invoked from worker threads. The batch result is
+    /// unaffected by the observer — same cache keys, same panic
+    /// isolation, same output order.
+    pub fn run_all_observed(
+        &self,
+        jobs: &[JobSpec],
+        observe: &(dyn Fn(usize, JobEvent) + Sync),
+    ) -> Result<Vec<SimResult>, CampaignError> {
         // Validate everything up front (cheaply — no program synthesis)
         // so a bad cell fails the campaign before burning simulation time
         // on its neighbours.
@@ -184,32 +251,23 @@ impl JobRunner {
         }
         let hits = AtomicUsize::new(0);
         let results: Vec<Result<SimResult, CampaignError>> =
-            parallel_map(jobs, self.workers, |job| {
-                let descriptor = job.descriptor();
-                let key = ResultCache::key_for(&descriptor);
-                if let Some(cache) = &self.cache {
-                    if let Some(hit) = cache.get(&key) {
-                        hits.fetch_add(1, Ordering::Relaxed);
-                        return Ok(hit);
-                    }
+            crate::sched::parallel_map_indexed(jobs, self.workers, |i, job| {
+                if self.is_cancelled() {
+                    observe(i, JobEvent::Finished(JobOutcome::Cancelled));
+                    return Err(CampaignError(
+                        "cancelled by shutdown before this job started".into(),
+                    ));
                 }
-                // A panicking simulation (a model bug, or a structural
-                // impossibility `check` cannot see, like a context-count
-                // violation) fails *this job* — the sibling jobs finish
-                // and the campaign reports one clean error instead of a
-                // poisoned-lock abort.
-                let result =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run_uncached()))
-                        .unwrap_or_else(|p| {
-                        let msg = crate::sched::payload_msg(p.as_ref());
-                        Err(CampaignError(format!("job `{descriptor}` panicked: {msg}")))
-                    })?;
-                if let Some(cache) = &self.cache {
-                    cache
-                        .put(&key, &descriptor, &result)
-                        .map_err(|e| CampaignError(format!("cache write failed for {key}: {e}")))?;
-                }
-                Ok(result)
+                observe(i, JobEvent::Started);
+                let out = self.run_one(job, &hits);
+                observe(
+                    i,
+                    JobEvent::Finished(match &out {
+                        Ok((outcome, _)) => *outcome,
+                        Err(_) => JobOutcome::Failed,
+                    }),
+                );
+                out.map(|(_, r)| r)
             });
         let hits = hits.load(Ordering::Relaxed);
         self.report.lock().unwrap().merge(RunReport {
@@ -218,5 +276,36 @@ impl JobRunner {
             simulated: jobs.len() - hits,
         });
         results.into_iter().collect()
+    }
+
+    fn run_one(
+        &self,
+        job: &JobSpec,
+        hits: &AtomicUsize,
+    ) -> Result<(JobOutcome, SimResult), CampaignError> {
+        let descriptor = job.descriptor();
+        let key = ResultCache::key_for(&descriptor);
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.get(&key) {
+                hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((JobOutcome::CacheHit, hit));
+            }
+        }
+        // A panicking simulation (a model bug, or a structural
+        // impossibility `check` cannot see, like a context-count
+        // violation) fails *this job* — the sibling jobs finish
+        // and the campaign reports one clean error instead of a
+        // poisoned-lock abort.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run_uncached()))
+            .unwrap_or_else(|p| {
+                let msg = crate::sched::payload_msg(p.as_ref());
+                Err(CampaignError(format!("job `{descriptor}` panicked: {msg}")))
+            })?;
+        if let Some(cache) = &self.cache {
+            cache
+                .put(&key, &descriptor, &result)
+                .map_err(|e| CampaignError(format!("cache write failed for {key}: {e}")))?;
+        }
+        Ok((JobOutcome::Simulated, result))
     }
 }

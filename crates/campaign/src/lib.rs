@@ -29,14 +29,18 @@ pub mod hash;
 pub mod job;
 pub mod matrix;
 pub mod sched;
+pub mod serve;
 pub mod spec;
 mod toml;
 
-pub use cache::{ResultCache, CODE_VERSION};
+pub use cache::{CacheCounters, EntryLookup, ResultCache, CODE_VERSION};
 pub use catalog::{Catalog, CatalogEntry, PAPER_WORKLOADS};
-pub use engine::{best_worst, run_campaign, run_campaign_with, status, CampaignResult, CellResult};
-pub use job::{CampaignError, JobRunner, JobSpec, JobThread, RunReport};
-pub use matrix::{expand, Cell, Policy};
+pub use engine::{
+    best_worst, run_campaign, run_campaign_observed, run_campaign_with, status, CampaignProgress,
+    CampaignResult, CellResult,
+};
+pub use job::{CampaignError, JobEvent, JobOutcome, JobRunner, JobSpec, JobThread, RunReport};
+pub use matrix::{cell_shard, expand, Cell, Policy, ShardSpec};
 pub use sched::{default_workers, parallel_map, parallel_map_indexed};
 pub use spec::{Budget, CampaignSpec, ExtraWorkload};
 

@@ -111,6 +111,62 @@ impl Cell {
     }
 }
 
+/// One worker's slice of a sharded campaign: `index` of `count` peers.
+///
+/// **Ownership rule:** a cell belongs to shard `i` iff the first eight
+/// bytes of `SHA-256("<arch>\x1f<workload id>\x1f<policy>")`, read as a
+/// big-endian `u64`, equal `i` modulo `count`. The hash covers the cell's
+/// *identity* — not its mapping or budget — so every process pointed at
+/// the same spec partitions the matrix identically without coordination,
+/// and `best`/`worst` cells of one workload can land on different shards
+/// (their shared search sweep is then run by each owner; the
+/// content-addressed cache coalesces the duplicate sub-jobs after the
+/// first writer lands). Shards cover the matrix exactly: every cell has
+/// one owner, no cell has two.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
+pub struct ShardSpec {
+    pub index: u32,
+    pub count: u32,
+}
+
+impl ShardSpec {
+    /// Parse `"i/n"` (e.g. `0/2`), requiring `i < n` and `n ≥ 1`.
+    pub fn parse(s: &str) -> Result<Self, CampaignError> {
+        let bad = || CampaignError(format!("bad shard `{s}` (expected i/n with i < n)"));
+        let (i, n) = s.split_once('/').ok_or_else(bad)?;
+        let index = i.trim().parse::<u32>().map_err(|_| bad())?;
+        let count = n.trim().parse::<u32>().map_err(|_| bad())?;
+        if count == 0 || index >= count {
+            return Err(bad());
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.index, self.count)
+    }
+
+    /// Does this shard own `cell`?
+    pub fn owns(&self, cell: &Cell) -> bool {
+        cell_shard(cell, self.count) == self.index
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// The owning shard index of `cell` among `count` shards (see
+/// [`ShardSpec`] for the rule).
+pub fn cell_shard(cell: &Cell, count: u32) -> u32 {
+    let identity = format!("{}\x1f{}\x1f{}", cell.arch, cell.workload.id, cell.policy.label());
+    let digest = crate::hash::sha256(identity.as_bytes());
+    let h = u64::from_be_bytes(digest[..8].try_into().unwrap());
+    (h % count.max(1) as u64) as u32
+}
+
 /// Deterministic per-thread stream seed (same scheme as the workloads
 /// crate, so identical runs share cache entries).
 pub fn thread_seed(base: u64, workload_id: &str, position: usize) -> u64 {
@@ -264,6 +320,44 @@ mod tests {
         let mut s = spec(&["6W1"], &["heur"]);
         s.archs = vec!["2M2".into()];
         assert!(expand(&s, &catalog).is_err());
+    }
+
+    #[test]
+    fn shards_partition_the_matrix_exactly() {
+        let s = spec(&["MEM", "2W7", "MIX"], &["heur", "rr"]);
+        let cells = expand(&s, &Catalog::paper()).unwrap();
+        assert!(cells.len() > 10);
+        for count in [1u32, 2, 3, 5] {
+            let shards: Vec<ShardSpec> =
+                (0..count).map(|index| ShardSpec { index, count }).collect();
+            for cell in &cells {
+                let owners = shards.iter().filter(|s| s.owns(cell)).count();
+                assert_eq!(
+                    owners, 1,
+                    "cell {}/{} must have exactly one owner of {count}",
+                    cell.arch, cell.workload.id
+                );
+            }
+        }
+        // A single shard owns everything.
+        let solo = ShardSpec { index: 0, count: 1 };
+        assert!(cells.iter().all(|c| solo.owns(c)));
+        // Ownership is identity-stable: recomputing yields the same split.
+        let first: Vec<u32> = cells.iter().map(|c| cell_shard(c, 4)).collect();
+        let second: Vec<u32> = cells.iter().map(|c| cell_shard(c, 4)).collect();
+        assert_eq!(first, second);
+        // And with >1 shard on this matrix, work actually spreads.
+        assert!(first.iter().any(|&s| s != first[0]), "degenerate split: {first:?}");
+    }
+
+    #[test]
+    fn shard_spec_parses_and_rejects() {
+        assert_eq!(ShardSpec::parse("0/2").unwrap(), ShardSpec { index: 0, count: 2 });
+        assert_eq!(ShardSpec::parse("1/2").unwrap().label(), "1/2");
+        assert!(ShardSpec::parse("2/2").is_err(), "index must be < count");
+        assert!(ShardSpec::parse("0/0").is_err());
+        assert!(ShardSpec::parse("1").is_err());
+        assert!(ShardSpec::parse("a/b").is_err());
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! The JSON API: routing, status codes, and error bodies.
+//!
+//! Every failure is a structured JSON object so thin clients and scripts
+//! never have to scrape prose:
+//!
+//! ```json
+//! {"error": {"status": 404, "message": "no campaign `c9-deadbeef`"}}
+//! ```
+//!
+//! | Route                        | Method | Success                            |
+//! |------------------------------|--------|------------------------------------|
+//! | `/healthz`                   | GET    | 200 `{"status":"ok"}`              |
+//! | `/stats`                     | GET    | 200 service counters               |
+//! | `/campaigns`                 | POST   | 202 snapshot of the queued campaign|
+//! | `/campaigns`                 | GET    | 200 list of snapshots              |
+//! | `/campaigns/:id`             | GET    | 200 snapshot                       |
+//! | `/campaigns/:id/results`     | GET    | 200 export (`?format=json\|csv\|summary`) |
+//! | `/cells/:hash`               | GET    | 200 verbatim cache entry           |
+//! | `/shutdown`                  | POST   | 202 drain begins                   |
+
+use crate::cache::EntryLookup;
+use crate::export;
+use crate::serve::http::{HttpError, Request, Response};
+use crate::serve::state::{CampaignPhase, ServerState, SubmitError};
+
+#[derive(serde::Serialize)]
+struct ErrorDetail {
+    status: u16,
+    message: String,
+}
+
+#[derive(serde::Serialize)]
+struct ErrorBody {
+    error: ErrorDetail,
+}
+
+/// The structured JSON error response every failing route returns.
+pub fn error_response(status: u16, message: impl Into<String>) -> Response {
+    let body = ErrorBody { error: ErrorDetail { status, message: message.into() } };
+    Response::json(status, serde_json::to_string(&body).expect("error body serializes"))
+}
+
+/// Map a transport-level parse failure to a response (mod.rs calls this
+/// for connections whose bytes never became a [`Request`]).
+pub fn transport_error_response(err: &HttpError) -> Response {
+    match err {
+        HttpError::TooLarge(what) => error_response(413, format!("request too large: {what}")),
+        _ => error_response(400, err.to_string()),
+    }
+}
+
+fn json_ok(status: u16, value: &impl serde::Serialize) -> Response {
+    Response::json(status, serde_json::to_string(value).expect("API value serializes"))
+}
+
+/// Route one request against the daemon state. Pure request→response:
+/// socket handling (and shutdown plumbing) lives in `mod.rs`.
+pub fn handle(state: &ServerState, req: &Request) -> Response {
+    let segments = req.segments();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", []) => json_ok(200, &ServiceIndex::default()),
+        ("GET", ["healthz"]) => Response::json(200, r#"{"status":"ok"}"#.to_string()),
+        ("GET", ["stats"]) => json_ok(200, &state.stats()),
+        ("POST", ["campaigns"]) => submit(state, req),
+        ("GET", ["campaigns"]) => {
+            let list: Vec<_> = state.list().iter().map(|e| e.snapshot()).collect();
+            json_ok(200, &list)
+        }
+        ("GET", ["campaigns", id]) => match state.get(id) {
+            Some(entry) => json_ok(200, &entry.snapshot()),
+            None => error_response(404, format!("no campaign `{id}`")),
+        },
+        ("GET", ["campaigns", id, "results"]) => results(state, req, id),
+        ("GET", ["cells", hash]) => cell(state, hash),
+        ("POST", ["shutdown"]) => {
+            state.begin_shutdown();
+            Response::json(202, r#"{"status":"draining"}"#.to_string())
+        }
+        // Known paths with the wrong verb get a 405, not a 404.
+        (_, [] | ["healthz"] | ["stats"] | ["campaigns", ..] | ["cells", _] | ["shutdown"]) => {
+            error_response(405, format!("method {} not allowed on {}", req.method, req.path))
+        }
+        _ => error_response(404, format!("no route for {}", req.path)),
+    }
+}
+
+/// `GET /` — a tiny machine-readable index so a curl of the bare address
+/// explains the service.
+#[derive(serde::Serialize)]
+struct ServiceIndex {
+    service: &'static str,
+    routes: Vec<&'static str>,
+}
+
+impl Default for ServiceIndex {
+    fn default() -> Self {
+        ServiceIndex {
+            service: "hdsmt-campaign serve",
+            routes: vec![
+                "GET /healthz",
+                "GET /stats",
+                "POST /campaigns",
+                "GET /campaigns",
+                "GET /campaigns/:id",
+                "GET /campaigns/:id/results?format=json|csv|summary",
+                "GET /cells/:hash",
+                "POST /shutdown",
+            ],
+        }
+    }
+}
+
+fn submit(state: &ServerState, req: &Request) -> Response {
+    let spec_text = match req.body_str() {
+        Ok(text) if !text.trim().is_empty() => text,
+        Ok(_) => return error_response(400, "empty body: POST a TOML or JSON campaign spec"),
+        Err(e) => return error_response(400, e.to_string()),
+    };
+    match state.submit(spec_text) {
+        Ok(entry) => json_ok(202, &entry.snapshot()),
+        Err(SubmitError::Invalid(msg)) => error_response(400, msg),
+        Err(SubmitError::QueueFull) => {
+            error_response(503, "campaign queue is full; retry after a campaign finishes")
+        }
+        Err(SubmitError::ShuttingDown) => {
+            error_response(503, "daemon is shutting down; not accepting campaigns")
+        }
+    }
+}
+
+fn results(state: &ServerState, req: &Request, id: &str) -> Response {
+    let Some(entry) = state.get(id) else {
+        return error_response(404, format!("no campaign `{id}`"));
+    };
+    let phase = entry.phase();
+    if phase != CampaignPhase::Done {
+        return error_response(
+            409,
+            format!("campaign `{id}` is {}; results exist only once it is done", phase.as_str()),
+        );
+    }
+    let result = entry.result().expect("done campaign has a result");
+    match req.query_param("format").unwrap_or("json") {
+        "json" => Response::json(200, export::to_json(&result)),
+        "csv" => Response::csv(export::to_csv(&result)),
+        "summary" => Response::text(200, export::summary(&result)),
+        other => error_response(400, format!("unknown format `{other}` (json|csv|summary)")),
+    }
+}
+
+fn cell(state: &ServerState, hash: &str) -> Response {
+    if hash.len() != 64 || !hash.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()) {
+        return error_response(400, "cell key must be 64 lowercase hex chars (a SHA-256)");
+    }
+    match state.cache.entry_text(hash) {
+        // The on-disk entry is already the JSON response body.
+        EntryLookup::Hit(text) => Response::json(200, text),
+        EntryLookup::Miss => error_response(404, format!("no cached cell `{hash}`")),
+        EntryLookup::Corrupt => error_response(
+            500,
+            format!("cell `{hash}` exists but is corrupt; it will re-simulate on next use"),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::state::ServerConfig;
+
+    fn tmp_state(tag: &str) -> ServerState {
+        let dir =
+            std::env::temp_dir().join(format!("hdsmt-serve-api-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ServerState::new(ServerConfig {
+            cache_dir: dir.to_string_lossy().into_owned(),
+            ..ServerConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn get(path: &str) -> Request {
+        let (path, query) = path.split_once('?').unwrap_or((path, ""));
+        Request { method: "GET".into(), path: path.into(), query: query.into(), body: Vec::new() }
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            query: String::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn body_json(resp: &Response) -> serde_json::Value {
+        serde_json::from_str_value(std::str::from_utf8(&resp.body).unwrap()).unwrap()
+    }
+
+    const SPEC: &str = r#"{"archs": ["M8"], "workloads": ["2W1"], "policies": ["rr"]}"#;
+
+    #[test]
+    fn health_stats_and_index() {
+        let state = tmp_state("health");
+        assert_eq!(handle(&state, &get("/healthz")).status, 200);
+        let stats = handle(&state, &get("/stats"));
+        assert_eq!(stats.status, 200);
+        let v = body_json(&stats);
+        assert_eq!(v.get("accepting").and_then(|b| b.as_bool()), Some(true));
+        assert!(v.get("cache").and_then(|c| c.get("corrupt")).is_some(), "corrupt counter");
+        let index = handle(&state, &get("/"));
+        assert!(body_json(&index).get("routes").and_then(|r| r.as_array()).is_some());
+    }
+
+    #[test]
+    fn submit_lifecycle_without_an_executor() {
+        let state = tmp_state("lifecycle");
+        // No executor is draining the queue, so the campaign stays queued
+        // — exactly what the progress/results error paths need.
+        let accepted = handle(&state, &post("/campaigns", SPEC));
+        assert_eq!(accepted.status, 202, "{:?}", accepted.body);
+        let id = body_json(&accepted).get("id").and_then(|i| i.as_str()).unwrap().to_string();
+        assert!(id.starts_with("c1-"), "sequence + spec digest: {id}");
+
+        let snap = handle(&state, &get(&format!("/campaigns/{id}")));
+        assert_eq!(snap.status, 200);
+        assert_eq!(body_json(&snap).get("status").and_then(|s| s.as_str()), Some("queued"));
+
+        let list = handle(&state, &get("/campaigns"));
+        assert_eq!(body_json(&list).as_array().map(|a| a.len()), Some(1));
+
+        let res = handle(&state, &get(&format!("/campaigns/{id}/results")));
+        assert_eq!(res.status, 409, "results before completion must conflict");
+        let msg = body_json(&res);
+        assert_eq!(
+            msg.get("error").and_then(|e| e.get("status")).and_then(|s| s.as_u64()),
+            Some(409)
+        );
+    }
+
+    #[test]
+    fn error_paths_are_structured_json() {
+        let state = tmp_state("errors");
+
+        // Malformed specs: bad JSON, empty body, validation failure.
+        for (body, want) in [
+            ("{ not json", 400),
+            ("", 400),
+            (r#"{"archs": [], "workloads": ["2W1"]}"#, 400),
+            (r#"{"archs": ["M8"], "workloads": ["2W1"], "policies": ["bogus"]}"#, 400),
+        ] {
+            let resp = handle(&state, &post("/campaigns", body));
+            assert_eq!(resp.status, want, "spec {body:?}");
+            let v = body_json(&resp);
+            assert!(
+                v.get("error").and_then(|e| e.get("message")).is_some(),
+                "structured error for {body:?}"
+            );
+        }
+
+        assert_eq!(handle(&state, &get("/campaigns/c9-unknown")).status, 404);
+        assert_eq!(handle(&state, &get("/campaigns/c9-unknown/results")).status, 404);
+        assert_eq!(handle(&state, &get("/nope")).status, 404);
+        assert_eq!(handle(&state, &post("/healthz", "")).status, 405);
+        assert_eq!(handle(&state, &post("/campaigns/x", "")).status, 405);
+
+        // Cell lookups: bad key shape vs a well-formed miss.
+        assert_eq!(handle(&state, &get("/cells/shorthash")).status, 400);
+        assert_eq!(handle(&state, &get(&format!("/cells/{}", "A".repeat(64)))).status, 400);
+        assert_eq!(handle(&state, &get(&format!("/cells/{}", "a".repeat(64)))).status, 404);
+    }
+
+    #[test]
+    fn results_format_selection() {
+        let state = tmp_state("formats");
+        let accepted = handle(&state, &post("/campaigns", SPEC));
+        let id = body_json(&accepted).get("id").and_then(|i| i.as_str()).unwrap().to_string();
+        // Run the queued campaign inline (what an executor thread does).
+        let entry = state.queue.pop().unwrap();
+        state.execute(&entry);
+
+        let json = handle(&state, &get(&format!("/campaigns/{id}/results")));
+        assert_eq!(json.status, 200, "{:?}", String::from_utf8_lossy(&json.body));
+        assert!(body_json(&json).get("cells").is_some());
+
+        let csv = handle(&state, &get(&format!("/campaigns/{id}/results?format=csv")));
+        assert_eq!(csv.status, 200);
+        assert_eq!(csv.content_type, "text/csv; charset=utf-8");
+        assert!(std::str::from_utf8(&csv.body).unwrap().starts_with("arch,workload"));
+
+        let summary = handle(&state, &get(&format!("/campaigns/{id}/results?format=summary")));
+        assert_eq!(summary.status, 200);
+        assert!(std::str::from_utf8(&summary.body).unwrap().contains("hmean IPC"));
+
+        let bad = handle(&state, &get(&format!("/campaigns/{id}/results?format=xml")));
+        assert_eq!(bad.status, 400);
+
+        // The snapshot now reports terminal per-cell counts.
+        let snap = body_json(&handle(&state, &get(&format!("/campaigns/{id}"))));
+        assert_eq!(snap.get("status").and_then(|s| s.as_str()), Some("done"));
+        let cells = snap.get("cells").unwrap();
+        let n = |k: &str| cells.get(k).and_then(|v| v.as_u64()).unwrap();
+        assert_eq!(n("total"), 1);
+        assert_eq!(n("done") + n("cached"), 1, "{cells:?}");
+        assert_eq!(n("queued") + n("running") + n("failed") + n("cancelled"), 0, "{cells:?}");
+
+        let _ = std::fs::remove_dir_all(state.cache.dir());
+    }
+
+    #[test]
+    fn shutdown_refuses_new_submissions() {
+        let state = tmp_state("shutdown");
+        assert_eq!(handle(&state, &post("/shutdown", "")).status, 202);
+        let refused = handle(&state, &post("/campaigns", SPEC));
+        assert_eq!(refused.status, 503);
+        let v = body_json(&refused);
+        assert!(
+            v.get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(|m| m.as_str())
+                .unwrap()
+                .contains("shutting down"),
+            "{v:?}"
+        );
+        let stats = body_json(&handle(&state, &get("/stats")));
+        assert_eq!(stats.get("accepting").and_then(|b| b.as_bool()), Some(false));
+    }
+}

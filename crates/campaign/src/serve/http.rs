@@ -1,0 +1,302 @@
+//! Minimal HTTP/1.1 transport on `std::net` — request parser, response
+//! writer, and a blocking client for the `--remote` thin-client verbs.
+//!
+//! Like the `vendor/` dependency shims, this is deliberately tiny: no
+//! registry is reachable from this environment, so the daemon speaks the
+//! smallest HTTP/1.1 subset that curl, browsers, and our own client all
+//! understand. One request per connection (`Connection: close`), bodies
+//! framed by `Content-Length` only (no chunked transfer), byte-capped
+//! header and body sections so a misbehaving peer cannot balloon memory.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest accepted request body (campaign specs are a few KB).
+pub const MAX_BODY: usize = 4 << 20;
+/// Largest accepted request line + header section.
+pub const MAX_HEAD: usize = 64 << 10;
+
+/// One parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    pub method: String,
+    /// Decoded path without the query string (`/campaigns/abc`).
+    pub path: String,
+    /// Raw query string (`format=csv`), empty when absent.
+    pub query: String,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Path split on `/`, empty segments dropped: `/campaigns/x/results`
+    /// → `["campaigns", "x", "results"]`.
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+
+    /// First value of a `key=value` query parameter.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .split('&')
+            .filter_map(|kv| kv.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+
+    pub fn body_str(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body).map_err(|_| HttpError::Malformed("body is not UTF-8"))
+    }
+}
+
+/// One outgoing HTTP response.
+#[derive(Clone, Debug)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn json(status: u16, body: String) -> Self {
+        Response { status, content_type: "application/json", body: body.into_bytes() }
+    }
+
+    pub fn text(status: u16, body: String) -> Self {
+        Response { status, content_type: "text/plain; charset=utf-8", body: body.into_bytes() }
+    }
+
+    pub fn csv(body: String) -> Self {
+        Response { status: 200, content_type: "text/csv; charset=utf-8", body: body.into_bytes() }
+    }
+}
+
+/// Transport-level failure while reading a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// Peer closed or an I/O error occurred mid-request.
+    Io(String),
+    /// The bytes are not a parseable HTTP/1.1 request.
+    Malformed(&'static str),
+    /// Head or body exceeded the hard caps.
+    TooLarge(&'static str),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::TooLarge(what) => write!(f, "request too large: {what}"),
+        }
+    }
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+/// Read and parse one request from `stream`.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let io = |e: std::io::Error| HttpError::Io(e.to_string());
+    let mut reader = BufReader::new(stream);
+
+    let mut head = String::new();
+    let mut line = String::new();
+    // Request line + headers, CRLF-terminated, blank line ends the head.
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).map_err(io)?;
+        if n == 0 {
+            return Err(HttpError::Io("peer closed mid-head".into()));
+        }
+        if head.len() + line.len() > MAX_HEAD {
+            return Err(HttpError::TooLarge("head"));
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+        head.push_str(&line);
+    }
+
+    let mut lines = head.lines();
+    let request_line = lines.next().ok_or(HttpError::Malformed("empty request line"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or(HttpError::Malformed("missing method"))?.to_string();
+    let target = parts.next().ok_or(HttpError::Malformed("missing target"))?;
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(HttpError::Malformed("not HTTP/1.x")),
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut content_length = 0usize;
+    for header in lines {
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(HttpError::Malformed("header without colon"));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| HttpError::Malformed("bad content-length"))?;
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(HttpError::TooLarge("body"));
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(io)?;
+    Ok(Request { method, path, query, body })
+}
+
+/// Write `response` to `stream` (HTTP/1.1, `Connection: close`).
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        status_reason(response.status),
+        response.content_type,
+        response.body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+// ---------------------------------------------------------------- client
+
+/// Blocking one-shot HTTP client: send `method path` with an optional
+/// body to `addr`, return `(status, body)`. Used by the `--remote` CLI
+/// verbs and the tests, so the daemon is exercised end-to-end over a real
+/// socket by everything that talks to it.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let bad = || std::io::Error::other("malformed HTTP response");
+    let status: u16 =
+        text.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+    let body_start = text.find("\r\n\r\n").map(|i| i + 4).ok_or_else(bad)?;
+    Ok((status, text[body_start..].to_string()))
+}
+
+pub fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+    http_request(addr, "GET", path, None)
+}
+
+pub fn http_post(addr: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    http_request(addr, "POST", path, Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Serve exactly `n` connections with `handler`, on an ephemeral
+    /// port; returns the address.
+    fn one_shot_server(
+        n: usize,
+        handler: impl Fn(Result<Request, HttpError>) -> Response + Send + 'static,
+    ) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            for _ in 0..n {
+                let (mut stream, _) = listener.accept().unwrap();
+                let req = read_request(&mut stream);
+                let resp = handler(req);
+                write_response(&mut stream, &resp).unwrap();
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn round_trips_methods_paths_queries_and_bodies() {
+        let addr = one_shot_server(3, |req| {
+            let req = req.expect("parseable");
+            Response::text(
+                200,
+                format!(
+                    "{} {} q={} fmt={:?} body={}",
+                    req.method,
+                    req.segments().join(","),
+                    req.query,
+                    req.query_param("format"),
+                    req.body_str().unwrap()
+                ),
+            )
+        });
+        let (status, body) = http_get(&addr, "/healthz").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "GET healthz q= fmt=None body=");
+
+        let (status, body) = http_post(&addr, "/campaigns", "name = \"x\"").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "POST campaigns q= fmt=None body=name = \"x\"");
+
+        let (_, body) = http_get(&addr, "/campaigns/c1/results?format=csv&x=1").unwrap();
+        assert!(body.contains("campaigns,c1,results"), "{body}");
+        assert!(body.contains("fmt=Some(\"csv\")"), "{body}");
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversized_requests() {
+        let addr = one_shot_server(2, |req| match req {
+            Ok(_) => Response::text(200, "ok".into()),
+            Err(e) => Response::text(400, e.to_string()),
+        });
+        // Raw garbage instead of a request line.
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.write_all(b"not http at all\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+
+        // Declared body larger than the cap.
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.write_all(
+            format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1).as_bytes(),
+        )
+        .unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+    }
+}

@@ -1,0 +1,304 @@
+//! `hdsmt-campaign serve` — the sweep-service daemon.
+//!
+//! Runs campaigns as a long-lived HTTP/JSON service instead of one-shot
+//! CLI invocations: clients `POST` a TOML/JSON spec, poll per-cell
+//! progress, and fetch results, while a persistent worker pool executes
+//! jobs through the exact same cached, work-stealing [`crate::job::JobRunner`]
+//! path as `hdsmt-campaign run` — identical cache keys, identical oracle
+//! search sub-jobs, identical panic isolation.
+//!
+//! # API
+//!
+//! | Route                     | Method | Meaning                                    |
+//! |---------------------------|--------|--------------------------------------------|
+//! | `/healthz`                | GET    | liveness probe                             |
+//! | `/stats`                  | GET    | uptime, job totals, cache hit/miss/corrupt |
+//! | `/campaigns`              | POST   | submit a spec (TOML or JSON body) → 202 + id |
+//! | `/campaigns`              | GET    | list submitted campaigns                   |
+//! | `/campaigns/:id`          | GET    | per-cell progress snapshot                 |
+//! | `/campaigns/:id/results`  | GET    | export (`?format=json\|csv\|summary`)      |
+//! | `/cells/:hash`            | GET    | verbatim cache entry by content key        |
+//! | `/shutdown`               | POST   | graceful drain (same as SIGINT)            |
+//!
+//! Errors are structured JSON (`{"error":{"status":…,"message":…}}`) —
+//! see [`api`] for the exact status-code mapping.
+//!
+//! # Sharding
+//!
+//! Several daemons can split one campaign across processes (or machines
+//! on a shared filesystem) with `serve --shard i/n`, all pointing at the
+//! same cache directory. **Ownership rule:** shard `i` of `n` owns a cell
+//! iff the first 8 bytes of `SHA-256("<arch>\x1f<workload id>\x1f<policy>")`,
+//! read as a big-endian `u64`, are ≡ `i` (mod `n`). Ownership depends only
+//! on cell *identity* — not on mappings or budgets — so every shard
+//! partitions the same spec identically with zero coordination: no cell
+//! is lost, none is measured twice. (`best`/`worst` cells of one
+//! (arch, workload) pair landing on different shards duplicate a search
+//! *sweep*; the shared content-addressed cache coalesces those jobs, so
+//! the duplication costs at most one warm pass.)
+//!
+//! # The cache is the database
+//!
+//! The daemon keeps no job state of its own: every finished simulation is
+//! an atomically written (`tmp` + rename) entry in the content-addressed
+//! cache, and progress/`/stats` counters are derived in memory. Killing a
+//! daemon mid-campaign therefore loses nothing — resubmitting the same
+//! spec to a fresh daemon (or running `hdsmt-campaign run` on the same
+//! cache) resumes from the completed cells. Graceful shutdown (SIGINT or
+//! `POST /shutdown`) stops accepting work, cancels not-yet-started jobs,
+//! and lets in-flight simulations finish and cache before exiting 0.
+
+pub mod api;
+pub mod http;
+pub mod queue;
+pub mod state;
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+pub use state::{ServerConfig, ServerState};
+
+/// Per-connection socket timeouts: a stalled peer must not pin a handler
+/// thread forever.
+const CONN_TIMEOUT: Duration = Duration::from_secs(30);
+
+// ------------------------------------------------------------- SIGINT
+// No `libc` crate is available offline, so the handler installation is a
+// one-line FFI declaration of POSIX `signal(2)`. The handler itself only
+// stores to an atomic — the single thing that is async-signal-safe.
+
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SIGINT_SEEN: AtomicBool = AtomicBool::new(false);
+    const SIGINT: i32 = 2;
+
+    extern "C" fn on_sigint(_signum: i32) {
+        SIGINT_SEEN.store(true, Ordering::Relaxed);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+    }
+
+    pub fn seen() -> bool {
+        SIGINT_SEEN.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    pub fn install() {}
+    pub fn seen() -> bool {
+        false
+    }
+}
+
+/// A running daemon: acceptor + HTTP handler pool + campaign executors.
+pub struct Server {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    acceptor: JoinHandle<()>,
+    handlers: Vec<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
+    /// Set once a shutdown poke has been sent, so idempotent shutdown
+    /// paths (handler, SIGINT loop, explicit call) don't race.
+    poked: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind `config.addr` (use port 0 for an ephemeral test port) and
+    /// start all threads. Returns once the daemon is accepting.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let executors_n = config.executors.max(1);
+        let http_n = config.http_workers.max(1);
+        let state = Arc::new(ServerState::new(config)?);
+        let poked = Arc::new(AtomicBool::new(false));
+
+        // Campaign executors: drain the bounded queue until it closes.
+        let executors = (0..executors_n)
+            .map(|i| {
+                let state = state.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-exec-{i}"))
+                    .spawn(move || {
+                        while let Some(entry) = state.queue.pop() {
+                            state.execute(&entry);
+                        }
+                    })
+                    .expect("spawn executor")
+            })
+            .collect();
+
+        // HTTP handlers: one shared receiver of accepted connections.
+        // Handlers exit when the acceptor drops the sender.
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let handlers = (0..http_n)
+            .map(|i| {
+                let state = state.clone();
+                let conn_rx = conn_rx.clone();
+                let poked = poked.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-http-{i}"))
+                    .spawn(move || loop {
+                        let Ok(mut stream) = ({
+                            let guard = conn_rx.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.recv()
+                        }) else {
+                            return;
+                        };
+                        handle_connection(&state, &mut stream);
+                        // A request may have initiated shutdown
+                        // (`POST /shutdown`): wake the blocked acceptor.
+                        if state.is_shutting_down() {
+                            poke(&addr, &poked);
+                        }
+                    })
+                    .expect("spawn http handler")
+            })
+            .collect();
+
+        let acceptor = {
+            let state = state.clone();
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if state.is_shutting_down() {
+                            break; // the poke connection lands here
+                        }
+                        let Ok(stream) = conn else { continue };
+                        let _ = stream.set_read_timeout(Some(CONN_TIMEOUT));
+                        let _ = stream.set_write_timeout(Some(CONN_TIMEOUT));
+                        if conn_tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    // conn_tx drops here → handler pool drains and exits.
+                })
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server { state, addr, acceptor, handlers, executors, poked })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Block until SIGINT or `POST /shutdown`, then drain and join.
+    /// This is the `hdsmt-campaign serve` main loop.
+    pub fn run(self) {
+        sigint::install();
+        while !self.state.is_shutting_down() {
+            if sigint::seen() {
+                self.state.begin_shutdown();
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.join();
+    }
+
+    /// Initiate the graceful drain and wait for every thread: stop
+    /// accepting, cancel not-yet-started jobs, let in-flight simulations
+    /// finish and cache, then return.
+    pub fn shutdown_and_join(self) {
+        self.state.begin_shutdown();
+        self.join();
+    }
+
+    fn join(self) {
+        poke(&self.addr, &self.poked);
+        let _ = self.acceptor.join();
+        for h in self.handlers {
+            let _ = h.join();
+        }
+        for e in self.executors {
+            let _ = e.join();
+        }
+    }
+}
+
+/// Wake an acceptor blocked in `accept()` with a throwaway connection
+/// (once — the flag makes repeated shutdown paths cheap and race-free).
+fn poke(addr: &SocketAddr, poked: &AtomicBool) {
+    if !poked.swap(true, Ordering::Relaxed) {
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+/// Serve one connection: parse, route, respond. Transport errors that
+/// yield no parseable request are answered with a structured JSON error
+/// when possible and otherwise dropped.
+fn handle_connection(state: &ServerState, stream: &mut TcpStream) {
+    let response = match http::read_request(stream) {
+        Ok(request) => api::handle(state, &request),
+        Err(http::HttpError::Io(_)) => return, // peer went away mid-request
+        Err(err) => api::transport_error_response(&err),
+    };
+    let _ = http::write_response(stream, &response);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::http::{http_get, http_post};
+
+    fn test_config(tag: &str) -> ServerConfig {
+        let dir =
+            std::env::temp_dir().join(format!("hdsmt-serve-mod-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            cache_dir: dir.to_string_lossy().into_owned(),
+            sim_workers: 2,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn serves_health_and_stats_over_a_real_socket() {
+        let server = Server::start(test_config("health")).unwrap();
+        let addr = server.addr().to_string();
+        let (status, body) = http_get(&addr, "/healthz").unwrap();
+        assert_eq!((status, body.as_str()), (200, r#"{"status":"ok"}"#));
+        let (status, body) = http_get(&addr, "/stats").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"uptime_secs\""), "{body}");
+        let cache_dir = server.state().cache.dir().to_path_buf();
+        server.shutdown_and_join();
+        let _ = std::fs::remove_dir_all(cache_dir);
+    }
+
+    #[test]
+    fn post_shutdown_terminates_the_daemon() {
+        let server = Server::start(test_config("shutdown")).unwrap();
+        let addr = server.addr().to_string();
+        let (status, _) = http_post(&addr, "/shutdown", "").unwrap();
+        assert_eq!(status, 202);
+        let cache_dir = server.state().cache.dir().to_path_buf();
+        // All threads must come down without an external poke or timeout.
+        server.shutdown_and_join();
+        assert!(http_get(&addr, "/healthz").is_err(), "the socket must be closed after shutdown");
+        let _ = std::fs::remove_dir_all(cache_dir);
+    }
+}

@@ -1,0 +1,450 @@
+//! Shared daemon state: the campaign registry, per-campaign progress
+//! counters, and the global service counters behind `GET /stats`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::cache::ResultCache;
+use crate::engine::{self, CampaignProgress, CampaignResult};
+use crate::hash::sha256_hex;
+use crate::job::{JobOutcome, JobRunner, RunReport};
+use crate::matrix::{Cell, ShardSpec};
+use crate::serve::queue::{BoundedQueue, PushError};
+use crate::spec::CampaignSpec;
+
+/// Daemon configuration (CLI flags; every field has a usable default).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address (`127.0.0.1:8181` by default).
+    pub addr: String,
+    /// Result-cache directory — shared between shard workers.
+    pub cache_dir: String,
+    /// Simulation worker threads per running campaign (0 = auto). The
+    /// daemon overrides any `workers` field in submitted specs.
+    pub sim_workers: usize,
+    /// Campaigns executed concurrently (each gets its own [`JobRunner`]).
+    pub executors: usize,
+    /// Bounded campaign-queue capacity; beyond it, `POST /campaigns`
+    /// returns 503.
+    pub queue_cap: usize,
+    /// This worker's slice of every submitted campaign (`--shard i/n`).
+    pub shard: Option<ShardSpec>,
+    /// Connection-handler threads for the HTTP front door.
+    pub http_workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:8181".into(),
+            cache_dir: ".hdsmt-cache".into(),
+            sim_workers: 0,
+            executors: 1,
+            queue_cap: 64,
+            shard: None,
+            http_workers: 4,
+        }
+    }
+}
+
+/// Lifecycle of one submitted campaign.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CampaignPhase {
+    Queued,
+    Running,
+    Done,
+    Failed,
+    /// Interrupted by shutdown before completing — resubmit after restart
+    /// to resume from the cache.
+    Cancelled,
+}
+
+impl CampaignPhase {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CampaignPhase::Queued => "queued",
+            CampaignPhase::Running => "running",
+            CampaignPhase::Done => "done",
+            CampaignPhase::Failed => "failed",
+            CampaignPhase::Cancelled => "cancelled",
+        }
+    }
+
+    pub fn is_terminal(self) -> bool {
+        matches!(self, CampaignPhase::Done | CampaignPhase::Failed | CampaignPhase::Cancelled)
+    }
+}
+
+/// Per-cell progress counters of one campaign (measure phase; one job per
+/// cell). Invariant once expanded: `queued + running + done + cached +
+/// failed + cancelled == total`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct CellCounts {
+    pub total: usize,
+    pub queued: usize,
+    pub running: usize,
+    /// Concluded by simulation.
+    pub done: usize,
+    /// Concluded from the content-addressed cache.
+    pub cached: usize,
+    pub failed: usize,
+    pub cancelled: usize,
+}
+
+/// Oracle search-phase counters (reduced-budget mapping-search sub-jobs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct SearchCounts {
+    pub total: usize,
+    pub finished: usize,
+}
+
+#[derive(Debug, Default)]
+struct CampaignInner {
+    phase: Option<CampaignPhase>, // None only during construction
+    cells: CellCounts,
+    search: SearchCounts,
+    error: Option<String>,
+    result: Option<CampaignResult>,
+}
+
+/// One submitted campaign: immutable identity + mutable progress.
+#[derive(Debug)]
+pub struct CampaignEntry {
+    pub id: String,
+    pub name: String,
+    pub spec: CampaignSpec,
+    inner: Mutex<CampaignInner>,
+}
+
+/// JSON shape of `GET /campaigns/:id` (and the list elements of
+/// `GET /campaigns`).
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct CampaignSnapshot {
+    pub id: String,
+    pub name: String,
+    pub status: String,
+    pub cells: CellCounts,
+    pub search: SearchCounts,
+    pub error: Option<String>,
+}
+
+impl CampaignEntry {
+    fn new(id: String, spec: CampaignSpec) -> Self {
+        CampaignEntry {
+            id,
+            name: spec.display_name().to_string(),
+            spec,
+            inner: Mutex::new(CampaignInner {
+                phase: Some(CampaignPhase::Queued),
+                ..CampaignInner::default()
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CampaignInner> {
+        // A panicking simulation is contained at the job boundary; state
+        // mutations here are plain counter writes, so a poisoned lock
+        // still guards consistent data.
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    pub fn phase(&self) -> CampaignPhase {
+        self.lock().phase.expect("phase set at construction")
+    }
+
+    pub fn snapshot(&self) -> CampaignSnapshot {
+        let inner = self.lock();
+        CampaignSnapshot {
+            id: self.id.clone(),
+            name: self.name.clone(),
+            status: inner.phase.expect("phase set").as_str().to_string(),
+            cells: inner.cells,
+            search: inner.search,
+            error: inner.error.clone(),
+        }
+    }
+
+    /// The finished result, if the campaign is `done`.
+    pub fn result(&self) -> Option<CampaignResult> {
+        self.lock().result.clone()
+    }
+
+    pub(crate) fn set_running(&self) {
+        self.lock().phase = Some(CampaignPhase::Running);
+    }
+
+    pub(crate) fn finish(&self, outcome: Result<CampaignResult, (CampaignPhase, String)>) {
+        let mut inner = self.lock();
+        match outcome {
+            Ok(result) => {
+                inner.phase = Some(CampaignPhase::Done);
+                inner.result = Some(result);
+            }
+            Err((phase, error)) => {
+                inner.phase = Some(phase);
+                inner.error = Some(error);
+            }
+        }
+    }
+}
+
+/// [`CampaignProgress`] implementation that keeps a [`CampaignEntry`]'s
+/// counters current while the engine runs it.
+pub(crate) struct EntryProgress<'a>(pub &'a CampaignEntry);
+
+impl CampaignProgress for EntryProgress<'_> {
+    fn cells_expanded(&self, cells: &[Cell]) {
+        let mut inner = self.0.lock();
+        inner.cells =
+            CellCounts { total: cells.len(), queued: cells.len(), ..CellCounts::default() };
+    }
+
+    fn search_planned(&self, jobs: usize) {
+        self.0.lock().search.total = jobs;
+    }
+
+    fn search_job_finished(&self, _outcome: JobOutcome) {
+        self.0.lock().search.finished += 1;
+    }
+
+    fn cell_started(&self, _cell: usize) {
+        let mut inner = self.0.lock();
+        inner.cells.queued = inner.cells.queued.saturating_sub(1);
+        inner.cells.running += 1;
+    }
+
+    fn cell_finished(&self, _cell: usize, outcome: JobOutcome) {
+        let mut inner = self.0.lock();
+        let cells = &mut inner.cells;
+        match outcome {
+            // Cancelled jobs never start: they leave `queued` directly.
+            JobOutcome::Cancelled => cells.queued = cells.queued.saturating_sub(1),
+            _ => cells.running = cells.running.saturating_sub(1),
+        }
+        match outcome {
+            JobOutcome::CacheHit => cells.cached += 1,
+            JobOutcome::Simulated => cells.done += 1,
+            JobOutcome::Failed => cells.failed += 1,
+            JobOutcome::Cancelled => cells.cancelled += 1,
+        }
+    }
+}
+
+/// Why a submission was refused (mapped to an HTTP status by the API).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Unparseable or invalid spec (400).
+    Invalid(String),
+    /// Queue at capacity — retry later (503).
+    QueueFull,
+    /// Daemon is draining for shutdown (503).
+    ShuttingDown,
+}
+
+#[derive(Debug, Default)]
+struct JobTotals {
+    total: AtomicU64,
+    cache_hits: AtomicU64,
+    simulated: AtomicU64,
+}
+
+/// Everything the HTTP handlers and executors share.
+pub struct ServerState {
+    pub config: ServerConfig,
+    pub cache: ResultCache,
+    pub queue: BoundedQueue<Arc<CampaignEntry>>,
+    campaigns: Mutex<Vec<Arc<CampaignEntry>>>,
+    /// Once true: no new submissions, queued campaigns drain, and every
+    /// campaign runner's cancel token fires (it IS this flag).
+    shutdown: Arc<AtomicBool>,
+    started: Instant,
+    seq: AtomicU64,
+    jobs: JobTotals,
+    campaigns_done: AtomicU64,
+    campaigns_failed: AtomicU64,
+}
+
+impl ServerState {
+    pub fn new(config: ServerConfig) -> std::io::Result<Self> {
+        let cache = ResultCache::open(&config.cache_dir)?;
+        Ok(ServerState {
+            queue: BoundedQueue::new(config.queue_cap),
+            config,
+            cache,
+            campaigns: Mutex::new(Vec::new()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            started: Instant::now(),
+            seq: AtomicU64::new(0),
+            jobs: JobTotals::default(),
+            campaigns_done: AtomicU64::new(0),
+            campaigns_failed: AtomicU64::new(0),
+        })
+    }
+
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        self.shutdown.clone()
+    }
+
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Begin the graceful drain: refuse new work, cancel not-yet-started
+    /// jobs of running campaigns, and mark still-queued campaigns
+    /// cancelled. In-flight simulations finish and stay cached.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for orphan in self.queue.drain() {
+            orphan.finish(Err((
+                CampaignPhase::Cancelled,
+                "cancelled by shutdown before starting; resubmit to resume from the cache".into(),
+            )));
+        }
+    }
+
+    pub fn uptime_secs(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Parse, validate, register, and enqueue a campaign spec (TOML or
+    /// JSON text). The daemon owns the cache and worker budget: any
+    /// `cache_dir`/`workers` fields in the submitted spec are overridden.
+    pub fn submit(&self, spec_text: &str) -> Result<Arc<CampaignEntry>, SubmitError> {
+        if self.is_shutting_down() {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let mut spec = CampaignSpec::parse(spec_text).map_err(|e| SubmitError::Invalid(e.0))?;
+        spec.cache_dir = Some(self.config.cache_dir.clone());
+        spec.workers = Some(self.config.sim_workers as u64);
+        // Expand now (cheap, no simulation) so selector/arch/capacity
+        // errors fail the submission with a clear 400 instead of a failed
+        // campaign later.
+        let catalog = engine::catalog_for(&spec);
+        crate::matrix::expand(&spec, &catalog).map_err(|e| SubmitError::Invalid(e.0))?;
+
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let digest = sha256_hex(spec_text.as_bytes());
+        let id = format!("c{seq}-{}", &digest[..8]);
+        let entry = Arc::new(CampaignEntry::new(id, spec));
+        self.campaigns.lock().unwrap().push(entry.clone());
+        match self.queue.push(entry.clone()) {
+            Ok(()) => Ok(entry),
+            Err(push_err) => {
+                // Un-register so a rejected submission leaves no ghost.
+                self.campaigns.lock().unwrap().retain(|e| e.id != entry.id);
+                Err(match push_err {
+                    PushError::Full => SubmitError::QueueFull,
+                    PushError::Closed => SubmitError::ShuttingDown,
+                })
+            }
+        }
+    }
+
+    pub fn get(&self, id: &str) -> Option<Arc<CampaignEntry>> {
+        self.campaigns.lock().unwrap().iter().find(|e| e.id == id).cloned()
+    }
+
+    pub fn list(&self) -> Vec<Arc<CampaignEntry>> {
+        self.campaigns.lock().unwrap().clone()
+    }
+
+    /// Execute one dequeued campaign (executor-thread body): a fresh
+    /// [`JobRunner`] on the shared cache, cancel token linked to the
+    /// shutdown flag, progress streamed into the entry.
+    pub fn execute(&self, entry: &Arc<CampaignEntry>) {
+        entry.set_running();
+        let catalog = engine::catalog_for(&entry.spec);
+        let runner = JobRunner::new(self.config.sim_workers, Some(self.cache.clone()))
+            .with_cancel_token(self.shutdown.clone());
+        let progress = EntryProgress(entry);
+        let outcome = engine::run_campaign_observed(
+            &entry.spec,
+            &catalog,
+            &runner,
+            self.config.shard,
+            &progress,
+        );
+        self.merge_jobs(runner.report());
+        match outcome {
+            Ok(result) => {
+                self.campaigns_done.fetch_add(1, Ordering::Relaxed);
+                entry.finish(Ok(result));
+            }
+            Err(e) if self.is_shutting_down() => {
+                entry.finish(Err((
+                    CampaignPhase::Cancelled,
+                    format!("interrupted by shutdown; resubmit to resume from the cache ({e})"),
+                )));
+            }
+            Err(e) => {
+                self.campaigns_failed.fetch_add(1, Ordering::Relaxed);
+                entry.finish(Err((CampaignPhase::Failed, e.0)));
+            }
+        }
+    }
+
+    fn merge_jobs(&self, report: RunReport) {
+        self.jobs.total.fetch_add(report.total as u64, Ordering::Relaxed);
+        self.jobs.cache_hits.fetch_add(report.cache_hits as u64, Ordering::Relaxed);
+        self.jobs.simulated.fetch_add(report.simulated as u64, Ordering::Relaxed);
+    }
+
+    /// The `GET /stats` payload.
+    pub fn stats(&self) -> ServerStats {
+        let campaigns = self.campaigns.lock().unwrap();
+        ServerStats {
+            uptime_secs: self.uptime_secs(),
+            accepting: !self.is_shutting_down(),
+            shard: self.config.shard.map(|s| s.label()),
+            sim_workers: match self.config.sim_workers {
+                0 => crate::sched::default_workers(),
+                n => n,
+            },
+            executors: self.config.executors,
+            queue: QueueStats { depth: self.queue.len(), capacity: self.queue.capacity() },
+            campaigns: CampaignStats {
+                submitted: campaigns.len(),
+                done: self.campaigns_done.load(Ordering::Relaxed),
+                failed: self.campaigns_failed.load(Ordering::Relaxed),
+            },
+            jobs: RunReport {
+                total: self.jobs.total.load(Ordering::Relaxed) as usize,
+                cache_hits: self.jobs.cache_hits.load(Ordering::Relaxed) as usize,
+                simulated: self.jobs.simulated.load(Ordering::Relaxed) as usize,
+            },
+            cache: self.cache.counters(),
+            cache_entries: self.cache.len(),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct QueueStats {
+    pub depth: usize,
+    pub capacity: usize,
+}
+
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct CampaignStats {
+    pub submitted: usize,
+    pub done: u64,
+    pub failed: u64,
+}
+
+/// JSON shape of `GET /stats`.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ServerStats {
+    pub uptime_secs: u64,
+    pub accepting: bool,
+    pub shard: Option<String>,
+    pub sim_workers: usize,
+    pub executors: usize,
+    pub queue: QueueStats,
+    pub campaigns: CampaignStats,
+    /// Batch counters across every campaign run by this daemon.
+    pub jobs: RunReport,
+    /// Cache lookup telemetry (hit/miss/corrupt) since daemon start.
+    pub cache: crate::cache::CacheCounters,
+    pub cache_entries: usize,
+}

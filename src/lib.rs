@@ -21,7 +21,7 @@
 //! | [`core`] | the processor: fetch engine + policies, mapping policies, cycle loop |
 //! | [`area`] | the §3 area cost model (Fig 2(b) / Fig 3) |
 //! | [`workloads`] | Tables 2–3 workloads, envelope experiments, §5 summary |
-//! | [`campaign`] | declarative, cached, resumable experiment-campaign engine + CLI |
+//! | [`campaign`] | declarative, cached, resumable experiment-campaign engine + CLI + [`campaign::serve`] sweep-service daemon |
 //!
 //! ## Quickstart
 //!
@@ -98,6 +98,13 @@
 //! `cells.csv`, and a §5-style `summary.txt`. The same engine backs the
 //! programmatic API ([`campaign::run_campaign`], [`campaign::JobRunner`])
 //! used by `workloads`' envelope experiments and the examples.
+//!
+//! Campaigns can also run as a service: `hdsmt-campaign serve` exposes
+//! the engine over an HTTP/JSON API (submit specs, poll per-cell
+//! progress, fetch results, look cells up by content key), with
+//! `run`/`status`/`export --remote ADDR` as thin clients and
+//! `serve --shard i/n` workers splitting one campaign across processes
+//! on a shared cache — see [`campaign::serve`].
 
 pub use hdsmt_area as area;
 pub use hdsmt_bpred as bpred;
