@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use hdsmt_campaign::serve::http::{http_get, http_post};
+use hdsmt_campaign::serve::http::{http_get, http_request_retry, RetryPolicy};
 use hdsmt_campaign::serve::{Server, ServerConfig};
 use hdsmt_campaign::{engine, expand, CampaignSpec, MicroArch};
 
@@ -81,9 +81,12 @@ fn wait_done(addr: &str, id: &str) {
 }
 
 fn submit(addr: &str) -> String {
-    let (status, body) = http_post(addr, "/campaigns", SPEC).expect("daemon reachable");
-    assert_eq!(status, 202, "{body}");
-    serde_json::from_str_value(&body)
+    // Ride out 503 backpressure from the bounded queue: the daemon sends
+    // Retry-After, and the retrying client honors it.
+    let resp = http_request_retry(addr, "POST", "/campaigns", Some(SPEC), &RetryPolicy::default())
+        .expect("daemon reachable");
+    assert_eq!(resp.status, 202, "{}", resp.body);
+    serde_json::from_str_value(&resp.body)
         .expect("submit JSON")
         .get("id")
         .and_then(|i| i.as_str())

@@ -6,6 +6,8 @@
 //! hdsmt-campaign export <spec> [--out DIR] [--cache DIR] [--remote ADDR]
 //! hdsmt-campaign serve  [--addr A] [--cache DIR] [--workers N]
 //!                       [--executors N] [--queue-cap N] [--shard I/N]
+//!                       [--supervise N] [--addr-file PATH]
+//!                       [--cell-deadline-ms N] [--cell-retries N]
 //! ```
 //!
 //! `run` executes the campaign (cache-first) and prints the summary;
@@ -14,16 +16,27 @@
 //! and writes `campaign.json`, `cells.csv`, and `summary.txt`; `serve`
 //! runs the sweep-service daemon (see `hdsmt_campaign::serve`).
 //!
+//! `serve --supervise n` runs the daemon as a fleet parent over `n`
+//! restart-supervised shard workers; `--addr-file` makes a worker report
+//! its bound address through an atomically written file (the supervisor's
+//! handshake); `--cell-deadline-ms`/`--cell-retries` arm the per-cell
+//! watchdog so a hung simulation is cancelled, retried, and at worst
+//! marked failed-with-timeout while the campaign completes around it.
+//!
 //! With `--remote ADDR`, `run`/`status`/`export` become thin HTTP clients
 //! of a `serve` daemon instead of simulating locally: `run` submits the
 //! spec and polls to completion, `status` queries `/stats` and the
-//! campaign list, `export` fetches all three result formats.
+//! campaign list, `export` fetches all three result formats. The client
+//! retries connection refusals and 503s with capped exponential backoff
+//! (honoring `Retry-After`), and `--poll-timeout-secs` bounds the
+//! submit-and-wait polling loop.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use hdsmt_campaign::serve::http::{http_get, http_post};
+use hdsmt_campaign::job::Watchdog;
+use hdsmt_campaign::serve::http::{http_request_retry, RetryPolicy};
 use hdsmt_campaign::serve::{Server, ServerConfig};
 use hdsmt_campaign::{engine, export, CampaignSpec, JobRunner, ResultCache, ShardSpec};
 
@@ -50,13 +63,24 @@ struct Options {
     executors: usize,
     queue_cap: usize,
     shard: Option<ShardSpec>,
+    /// Run `serve` as a fleet supervisor over N shard workers.
+    supervise: Option<u32>,
+    /// Report the bound listen address through this file (tmp+rename).
+    addr_file: Option<PathBuf>,
+    /// Per-cell watchdog soft deadline, in milliseconds.
+    cell_deadline_ms: Option<u64>,
+    cell_retries: u32,
+    /// Total deadline for the thin client's submit-and-wait poll loop.
+    poll_timeout_secs: u64,
 }
 
 fn usage() -> String {
     "usage: hdsmt-campaign <run|status|export> <spec.(toml|json)> \
-     [--workers N] [--cache DIR] [--out DIR] [--remote ADDR]\n       \
+     [--workers N] [--cache DIR] [--out DIR] [--remote ADDR] \
+     [--poll-timeout-secs N]\n       \
      hdsmt-campaign serve [--addr A] [--cache DIR] [--workers N] \
-     [--executors N] [--queue-cap N] [--shard I/N]"
+     [--executors N] [--queue-cap N] [--shard I/N] [--supervise N] \
+     [--addr-file PATH] [--cell-deadline-ms N] [--cell-retries N]"
         .to_string()
 }
 
@@ -71,6 +95,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         executors: 1,
         queue_cap: 64,
         shard: None,
+        supervise: None,
+        addr_file: None,
+        cell_deadline_ms: None,
+        cell_retries: 2,
+        poll_timeout_secs: 3600,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -103,6 +132,31 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--shard needs a value (I/N)")?;
                 opts.shard = Some(ShardSpec::parse(v).map_err(|e| e.to_string())?);
             }
+            "--supervise" => {
+                let v = it.next().ok_or("--supervise needs a value")?;
+                let n = v.parse::<u32>().map_err(|_| "--supervise: not a number")?;
+                if n == 0 {
+                    return Err("--supervise needs at least 1 worker".into());
+                }
+                opts.supervise = Some(n);
+            }
+            "--addr-file" => {
+                opts.addr_file = Some(PathBuf::from(it.next().ok_or("--addr-file needs a value")?));
+            }
+            "--cell-deadline-ms" => {
+                let v = it.next().ok_or("--cell-deadline-ms needs a value")?;
+                opts.cell_deadline_ms =
+                    Some(v.parse::<u64>().map_err(|_| "--cell-deadline-ms: not a number")?);
+            }
+            "--cell-retries" => {
+                let v = it.next().ok_or("--cell-retries needs a value")?;
+                opts.cell_retries = v.parse::<u32>().map_err(|_| "--cell-retries: not a number")?;
+            }
+            "--poll-timeout-secs" => {
+                let v = it.next().ok_or("--poll-timeout-secs needs a value")?;
+                opts.poll_timeout_secs =
+                    v.parse::<u64>().map_err(|_| "--poll-timeout-secs: not a number")?;
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}\n{}", usage()));
             }
@@ -118,6 +172,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 
 fn spec_path(opts: &Options) -> Result<&PathBuf, String> {
     opts.spec_path.as_ref().ok_or_else(|| format!("missing spec file\n{}", usage()))
+}
+
+fn watchdog_of(opts: &Options) -> Option<Watchdog> {
+    opts.cell_deadline_ms
+        .map(|ms| Watchdog { deadline: Duration::from_millis(ms), retries: opts.cell_retries })
 }
 
 fn load(opts: &Options) -> Result<(CampaignSpec, ResultCache), String> {
@@ -144,7 +203,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
         ("run", None) => {
             let (spec, cache) = load(&opts)?;
             let catalog = engine::catalog_for(&spec);
-            let runner = JobRunner::new(spec.workers.unwrap_or(0) as usize, Some(cache.clone()));
+            let runner = JobRunner::new(spec.workers.unwrap_or(0) as usize, Some(cache.clone()))
+                .with_watchdog(watchdog_of(&opts));
             eprintln!(
                 "campaign `{}`: {} workers, cache at {}",
                 spec.display_name(),
@@ -162,6 +222,13 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 result.report.cache_hits,
                 result.report.simulated,
             );
+            if result.failed_cells() > 0 {
+                eprintln!(
+                    "WARNING: {} cell(s) failed ({} watchdog timeout(s)); see the summary",
+                    result.failed_cells(),
+                    result.report.timeouts,
+                );
+            }
             print!("{}", export::summary(&result));
             Ok(())
         }
@@ -183,12 +250,14 @@ fn run(args: Vec<String>) -> Result<(), String> {
             // Rotten entries re-simulate silently on the next run; the
             // count makes that visible here instead of just slow.
             println!("cache corrupt entries: {}", cache.corrupt_entries());
+            println!("cache quarantined entries: {}", cache.quarantined_entries());
             Ok(())
         }
         ("export", None) => {
             let (spec, cache) = load(&opts)?;
             let catalog = engine::catalog_for(&spec);
-            let runner = JobRunner::new(spec.workers.unwrap_or(0) as usize, Some(cache));
+            let runner = JobRunner::new(spec.workers.unwrap_or(0) as usize, Some(cache))
+                .with_watchdog(watchdog_of(&opts));
             let result =
                 engine::run_campaign_with(&spec, &catalog, &runner).map_err(|e| e.to_string())?;
             write_exports(&opts.out_dir, &export_texts(&result))?;
@@ -203,6 +272,9 @@ fn run(args: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         ("serve", _) => {
+            if opts.supervise.is_some() && opts.shard.is_some() {
+                return Err("--supervise spawns its own shards; drop --shard".into());
+            }
             let config = ServerConfig {
                 addr: opts.addr.clone(),
                 cache_dir: opts.cache_dir.clone().unwrap_or_else(|| ".hdsmt-cache".into()),
@@ -210,16 +282,31 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 executors: opts.executors,
                 queue_cap: opts.queue_cap,
                 shard: opts.shard,
+                supervise: opts.supervise,
+                cell_deadline: opts.cell_deadline_ms.map(Duration::from_millis),
+                cell_retries: opts.cell_retries,
                 ..ServerConfig::default()
             };
             let cache_dir = config.cache_dir.clone();
             let server =
                 Server::start(config).map_err(|e| format!("cannot start on {}: {e}", opts.addr))?;
+            // The supervisor handshake: report the bound (possibly
+            // ephemeral) address atomically, so a reader never sees a
+            // torn write.
+            if let Some(addr_file) = &opts.addr_file {
+                let tmp = addr_file.with_extension("tmp");
+                std::fs::write(&tmp, format!("{}\n", server.addr()))
+                    .and_then(|()| std::fs::rename(&tmp, addr_file))
+                    .map_err(|e| format!("cannot write {}: {e}", addr_file.display()))?;
+            }
             eprintln!(
-                "hdsmt-campaign serve: listening on {} (cache {}, {} executor(s){})",
+                "hdsmt-campaign serve: listening on {} (cache {}, {}{})",
                 server.addr(),
                 cache_dir,
-                opts.executors.max(1),
+                match opts.supervise {
+                    Some(n) => format!("supervising {n} worker(s)"),
+                    None => format!("{} executor(s)", opts.executors.max(1)),
+                },
                 match opts.shard {
                     Some(s) => format!(", shard {s}"),
                     None => String::new(),
@@ -235,34 +322,57 @@ fn run(args: Vec<String>) -> Result<(), String> {
 
 // ------------------------------------------------------- remote clients
 
+/// One shared retry policy for every thin-client request: 503s and
+/// connection refusals (a daemon restarting under its supervisor) are
+/// retried with capped exponential backoff, honoring `Retry-After`.
+fn client_policy() -> RetryPolicy {
+    RetryPolicy::default()
+}
+
 /// `GET` a path and fail on any non-2xx (surfacing the structured error
 /// body the daemon returns).
 fn remote_get(addr: &str, path: &str) -> Result<String, String> {
-    let (status, body) = http_get(addr, path).map_err(|e| format!("cannot reach {addr}: {e}"))?;
-    if !(200..300).contains(&status) {
-        return Err(format!("{addr} answered {status} for {path}: {body}"));
+    let resp = http_request_retry(addr, "GET", path, None, &client_policy())
+        .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    if !(200..300).contains(&resp.status) {
+        return Err(format!("{addr} answered {} for {path}: {}", resp.status, resp.body));
     }
-    Ok(body)
+    Ok(resp.body)
 }
 
 /// Submit the spec file and poll until the campaign reaches a terminal
-/// phase; returns its id.
+/// phase; returns its id. Polling backs off from 200 ms to 2 s and gives
+/// up — naming the campaign, which stays submitted and resumable — after
+/// `--poll-timeout-secs`.
 fn remote_submit_and_wait(addr: &str, opts: &Options) -> Result<String, String> {
     let path = spec_path(opts)?;
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let (status, body) =
-        http_post(addr, "/campaigns", &text).map_err(|e| format!("cannot reach {addr}: {e}"))?;
-    if status != 202 {
-        return Err(format!("{addr} rejected the spec ({status}): {body}"));
+    let resp = http_request_retry(addr, "POST", "/campaigns", Some(&text), &client_policy())
+        .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    if resp.status != 202 {
+        return Err(format!("{addr} rejected the spec ({}): {}", resp.status, resp.body));
     }
     let snapshot =
-        serde_json::from_str_value(&body).map_err(|e| format!("bad submit response: {e}"))?;
+        serde_json::from_str_value(&resp.body).map_err(|e| format!("bad submit response: {e}"))?;
     let id =
         snapshot.get("id").and_then(|i| i.as_str()).ok_or("submit response has no id")?.to_string();
     eprintln!("submitted as `{id}`; polling {addr}");
+    let deadline = std::time::Instant::now() + Duration::from_secs(opts.poll_timeout_secs.max(1));
+    let mut interval = Duration::from_millis(200);
     loop {
-        std::thread::sleep(Duration::from_millis(200));
+        if std::time::Instant::now() >= deadline {
+            return Err(format!(
+                "campaign `{id}` still not finished after {}s of polling {addr}; it keeps \
+                 running server-side — poll `/campaigns/{id}` later or re-run with a larger \
+                 --poll-timeout-secs",
+                opts.poll_timeout_secs
+            ));
+        }
+        std::thread::sleep(interval);
+        // Capped backoff: fast feedback on short campaigns, light load on
+        // long ones.
+        interval = (interval * 2).min(Duration::from_secs(2));
         let body = remote_get(addr, &format!("/campaigns/{id}"))?;
         let snap =
             serde_json::from_str_value(&body).map_err(|e| format!("bad progress response: {e}"))?;

@@ -23,14 +23,17 @@ pub const CODE_VERSION: &str = concat!("hdsmt-campaign/", env!("CARGO_PKG_VERSIO
 
 /// Runtime lookup counters, shared by every clone of a [`ResultCache`]
 /// (the serve daemon reports them in `GET /stats`). A **corrupt** entry is
-/// one that exists on disk but fails to deserialize — still served as a
-/// miss (the caller re-simulates and overwrites it), but counted
-/// separately so silent cache rot is visible instead of just slow.
+/// one that exists on disk but fails to deserialize — served as a miss
+/// (the caller re-simulates), counted separately so silent cache rot is
+/// visible instead of just slow, and **quarantined**: atomically renamed
+/// into `<dir>/quarantine/` with a reason file, so the rotten bytes are
+/// kept as evidence instead of being overwritten.
 #[derive(Debug, Default)]
 pub struct CacheTelemetry {
     hits: AtomicU64,
     misses: AtomicU64,
     corrupt: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 /// Point-in-time snapshot of [`CacheTelemetry`].
@@ -40,7 +43,12 @@ pub struct CacheCounters {
     pub misses: u64,
     /// Entries present on disk but undeserializable at lookup time.
     pub corrupt: u64,
+    /// Corrupt entries this process moved into `quarantine/`.
+    pub quarantined: u64,
 }
+
+/// Subdirectory (inside the cache root) holding quarantined entries.
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// Outcome of a raw entry lookup (`GET /cells/:hash`).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -104,18 +112,55 @@ impl ResultCache {
 
     /// Raw entry lookup: the verbatim on-disk JSON, validated. This is the
     /// `GET /cells/:hash` backend — the entry text is already the response
-    /// body. Updates the telemetry counters like [`Self::get`].
+    /// body. Updates the telemetry counters like [`Self::get`]. A corrupt
+    /// entry is quarantined on detection (see [`Self::quarantined_entries`]),
+    /// so the *next* lookup of the same key is a clean miss that
+    /// re-simulates.
     pub fn entry_text(&self, key: &str) -> EntryLookup {
+        if crate::fault::on_cache_get(key) {
+            self.telemetry.misses.fetch_add(1, Ordering::Relaxed);
+            return EntryLookup::Miss;
+        }
         let Ok(text) = fs::read_to_string(self.path(key)) else {
             self.telemetry.misses.fetch_add(1, Ordering::Relaxed);
             return EntryLookup::Miss;
         };
         if serde_json::from_str::<CacheEntry>(&text).is_err() {
             self.telemetry.corrupt.fetch_add(1, Ordering::Relaxed);
+            self.quarantine(key, "failed to deserialize at lookup");
             return EntryLookup::Corrupt;
         }
         self.telemetry.hits.fetch_add(1, Ordering::Relaxed);
         EntryLookup::Hit(text)
+    }
+
+    /// Move a rotten entry into `<dir>/quarantine/` (atomic rename) with a
+    /// sibling `.reason.txt`, so cache rot is preserved evidence instead
+    /// of silently overwritten. Losing the rename race (a concurrent
+    /// process already quarantined it, or a writer just healed the key) is
+    /// fine — the entry is gone from the live tree either way.
+    fn quarantine(&self, key: &str, reason: &str) {
+        let qdir = self.dir.join(QUARANTINE_DIR);
+        let _ = fs::create_dir_all(&qdir);
+        if fs::rename(self.path(key), qdir.join(format!("{key}.json"))).is_ok() {
+            self.telemetry.quarantined.fetch_add(1, Ordering::Relaxed);
+            let _ = fs::write(
+                qdir.join(format!("{key}.reason.txt")),
+                format!("quarantined by pid {}: {reason}\n", std::process::id()),
+            );
+        }
+    }
+
+    /// Number of quarantined entries on disk (any process may have put
+    /// them there — this scans, unlike the per-process counter in
+    /// [`Self::counters`]).
+    pub fn quarantined_entries(&self) -> usize {
+        fs::read_dir(self.dir.join(QUARANTINE_DIR))
+            .into_iter()
+            .flatten()
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .count()
     }
 
     /// Snapshot of the runtime lookup counters (shared across clones).
@@ -124,6 +169,7 @@ impl ResultCache {
             hits: self.telemetry.hits.load(Ordering::Relaxed),
             misses: self.telemetry.misses.load(Ordering::Relaxed),
             corrupt: self.telemetry.corrupt.load(Ordering::Relaxed),
+            quarantined: self.telemetry.quarantined.load(Ordering::Relaxed),
         }
     }
 
@@ -160,18 +206,26 @@ impl ResultCache {
             std::process::id(),
             WRITE_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
-        fs::write(&tmp, serde_json::to_string_pretty(&entry).map_err(io_err)?)?;
+        let mut payload = serde_json::to_string_pretty(&entry).map_err(io_err)?.into_bytes();
+        crate::fault::on_cache_put(&mut payload)?;
+        fs::write(&tmp, payload)?;
         fs::rename(&tmp, &final_path)?;
         Ok(())
     }
 
-    /// Every `*.json` entry path on disk, in directory order.
+    /// Every live `*.json` entry path on disk, in directory order. Only
+    /// the two-hex-char shard directories count: `quarantine/` (and any
+    /// other bookkeeping subdirectory) is not part of the live cache.
     fn entry_paths(&self) -> impl Iterator<Item = PathBuf> + '_ {
         fs::read_dir(&self.dir)
             .into_iter()
             .flatten()
             .flatten()
-            .filter(|d| d.path().is_dir())
+            .filter(|d| {
+                let name = d.file_name();
+                let name = name.to_string_lossy();
+                name.len() == 2 && name.bytes().all(|b| b.is_ascii_hexdigit()) && d.path().is_dir()
+            })
             .filter_map(|d| fs::read_dir(d.path()).ok())
             .flat_map(|entries| entries.flatten())
             .map(|e| e.path())
@@ -231,7 +285,7 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_entry_is_a_counted_miss() {
+    fn corrupt_entry_is_quarantined_and_served_as_a_miss() {
         let dir = tmpdir("corrupt");
         let cache = ResultCache::open(&dir).unwrap();
         let key = ResultCache::key_for("{\"job\":2}");
@@ -243,26 +297,35 @@ mod tests {
         let path = dir.join(&key[..2]).join(format!("{key}.json"));
         fs::write(&path, "{ truncated").unwrap();
 
-        assert!(cache.get(&key).is_none(), "corrupt entry must be a miss");
+        // First lookup detects the rot, reports it, and quarantines the
+        // bytes; the file leaves the live tree.
         assert_eq!(cache.entry_text(&key), EntryLookup::Corrupt);
+        assert!(!cache.contains(&key), "quarantine removes the live entry");
+        assert_eq!(cache.quarantined_entries(), 1);
+        assert_eq!(cache.len(), 1, "quarantined entries are not live entries");
+        assert_eq!(cache.corrupt_entries(), 0, "the live tree is clean again");
+        let reason = dir.join(QUARANTINE_DIR).join(format!("{key}.reason.txt"));
+        assert!(reason.is_file(), "a reason file documents the quarantine");
+
+        // Subsequent lookups are clean misses; siblings are unaffected.
+        assert!(cache.get(&key).is_none());
+        assert_eq!(cache.entry_text(&key), EntryLookup::Miss);
         assert!(cache.get(&good).is_some(), "sibling entries are unaffected");
-        assert!(cache.get(&ResultCache::key_for("{\"job\":4}")).is_none(), "clean miss");
 
-        // Telemetry distinguishes the three outcomes — and is shared
-        // across clones (the daemon holds clones per worker).
+        // Telemetry distinguishes the outcomes — and is shared across
+        // clones (the daemon holds clones per worker).
         let counters = cache.clone().counters();
-        assert_eq!(counters.corrupt, 2, "both corrupt lookups counted: {counters:?}");
+        assert_eq!(counters.corrupt, 1, "{counters:?}");
+        assert_eq!(counters.quarantined, 1, "{counters:?}");
         assert_eq!(counters.hits, 1, "{counters:?}");
-        assert_eq!(counters.misses, 1, "{counters:?}");
+        assert_eq!(counters.misses, 2, "{counters:?}");
 
-        // The O(n) scan finds exactly the one rotten file.
-        assert_eq!(cache.corrupt_entries(), 1);
-        assert_eq!(cache.len(), 2);
-
-        // Re-simulating overwrites the corrupt entry and heals the cache.
+        // Re-simulating re-creates the entry and heals the cache; the
+        // quarantined evidence stays put.
         cache.put(&key, "{\"job\":2}", &fake_result()).unwrap();
         assert!(cache.get(&key).is_some());
-        assert_eq!(cache.corrupt_entries(), 0);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.quarantined_entries(), 1);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -62,11 +62,20 @@ pub struct CellResult {
     pub area_mm2: f64,
     /// Distinct mappings searched (oracle policies; 1 otherwise).
     pub n_mappings: usize,
+    /// Why this cell failed (timeout budget exhausted, simulator panic);
+    /// `None` for a measured cell. Failed cells carry zeroed numerics
+    /// and are excluded from every aggregate.
+    pub error: Option<String>,
 }
 
 impl CellResult {
     pub fn ipc_per_mm2(&self) -> f64 {
         self.ipc / self.area_mm2
+    }
+
+    /// Did this cell conclude without a measurement?
+    pub fn failed(&self) -> bool {
+        self.error.is_some()
     }
 }
 
@@ -89,10 +98,18 @@ impl CampaignResult {
         self.cells.iter().filter(move |c| c.arch == arch && c.policy == policy)
     }
 
-    /// Harmonic-mean IPC over a slice (empty slice → 0).
+    /// Harmonic-mean IPC over a slice (empty slice → 0). Failed cells
+    /// are excluded — a harmonic mean with a zero term would be zero, so
+    /// including them would poison the whole slice.
     pub fn hmean_ipc(&self, arch: &str, policy: &str) -> f64 {
-        let v: Vec<f64> = self.slice(arch, policy).map(|c| c.ipc).collect();
+        let v: Vec<f64> = self.slice(arch, policy).filter(|c| !c.failed()).map(|c| c.ipc).collect();
         hdsmt_core::stats::harmonic_mean(&v)
+    }
+
+    /// Cells that concluded without a measurement (watchdog timeout,
+    /// simulator panic).
+    pub fn failed_cells(&self) -> usize {
+        self.cells.iter().filter(|c| c.failed()).count()
     }
 }
 
@@ -303,15 +320,32 @@ pub fn run_campaign_observed(
         .zip(&chosen)
         .map(|(cell, m)| cell.job(m.as_ref().unwrap().0.clone(), &budget))
         .collect();
-    let measured = runner.run_all_observed(&measure_jobs, &|i, event| match event {
+    // Per-cell fault isolation: a timed-out or panicking cell becomes a
+    // failed `CellResult` (zeroed numerics, error message attached) and
+    // the campaign completes around it — one wedged cell must not wipe
+    // out hours of finished, cached cells.
+    let measured = runner.try_run_all(&measure_jobs, &|i, event| match event {
         JobEvent::Started => progress.cell_started(i),
         JobEvent::Finished(outcome) => progress.cell_finished(i, outcome),
     })?;
+
+    // Graceful shutdown keeps its all-or-nothing contract: cancelled jobs
+    // fail the whole campaign (resumable from the cache on resubmit)
+    // instead of quietly producing a result with holes.
+    if runner.is_cancelled() {
+        if let Some(err) = measured.iter().find_map(|r| r.as_ref().err()) {
+            return Err(err.clone());
+        }
+    }
 
     let mut results = Vec::with_capacity(cells.len());
     for ((cell, m), sim) in cells.iter().zip(&chosen).zip(&measured) {
         let (mapping, n_mappings) = m.as_ref().unwrap();
         let arch = &archs[cell.arch.as_str()];
+        let (ipc, cycles, retired, error) = match sim {
+            Ok(sim) => (sim.ipc(), sim.stats.cycles, sim.stats.retired, None),
+            Err(e) => (0.0, 0, 0, Some(e.0.clone())),
+        };
         results.push(CellResult {
             arch: cell.arch.clone(),
             workload: cell.workload.id.clone(),
@@ -319,11 +353,12 @@ pub fn run_campaign_observed(
             threads: cell.workload.threads(),
             policy: cell.policy.label(),
             mapping: mapping.clone(),
-            ipc: sim.ipc(),
-            cycles: sim.stats.cycles,
-            retired: sim.stats.retired,
+            ipc,
+            cycles,
+            retired,
             area_mm2: hdsmt_area::microarch_area(arch).total(),
             n_mappings: *n_mappings,
+            error,
         });
     }
 

@@ -10,15 +10,17 @@ pub fn to_json(result: &CampaignResult) -> String {
 }
 
 /// Cell table as CSV (mappings joined with `|` to stay comma-free).
+/// Failed cells keep their row — zeroed numerics, the error in the last
+/// column — so a degraded campaign's export still covers the matrix.
 pub fn to_csv(result: &CampaignResult) -> String {
     let mut out = String::from(
-        "arch,workload,class,threads,policy,mapping,ipc,ipc_per_mm2,area_mm2,cycles,retired,n_mappings\n",
+        "arch,workload,class,threads,policy,mapping,ipc,ipc_per_mm2,area_mm2,cycles,retired,n_mappings,error\n",
     );
     for c in &result.cells {
         let mapping: Vec<String> = c.mapping.iter().map(|p| p.to_string()).collect();
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{:.6},{:.8},{:.2},{},{},{}",
+            "{},{},{},{},{},{},{:.6},{:.8},{:.2},{},{},{},{}",
             csv_field(&c.arch),
             csv_field(&c.workload),
             csv_field(c.class.as_deref().unwrap_or("")),
@@ -31,6 +33,7 @@ pub fn to_csv(result: &CampaignResult) -> String {
             c.cycles,
             c.retired,
             c.n_mappings,
+            csv_field(c.error.as_deref().unwrap_or("")),
         );
     }
     out
@@ -55,6 +58,15 @@ pub fn summary(result: &CampaignResult) -> String {
         "jobs: {} total, {} cache hits, {} simulated",
         result.report.total, result.report.cache_hits, result.report.simulated
     );
+    let failed = result.failed_cells();
+    if failed > 0 {
+        let _ = writeln!(
+            out,
+            "WARNING: {failed} cell(s) failed ({} watchdog timeout(s), {} retry attempt(s)) \
+             — excluded from every aggregate below",
+            result.report.timeouts, result.report.retries
+        );
+    }
 
     let mut archs: Vec<&str> = Vec::new();
     let mut policies: Vec<&str> = Vec::new();
@@ -161,6 +173,7 @@ mod tests {
                     retired: 300,
                     area_mm2: 170.0,
                     n_mappings: 1,
+                    error: None,
                 },
                 CellResult {
                     arch: "2M4+2M2".into(),
@@ -174,9 +187,10 @@ mod tests {
                     retired: 300,
                     area_mm2: 124.0,
                     n_mappings: 1,
+                    error: None,
                 },
             ],
-            report: RunReport { total: 2, cache_hits: 0, simulated: 2 },
+            report: RunReport { total: 2, cache_hits: 0, simulated: 2, ..RunReport::default() },
         }
     }
 

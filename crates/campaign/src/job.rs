@@ -5,8 +5,9 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use hdsmt_core::{run_sim, FetchPolicy, SimConfig, SimResult, ThreadSpec};
+use hdsmt_core::{run_sim, run_sim_interruptible, FetchPolicy, SimConfig, SimResult, ThreadSpec};
 use hdsmt_pipeline::MicroArch;
 
 use crate::cache::ResultCache;
@@ -130,6 +131,26 @@ impl JobSpec {
         let (cfg, specs) = self.materialize()?;
         Ok(run_sim(&cfg, &specs, &self.mapping))
     }
+
+    /// Run the simulation (no cache) under an optional soft deadline.
+    /// `Ok(None)` means the deadline fired mid-simulation — or an
+    /// injected `hang@sim` fault wedged the run — and it was abandoned.
+    /// This is the [`JobRunner`] watchdog's execution path.
+    pub fn run_watched(
+        &self,
+        deadline: Option<Instant>,
+    ) -> Result<Option<SimResult>, CampaignError> {
+        let (cfg, specs) = self.materialize()?;
+        if crate::fault::on_sim_start(deadline) == crate::fault::SimStart::Hung {
+            return Ok(None);
+        }
+        match deadline {
+            None => Ok(Some(run_sim(&cfg, &specs, &self.mapping))),
+            Some(deadline) => Ok(run_sim_interruptible(&cfg, &specs, &self.mapping, &mut || {
+                Instant::now() >= deadline
+            })),
+        }
+    }
 }
 
 /// How one job of a batch concluded (reported to [`JobRunner`]
@@ -158,12 +179,22 @@ pub enum JobEvent {
     Finished(JobOutcome),
 }
 
-/// Execution counters for one `run_all` batch.
+/// Execution counters for one `run_all` batch. `simulated` counts every
+/// job not served from the cache (including the ones that ultimately
+/// failed); `failed`/`timeouts`/`retries` break the unhappy paths out.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
 pub struct RunReport {
     pub total: usize,
     pub cache_hits: usize,
     pub simulated: usize,
+    /// Jobs that concluded with an error (panic, timeout budget
+    /// exhausted, spec failure).
+    pub failed: usize,
+    /// Watchdog deadline expiries (one per abandoned attempt, so one job
+    /// can contribute several).
+    pub timeouts: usize,
+    /// Attempts re-run after a deadline expiry.
+    pub retries: usize,
 }
 
 impl RunReport {
@@ -171,7 +202,21 @@ impl RunReport {
         self.total += other.total;
         self.cache_hits += other.cache_hits;
         self.simulated += other.simulated;
+        self.failed += other.failed;
+        self.timeouts += other.timeouts;
+        self.retries += other.retries;
     }
+}
+
+/// Per-job watchdog policy: a soft wall-clock deadline per simulation
+/// attempt, and how many times a timed-out attempt is retried before the
+/// job is marked failed-with-timeout. The deadline is cooperative — the
+/// simulation loop polls it (see `hdsmt_core::run_sim_interruptible`) —
+/// so no watchdog thread exists and a cancelled attempt leaves no state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Watchdog {
+    pub deadline: Duration,
+    pub retries: u32,
 }
 
 /// Batch executor: work-stealing parallelism + content-addressed caching.
@@ -184,6 +229,10 @@ pub struct JobRunner {
     /// (and cache) normally. The serve daemon's graceful shutdown relies
     /// on this to leave a resumable cache behind.
     cancel: Arc<AtomicBool>,
+    /// Optional per-job deadline + retry budget. Orthogonal to `cancel`:
+    /// shutdown never interrupts an in-flight simulation, the watchdog
+    /// only ever does.
+    watchdog: Option<Watchdog>,
 }
 
 impl JobRunner {
@@ -195,7 +244,14 @@ impl JobRunner {
             cache,
             report: std::sync::Mutex::new(RunReport::default()),
             cancel: Arc::new(AtomicBool::new(false)),
+            watchdog: None,
         }
+    }
+
+    /// Attach (or clear) the per-job watchdog.
+    pub fn with_watchdog(mut self, watchdog: Option<Watchdog>) -> Self {
+        self.watchdog = watchdog;
+        self
     }
 
     pub fn workers(&self) -> usize {
@@ -230,6 +286,7 @@ impl JobRunner {
     }
 
     /// Execute `jobs` (cache-first), returning results in input order.
+    /// Any job failure fails the batch (all-or-nothing).
     pub fn run_all(&self, jobs: &[JobSpec]) -> Result<Vec<SimResult>, CampaignError> {
         self.run_all_observed(jobs, &|_, _| {})
     }
@@ -243,13 +300,26 @@ impl JobRunner {
         jobs: &[JobSpec],
         observe: &(dyn Fn(usize, JobEvent) + Sync),
     ) -> Result<Vec<SimResult>, CampaignError> {
+        self.try_run_all(jobs, observe)?.into_iter().collect()
+    }
+
+    /// Like [`Self::run_all_observed`], but with per-job fault isolation:
+    /// each job's outcome comes back individually, so a panicking or
+    /// timed-out cell does not take its siblings' finished work with it.
+    /// The outer `Err` is batch-level only (a job failed pre-flight
+    /// validation — nothing was simulated).
+    pub fn try_run_all(
+        &self,
+        jobs: &[JobSpec],
+        observe: &(dyn Fn(usize, JobEvent) + Sync),
+    ) -> Result<Vec<Result<SimResult, CampaignError>>, CampaignError> {
         // Validate everything up front (cheaply — no program synthesis)
         // so a bad cell fails the campaign before burning simulation time
         // on its neighbours.
         for job in jobs {
             job.check()?;
         }
-        let hits = AtomicUsize::new(0);
+        let counts = BatchCounts::default();
         let results: Vec<Result<SimResult, CampaignError>> =
             crate::sched::parallel_map_indexed(jobs, self.workers, |i, job| {
                 if self.is_cancelled() {
@@ -259,7 +329,7 @@ impl JobRunner {
                     ));
                 }
                 observe(i, JobEvent::Started);
-                let out = self.run_one(job, &hits);
+                let out = self.run_one(job, &counts);
                 observe(
                     i,
                     JobEvent::Finished(match &out {
@@ -267,45 +337,90 @@ impl JobRunner {
                         Err(_) => JobOutcome::Failed,
                     }),
                 );
+                if out.is_err() {
+                    counts.failed.fetch_add(1, Ordering::Relaxed);
+                }
                 out.map(|(_, r)| r)
             });
-        let hits = hits.load(Ordering::Relaxed);
+        let hits = counts.hits.load(Ordering::Relaxed);
         self.report.lock().unwrap().merge(RunReport {
             total: jobs.len(),
             cache_hits: hits,
             simulated: jobs.len() - hits,
+            failed: counts.failed.load(Ordering::Relaxed),
+            timeouts: counts.timeouts.load(Ordering::Relaxed),
+            retries: counts.retries.load(Ordering::Relaxed),
         });
-        results.into_iter().collect()
+        Ok(results)
     }
 
     fn run_one(
         &self,
         job: &JobSpec,
-        hits: &AtomicUsize,
+        counts: &BatchCounts,
     ) -> Result<(JobOutcome, SimResult), CampaignError> {
         let descriptor = job.descriptor();
         let key = ResultCache::key_for(&descriptor);
-        if let Some(cache) = &self.cache {
-            if let Some(hit) = cache.get(&key) {
-                hits.fetch_add(1, Ordering::Relaxed);
-                return Ok((JobOutcome::CacheHit, hit));
+        let attempts = 1 + self.watchdog.map_or(0, |w| w.retries);
+        for attempt in 1..=attempts {
+            // Probed per attempt, not once: while this worker was timing
+            // out, a sibling worker — or a restarted shard process on the
+            // same cache — may have finished the job.
+            if let Some(cache) = &self.cache {
+                if let Some(hit) = cache.get(&key) {
+                    counts.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((JobOutcome::CacheHit, hit));
+                }
             }
-        }
-        // A panicking simulation (a model bug, or a structural
-        // impossibility `check` cannot see, like a context-count
-        // violation) fails *this job* — the sibling jobs finish
-        // and the campaign reports one clean error instead of a
-        // poisoned-lock abort.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run_uncached()))
+            let deadline = self.watchdog.map(|w| Instant::now() + w.deadline);
+            // A panicking simulation (a model bug, or a structural
+            // impossibility `check` cannot see, like a context-count
+            // violation) fails *this job* — the sibling jobs finish
+            // and the campaign reports one clean error instead of a
+            // poisoned-lock abort. Panics are not retried: the simulator
+            // is deterministic, so a panic would just repeat.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                job.run_watched(deadline)
+            }))
             .unwrap_or_else(|p| {
                 let msg = crate::sched::payload_msg(p.as_ref());
                 Err(CampaignError(format!("job `{descriptor}` panicked: {msg}")))
             })?;
-        if let Some(cache) = &self.cache {
-            cache
-                .put(&key, &descriptor, &result)
-                .map_err(|e| CampaignError(format!("cache write failed for {key}: {e}")))?;
+            let Some(result) = result else {
+                // The watchdog deadline fired mid-simulation.
+                counts.timeouts.fetch_add(1, Ordering::Relaxed);
+                if attempt < attempts {
+                    counts.retries.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let deadline = self.watchdog.expect("timeouts imply a watchdog").deadline;
+                return Err(CampaignError(format!(
+                    "job `{descriptor}` timed out: {attempts} attempt(s) exceeded the \
+                     {:.1}s cell deadline",
+                    deadline.as_secs_f64()
+                )));
+            };
+            if let Some(cache) = &self.cache {
+                if let Err(e) = cache.put(&key, &descriptor, &result) {
+                    // A failed write costs resumability, not correctness:
+                    // the result is in hand, the cell just re-simulates
+                    // next time. Degrade loudly instead of failing a
+                    // finished simulation.
+                    eprintln!("warning: cache write failed for {key}: {e}");
+                }
+            }
+            return Ok((JobOutcome::Simulated, result));
         }
-        Ok((JobOutcome::Simulated, result))
+        unreachable!("the attempt loop always returns")
     }
+}
+
+/// One batch's shared atomic tallies (merged into [`RunReport`] at the
+/// end of the batch).
+#[derive(Default)]
+struct BatchCounts {
+    hits: AtomicUsize,
+    failed: AtomicUsize,
+    timeouts: AtomicUsize,
+    retries: AtomicUsize,
 }

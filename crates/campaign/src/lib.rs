@@ -25,6 +25,7 @@ pub mod cache;
 pub mod catalog;
 pub mod engine;
 pub mod export;
+pub mod fault;
 pub mod hash;
 pub mod job;
 pub mod matrix;
@@ -33,13 +34,15 @@ pub mod serve;
 pub mod spec;
 mod toml;
 
-pub use cache::{CacheCounters, EntryLookup, ResultCache, CODE_VERSION};
+pub use cache::{CacheCounters, EntryLookup, ResultCache, CODE_VERSION, QUARANTINE_DIR};
 pub use catalog::{Catalog, CatalogEntry, PAPER_WORKLOADS};
 pub use engine::{
     best_worst, run_campaign, run_campaign_observed, run_campaign_with, status, CampaignProgress,
     CampaignResult, CellResult,
 };
-pub use job::{CampaignError, JobEvent, JobOutcome, JobRunner, JobSpec, JobThread, RunReport};
+pub use job::{
+    CampaignError, JobEvent, JobOutcome, JobRunner, JobSpec, JobThread, RunReport, Watchdog,
+};
 pub use matrix::{cell_shard, expand, Cell, Policy, ShardSpec};
 pub use sched::{default_workers, parallel_map, parallel_map_indexed};
 pub use spec::{Budget, CampaignSpec, ExtraWorkload};

@@ -16,7 +16,15 @@
 //! | `/campaigns/:id`             | GET    | 200 snapshot                       |
 //! | `/campaigns/:id/results`     | GET    | 200 export (`?format=json\|csv\|summary`) |
 //! | `/cells/:hash`               | GET    | 200 verbatim cache entry           |
+//! | `/workers`                   | GET    | 200 supervised fleet health        |
 //! | `/shutdown`                  | POST   | 202 drain begins                   |
+//!
+//! On a supervising daemon (`--supervise n`) the campaign verbs route to
+//! the fleet [`crate::serve::supervisor::Supervisor`] — same paths, same
+//! shapes, with per-cell counters summed across shards and the extra
+//! campaign status `degraded` (a broken shard can no longer finish its
+//! slice). Queue-full 503s carry a `Retry-After` header scaled to the
+//! backlog.
 
 use crate::cache::EntryLookup;
 use crate::export;
@@ -62,24 +70,41 @@ pub fn handle(state: &ServerState, req: &Request) -> Response {
         ("GET", ["healthz"]) => Response::json(200, r#"{"status":"ok"}"#.to_string()),
         ("GET", ["stats"]) => json_ok(200, &state.stats()),
         ("POST", ["campaigns"]) => submit(state, req),
-        ("GET", ["campaigns"]) => {
-            let list: Vec<_> = state.list().iter().map(|e| e.snapshot()).collect();
-            json_ok(200, &list)
-        }
-        ("GET", ["campaigns", id]) => match state.get(id) {
-            Some(entry) => json_ok(200, &entry.snapshot()),
-            None => error_response(404, format!("no campaign `{id}`")),
+        ("GET", ["campaigns"]) => match state.supervisor() {
+            Some(sup) => json_ok(200, &sup.list()),
+            None => {
+                let list: Vec<_> = state.list().iter().map(|e| e.snapshot()).collect();
+                json_ok(200, &list)
+            }
         },
+        ("GET", ["campaigns", id]) => {
+            let snapshot = match state.supervisor() {
+                Some(sup) => sup.snapshot(id),
+                None => state.get(id).map(|e| e.snapshot()),
+            };
+            match snapshot {
+                Some(snap) => json_ok(200, &snap),
+                None => error_response(404, format!("no campaign `{id}`")),
+            }
+        }
         ("GET", ["campaigns", id, "results"]) => results(state, req, id),
         ("GET", ["cells", hash]) => cell(state, hash),
+        ("GET", ["workers"]) => workers(state),
         ("POST", ["shutdown"]) => {
             state.begin_shutdown();
             Response::json(202, r#"{"status":"draining"}"#.to_string())
         }
         // Known paths with the wrong verb get a 405, not a 404.
-        (_, [] | ["healthz"] | ["stats"] | ["campaigns", ..] | ["cells", _] | ["shutdown"]) => {
-            error_response(405, format!("method {} not allowed on {}", req.method, req.path))
-        }
+        (
+            _,
+            []
+            | ["healthz"]
+            | ["stats"]
+            | ["campaigns", ..]
+            | ["cells", _]
+            | ["workers"]
+            | ["shutdown"],
+        ) => error_response(405, format!("method {} not allowed on {}", req.method, req.path)),
         _ => error_response(404, format!("no route for {}", req.path)),
     }
 }
@@ -104,6 +129,7 @@ impl Default for ServiceIndex {
                 "GET /campaigns/:id",
                 "GET /campaigns/:id/results?format=json|csv|summary",
                 "GET /cells/:hash",
+                "GET /workers",
                 "POST /shutdown",
             ],
         }
@@ -116,11 +142,28 @@ fn submit(state: &ServerState, req: &Request) -> Response {
         Ok(_) => return error_response(400, "empty body: POST a TOML or JSON campaign spec"),
         Err(e) => return error_response(400, e.to_string()),
     };
+    if state.is_shutting_down() {
+        return error_response(503, "daemon is shutting down; not accepting campaigns");
+    }
+    if let Some(sup) = state.supervisor() {
+        return match sup.submit(spec_text) {
+            Ok(snapshot) => json_ok(202, &snapshot),
+            Err(SubmitError::Invalid(msg)) => error_response(400, msg),
+            // The supervisor has no local queue; these cannot happen, but
+            // map them anyway rather than panic.
+            Err(SubmitError::QueueFull | SubmitError::ShuttingDown) => {
+                error_response(503, "fleet is not accepting campaigns")
+            }
+        };
+    }
     match state.submit(spec_text) {
         Ok(entry) => json_ok(202, &entry.snapshot()),
         Err(SubmitError::Invalid(msg)) => error_response(400, msg),
+        // Backpressure: tell the client *when* to come back, scaled to
+        // the backlog, instead of letting it guess.
         Err(SubmitError::QueueFull) => {
             error_response(503, "campaign queue is full; retry after a campaign finishes")
+                .with_retry_after(state.queue.retry_after_hint())
         }
         Err(SubmitError::ShuttingDown) => {
             error_response(503, "daemon is shutting down; not accepting campaigns")
@@ -128,18 +171,40 @@ fn submit(state: &ServerState, req: &Request) -> Response {
     }
 }
 
-fn results(state: &ServerState, req: &Request, id: &str) -> Response {
-    let Some(entry) = state.get(id) else {
-        return error_response(404, format!("no campaign `{id}`"));
-    };
-    let phase = entry.phase();
-    if phase != CampaignPhase::Done {
-        return error_response(
-            409,
-            format!("campaign `{id}` is {}; results exist only once it is done", phase.as_str()),
-        );
+/// `GET /workers` — fleet health. A non-supervising daemon answers with
+/// an empty fleet rather than a 404, so probes need no mode detection.
+fn workers(state: &ServerState) -> Response {
+    match state.supervisor() {
+        Some(sup) => json_ok(200, &sup.fleet()),
+        None => Response::json(
+            200,
+            r#"{"supervising":0,"restarts_total":0,"broken":0,"workers":[]}"#.to_string(),
+        ),
     }
-    let result = entry.result().expect("done campaign has a result");
+}
+
+fn results(state: &ServerState, req: &Request, id: &str) -> Response {
+    let result = if let Some(sup) = state.supervisor() {
+        match sup.results(id) {
+            Ok(result) => result,
+            Err((status, message)) => return error_response(status, message),
+        }
+    } else {
+        let Some(entry) = state.get(id) else {
+            return error_response(404, format!("no campaign `{id}`"));
+        };
+        let phase = entry.phase();
+        if phase != CampaignPhase::Done {
+            return error_response(
+                409,
+                format!(
+                    "campaign `{id}` is {}; results exist only once it is done",
+                    phase.as_str()
+                ),
+            );
+        }
+        entry.result().expect("done campaign has a result")
+    };
     match req.query_param("format").unwrap_or("json") {
         "json" => Response::json(200, export::to_json(&result)),
         "csv" => Response::csv(export::to_csv(&result)),
@@ -158,7 +223,7 @@ fn cell(state: &ServerState, hash: &str) -> Response {
         EntryLookup::Miss => error_response(404, format!("no cached cell `{hash}`")),
         EntryLookup::Corrupt => error_response(
             500,
-            format!("cell `{hash}` exists but is corrupt; it will re-simulate on next use"),
+            format!("cell `{hash}` was corrupt and has been quarantined; it will re-simulate on next use"),
         ),
     }
 }
@@ -305,6 +370,51 @@ mod tests {
         assert_eq!(n("queued") + n("running") + n("failed") + n("cancelled"), 0, "{cells:?}");
 
         let _ = std::fs::remove_dir_all(state.cache.dir());
+    }
+
+    #[test]
+    fn workers_route_reports_an_empty_fleet_when_not_supervising() {
+        let state = tmp_state("workers");
+        let resp = handle(&state, &get("/workers"));
+        assert_eq!(resp.status, 200);
+        let v = body_json(&resp);
+        assert_eq!(v.get("supervising").and_then(|n| n.as_u64()), Some(0));
+        assert_eq!(v.get("workers").and_then(|w| w.as_array()).map(|a| a.len()), Some(0));
+        assert_eq!(handle(&state, &post("/workers", "")).status, 405);
+    }
+
+    #[test]
+    fn queue_full_503_carries_a_retry_after_hint() {
+        let dir =
+            std::env::temp_dir().join(format!("hdsmt-serve-api-qfull-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let state = ServerState::new(ServerConfig {
+            cache_dir: dir.to_string_lossy().into_owned(),
+            queue_cap: 1,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        // No executor drains the queue: the second submission must bounce
+        // with backpressure advice.
+        assert_eq!(handle(&state, &post("/campaigns", SPEC)).status, 202);
+        let bounced = handle(&state, &post("/campaigns", SPEC));
+        assert_eq!(bounced.status, 503);
+        assert_eq!(bounced.retry_after, Some(1), "one queued campaign → 1s hint");
+        // Shutdown 503s advise nothing — retrying won't help.
+        handle(&state, &post("/shutdown", ""));
+        let refused = handle(&state, &post("/campaigns", SPEC));
+        assert_eq!((refused.status, refused.retry_after), (503, None));
+    }
+
+    #[test]
+    fn stats_report_the_quarantined_count() {
+        let state = tmp_state("quarantine");
+        let v = body_json(&handle(&state, &get("/stats")));
+        assert_eq!(
+            v.get("cache").and_then(|c| c.get("quarantined")).and_then(|q| q.as_u64()),
+            Some(0)
+        );
+        assert_eq!(v.get("cache_quarantined").and_then(|q| q.as_u64()), Some(0));
     }
 
     #[test]

@@ -55,19 +55,43 @@ pub struct Response {
     pub status: u16,
     pub content_type: &'static str,
     pub body: Vec<u8>,
+    /// Emitted as a `Retry-After: <secs>` header — attached to 503s so
+    /// backpressured clients back off an informed amount instead of a
+    /// guessed one.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
     pub fn json(status: u16, body: String) -> Self {
-        Response { status, content_type: "application/json", body: body.into_bytes() }
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            retry_after: None,
+        }
     }
 
     pub fn text(status: u16, body: String) -> Self {
-        Response { status, content_type: "text/plain; charset=utf-8", body: body.into_bytes() }
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into_bytes(),
+            retry_after: None,
+        }
     }
 
     pub fn csv(body: String) -> Self {
-        Response { status: 200, content_type: "text/csv; charset=utf-8", body: body.into_bytes() }
+        Response {
+            status: 200,
+            content_type: "text/csv; charset=utf-8",
+            body: body.into_bytes(),
+            retry_after: None,
+        }
+    }
+
+    pub fn with_retry_after(mut self, secs: u64) -> Self {
+        self.retry_after = Some(secs);
+        self
     }
 }
 
@@ -168,12 +192,17 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
 
 /// Write `response` to `stream` (HTTP/1.1, `Connection: close`).
 pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let retry_after = match response.retry_after {
+        Some(secs) => format!("Retry-After: {secs}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n",
         response.status,
         status_reason(response.status),
         response.content_type,
         response.body.len(),
+        retry_after,
     );
     stream.write_all(head.as_bytes())?;
     stream.write_all(&response.body)?;
@@ -221,6 +250,146 @@ pub fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
 
 pub fn http_post(addr: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
     http_request(addr, "POST", path, Some(body))
+}
+
+// ------------------------------------------------------- retrying client
+
+/// A parsed client-side response, including the `Retry-After` hint that
+/// plain `http_request` discards.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    pub status: u16,
+    pub body: String,
+    /// Seconds from a `Retry-After` header, when the server sent one.
+    pub retry_after: Option<u64>,
+}
+
+/// Like [`http_request`], but keeps the header section long enough to
+/// extract `Retry-After`.
+pub fn http_request_full(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let bad = || std::io::Error::other("malformed HTTP response");
+    let status: u16 =
+        text.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+    let body_start = text.find("\r\n\r\n").map(|i| i + 4).ok_or_else(bad)?;
+    let retry_after = text[..body_start].lines().find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        if name.trim().eq_ignore_ascii_case("retry-after") {
+            value.trim().parse::<u64>().ok()
+        } else {
+            None
+        }
+    });
+    Ok(HttpResponse { status, body: text[body_start..].to_string(), retry_after })
+}
+
+/// Bounded exponential backoff for the thin client: how many attempts a
+/// retryable failure gets, and how the sleep between them grows.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` means "never retry").
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles per retry.
+    pub base: Duration,
+    /// Backoff ceiling — also clamps server-sent `Retry-After` hints.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { attempts: 6, base: Duration::from_millis(100), cap: Duration::from_secs(2) }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (1-based): `base * 2^(retry-1)`
+    /// clamped to `cap`, plus up to 25% deterministic jitter keyed on
+    /// `(salt, retry)` so a fleet of identical clients still de-phases.
+    pub fn backoff(&self, retry: u32, salt: &str) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << (retry - 1).min(16)).min(self.cap);
+        let jitter = exp.mul_f64(0.25 * fraction(fnv(salt, retry)));
+        exp + jitter
+    }
+}
+
+/// FNV-1a over the salt and retry counter — a cheap deterministic jitter
+/// source (no `rand` dependency, reproducible failures).
+fn fnv(salt: &str, retry: u32) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in salt.bytes().chain(retry.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn fraction(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Is this I/O failure worth retrying? Connection-level refusals and
+/// resets are (the daemon may be restarting under its supervisor);
+/// timeouts and protocol errors are not — the request may have been
+/// acted on.
+fn transient(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+    )
+}
+
+/// [`http_request_full`] with bounded retry: connection-refused/reset and
+/// 503 responses are retried under `policy`, honoring a server-sent
+/// `Retry-After` (clamped to `policy.cap`) over the computed backoff.
+/// Every other status — including 4xx/5xx — returns on the first attempt;
+/// status handling stays with the caller.
+pub fn http_request_retry(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    policy: &RetryPolicy,
+) -> std::io::Result<HttpResponse> {
+    let salt = format!("{method} {addr}{path}");
+    for attempt in 1..=policy.attempts.max(1) {
+        // The final attempt returns unconditionally — a lingering 503 or
+        // refusal is the caller's to report, with full context.
+        let delay = match http_request_full(addr, method, path, body) {
+            Ok(resp) if resp.status == 503 && attempt < policy.attempts => {
+                let computed = policy.backoff(attempt, &salt);
+                resp.retry_after
+                    .map(|secs| Duration::from_secs(secs).min(policy.cap))
+                    .unwrap_or(computed)
+            }
+            Ok(resp) => return Ok(resp),
+            Err(e) if transient(&e) && attempt < policy.attempts => policy.backoff(attempt, &salt),
+            Err(e) => return Err(e),
+        };
+        std::thread::sleep(delay);
+    }
+    unreachable!("the final attempt always returns")
 }
 
 #[cfg(test)]
@@ -274,6 +443,90 @@ mod tests {
         let (_, body) = http_get(&addr, "/campaigns/c1/results?format=csv&x=1").unwrap();
         assert!(body.contains("campaigns,c1,results"), "{body}");
         assert!(body.contains("fmt=Some(\"csv\")"), "{body}");
+    }
+
+    #[test]
+    fn retrying_client_rides_out_backpressure_and_honors_retry_after() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let served = Arc::new(AtomicUsize::new(0));
+        let served_in = served.clone();
+        // Two 503s (one with a Retry-After hint), then success.
+        let addr = one_shot_server(3, move |_req| match served_in.fetch_add(1, Ordering::SeqCst) {
+            0 => Response::text(503, "busy".into()).with_retry_after(1),
+            1 => Response::text(503, "busy".into()),
+            _ => Response::text(200, "done".into()),
+        });
+        let policy = RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(20),
+        };
+        let started = std::time::Instant::now();
+        let resp = http_request_retry(&addr, "GET", "/stats", None, &policy).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "done");
+        assert_eq!(served.load(Ordering::SeqCst), 3);
+        // The hinted 1s Retry-After must be clamped to the 20ms cap.
+        assert!(started.elapsed() < Duration::from_millis(900), "{:?}", started.elapsed());
+    }
+
+    #[test]
+    fn retrying_client_gives_up_after_the_attempt_budget() {
+        let addr = one_shot_server(2, |_req| Response::text(503, "busy".into()));
+        let policy = RetryPolicy {
+            attempts: 2,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(4),
+        };
+        let resp = http_request_retry(&addr, "GET", "/stats", None, &policy).unwrap();
+        // The final 503 comes back to the caller instead of an error.
+        assert_eq!(resp.status, 503);
+    }
+
+    #[test]
+    fn retrying_client_retries_connection_refused() {
+        // Bind then drop: the port is (momentarily) guaranteed refused.
+        let refused = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let policy = RetryPolicy {
+            attempts: 3,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(4),
+        };
+        let err = http_request_retry(&refused, "GET", "/healthz", None, &policy).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_deterministically() {
+        let p = RetryPolicy {
+            attempts: 6,
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(2),
+        };
+        let b1 = p.backoff(1, "s");
+        let b2 = p.backoff(2, "s");
+        let b5 = p.backoff(5, "s");
+        assert!(b1 >= Duration::from_millis(100) && b1 <= Duration::from_millis(125), "{b1:?}");
+        assert!(b2 >= Duration::from_millis(200) && b2 <= Duration::from_millis(250), "{b2:?}");
+        // 100ms * 2^4 = 1.6s, inside the cap; 25% jitter keeps it < 2.5s.
+        assert!(b5 >= Duration::from_millis(1600) && b5 <= Duration::from_millis(2500), "{b5:?}");
+        assert_eq!(p.backoff(3, "s"), p.backoff(3, "s"), "jitter must be deterministic");
+        assert_ne!(p.backoff(3, "salt-a"), p.backoff(3, "salt-b"), "but keyed on the salt");
+    }
+
+    #[test]
+    fn full_client_surfaces_retry_after() {
+        let addr =
+            one_shot_server(1, |_req| Response::text(503, "q full".into()).with_retry_after(7));
+        let resp = http_request_full(&addr, "GET", "/stats", None).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.retry_after, Some(7));
+        assert_eq!(resp.body, "q full");
     }
 
     #[test]

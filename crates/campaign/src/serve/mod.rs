@@ -18,10 +18,57 @@
 //! | `/campaigns/:id`          | GET    | per-cell progress snapshot                 |
 //! | `/campaigns/:id/results`  | GET    | export (`?format=json\|csv\|summary`)      |
 //! | `/cells/:hash`            | GET    | verbatim cache entry by content key        |
+//! | `/workers`                | GET    | supervised fleet health (restarts, backoff)|
 //! | `/shutdown`               | POST   | graceful drain (same as SIGINT)            |
 //!
 //! Errors are structured JSON (`{"error":{"status":…,"message":…}}`) —
-//! see [`api`] for the exact status-code mapping.
+//! see [`api`] for the exact status-code mapping. Backpressure 503s from
+//! the bounded queue carry a `Retry-After` header scaled to the backlog;
+//! the bundled thin client honors it with capped exponential backoff
+//! (see [`http::RetryPolicy`]).
+//!
+//! # Supervision and the failure model
+//!
+//! `serve --supervise n` turns the daemon into a fleet parent: instead of
+//! executing campaigns in-process it spawns `n` child daemons (`--shard
+//! i/n`, ephemeral ports, shared cache) and routes every campaign verb
+//! through a ledger that keeps all shards fed. See [`supervisor`] for the
+//! moving parts. The failure model, in decreasing order of blast radius:
+//!
+//! - **Worker crash** (SIGKILL, `abort()`, OOM): detected by process
+//!   reaping or three consecutive missed `/healthz` probes. The worker is
+//!   restarted under exponential backoff (250 ms base, 5 s cap,
+//!   deterministic jitter) and re-seeded with every ledgered spec —
+//!   idempotent, because finished cells are cache hits.
+//! - **Crash loop**: more than `max_restarts` (default 5) restarts trips
+//!   a circuit breaker; the worker is marked *broken*, `GET /workers`
+//!   says so, and campaigns whose other shards finish report `degraded`
+//!   instead of blocking forever. The broken shard's cells stay
+//!   resumable in the cache.
+//! - **Hung cell** (infinite loop in a simulation): the per-cell
+//!   watchdog (`--cell-deadline-ms`) cancels the attempt cooperatively,
+//!   retries it up to `--cell-retries` times, then marks the cell
+//!   failed-with-timeout; the campaign completes around it with the
+//!   failure recorded in the cell's `error` field.
+//! - **Corrupt cache entry** (torn write, bit rot): quarantined on
+//!   detection — atomically renamed into `quarantine/` with a reason
+//!   file — so it is re-simulated on next use and never read twice;
+//!   `status` and `GET /stats` report the quarantined count.
+//! - **Failed cache write** (injected I/O error, full disk): costs
+//!   resumability, not correctness — the in-hand result is returned and
+//!   the cell re-simulates next run.
+//!
+//! # Deterministic fault injection
+//!
+//! Compiled with `--features fault-inject`, the daemon (and CLI) honor a
+//! seeded fault plan in `HDSMT_FAULT`: `;`-separated directives of the
+//! form `kind@counter=n[,n...]`, firing on the n-th event of a
+//! per-process counter (see [`crate::fault`] for the grammar — `kill@sim`,
+//! `hang@sim`, `corrupt@put`, `err@put`, `err@get`). The chaos e2e suite
+//! drives kill/corrupt/hang matrices through the supervisor with
+//! single-threaded workers, so every failure fires at the same cell on
+//! every run. Without the feature (the default), every hook compiles to
+//! a no-op.
 //!
 //! # Sharding
 //!
@@ -52,6 +99,7 @@ pub mod api;
 pub mod http;
 pub mod queue;
 pub mod state;
+pub mod supervisor;
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -122,10 +170,29 @@ impl Server {
     pub fn start(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let executors_n = config.executors.max(1);
+        // A supervising daemon runs no campaigns itself — the shard
+        // workers do — so its executor pool is empty.
+        let executors_n = if config.supervise.is_some() { 0 } else { config.executors.max(1) };
         let http_n = config.http_workers.max(1);
         let state = Arc::new(ServerState::new(config)?);
         let poked = Arc::new(AtomicBool::new(false));
+
+        if let Some(n) = state.config.supervise {
+            let sup = supervisor::Supervisor::start(
+                supervisor::SupervisorConfig {
+                    workers: n.max(1),
+                    cache_dir: state.config.cache_dir.clone(),
+                    sim_workers: state.config.sim_workers,
+                    binary: state.config.worker_binary.clone(),
+                    cell_deadline: state.config.cell_deadline,
+                    cell_retries: state.config.cell_retries,
+                    child_env: state.config.child_env.clone(),
+                    ..supervisor::SupervisorConfig::default()
+                },
+                state.cache.clone(),
+            )?;
+            state.set_supervisor(sup);
+        }
 
         // Campaign executors: drain the bounded queue until it closes.
         let executors = (0..executors_n)
@@ -227,6 +294,10 @@ impl Server {
     }
 
     fn join(self) {
+        // Fleet first: stop restarting workers, drain them gracefully.
+        if let Some(sup) = self.state.supervisor() {
+            sup.shutdown();
+        }
         poke(&self.addr, &self.poked);
         let _ = self.acceptor.join();
         for h in self.handlers {

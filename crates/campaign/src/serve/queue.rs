@@ -81,6 +81,14 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// `Retry-After` seconds to send with a queue-full 503: roughly one
+    /// second per queued campaign, clamped to `1..=30`. Crude, but it
+    /// scales the hint with the actual backlog instead of a constant —
+    /// deeper queue, longer advised backoff.
+    pub fn retry_after_hint(&self) -> u64 {
+        (self.len() as u64).clamp(1, 30)
+    }
+
     /// Stop accepting work and wake every blocked `pop`. Items already
     /// queued are still handed out (drain-then-exit semantics); use
     /// [`Self::drain`] to also discard them.
@@ -117,6 +125,20 @@ mod tests {
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), Some(3));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn retry_after_hint_tracks_depth_within_bounds() {
+        let q = BoundedQueue::new(64);
+        assert_eq!(q.retry_after_hint(), 1, "empty queue still advises a minimal backoff");
+        for i in 0..40 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.retry_after_hint(), 30, "hint is capped at 30s");
+        while q.len() > 5 {
+            q.pop();
+        }
+        assert_eq!(q.retry_after_hint(), 5);
     }
 
     #[test]

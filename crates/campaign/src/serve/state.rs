@@ -32,6 +32,21 @@ pub struct ServerConfig {
     pub shard: Option<ShardSpec>,
     /// Connection-handler threads for the HTTP front door.
     pub http_workers: usize,
+    /// Run as a fleet supervisor over N shard-worker child processes
+    /// instead of executing campaigns in-process (`--supervise n`).
+    pub supervise: Option<u32>,
+    /// Binary to spawn supervised workers from. `None` = the current
+    /// executable; tests point this at `CARGO_BIN_EXE_hdsmt-campaign`.
+    pub worker_binary: Option<std::path::PathBuf>,
+    /// Per-cell watchdog soft deadline (`--cell-deadline-ms`). `None`
+    /// disables the watchdog.
+    pub cell_deadline: Option<std::time::Duration>,
+    /// Retries per timed-out cell before it is marked failed
+    /// (`--cell-retries`).
+    pub cell_retries: u32,
+    /// Extra environment for supervised workers only (fault plans are
+    /// injected here so the supervisor itself stays fault-free).
+    pub child_env: Vec<(String, String)>,
 }
 
 impl Default for ServerConfig {
@@ -44,6 +59,11 @@ impl Default for ServerConfig {
             queue_cap: 64,
             shard: None,
             http_workers: 4,
+            supervise: None,
+            worker_binary: None,
+            cell_deadline: None,
+            cell_retries: 2,
+            child_env: Vec::new(),
         }
     }
 }
@@ -247,6 +267,9 @@ struct JobTotals {
     total: AtomicU64,
     cache_hits: AtomicU64,
     simulated: AtomicU64,
+    failed: AtomicU64,
+    timeouts: AtomicU64,
+    retries: AtomicU64,
 }
 
 /// Everything the HTTP handlers and executors share.
@@ -263,6 +286,9 @@ pub struct ServerState {
     jobs: JobTotals,
     campaigns_done: AtomicU64,
     campaigns_failed: AtomicU64,
+    /// Set once by `Server::start` when `config.supervise` is on; the API
+    /// layer routes campaign verbs here instead of the local queue.
+    supervisor: std::sync::OnceLock<Arc<crate::serve::supervisor::Supervisor>>,
 }
 
 impl ServerState {
@@ -279,7 +305,17 @@ impl ServerState {
             jobs: JobTotals::default(),
             campaigns_done: AtomicU64::new(0),
             campaigns_failed: AtomicU64::new(0),
+            supervisor: std::sync::OnceLock::new(),
         })
+    }
+
+    /// The fleet supervisor, when this daemon runs in `--supervise` mode.
+    pub fn supervisor(&self) -> Option<&Arc<crate::serve::supervisor::Supervisor>> {
+        self.supervisor.get()
+    }
+
+    pub(crate) fn set_supervisor(&self, sup: Arc<crate::serve::supervisor::Supervisor>) {
+        let _ = self.supervisor.set(sup);
     }
 
     pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
@@ -355,8 +391,13 @@ impl ServerState {
     pub fn execute(&self, entry: &Arc<CampaignEntry>) {
         entry.set_running();
         let catalog = engine::catalog_for(&entry.spec);
+        let watchdog = self
+            .config
+            .cell_deadline
+            .map(|deadline| crate::job::Watchdog { deadline, retries: self.config.cell_retries });
         let runner = JobRunner::new(self.config.sim_workers, Some(self.cache.clone()))
-            .with_cancel_token(self.shutdown.clone());
+            .with_cancel_token(self.shutdown.clone())
+            .with_watchdog(watchdog);
         let progress = EntryProgress(entry);
         let outcome = engine::run_campaign_observed(
             &entry.spec,
@@ -388,6 +429,9 @@ impl ServerState {
         self.jobs.total.fetch_add(report.total as u64, Ordering::Relaxed);
         self.jobs.cache_hits.fetch_add(report.cache_hits as u64, Ordering::Relaxed);
         self.jobs.simulated.fetch_add(report.simulated as u64, Ordering::Relaxed);
+        self.jobs.failed.fetch_add(report.failed as u64, Ordering::Relaxed);
+        self.jobs.timeouts.fetch_add(report.timeouts as u64, Ordering::Relaxed);
+        self.jobs.retries.fetch_add(report.retries as u64, Ordering::Relaxed);
     }
 
     /// The `GET /stats` payload.
@@ -412,9 +456,13 @@ impl ServerState {
                 total: self.jobs.total.load(Ordering::Relaxed) as usize,
                 cache_hits: self.jobs.cache_hits.load(Ordering::Relaxed) as usize,
                 simulated: self.jobs.simulated.load(Ordering::Relaxed) as usize,
+                failed: self.jobs.failed.load(Ordering::Relaxed) as usize,
+                timeouts: self.jobs.timeouts.load(Ordering::Relaxed) as usize,
+                retries: self.jobs.retries.load(Ordering::Relaxed) as usize,
             },
             cache: self.cache.counters(),
             cache_entries: self.cache.len(),
+            cache_quarantined: self.cache.quarantined_entries(),
         }
     }
 }
@@ -444,7 +492,11 @@ pub struct ServerStats {
     pub campaigns: CampaignStats,
     /// Batch counters across every campaign run by this daemon.
     pub jobs: RunReport,
-    /// Cache lookup telemetry (hit/miss/corrupt) since daemon start.
+    /// Cache lookup telemetry (hit/miss/corrupt/quarantined) since daemon
+    /// start.
     pub cache: crate::cache::CacheCounters,
     pub cache_entries: usize,
+    /// Entries currently sitting in the cache's `quarantine/` directory
+    /// (on-disk count, not since-start).
+    pub cache_quarantined: usize,
 }

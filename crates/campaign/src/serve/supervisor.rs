@@ -1,0 +1,700 @@
+//! Fleet supervision: `serve --supervise n` runs the daemon as a parent
+//! that spawns, monitors, and restarts `n` shard-worker child processes
+//! instead of executing campaigns in-process.
+//!
+//! Each worker is a plain `hdsmt-campaign serve --shard i/n` child on the
+//! shared content-addressed cache, bound to an ephemeral port it reports
+//! back through an atomically written address file. The supervisor:
+//!
+//! - **submits** every accepted campaign to every live worker, keeping a
+//!   ledger of spec texts so restarted workers are backfilled (the cache
+//!   makes resubmission idempotent — completed cells are hits);
+//! - **monitors** workers with a heartbeat loop: process exit, address
+//!   handshake timeout, or [`MAX_MISSED`](SupervisorConfig::max_missed)
+//!   consecutive failed `/healthz` probes all count as a crash;
+//! - **restarts** crashed workers under exponential backoff with
+//!   deterministic jitter, up to a crash-loop circuit breaker
+//!   ([`SupervisorConfig::max_restarts`]); a worker that trips the
+//!   breaker is marked *broken* and the fleet degrades to the surviving
+//!   shards — their cells still complete, the broken shard's cells stay
+//!   resumable in the cache;
+//! - **aggregates** per-worker campaign snapshots into one fleet-level
+//!   view (`GET /campaigns/:id` sums per-cell counters across shards) and
+//!   reports worker health at `GET /workers`;
+//! - **serves results** by replaying the campaign through the local
+//!   engine once every shard reports done — by then every cell is a
+//!   cache hit, so the replay is a read, not a re-simulation.
+//!
+//! The supervisor itself runs no simulations and holds no job state: kill
+//! it (or any worker) at any point and resubmitting the same specs to a
+//! fresh fleet resumes from the cache.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::cache::ResultCache;
+use crate::engine::{self, CampaignResult};
+use crate::hash::sha256_hex;
+use crate::job::JobRunner;
+use crate::serve::http::{http_get, http_post, RetryPolicy};
+use crate::serve::state::{CampaignSnapshot, CellCounts, SearchCounts, SubmitError};
+use crate::spec::CampaignSpec;
+
+/// Everything the supervisor needs to run a fleet. Defaults are tuned
+/// for "a worker crash costs sub-second recovery" on a local machine.
+#[derive(Clone, Debug)]
+pub struct SupervisorConfig {
+    /// Number of shard workers (shard `i/n` for `i` in `0..n`).
+    pub workers: u32,
+    /// Shared cache directory (also holds the worker address files under
+    /// `.supervise/`).
+    pub cache_dir: String,
+    /// Simulation threads per worker (0 = auto).
+    pub sim_workers: usize,
+    /// Worker binary. `None` = this executable (`std::env::current_exe`);
+    /// tests point it at `CARGO_BIN_EXE_hdsmt-campaign`.
+    pub binary: Option<PathBuf>,
+    /// Per-cell watchdog forwarded to workers (`--cell-deadline-ms`).
+    pub cell_deadline: Option<Duration>,
+    pub cell_retries: u32,
+    /// Monitor tick period (heartbeat + snapshot poll).
+    pub heartbeat_interval: Duration,
+    /// Consecutive failed `/healthz` probes before a worker is declared
+    /// crashed.
+    pub max_missed: u32,
+    /// Restart backoff: `base * 2^(restarts-1)` clamped to `cap`, plus
+    /// deterministic jitter.
+    pub backoff_base: Duration,
+    pub backoff_cap: Duration,
+    /// Crash-loop circuit breaker: restarts beyond this mark the worker
+    /// broken and the fleet degrades to the surviving shards.
+    pub max_restarts: u32,
+    /// How long a spawned worker may take to report its address before
+    /// the start counts as a crash.
+    pub spawn_timeout: Duration,
+    /// Extra environment for workers only — fault plans (`HDSMT_FAULT`)
+    /// are injected here so the supervisor process stays fault-free.
+    pub child_env: Vec<(String, String)>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            workers: 1,
+            cache_dir: ".hdsmt-cache".into(),
+            sim_workers: 0,
+            binary: None,
+            cell_deadline: None,
+            cell_retries: 2,
+            heartbeat_interval: Duration::from_millis(200),
+            max_missed: 3,
+            backoff_base: Duration::from_millis(250),
+            backoff_cap: Duration::from_secs(5),
+            max_restarts: 5,
+            spawn_timeout: Duration::from_secs(10),
+            child_env: Vec::new(),
+        }
+    }
+}
+
+/// One worker's lifecycle state.
+#[derive(Debug)]
+enum Phase {
+    /// Spawned; waiting for the address-file handshake.
+    Starting { since: Instant },
+    /// Handshook and answering `/healthz`.
+    Up { addr: String, missed: u32 },
+    /// Crashed; waiting out the restart backoff.
+    Backoff { until: Instant },
+    /// Crash-loop breaker tripped: no further restarts.
+    Broken,
+    /// Shut down deliberately.
+    Stopped,
+}
+
+impl Phase {
+    fn label(&self) -> &'static str {
+        match self {
+            Phase::Starting { .. } => "starting",
+            Phase::Up { .. } => "up",
+            Phase::Backoff { .. } => "backoff",
+            Phase::Broken => "broken",
+            Phase::Stopped => "stopped",
+        }
+    }
+}
+
+struct Worker {
+    index: u32,
+    addr_file: PathBuf,
+    child: Option<Child>,
+    phase: Phase,
+    restarts: u32,
+    /// Ledger id → this incarnation's child-side campaign id.
+    submitted: HashMap<String, String>,
+    /// Ledger id → last snapshot polled from the child (survives the
+    /// incarnation that produced it, so aggregation never goes blind
+    /// during a restart).
+    snapshots: HashMap<String, ChildSnapshot>,
+}
+
+/// The slice of a child's `GET /campaigns/:id` the supervisor keeps.
+#[derive(Clone, Debug)]
+struct ChildSnapshot {
+    status: String,
+    cells: CellCounts,
+    search: SearchCounts,
+    error: Option<String>,
+}
+
+/// One campaign as the supervisor tracks it: the spec text (for worker
+/// backfill and the local results replay) plus the replayed result.
+struct LedgerEntry {
+    id: String,
+    name: String,
+    spec_text: String,
+    result: Option<CampaignResult>,
+}
+
+struct Inner {
+    workers: Vec<Worker>,
+    ledger: Vec<LedgerEntry>,
+    seq: u64,
+}
+
+/// A running fleet. Created by `Server::start` when
+/// `ServerConfig::supervise` is set; the HTTP API routes campaign verbs
+/// here instead of the local queue.
+pub struct Supervisor {
+    config: SupervisorConfig,
+    cache: ResultCache,
+    inner: Mutex<Inner>,
+    stop: Arc<AtomicBool>,
+    monitor: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// JSON shape of one row of `GET /workers`.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct WorkerReport {
+    pub index: u32,
+    pub shard: String,
+    pub state: String,
+    pub addr: Option<String>,
+    pub pid: Option<u32>,
+    pub restarts: u32,
+}
+
+/// JSON shape of `GET /workers`.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct FleetReport {
+    pub supervising: u32,
+    pub restarts_total: u64,
+    pub broken: usize,
+    pub workers: Vec<WorkerReport>,
+}
+
+impl Supervisor {
+    /// Spawn the fleet and its monitor thread.
+    pub fn start(config: SupervisorConfig, cache: ResultCache) -> std::io::Result<Arc<Supervisor>> {
+        let handshake_dir = std::path::Path::new(&config.cache_dir).join(".supervise");
+        std::fs::create_dir_all(&handshake_dir)?;
+        let workers = (0..config.workers.max(1))
+            .map(|index| Worker {
+                index,
+                addr_file: handshake_dir.join(format!("worker-{index}.addr")),
+                child: None,
+                phase: Phase::Backoff { until: Instant::now() },
+                restarts: 0,
+                submitted: HashMap::new(),
+                snapshots: HashMap::new(),
+            })
+            .collect();
+        let supervisor = Arc::new(Supervisor {
+            config,
+            cache,
+            inner: Mutex::new(Inner { workers, ledger: Vec::new(), seq: 0 }),
+            stop: Arc::new(AtomicBool::new(false)),
+            monitor: Mutex::new(None),
+        });
+        // First spawn happens on the monitor's first tick (every worker
+        // starts in an expired Backoff), so startup and restart share one
+        // code path.
+        let monitor = {
+            let supervisor = supervisor.clone();
+            std::thread::Builder::new()
+                .name("serve-supervisor".into())
+                .spawn(move || supervisor.monitor_loop())?
+        };
+        *supervisor.monitor.lock().unwrap() = Some(monitor);
+        Ok(supervisor)
+    }
+
+    fn binary(&self) -> PathBuf {
+        self.config
+            .binary
+            .clone()
+            .or_else(|| std::env::current_exe().ok())
+            .unwrap_or_else(|| PathBuf::from("hdsmt-campaign"))
+    }
+
+    fn backoff_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            attempts: u32::MAX,
+            base: self.config.backoff_base,
+            cap: self.config.backoff_cap,
+        }
+    }
+
+    // ------------------------------------------------------------ monitor
+
+    fn monitor_loop(&self) {
+        while !self.stop.load(Ordering::Relaxed) {
+            self.tick();
+            std::thread::sleep(self.config.heartbeat_interval);
+        }
+    }
+
+    /// One heartbeat over every worker: reap exits, advance handshakes,
+    /// probe health, backfill submissions, poll snapshots, and restart
+    /// what the backoff clock allows.
+    fn tick(&self) {
+        let now = Instant::now();
+        let mut guard = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let Inner { workers, ledger, .. } = &mut *guard;
+        for w in workers {
+            // A reaped child trumps whatever phase says: SIGKILL, abort(),
+            // or a clean-but-unexpected exit all land here.
+            if let Some(child) = w.child.as_mut() {
+                if let Ok(Some(status)) = child.try_wait() {
+                    w.child = None;
+                    if !matches!(w.phase, Phase::Stopped) {
+                        self.crashed(w, now, &format!("process exited: {status}"));
+                        continue;
+                    }
+                }
+            }
+            enum Action {
+                Spawn,
+                Handshake { since: Instant },
+                Probe { addr: String },
+                Idle,
+            }
+            let action = match &w.phase {
+                Phase::Backoff { until } if now >= *until => Action::Spawn,
+                Phase::Starting { since } => Action::Handshake { since: *since },
+                Phase::Up { addr, .. } => Action::Probe { addr: addr.clone() },
+                _ => Action::Idle,
+            };
+            match action {
+                Action::Spawn => self.spawn_worker(w, now),
+                Action::Handshake { since } => {
+                    if let Some(addr) = read_addr_file(&w.addr_file) {
+                        eprintln!("supervisor: worker {} up at {addr}", w.index);
+                        w.phase = Phase::Up { addr, missed: 0 };
+                    } else if now.duration_since(since) > self.config.spawn_timeout {
+                        self.crashed(w, now, "no address handshake before the spawn timeout");
+                    }
+                }
+                Action::Probe { addr } => match http_get(&addr, "/healthz") {
+                    Ok((200, _)) => {
+                        if let Phase::Up { missed, .. } = &mut w.phase {
+                            *missed = 0;
+                        }
+                        backfill(w, &addr, ledger);
+                        poll_snapshots(w, &addr);
+                    }
+                    _ => {
+                        let gone = match &mut w.phase {
+                            Phase::Up { missed, .. } => {
+                                *missed += 1;
+                                *missed >= self.config.max_missed.max(1)
+                            }
+                            _ => false,
+                        };
+                        if gone {
+                            self.crashed(w, now, "health probes timed out");
+                        }
+                    }
+                },
+                Action::Idle => {}
+            }
+        }
+    }
+
+    /// Account a crash: clear the incarnation, arm the backoff clock, or
+    /// trip the breaker.
+    fn crashed(&self, w: &mut Worker, now: Instant, why: &str) {
+        kill(w);
+        w.submitted.clear();
+        w.restarts += 1;
+        if w.restarts > self.config.max_restarts {
+            eprintln!(
+                "supervisor: worker {} BROKEN after {} restarts ({why}); \
+                 degrading to the surviving shards",
+                w.index, self.config.max_restarts
+            );
+            w.phase = Phase::Broken;
+            return;
+        }
+        let delay = self.backoff_policy().backoff(w.restarts, &format!("worker-{}", w.index));
+        eprintln!(
+            "supervisor: worker {} crashed ({why}); restart {}/{} in {:.2}s",
+            w.index,
+            w.restarts,
+            self.config.max_restarts,
+            delay.as_secs_f64()
+        );
+        w.phase = Phase::Backoff { until: now + delay };
+    }
+
+    fn spawn_worker(&self, w: &mut Worker, now: Instant) {
+        let _ = std::fs::remove_file(&w.addr_file);
+        let mut cmd = Command::new(self.binary());
+        cmd.arg("serve")
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--addr-file")
+            .arg(&w.addr_file)
+            .arg("--cache")
+            .arg(&self.config.cache_dir)
+            .arg("--shard")
+            .arg(format!("{}/{}", w.index, self.config.workers.max(1)))
+            .arg("--workers")
+            .arg(self.config.sim_workers.to_string())
+            .arg("--executors")
+            .arg("1")
+            .arg("--cell-retries")
+            .arg(self.config.cell_retries.to_string());
+        if let Some(d) = self.config.cell_deadline {
+            cmd.arg("--cell-deadline-ms").arg(d.as_millis().to_string());
+        }
+        for (k, v) in &self.config.child_env {
+            cmd.env(k, v);
+        }
+        cmd.stdin(Stdio::null()).stdout(Stdio::null());
+        match cmd.spawn() {
+            Ok(child) => {
+                w.child = Some(child);
+                w.phase = Phase::Starting { since: now };
+            }
+            Err(e) => self.crashed(w, now, &format!("spawn failed: {e}")),
+        }
+    }
+
+    // ---------------------------------------------------------- campaigns
+
+    /// Accept a campaign: validate locally (clean 400s), ledger it, and
+    /// push it to every live worker. Restarted workers are backfilled by
+    /// the monitor.
+    pub fn submit(&self, spec_text: &str) -> Result<CampaignSnapshot, SubmitError> {
+        // Same pre-flight as the local path: a bad spec must fail the
+        // submission, not n workers later.
+        let spec = CampaignSpec::parse(spec_text).map_err(|e| SubmitError::Invalid(e.0))?;
+        let catalog = engine::catalog_for(&spec);
+        crate::matrix::expand(&spec, &catalog).map_err(|e| SubmitError::Invalid(e.0))?;
+
+        let mut guard = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.seq += 1;
+        let id = format!("f{}-{}", guard.seq, &sha256_hex(spec_text.as_bytes())[..8]);
+        guard.ledger.push(LedgerEntry {
+            id: id.clone(),
+            name: spec.display_name().to_string(),
+            spec_text: spec_text.to_string(),
+            result: None,
+        });
+        let Inner { workers, ledger, .. } = &mut *guard;
+        let entry = ledger.last().expect("just pushed");
+        for w in workers {
+            if let Phase::Up { addr, .. } = &w.phase {
+                let addr = addr.clone();
+                submit_to_worker(w, &addr, entry);
+            }
+        }
+        drop(guard);
+        Ok(self.snapshot(&id).expect("just ledgered"))
+    }
+
+    /// Fleet-level snapshot of one campaign: per-cell counters summed
+    /// across shards.
+    pub fn snapshot(&self, id: &str) -> Option<CampaignSnapshot> {
+        let guard = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let entry = guard.ledger.iter().find(|e| e.id == id)?;
+        Some(aggregate(entry, &guard.workers))
+    }
+
+    pub fn list(&self) -> Vec<CampaignSnapshot> {
+        let guard = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.ledger.iter().map(|e| aggregate(e, &guard.workers)).collect()
+    }
+
+    /// The finished result: once every shard reports done, replay the
+    /// campaign through the local engine on the shared cache (a pure
+    /// read — every cell is a hit) and memoize it. `Err` carries the
+    /// HTTP status + message for the API layer.
+    pub fn results(&self, id: &str) -> Result<CampaignResult, (u16, String)> {
+        let spec_text = {
+            let guard = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let entry = guard
+                .ledger
+                .iter()
+                .find(|e| e.id == id)
+                .ok_or_else(|| (404, format!("no campaign `{id}`")))?;
+            if let Some(result) = &entry.result {
+                return Ok(result.clone());
+            }
+            let snap = aggregate(entry, &guard.workers);
+            if snap.status != "done" {
+                return Err((
+                    409,
+                    format!(
+                        "campaign `{id}` is {}; results exist only once every shard is done",
+                        snap.status
+                    ),
+                ));
+            }
+            entry.spec_text.clone()
+        };
+        // Replay outside the lock: the engine run is all cache hits, but
+        // there is no reason to stall heartbeats on it.
+        let mut spec =
+            CampaignSpec::parse(&spec_text).map_err(|e| (500, format!("ledger spec: {}", e.0)))?;
+        spec.cache_dir = Some(self.config.cache_dir.clone());
+        spec.workers = Some(self.config.sim_workers as u64);
+        let catalog = engine::catalog_for(&spec);
+        let runner = JobRunner::new(self.config.sim_workers, Some(self.cache.clone()));
+        let result = engine::run_campaign_with(&spec, &catalog, &runner)
+            .map_err(|e| (500, format!("results replay failed: {}", e.0)))?;
+        let mut guard = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(entry) = guard.ledger.iter_mut().find(|e| e.id == id) {
+            entry.result = Some(result.clone());
+        }
+        Ok(result)
+    }
+
+    /// `GET /workers`.
+    pub fn fleet(&self) -> FleetReport {
+        let guard = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let workers: Vec<WorkerReport> = guard
+            .workers
+            .iter()
+            .map(|w| WorkerReport {
+                index: w.index,
+                shard: format!("{}/{}", w.index, self.config.workers.max(1)),
+                state: w.phase.label().to_string(),
+                addr: match &w.phase {
+                    Phase::Up { addr, .. } => Some(addr.clone()),
+                    _ => None,
+                },
+                pid: w.child.as_ref().map(Child::id),
+                restarts: w.restarts,
+            })
+            .collect();
+        FleetReport {
+            supervising: self.config.workers.max(1),
+            restarts_total: guard.workers.iter().map(|w| w.restarts as u64).sum(),
+            broken: guard.workers.iter().filter(|w| matches!(w.phase, Phase::Broken)).count(),
+            workers,
+        }
+    }
+
+    /// Stop the monitor, drain the workers (graceful `POST /shutdown`,
+    /// bounded wait, then kill), and join.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.monitor.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+        let mut guard = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for w in &mut guard.workers {
+            if let Phase::Up { addr, .. } = &w.phase {
+                let _ = http_post(addr, "/shutdown", "");
+            }
+            if let Some(child) = w.child.as_mut() {
+                let deadline = Instant::now() + Duration::from_secs(5);
+                loop {
+                    match child.try_wait() {
+                        Ok(Some(_)) => break,
+                        _ if Instant::now() >= deadline => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            break;
+                        }
+                        _ => std::thread::sleep(Duration::from_millis(20)),
+                    }
+                }
+            }
+            w.child = None;
+            w.phase = Phase::Stopped;
+        }
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        // Never leak child processes, even on a panicking exit path.
+        self.stop.store(true, Ordering::Relaxed);
+        let mut guard = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for w in &mut guard.workers {
+            kill(w);
+        }
+    }
+}
+
+fn kill(w: &mut Worker) {
+    if let Some(child) = w.child.as_mut() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    w.child = None;
+}
+
+/// The worker wrote its bound address with tmp+rename, so a read sees
+/// either nothing or a complete `host:port` line.
+fn read_addr_file(path: &std::path::Path) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let addr = text.trim();
+    if addr.contains(':') {
+        Some(addr.to_string())
+    } else {
+        None
+    }
+}
+
+/// Push every not-yet-submitted ledger entry to a live worker (no-op for
+/// a worker that already has them — this is what re-seeds a restarted
+/// incarnation).
+fn backfill(w: &mut Worker, addr: &str, ledger: &[LedgerEntry]) {
+    for entry in ledger {
+        if !w.submitted.contains_key(&entry.id) {
+            submit_to_worker(w, addr, entry);
+        }
+    }
+}
+
+fn submit_to_worker(w: &mut Worker, addr: &str, entry: &LedgerEntry) {
+    // Anything but a 202 (503 backpressure, a dying socket) is retried
+    // by the next heartbeat's backfill pass.
+    if let Ok((202, body)) = http_post(addr, "/campaigns", &entry.spec_text) {
+        if let Some(child_id) = serde_json::from_str_value(&body)
+            .ok()
+            .and_then(|v| v.get("id").and_then(|i| i.as_str()).map(str::to_string))
+        {
+            w.submitted.insert(entry.id.clone(), child_id);
+        }
+    }
+}
+
+/// Refresh the worker's last-known snapshot of every submitted campaign.
+fn poll_snapshots(w: &mut Worker, addr: &str) {
+    let pairs: Vec<(String, String)> =
+        w.submitted.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
+    for (ledger_id, child_id) in pairs {
+        if let Ok((200, body)) = http_get(addr, &format!("/campaigns/{child_id}")) {
+            if let Some(snap) = parse_child_snapshot(&body) {
+                w.snapshots.insert(ledger_id, snap);
+            }
+        }
+    }
+}
+
+fn parse_child_snapshot(body: &str) -> Option<ChildSnapshot> {
+    let v = serde_json::from_str_value(body).ok()?;
+    let counts = |key: &str| {
+        let c = v.get(key)?;
+        let n = |k: &str| c.get(k).and_then(|x| x.as_u64()).unwrap_or(0) as usize;
+        Some((
+            n("total"),
+            n("queued"),
+            n("running"),
+            n("done"),
+            n("cached"),
+            n("failed"),
+            n("cancelled"),
+            n("finished"),
+        ))
+    };
+    let (total, queued, running, done, cached, failed, cancelled, _) = counts("cells")?;
+    let (s_total, .., s_finished) = counts("search").unwrap_or((0, 0, 0, 0, 0, 0, 0, 0));
+    Some(ChildSnapshot {
+        status: v.get("status")?.as_str()?.to_string(),
+        cells: CellCounts { total, queued, running, done, cached, failed, cancelled },
+        search: SearchCounts { total: s_total, finished: s_finished },
+        error: v.get("error").and_then(|e| e.as_str()).map(str::to_string),
+    })
+}
+
+/// Sum one campaign's per-worker snapshots into the fleet-level view.
+///
+/// Status precedence: any shard `failed` → failed; any `cancelled` →
+/// cancelled; every live shard `done` → done (or **degraded** when a
+/// broken shard can no longer finish its slice); otherwise running —
+/// or queued while no shard has reported at all.
+fn aggregate(entry: &LedgerEntry, workers: &[Worker]) -> CampaignSnapshot {
+    let mut cells = CellCounts::default();
+    let mut search = SearchCounts::default();
+    let mut error: Option<String> = None;
+    let mut any_failed = false;
+    let mut any_cancelled = false;
+    let mut reported = 0usize;
+    let mut live_done = 0usize;
+    let mut live = 0usize;
+    let mut broken = 0usize;
+    for w in workers {
+        if matches!(w.phase, Phase::Broken) {
+            broken += 1;
+        } else {
+            live += 1;
+        }
+        let Some(snap) = w.snapshots.get(&entry.id) else { continue };
+        reported += 1;
+        cells.total += snap.cells.total;
+        cells.queued += snap.cells.queued;
+        cells.running += snap.cells.running;
+        cells.done += snap.cells.done;
+        cells.cached += snap.cells.cached;
+        cells.failed += snap.cells.failed;
+        cells.cancelled += snap.cells.cancelled;
+        search.total += snap.search.total;
+        search.finished += snap.search.finished;
+        match snap.status.as_str() {
+            "failed" => any_failed = true,
+            "cancelled" => any_cancelled = true,
+            "done" if !matches!(w.phase, Phase::Broken) => live_done += 1,
+            _ => {}
+        }
+        if error.is_none() {
+            error = snap.error.clone();
+        }
+    }
+    let status = if any_failed {
+        "failed"
+    } else if any_cancelled {
+        "cancelled"
+    } else if live > 0 && live_done == live {
+        if broken > 0 {
+            "degraded"
+        } else {
+            "done"
+        }
+    } else if live == 0 {
+        // Every shard tripped the breaker: nothing can make progress.
+        "degraded"
+    } else if reported == 0 {
+        "queued"
+    } else {
+        "running"
+    };
+    CampaignSnapshot {
+        id: entry.id.clone(),
+        name: entry.name.clone(),
+        status: status.to_string(),
+        cells,
+        search,
+        error,
+    }
+}

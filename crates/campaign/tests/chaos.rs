@@ -1,0 +1,464 @@
+//! Chaos and fault-tolerance tests: the supervised fleet surviving
+//! SIGKILL, the per-cell watchdog, and — behind the `fault-inject`
+//! feature — the deterministic fault matrix (hung simulations, torn
+//! cache writes, worker kills) riding through to a complete, bit-stable
+//! campaign.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use hdsmt_campaign::serve::http::{http_get, http_post};
+use hdsmt_campaign::serve::{Server, ServerConfig};
+use hdsmt_campaign::{JobRunner, JobSpec, JobThread, ResultCache, Watchdog};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("hdsmt-chaos-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn json(body: &str) -> serde_json::Value {
+    serde_json::from_str_value(body).unwrap_or_else(|e| panic!("bad JSON ({e}): {body}"))
+}
+
+fn submit(addr: &str, spec: &str) -> String {
+    let (status, body) = http_post(addr, "/campaigns", spec).unwrap();
+    assert_eq!(status, 202, "{body}");
+    json(&body).get("id").and_then(|i| i.as_str()).unwrap().to_string()
+}
+
+fn cell_count(snap: &serde_json::Value, key: &str) -> u64 {
+    snap.get("cells").and_then(|c| c.get(key)).and_then(|v| v.as_u64()).unwrap()
+}
+
+/// Poll until the campaign reaches a terminal/steady phase.
+fn wait_terminal(addr: &str, id: &str) -> serde_json::Value {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) = http_get(addr, &format!("/campaigns/{id}")).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let snap = json(&body);
+        let phase = snap.get("status").and_then(|s| s.as_str()).unwrap().to_string();
+        if ["done", "failed", "cancelled", "degraded"].contains(&phase.as_str()) {
+            return snap;
+        }
+        assert!(Instant::now() < deadline, "campaign `{id}` stuck: {snap:?}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// A supervised daemon: the parent executes nothing itself; shard-worker
+/// child processes (spawned from the test-built binary) do the work.
+fn supervised_server(cache: &Path, workers: u32, env: Vec<(String, String)>) -> Server {
+    supervised_server_with(cache, workers, env, |_| {})
+}
+
+fn supervised_server_with(
+    cache: &Path,
+    workers: u32,
+    env: Vec<(String, String)>,
+    tweak: impl FnOnce(&mut ServerConfig),
+) -> Server {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        cache_dir: cache.to_string_lossy().into_owned(),
+        sim_workers: 1,
+        supervise: Some(workers),
+        worker_binary: Some(env!("CARGO_BIN_EXE_hdsmt-campaign").into()),
+        child_env: env,
+        ..ServerConfig::default()
+    };
+    tweak(&mut config);
+    Server::start(config).unwrap()
+}
+
+fn fleet(addr: &str) -> serde_json::Value {
+    let (status, body) = http_get(addr, "/workers").unwrap();
+    assert_eq!(status, 200, "{body}");
+    json(&body)
+}
+
+fn restarts_total(report: &serde_json::Value) -> u64 {
+    report.get("restarts_total").and_then(|v| v.as_u64()).unwrap()
+}
+
+/// rr-policy spec (no oracle search phase): 4 cells.
+const SPEC: &str = r#"
+name = "chaos-e2e"
+archs = ["M8", "2M4+2M2"]
+workloads = ["2W1", "2W7"]
+policies = ["rr"]
+seed = 9
+[budget]
+measure_insts = 1500
+warmup_insts = 600
+search_insts = 500
+"#;
+
+/// A slower 8-cell campaign, so a SIGKILL can land mid-flight.
+const SLOW_SPEC: &str = r#"
+name = "chaos-kill"
+archs = ["M8", "3M4", "4M4", "2M4+2M2"]
+workloads = ["2W1", "2W7"]
+policies = ["rr"]
+seed = 9
+[budget]
+measure_insts = 4000
+warmup_insts = 1500
+search_insts = 500
+"#;
+
+#[test]
+fn supervised_fleet_completes_a_campaign_and_reports_its_workers() {
+    let dir = tmpdir("fleet");
+    let server = supervised_server(&dir.join("cache"), 2, Vec::new());
+    let addr = server.addr().to_string();
+
+    let id = submit(&addr, SPEC);
+    assert!(id.starts_with('f'), "fleet campaign ids are supervisor-scoped: {id}");
+    let snap = wait_terminal(&addr, &id);
+    assert_eq!(snap.get("status").and_then(|s| s.as_str()), Some("done"), "{snap:?}");
+    assert_eq!(cell_count(&snap, "total"), 4, "{snap:?}");
+    assert_eq!(cell_count(&snap, "failed"), 0, "{snap:?}");
+    assert_eq!(
+        cell_count(&snap, "done") + cell_count(&snap, "cached"),
+        4,
+        "no cell lost, none duplicated: {snap:?}"
+    );
+
+    // The fleet is visible and healthy.
+    let report = fleet(&addr);
+    assert_eq!(report.get("supervising").and_then(|v| v.as_u64()), Some(2), "{report:?}");
+    assert_eq!(restarts_total(&report), 0, "{report:?}");
+    let workers = report.get("workers").and_then(|w| w.as_array()).unwrap();
+    assert_eq!(workers.len(), 2);
+    for w in workers {
+        assert_eq!(w.get("state").and_then(|s| s.as_str()), Some("up"), "{w:?}");
+        assert!(w.get("pid").and_then(|p| p.as_u64()).is_some(), "{w:?}");
+        assert!(w.get("shard").and_then(|s| s.as_str()).unwrap().ends_with("/2"), "{w:?}");
+    }
+
+    // Results come from a cache replay; two fetches are byte-identical.
+    let (status, body1) = http_get(&addr, &format!("/campaigns/{id}/results")).unwrap();
+    assert_eq!(status, 200, "{body1}");
+    let (_, body2) = http_get(&addr, &format!("/campaigns/{id}/results")).unwrap();
+    assert_eq!(body1, body2, "results must be memoized bit-identically");
+    assert_eq!(json(&body1).get("cells").and_then(|c| c.as_array()).map(|a| a.len()), Some(4));
+
+    // Resubmit: every shard serves its slice from the shared cache.
+    let id2 = submit(&addr, SPEC);
+    let snap2 = wait_terminal(&addr, &id2);
+    assert_eq!(snap2.get("status").and_then(|s| s.as_str()), Some("done"), "{snap2:?}");
+    assert_eq!(cell_count(&snap2, "cached"), 4, "resubmit must be fully cached: {snap2:?}");
+
+    server.shutdown_and_join();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigkilled_worker_restarts_and_the_campaign_still_completes_exactly() {
+    let dir = tmpdir("sigkill");
+    let server = supervised_server(&dir.join("cache"), 1, Vec::new());
+    let addr = server.addr().to_string();
+    let id = submit(&addr, SLOW_SPEC);
+
+    // Let the worker make some progress, then SIGKILL it mid-campaign.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let pid = loop {
+        let (_, body) = http_get(&addr, &format!("/campaigns/{id}")).unwrap();
+        let snap = json(&body);
+        let concluded = cell_count(&snap, "done") + cell_count(&snap, "cached");
+        let report = fleet(&addr);
+        let pid = report
+            .get("workers")
+            .and_then(|w| w.as_array())
+            .and_then(|w| w.first())
+            .and_then(|w| w.get("pid"))
+            .and_then(|p| p.as_u64());
+        if concluded >= 1 {
+            break pid.expect("a worker that reported progress has a pid");
+        }
+        assert!(Instant::now() < deadline, "no progress before the kill: {snap:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(std::process::Command::new("kill")
+        .args(["-9", &pid.to_string()])
+        .status()
+        .unwrap()
+        .success());
+
+    // The supervisor must notice the crash and restart within its backoff.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if restarts_total(&fleet(&addr)) >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "crash never detected: {:?}", fleet(&addr));
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // ... and the campaign completes around the crash: no cell lost, no
+    // cell failed, everything either cached (pre-kill work reused) or
+    // freshly simulated by the new incarnation.
+    let snap = wait_terminal(&addr, &id);
+    assert_eq!(snap.get("status").and_then(|s| s.as_str()), Some("done"), "{snap:?}");
+    assert_eq!(cell_count(&snap, "total"), 8, "{snap:?}");
+    assert_eq!(cell_count(&snap, "failed"), 0, "{snap:?}");
+    assert_eq!(cell_count(&snap, "done") + cell_count(&snap, "cached"), 8, "{snap:?}");
+
+    let report = fleet(&addr);
+    assert!(restarts_total(&report) >= 1, "{report:?}");
+    assert_eq!(report.get("broken").and_then(|v| v.as_u64()), Some(0), "{report:?}");
+
+    // Bit-identical results, twice, and a fully cached resubmit.
+    let (status, body1) = http_get(&addr, &format!("/campaigns/{id}/results")).unwrap();
+    assert_eq!(status, 200, "{body1}");
+    let (_, body2) = http_get(&addr, &format!("/campaigns/{id}/results")).unwrap();
+    assert_eq!(body1, body2);
+    assert_eq!(json(&body1).get("cells").and_then(|c| c.as_array()).map(|a| a.len()), Some(8));
+
+    let id2 = submit(&addr, SLOW_SPEC);
+    let snap2 = wait_terminal(&addr, &id2);
+    assert_eq!(snap2.get("status").and_then(|s| s.as_str()), Some("done"), "{snap2:?}");
+    assert_eq!(cell_count(&snap2, "cached"), 8, "the kill must not cost cached work: {snap2:?}");
+
+    server.shutdown_and_join();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ------------------------------------------------------------- watchdog
+
+fn runaway_job() -> JobSpec {
+    JobSpec {
+        arch: "2M4+2M2".into(),
+        threads: vec![
+            JobThread { bench: "gzip".into(), seed: 11 },
+            JobThread { bench: "mcf".into(), seed: 12 },
+        ],
+        mapping: vec![0, 2],
+        // Far more work than the deadline below allows.
+        max_insts: 200_000_000,
+        warmup_insts: 800,
+        fetch_policy: None,
+        regfile_lat: None,
+    }
+}
+
+#[test]
+fn watchdog_times_out_a_runaway_cell_after_its_retry_budget() {
+    let dir = tmpdir("watchdog");
+    let cache = ResultCache::open(&dir).unwrap();
+    let runner = JobRunner::new(1, Some(cache.clone()))
+        .with_watchdog(Some(Watchdog { deadline: Duration::from_millis(50), retries: 1 }));
+
+    let err = runner.run_all(&[runaway_job()]).expect_err("the runaway job must time out");
+    assert!(err.0.contains("timed out"), "{err}");
+    assert!(err.0.contains("2 attempt(s)"), "1 + 1 retry: {err}");
+
+    let report = runner.report();
+    assert_eq!(report.timeouts, 2, "both attempts hit the deadline: {report:?}");
+    assert_eq!(report.retries, 1, "{report:?}");
+    assert_eq!(report.failed, 1, "{report:?}");
+    assert_eq!(cache.len(), 0, "an abandoned attempt must leave no cache entry");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_generous_watchdog_changes_nothing_bit_for_bit() {
+    // The interruptible simulation path must be bit-identical to the
+    // plain one when the deadline never fires.
+    let dir = tmpdir("watchdog-id");
+    let mut job = runaway_job();
+    job.max_insts = 2_000;
+    let runner = JobRunner::new(1, Some(ResultCache::open(&dir).unwrap()))
+        .with_watchdog(Some(Watchdog { deadline: Duration::from_secs(60), retries: 1 }));
+    let watched = runner.run_all(std::slice::from_ref(&job)).unwrap().remove(0);
+    let plain = job.run_uncached().unwrap();
+    assert_eq!(
+        serde_json::to_string(&watched).unwrap(),
+        serde_json::to_string(&plain).unwrap(),
+        "watchdog instrumentation must not perturb the simulation"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ------------------------------------- deterministic fault matrix (e2e)
+//
+// These need the fault hooks compiled in:
+//     cargo test -p hdsmt-campaign --features fault-inject --test chaos
+
+#[cfg(feature = "fault-inject")]
+mod fault_matrix {
+    use super::*;
+    use std::process::Command;
+
+    fn cli() -> Command {
+        Command::new(env!("CARGO_BIN_EXE_hdsmt-campaign"))
+    }
+
+    /// The combined chaos scenario from the module docs of
+    /// `campaign::fault`, run under supervision with one simulation
+    /// worker so the schedule is deterministic:
+    ///
+    /// Each worker incarnation (counters are per-process) hangs its first
+    /// simulation (watchdog timeout → retry), tears its third cache write
+    /// (quarantined + re-simulated on next read), and aborts at its fifth
+    /// simulation start. Over a 6-cell campaign that yields exactly three
+    /// incarnations, two restarts, and two quarantined entries — and a
+    /// complete, zero-failure campaign.
+    #[test]
+    fn fault_matrix_rides_hang_corrupt_and_kill_to_a_complete_campaign() {
+        let dir = tmpdir("matrix");
+        let spec = r#"
+name = "chaos-matrix"
+archs = ["M8", "2M4+2M2", "3M4"]
+workloads = ["2W1", "2W7"]
+policies = ["rr"]
+seed = 9
+[budget]
+measure_insts = 1500
+warmup_insts = 600
+search_insts = 500
+"#;
+        let server = supervised_server_with(
+            &dir.join("cache"),
+            1,
+            vec![("HDSMT_FAULT".into(), "hang@sim=1;corrupt@put=3;kill@sim=5".into())],
+            |c| {
+                c.cell_deadline = Some(Duration::from_millis(500));
+                c.cell_retries = 2;
+            },
+        );
+        let addr = server.addr().to_string();
+
+        let id = submit(&addr, spec);
+        let snap = wait_terminal(&addr, &id);
+        assert_eq!(snap.get("status").and_then(|s| s.as_str()), Some("done"), "{snap:?}");
+        assert_eq!(cell_count(&snap, "total"), 6, "{snap:?}");
+        assert_eq!(cell_count(&snap, "failed"), 0, "every fault must be absorbed: {snap:?}");
+        assert_eq!(cell_count(&snap, "done") + cell_count(&snap, "cached"), 6, "{snap:?}");
+
+        // The deterministic schedule: two kills → two restarts; two torn
+        // writes → two quarantined entries.
+        let report = fleet(&addr);
+        assert_eq!(restarts_total(&report), 2, "{report:?}");
+        assert_eq!(report.get("broken").and_then(|v| v.as_u64()), Some(0), "{report:?}");
+        let (_, stats) = http_get(&addr, "/stats").unwrap();
+        let stats = json(&stats);
+        assert_eq!(
+            stats.get("cache_quarantined").and_then(|v| v.as_u64()),
+            Some(2),
+            "torn writes must be quarantined, not deleted: {stats:?}"
+        );
+
+        // Despite hangs, kills, and torn writes, the final cache is whole:
+        // a resubmit simulates nothing.
+        let id2 = submit(&addr, spec);
+        let snap2 = wait_terminal(&addr, &id2);
+        assert_eq!(snap2.get("status").and_then(|s| s.as_str()), Some("done"), "{snap2:?}");
+        assert_eq!(cell_count(&snap2, "cached"), 6, "{snap2:?}");
+        assert_eq!(cell_count(&snap2, "done"), 0, "{snap2:?}");
+
+        // And the results replay cleanly, twice, byte-identically.
+        let (status, body1) = http_get(&addr, &format!("/campaigns/{id}/results")).unwrap();
+        assert_eq!(status, 200, "{body1}");
+        let (_, body2) = http_get(&addr, &format!("/campaigns/{id}/results")).unwrap();
+        assert_eq!(body1, body2);
+
+        server.shutdown_and_join();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A cell whose every attempt hangs exhausts its retry budget and is
+    /// marked failed-with-timeout; its sibling completes and the run
+    /// degrades gracefully instead of wedging.
+    #[test]
+    fn hung_cell_exhausts_its_retry_budget_and_the_run_degrades() {
+        let dir = tmpdir("hung");
+        let cache = dir.join("cache");
+        let spec_path = dir.join("spec.toml");
+        fs::write(
+            &spec_path,
+            format!(
+                "name = \"chaos-hung\"\narchs = [\"M8\"]\nworkloads = [\"2W1\", \"2W7\"]\n\
+                 policies = [\"rr\"]\nseed = 9\ncache_dir = \"{}\"\n\
+                 [budget]\nmeasure_insts = 1500\nwarmup_insts = 600\nsearch_insts = 500\n",
+                cache.display()
+            ),
+        )
+        .unwrap();
+
+        // Attempts 1 and 2 of the first cell both hang (retries = 1).
+        let run = cli()
+            .arg("run")
+            .arg(&spec_path)
+            .args(["--workers", "1", "--cell-deadline-ms", "300", "--cell-retries", "1"])
+            .env("HDSMT_FAULT", "hang@sim=1,2")
+            .output()
+            .unwrap();
+        let stderr = String::from_utf8_lossy(&run.stderr);
+        assert!(run.status.success(), "degradation is not a crash: {stderr}");
+        assert!(stderr.contains("WARNING: 1 cell(s) failed (2 watchdog timeout(s))"), "{stderr}");
+
+        // A clean re-run heals: the failed cell re-simulates, the healthy
+        // sibling is a cache hit.
+        let run2 = cli().arg("run").arg(&spec_path).args(["--workers", "1"]).output().unwrap();
+        let stderr2 = String::from_utf8_lossy(&run2.stderr);
+        assert!(run2.status.success(), "{stderr2}");
+        assert!(stderr2.contains("1 cache hits, 1 simulated"), "{stderr2}");
+        assert!(!stderr2.contains("WARNING"), "{stderr2}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A torn cache write is quarantined on first read and the entry
+    /// re-simulates — visible in `status`, healed by the next run.
+    #[test]
+    fn torn_cache_write_is_quarantined_and_heals_on_the_next_run() {
+        let dir = tmpdir("torn");
+        let cache = dir.join("cache");
+        let spec_path = dir.join("spec.toml");
+        fs::write(
+            &spec_path,
+            format!(
+                "name = \"chaos-torn\"\narchs = [\"M8\"]\nworkloads = [\"2W1\"]\n\
+                 policies = [\"rr\"]\nseed = 9\ncache_dir = \"{}\"\n\
+                 [budget]\nmeasure_insts = 1500\nwarmup_insts = 600\nsearch_insts = 500\n",
+                cache.display()
+            ),
+        )
+        .unwrap();
+
+        // First run tears its only cache write.
+        let run = cli()
+            .arg("run")
+            .arg(&spec_path)
+            .args(["--workers", "1"])
+            .env("HDSMT_FAULT", "corrupt@put=1")
+            .output()
+            .unwrap();
+        assert!(run.status.success(), "stderr: {}", String::from_utf8_lossy(&run.stderr));
+
+        // Second run (no faults): the torn entry reads as corrupt, is
+        // quarantined, and the cell re-simulates.
+        let run2 = cli().arg("run").arg(&spec_path).args(["--workers", "1"]).output().unwrap();
+        let stderr2 = String::from_utf8_lossy(&run2.stderr);
+        assert!(run2.status.success(), "{stderr2}");
+        assert!(stderr2.contains("0 cache hits, 1 simulated"), "{stderr2}");
+
+        let status = cli().arg("status").arg(&spec_path).output().unwrap();
+        let out = String::from_utf8_lossy(&status.stdout);
+        assert!(out.contains("cache quarantined entries: 1"), "{out}");
+        assert!(
+            out.contains("cache corrupt entries: 0"),
+            "quarantine empties the live tree: {out}"
+        );
+
+        // Third run: healed — a clean hit.
+        let run3 = cli().arg("run").arg(&spec_path).args(["--workers", "1"]).output().unwrap();
+        let stderr3 = String::from_utf8_lossy(&run3.stderr);
+        assert!(stderr3.contains("1 cache hits, 0 simulated"), "{stderr3}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -40,6 +40,6 @@ pub use dynmap::{run_dynamic, DynMapResult};
 pub use mapping::{enumerate_mappings, heuristic_mapping, MappingPolicy, MissProfile};
 pub use proc::Processor;
 pub use profiler::profile_benchmark;
-pub use sim::{run_sim, SimResult};
+pub use sim::{run_sim, run_sim_interruptible, SimResult};
 pub use stats::{SimStats, ThreadStats};
 pub use timeline::Timeline;

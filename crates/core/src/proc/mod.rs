@@ -610,14 +610,33 @@ impl Processor {
     /// to single-stepping (golden-stats matrix + warp differential
     /// proptest), only the host time differs.
     pub fn run(&mut self) -> SimStats {
+        self.run_interruptible(&mut || false).expect("an uninterrupted run always completes")
+    }
+
+    /// [`Self::run`] with a cooperative abandon hook: `should_stop` is
+    /// polled every few thousand steps and, once it returns `true`, the
+    /// run is abandoned and `None` comes back (mid-flight statistics are
+    /// not meaningful). A run that completes is bit-identical to
+    /// [`Self::run`] — the poll only reads host time, never machine
+    /// state. This is how a per-cell watchdog deadline cancels a hung or
+    /// over-budget simulation without a second thread.
+    pub fn run_interruptible(&mut self, should_stop: &mut dyn FnMut() -> bool) -> Option<SimStats> {
+        // Polling cadence: cheap enough to be invisible next to `step()`,
+        // frequent enough that a deadline lands within milliseconds.
+        const POLL_MASK: u64 = 4096 - 1;
+        let mut steps: u64 = 0;
         while !self.stop && self.cycle < self.cfg.max_cycles {
             self.step();
             if self.activity == 0 && self.warp_enabled {
                 self.quiescent_steps += 1;
                 self.try_warp();
             }
+            steps += 1;
+            if steps & POLL_MASK == 0 && should_stop() {
+                return None;
+            }
         }
-        self.collect_stats()
+        Some(self.collect_stats())
     }
 
     /// Aggregate every subsystem's next-activity report. Only meaningful

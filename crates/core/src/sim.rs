@@ -27,6 +27,21 @@ pub fn run_sim(cfg: &SimConfig, workload: &[ThreadSpec], mapping: &[u8]) -> SimR
     SimResult { arch: cfg.arch.name.clone(), mapping: mapping.to_vec(), stats }
 }
 
+/// [`run_sim`] with a cooperative abandon hook (see
+/// [`Processor::run_interruptible`]): `None` means `should_stop` fired
+/// mid-simulation and the run was abandoned. A completed run is
+/// bit-identical to [`run_sim`].
+pub fn run_sim_interruptible(
+    cfg: &SimConfig,
+    workload: &[ThreadSpec],
+    mapping: &[u8],
+    should_stop: &mut dyn FnMut() -> bool,
+) -> Option<SimResult> {
+    let mut proc = Processor::new(cfg.clone(), workload, mapping);
+    let stats = proc.run_interruptible(should_stop)?;
+    Some(SimResult { arch: cfg.arch.name.clone(), mapping: mapping.to_vec(), stats })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
