@@ -8,13 +8,25 @@
 //!                       [--executors N] [--queue-cap N] [--shard I/N]
 //!                       [--supervise N] [--addr-file PATH]
 //!                       [--cell-deadline-ms N] [--cell-retries N]
+//!                       [--durable] [--no-journal]
+//! hdsmt-campaign fsck   [--cache DIR] [--tmp-age-secs N] [--gc]
+//!                       [--gc-age-secs N] [--repair-journal]
 //! ```
 //!
 //! `run` executes the campaign (cache-first) and prints the summary;
 //! `status` reports how much of the matrix is already cached without
 //! simulating anything; `export` runs (fully cached after a prior `run`)
 //! and writes `campaign.json`, `cells.csv`, and `summary.txt`; `serve`
-//! runs the sweep-service daemon (see `hdsmt_campaign::serve`).
+//! runs the sweep-service daemon (see `hdsmt_campaign::serve`); `fsck`
+//! verifies and repairs a cache tree — scrub + quarantine, orphaned-tmp
+//! reaping, write-ahead-journal torn-tail truncation, quarantine GC —
+//! and prints a machine-readable JSON report (see `hdsmt_campaign::fsck`).
+//!
+//! `serve` journals every accepted campaign to `<cache>/journal/` before
+//! acknowledging it and replays unfinished campaigns at startup
+//! (`--no-journal` opts out); `--durable` additionally fsyncs every
+//! cache entry before publishing it, extending the crash model from
+//! process death to host power loss.
 //!
 //! `serve --supervise n` runs the daemon as a fleet parent over `n`
 //! restart-supervised shard workers; `--addr-file` makes a worker report
@@ -72,6 +84,18 @@ struct Options {
     cell_retries: u32,
     /// Total deadline for the thin client's submit-and-wait poll loop.
     poll_timeout_secs: u64,
+    /// Fsync cache entries before publishing them (host-crash safety).
+    durable: bool,
+    /// Disable the write-ahead accept journal in `serve`.
+    no_journal: bool,
+    /// `fsck`: only reap `*.tmp` files at least this old.
+    tmp_age_secs: u64,
+    /// `fsck`: remove aged quarantine entries.
+    gc: bool,
+    /// `fsck`: age threshold for `--gc`.
+    gc_age_secs: u64,
+    /// `fsck`: truncate torn journal tails instead of just reporting.
+    repair_journal: bool,
 }
 
 fn usage() -> String {
@@ -80,7 +104,10 @@ fn usage() -> String {
      [--poll-timeout-secs N]\n       \
      hdsmt-campaign serve [--addr A] [--cache DIR] [--workers N] \
      [--executors N] [--queue-cap N] [--shard I/N] [--supervise N] \
-     [--addr-file PATH] [--cell-deadline-ms N] [--cell-retries N]"
+     [--addr-file PATH] [--cell-deadline-ms N] [--cell-retries N] \
+     [--durable] [--no-journal]\n       \
+     hdsmt-campaign fsck [--cache DIR] [--tmp-age-secs N] [--gc] \
+     [--gc-age-secs N] [--repair-journal]"
         .to_string()
 }
 
@@ -100,6 +127,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         cell_deadline_ms: None,
         cell_retries: 2,
         poll_timeout_secs: 3600,
+        durable: false,
+        no_journal: false,
+        tmp_age_secs: 15 * 60,
+        gc: false,
+        gc_age_secs: 7 * 24 * 3600,
+        repair_journal: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -157,6 +190,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.poll_timeout_secs =
                     v.parse::<u64>().map_err(|_| "--poll-timeout-secs: not a number")?;
             }
+            "--durable" => opts.durable = true,
+            "--no-journal" => opts.no_journal = true,
+            "--tmp-age-secs" => {
+                let v = it.next().ok_or("--tmp-age-secs needs a value")?;
+                opts.tmp_age_secs = v.parse::<u64>().map_err(|_| "--tmp-age-secs: not a number")?;
+            }
+            "--gc" => opts.gc = true,
+            "--gc-age-secs" => {
+                let v = it.next().ok_or("--gc-age-secs needs a value")?;
+                opts.gc_age_secs = v.parse::<u64>().map_err(|_| "--gc-age-secs: not a number")?;
+            }
+            "--repair-journal" => opts.repair_journal = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}\n{}", usage()));
             }
@@ -187,7 +232,7 @@ fn load(opts: &Options) -> Result<(CampaignSpec, ResultCache), String> {
     if let Some(dir) = &opts.cache_dir {
         spec.cache_dir = Some(dir.clone());
     }
-    let cache = engine::open_cache(&spec).map_err(|e| e.to_string())?;
+    let cache = engine::open_cache(&spec).map_err(|e| e.to_string())?.with_durable(opts.durable);
     Ok((spec, cache))
 }
 
@@ -251,6 +296,18 @@ fn run(args: Vec<String>) -> Result<(), String> {
             // count makes that visible here instead of just slow.
             println!("cache corrupt entries: {}", cache.corrupt_entries());
             println!("cache quarantined entries: {}", cache.quarantined_entries());
+            if let Some(age) = cache.quarantine_oldest_age() {
+                println!("cache quarantine oldest: {}s ago", age.as_secs());
+            }
+            println!("cache tmp files: {}", cache.tmp_files());
+            for j in hdsmt_campaign::fsck::journal_checks(cache.dir(), false)
+                .map_err(|e| e.to_string())?
+            {
+                println!(
+                    "journal {}: {} record(s), {} pending, {} torn byte(s)",
+                    j.file, j.records, j.pending, j.torn_bytes
+                );
+            }
             Ok(())
         }
         ("export", None) => {
@@ -271,6 +328,28 @@ fn run(args: Vec<String>) -> Result<(), String> {
             print!("{}", export::summary(&result));
             Ok(())
         }
+        ("fsck", _) => {
+            let cache_dir = opts.cache_dir.clone().unwrap_or_else(|| ".hdsmt-cache".into());
+            let fsck_opts = hdsmt_campaign::FsckOptions {
+                tmp_age: Duration::from_secs(opts.tmp_age_secs),
+                gc: opts.gc,
+                gc_age: Duration::from_secs(opts.gc_age_secs),
+                repair_journal: opts.repair_journal,
+            };
+            let report = hdsmt_campaign::fsck::fsck(std::path::Path::new(&cache_dir), &fsck_opts)
+                .map_err(|e| format!("fsck of {cache_dir}: {e}"))?;
+            // Machine-readable by contract: stdout is the JSON report,
+            // human commentary goes to stderr.
+            println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.0)?);
+            if !report.clean {
+                eprintln!(
+                    "fsck: tree NOT clean ({} quarantined, {} journal(s) with torn tails)",
+                    report.corrupt_quarantined,
+                    report.journals.iter().filter(|j| j.torn_bytes > 0 && !j.repaired).count()
+                );
+            }
+            Ok(())
+        }
         ("serve", _) => {
             if opts.supervise.is_some() && opts.shard.is_some() {
                 return Err("--supervise spawns its own shards; drop --shard".into());
@@ -285,6 +364,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 supervise: opts.supervise,
                 cell_deadline: opts.cell_deadline_ms.map(Duration::from_millis),
                 cell_retries: opts.cell_retries,
+                journal: !opts.no_journal,
+                durable: opts.durable,
                 ..ServerConfig::default()
             };
             let cache_dir = config.cache_dir.clone();

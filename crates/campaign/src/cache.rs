@@ -12,6 +12,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use hdsmt_core::SimResult;
 
@@ -65,6 +66,10 @@ pub enum EntryLookup {
 pub struct ResultCache {
     dir: PathBuf,
     telemetry: Arc<CacheTelemetry>,
+    /// When set, [`Self::put`] fsyncs the entry before the rename and
+    /// fsyncs the shard directory after it, extending the crash model
+    /// from process death to host power loss (`--durable`).
+    durable: bool,
 }
 
 impl ResultCache {
@@ -72,7 +77,13 @@ impl ResultCache {
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(ResultCache { dir, telemetry: Arc::new(CacheTelemetry::default()) })
+        Ok(ResultCache { dir, telemetry: Arc::new(CacheTelemetry::default()), durable: false })
+    }
+
+    /// Toggle fsync-before-rename writes (see the `durable` field).
+    pub fn with_durable(mut self, durable: bool) -> Self {
+        self.durable = durable;
+        self
     }
 
     pub fn dir(&self) -> &Path {
@@ -139,7 +150,7 @@ impl ResultCache {
     /// of silently overwritten. Losing the rename race (a concurrent
     /// process already quarantined it, or a writer just healed the key) is
     /// fine — the entry is gone from the live tree either way.
-    fn quarantine(&self, key: &str, reason: &str) {
+    pub(crate) fn quarantine(&self, key: &str, reason: &str) {
         let qdir = self.dir.join(QUARANTINE_DIR);
         let _ = fs::create_dir_all(&qdir);
         if fs::rename(self.path(key), qdir.join(format!("{key}.json"))).is_ok() {
@@ -209,7 +220,16 @@ impl ResultCache {
         let mut payload = serde_json::to_string_pretty(&entry).map_err(io_err)?.into_bytes();
         crate::fault::on_cache_put(&mut payload)?;
         fs::write(&tmp, payload)?;
+        if self.durable {
+            // Flush the entry's bytes before publishing the name, then
+            // make the rename itself durable: after a power loss the key
+            // either resolves to the complete entry or does not exist.
+            fs::File::open(&tmp)?.sync_all()?;
+        }
         fs::rename(&tmp, &final_path)?;
+        if self.durable {
+            crate::journal::fsync_dir(final_path.parent().unwrap())?;
+        }
         Ok(())
     }
 
@@ -239,6 +259,131 @@ impl ResultCache {
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Walk every live entry, quarantining the ones that fail to parse.
+    /// Returns `(entries_checked, corrupt_quarantined)`. This is the
+    /// `fsck` scrub pass: unlike the lazy lookup path it touches the
+    /// whole tree, so rot in cells no campaign is currently polling is
+    /// found too. Run it on a quiescent cache — a writer racing the scan
+    /// can publish an entry the walk misses (harmless: the next scrub
+    /// sees it).
+    pub fn scrub(&self) -> (usize, usize) {
+        let paths: Vec<PathBuf> = self.entry_paths().collect();
+        let mut quarantined = 0usize;
+        for path in &paths {
+            let rotten = fs::read_to_string(path)
+                .map(|t| serde_json::from_str::<CacheEntry>(&t).is_err())
+                .unwrap_or(true);
+            if rotten {
+                if let Some(key) = path.file_stem().and_then(|s| s.to_str()) {
+                    self.telemetry.corrupt.fetch_add(1, Ordering::Relaxed);
+                    self.quarantine(key, "failed to deserialize during scrub");
+                    quarantined += 1;
+                }
+            }
+        }
+        (paths.len(), quarantined)
+    }
+
+    /// Directories a killed writer can strand `*.tmp` files in: the
+    /// shard dirs (cache entries), `journal/` (compaction tmps), and
+    /// `.supervise/` (address files).
+    fn tmp_dirs(&self) -> Vec<PathBuf> {
+        let mut dirs: Vec<PathBuf> = fs::read_dir(&self.dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .filter(|d| {
+                let name = d.file_name();
+                let name = name.to_string_lossy();
+                let shard = name.len() == 2 && name.bytes().all(|b| b.is_ascii_hexdigit());
+                (shard || name == crate::journal::JOURNAL_DIR || name == ".supervise")
+                    && d.path().is_dir()
+            })
+            .map(|d| d.path())
+            .collect();
+        dirs.push(self.dir.clone());
+        dirs
+    }
+
+    /// Every orphan-candidate `*.tmp*` file under the cache tree.
+    fn tmp_paths(&self) -> Vec<PathBuf> {
+        self.tmp_dirs()
+            .into_iter()
+            .filter_map(|d| fs::read_dir(d).ok())
+            .flat_map(|entries| entries.flatten())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.is_file()
+                    && p.file_name().map(|n| n.to_string_lossy().contains(".tmp")).unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// Number of `*.tmp` files currently in the tree (status reporting).
+    pub fn tmp_files(&self) -> usize {
+        self.tmp_paths().len()
+    }
+
+    /// Delete `*.tmp` files older than `older_than` and return how many
+    /// were reaped. The age threshold is the safety margin that keeps a
+    /// racing *live* writer's seconds-old tmp file untouched; a file a
+    /// killed writer stranded only gets older. An unreadable mtime means
+    /// "not provably old" — the file is skipped, never reaped.
+    pub fn reap_tmp(&self, older_than: Duration) -> usize {
+        let mut reaped = 0usize;
+        for path in self.tmp_paths() {
+            let old = fs::metadata(&path)
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|m| m.elapsed().ok())
+                .is_some_and(|age| age >= older_than);
+            if old && fs::remove_file(&path).is_ok() {
+                reaped += 1;
+            }
+        }
+        reaped
+    }
+
+    /// Age of the oldest quarantined entry, if any — surfaced in stats
+    /// so forgotten quarantine evidence shows up instead of rotting
+    /// silently forever.
+    pub fn quarantine_oldest_age(&self) -> Option<Duration> {
+        fs::read_dir(self.dir.join(QUARANTINE_DIR))
+            .into_iter()
+            .flatten()
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .filter_map(|e| e.metadata().ok()?.modified().ok()?.elapsed().ok())
+            .max()
+    }
+
+    /// Remove quarantined entries (and their reason files) older than
+    /// `older_than`. Returns the number of entries removed. This is the
+    /// `fsck --gc` pass: quarantine is evidence, not a landfill.
+    pub fn quarantine_gc(&self, older_than: Duration) -> usize {
+        let qdir = self.dir.join(QUARANTINE_DIR);
+        let mut removed = 0usize;
+        for entry in fs::read_dir(&qdir).into_iter().flatten().flatten() {
+            let path = entry.path();
+            if path.extension().is_none_or(|x| x != "json") {
+                continue;
+            }
+            let old = entry
+                .metadata()
+                .ok()
+                .and_then(|m| m.modified().ok())
+                .and_then(|m| m.elapsed().ok())
+                .is_some_and(|age| age >= older_than);
+            if old && fs::remove_file(&path).is_ok() {
+                removed += 1;
+                if let Some(key) = path.file_stem().and_then(|s| s.to_str()) {
+                    let _ = fs::remove_file(qdir.join(format!("{key}.reason.txt")));
+                }
+            }
+        }
+        removed
     }
 }
 
@@ -326,6 +471,72 @@ mod tests {
         assert!(cache.get(&key).is_some());
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.quarantined_entries(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scrub_quarantines_rot_the_lookup_path_never_touched() {
+        let dir = tmpdir("scrub");
+        let cache = ResultCache::open(&dir).unwrap();
+        let good = ResultCache::key_for("{\"job\":10}");
+        let bad = ResultCache::key_for("{\"job\":11}");
+        cache.put(&good, "{\"job\":10}", &fake_result()).unwrap();
+        cache.put(&bad, "{\"job\":11}", &fake_result()).unwrap();
+        fs::write(dir.join(&bad[..2]).join(format!("{bad}.json")), "not json").unwrap();
+
+        let (checked, quarantined) = cache.scrub();
+        assert_eq!(checked, 2);
+        assert_eq!(quarantined, 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.quarantined_entries(), 1);
+        assert_eq!(cache.scrub(), (1, 0), "a second scrub finds a clean tree");
+
+        // --gc with a zero threshold clears the quarantine, reason files
+        // included; a huge threshold removes nothing.
+        assert_eq!(cache.quarantine_gc(Duration::from_secs(1 << 20)), 0);
+        assert!(cache.quarantine_oldest_age().is_some());
+        assert_eq!(cache.quarantine_gc(Duration::ZERO), 1);
+        assert_eq!(cache.quarantined_entries(), 0);
+        assert!(cache.quarantine_oldest_age().is_none());
+        assert!(
+            !dir.join(QUARANTINE_DIR).join(format!("{bad}.reason.txt")).exists(),
+            "gc removes the reason file with the entry"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tmp_reaping_respects_the_age_threshold() {
+        let dir = tmpdir("reap");
+        let cache = ResultCache::open(&dir).unwrap();
+        let key = ResultCache::key_for("{\"job\":20}");
+        cache.put(&key, "{\"job\":20}", &fake_result()).unwrap();
+        // Strand tmp files where killed writers leave them: a shard dir
+        // and the journal dir.
+        let shard = dir.join(&key[..2]);
+        fs::write(shard.join(format!("{key}.json.tmp.999.0")), "orphan").unwrap();
+        fs::create_dir_all(dir.join(crate::journal::JOURNAL_DIR)).unwrap();
+        fs::write(dir.join(crate::journal::JOURNAL_DIR).join("serve.wal.tmp"), "orphan").unwrap();
+        assert_eq!(cache.tmp_files(), 2);
+
+        // Fresh files survive a thresholded reap (they might be a live
+        // writer's), then a zero threshold takes them all.
+        assert_eq!(cache.reap_tmp(Duration::from_secs(1 << 20)), 0);
+        assert_eq!(cache.tmp_files(), 2);
+        assert_eq!(cache.reap_tmp(Duration::ZERO), 2);
+        assert_eq!(cache.tmp_files(), 0);
+        assert!(cache.contains(&key), "live entries are untouched");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_put_round_trips() {
+        let dir = tmpdir("durable");
+        let cache = ResultCache::open(&dir).unwrap().with_durable(true);
+        let key = ResultCache::key_for("{\"job\":30}");
+        cache.put(&key, "{\"job\":30}", &fake_result()).unwrap();
+        assert!(cache.get(&key).is_some());
+        assert_eq!(cache.tmp_files(), 0, "no tmp file survives a durable put");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -19,6 +19,9 @@
 //! | `corrupt@put=n`  | the n-th cache write is torn (payload truncated)     |
 //! | `err@put=n`      | the n-th cache write fails with an injected I/O error |
 //! | `err@get=n`      | the n-th cache lookup fails (served as a miss)       |
+//! | `kill@accept=n`  | abort right after the n-th journaled campaign accept |
+//! | `err@journal=n`  | the n-th journal append fails with an injected I/O error |
+//! | `torn@journal=n` | the n-th journal append persists half a frame, then the process aborts |
 //!
 //! Counters are per-process and count from 1, so a restarted worker
 //! replays the same schedule — which is exactly what makes supervised
@@ -37,6 +40,9 @@ pub struct FaultPlan {
     pub corrupt_put: Vec<u64>,
     pub err_put: Vec<u64>,
     pub err_get: Vec<u64>,
+    pub kill_accept: Vec<u64>,
+    pub err_journal: Vec<u64>,
+    pub torn_journal: Vec<u64>,
 }
 
 impl FaultPlan {
@@ -46,6 +52,9 @@ impl FaultPlan {
             && self.corrupt_put.is_empty()
             && self.err_put.is_empty()
             && self.err_get.is_empty()
+            && self.kill_accept.is_empty()
+            && self.err_journal.is_empty()
+            && self.torn_journal.is_empty()
     }
 }
 
@@ -62,6 +71,9 @@ pub fn parse_plan(text: &str) -> Result<FaultPlan, String> {
             "corrupt@put" => &mut plan.corrupt_put,
             "err@put" => &mut plan.err_put,
             "err@get" => &mut plan.err_get,
+            "kill@accept" => &mut plan.kill_accept,
+            "err@journal" => &mut plan.err_journal,
+            "torn@journal" => &mut plan.torn_journal,
             other => return Err(format!("unknown fault directive `{other}`")),
         };
         for n in counts.split(',').map(str::trim) {
@@ -96,6 +108,8 @@ mod active {
     pub(super) static SIMS: AtomicU64 = AtomicU64::new(0);
     pub(super) static PUTS: AtomicU64 = AtomicU64::new(0);
     pub(super) static GETS: AtomicU64 = AtomicU64::new(0);
+    pub(super) static ACCEPTS: AtomicU64 = AtomicU64::new(0);
+    pub(super) static JOURNALS: AtomicU64 = AtomicU64::new(0);
 
     /// The process-wide plan, read from `HDSMT_FAULT` exactly once. A
     /// malformed plan aborts loudly: silently running a chaos test with
@@ -183,19 +197,79 @@ pub fn on_cache_put(payload: &mut Vec<u8>) -> std::io::Result<()> {
     Ok(())
 }
 
+/// What [`on_journal_append`] decided for this frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JournalWrite {
+    /// Write the frame normally.
+    Write,
+    /// The frame was torn in place (`torn@journal`); the journal must
+    /// persist the half-frame and then abort the process, emulating a
+    /// power loss mid-append.
+    TornAbort,
+}
+
+/// Called right after a campaign accept is durably journaled, before the
+/// 202 is sent. May abort the process (`kill@accept`) — the canonical
+/// "daemon died between journal and reply" crash point.
+pub fn on_accept() {
+    #[cfg(feature = "fault-inject")]
+    {
+        use std::sync::atomic::Ordering;
+        if let Some(plan) = active::plan() {
+            let n = active::ACCEPTS.fetch_add(1, Ordering::Relaxed) + 1;
+            if plan.kill_accept.contains(&n) {
+                eprintln!("fault-inject: kill@accept={n} — aborting");
+                std::process::abort();
+            }
+        }
+    }
+}
+
+/// Called with each journal frame before it hits disk. May fail the
+/// append (`err@journal` → the API degrades to 503) or tear the frame
+/// (`torn@journal` → half the frame persists, then the journal aborts
+/// the process).
+#[cfg_attr(not(feature = "fault-inject"), allow(unused_variables))]
+pub fn on_journal_append(frame: &mut Vec<u8>) -> std::io::Result<JournalWrite> {
+    #[cfg(feature = "fault-inject")]
+    {
+        use std::sync::atomic::Ordering;
+        if let Some(plan) = active::plan() {
+            let n = active::JOURNALS.fetch_add(1, Ordering::Relaxed) + 1;
+            if plan.err_journal.contains(&n) {
+                eprintln!("fault-inject: err@journal={n}");
+                return Err(std::io::Error::other("injected journal write failure (err@journal)"));
+            }
+            if plan.torn_journal.contains(&n) {
+                eprintln!("fault-inject: torn@journal={n}");
+                frame.truncate(frame.len() / 2);
+                return Ok(JournalWrite::TornAbort);
+            }
+        }
+    }
+    let _ = frame;
+    Ok(JournalWrite::Write)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn parses_every_directive_kind_and_multi_counts() {
-        let plan =
-            parse_plan("kill@sim=3; hang@sim=1,2,7 ;corrupt@put=2;err@put=9;err@get=4").unwrap();
+        let plan = parse_plan(
+            "kill@sim=3; hang@sim=1,2,7 ;corrupt@put=2;err@put=9;err@get=4;\
+             kill@accept=1;err@journal=2;torn@journal=5",
+        )
+        .unwrap();
         assert_eq!(plan.kill_sim, vec![3]);
         assert_eq!(plan.hang_sim, vec![1, 2, 7]);
         assert_eq!(plan.corrupt_put, vec![2]);
         assert_eq!(plan.err_put, vec![9]);
         assert_eq!(plan.err_get, vec![4]);
+        assert_eq!(plan.kill_accept, vec![1]);
+        assert_eq!(plan.err_journal, vec![2]);
+        assert_eq!(plan.torn_journal, vec![5]);
         assert!(parse_plan("").unwrap().is_empty());
         assert!(parse_plan(" ; ").unwrap().is_empty());
     }
@@ -216,5 +290,9 @@ mod tests {
         let mut payload = b"{\"ok\":true}".to_vec();
         on_cache_put(&mut payload).unwrap();
         assert_eq!(payload, b"{\"ok\":true}");
+        on_accept();
+        let mut frame = vec![1u8, 2, 3, 4];
+        assert_eq!(on_journal_append(&mut frame).unwrap(), JournalWrite::Write);
+        assert_eq!(frame, vec![1, 2, 3, 4]);
     }
 }

@@ -1,0 +1,239 @@
+//! Cache-tree verification and repair — the `hdsmt-campaign fsck` verb.
+//!
+//! "The cache is the database", so it gets a database's integrity
+//! tooling. An fsck pass over a cache directory:
+//!
+//! 1. **Scrubs** every live entry: anything that fails to deserialize is
+//!    quarantined (atomic rename into `quarantine/` plus a reason file),
+//!    exactly as the lazy lookup path would have done eventually — but
+//!    eagerly, for cells no campaign is currently polling.
+//! 2. **Reaps** orphaned `*.tmp` files stranded by killed writers, but
+//!    only ones older than [`FsckOptions::tmp_age`], so a racing live
+//!    writer's in-flight tmp file is never touched.
+//! 3. **Checks** every `journal/*.wal` write-ahead journal: replays it,
+//!    reports complete records, pending campaigns, and torn tail bytes;
+//!    with [`FsckOptions::repair_journal`] the torn tail is truncated
+//!    away (crash-consistently, via tmp + fsync + rename).
+//! 4. Optionally (**`--gc`**) removes quarantined entries older than
+//!    [`FsckOptions::gc_age`] — quarantine is evidence, not a landfill.
+//!
+//! The report is machine-readable (the CLI prints it as JSON). `clean`
+//! means the live tree had no rot and no journal carries an unrepaired
+//! torn tail; the *presence* of tmp files, pending journal records, or
+//! quarantine evidence is expected operational state, not corruption,
+//! and does not fail the check.
+//!
+//! Run fsck on a quiescent cache. Every individual repair is atomic, so
+//! racing a live daemon cannot corrupt anything, but the report's counts
+//! can be stale the moment they are produced.
+
+use std::io;
+use std::path::Path;
+use std::time::Duration;
+
+use crate::cache::ResultCache;
+use crate::journal;
+
+/// Tuning knobs for an fsck pass.
+#[derive(Clone, Debug)]
+pub struct FsckOptions {
+    /// Only reap `*.tmp` files at least this old (safety margin for
+    /// racing live writers).
+    pub tmp_age: Duration,
+    /// Remove quarantined entries older than [`Self::gc_age`].
+    pub gc: bool,
+    /// Age threshold for `--gc`.
+    pub gc_age: Duration,
+    /// Truncate torn journal tails instead of just reporting them.
+    pub repair_journal: bool,
+}
+
+impl Default for FsckOptions {
+    fn default() -> Self {
+        FsckOptions {
+            tmp_age: Duration::from_secs(15 * 60),
+            gc: false,
+            gc_age: Duration::from_secs(7 * 24 * 3600),
+            repair_journal: false,
+        }
+    }
+}
+
+/// Replay summary of one `journal/*.wal` file.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct JournalCheck {
+    /// File name (`serve.wal`, `fleet.wal`, …).
+    pub file: String,
+    /// Complete, checksum-valid records.
+    pub records: u64,
+    /// Accepted campaigns without a terminal record — the work a
+    /// restarted daemon would resume.
+    pub pending: u64,
+    /// Bytes of torn tail after the last complete record.
+    pub torn_bytes: u64,
+    /// Whether this pass truncated the torn tail away.
+    pub repaired: bool,
+}
+
+/// Machine-readable result of an fsck pass.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct FsckReport {
+    pub cache_dir: String,
+    /// Live entries walked by the scrub.
+    pub entries_checked: u64,
+    /// Entries that parsed cleanly.
+    pub entries_valid: u64,
+    /// Entries quarantined by this pass.
+    pub corrupt_quarantined: u64,
+    /// Orphaned tmp files deleted by this pass.
+    pub tmp_reaped: u64,
+    /// Tmp files left in place (younger than the threshold).
+    pub tmp_remaining: u64,
+    /// Quarantined entries on disk after this pass.
+    pub quarantine_entries: u64,
+    /// Age of the oldest quarantined entry, seconds.
+    pub quarantine_oldest_secs: Option<u64>,
+    /// Quarantined entries removed by `--gc`.
+    pub quarantine_gc_removed: u64,
+    /// One summary per `journal/*.wal` file.
+    pub journals: Vec<JournalCheck>,
+    /// No rot found and no journal left with an unrepaired torn tail.
+    pub clean: bool,
+}
+
+/// Replay every `journal/*.wal` under `cache_dir`, optionally truncating
+/// torn tails. Shared by `fsck` and the `status` verb.
+pub fn journal_checks(cache_dir: &Path, repair: bool) -> io::Result<Vec<JournalCheck>> {
+    let mut checks = Vec::new();
+    for path in journal::journal_files(cache_dir) {
+        let replay = journal::replay_file(&path)?;
+        let mut repaired = false;
+        if repair && replay.torn_bytes > 0 {
+            journal::rewrite(&path, &replay.records)?;
+            repaired = true;
+        }
+        checks.push(JournalCheck {
+            file: path.file_name().unwrap_or_default().to_string_lossy().into_owned(),
+            records: replay.records.len() as u64,
+            pending: replay.pending.len() as u64,
+            torn_bytes: replay.torn_bytes,
+            repaired,
+        });
+    }
+    Ok(checks)
+}
+
+/// Run a full fsck pass over the cache at `cache_dir`.
+pub fn fsck(cache_dir: &Path, opts: &FsckOptions) -> io::Result<FsckReport> {
+    let cache = ResultCache::open(cache_dir)?;
+    let (checked, quarantined) = cache.scrub();
+    let tmp_reaped = cache.reap_tmp(opts.tmp_age);
+    let gc_removed = if opts.gc { cache.quarantine_gc(opts.gc_age) } else { 0 };
+    let journals = journal_checks(cache_dir, opts.repair_journal)?;
+    let torn_unrepaired = journals.iter().any(|j| j.torn_bytes > 0 && !j.repaired);
+    Ok(FsckReport {
+        cache_dir: cache_dir.display().to_string(),
+        entries_checked: checked as u64,
+        entries_valid: (checked - quarantined) as u64,
+        corrupt_quarantined: quarantined as u64,
+        tmp_reaped: tmp_reaped as u64,
+        tmp_remaining: cache.tmp_files() as u64,
+        quarantine_entries: cache.quarantined_entries() as u64,
+        quarantine_oldest_secs: cache.quarantine_oldest_age().map(|a| a.as_secs()),
+        quarantine_gc_removed: gc_removed as u64,
+        journals,
+        clean: quarantined == 0 && !torn_unrepaired,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{Journal, Record};
+    use hdsmt_core::{SimResult, SimStats};
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("hdsmt-fsck-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn fake_result() -> SimResult {
+        SimResult { arch: "M8".into(), mapping: vec![0], stats: SimStats::default() }
+    }
+
+    #[test]
+    fn fsck_quarantines_rot_reaps_orphans_and_repairs_torn_journals() {
+        let dir = tmpdir("full");
+        let cache = ResultCache::open(&dir).unwrap();
+        let good = ResultCache::key_for("{\"job\":1}");
+        let bad = ResultCache::key_for("{\"job\":2}");
+        cache.put(&good, "{\"job\":1}", &fake_result()).unwrap();
+        cache.put(&bad, "{\"job\":2}", &fake_result()).unwrap();
+        fs::write(dir.join(&bad[..2]).join(format!("{bad}.json")), "rot").unwrap();
+        fs::write(dir.join(&good[..2]).join(format!("{good}.json.tmp.1.0")), "orphan").unwrap();
+
+        // A journal with one resolved pair, one pending accept, and a
+        // hand-torn tail.
+        let (journal, _) = Journal::open(&dir, "serve").unwrap();
+        journal.append(&Record::accept("c1-aa", "one", "s1")).unwrap();
+        journal.append(&Record::done("c1-aa")).unwrap();
+        journal.append(&Record::accept("c2-bb", "two", "s2")).unwrap();
+        let wal = journal.path().to_path_buf();
+        drop(journal);
+        let mut bytes = fs::read(&wal).unwrap();
+        bytes.extend_from_slice(&[7u8; 5]);
+        fs::write(&wal, &bytes).unwrap();
+
+        let opts = FsckOptions { tmp_age: Duration::ZERO, ..FsckOptions::default() };
+        let report = fsck(&dir, &opts).unwrap();
+        assert_eq!(report.entries_checked, 2);
+        assert_eq!(report.entries_valid, 1);
+        assert_eq!(report.corrupt_quarantined, 1);
+        assert_eq!(report.tmp_reaped, 1);
+        assert_eq!(report.tmp_remaining, 0);
+        assert_eq!(report.quarantine_entries, 1);
+        assert_eq!(report.journals.len(), 1);
+        assert_eq!(report.journals[0].records, 3);
+        assert_eq!(report.journals[0].pending, 1, "c2-bb is still pending");
+        assert_eq!(report.journals[0].torn_bytes, 5);
+        assert!(!report.journals[0].repaired, "repair is opt-in");
+        assert!(!report.clean, "rot + torn tail → not clean");
+
+        // Repair pass: torn tail truncated, tree now clean.
+        let opts = FsckOptions { repair_journal: true, ..opts };
+        let report = fsck(&dir, &opts).unwrap();
+        assert_eq!(report.corrupt_quarantined, 0);
+        assert_eq!(report.journals[0].torn_bytes, 5, "reported before truncation");
+        assert!(report.journals[0].repaired);
+        assert!(report.clean, "quarantine evidence alone does not fail the check");
+        let replay = journal::replay_file(&wal).unwrap();
+        assert_eq!(replay.torn_bytes, 0, "the repair truncated the tail");
+        assert_eq!(replay.records.len(), 3);
+
+        // --gc clears the quarantine.
+        let opts = FsckOptions { gc: true, gc_age: Duration::ZERO, ..opts };
+        let report = fsck(&dir, &opts).unwrap();
+        assert_eq!(report.quarantine_gc_removed, 1);
+        assert_eq!(report.quarantine_entries, 0);
+        assert!(report.clean);
+
+        // The report serializes — it is the CLI's output contract.
+        let text = serde_json::to_string_pretty(&report).unwrap();
+        assert!(text.contains("\"clean\""), "{text}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsck_on_an_empty_cache_is_clean() {
+        let dir = tmpdir("empty");
+        let report = fsck(&dir, &FsckOptions::default()).unwrap();
+        assert!(report.clean);
+        assert_eq!(report.entries_checked, 0);
+        assert!(report.journals.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

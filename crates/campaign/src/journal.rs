@@ -1,0 +1,440 @@
+//! Durable write-ahead journal for accepted campaigns.
+//!
+//! The serve daemon's in-memory queue (and the supervisor's ledger) make
+//! an accepted-but-unfinished campaign a single-point-of-failure: a
+//! SIGKILL or host power loss silently drops it. The journal closes that
+//! hole: every accepted campaign is appended — and fsynced — to
+//! `<cache_dir>/journal/<role>.wal` *before* the 202 leaves the daemon,
+//! and marked with a terminal record when it completes. On startup the
+//! daemon replays the journal and resubmits every still-pending campaign
+//! through the ordinary cached [`crate::job::JobRunner`] path, which is
+//! idempotent by construction (finished cells are cache hits).
+//!
+//! # On-disk format
+//!
+//! A journal file is a sequence of length-prefixed, checksummed frames:
+//!
+//! ```text
+//! ┌──────────────┬────────────────────┬───────────────────┐
+//! │ len: u32 LE  │ fnv1a(payload): u64 LE │ payload (JSON)  │
+//! └──────────────┴────────────────────┴───────────────────┘
+//! ```
+//!
+//! The payload is one [`Record`] as JSON (`op` ∈ `accept`/`done`/
+//! `failed`, plus the campaign id and — for accepts — the verbatim spec
+//! text). Frames are append-only and each append is `fdatasync`ed, so
+//! after a crash the file is a prefix of valid frames followed by at most
+//! one torn frame. Replay stops at the first incomplete or
+//! checksum-failing frame and **discards the tail** instead of poisoning
+//! recovery; the pending set is then every `accept` without a matching
+//! terminal record. Opening the journal compacts it (pending accepts
+//! only) via tmp + fsync + rename + directory fsync, which also truncates
+//! any torn tail.
+//!
+//! Campaign ids are preserved across restarts: a client that got
+//! `{"id":"c3-…"}` before the crash can keep polling the same id after
+//! the daemon comes back.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Subdirectory of the cache root holding the journal files.
+pub const JOURNAL_DIR: &str = "journal";
+
+/// Sanity bound on a single frame's payload — anything larger is treated
+/// as a torn/garbage header, not an allocation request.
+const MAX_RECORD_LEN: usize = 16 * 1024 * 1024;
+
+pub const OP_ACCEPT: &str = "accept";
+pub const OP_DONE: &str = "done";
+pub const OP_FAILED: &str = "failed";
+
+/// One journal frame's payload.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Record {
+    /// `accept`, `done`, or `failed`.
+    pub op: String,
+    /// The campaign id the daemon handed out (`c…`/`f…`) — stable across
+    /// restarts.
+    pub id: String,
+    /// Display name (accepts only; empty otherwise).
+    pub name: String,
+    /// Verbatim spec text (accepts only; empty otherwise).
+    pub spec: String,
+}
+
+impl Record {
+    pub fn accept(id: &str, name: &str, spec: &str) -> Record {
+        Record { op: OP_ACCEPT.into(), id: id.into(), name: name.into(), spec: spec.into() }
+    }
+
+    pub fn done(id: &str) -> Record {
+        Record { op: OP_DONE.into(), id: id.into(), name: String::new(), spec: String::new() }
+    }
+
+    pub fn failed(id: &str) -> Record {
+        Record { op: OP_FAILED.into(), id: id.into(), name: String::new(), spec: String::new() }
+    }
+}
+
+/// FNV-1a 64-bit — the frame checksum. Not cryptographic; it only has to
+/// catch torn writes and bit rot, same as the retry-jitter hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn frame(record: &Record) -> io::Result<Vec<u8>> {
+    let payload = serde_json::to_string(record).map_err(|e| io::Error::other(e.0))?.into_bytes();
+    let mut buf = Vec::with_capacity(12 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    buf.extend_from_slice(&payload);
+    Ok(buf)
+}
+
+/// What a journal replay recovered.
+#[derive(Clone, Debug, Default)]
+pub struct Replay {
+    /// Every complete, checksum-valid record, in append order.
+    pub records: Vec<Record>,
+    /// Accepts without a matching terminal record — the campaigns the
+    /// daemon must resume.
+    pub pending: Vec<Record>,
+    /// Bytes discarded from the tail (torn frame, bad checksum, or
+    /// trailing garbage). Zero for a cleanly closed journal.
+    pub torn_bytes: u64,
+}
+
+/// Decode a journal byte stream. Never panics: the tail after the last
+/// complete frame is counted in [`Replay::torn_bytes`] and dropped.
+pub fn replay_bytes(bytes: &[u8]) -> Replay {
+    let mut records = Vec::new();
+    let mut off = 0usize;
+    while off + 12 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        let check = u64::from_le_bytes(bytes[off + 4..off + 12].try_into().unwrap());
+        if len == 0 || len > MAX_RECORD_LEN || off + 12 + len > bytes.len() {
+            break;
+        }
+        let payload = &bytes[off + 12..off + 12 + len];
+        if fnv1a(payload) != check {
+            break;
+        }
+        let Ok(record) = std::str::from_utf8(payload)
+            .map_err(|_| ())
+            .and_then(|text| serde_json::from_str::<Record>(text).map_err(|_| ()))
+        else {
+            break;
+        };
+        records.push(record);
+        off += 12 + len;
+    }
+    Replay { pending: pending_of(&records), records, torn_bytes: (bytes.len() - off) as u64 }
+}
+
+/// Replay a journal file; a missing file is an empty journal.
+pub fn replay_file(path: &Path) -> io::Result<Replay> {
+    match fs::read(path) {
+        Ok(bytes) => Ok(replay_bytes(&bytes)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Replay::default()),
+        Err(e) => Err(e),
+    }
+}
+
+/// The accepts in `records` that no later terminal record resolved.
+fn pending_of(records: &[Record]) -> Vec<Record> {
+    let mut pending: Vec<Record> = Vec::new();
+    for r in records {
+        match r.op.as_str() {
+            OP_ACCEPT if !pending.iter().any(|p| p.id == r.id) => pending.push(r.clone()),
+            OP_DONE | OP_FAILED => pending.retain(|p| p.id != r.id),
+            _ => {}
+        }
+    }
+    pending
+}
+
+/// The numeric sequence inside a campaign id (`c12-ab…` → 12, `f3-…` →
+/// 3). Recovery seeds the daemon's id counter past the replayed maximum
+/// so fresh submissions never collide with revived campaigns.
+pub fn id_seq(id: &str) -> u64 {
+    let digits: String = id
+        .chars()
+        .skip_while(|c| c.is_ascii_alphabetic())
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().unwrap_or(0)
+}
+
+/// Fsync a directory, making a just-renamed entry inside it durable.
+pub fn fsync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Every `*.wal` file under `<cache_dir>/journal/`.
+pub fn journal_files(cache_dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(cache_dir.join(JOURNAL_DIR))
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "wal"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// Rewrite a journal file to exactly `records`, crash-consistently: tmp
+/// file, fsync, rename over the original, fsync the directory. At any
+/// interruption point the file is either the old journal or the new one.
+pub fn rewrite(path: &Path, records: &[Record]) -> io::Result<()> {
+    let tmp = path.with_extension("wal.tmp");
+    let mut buf = Vec::new();
+    for r in records {
+        buf.extend_from_slice(&frame(r)?);
+    }
+    let mut f = File::create(&tmp)?;
+    f.write_all(&buf)?;
+    f.sync_all()?;
+    fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        fsync_dir(parent)?;
+    }
+    Ok(())
+}
+
+/// An open, appendable journal. Clone-free: owners share it behind an
+/// `Arc`. Appends take a mutex (frames must not interleave) and fsync
+/// before returning — that is the durability contract the 202 relies on.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+    /// Frames currently in the file (pending-at-open + appended since).
+    records: AtomicU64,
+    /// Campaigns resubmitted from this journal at startup (set by the
+    /// owner after recovery; surfaced in `GET /stats`).
+    replayed: AtomicU64,
+}
+
+impl Journal {
+    /// Path of the journal for `role` under `cache_dir`.
+    pub fn role_path(cache_dir: &Path, role: &str) -> PathBuf {
+        cache_dir.join(JOURNAL_DIR).join(format!("{role}.wal"))
+    }
+
+    /// Open (creating directories as needed) the journal for `role`,
+    /// replaying and compacting whatever a previous incarnation left.
+    /// Returns the journal plus the replay — `replay.pending` is the
+    /// work the caller must resume.
+    pub fn open(cache_dir: &Path, role: &str) -> io::Result<(Journal, Replay)> {
+        let path = Self::role_path(cache_dir, role);
+        fs::create_dir_all(path.parent().expect("role path has a parent"))?;
+        let replay = replay_file(&path)?;
+        // Compact unless the file already is exactly its pending set:
+        // truncates any torn tail and drops resolved accept/done pairs.
+        if replay.torn_bytes > 0 || replay.records.len() != replay.pending.len() {
+            rewrite(&path, &replay.pending)?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let journal = Journal {
+            path,
+            file: Mutex::new(file),
+            records: AtomicU64::new(replay.pending.len() as u64),
+            replayed: AtomicU64::new(0),
+        };
+        Ok((journal, replay))
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record and fsync it. Only returns `Ok` once the bytes
+    /// are on stable storage — callers answer the client *after* this.
+    /// I/O failures (ENOSPC, injected `err@journal`) surface as `Err` so
+    /// the API can degrade to 503 + Retry-After instead of lying.
+    pub fn append(&self, record: &Record) -> io::Result<()> {
+        let mut buf = frame(record)?;
+        let write = crate::fault::on_journal_append(&mut buf)?;
+        let mut file = self.file.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        file.write_all(&buf)?;
+        file.sync_data()?;
+        if matches!(write, crate::fault::JournalWrite::TornAbort) {
+            // The torn frame is durably on disk — exactly the state a
+            // power loss mid-append leaves — now die like one.
+            eprintln!("fault-inject: torn@journal — torn frame persisted, aborting");
+            std::process::abort();
+        }
+        self.records.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Frames currently in the file.
+    pub fn records(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+
+    pub fn set_replayed(&self, n: u64) {
+        self.replayed.store(n, Ordering::Relaxed);
+    }
+
+    pub fn replayed(&self) -> u64 {
+        self.replayed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("hdsmt-journal-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn append_replay_round_trip_and_pending_tracking() {
+        let dir = tmpdir("roundtrip");
+        let (journal, replay) = Journal::open(&dir, "serve").unwrap();
+        assert!(replay.records.is_empty());
+        journal.append(&Record::accept("c1-aa", "first", "spec-1")).unwrap();
+        journal.append(&Record::accept("c2-bb", "second", "spec-2")).unwrap();
+        journal.append(&Record::done("c1-aa")).unwrap();
+        assert_eq!(journal.records(), 3);
+        drop(journal);
+
+        let replay = replay_file(&Journal::role_path(&dir, "serve")).unwrap();
+        assert_eq!(replay.records.len(), 3);
+        assert_eq!(replay.torn_bytes, 0);
+        assert_eq!(replay.pending.len(), 1, "done campaigns are not pending");
+        assert_eq!(replay.pending[0].id, "c2-bb");
+        assert_eq!(replay.pending[0].spec, "spec-2");
+
+        // Re-opening compacts to the pending set and keeps appending.
+        let (journal, replay) = Journal::open(&dir, "serve").unwrap();
+        assert_eq!(replay.pending.len(), 1);
+        assert_eq!(journal.records(), 1, "compaction dropped the resolved pair");
+        journal.append(&Record::failed("c2-bb")).unwrap();
+        drop(journal);
+        let (journal, replay) = Journal::open(&dir, "serve").unwrap();
+        assert!(replay.pending.is_empty(), "failed is terminal too");
+        assert_eq!(journal.records(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_compacted_away() {
+        let dir = tmpdir("torn");
+        let (journal, _) = Journal::open(&dir, "serve").unwrap();
+        journal.append(&Record::accept("c1-aa", "one", "spec-1")).unwrap();
+        journal.append(&Record::accept("c2-bb", "two", "spec-2")).unwrap();
+        let path = journal.path().to_path_buf();
+        drop(journal);
+
+        // Append half a frame — what a crash mid-append leaves.
+        let torn = &frame(&Record::accept("c3-cc", "three", "spec-3")).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(&torn[..torn.len() / 2]);
+        fs::write(&path, &bytes).unwrap();
+
+        let replay = replay_file(&path).unwrap();
+        assert_eq!(replay.records.len(), 2, "complete frames all recover");
+        assert!(replay.torn_bytes > 0, "the torn tail is reported");
+        assert_eq!(replay.pending.len(), 2);
+
+        // A corrupted checksum mid-file stops replay at the corruption.
+        let mut flipped = fs::read(&path).unwrap();
+        flipped[14] ^= 0xff; // inside the first frame's payload
+        assert_eq!(replay_bytes(&flipped).records.len(), 0, "bad checksum stops replay");
+
+        // Open compacts: the torn tail is gone, the two accepts survive.
+        let (journal, replay) = Journal::open(&dir, "serve").unwrap();
+        assert_eq!(replay.pending.len(), 2);
+        assert_eq!(journal.records(), 2);
+        drop(journal);
+        let clean = replay_file(&path).unwrap();
+        assert_eq!(clean.torn_bytes, 0, "compaction truncated the torn tail");
+        assert_eq!(clean.records.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_accepts_and_unknown_ops_are_tolerated() {
+        let a = Record::accept("c1-aa", "one", "s");
+        let records = vec![
+            a.clone(),
+            a.clone(), // a replayed-then-recrashed daemon can double-accept
+            Record {
+                op: "future-op".into(),
+                id: "x".into(),
+                name: String::new(),
+                spec: String::new(),
+            },
+            Record::done("never-accepted"),
+        ];
+        assert_eq!(pending_of(&records), vec![a]);
+    }
+
+    #[test]
+    fn id_seq_parses_the_sequence_prefix() {
+        assert_eq!(id_seq("c12-deadbeef"), 12);
+        assert_eq!(id_seq("f3-00aa11"), 3);
+        assert_eq!(id_seq("garbage"), 0);
+        assert_eq!(id_seq(""), 0);
+    }
+
+    // The satellite property: truncating a valid journal at EVERY byte
+    // offset never panics and recovers exactly the records whose
+    // checksummed frames are complete.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        fn truncation_at_every_offset_recovers_exactly_the_complete_frames(
+            shapes in prop::collection::vec((0u8..3, 0usize..40, any::<u64>()), 1..7)
+        ) {
+            let records: Vec<Record> = shapes
+                .iter()
+                .enumerate()
+                .map(|(i, (op, spec_len, salt))| {
+                    let id = format!("c{}-{salt:08x}", i + 1);
+                    match op {
+                        0 => Record::accept(&id, &format!("camp-{i}"), &"s".repeat(*spec_len)),
+                        1 => Record::done(&id),
+                        _ => Record::failed(&id),
+                    }
+                })
+                .collect();
+            let mut bytes = Vec::new();
+            let mut ends = Vec::new(); // cumulative end offset of each frame
+            for r in &records {
+                bytes.extend_from_slice(&frame(r).unwrap());
+                ends.push(bytes.len());
+            }
+            for offset in 0..=bytes.len() {
+                let replay = replay_bytes(&bytes[..offset]);
+                let complete = ends.iter().take_while(|&&e| e <= offset).count();
+                prop_assert_eq!(
+                    &replay.records[..], &records[..complete],
+                    "offset {} of {}", offset, bytes.len()
+                );
+                prop_assert_eq!(
+                    replay.torn_bytes as usize,
+                    offset - ends[..complete].last().copied().unwrap_or(0),
+                    "offset {}", offset
+                );
+            }
+        }
+    }
+}

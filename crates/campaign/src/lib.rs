@@ -26,8 +26,10 @@ pub mod catalog;
 pub mod engine;
 pub mod export;
 pub mod fault;
+pub mod fsck;
 pub mod hash;
 pub mod job;
+pub mod journal;
 pub mod matrix;
 pub mod sched;
 pub mod serve;
@@ -40,9 +42,11 @@ pub use engine::{
     best_worst, run_campaign, run_campaign_observed, run_campaign_with, status, CampaignProgress,
     CampaignResult, CellResult,
 };
+pub use fsck::{FsckOptions, FsckReport};
 pub use job::{
     CampaignError, JobEvent, JobOutcome, JobRunner, JobSpec, JobThread, RunReport, Watchdog,
 };
+pub use journal::Journal;
 pub use matrix::{cell_shard, expand, Cell, Policy, ShardSpec};
 pub use sched::{default_workers, parallel_map, parallel_map_indexed};
 pub use spec::{Budget, CampaignSpec, ExtraWorkload};

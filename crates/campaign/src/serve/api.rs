@@ -154,6 +154,7 @@ fn submit(state: &ServerState, req: &Request) -> Response {
             Err(SubmitError::QueueFull | SubmitError::ShuttingDown) => {
                 error_response(503, "fleet is not accepting campaigns")
             }
+            Err(SubmitError::Journal(msg)) => journal_unavailable(&msg),
         };
     }
     match state.submit(spec_text) {
@@ -168,7 +169,17 @@ fn submit(state: &ServerState, req: &Request) -> Response {
         Err(SubmitError::ShuttingDown) => {
             error_response(503, "daemon is shutting down; not accepting campaigns")
         }
+        Err(SubmitError::Journal(msg)) => journal_unavailable(&msg),
     }
+}
+
+/// A failed journal append (full disk, injected fault) refuses the
+/// submission: the daemon must not 202 work it cannot promise to
+/// survive. Degrade to 503 + Retry-After — journal failures are usually
+/// transient (disk pressure), so tell the client to come back.
+fn journal_unavailable(msg: &str) -> Response {
+    error_response(503, format!("cannot journal the accept ({msg}); retry later"))
+        .with_retry_after(10)
 }
 
 /// `GET /workers` — fleet health. A non-supervising daemon answers with

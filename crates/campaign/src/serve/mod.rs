@@ -64,7 +64,8 @@
 //! seeded fault plan in `HDSMT_FAULT`: `;`-separated directives of the
 //! form `kind@counter=n[,n...]`, firing on the n-th event of a
 //! per-process counter (see [`crate::fault`] for the grammar — `kill@sim`,
-//! `hang@sim`, `corrupt@put`, `err@put`, `err@get`). The chaos e2e suite
+//! `hang@sim`, `corrupt@put`, `err@put`, `err@get`, `kill@accept`,
+//! `err@journal`, `torn@journal`). The chaos e2e suite
 //! drives kill/corrupt/hang matrices through the supervisor with
 //! single-threaded workers, so every failure fires at the same cell on
 //! every run. Without the feature (the default), every hook compiles to
@@ -94,6 +95,41 @@
 //! cache) resumes from the completed cells. Graceful shutdown (SIGINT or
 //! `POST /shutdown`) stops accepting work, cancels not-yet-started jobs,
 //! and lets in-flight simulations finish and cache before exiting 0.
+//!
+//! # Durability & recovery
+//!
+//! The cache makes finished *cells* durable; the write-ahead journal
+//! makes accepted *campaigns* durable. Before any `POST /campaigns`
+//! returns its 202, the accept — id, name, and the verbatim spec text —
+//! is appended to `<cache>/journal/<role>.wal` and fsynced (`serve`
+//! writes `serve.wal`, `serve --shard i/n` a per-shard file, and
+//! `serve --supervise` a `fleet.wal`). Completion appends a `done`
+//! (or `failed`) mark. Each record is a length-prefixed, checksummed
+//! frame (`u32 LE` length, `u64 LE` FNV-1a of the payload, JSON
+//! payload — see [`crate::journal`]), so a crash mid-append leaves at
+//! most one torn frame, which replay discards instead of poisoning
+//! recovery.
+//!
+//! On startup the daemon replays its journal, compacts it (pending
+//! accepts only, via tmp + fsync + rename), reaps orphaned `*.tmp`
+//! files older than a safety threshold, and resubmits every unfinished
+//! campaign — **with its original id** — through the ordinary cached
+//! JobRunner path. Replay is idempotent by construction: cells the
+//! previous incarnation finished are cache hits, so a SIGKILLed
+//! campaign resumes rather than restarts, with zero lost or duplicated
+//! cells. `GET /stats` reports `journal_records`, `journal_replayed`,
+//! and `tmp_reaped`.
+//!
+//! A journal append that fails (full disk, injected `err@journal`)
+//! refuses the submission with 503 + `Retry-After` — the daemon never
+//! acknowledges work it cannot promise to survive. `--no-journal`
+//! disables the journal entirely (supervised workers run this way: the
+//! fleet journal at the supervisor is their source of truth), and
+//! `--durable` extends the crash model from process death to host power
+//! loss by fsyncing every cache entry before its rename publishes it.
+//! `hdsmt-campaign fsck` (see [`crate::fsck`]) verifies and repairs a
+//! cache tree offline: scrub + quarantine, tmp reaping, torn-tail
+//! truncation, quarantine GC.
 
 pub mod api;
 pub mod http;
@@ -190,6 +226,8 @@ impl Server {
                     ..supervisor::SupervisorConfig::default()
                 },
                 state.cache.clone(),
+                state.journal_arc(),
+                state.take_recovered(),
             )?;
             state.set_supervisor(sup);
         }

@@ -66,6 +66,22 @@ impl<T> BoundedQueue<T> {
         Ok(())
     }
 
+    /// Enqueue bypassing the capacity bound (still refuses when closed).
+    /// Journal recovery must never drop a campaign the previous
+    /// incarnation already acknowledged with a 202 — a replayed backlog
+    /// larger than the queue bound is admitted whole, and backpressure
+    /// only applies to *new* submissions on top of it.
+    pub fn push_recovered(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
     /// Dequeue, blocking until an item arrives or the queue is closed.
     /// `None` means closed **and** drained — the executor should exit.
     pub fn pop(&self) -> Option<T> {
@@ -125,6 +141,19 @@ mod tests {
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), Some(3));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn recovered_pushes_are_capacity_exempt_but_not_close_exempt() {
+        let q = BoundedQueue::new(1);
+        assert_eq!(q.push(1), Ok(()));
+        assert_eq!(q.push(2), Err(PushError::Full));
+        assert_eq!(q.push_recovered(2), Ok(()), "recovery overrides the bound");
+        assert_eq!(q.len(), 2);
+        q.close();
+        assert_eq!(q.push_recovered(3), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
     }
 
     #[test]

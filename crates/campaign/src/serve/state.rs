@@ -9,6 +9,7 @@ use crate::cache::ResultCache;
 use crate::engine::{self, CampaignProgress, CampaignResult};
 use crate::hash::sha256_hex;
 use crate::job::{JobOutcome, JobRunner, RunReport};
+use crate::journal::{self, Journal, Record};
 use crate::matrix::{Cell, ShardSpec};
 use crate::serve::queue::{BoundedQueue, PushError};
 use crate::spec::CampaignSpec;
@@ -47,6 +48,17 @@ pub struct ServerConfig {
     /// Extra environment for supervised workers only (fault plans are
     /// injected here so the supervisor itself stays fault-free).
     pub child_env: Vec<(String, String)>,
+    /// Write a durable accept journal and replay it at startup. On by
+    /// default; supervised *worker* children run with `--no-journal`
+    /// because the fleet journal at the supervisor is their source of
+    /// truth (a worker restart is the supervisor's job, not replay's).
+    pub journal: bool,
+    /// Fsync cache entries before publishing them (`--durable`): extends
+    /// the crash model from process death to host power loss, at the
+    /// cost of one fsync + one directory fsync per simulated cell.
+    pub durable: bool,
+    /// Reap orphaned `*.tmp` files older than this at startup.
+    pub tmp_reap_age: std::time::Duration,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +76,9 @@ impl Default for ServerConfig {
             cell_deadline: None,
             cell_retries: 2,
             child_env: Vec::new(),
+            journal: true,
+            durable: false,
+            tmp_reap_age: std::time::Duration::from_secs(15 * 60),
         }
     }
 }
@@ -260,6 +275,10 @@ pub enum SubmitError {
     QueueFull,
     /// Daemon is draining for shutdown (503).
     ShuttingDown,
+    /// The accept could not be durably journaled (ENOSPC, injected
+    /// fault). The daemon must not acknowledge work it cannot promise to
+    /// survive, so this degrades to 503 + Retry-After.
+    Journal(String),
 }
 
 #[derive(Debug, Default)]
@@ -289,29 +308,120 @@ pub struct ServerState {
     /// Set once by `Server::start` when `config.supervise` is on; the API
     /// layer routes campaign verbs here instead of the local queue.
     supervisor: std::sync::OnceLock<Arc<crate::serve::supervisor::Supervisor>>,
+    /// The durable accept journal (absent with `--no-journal`).
+    journal: Option<Arc<Journal>>,
+    /// Pending accepts replayed from a fleet journal, parked here until
+    /// `Server::start` hands them to the supervisor (the supervisor does
+    /// not exist yet when `new()` replays).
+    recovered: Mutex<Vec<Record>>,
+    /// Orphaned tmp files reaped at startup.
+    tmp_reaped: u64,
 }
 
 impl ServerState {
     pub fn new(config: ServerConfig) -> std::io::Result<Self> {
-        let cache = ResultCache::open(&config.cache_dir)?;
-        Ok(ServerState {
+        let cache = ResultCache::open(&config.cache_dir)?.with_durable(config.durable);
+        // Reap what killed writers stranded before accepting new work;
+        // the age threshold protects other live daemons on this cache.
+        let tmp_reaped = cache.reap_tmp(config.tmp_reap_age) as u64;
+        let (journal, pending) = if config.journal {
+            let (journal, replay) =
+                Journal::open(std::path::Path::new(&config.cache_dir), &journal_role(&config))?;
+            (Some(Arc::new(journal)), replay.pending)
+        } else {
+            (None, Vec::new())
+        };
+        // Seed the id counter past every replayed campaign so fresh
+        // submissions never collide with revived ids.
+        let seq0 = pending.iter().map(|r| journal::id_seq(&r.id)).max().unwrap_or(0);
+        let state = ServerState {
             queue: BoundedQueue::new(config.queue_cap),
             config,
             cache,
             campaigns: Mutex::new(Vec::new()),
             shutdown: Arc::new(AtomicBool::new(false)),
             started: Instant::now(),
-            seq: AtomicU64::new(0),
+            seq: AtomicU64::new(seq0),
             jobs: JobTotals::default(),
             campaigns_done: AtomicU64::new(0),
             campaigns_failed: AtomicU64::new(0),
             supervisor: std::sync::OnceLock::new(),
-        })
+            journal,
+            recovered: Mutex::new(Vec::new()),
+            tmp_reaped,
+        };
+        if state.config.supervise.is_some() {
+            // The supervisor is built later by `Server::start`; park the
+            // replayed accepts for it to re-ledger.
+            *state.recovered.lock().unwrap() = pending;
+        } else {
+            state.recover_local(pending);
+        }
+        Ok(state)
+    }
+
+    /// Resubmit journal-replayed campaigns through the ordinary executor
+    /// path, preserving their ids. Idempotent by construction: every
+    /// already-finished cell is a cache hit, so a campaign that was 90%
+    /// done re-runs as 10% simulation. A spec that no longer parses
+    /// (schema drift across an upgrade) is marked failed in the journal
+    /// rather than wedging recovery forever.
+    fn recover_local(&self, pending: Vec<Record>) {
+        let n = pending.len() as u64;
+        for rec in pending {
+            match self.revive(&rec) {
+                Ok(entry) => {
+                    self.campaigns.lock().unwrap().push(entry.clone());
+                    if self.queue.push_recovered(entry).is_err() {
+                        // Only possible if the queue is already closed —
+                        // leave the record pending for the next restart.
+                        self.campaigns.lock().unwrap().retain(|e| e.id != rec.id);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("journal replay: dropping campaign {}: {}", rec.id, e);
+                    self.journal_mark(&Record::failed(&rec.id));
+                }
+            }
+        }
+        if let Some(journal) = &self.journal {
+            journal.set_replayed(n);
+        }
+    }
+
+    fn revive(&self, rec: &Record) -> Result<Arc<CampaignEntry>, String> {
+        let mut spec = CampaignSpec::parse(&rec.spec).map_err(|e| e.0)?;
+        spec.cache_dir = Some(self.config.cache_dir.clone());
+        spec.workers = Some(self.config.sim_workers as u64);
+        let catalog = engine::catalog_for(&spec);
+        crate::matrix::expand(&spec, &catalog).map_err(|e| e.0)?;
+        Ok(Arc::new(CampaignEntry::new(rec.id.clone(), spec)))
+    }
+
+    /// Append a terminal (`done`/`failed`) record, best-effort: a failed
+    /// mark only costs a redundant — idempotent — replay next restart.
+    fn journal_mark(&self, record: &Record) {
+        if let Some(journal) = &self.journal {
+            if let Err(e) = journal.append(record) {
+                eprintln!("journal: failed to mark {} {}: {}", record.id, record.op, e);
+            }
+        }
     }
 
     /// The fleet supervisor, when this daemon runs in `--supervise` mode.
     pub fn supervisor(&self) -> Option<&Arc<crate::serve::supervisor::Supervisor>> {
         self.supervisor.get()
+    }
+
+    /// The accept journal, for sharing with the supervisor.
+    pub(crate) fn journal_arc(&self) -> Option<Arc<Journal>> {
+        self.journal.clone()
+    }
+
+    /// Pending fleet accepts replayed at startup (supervise mode only);
+    /// drains the parked list.
+    pub(crate) fn take_recovered(&self) -> Vec<Record> {
+        std::mem::take(&mut self.recovered.lock().unwrap())
     }
 
     pub(crate) fn set_supervisor(&self, sup: Arc<crate::serve::supervisor::Supervisor>) {
@@ -363,12 +473,24 @@ impl ServerState {
         let digest = sha256_hex(spec_text.as_bytes());
         let id = format!("c{seq}-{}", &digest[..8]);
         let entry = Arc::new(CampaignEntry::new(id, spec));
+        // Journal the accept — durably, *before* the 202 leaves the
+        // daemon. If the journal cannot promise the campaign will survive
+        // a crash, the daemon refuses the work instead of lying.
+        if let Some(journal) = &self.journal {
+            journal
+                .append(&Record::accept(&entry.id, &entry.name, spec_text))
+                .map_err(|e| SubmitError::Journal(e.to_string()))?;
+        }
+        crate::fault::on_accept();
         self.campaigns.lock().unwrap().push(entry.clone());
         match self.queue.push(entry.clone()) {
             Ok(()) => Ok(entry),
             Err(push_err) => {
-                // Un-register so a rejected submission leaves no ghost.
+                // Un-register so a rejected submission leaves no ghost —
+                // including in the journal, or the rejected accept would
+                // be resurrected on every restart.
                 self.campaigns.lock().unwrap().retain(|e| e.id != entry.id);
+                self.journal_mark(&Record::failed(&entry.id));
                 Err(match push_err {
                     PushError::Full => SubmitError::QueueFull,
                     PushError::Closed => SubmitError::ShuttingDown,
@@ -411,16 +533,21 @@ impl ServerState {
             Ok(result) => {
                 self.campaigns_done.fetch_add(1, Ordering::Relaxed);
                 entry.finish(Ok(result));
+                self.journal_mark(&Record::done(&entry.id));
             }
             Err(e) if self.is_shutting_down() => {
                 entry.finish(Err((
                     CampaignPhase::Cancelled,
                     format!("interrupted by shutdown; resubmit to resume from the cache ({e})"),
                 )));
+                // Deliberately NOT journal-marked: a shutdown-cancelled
+                // campaign stays pending, so the next incarnation resumes
+                // it automatically from the cache.
             }
             Err(e) => {
                 self.campaigns_failed.fetch_add(1, Ordering::Relaxed);
                 entry.finish(Err((CampaignPhase::Failed, e.0)));
+                self.journal_mark(&Record::failed(&entry.id));
             }
         }
     }
@@ -463,7 +590,25 @@ impl ServerState {
             cache: self.cache.counters(),
             cache_entries: self.cache.len(),
             cache_quarantined: self.cache.quarantined_entries(),
+            quarantine_oldest_secs: self.cache.quarantine_oldest_age().map(|a| a.as_secs()),
+            journal_records: self.journal.as_ref().map_or(0, |j| j.records()),
+            journal_replayed: self.journal.as_ref().map_or(0, |j| j.replayed()),
+            tmp_reaped: self.tmp_reaped,
         }
+    }
+}
+
+/// Which `journal/*.wal` file this daemon owns. Shard workers sharing a
+/// cache directory each get their own journal; the supervisor's fleet
+/// ledger gets another. The role is part of the filename so concurrent
+/// daemons never interleave appends in one file.
+fn journal_role(config: &ServerConfig) -> String {
+    if config.supervise.is_some() {
+        "fleet".to_string()
+    } else if let Some(shard) = config.shard {
+        format!("serve-shard-{}", shard.label().replace('/', "-of-"))
+    } else {
+        "serve".to_string()
     }
 }
 
@@ -499,4 +644,13 @@ pub struct ServerStats {
     /// Entries currently sitting in the cache's `quarantine/` directory
     /// (on-disk count, not since-start).
     pub cache_quarantined: usize,
+    /// Age of the oldest quarantined entry, seconds — forgotten evidence
+    /// shows up here instead of rotting silently.
+    pub quarantine_oldest_secs: Option<u64>,
+    /// Frames currently in this daemon's write-ahead journal.
+    pub journal_records: u64,
+    /// Campaigns resubmitted from the journal at startup.
+    pub journal_replayed: u64,
+    /// Orphaned `*.tmp` files reaped at startup.
+    pub tmp_reaped: u64,
 }

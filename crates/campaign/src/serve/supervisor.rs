@@ -41,6 +41,7 @@ use crate::cache::ResultCache;
 use crate::engine::{self, CampaignResult};
 use crate::hash::sha256_hex;
 use crate::job::JobRunner;
+use crate::journal::{self, Journal, Record};
 use crate::serve::http::{http_get, http_post, RetryPolicy};
 use crate::serve::state::{CampaignSnapshot, CellCounts, SearchCounts, SubmitError};
 use crate::spec::CampaignSpec;
@@ -159,6 +160,10 @@ struct LedgerEntry {
     name: String,
     spec_text: String,
     result: Option<CampaignResult>,
+    /// Whether a terminal (`done`/`failed`) record has been appended to
+    /// the fleet journal for this campaign — appended once, by the
+    /// monitor, when the aggregate status settles.
+    done_logged: bool,
 }
 
 struct Inner {
@@ -176,6 +181,10 @@ pub struct Supervisor {
     inner: Mutex<Inner>,
     stop: Arc<AtomicBool>,
     monitor: Mutex<Option<JoinHandle<()>>>,
+    /// The fleet's write-ahead journal (`fleet.wal`), shared with the
+    /// owning [`crate::serve::ServerState`]. Workers run `--no-journal`;
+    /// this is the single source of truth for accepted fleet campaigns.
+    journal: Option<Arc<Journal>>,
 }
 
 /// JSON shape of one row of `GET /workers`.
@@ -199,10 +208,26 @@ pub struct FleetReport {
 }
 
 impl Supervisor {
-    /// Spawn the fleet and its monitor thread.
-    pub fn start(config: SupervisorConfig, cache: ResultCache) -> std::io::Result<Arc<Supervisor>> {
+    /// Spawn the fleet and its monitor thread. `recovered` is the
+    /// pending accepts replayed from a previous incarnation's fleet
+    /// journal — they are re-ledgered with their original ids, and the
+    /// monitor backfills them into workers exactly like any other
+    /// ledgered campaign (idempotent: finished cells are cache hits).
+    pub fn start(
+        config: SupervisorConfig,
+        cache: ResultCache,
+        journal: Option<Arc<Journal>>,
+        recovered: Vec<Record>,
+    ) -> std::io::Result<Arc<Supervisor>> {
         let handshake_dir = std::path::Path::new(&config.cache_dir).join(".supervise");
         std::fs::create_dir_all(&handshake_dir)?;
+        // A SIGKILLed previous incarnation leaves its workers' address
+        // files behind; trusting one would point this supervisor at a
+        // dead port (or worse, an unrelated process that reused it).
+        let stale = clean_stale_addr_files(&config.cache_dir);
+        if stale > 0 {
+            eprintln!("supervisor: removed {stale} stale worker address file(s)");
+        }
         let workers = (0..config.workers.max(1))
             .map(|index| Worker {
                 index,
@@ -214,12 +239,27 @@ impl Supervisor {
                 snapshots: HashMap::new(),
             })
             .collect();
+        let seq = recovered.iter().map(|r| journal::id_seq(&r.id)).max().unwrap_or(0);
+        let ledger: Vec<LedgerEntry> = recovered
+            .into_iter()
+            .map(|rec| LedgerEntry {
+                id: rec.id,
+                name: rec.name,
+                spec_text: rec.spec,
+                result: None,
+                done_logged: false,
+            })
+            .collect();
+        if let Some(j) = &journal {
+            j.set_replayed(ledger.len() as u64);
+        }
         let supervisor = Arc::new(Supervisor {
             config,
             cache,
-            inner: Mutex::new(Inner { workers, ledger: Vec::new(), seq: 0 }),
+            inner: Mutex::new(Inner { workers, ledger, seq }),
             stop: Arc::new(AtomicBool::new(false)),
             monitor: Mutex::new(None),
+            journal,
         });
         // First spawn happens on the monitor's first tick (every worker
         // starts in an expired Backoff), so startup and restart share one
@@ -266,7 +306,7 @@ impl Supervisor {
         let now = Instant::now();
         let mut guard = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let Inner { workers, ledger, .. } = &mut *guard;
-        for w in workers {
+        for w in workers.iter_mut() {
             // A reaped child trumps whatever phase says: SIGKILL, abort(),
             // or a clean-but-unexpected exit all land here.
             if let Some(child) = w.child.as_mut() {
@@ -293,7 +333,14 @@ impl Supervisor {
             match action {
                 Action::Spawn => self.spawn_worker(w, now),
                 Action::Handshake { since } => {
-                    if let Some(addr) = read_addr_file(&w.addr_file) {
+                    // An address file alone is not proof of life: a stale
+                    // file (previous SIGKILLed incarnation, or a worker
+                    // that died right after writing it) points at a dead
+                    // port. Only a live `/healthz` on that address
+                    // promotes the worker to Up.
+                    let live_addr = read_addr_file(&w.addr_file)
+                        .filter(|addr| matches!(http_get(addr, "/healthz"), Ok((200, _))));
+                    if let Some(addr) = live_addr {
                         eprintln!("supervisor: worker {} up at {addr}", w.index);
                         w.phase = Phase::Up { addr, missed: 0 };
                     } else if now.duration_since(since) > self.config.spawn_timeout {
@@ -322,6 +369,23 @@ impl Supervisor {
                     }
                 },
                 Action::Idle => {}
+            }
+        }
+        // Journal terminal marks once per campaign, from the aggregate
+        // view: `done` and `failed` are settled; `degraded`/`cancelled`
+        // stay pending so the next incarnation resumes them.
+        if let Some(j) = &self.journal {
+            for entry in ledger.iter_mut().filter(|e| !e.done_logged) {
+                let status = aggregate(entry, workers).status;
+                let record = match status.as_str() {
+                    "done" => Record::done(&entry.id),
+                    "failed" => Record::failed(&entry.id),
+                    _ => continue,
+                };
+                match j.append(&record) {
+                    Ok(()) => entry.done_logged = true,
+                    Err(e) => eprintln!("fleet journal: failed to mark {}: {e}", entry.id),
+                }
             }
         }
     }
@@ -369,7 +433,11 @@ impl Supervisor {
             .arg("--executors")
             .arg("1")
             .arg("--cell-retries")
-            .arg(self.config.cell_retries.to_string());
+            .arg(self.config.cell_retries.to_string())
+            // The fleet journal is the source of truth for accepted
+            // campaigns; per-worker journals would replay every backfilled
+            // spec a second time on each restart.
+            .arg("--no-journal");
         if let Some(d) = self.config.cell_deadline {
             cmd.arg("--cell-deadline-ms").arg(d.as_millis().to_string());
         }
@@ -399,13 +467,22 @@ impl Supervisor {
         crate::matrix::expand(&spec, &catalog).map_err(|e| SubmitError::Invalid(e.0))?;
 
         let mut guard = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let id = format!("f{}-{}", guard.seq + 1, &sha256_hex(spec_text.as_bytes())[..8]);
+        // Durably journal the accept before the ledger (and thus the 202)
+        // sees it — an accept the journal cannot promise to survive is
+        // refused, not acknowledged.
+        if let Some(j) = &self.journal {
+            j.append(&Record::accept(&id, spec.display_name(), spec_text))
+                .map_err(|e| SubmitError::Journal(e.to_string()))?;
+        }
+        crate::fault::on_accept();
         guard.seq += 1;
-        let id = format!("f{}-{}", guard.seq, &sha256_hex(spec_text.as_bytes())[..8]);
         guard.ledger.push(LedgerEntry {
             id: id.clone(),
             name: spec.display_name().to_string(),
             spec_text: spec_text.to_string(),
             result: None,
+            done_logged: false,
         });
         let Inner { workers, ledger, .. } = &mut *guard;
         let entry = ledger.last().expect("just pushed");
@@ -553,6 +630,26 @@ fn kill(w: &mut Worker) {
     w.child = None;
 }
 
+/// Remove every `*.addr` (and stranded `*.tmp`) file under
+/// `<cache_dir>/.supervise/`, returning how many were removed. A fresh
+/// supervisor must start from a clean handshake directory: address files
+/// left by a SIGKILLed previous incarnation point at dead ports — or at
+/// ports the OS has since handed to unrelated processes.
+pub fn clean_stale_addr_files(cache_dir: &str) -> usize {
+    let dir = std::path::Path::new(cache_dir).join(".supervise");
+    let mut removed = 0usize;
+    for entry in std::fs::read_dir(&dir).into_iter().flatten().flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let stale = name.ends_with(".addr") || name.contains(".tmp");
+        if stale && path.is_file() && std::fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
 /// The worker wrote its bound address with tmp+rename, so a read sees
 /// either nothing or a complete `host:port` line.
 fn read_addr_file(path: &std::path::Path) -> Option<String> {
@@ -696,5 +793,36 @@ fn aggregate(entry: &LedgerEntry, workers: &[Worker]) -> CampaignSnapshot {
         cells,
         search,
         error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stale_addr_files_are_removed_on_startup() {
+        let dir =
+            std::env::temp_dir().join(format!("hdsmt-supervisor-stale-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let handshake = dir.join(".supervise");
+        std::fs::create_dir_all(&handshake).unwrap();
+        // What a SIGKILLed incarnation leaves behind: address files
+        // pointing at dead ports and a stranded tmp from an in-flight
+        // atomic write.
+        std::fs::write(handshake.join("worker-0.addr"), "127.0.0.1:1\n").unwrap();
+        std::fs::write(handshake.join("worker-1.addr"), "127.0.0.1:2\n").unwrap();
+        std::fs::write(handshake.join("worker-2.addr.tmp"), "127.0.0").unwrap();
+        std::fs::write(handshake.join("unrelated.txt"), "keep me").unwrap();
+
+        let cache_dir = dir.to_string_lossy().into_owned();
+        assert_eq!(clean_stale_addr_files(&cache_dir), 3);
+        assert!(!handshake.join("worker-0.addr").exists());
+        assert!(!handshake.join("worker-2.addr.tmp").exists());
+        assert!(handshake.join("unrelated.txt").exists(), "only handshake files are removed");
+        assert_eq!(clean_stale_addr_files(&cache_dir), 0, "idempotent");
+        // A cache dir with no .supervise/ at all is fine too.
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(clean_stale_addr_files(&cache_dir), 0);
     }
 }

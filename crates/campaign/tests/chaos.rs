@@ -228,6 +228,273 @@ fn sigkilled_worker_restarts_and_the_campaign_still_completes_exactly() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+// ------------------------------------ crash-consistent daemon (journal)
+//
+// These spawn the test-built binary as a real daemon process, so a
+// SIGKILL takes out the whole server — journal, queue, executors — and
+// recovery runs through the startup replay path exactly as it would in
+// production.
+
+use std::process::{Child, Command, Stdio};
+
+/// Spawn `hdsmt-campaign serve` as a child process on an ephemeral port
+/// and wait for its `--addr-file` handshake plus a live `/healthz`.
+fn spawn_daemon(
+    dir: &Path,
+    cache: &Path,
+    tag: &str,
+    extra: &[&str],
+    env: &[(&str, &str)],
+) -> (Child, String) {
+    let addr_file = dir.join(format!("addr-{tag}"));
+    let _ = fs::remove_file(&addr_file);
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_hdsmt-campaign"));
+    cmd.arg("serve")
+        .args(["--addr", "127.0.0.1:0"])
+        .arg("--addr-file")
+        .arg(&addr_file)
+        .arg("--cache")
+        .arg(cache)
+        .args(["--workers", "1", "--executors", "1"])
+        .args(extra)
+        .stdin(Stdio::null());
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let mut child = cmd.spawn().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(text) = fs::read_to_string(&addr_file) {
+            let addr = text.trim().to_string();
+            if addr.contains(':') && matches!(http_get(&addr, "/healthz"), Ok((200, _))) {
+                return (child, addr);
+            }
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            panic!("daemon `{tag}` exited before its handshake: {status}");
+        }
+        assert!(Instant::now() < deadline, "daemon `{tag}` never came up");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn sigkill(child: &mut Child) {
+    assert!(Command::new("kill").args(["-9", &child.id().to_string()]).status().unwrap().success());
+    let _ = child.wait();
+}
+
+/// Graceful drain: `POST /shutdown`, then reap the process.
+fn shutdown_daemon(mut child: Child, addr: &str) {
+    let _ = http_post(addr, "/shutdown", "");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while Instant::now() < deadline {
+        if let Ok(Some(_)) = child.try_wait() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let _ = child.kill();
+    panic!("daemon did not exit after /shutdown");
+}
+
+fn stats(addr: &str) -> serde_json::Value {
+    let (status, body) = http_get(addr, "/stats").unwrap();
+    assert_eq!(status, 200, "{body}");
+    json(&body)
+}
+
+fn journal_replayed(addr: &str) -> u64 {
+    stats(addr).get("journal_replayed").and_then(|v| v.as_u64()).unwrap()
+}
+
+/// Run `hdsmt-campaign fsck` on a cache and parse its JSON report.
+fn fsck_report(cache: &Path) -> serde_json::Value {
+    let out = Command::new(env!("CARGO_BIN_EXE_hdsmt-campaign"))
+        .arg("fsck")
+        .arg("--cache")
+        .arg(cache)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "fsck: {}", String::from_utf8_lossy(&out.stderr));
+    json(&String::from_utf8_lossy(&out.stdout))
+}
+
+fn assert_fsck_clean(cache: &Path) {
+    let report = fsck_report(cache);
+    assert_eq!(report.get("clean").and_then(|v| v.as_bool()), Some(true), "{report:?}");
+    assert_eq!(report.get("corrupt_quarantined").and_then(|v| v.as_u64()), Some(0), "{report:?}");
+}
+
+/// The `cells` array of an independent single-worker engine run on a
+/// fresh cache — the ground truth a recovered daemon must match.
+fn reference_cells(spec_text: &str, cache: &Path) -> serde_json::Value {
+    let mut spec = hdsmt_campaign::CampaignSpec::parse(spec_text).unwrap();
+    spec.cache_dir = Some(cache.to_string_lossy().into_owned());
+    spec.workers = Some(1);
+    let catalog = hdsmt_campaign::engine::catalog_for(&spec);
+    let runner = JobRunner::new(1, Some(ResultCache::open(cache).unwrap()));
+    let result = hdsmt_campaign::run_campaign_with(&spec, &catalog, &runner).unwrap();
+    json(&hdsmt_campaign::export::to_json(&result)).get("cells").unwrap().clone()
+}
+
+/// Poll `/campaigns/:id` until at least one cell has concluded, so a
+/// kill lands mid-campaign rather than before any work happened.
+fn wait_progress(addr: &str, id: &str) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (_, body) = http_get(addr, &format!("/campaigns/{id}")).unwrap();
+        let snap = json(&body);
+        if cell_count(&snap, "done") + cell_count(&snap, "cached") >= 1 {
+            return;
+        }
+        assert!(Instant::now() < deadline, "no progress before the kill: {snap:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn sigkilled_daemon_replays_its_journal_and_completes_the_campaign() {
+    let dir = tmpdir("daemon-kill");
+    let cache = dir.join("cache");
+    let (mut first, addr) = spawn_daemon(&dir, &cache, "a", &["--durable"], &[]);
+    let id = submit(&addr, SLOW_SPEC);
+    assert!(id.starts_with('c'), "{id}");
+
+    // Let it conclude at least one cell, then SIGKILL the whole daemon.
+    wait_progress(&addr, &id);
+    sigkill(&mut first);
+
+    // Restart over the same cache: the journaled accept replays, the
+    // campaign keeps its id, and it finishes exactly — no cell lost,
+    // none duplicated, pre-kill work served from the cache.
+    let (second, addr) = spawn_daemon(&dir, &cache, "b", &["--durable"], &[]);
+    assert_eq!(journal_replayed(&addr), 1);
+    let snap = wait_terminal(&addr, &id);
+    assert_eq!(snap.get("status").and_then(|s| s.as_str()), Some("done"), "{snap:?}");
+    assert_eq!(cell_count(&snap, "total"), 8, "{snap:?}");
+    assert_eq!(cell_count(&snap, "failed"), 0, "{snap:?}");
+    assert_eq!(cell_count(&snap, "done") + cell_count(&snap, "cached"), 8, "{snap:?}");
+
+    // Byte-identical results, and cell-for-cell identical to an
+    // undisturbed run on a fresh cache.
+    let (status, body1) = http_get(&addr, &format!("/campaigns/{id}/results")).unwrap();
+    assert_eq!(status, 200, "{body1}");
+    let (_, body2) = http_get(&addr, &format!("/campaigns/{id}/results")).unwrap();
+    assert_eq!(body1, body2, "results must replay bit-identically");
+    assert_eq!(
+        json(&body1).get("cells").unwrap(),
+        &reference_cells(SLOW_SPEC, &dir.join("reference-cache")),
+        "a kill mid-campaign must not perturb a single cell"
+    );
+
+    shutdown_daemon(second, &addr);
+    assert_fsck_clean(&cache);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigkilled_supervisor_replays_its_fleet_journal_and_completes() {
+    let dir = tmpdir("super-kill");
+    let cache = dir.join("cache");
+    let (mut first, addr) = spawn_daemon(&dir, &cache, "a", &["--supervise", "1"], &[]);
+    let id = submit(&addr, SLOW_SPEC);
+    assert!(id.starts_with('f'), "fleet ids are supervisor-scoped: {id}");
+
+    // Progress, then a whole-host crash: SIGKILL the supervisor AND its
+    // worker (an orphaned worker would otherwise keep simulating).
+    wait_progress(&addr, &id);
+    let worker_pids: Vec<u64> = fleet(&addr)
+        .get("workers")
+        .and_then(|w| w.as_array())
+        .unwrap()
+        .iter()
+        .filter_map(|w| w.get("pid").and_then(|p| p.as_u64()))
+        .collect();
+    sigkill(&mut first);
+    for pid in worker_pids {
+        let _ = Command::new("kill").args(["-9", &pid.to_string()]).status();
+    }
+
+    // Restart: the fleet journal replays the accept with its original
+    // id, a fresh worker is backfilled, and the campaign completes.
+    let (second, addr) = spawn_daemon(&dir, &cache, "b", &["--supervise", "1"], &[]);
+    assert_eq!(journal_replayed(&addr), 1);
+    let snap = wait_terminal(&addr, &id);
+    assert_eq!(snap.get("status").and_then(|s| s.as_str()), Some("done"), "{snap:?}");
+    assert_eq!(cell_count(&snap, "total"), 8, "{snap:?}");
+    assert_eq!(cell_count(&snap, "failed"), 0, "{snap:?}");
+    assert_eq!(cell_count(&snap, "done") + cell_count(&snap, "cached"), 8, "{snap:?}");
+
+    let (status, body1) = http_get(&addr, &format!("/campaigns/{id}/results")).unwrap();
+    assert_eq!(status, 200, "{body1}");
+    let (_, body2) = http_get(&addr, &format!("/campaigns/{id}/results")).unwrap();
+    assert_eq!(body1, body2, "results must replay bit-identically");
+
+    shutdown_daemon(second, &addr);
+    assert_fsck_clean(&cache);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_worker_addr_file_cannot_point_a_fresh_fleet_at_a_dead_port() {
+    let dir = tmpdir("stale-addr");
+    let cache = dir.join("cache");
+    let handshake = cache.join(".supervise");
+    fs::create_dir_all(&handshake).unwrap();
+    // What a SIGKILLed fleet leaves behind: an address file naming a
+    // port nobody listens on anymore.
+    let dead = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    fs::write(handshake.join("worker-0.addr"), format!("{dead}\n")).unwrap();
+
+    // A fresh fleet must scrub it, handshake its own worker, and finish.
+    let server = supervised_server(&cache, 1, Vec::new());
+    let addr = server.addr().to_string();
+    let id = submit(&addr, SPEC);
+    let snap = wait_terminal(&addr, &id);
+    assert_eq!(snap.get("status").and_then(|s| s.as_str()), Some("done"), "{snap:?}");
+    assert_eq!(cell_count(&snap, "failed"), 0, "{snap:?}");
+    let report = fleet(&addr);
+    assert_eq!(restarts_total(&report), 0, "a stale file must not count as a crash: {report:?}");
+    server.shutdown_and_join();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn startup_reaps_aged_tmp_files_but_spares_fresh_ones() {
+    let dir = tmpdir("tmp-reap");
+    let cache = dir.join("cache");
+    fs::create_dir_all(cache.join("ab")).unwrap();
+    fs::write(cache.join("ab").join("deadbeef.json.tmp.4242.7"), "torn write").unwrap();
+    fs::write(cache.join("deadc0de.json.tmp.4242.9"), "torn write").unwrap();
+
+    let config = |age| ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        cache_dir: cache.to_string_lossy().into_owned(),
+        sim_workers: 1,
+        tmp_reap_age: age,
+        ..ServerConfig::default()
+    };
+
+    // Under the default 15-minute threshold these are in-flight writes.
+    let server = Server::start(config(Duration::from_secs(900))).unwrap();
+    let addr = server.addr().to_string();
+    let st = stats(&addr);
+    assert_eq!(st.get("tmp_reaped").and_then(|v| v.as_u64()), Some(0), "{st:?}");
+    server.shutdown_and_join();
+
+    // With a zero threshold they are orphans and startup reaps them.
+    let server = Server::start(config(Duration::ZERO)).unwrap();
+    let addr = server.addr().to_string();
+    let st = stats(&addr);
+    assert_eq!(st.get("tmp_reaped").and_then(|v| v.as_u64()), Some(2), "{st:?}");
+    server.shutdown_and_join();
+    assert!(!cache.join("ab").join("deadbeef.json.tmp.4242.7").exists());
+    let _ = fs::remove_dir_all(&dir);
+}
+
 // ------------------------------------------------------------- watchdog
 
 fn runaway_job() -> JobSpec {
@@ -459,6 +726,130 @@ search_insts = 500
         let run3 = cli().arg("run").arg(&spec_path).args(["--workers", "1"]).output().unwrap();
         let stderr3 = String::from_utf8_lossy(&run3.stderr);
         assert!(stderr3.contains("1 cache hits, 0 simulated"), "{stderr3}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    // ------------------------------------------- journal fault injection
+
+    /// Wait (bounded) for a daemon that is expected to die on its own —
+    /// `kill@accept`, `torn@journal` — to actually exit.
+    fn wait_exit(child: &mut Child, why: &str) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Ok(Some(_)) = child.try_wait() {
+                return;
+            }
+            assert!(Instant::now() < deadline, "daemon still alive: {why}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// `err@journal`: an accept whose journal write fails is refused with
+    /// a 503 and a `Retry-After` hint — never acknowledged, never
+    /// ledgered — and the retry goes through cleanly.
+    #[test]
+    fn journal_write_failure_refuses_the_accept_with_a_retry_hint() {
+        use hdsmt_campaign::serve::http::http_request_full;
+
+        let dir = tmpdir("err-journal");
+        let cache = dir.join("cache");
+        let (daemon, addr) =
+            spawn_daemon(&dir, &cache, "a", &[], &[("HDSMT_FAULT", "err@journal=1")]);
+
+        let resp = http_request_full(&addr, "POST", "/campaigns", Some(SPEC)).unwrap();
+        assert_eq!(resp.status, 503, "{}", resp.body);
+        assert_eq!(resp.retry_after, Some(10), "{resp:?}");
+        assert!(resp.body.contains("journal"), "{}", resp.body);
+        let (_, list) = http_get(&addr, "/campaigns").unwrap();
+        assert_eq!(
+            json(&list).as_array().map(|a| a.len()),
+            Some(0),
+            "a refused accept must not be ledgered: {list}"
+        );
+
+        // The plan fires once; the resubmission is accepted and runs.
+        let id = submit(&addr, SPEC);
+        let snap = wait_terminal(&addr, &id);
+        assert_eq!(snap.get("status").and_then(|s| s.as_str()), Some("done"), "{snap:?}");
+        assert_eq!(cell_count(&snap, "failed"), 0, "{snap:?}");
+
+        shutdown_daemon(daemon, &addr);
+        assert_fsck_clean(&cache);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// `kill@accept`: the daemon dies after fsyncing the accept but
+    /// before answering. The client never saw a 202, yet the journaled
+    /// accept replays on restart — crash-consistency errs toward
+    /// at-least-once, and the cache makes the re-run idempotent.
+    #[test]
+    fn kill_at_accept_still_replays_the_fsynced_accept_on_restart() {
+        let dir = tmpdir("kill-accept");
+        let cache = dir.join("cache");
+        let (mut first, addr) =
+            spawn_daemon(&dir, &cache, "a", &[], &[("HDSMT_FAULT", "kill@accept=1")]);
+
+        // The POST rides into the abort: a dead socket, never a 202.
+        let _ = http_post(&addr, "/campaigns", SPEC);
+        wait_exit(&mut first, "kill@accept should have aborted the daemon");
+
+        let (second, addr) = spawn_daemon(&dir, &cache, "b", &[], &[]);
+        assert_eq!(journal_replayed(&addr), 1);
+        let (_, list) = http_get(&addr, "/campaigns").unwrap();
+        let list = json(&list);
+        let campaigns = list.as_array().unwrap();
+        assert_eq!(campaigns.len(), 1, "{list:?}");
+        let id = campaigns[0].get("id").and_then(|i| i.as_str()).unwrap().to_string();
+        let snap = wait_terminal(&addr, &id);
+        assert_eq!(snap.get("status").and_then(|s| s.as_str()), Some("done"), "{snap:?}");
+        assert_eq!(cell_count(&snap, "total"), 4, "{snap:?}");
+        assert_eq!(cell_count(&snap, "failed"), 0, "{snap:?}");
+
+        shutdown_daemon(second, &addr);
+        assert_fsck_clean(&cache);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// `torn@journal`: a crash halfway through a journal frame (power
+    /// loss) leaves a torn tail. Restart discards the torn record,
+    /// replays every complete one, and compacts the tear away.
+    #[test]
+    fn torn_journal_tail_is_discarded_and_complete_records_replay() {
+        let dir = tmpdir("torn-journal");
+        let cache = dir.join("cache");
+        let (mut first, addr) =
+            spawn_daemon(&dir, &cache, "a", &[], &[("HDSMT_FAULT", "torn@journal=2")]);
+
+        // Accept #1 journals cleanly; accept #2 tears mid-frame and
+        // takes the daemon down. (The slow 8-cell campaign keeps its
+        // done-mark far behind these two appends, so the schedule is
+        // deterministic.)
+        let id = submit(&addr, SLOW_SPEC);
+        let _ = http_post(&addr, "/campaigns", SPEC);
+        wait_exit(&mut first, "torn@journal should have aborted the daemon");
+
+        let (second, addr) = spawn_daemon(&dir, &cache, "b", &[], &[]);
+        assert_eq!(journal_replayed(&addr), 1, "exactly the complete record replays");
+        let (_, list) = http_get(&addr, "/campaigns").unwrap();
+        assert_eq!(
+            json(&list).as_array().map(|a| a.len()),
+            Some(1),
+            "the torn accept must not resurrect: {list}"
+        );
+        let snap = wait_terminal(&addr, &id);
+        assert_eq!(snap.get("status").and_then(|s| s.as_str()), Some("done"), "{snap:?}");
+        assert_eq!(cell_count(&snap, "total"), 8, "{snap:?}");
+        assert_eq!(cell_count(&snap, "failed"), 0, "{snap:?}");
+        assert_eq!(cell_count(&snap, "done") + cell_count(&snap, "cached"), 8, "{snap:?}");
+
+        shutdown_daemon(second, &addr);
+        // fsck must agree the tear is gone: the journal was compacted at
+        // open, so no torn bytes survive anywhere in the cache tree.
+        let report = fsck_report(&cache);
+        assert_eq!(report.get("clean").and_then(|v| v.as_bool()), Some(true), "{report:?}");
+        for j in report.get("journals").and_then(|j| j.as_array()).unwrap() {
+            assert_eq!(j.get("torn_bytes").and_then(|v| v.as_u64()), Some(0), "{j:?}");
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 }
