@@ -32,6 +32,8 @@
 //!   M6 barely larger than M4 (same queues, same contexts, one more int
 //!   unit), which rules out strong width-superlinear terms.
 
+#![forbid(unsafe_code)]
+
 pub mod microarch;
 pub mod model;
 

@@ -12,6 +12,8 @@
 //!   summary) plus the ablations called out in DESIGN.md §7, printing
 //!   paper-style tables and writing JSON to `results/`.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 
 use hdsmt_workloads::experiments::{Metric, PaperResults};

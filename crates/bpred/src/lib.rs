@@ -26,6 +26,8 @@
 //! with the snapshot ([`DirectionPredictor::train`]). The RAS hands out
 //! post-action snapshots for the same purpose.
 
+#![forbid(unsafe_code)]
+
 pub mod btb;
 pub mod gshare;
 pub mod perceptron;

@@ -100,7 +100,11 @@ impl ResultCache {
     }
 
     fn path(&self, key: &str) -> PathBuf {
-        self.dir.join(&key[..2]).join(format!("{key}.json"))
+        // Total for any key: a key shorter than the two-char shard prefix
+        // (impossible for sha256 hex, but this is a durability path) maps
+        // to a shard named after the whole key instead of panicking.
+        let shard = key.get(..2).unwrap_or(key);
+        self.dir.join(shard).join(format!("{key}.json"))
     }
 
     /// Is a result for `key` present on disk?
@@ -113,9 +117,10 @@ impl ResultCache {
     /// corrupt ones are additionally tallied in [`Self::counters`].
     pub fn get(&self, key: &str) -> Option<SimResult> {
         match self.entry_text(key) {
+            // `entry_text` validated the text deserializes; re-parse
+            // defensively anyway — a decode surprise is a miss, not a panic.
             EntryLookup::Hit(text) => {
-                let entry: CacheEntry = serde_json::from_str(&text).expect("validated above");
-                Some(entry.result)
+                serde_json::from_str::<CacheEntry>(&text).ok().map(|entry| entry.result)
             }
             EntryLookup::Miss | EntryLookup::Corrupt => None,
         }
@@ -211,7 +216,10 @@ impl ResultCache {
         let entry =
             CacheEntry { version: CODE_VERSION.to_string(), descriptor, result: result.clone() };
         let final_path = self.path(key);
-        fs::create_dir_all(final_path.parent().unwrap())?;
+        let shard_dir = final_path
+            .parent()
+            .ok_or_else(|| std::io::Error::other("cache entry path has no parent directory"))?;
+        fs::create_dir_all(shard_dir)?;
         let tmp = final_path.with_extension(format!(
             "tmp.{}.{}",
             std::process::id(),
@@ -228,7 +236,7 @@ impl ResultCache {
         }
         fs::rename(&tmp, &final_path)?;
         if self.durable {
-            crate::journal::fsync_dir(final_path.parent().unwrap())?;
+            crate::journal::fsync_dir(shard_dir)?;
         }
         Ok(())
     }

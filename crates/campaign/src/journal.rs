@@ -113,18 +113,34 @@ pub struct Replay {
     pub torn_bytes: u64,
 }
 
+/// Little-endian u32 at the front of `b`, if `b` is long enough.
+fn le_u32(b: &[u8]) -> Option<u32> {
+    Some(u32::from_le_bytes(b.get(..4)?.try_into().ok()?))
+}
+
+/// Little-endian u64 at the front of `b`, if `b` is long enough.
+fn le_u64(b: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(b.get(..8)?.try_into().ok()?))
+}
+
 /// Decode a journal byte stream. Never panics: the tail after the last
-/// complete frame is counted in [`Replay::torn_bytes`] and dropped.
+/// complete frame is counted in [`Replay::torn_bytes`] and dropped. All
+/// frame access goes through `.get(..)` — a torn header is a decode stop,
+/// not a slice-index panic (PR 8 contract: degrade, don't die).
 pub fn replay_bytes(bytes: &[u8]) -> Replay {
     let mut records = Vec::new();
     let mut off = 0usize;
-    while off + 12 <= bytes.len() {
-        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
-        let check = u64::from_le_bytes(bytes[off + 4..off + 12].try_into().unwrap());
-        if len == 0 || len > MAX_RECORD_LEN || off + 12 + len > bytes.len() {
+    while let Some(len) = bytes.get(off..off + 4).and_then(le_u32) {
+        let Some(check) = bytes.get(off + 4..off + 12).and_then(le_u64) else {
+            break;
+        };
+        let len = len as usize;
+        if len == 0 || len > MAX_RECORD_LEN {
             break;
         }
-        let payload = &bytes[off + 12..off + 12 + len];
+        let Some(payload) = bytes.get(off + 12..off + 12 + len) else {
+            break;
+        };
         if fnv1a(payload) != check {
             break;
         }
@@ -237,7 +253,10 @@ impl Journal {
     /// work the caller must resume.
     pub fn open(cache_dir: &Path, role: &str) -> io::Result<(Journal, Replay)> {
         let path = Self::role_path(cache_dir, role);
-        fs::create_dir_all(path.parent().expect("role path has a parent"))?;
+        let parent = path
+            .parent()
+            .ok_or_else(|| io::Error::other("journal role path has no parent directory"))?;
+        fs::create_dir_all(parent)?;
         let replay = replay_file(&path)?;
         // Compact unless the file already is exactly its pending set:
         // truncates any torn tail and drops resolved accept/done pairs.

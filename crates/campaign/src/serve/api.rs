@@ -45,7 +45,13 @@ struct ErrorBody {
 /// The structured JSON error response every failing route returns.
 pub fn error_response(status: u16, message: impl Into<String>) -> Response {
     let body = ErrorBody { error: ErrorDetail { status, message: message.into() } };
-    Response::json(status, serde_json::to_string(&body).expect("error body serializes"))
+    // A plain struct of a u16 and a String always serializes; if that
+    // assumption ever breaks, degrade to a schema-compatible static body
+    // rather than panicking the handler thread.
+    let text = serde_json::to_string(&body).unwrap_or_else(|_| {
+        format!("{{\"error\":{{\"status\":{status},\"message\":\"error serialization failed\"}}}}")
+    });
+    Response::json(status, text)
 }
 
 /// Map a transport-level parse failure to a response (mod.rs calls this
@@ -58,7 +64,12 @@ pub fn transport_error_response(err: &HttpError) -> Response {
 }
 
 fn json_ok(status: u16, value: &impl serde::Serialize) -> Response {
-    Response::json(status, serde_json::to_string(value).expect("API value serializes"))
+    match serde_json::to_string(value) {
+        Ok(text) => Response::json(status, text),
+        // Unreachable for the plain-data API types, but a handler thread
+        // must answer 500, not unwind.
+        Err(_) => error_response(500, "response serialization failed"),
+    }
 }
 
 /// Route one request against the daemon state. Pure request→response:
@@ -214,7 +225,14 @@ fn results(state: &ServerState, req: &Request, id: &str) -> Response {
                 ),
             );
         }
-        entry.result().expect("done campaign has a result")
+        match entry.result() {
+            Some(result) => result,
+            // A done campaign always carries a result; if the invariant
+            // ever slips, a 500 beats killing the handler thread.
+            None => {
+                return error_response(500, format!("campaign `{id}` is done but has no result"))
+            }
+        }
     };
     match req.query_param("format").unwrap_or("json") {
         "json" => Response::json(200, export::to_json(&result)),

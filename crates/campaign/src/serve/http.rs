@@ -241,7 +241,8 @@ pub fn http_request(
     let status: u16 =
         text.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(bad)?;
     let body_start = text.find("\r\n\r\n").map(|i| i + 4).ok_or_else(bad)?;
-    Ok((status, text[body_start..].to_string()))
+    let body = text.get(body_start..).ok_or_else(bad)?;
+    Ok((status, body.to_string()))
 }
 
 pub fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
@@ -292,7 +293,8 @@ pub fn http_request_full(
     let status: u16 =
         text.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(bad)?;
     let body_start = text.find("\r\n\r\n").map(|i| i + 4).ok_or_else(bad)?;
-    let retry_after = text[..body_start].lines().find_map(|line| {
+    let headers = text.get(..body_start).ok_or_else(bad)?;
+    let retry_after = headers.lines().find_map(|line| {
         let (name, value) = line.split_once(':')?;
         if name.trim().eq_ignore_ascii_case("retry-after") {
             value.trim().parse::<u64>().ok()
@@ -300,7 +302,8 @@ pub fn http_request_full(
             None
         }
     });
-    Ok(HttpResponse { status, body: text[body_start..].to_string(), retry_after })
+    let body = text.get(body_start..).ok_or_else(bad)?;
+    Ok(HttpResponse { status, body: body.to_string(), retry_after })
 }
 
 /// Bounded exponential backoff for the thin client: how many attempts a
@@ -389,7 +392,10 @@ pub fn http_request_retry(
         };
         std::thread::sleep(delay);
     }
-    unreachable!("the final attempt always returns")
+    // The `attempt == policy.attempts` arms above always return; keep a
+    // real error (not `unreachable!`) so a future refactor of the retry
+    // arms degrades to a failed request instead of a panic.
+    Err(std::io::Error::other("retry budget exhausted"))
 }
 
 #[cfg(test)]

@@ -170,6 +170,9 @@ mod sigint {
     }
 
     pub fn install() {
+        // SAFETY: `signal(2)` with a handler that only stores to a static
+        // AtomicBool — async-signal-safe, no allocation, no locks; the
+        // handler address stays valid for the process lifetime.
         unsafe {
             signal(SIGINT, on_sigint as *const () as usize);
         }
@@ -233,19 +236,18 @@ impl Server {
         }
 
         // Campaign executors: drain the bounded queue until it closes.
+        // Spawn failures (thread exhaustion) propagate as the start error
+        // they are, instead of panicking half-started.
         let executors = (0..executors_n)
             .map(|i| {
                 let state = state.clone();
-                std::thread::Builder::new()
-                    .name(format!("serve-exec-{i}"))
-                    .spawn(move || {
-                        while let Some(entry) = state.queue.pop() {
-                            state.execute(&entry);
-                        }
-                    })
-                    .expect("spawn executor")
+                std::thread::Builder::new().name(format!("serve-exec-{i}")).spawn(move || {
+                    while let Some(entry) = state.queue.pop() {
+                        state.execute(&entry);
+                    }
+                })
             })
-            .collect();
+            .collect::<std::io::Result<Vec<_>>>()?;
 
         // HTTP handlers: one shared receiver of accepted connections.
         // Handlers exit when the acceptor drops the sender.
@@ -256,45 +258,39 @@ impl Server {
                 let state = state.clone();
                 let conn_rx = conn_rx.clone();
                 let poked = poked.clone();
-                std::thread::Builder::new()
-                    .name(format!("serve-http-{i}"))
-                    .spawn(move || loop {
-                        let Ok(mut stream) = ({
-                            let guard = conn_rx.lock().unwrap_or_else(|e| e.into_inner());
-                            guard.recv()
-                        }) else {
-                            return;
-                        };
-                        handle_connection(&state, &mut stream);
-                        // A request may have initiated shutdown
-                        // (`POST /shutdown`): wake the blocked acceptor.
-                        if state.is_shutting_down() {
-                            poke(&addr, &poked);
-                        }
-                    })
-                    .expect("spawn http handler")
+                std::thread::Builder::new().name(format!("serve-http-{i}")).spawn(move || loop {
+                    let Ok(mut stream) = ({
+                        let guard = conn_rx.lock().unwrap_or_else(|e| e.into_inner());
+                        guard.recv()
+                    }) else {
+                        return;
+                    };
+                    handle_connection(&state, &mut stream);
+                    // A request may have initiated shutdown
+                    // (`POST /shutdown`): wake the blocked acceptor.
+                    if state.is_shutting_down() {
+                        poke(&addr, &poked);
+                    }
+                })
             })
-            .collect();
+            .collect::<std::io::Result<Vec<_>>>()?;
 
         let acceptor = {
             let state = state.clone();
-            std::thread::Builder::new()
-                .name("serve-accept".into())
-                .spawn(move || {
-                    for conn in listener.incoming() {
-                        if state.is_shutting_down() {
-                            break; // the poke connection lands here
-                        }
-                        let Ok(stream) = conn else { continue };
-                        let _ = stream.set_read_timeout(Some(CONN_TIMEOUT));
-                        let _ = stream.set_write_timeout(Some(CONN_TIMEOUT));
-                        if conn_tx.send(stream).is_err() {
-                            break;
-                        }
+            std::thread::Builder::new().name("serve-accept".into()).spawn(move || {
+                for conn in listener.incoming() {
+                    if state.is_shutting_down() {
+                        break; // the poke connection lands here
                     }
-                    // conn_tx drops here → handler pool drains and exits.
-                })
-                .expect("spawn acceptor")
+                    let Ok(stream) = conn else { continue };
+                    let _ = stream.set_read_timeout(Some(CONN_TIMEOUT));
+                    let _ = stream.set_write_timeout(Some(CONN_TIMEOUT));
+                    if conn_tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                // conn_tx drops here → handler pool drains and exits.
+            })?
         };
 
         Ok(Server { state, addr, acceptor, handlers, executors, poked })

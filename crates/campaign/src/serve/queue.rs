@@ -7,7 +7,7 @@
 //! worker.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Why a `push` was refused.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,8 +43,15 @@ impl<T> BoundedQueue<T> {
         self.capacity
     }
 
+    /// Poison-tolerant lock: a panicking queue user must not wedge every
+    /// other producer/consumer — the `Inner` state (a deque and a flag)
+    /// is valid after any partial operation.
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().items.len()
+        self.lock().items.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -53,7 +60,7 @@ impl<T> BoundedQueue<T> {
 
     /// Enqueue without blocking; refuses when full or closed.
     pub fn push(&self, item: T) -> Result<(), PushError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         if inner.closed {
             return Err(PushError::Closed);
         }
@@ -72,7 +79,7 @@ impl<T> BoundedQueue<T> {
     /// larger than the queue bound is admitted whole, and backpressure
     /// only applies to *new* submissions on top of it.
     pub fn push_recovered(&self, item: T) -> Result<(), PushError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         if inner.closed {
             return Err(PushError::Closed);
         }
@@ -85,7 +92,7 @@ impl<T> BoundedQueue<T> {
     /// Dequeue, blocking until an item arrives or the queue is closed.
     /// `None` means closed **and** drained — the executor should exit.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         loop {
             if let Some(item) = inner.items.pop_front() {
                 return Some(item);
@@ -93,7 +100,7 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.ready.wait(inner).unwrap();
+            inner = self.ready.wait(inner).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -109,14 +116,14 @@ impl<T> BoundedQueue<T> {
     /// queued are still handed out (drain-then-exit semantics); use
     /// [`Self::drain`] to also discard them.
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        self.lock().closed = true;
         self.ready.notify_all();
     }
 
     /// Close and remove everything still queued, returning the orphans
     /// (the daemon marks them cancelled rather than silently dropping).
     pub fn drain(&self) -> Vec<T> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         inner.closed = true;
         let orphans = inner.items.drain(..).collect();
         drop(inner);

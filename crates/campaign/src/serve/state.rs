@@ -84,8 +84,9 @@ impl Default for ServerConfig {
 }
 
 /// Lifecycle of one submitted campaign.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum CampaignPhase {
+    #[default]
     Queued,
     Running,
     Done,
@@ -136,7 +137,7 @@ pub struct SearchCounts {
 
 #[derive(Debug, Default)]
 struct CampaignInner {
-    phase: Option<CampaignPhase>, // None only during construction
+    phase: CampaignPhase, // Default = Queued, so the entry is valid from birth
     cells: CellCounts,
     search: SearchCounts,
     error: Option<String>,
@@ -170,10 +171,7 @@ impl CampaignEntry {
             id,
             name: spec.display_name().to_string(),
             spec,
-            inner: Mutex::new(CampaignInner {
-                phase: Some(CampaignPhase::Queued),
-                ..CampaignInner::default()
-            }),
+            inner: Mutex::new(CampaignInner::default()),
         }
     }
 
@@ -185,7 +183,7 @@ impl CampaignEntry {
     }
 
     pub fn phase(&self) -> CampaignPhase {
-        self.lock().phase.expect("phase set at construction")
+        self.lock().phase
     }
 
     pub fn snapshot(&self) -> CampaignSnapshot {
@@ -193,7 +191,7 @@ impl CampaignEntry {
         CampaignSnapshot {
             id: self.id.clone(),
             name: self.name.clone(),
-            status: inner.phase.expect("phase set").as_str().to_string(),
+            status: inner.phase.as_str().to_string(),
             cells: inner.cells,
             search: inner.search,
             error: inner.error.clone(),
@@ -206,18 +204,18 @@ impl CampaignEntry {
     }
 
     pub(crate) fn set_running(&self) {
-        self.lock().phase = Some(CampaignPhase::Running);
+        self.lock().phase = CampaignPhase::Running;
     }
 
     pub(crate) fn finish(&self, outcome: Result<CampaignResult, (CampaignPhase, String)>) {
         let mut inner = self.lock();
         match outcome {
             Ok(result) => {
-                inner.phase = Some(CampaignPhase::Done);
+                inner.phase = CampaignPhase::Done;
                 inner.result = Some(result);
             }
             Err((phase, error)) => {
-                inner.phase = Some(phase);
+                inner.phase = phase;
                 inner.error = Some(error);
             }
         }
@@ -319,6 +317,17 @@ pub struct ServerState {
 }
 
 impl ServerState {
+    /// Poison-tolerant registry lock: the campaign list is a plain Vec of
+    /// Arcs — valid after any partial mutation — and an executor that
+    /// panicked mid-simulation must not take the whole API down with it.
+    fn campaigns_lock(&self) -> std::sync::MutexGuard<'_, Vec<Arc<CampaignEntry>>> {
+        self.campaigns.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn recovered_lock(&self) -> std::sync::MutexGuard<'_, Vec<Record>> {
+        self.recovered.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     pub fn new(config: ServerConfig) -> std::io::Result<Self> {
         let cache = ResultCache::open(&config.cache_dir)?.with_durable(config.durable);
         // Reap what killed writers stranded before accepting new work;
@@ -353,7 +362,7 @@ impl ServerState {
         if state.config.supervise.is_some() {
             // The supervisor is built later by `Server::start`; park the
             // replayed accepts for it to re-ledger.
-            *state.recovered.lock().unwrap() = pending;
+            *state.recovered_lock() = pending;
         } else {
             state.recover_local(pending);
         }
@@ -371,11 +380,11 @@ impl ServerState {
         for rec in pending {
             match self.revive(&rec) {
                 Ok(entry) => {
-                    self.campaigns.lock().unwrap().push(entry.clone());
+                    self.campaigns_lock().push(entry.clone());
                     if self.queue.push_recovered(entry).is_err() {
                         // Only possible if the queue is already closed —
                         // leave the record pending for the next restart.
-                        self.campaigns.lock().unwrap().retain(|e| e.id != rec.id);
+                        self.campaigns_lock().retain(|e| e.id != rec.id);
                     }
                 }
                 Err(e) => {
@@ -421,7 +430,7 @@ impl ServerState {
     /// Pending fleet accepts replayed at startup (supervise mode only);
     /// drains the parked list.
     pub(crate) fn take_recovered(&self) -> Vec<Record> {
-        std::mem::take(&mut self.recovered.lock().unwrap())
+        std::mem::take(&mut *self.recovered_lock())
     }
 
     pub(crate) fn set_supervisor(&self, sup: Arc<crate::serve::supervisor::Supervisor>) {
@@ -471,7 +480,10 @@ impl ServerState {
 
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
         let digest = sha256_hex(spec_text.as_bytes());
-        let id = format!("c{seq}-{}", &digest[..8]);
+        // sha256_hex always yields 64 ASCII hex chars, but this is a
+        // durability path: degrade to the full digest over panicking.
+        let short = digest.get(..8).unwrap_or(&digest);
+        let id = format!("c{seq}-{short}");
         let entry = Arc::new(CampaignEntry::new(id, spec));
         // Journal the accept — durably, *before* the 202 leaves the
         // daemon. If the journal cannot promise the campaign will survive
@@ -482,14 +494,14 @@ impl ServerState {
                 .map_err(|e| SubmitError::Journal(e.to_string()))?;
         }
         crate::fault::on_accept();
-        self.campaigns.lock().unwrap().push(entry.clone());
+        self.campaigns_lock().push(entry.clone());
         match self.queue.push(entry.clone()) {
             Ok(()) => Ok(entry),
             Err(push_err) => {
                 // Un-register so a rejected submission leaves no ghost —
                 // including in the journal, or the rejected accept would
                 // be resurrected on every restart.
-                self.campaigns.lock().unwrap().retain(|e| e.id != entry.id);
+                self.campaigns_lock().retain(|e| e.id != entry.id);
                 self.journal_mark(&Record::failed(&entry.id));
                 Err(match push_err {
                     PushError::Full => SubmitError::QueueFull,
@@ -500,11 +512,11 @@ impl ServerState {
     }
 
     pub fn get(&self, id: &str) -> Option<Arc<CampaignEntry>> {
-        self.campaigns.lock().unwrap().iter().find(|e| e.id == id).cloned()
+        self.campaigns_lock().iter().find(|e| e.id == id).cloned()
     }
 
     pub fn list(&self) -> Vec<Arc<CampaignEntry>> {
-        self.campaigns.lock().unwrap().clone()
+        self.campaigns_lock().clone()
     }
 
     /// Execute one dequeued campaign (executor-thread body): a fresh
@@ -563,7 +575,7 @@ impl ServerState {
 
     /// The `GET /stats` payload.
     pub fn stats(&self) -> ServerStats {
-        let campaigns = self.campaigns.lock().unwrap();
+        let campaigns = self.campaigns_lock();
         ServerStats {
             uptime_secs: self.uptime_secs(),
             accepting: !self.is_shutting_down(),

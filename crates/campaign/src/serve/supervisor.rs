@@ -270,7 +270,8 @@ impl Supervisor {
                 .name("serve-supervisor".into())
                 .spawn(move || supervisor.monitor_loop())?
         };
-        *supervisor.monitor.lock().unwrap() = Some(monitor);
+        *supervisor.monitor.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+            Some(monitor);
         Ok(supervisor)
     }
 
@@ -467,7 +468,11 @@ impl Supervisor {
         crate::matrix::expand(&spec, &catalog).map_err(|e| SubmitError::Invalid(e.0))?;
 
         let mut guard = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        let id = format!("f{}-{}", guard.seq + 1, &sha256_hex(spec_text.as_bytes())[..8]);
+        // sha256_hex always yields 64 hex chars; degrade to the full
+        // digest rather than indexing (durability path, no panics).
+        let digest = sha256_hex(spec_text.as_bytes());
+        let short = digest.get(..8).unwrap_or(&digest);
+        let id = format!("f{}-{short}", guard.seq + 1);
         // Durably journal the accept before the ledger (and thus the 202)
         // sees it — an accept the journal cannot promise to survive is
         // refused, not acknowledged.
@@ -477,23 +482,27 @@ impl Supervisor {
         }
         crate::fault::on_accept();
         guard.seq += 1;
-        guard.ledger.push(LedgerEntry {
+        // Build the entry first and ledger it after the worker fan-out:
+        // no `expect("just pushed")` back-reference needed, and the
+        // snapshot is computed from the same state either way (workers
+        // have not reported any cells for a campaign this young).
+        let entry = LedgerEntry {
             id: id.clone(),
             name: spec.display_name().to_string(),
             spec_text: spec_text.to_string(),
             result: None,
             done_logged: false,
-        });
-        let Inner { workers, ledger, .. } = &mut *guard;
-        let entry = ledger.last().expect("just pushed");
-        for w in workers {
+        };
+        for w in &mut guard.workers {
             if let Phase::Up { addr, .. } = &w.phase {
                 let addr = addr.clone();
-                submit_to_worker(w, &addr, entry);
+                submit_to_worker(w, &addr, &entry);
             }
         }
+        let snap = aggregate(&entry, &guard.workers);
+        guard.ledger.push(entry);
         drop(guard);
-        Ok(self.snapshot(&id).expect("just ledgered"))
+        Ok(snap)
     }
 
     /// Fleet-level snapshot of one campaign: per-cell counters summed
@@ -583,7 +592,9 @@ impl Supervisor {
     /// bounded wait, then kill), and join.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::Relaxed);
-        if let Some(handle) = self.monitor.lock().unwrap().take() {
+        if let Some(handle) =
+            self.monitor.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take()
+        {
             let _ = handle.join();
         }
         let mut guard = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);

@@ -25,6 +25,8 @@
 //! / **WORST** oracle envelope via exhaustive mapping enumeration, plus
 //! round-robin/random baselines for ablations.
 
+#![forbid(unsafe_code)]
+
 pub mod checkpoint;
 pub mod config;
 pub mod dynmap;

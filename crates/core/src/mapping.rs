@@ -12,7 +12,10 @@
 //!   envelope is evaluated;
 //! * round-robin and seeded-random baselines for ablations.
 
-use std::collections::{HashMap, HashSet};
+// BTree collections throughout: the lint determinism rule bans HashMap/
+// HashSet in simulator-core crates because their iteration order could
+// leak into statistics (here: `canonicalize` iterates its group map).
+use std::collections::{BTreeMap, BTreeSet};
 
 use hdsmt_pipeline::MicroArch;
 
@@ -23,7 +26,7 @@ use crate::profiler::profile_benchmark;
 /// the heuristic (the paper's "profile information").
 #[derive(Clone, Debug)]
 pub struct MissProfile {
-    mpki: HashMap<String, f64>,
+    mpki: BTreeMap<String, f64>,
 }
 
 /// Instructions profiled per benchmark when building a [`MissProfile`].
@@ -37,7 +40,7 @@ impl MissProfile {
 
     /// Profile with an explicit per-benchmark instruction budget.
     pub fn build_with_len(n_insts: u64) -> Self {
-        let mut mpki = HashMap::new();
+        let mut mpki = BTreeMap::new();
         for p in hdsmt_trace::all_benchmarks() {
             let spec = ThreadSpec::for_benchmark(p.name, 0);
             mpki.insert(p.name.to_string(), profile_benchmark(&spec, n_insts));
@@ -192,7 +195,7 @@ pub fn enumerate_mappings(arch: &MicroArch, n_threads: usize) -> Vec<Vec<u8>> {
     }
     let caps: Vec<usize> = arch.pipes.iter().map(|p| p.contexts as usize).collect();
     let mut out = Vec::new();
-    let mut seen: HashSet<Vec<u8>> = HashSet::new();
+    let mut seen: BTreeSet<Vec<u8>> = BTreeSet::new();
     let mut cur = vec![0u8; n_threads];
     let mut free = caps.clone();
 
@@ -202,7 +205,7 @@ pub fn enumerate_mappings(arch: &MicroArch, n_threads: usize) -> Vec<Vec<u8>> {
         arch: &MicroArch,
         cur: &mut Vec<u8>,
         free: &mut Vec<usize>,
-        seen: &mut HashSet<Vec<u8>>,
+        seen: &mut BTreeSet<Vec<u8>>,
         out: &mut Vec<Vec<u8>>,
     ) {
         if t == n {
@@ -230,12 +233,15 @@ pub fn enumerate_mappings(arch: &MicroArch, n_threads: usize) -> Vec<Vec<u8>> {
 /// each group of identical pipelines, thread sets are re-assigned to the
 /// group's pipelines in lexicographic order.
 fn canonicalize(arch: &MicroArch, mapping: &[u8]) -> Vec<u8> {
-    // Group pipeline indices by model name.
-    let mut groups: HashMap<&str, Vec<usize>> = HashMap::new();
+    // Group pipeline indices by model name. BTreeMap so `groups.values()`
+    // below iterates in a fixed (name) order: the relabel map it builds is
+    // order-insensitive (keys are disjoint across groups), but determinism
+    // by construction beats determinism by argument.
+    let mut groups: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
     for (i, m) in arch.pipes.iter().enumerate() {
         groups.entry(m.name).or_default().push(i);
     }
-    let mut relabel: HashMap<u8, u8> = HashMap::new();
+    let mut relabel: BTreeMap<u8, u8> = BTreeMap::new();
     for pipes in groups.values() {
         if pipes.len() == 1 {
             relabel.insert(pipes[0] as u8, pipes[0] as u8);
@@ -272,7 +278,7 @@ mod tests {
 
     /// Hand-built profile with known ordering (no simulation needed).
     fn fake_profile() -> MissProfile {
-        let mut mpki = HashMap::new();
+        let mut mpki = BTreeMap::new();
         for (n, m) in [
             ("eon", 1.0),
             ("gzip", 2.0),
@@ -377,7 +383,7 @@ mod tests {
         // bounds instead of hand-counting:
         assert!(m.len() >= 4 && m.len() <= 8, "{}", m.len());
         // And every mapping is canonical-unique.
-        let set: HashSet<_> = m.iter().cloned().collect();
+        let set: BTreeSet<_> = m.iter().cloned().collect();
         assert_eq!(set.len(), m.len());
     }
 
@@ -389,6 +395,31 @@ mod tests {
         let all = enumerate_mappings(&a, 4);
         let canon = canonicalize(&a, &heur);
         assert!(all.contains(&canon), "oracle space must contain the heuristic mapping");
+    }
+
+    #[test]
+    fn enumeration_order_is_pinned() {
+        // Regression for the HashMap→BTreeMap conversion: the BEST/WORST
+        // oracle iterates `enumerate_mappings` in order and campaign cache
+        // keys hash the canonical mapping bytes, so the exact output —
+        // contents AND order — must stay bit-identical across refactors.
+        let a = arch("2M4+2M2");
+        let m = enumerate_mappings(&a, 2);
+        assert_eq!(
+            m,
+            vec![vec![1, 1], vec![0, 1], vec![1, 3], vec![3, 1], vec![2, 3],],
+            "enumeration order changed — BEST/WORST tie-breaking and cached \
+             results are no longer comparable with previous runs"
+        );
+        // And the heuristic itself is a pure function of its inputs.
+        let names = ["gzip", "mcf", "vpr", "eon"];
+        let h1 = heuristic_mapping(&a, &names, &fake_profile());
+        let h2 = heuristic_mapping(&a, &names, &fake_profile());
+        assert_eq!(h1, h2);
+        // eon (fewest misses) owns the widest M4 exclusively (step 4: 6
+        // contexts > 4 threads); gzip and vpr share the second M4; mcf
+        // (most misses) lands on the first M2.
+        assert_eq!(h1, vec![1, 2, 1, 0]);
     }
 
     #[test]

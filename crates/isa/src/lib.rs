@@ -25,6 +25,8 @@
 //! Nothing here is cycle-accurate; this is purely the *architecture-level*
 //! vocabulary.
 
+#![forbid(unsafe_code)]
+
 pub mod block;
 pub mod ids;
 pub mod inst;

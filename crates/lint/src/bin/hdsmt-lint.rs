@@ -1,0 +1,128 @@
+//! `hdsmt-lint` — enforce the project's uncompilable invariants.
+//!
+//! ```text
+//! hdsmt-lint [--root DIR] [--config FILE] [--format text|json] [--deny]
+//! ```
+//!
+//! Exit codes: `0` clean (or report-only mode), `1` violations under
+//! `--deny`, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hdsmt_lint::{run, LintConfig};
+
+struct Options {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    format: Format,
+    deny: bool,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn usage() -> String {
+    "usage: hdsmt-lint [--root DIR] [--config FILE] [--format text|json] [--deny]\n\
+     \n\
+     Walks the workspace sources and enforces the project invariants:\n\
+     determinism, panic-safety, lock-order, timeline contract, unsafe\n\
+     audit, and allow-justification hygiene. See crate docs for the rule\n\
+     registry and the LINT-ALLOW grammar.\n\
+     \n\
+       --root DIR       workspace root to scan (default: current directory)\n\
+       --config FILE    lint.toml path (default: <root>/lint.toml if present)\n\
+       --format FMT     report format: text (default) or json\n\
+       --deny           exit 1 when any unsuppressed violation remains\n"
+        .to_string()
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts =
+        Options { root: PathBuf::from("."), config: None, format: Format::Text, deny: false };
+    let mut i = 0usize;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i).cloned().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg {
+            "--root" => opts.root = PathBuf::from(value("--root")?),
+            "--config" => opts.config = Some(PathBuf::from(value("--config")?)),
+            "--format" => {
+                opts.format = match value("--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                }
+            }
+            "--deny" => opts.deny = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_options(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("hdsmt-lint: {msg}");
+            eprint!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let config_path = opts.config.clone().or_else(|| {
+        let candidate = opts.root.join("lint.toml");
+        candidate.exists().then_some(candidate)
+    });
+    let cfg = match config_path {
+        Some(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("hdsmt-lint: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match LintConfig::parse(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("hdsmt-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => LintConfig::default(),
+    };
+
+    let report = match run(&opts.root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hdsmt-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match opts.format {
+        Format::Text => print!("{}", report.render_text()),
+        Format::Json => print!("{}", report.render_json()),
+    }
+
+    if opts.deny && !report.is_clean() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

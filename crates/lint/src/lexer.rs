@@ -1,0 +1,383 @@
+//! Line-level lexical scanner for Rust sources.
+//!
+//! `hdsmt-lint` deliberately avoids a full parser (no `syn`, per the
+//! vendored-shim policy): every rule it enforces is expressible over a
+//! per-line view of the source as long as that view correctly separates
+//! *code* from *comments* and *string literals*, and knows which lines
+//! belong to `#[cfg(test)]` regions. This module produces that view.
+//!
+//! For each physical line we keep three projections:
+//!
+//! * `raw`     — the line exactly as written,
+//! * `code`    — the line with comment text removed and string/char
+//!   literal *contents* blanked out (delimiters are kept so that, e.g.,
+//!   brace counting still sees a balanced file),
+//! * `comment` — the comment text of the line (both `//` and `/* */`
+//!   bodies), used to find `LINT-ALLOW` and `SAFETY:` annotations.
+//!
+//! A second pass marks lines inside `#[cfg(test)]` items (the repo
+//! convention is a trailing `#[cfg(test)] mod tests { .. }`) so rules can
+//! exempt test-only code.
+
+/// One physical source line, decomposed into code and comment channels.
+#[derive(Debug, Clone)]
+pub struct ScanLine {
+    /// The unmodified source line.
+    pub raw: String,
+    /// Code with comments stripped and literal contents blanked.
+    pub code: String,
+    /// Comment text (line and block comment bodies) on this line.
+    pub comment: String,
+    /// True when the line lies inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// A fully scanned source file.
+#[derive(Debug)]
+pub struct FileScan {
+    pub lines: Vec<ScanLine>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u8),
+    CharLit,
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Scan `text` into per-line code/comment channels.
+pub fn scan(text: &str) -> FileScan {
+    let chars: Vec<char> = text.chars().collect();
+    let mut lines: Vec<ScanLine> = Vec::new();
+    let mut raw = String::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut mode = Mode::Code;
+    let mut prev_code_char = ' ';
+
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if mode == Mode::LineComment {
+                mode = Mode::Code;
+            }
+            lines.push(ScanLine {
+                raw: std::mem::take(&mut raw),
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                in_test: false,
+            });
+            i += 1;
+            continue;
+        }
+        raw.push(c);
+        match mode {
+            Mode::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    mode = Mode::LineComment;
+                    raw.push('/');
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(1);
+                    raw.push('*');
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    mode = Mode::Str;
+                    code.push('"');
+                    prev_code_char = '"';
+                    i += 1;
+                    continue;
+                }
+                // Raw (and raw byte) string literals: r"..", r#".."#, br#".."#.
+                if (c == 'r' || c == 'b') && !is_ident_char(prev_code_char) {
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    if c == 'b' && j == i + 1 {
+                        // plain b".." byte string
+                        if chars.get(j) == Some(&'"') {
+                            mode = Mode::Str;
+                            code.push('"');
+                            prev_code_char = '"';
+                            raw.extend(chars[i + 1..=j].iter());
+                            i = j + 1;
+                            continue;
+                        }
+                    } else {
+                        let mut hashes = 0u8;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') && (c == 'r' || j > i + 1) {
+                            mode = Mode::RawStr(hashes);
+                            code.push('"');
+                            prev_code_char = '"';
+                            raw.extend(chars[i + 1..=j].iter());
+                            i = j + 1;
+                            continue;
+                        }
+                    }
+                    code.push(c);
+                    prev_code_char = c;
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    // Distinguish a char literal from a lifetime: a literal
+                    // is 'x' or an escape '\..'; a lifetime never closes with
+                    // a quote right after its first character.
+                    let is_char_lit = match next {
+                        Some('\\') => true,
+                        Some(_) => chars.get(i + 2) == Some(&'\''),
+                        None => false,
+                    };
+                    if is_char_lit {
+                        mode = Mode::CharLit;
+                    }
+                    code.push('\'');
+                    prev_code_char = '\'';
+                    i += 1;
+                    continue;
+                }
+                code.push(c);
+                prev_code_char = c;
+                i += 1;
+            }
+            Mode::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    raw.push('/');
+                    if depth == 1 {
+                        mode = Mode::Code;
+                    } else {
+                        mode = Mode::BlockComment(depth - 1);
+                    }
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    raw.push('*');
+                    comment.push(' ');
+                    mode = Mode::BlockComment(depth + 1);
+                    i += 2;
+                    continue;
+                }
+                comment.push(c);
+                i += 1;
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    if let Some(n) = chars.get(i + 1) {
+                        if *n != '\n' {
+                            raw.push(*n);
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                    continue;
+                }
+                if c == '"' {
+                    code.push('"');
+                    prev_code_char = '"';
+                    mode = Mode::Code;
+                } else {
+                    code.push(' ');
+                }
+                i += 1;
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        code.push('"');
+                        prev_code_char = '"';
+                        for k in 0..hashes as usize {
+                            raw.push(chars[i + 1 + k]);
+                        }
+                        mode = Mode::Code;
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                code.push(' ');
+                i += 1;
+            }
+            Mode::CharLit => {
+                if c == '\\' {
+                    if let Some(n) = chars.get(i + 1) {
+                        raw.push(*n);
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    code.push('\'');
+                    prev_code_char = '\'';
+                    mode = Mode::Code;
+                } else {
+                    code.push(' ');
+                }
+                i += 1;
+            }
+        }
+    }
+    if !raw.is_empty() || !code.is_empty() || !comment.is_empty() {
+        lines.push(ScanLine { raw, code, comment, in_test: false });
+    }
+
+    mark_test_regions(&mut lines);
+    FileScan { lines }
+}
+
+/// Mark lines that belong to `#[cfg(test)]` (or `#[test]`) items.
+///
+/// The attribute arms a "pending" flag; the next item that opens a brace
+/// starts a test region lasting until the matching close. An item that
+/// ends with `;` before opening a brace (e.g. a `use`) consumes the flag
+/// for that line only. Brace depth is tracked over the code channel, so
+/// braces in strings or comments cannot confuse the bookkeeping.
+fn mark_test_regions(lines: &mut [ScanLine]) {
+    let mut depth: i64 = 0;
+    let mut pending = false;
+    // Depth *above which* lines are test code; None when outside a region.
+    let mut region_floor: Option<i64> = None;
+
+    for line in lines.iter_mut() {
+        let code = line.code.clone();
+        let trimmed = code.trim();
+        if region_floor.is_some() {
+            line.in_test = true;
+        }
+        if trimmed.contains("#[cfg(test)]") || trimmed.contains("#[test]") {
+            pending = true;
+            line.in_test = true;
+        } else if pending && region_floor.is_none() && !trimmed.is_empty() {
+            // Attribute or doc lines between the cfg and the item keep the
+            // flag armed; anything else is the item itself.
+            line.in_test = true;
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if pending && region_floor.is_none() {
+                        region_floor = Some(depth);
+                        pending = false;
+                        line.in_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(floor) = region_floor {
+                        if depth <= floor {
+                            region_floor = None;
+                        }
+                    }
+                }
+                // `#[cfg(test)] use ...;` — flag consumed by one item.
+                ';' if pending && region_floor.is_none() && !trimmed.starts_with("#[") => {
+                    pending = false;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_comments() {
+        let s = scan("let x = 1; // HashMap here\n");
+        assert_eq!(s.lines[0].code.trim_end(), "let x = 1;");
+        assert!(s.lines[0].comment.contains("HashMap"));
+    }
+
+    #[test]
+    fn blanks_string_contents() {
+        let s = scan("let x = \"HashMap // not a comment\";\n");
+        assert!(!s.lines[0].code.contains("HashMap"));
+        assert!(s.lines[0].code.contains('"'));
+        assert!(s.lines[0].comment.is_empty());
+    }
+
+    #[test]
+    fn handles_raw_strings() {
+        let s = scan("let x = r#\"unwrap() \"quoted\" \"#; y.unwrap();\n");
+        assert_eq!(s.lines[0].code.matches(".unwrap()").count(), 1);
+    }
+
+    #[test]
+    fn handles_char_literals_and_lifetimes() {
+        let s = scan("fn f<'a>(x: &'a str) { let c = '\"'; let d = '{'; }\n");
+        // The quote and brace inside char literals must be blanked.
+        assert!(!s.lines[0].code.contains("'\"'"));
+        let opens = s.lines[0].code.matches('{').count();
+        let closes = s.lines[0].code.matches('}').count();
+        assert_eq!(opens, closes);
+        assert!(s.lines[0].code.contains("<'a>"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let s = scan("a();\n/* unwrap()\n still comment */ b();\n");
+        assert!(s.lines[1].code.trim().is_empty());
+        assert!(s.lines[1].comment.contains("unwrap"));
+        assert!(s.lines[2].code.contains("b();"));
+    }
+
+    #[test]
+    fn marks_cfg_test_regions() {
+        let src = "fn real() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { y.unwrap(); }\n\
+                   }\n\
+                   fn after() {}\n";
+        let s = scan(src);
+        assert!(!s.lines[0].in_test);
+        assert!(s.lines[1].in_test);
+        assert!(s.lines[2].in_test);
+        assert!(s.lines[3].in_test);
+        assert!(s.lines[4].in_test);
+        assert!(!s.lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_is_line_scoped() {
+        let src = "#[cfg(test)]\nuse std::collections::HashSet;\nfn real() {}\n";
+        let s = scan(src);
+        assert!(s.lines[1].in_test);
+        assert!(!s.lines[2].in_test);
+    }
+}

@@ -1,0 +1,209 @@
+//! `hdsmt-lint` — project-invariant static analysis for the hdSMT
+//! reproduction workspace.
+//!
+//! The simulator's correctness claims rest on invariants no compiler
+//! checks: bit-identical statistics across refactors, crash-consistency
+//! in the campaign daemon's durability paths, deadlock-free lock
+//! acquisition in the serve modules, and the ROADMAP's Timeline/`act::`
+//! contract for time-bearing state. This crate walks the workspace
+//! sources with a line-level lexer (no `syn` — consistent with the
+//! vendored-shim policy) and enforces a small rule registry:
+//!
+//! | rule id               | contract |
+//! |-----------------------|----------|
+//! | `determinism`         | no wall-clock reads / `HashMap`/`HashSet` in simulator-core crates |
+//! | `panic-safety`        | no `unwrap`/`expect`/`panic!`/range-index on durability paths |
+//! | `lock-order`          | per-function `.lock()` orders form an acyclic lock graph |
+//! | `timeline`            | time-bearing fields in `crates/core` reference `timeline`/`act::` |
+//! | `unsafe-audit`        | every `unsafe` has `// SAFETY:`; unsafe-free crates forbid unsafe |
+//! | `allow-justification` | every `#[allow]`/`LINT-ALLOW` carries a justification |
+//!
+//! Suppressions are explicit and auditable: inline
+//! `// LINT-ALLOW(rule): reason` annotations (same line, or a standalone
+//! comment line annotating the next code line) or `[[allow]]` entries in
+//! `lint.toml`. A `LINT-ALLOW` that suppresses nothing is itself a
+//! violation, so dead annotations cannot accumulate.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use config::{AllowEntry, LintConfig};
+pub use report::{Finding, Report};
+
+/// Directory names never descended into. `fixtures` holds the lint
+/// crate's own seeded-violation test trees, which must not leak into a
+/// workspace scan.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", ".github", "node_modules", "fixtures"];
+
+/// Run the full rule registry over the workspace rooted at `root`.
+///
+/// Scans `src/` trees only (`src/**/*.rs` and `crates/*/src/**/*.rs`):
+/// integration tests, benches, and examples are scaffolding, not shipped
+/// simulator/daemon code.
+pub fn run(root: &Path, cfg: &LintConfig) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut scans: Vec<(String, lexer::FileScan)> = Vec::new();
+    for rel in &files {
+        let text = std::fs::read_to_string(root.join(rel))?;
+        scans.push((rel.clone(), lexer::scan(&text)));
+    }
+
+    // Per-file rules.
+    for (rel, scan) in &scans {
+        let mut raw: Vec<Finding> = Vec::new();
+        rules::check_determinism(rel, scan, cfg, &mut raw);
+        rules::check_panic_safety(rel, scan, cfg, &mut raw);
+        rules::check_lock_order(rel, scan, cfg, &mut raw);
+        rules::check_timeline(rel, scan, cfg, &mut raw);
+        rules::check_unsafe_audit(rel, scan, &mut raw);
+        rules::check_allow_justification(rel, scan, &mut raw);
+
+        // Resolve suppressions: inline LINT-ALLOW first, then lint.toml.
+        let mut inline = rules::collect_inline_allows(rel, scan, &mut findings);
+        for f in &mut raw {
+            let matched_inline =
+                inline.iter_mut().find(|a| a.rule == f.rule && a.target_line == f.line);
+            if let Some(a) = matched_inline {
+                a.used = true;
+                f.allowed = Some(a.reason.clone());
+                continue;
+            }
+            let line_raw =
+                scan.lines.get(f.line.saturating_sub(1)).map(|l| l.raw.as_str()).unwrap_or("");
+            if let Some(entry) = cfg.allows.iter().find(|e| {
+                e.rule == f.rule
+                    && rules::in_scope(rel, std::slice::from_ref(&e.path))
+                    && e.contains.as_deref().map(|c| line_raw.contains(c)).unwrap_or(true)
+            }) {
+                f.allowed = Some(entry.reason.clone());
+            }
+        }
+        // Dead inline allows are violations: stale suppressions rot fast.
+        for a in &inline {
+            if !a.used {
+                raw.push(Finding {
+                    rule: "allow-justification",
+                    path: rel.clone(),
+                    line: a.comment_line,
+                    message: format!(
+                        "LINT-ALLOW({}) suppresses nothing — remove the stale annotation",
+                        a.rule
+                    ),
+                    allowed: None,
+                });
+            }
+        }
+        findings.append(&mut raw);
+    }
+
+    // Workspace-level rule: unsafe-free crates must forbid unsafe code.
+    check_forbid_unsafe(&scans, &mut findings);
+
+    // Surface lint.toml entries that matched nothing.
+    let unused_allows = cfg
+        .allows
+        .iter()
+        .filter(|e| {
+            !findings
+                .iter()
+                .any(|f| f.allowed.as_deref() == Some(e.reason.as_str()) && f.rule == e.rule)
+        })
+        .map(|e| format!("rule={} path={}", e.rule, e.path))
+        .collect();
+
+    let mut report = Report { findings, files_scanned: scans.len(), unused_allows };
+    report.sort();
+    Ok(report)
+}
+
+/// Group files by crate `src/` root; any crate with zero non-test
+/// `unsafe` must carry `#![forbid(unsafe_code)]` in its `lib.rs`.
+fn check_forbid_unsafe(scans: &[(String, lexer::FileScan)], findings: &mut Vec<Finding>) {
+    // crate src prefix -> (lib.rs path if seen, lib has forbid, any unsafe)
+    let mut crates: BTreeMap<String, (Option<String>, bool, bool)> = BTreeMap::new();
+    for (rel, scan) in scans {
+        let Some(src_root) = crate_src_root(rel) else {
+            continue;
+        };
+        let entry = crates.entry(src_root.clone()).or_insert((None, false, false));
+        if rel == &format!("{src_root}/lib.rs") {
+            entry.0 = Some(rel.clone());
+            entry.1 = rules::has_forbid_unsafe(scan);
+        }
+        if rules::file_has_unsafe(scan) {
+            entry.2 = true;
+        }
+    }
+    for (src_root, (lib, has_forbid, has_unsafe)) in &crates {
+        if let Some(lib_path) = lib {
+            if !*has_unsafe && !*has_forbid {
+                findings.push(Finding {
+                    rule: "unsafe-audit",
+                    path: lib_path.clone(),
+                    line: 1,
+                    message: format!(
+                        "crate `{src_root}` uses no unsafe code but does not declare \
+                         `#![forbid(unsafe_code)]`"
+                    ),
+                    allowed: None,
+                });
+            }
+        }
+    }
+}
+
+/// Map `crates/foo/src/bar.rs` -> `crates/foo/src`, `src/lib.rs` -> `src`.
+fn crate_src_root(rel: &str) -> Option<String> {
+    let mut parts: Vec<&str> = rel.split('/').collect();
+    parts.pop()?; // file name
+                  // Walk up to the nearest `src` component.
+    while let Some(last) = parts.last() {
+        if *last == "src" {
+            return Some(parts.join("/"));
+        }
+        parts.pop();
+    }
+    None
+}
+
+/// Recursively collect `src/**/*.rs` files, root-relative with `/`
+/// separators, skipping build output and vendored shims.
+fn collect_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path: PathBuf = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            // Only shipped sources: anything under a `src/` directory.
+            if rel.starts_with("src/") || rel.contains("/src/") {
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}

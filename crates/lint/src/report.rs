@@ -1,0 +1,200 @@
+//! Findings and report rendering (human text and `--format json`).
+//!
+//! JSON is emitted by hand (the lint crate is dependency-free and must
+//! not pull in the vendored serde shims: it has to stay buildable even
+//! while the rest of the workspace is mid-refactor). The schema is
+//! versioned so the CI artifact stays machine-consumable.
+
+use std::fmt::Write as _;
+
+/// A single rule violation (possibly suppressed by an allow).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id, e.g. `determinism`.
+    pub rule: &'static str,
+    /// Root-relative `/`-separated path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human description of the violation.
+    pub message: String,
+    /// `Some(reason)` when suppressed by `LINT-ALLOW` or `lint.toml`.
+    pub allowed: Option<String>,
+}
+
+/// Aggregate result of a lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// All findings, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// `lint.toml` allow entries that matched nothing (kept as warnings
+    /// so the allowlist cannot silently rot).
+    pub unused_allows: Vec<String>,
+}
+
+impl Report {
+    /// Findings not suppressed by any allow.
+    pub fn violations(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.allowed.is_none())
+    }
+
+    /// True when the tree passes (`--deny` exits 0).
+    pub fn is_clean(&self) -> bool {
+        self.violations().next().is_none()
+    }
+
+    /// Canonical ordering so output is stable across platforms.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+        self.unused_allows.sort();
+    }
+
+    /// Human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            match &f.allowed {
+                None => {
+                    let _ = writeln!(out, "{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+                }
+                Some(reason) => {
+                    let _ = writeln!(
+                        out,
+                        "{}:{}: [{}] allowed: {} ({})",
+                        f.path, f.line, f.rule, f.message, reason
+                    );
+                }
+            }
+        }
+        for w in &self.unused_allows {
+            let _ = writeln!(out, "warning: unused lint.toml allow: {w}");
+        }
+        let violations = self.violations().count();
+        let suppressed = self.findings.len() - violations;
+        let _ = writeln!(
+            out,
+            "{} files scanned, {} violation(s), {} suppressed",
+            self.files_scanned, violations, suppressed
+        );
+        out
+    }
+
+    /// Machine-readable report (stable schema, version 1).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"violations\": {},", self.violations().count());
+        let _ = writeln!(out, "  \"clean\": {},", self.is_clean());
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(
+                out,
+                "\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"allowed\": {}",
+                json_string(f.rule),
+                json_string(&f.path),
+                f.line,
+                json_string(&f.message),
+                match &f.allowed {
+                    Some(r) => json_string(r),
+                    None => "null".to_string(),
+                }
+            );
+            out.push('}');
+        }
+        if self.findings.is_empty() {
+            out.push_str("],\n");
+        } else {
+            out.push_str("\n  ],\n");
+        }
+        out.push_str("  \"unused_allows\": [");
+        for (i, w) in self.unused_allows.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(w));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escape a string per JSON.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            findings: vec![
+                Finding {
+                    rule: "determinism",
+                    path: "b.rs".into(),
+                    line: 3,
+                    message: "HashMap in sim core".into(),
+                    allowed: None,
+                },
+                Finding {
+                    rule: "panic-safety",
+                    path: "a.rs".into(),
+                    line: 7,
+                    message: "unwrap() on durability path".into(),
+                    allowed: Some("checked \"above\"".into()),
+                },
+            ],
+            files_scanned: 2,
+            unused_allows: vec![],
+        }
+    }
+
+    #[test]
+    fn sort_orders_by_path_line_rule() {
+        let mut r = sample();
+        r.sort();
+        assert_eq!(r.findings[0].path, "a.rs");
+        assert_eq!(r.findings[1].path, "b.rs");
+    }
+
+    #[test]
+    fn clean_ignores_suppressed() {
+        let mut r = sample();
+        r.findings.remove(0);
+        assert!(r.is_clean());
+        assert_eq!(r.findings.len(), 1);
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let r = sample();
+        let json = r.render_json();
+        assert!(json.contains("checked \\\"above\\\""));
+        assert!(json.contains("\"violations\": 1"));
+        assert!(json.contains("\"clean\": false"));
+    }
+}

@@ -1,0 +1,39 @@
+//! Fixture: seeded `panic-safety` violations on a durability path,
+//! plus one live inline allow, one stale inline allow, and one line
+//! suppressed via the fixture `lint.toml`.
+
+#![forbid(unsafe_code)]
+
+/// Seeded: `unwrap()` on a durability path.
+pub fn first(bytes: &[u8]) -> u8 {
+    bytes.first().copied().unwrap()
+}
+
+/// Seeded: `panic!` and `expect()` on a durability path.
+pub fn header(bytes: &[u8]) -> &[u8] {
+    if bytes.is_empty() {
+        panic!("empty record");
+    }
+    bytes.get(..4).expect("short record")
+}
+
+/// Seeded: range slice-index that can panic on malformed input.
+pub fn body(bytes: &[u8]) -> &[u8] {
+    &bytes[4..]
+}
+
+/// Live inline allow: same-line annotation suppresses the finding.
+pub fn digest_prefix(digest: &str) -> &str {
+    &digest[..8] // LINT-ALLOW(panic-safety): fixture digest is always 64 hex chars
+}
+
+// LINT-ALLOW(panic-safety): stale annotation that suppresses nothing
+pub fn harmless() -> u8 {
+    7
+}
+
+/// Suppressed via the fixture `lint.toml` (its `contains` filter
+/// matches the marker comment on the offending line).
+pub fn toml_allowed(bytes: &[u8]) -> u8 {
+    bytes.first().copied().unwrap() // toml-allowed record tail
+}

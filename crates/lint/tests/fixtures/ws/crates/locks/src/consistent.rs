@@ -1,0 +1,23 @@
+//! Fixture: clean counterpart — every function acquires `alpha` before
+//! `beta`, so the lock graph is acyclic.
+
+use std::sync::Mutex;
+
+pub struct Ordered {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Ordered {
+    pub fn deposit(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop((a, b));
+    }
+
+    pub fn withdraw(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop((a, b));
+    }
+}

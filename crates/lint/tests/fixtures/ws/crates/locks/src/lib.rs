@@ -1,0 +1,28 @@
+//! Fixture: seeded two-lock order inversion — `transfer_ab` acquires
+//! `alpha` then `beta`, `transfer_ba` acquires them in the opposite
+//! order, so the lock graph contains the cycle `alpha -> beta -> alpha`.
+
+#![forbid(unsafe_code)]
+
+pub mod consistent;
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn transfer_ab(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop((a, b));
+    }
+
+    pub fn transfer_ba(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        drop((a, b));
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: crate with zero `unsafe` that fails to declare
+//! `#![forbid(unsafe_code)]`, plus a bare `#[allow]` with no
+//! justification comment.
+
+#[allow(dead_code)]
+fn unused() -> u8 {
+    42
+}
+
+pub fn answer() -> u8 {
+    41
+}

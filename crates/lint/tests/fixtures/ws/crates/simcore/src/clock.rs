@@ -1,0 +1,24 @@
+//! Fixture: seeded `determinism` and `timeline` violations.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Event record with a time-bearing field and no Timeline reference.
+pub struct Pending {
+    pub ready_cycle: u64,
+    pub payload: u32,
+}
+
+/// Wall-clock read inside simulator-core code.
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+/// Nondeterministic iteration order: the seeded hash-container violation.
+pub fn tally(keys: &[u32]) -> HashMap<u32, usize> {
+    let mut m = HashMap::new();
+    for k in keys {
+        *m.entry(*k).or_insert(0) += 1;
+    }
+    m
+}

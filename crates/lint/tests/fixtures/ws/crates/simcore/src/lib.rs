@@ -1,0 +1,18 @@
+//! Fixture: clean simulator-core crate root. No wall-clock reads, no
+//! hash containers, no undocumented time-bearing state — the negative
+//! control for the `determinism` and `timeline` rules.
+
+#![forbid(unsafe_code)]
+
+pub mod clock;
+
+use std::collections::BTreeMap;
+
+/// Deterministic by construction: ordered map, no wall clock.
+pub fn histogram(samples: &[u64]) -> BTreeMap<u64, usize> {
+    let mut h = BTreeMap::new();
+    for s in samples {
+        *h.entry(*s).or_insert(0) += 1;
+    }
+    h
+}

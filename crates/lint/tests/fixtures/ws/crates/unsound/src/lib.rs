@@ -1,0 +1,14 @@
+//! Fixture: `unsafe-audit` positive and negative cases — one
+//! undocumented `unsafe` block (violation) and one carrying a
+//! `// SAFETY:` comment (clean).
+
+/// Seeded: `unsafe` with no SAFETY comment anywhere nearby.
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+/// Clean: the invariant is documented on the preceding line.
+pub fn documented(slice: &[u8]) -> u8 {
+    // SAFETY: the caller guarantees `slice` is non-empty.
+    unsafe { *slice.get_unchecked(0) }
+}

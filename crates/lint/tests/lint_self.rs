@@ -1,0 +1,170 @@
+//! Fixture self-tests: run the full rule registry over the seeded
+//! workspace in `tests/fixtures/ws` (one violation per rule plus clean
+//! counterparts) and over the real repository (which must be clean).
+
+use std::path::{Path, PathBuf};
+
+use hdsmt_lint::{run, LintConfig};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+/// Scopes matching the fixture tree, with an empty allowlist so every
+/// seeded violation (except inline-allowed lines) surfaces.
+fn fixture_cfg() -> LintConfig {
+    LintConfig {
+        determinism_paths: vec!["crates/simcore/src".into()],
+        panic_safety_paths: vec!["crates/durable/src".into()],
+        lock_order_paths: vec!["crates/locks/src".into()],
+        timeline_paths: vec!["crates/simcore/src".into()],
+        allows: Vec::new(),
+    }
+}
+
+fn fixture_toml_cfg() -> LintConfig {
+    let text = std::fs::read_to_string(fixture_root().join("lint.toml"))
+        .expect("fixture lint.toml must exist");
+    LintConfig::parse(&text).expect("fixture lint.toml must parse")
+}
+
+/// Every seeded violation, and nothing else, is reported — pinned as
+/// `(rule, path, line)` tuples in report order.
+#[test]
+fn fixture_violations_match_golden() {
+    let report = run(&fixture_root(), &fixture_cfg()).expect("fixture scan");
+    let got: Vec<(&str, &str, usize)> =
+        report.violations().map(|f| (f.rule, f.path.as_str(), f.line)).collect();
+    let want: Vec<(&str, &str, usize)> = vec![
+        ("panic-safety", "crates/durable/src/lib.rs", 9),
+        ("panic-safety", "crates/durable/src/lib.rs", 15),
+        ("panic-safety", "crates/durable/src/lib.rs", 17),
+        ("panic-safety", "crates/durable/src/lib.rs", 22),
+        ("allow-justification", "crates/durable/src/lib.rs", 30),
+        ("panic-safety", "crates/durable/src/lib.rs", 38),
+        ("lock-order", "crates/locks/src/lib.rs", 25),
+        ("unsafe-audit", "crates/noforbid/src/lib.rs", 1),
+        ("allow-justification", "crates/noforbid/src/lib.rs", 5),
+        ("determinism", "crates/simcore/src/clock.rs", 3),
+        ("timeline", "crates/simcore/src/clock.rs", 8),
+        ("determinism", "crates/simcore/src/clock.rs", 14),
+        ("determinism", "crates/simcore/src/clock.rs", 18),
+        ("determinism", "crates/simcore/src/clock.rs", 19),
+        ("unsafe-audit", "crates/unsound/src/lib.rs", 7),
+    ];
+    assert_eq!(got, want, "seeded fixture violations drifted");
+}
+
+/// Acceptance: the lock-order rule detects the seeded two-lock
+/// inversion (`transfer_ab` vs `transfer_ba`) and stays quiet on the
+/// consistently-ordered counterpart.
+#[test]
+fn lock_order_detects_seeded_inversion() {
+    let report = run(&fixture_root(), &fixture_cfg()).expect("fixture scan");
+    let cycles: Vec<_> = report.findings.iter().filter(|f| f.rule == "lock-order").collect();
+    assert_eq!(cycles.len(), 1, "exactly one seeded inversion expected");
+    let f = cycles[0];
+    assert_eq!(f.path, "crates/locks/src/lib.rs");
+    assert!(
+        f.message.contains("alpha -> beta -> alpha"),
+        "cycle order missing from message: {}",
+        f.message
+    );
+    assert!(
+        f.message.contains("transfer_ba"),
+        "closing function missing from message: {}",
+        f.message
+    );
+    assert!(
+        !report.findings.iter().any(|f| f.path == "crates/locks/src/consistent.rs"),
+        "consistently-ordered counterpart must be clean"
+    );
+}
+
+/// A live `// LINT-ALLOW(rule): reason` suppresses its finding and
+/// records the justification; a stale one is itself a violation.
+#[test]
+fn inline_allow_round_trip() {
+    let report = run(&fixture_root(), &fixture_cfg()).expect("fixture scan");
+    let allowed = report
+        .findings
+        .iter()
+        .find(|f| f.path == "crates/durable/src/lib.rs" && f.line == 27)
+        .expect("range-index finding on the inline-allowed line");
+    assert_eq!(
+        allowed.allowed.as_deref(),
+        Some("fixture digest is always 64 hex chars"),
+        "inline allow must suppress with its justification"
+    );
+    let stale = report
+        .violations()
+        .find(|f| f.path == "crates/durable/src/lib.rs" && f.line == 30)
+        .expect("stale LINT-ALLOW must be reported");
+    assert_eq!(stale.rule, "allow-justification");
+    assert!(stale.message.contains("suppresses nothing"));
+}
+
+/// The fixture `lint.toml` overrides the path scopes and its
+/// `[[allow]]` entry suppresses exactly the `toml_allowed` line.
+#[test]
+fn lint_toml_allowlist_round_trip() {
+    let cfg = fixture_toml_cfg();
+    assert_eq!(cfg.determinism_paths, vec!["crates/simcore/src"]);
+    assert_eq!(cfg.panic_safety_paths, vec!["crates/durable/src"]);
+    assert_eq!(cfg.allows.len(), 1);
+
+    let base = run(&fixture_root(), &fixture_cfg()).expect("fixture scan");
+    let report = run(&fixture_root(), &cfg).expect("fixture scan");
+    assert_eq!(
+        report.violations().count() + 1,
+        base.violations().count(),
+        "the allowlist entry must suppress exactly one violation"
+    );
+    let suppressed = report
+        .findings
+        .iter()
+        .find(|f| f.path == "crates/durable/src/lib.rs" && f.line == 38)
+        .expect("toml_allowed finding present");
+    assert_eq!(suppressed.allowed.as_deref(), Some("fixture: caller never passes an empty record"));
+    assert!(report.unused_allows.is_empty(), "the entry matched, so it must not be flagged unused");
+}
+
+/// An allowlist entry that suppresses nothing is surfaced so stale
+/// config rots loudly, not silently.
+#[test]
+fn unused_allow_entry_is_reported() {
+    let mut cfg = fixture_cfg();
+    cfg.allows.push(hdsmt_lint::AllowEntry {
+        rule: "determinism".into(),
+        path: "crates/locks/src".into(),
+        contains: None,
+        reason: "never matches anything".into(),
+    });
+    let report = run(&fixture_root(), &cfg).expect("fixture scan");
+    assert_eq!(report.unused_allows, vec!["rule=determinism path=crates/locks/src".to_string()]);
+}
+
+/// Golden JSON: the machine-readable report for the fixture workspace
+/// (scopes + allowlist from the fixture `lint.toml`, exactly what
+/// `hdsmt-lint --root tests/fixtures/ws --format json` emits) is pinned
+/// byte-for-byte.
+#[test]
+fn fixture_json_report_matches_golden() {
+    let report = run(&fixture_root(), &fixture_toml_cfg()).expect("fixture scan");
+    let golden = include_str!("fixtures/golden_report.json");
+    assert_eq!(report.render_json(), golden, "golden JSON report drifted");
+}
+
+/// The real workspace must lint clean under the default configuration —
+/// the same invariant CI's lint-gate enforces.
+#[test]
+fn repository_is_clean_under_default_config() {
+    let repo_root =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root");
+    let report = run(&repo_root, &LintConfig::default()).expect("workspace scan");
+    let offenders: Vec<String> = report
+        .violations()
+        .map(|f| format!("{}:{} [{}] {}", f.path, f.line, f.rule, f.message))
+        .collect();
+    assert!(offenders.is_empty(), "workspace must be lint-clean:\n{}", offenders.join("\n"));
+}

@@ -24,6 +24,8 @@
 //! rather than paying the full penalty again — and bound the number of
 //! outstanding misses, applying back-pressure to the load/store units.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod config;
 pub mod hier;

@@ -58,6 +58,8 @@
 //! `cold_mut`/`pair_mut`/`snap`) replace raw record access, so each
 //! stage's cache traffic is visible in the types it touches.
 
+#![forbid(unsafe_code)]
+
 pub mod buffer;
 pub mod fu;
 pub mod inst;

@@ -8,7 +8,7 @@
 //! control-transfer target to an *instruction index* — the unit the
 //! emulator executes and the CFG translator lays out at 4-byte PCs.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An architectural register, by x-index (0–31).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -216,7 +216,7 @@ impl RvInst {
 #[derive(Clone, Debug)]
 pub struct AsmProgram {
     pub insts: Vec<RvInst>,
-    pub labels: HashMap<String, usize>,
+    pub labels: BTreeMap<String, usize>,
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -238,7 +238,7 @@ pub fn parse(text: &str) -> Result<AsmProgram, String> {
     // Pass 1: split into (lineno, stmt) instruction statements and record
     // label positions.
     let mut stmts: Vec<(usize, &str)> = Vec::new();
-    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut labels: BTreeMap<String, usize> = BTreeMap::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = strip_comment(raw).trim();
         if line.is_empty() {
@@ -269,7 +269,7 @@ pub fn parse(text: &str) -> Result<AsmProgram, String> {
     Ok(AsmProgram { insts, labels })
 }
 
-fn parse_inst(stmt: &str, labels: &HashMap<String, usize>) -> Result<RvInst, String> {
+fn parse_inst(stmt: &str, labels: &BTreeMap<String, usize>) -> Result<RvInst, String> {
     let (op, rest) = stmt.split_once(char::is_whitespace).unwrap_or((stmt, ""));
     let args: Vec<&str> =
         if rest.trim().is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };

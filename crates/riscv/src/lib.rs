@@ -29,12 +29,14 @@
 //! synthetic and real threads. Custom programs load through
 //! [`image_from_asm`].
 
+#![forbid(unsafe_code)]
+
 pub mod asm;
 pub mod emu;
 pub mod source;
 pub mod translate;
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 pub use asm::{AsmProgram, RvInst};
@@ -66,9 +68,9 @@ pub fn image_from_asm(name: &str, text: &str) -> Result<Arc<RvImage>, String> {
 /// image is immutable and shared across all simulations of the process,
 /// like the synthetic programs' fixed binaries).
 pub fn by_name(name: &str) -> Option<Arc<RvImage>> {
-    static CACHE: OnceLock<Mutex<HashMap<&'static str, Arc<RvImage>>>> = OnceLock::new();
+    static CACHE: OnceLock<Mutex<BTreeMap<&'static str, Arc<RvImage>>>> = OnceLock::new();
     let (key, text) = BUILTIN.iter().find(|&&(n, _)| n == name).copied()?;
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
     let mut map = cache.lock().unwrap_or_else(|p| p.into_inner());
     Some(
         map.entry(key)

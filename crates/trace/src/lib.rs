@@ -25,6 +25,8 @@
 //! gzip/eon/crafty/bzip2 at the high-ILP end, perlbmk indirect-branch heavy,
 //! gcc/vortex with large instruction footprints, …).
 
+#![forbid(unsafe_code)]
+
 pub mod chunk;
 pub mod dyninst;
 pub mod profile;

@@ -14,6 +14,8 @@
 //! * [`summary`] — the §5 headline numbers (performance-per-area
 //!   improvements, heuristic accuracy, raw-performance comparisons).
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod runner;
 pub mod summary;

@@ -22,6 +22,7 @@
 //! | [`area`] | the §3 area cost model (Fig 2(b) / Fig 3) |
 //! | [`workloads`] | Tables 2–3 workloads, envelope experiments, §5 summary |
 //! | [`campaign`] | declarative, cached, resumable experiment-campaign engine + CLI + [`campaign::serve`] sweep-service daemon |
+//! | `lint` | `hdsmt-lint`: project-invariant static analysis (see below) |
 //!
 //! ## Quickstart
 //!
@@ -105,6 +106,30 @@
 //! `run`/`status`/`export --remote ADDR` as thin clients and
 //! `serve --shard i/n` workers splitting one campaign across processes
 //! on a shared cache — see [`campaign::serve`].
+//!
+//! ## Project invariants & lint rules
+//!
+//! Several of this workspace's correctness claims are invariants no
+//! compiler checks, so `crates/lint` ships `hdsmt-lint`, a
+//! dependency-free static-analysis pass that CI runs in deny mode
+//! (`cargo run -p hdsmt-lint -- --deny`). The rule registry:
+//!
+//! | Rule | Invariant it guards |
+//! |---|---|
+//! | `determinism` | simulator-core crates never read wall-clock time or use `HashMap`/`HashSet`, so runs are bit-identical and the golden-stats matrix (`tests/golden_stats.rs`) stays meaningful across refactors |
+//! | `panic-safety` | campaign durability paths (journal, cache, fsck, serve) propagate errors instead of panicking — a crash mid-write must leave recoverable state, never take the daemon down (PR 8 contract: degrade, don't die) |
+//! | `lock-order` | per-function `.lock()` acquisition orders in the serve modules form an acyclic lock graph, so no two call paths can deadlock on a pair of mutexes |
+//! | `timeline` | time-bearing fields (`*_cycle`, `*due*`, `*expiry*`) in `crates/core` reference the `Timeline`/`act::` machinery — scheduled state lives in one place, which is what makes shadow-stepping comparisons sound |
+//! | `unsafe-audit` | every `unsafe` block carries a `// SAFETY:` comment; crates with zero unsafe declare `#![forbid(unsafe_code)]` |
+//! | `allow-justification` | every `#[allow(..)]` and every `LINT-ALLOW` carries a justification; stale suppressions are themselves violations |
+//!
+//! Suppressions are explicit: inline `// LINT-ALLOW(rule): reason` on
+//! (or immediately above) the offending line, or a scoped `[[allow]]`
+//! entry in the root `lint.toml`. Both are audited — a suppression that
+//! matches nothing is reported so dead allows cannot accumulate. The
+//! workspace currently lints clean with zero suppressions.
+
+#![forbid(unsafe_code)]
 
 pub use hdsmt_area as area;
 pub use hdsmt_bpred as bpred;
