@@ -6,7 +6,8 @@
 //! hdsmt-campaign export <spec> [--out DIR] [--cache DIR] [--remote ADDR]
 //! hdsmt-campaign serve  [--addr A] [--cache DIR] [--workers N]
 //!                       [--executors N] [--queue-cap N] [--shard I/N]
-//!                       [--supervise N] [--addr-file PATH]
+//!                       [--supervise N] [--worker ADDR]... [--peer ADDR]...
+//!                       [--addr-file PATH]
 //!                       [--cell-deadline-ms N] [--cell-retries N]
 //!                       [--durable] [--no-journal]
 //! hdsmt-campaign fsck   [--cache DIR] [--tmp-age-secs N] [--gc]
@@ -34,6 +35,13 @@
 //! handshake); `--cell-deadline-ms`/`--cell-retries` arm the per-cell
 //! watchdog so a hung simulation is cancelled, retried, and at worst
 //! marked failed-with-timeout while the campaign completes around it.
+//!
+//! For fleets that span hosts, repeatable `--worker HOST:PORT` entries
+//! adopt already-running daemons as shard workers (with `--supervise 0`
+//! the fleet is purely remote), and repeatable `--peer HOST:PORT` entries
+//! make the cache read through to peer daemons on a miss — see
+//! `hdsmt_campaign::serve` ("Distributed deployment") for the full
+//! failure model.
 //!
 //! With `--remote ADDR`, `run`/`status`/`export` become thin HTTP clients
 //! of a `serve` daemon instead of simulating locally: `run` submits the
@@ -77,6 +85,10 @@ struct Options {
     shard: Option<ShardSpec>,
     /// Run `serve` as a fleet supervisor over N shard workers.
     supervise: Option<u32>,
+    /// Remote daemons to adopt as shard workers (`--worker`, repeatable).
+    worker_addrs: Vec<String>,
+    /// Peer daemons whose caches back this one (`--peer`, repeatable).
+    peers: Vec<String>,
     /// Report the bound listen address through this file (tmp+rename).
     addr_file: Option<PathBuf>,
     /// Per-cell watchdog soft deadline, in milliseconds.
@@ -104,6 +116,7 @@ fn usage() -> String {
      [--poll-timeout-secs N]\n       \
      hdsmt-campaign serve [--addr A] [--cache DIR] [--workers N] \
      [--executors N] [--queue-cap N] [--shard I/N] [--supervise N] \
+     [--worker ADDR]... [--peer ADDR]... \
      [--addr-file PATH] [--cell-deadline-ms N] [--cell-retries N] \
      [--durable] [--no-journal]\n       \
      hdsmt-campaign fsck [--cache DIR] [--tmp-age-secs N] [--gc] \
@@ -123,6 +136,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         queue_cap: 64,
         shard: None,
         supervise: None,
+        worker_addrs: Vec::new(),
+        peers: Vec::new(),
         addr_file: None,
         cell_deadline_ms: None,
         cell_retries: 2,
@@ -167,11 +182,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--supervise" => {
                 let v = it.next().ok_or("--supervise needs a value")?;
-                let n = v.parse::<u32>().map_err(|_| "--supervise: not a number")?;
-                if n == 0 {
-                    return Err("--supervise needs at least 1 worker".into());
-                }
-                opts.supervise = Some(n);
+                // 0 is legal with --worker entries: a purely remote fleet.
+                opts.supervise = Some(v.parse::<u32>().map_err(|_| "--supervise: not a number")?);
+            }
+            "--worker" => {
+                opts.worker_addrs.push(it.next().ok_or("--worker needs a host:port")?.clone());
+            }
+            "--peer" => {
+                opts.peers.push(it.next().ok_or("--peer needs a host:port")?.clone());
             }
             "--addr-file" => {
                 opts.addr_file = Some(PathBuf::from(it.next().ok_or("--addr-file needs a value")?));
@@ -232,7 +250,10 @@ fn load(opts: &Options) -> Result<(CampaignSpec, ResultCache), String> {
     if let Some(dir) = &opts.cache_dir {
         spec.cache_dir = Some(dir.clone());
     }
-    let cache = engine::open_cache(&spec).map_err(|e| e.to_string())?.with_durable(opts.durable);
+    let cache = engine::open_cache(&spec)
+        .map_err(|e| e.to_string())?
+        .with_durable(opts.durable)
+        .with_peers(opts.peers.clone());
     Ok((spec, cache))
 }
 
@@ -292,6 +313,12 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 );
             }
             println!("cache entries on disk: {}", cache.len());
+            let counters = cache.counters();
+            if !cache.peers().is_empty() {
+                println!("cache peers: {}", cache.peers().join(", "));
+                println!("cache remote hits: {}", counters.remote_hits);
+                println!("cells replicated: {}", counters.replicated);
+            }
             // Rotten entries re-simulate silently on the next run; the
             // count makes that visible here instead of just slow.
             println!("cache corrupt entries: {}", cache.corrupt_entries());
@@ -354,6 +381,14 @@ fn run(args: Vec<String>) -> Result<(), String> {
             if opts.supervise.is_some() && opts.shard.is_some() {
                 return Err("--supervise spawns its own shards; drop --shard".into());
             }
+            if opts.supervise == Some(0) && opts.worker_addrs.is_empty() {
+                return Err("--supervise 0 needs at least one --worker ADDR to adopt".into());
+            }
+            if opts.supervise.is_none() && !opts.worker_addrs.is_empty() {
+                return Err(
+                    "--worker entries need --supervise N (0 for a purely remote fleet)".into()
+                );
+            }
             let config = ServerConfig {
                 addr: opts.addr.clone(),
                 cache_dir: opts.cache_dir.clone().unwrap_or_else(|| ".hdsmt-cache".into()),
@@ -366,6 +401,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 cell_retries: opts.cell_retries,
                 journal: !opts.no_journal,
                 durable: opts.durable,
+                peers: opts.peers.clone(),
+                remote_workers: opts.worker_addrs.clone(),
                 ..ServerConfig::default()
             };
             let cache_dir = config.cache_dir.clone();
@@ -385,7 +422,11 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 server.addr(),
                 cache_dir,
                 match opts.supervise {
-                    Some(n) => format!("supervising {n} worker(s)"),
+                    Some(n) if opts.worker_addrs.is_empty() => format!("supervising {n} worker(s)"),
+                    Some(n) => format!(
+                        "supervising {n} spawned + {} remote worker(s)",
+                        opts.worker_addrs.len()
+                    ),
                     None => format!("{} executor(s)", opts.executors.max(1)),
                 },
                 match opts.shard {

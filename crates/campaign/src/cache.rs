@@ -7,6 +7,22 @@
 //! campaign never leaves a truncated entry behind — a half-written file
 //! simply re-simulates. Re-running a campaign therefore only simulates
 //! the missing cells: resumability and incrementality by construction.
+//!
+//! # The remote tier
+//!
+//! A cache may be given HTTP **peers** ([`ResultCache::with_peers`]):
+//! other sweep daemons with their *own* cache directories. A local miss
+//! then consults each peer's content-addressed `GET /cells/:hash`,
+//! validates the returned entry, lands a copy locally (same atomic
+//! tmp + rename as a simulated result), and serves it — so fleets
+//! spanning machines share finished cells without a shared filesystem.
+//! Replication is governed by one rule, *byte-equality or quarantine*:
+//! entries are deterministic, so two copies of one key must be
+//! byte-identical, and any divergence is treated as corruption — the
+//! suspect copy is quarantined as evidence, never merged
+//! last-write-wins, never served. [`ResultCache::sync_from_peer`] runs
+//! the anti-entropy direction: diff a peer's `GET /cells?since=`
+//! manifest against the local tree and pull what's missing.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -35,6 +51,9 @@ pub struct CacheTelemetry {
     misses: AtomicU64,
     corrupt: AtomicU64,
     quarantined: AtomicU64,
+    remote_hits: AtomicU64,
+    replicated: AtomicU64,
+    conflicts: AtomicU64,
 }
 
 /// Point-in-time snapshot of [`CacheTelemetry`].
@@ -46,6 +65,13 @@ pub struct CacheCounters {
     pub corrupt: u64,
     /// Corrupt entries this process moved into `quarantine/`.
     pub quarantined: u64,
+    /// Local misses served by a peer's `GET /cells/:hash`.
+    pub remote_hits: u64,
+    /// Entries landed from peers (read-through, `PUT /cells`, sync).
+    pub replicated: u64,
+    /// Replication attempts rejected because a byte-different copy of
+    /// the same key already existed (incoming copy quarantined).
+    pub conflicts: u64,
 }
 
 /// Subdirectory (inside the cache root) holding quarantined entries.
@@ -61,6 +87,27 @@ pub enum EntryLookup {
     Corrupt,
 }
 
+/// Successful outcome of landing a replicated entry (`PUT /cells/:hash`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Replicate {
+    /// The entry landed (atomically) in the live tree.
+    Stored,
+    /// A byte-identical copy was already present — idempotent no-op.
+    AlreadyPresent,
+}
+
+/// Why a replicated entry was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplicateError {
+    /// The body does not deserialize as a cache entry.
+    Invalid,
+    /// A byte-*different* copy of this key already exists locally; the
+    /// incoming bytes were quarantined, the local copy stays.
+    Conflict,
+    /// The landing write failed.
+    Io(String),
+}
+
 /// A content-addressed store of [`SimResult`]s.
 #[derive(Clone, Debug)]
 pub struct ResultCache {
@@ -70,6 +117,9 @@ pub struct ResultCache {
     /// fsyncs the shard directory after it, extending the crash model
     /// from process death to host power loss (`--durable`).
     durable: bool,
+    /// Remote tier: `host:port` of peer daemons whose `GET /cells/:hash`
+    /// is consulted on a local miss (`--peer`, or supervisor-plumbed).
+    peers: Arc<Vec<String>>,
 }
 
 impl ResultCache {
@@ -77,13 +127,28 @@ impl ResultCache {
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(ResultCache { dir, telemetry: Arc::new(CacheTelemetry::default()), durable: false })
+        Ok(ResultCache {
+            dir,
+            telemetry: Arc::new(CacheTelemetry::default()),
+            durable: false,
+            peers: Arc::new(Vec::new()),
+        })
     }
 
     /// Toggle fsync-before-rename writes (see the `durable` field).
     pub fn with_durable(mut self, durable: bool) -> Self {
         self.durable = durable;
         self
+    }
+
+    /// Attach the remote tier: peers consulted (in order) on local miss.
+    pub fn with_peers(mut self, peers: Vec<String>) -> Self {
+        self.peers = Arc::new(peers);
+        self
+    }
+
+    pub fn peers(&self) -> &[String] {
+        &self.peers
     }
 
     pub fn dir(&self) -> &Path {
@@ -126,13 +191,27 @@ impl ResultCache {
         }
     }
 
-    /// Raw entry lookup: the verbatim on-disk JSON, validated. This is the
-    /// `GET /cells/:hash` backend — the entry text is already the response
-    /// body. Updates the telemetry counters like [`Self::get`]. A corrupt
-    /// entry is quarantined on detection (see [`Self::quarantined_entries`]),
-    /// so the *next* lookup of the same key is a clean miss that
-    /// re-simulates.
+    /// Entry lookup with the remote tier: a local miss consults each
+    /// peer's `GET /cells/:hash` in order, lands a verified copy locally,
+    /// and serves it. This is what [`Self::get`] (and therefore the whole
+    /// job path) uses, so a fleet-wide cache hit never re-simulates.
     pub fn entry_text(&self, key: &str) -> EntryLookup {
+        match self.entry_text_local(key) {
+            EntryLookup::Miss if !self.peers.is_empty() => self.read_through(key),
+            other => other,
+        }
+    }
+
+    /// Raw **local-only** entry lookup: the verbatim on-disk JSON,
+    /// validated. This is the `GET /cells/:hash` backend — the entry text
+    /// is already the response body, and serving it must never recurse
+    /// into the remote tier (two daemons peering at each other would
+    /// bounce a missing key back and forth forever). Updates the
+    /// telemetry counters like [`Self::get`]. A corrupt entry is
+    /// quarantined on detection (see [`Self::quarantined_entries`]), so
+    /// the *next* lookup of the same key is a clean miss that
+    /// re-simulates.
+    pub fn entry_text_local(&self, key: &str) -> EntryLookup {
         if crate::fault::on_cache_get(key) {
             self.telemetry.misses.fetch_add(1, Ordering::Relaxed);
             return EntryLookup::Miss;
@@ -148,6 +227,33 @@ impl ResultCache {
         }
         self.telemetry.hits.fetch_add(1, Ordering::Relaxed);
         EntryLookup::Hit(text)
+    }
+
+    /// The remote half of [`Self::entry_text`]: first peer with a valid
+    /// copy wins. Landing the copy locally is best-effort — the fetched
+    /// text is served either way; a failed write just means the next
+    /// lookup asks the peer again.
+    fn read_through(&self, key: &str) -> EntryLookup {
+        for peer in self.peers.iter() {
+            let Some(text) = self.fetch_from_peer(peer, key) else { continue };
+            if self.land_text(key, text.as_bytes()).is_ok() {
+                self.telemetry.replicated.fetch_add(1, Ordering::Relaxed);
+            }
+            self.telemetry.remote_hits.fetch_add(1, Ordering::Relaxed);
+            return EntryLookup::Hit(text);
+        }
+        EntryLookup::Miss
+    }
+
+    /// `GET /cells/:hash` against one peer; `None` unless the peer
+    /// returns 200 with a body that deserializes as a cache entry (a
+    /// truncated or tampered response must not poison this cache).
+    fn fetch_from_peer(&self, peer: &str, key: &str) -> Option<String> {
+        let (status, body) = crate::serve::http::http_get(peer, &format!("/cells/{key}")).ok()?;
+        if status != 200 || serde_json::from_str::<CacheEntry>(&body).is_err() {
+            return None;
+        }
+        Some(body)
     }
 
     /// Move a rotten entry into `<dir>/quarantine/` (atomic rename) with a
@@ -186,6 +292,9 @@ impl ResultCache {
             misses: self.telemetry.misses.load(Ordering::Relaxed),
             corrupt: self.telemetry.corrupt.load(Ordering::Relaxed),
             quarantined: self.telemetry.quarantined.load(Ordering::Relaxed),
+            remote_hits: self.telemetry.remote_hits.load(Ordering::Relaxed),
+            replicated: self.telemetry.replicated.load(Ordering::Relaxed),
+            conflicts: self.telemetry.conflicts.load(Ordering::Relaxed),
         }
     }
 
@@ -239,6 +348,141 @@ impl ResultCache {
             crate::journal::fsync_dir(shard_dir)?;
         }
         Ok(())
+    }
+
+    /// Atomically land verbatim entry bytes under `key` (tmp + rename,
+    /// honoring `--durable`) — the write half of the remote tier, where
+    /// the payload is an already-serialized entry instead of a
+    /// [`SimResult`]. Callers validate the bytes first.
+    fn land_text(&self, key: &str, payload: &[u8]) -> std::io::Result<()> {
+        // Unique per write, same reasoning as `put`: concurrent landings
+        // of one deterministic entry must not share a tmp path.
+        static LAND_SEQ: AtomicU64 = AtomicU64::new(0);
+        let final_path = self.path(key);
+        let shard_dir = final_path
+            .parent()
+            .ok_or_else(|| std::io::Error::other("cache entry path has no parent directory"))?;
+        fs::create_dir_all(shard_dir)?;
+        let tmp = final_path.with_extension(format!(
+            "tmp.{}.r{}",
+            std::process::id(),
+            LAND_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, payload)?;
+        if self.durable {
+            fs::File::open(&tmp)?.sync_all()?;
+        }
+        fs::rename(&tmp, &final_path)?;
+        if self.durable {
+            crate::journal::fsync_dir(shard_dir)?;
+        }
+        Ok(())
+    }
+
+    /// Land a replicated entry pushed by a peer (`PUT /cells/:hash`).
+    /// Enforces the byte-equality-or-quarantine rule: an identical copy
+    /// is idempotent, a divergent copy under a valid local entry is
+    /// quarantined evidence (the local copy stays authoritative), and a
+    /// rotten local copy is quarantined so the verified incoming copy
+    /// heals the key.
+    pub fn put_entry_text(&self, key: &str, body: &str) -> Result<Replicate, ReplicateError> {
+        if serde_json::from_str::<CacheEntry>(body).is_err() {
+            return Err(ReplicateError::Invalid);
+        }
+        match fs::read_to_string(self.path(key)) {
+            Ok(existing) if existing == body => return Ok(Replicate::AlreadyPresent),
+            Ok(existing) => {
+                if serde_json::from_str::<CacheEntry>(&existing).is_ok() {
+                    // Entries are deterministic: same key, different
+                    // bytes means one side is corrupt. Keep the local
+                    // copy, quarantine the incoming bytes as evidence —
+                    // never last-write-wins.
+                    self.telemetry.conflicts.fetch_add(1, Ordering::Relaxed);
+                    self.quarantine_conflict(key, body);
+                    return Err(ReplicateError::Conflict);
+                }
+                self.telemetry.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.quarantine(key, "local copy invalid when replication landed");
+            }
+            Err(_) => {}
+        }
+        self.land_text(key, body.as_bytes()).map_err(|e| ReplicateError::Io(e.to_string()))?;
+        self.telemetry.replicated.fetch_add(1, Ordering::Relaxed);
+        Ok(Replicate::Stored)
+    }
+
+    /// Preserve a conflicting incoming copy in `quarantine/` (the live
+    /// tree keeps the local entry). Distinct file names per key keep the
+    /// evidence from colliding with a quarantined local copy.
+    fn quarantine_conflict(&self, key: &str, body: &str) {
+        let qdir = self.dir.join(QUARANTINE_DIR);
+        let _ = fs::create_dir_all(&qdir);
+        if fs::write(qdir.join(format!("{key}.conflict.json")), body).is_ok() {
+            self.telemetry.quarantined.fetch_add(1, Ordering::Relaxed);
+            let _ = fs::write(
+                qdir.join(format!("{key}.conflict.reason.txt")),
+                format!(
+                    "replication conflict detected by pid {}: incoming bytes differ from \
+                     the local entry for this key\n",
+                    std::process::id()
+                ),
+            );
+        }
+    }
+
+    /// `(key, mtime unix-seconds)` for every live entry, sorted by key —
+    /// the anti-entropy manifest behind `GET /cells?since=`. With
+    /// `since`, entries modified before `since - 1` are filtered out
+    /// (one second of slack absorbs filesystem timestamp granularity).
+    pub fn manifest(&self, since: Option<u64>) -> Vec<(String, u64)> {
+        let floor = since.map(|s| s.saturating_sub(1));
+        let mut cells: Vec<(String, u64)> = self
+            .entry_paths()
+            .filter_map(|p| {
+                let key = p.file_stem()?.to_str()?.to_string();
+                let mtime = fs::metadata(&p)
+                    .ok()?
+                    .modified()
+                    .ok()?
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .ok()?
+                    .as_secs();
+                Some((key, mtime))
+            })
+            .filter(|(_, mtime)| floor.is_none_or(|f| *mtime >= f))
+            .collect();
+        cells.sort();
+        cells
+    }
+
+    /// Anti-entropy pull: diff `peer`'s manifest against the local tree
+    /// and fetch every entry this cache is missing. Returns how many
+    /// entries landed. Best-effort by design — an unreachable peer or a
+    /// failed fetch only lowers the count; the caller's replay falls
+    /// back to read-through (or re-simulation) for whatever is left.
+    pub fn sync_from_peer(&self, peer: &str, since: Option<u64>) -> usize {
+        let path = match since {
+            Some(s) => format!("/cells?since={s}"),
+            None => "/cells".to_string(),
+        };
+        let Ok((status, body)) = crate::serve::http::http_get(peer, &path) else { return 0 };
+        if status != 200 {
+            return 0;
+        }
+        let Ok(value) = serde_json::from_str_value(&body) else { return 0 };
+        let mut pulled = 0usize;
+        for cell in value.get("cells").and_then(|c| c.as_array()).into_iter().flatten() {
+            let Some(key) = cell.get("key").and_then(|k| k.as_str()) else { continue };
+            if self.contains(key) {
+                continue;
+            }
+            let Some(text) = self.fetch_from_peer(peer, key) else { continue };
+            if self.land_text(key, text.as_bytes()).is_ok() {
+                self.telemetry.replicated.fetch_add(1, Ordering::Relaxed);
+                pulled += 1;
+            }
+        }
+        pulled
     }
 
     /// Every live `*.json` entry path on disk, in directory order. Only

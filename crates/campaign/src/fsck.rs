@@ -16,6 +16,11 @@
 //!    away (crash-consistently, via tmp + fsync + rename).
 //! 4. Optionally (**`--gc`**) removes quarantined entries older than
 //!    [`FsckOptions::gc_age`] — quarantine is evidence, not a landfill.
+//!    Besides scrub-time deserialization failures, replication conflicts
+//!    land here too: a `PUT /cells/:hash` whose bytes disagree with the
+//!    entry a shard already holds is quarantined as corruption evidence
+//!    (cells are content-addressed and simulations deterministic, so
+//!    honest replicas can never differ).
 //!
 //! The report is machine-readable (the CLI prints it as JSON). `clean`
 //! means the live tree had no rot and no journal carries an unrepaired

@@ -34,6 +34,12 @@
 //! Campaign ids are preserved across restarts: a client that got
 //! `{"id":"c3-…"}` before the crash can keep polling the same id after
 //! the daemon comes back.
+//!
+//! A supervisor's `fleet.wal` is the single source of truth for its
+//! whole fleet — including *adopted* remote workers (`--worker ADDR`),
+//! which journal nothing on the supervisor's behalf: after a supervisor
+//! restart, replayed campaigns are resubmitted to every worker and the
+//! workers' own caches make the resubmission idempotent.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};

@@ -16,6 +16,8 @@
 //! | `/campaigns/:id`             | GET    | 200 snapshot                       |
 //! | `/campaigns/:id/results`     | GET    | 200 export (`?format=json\|csv\|summary`) |
 //! | `/cells/:hash`               | GET    | 200 verbatim cache entry           |
+//! | `/cells/:hash?sha256=hex`    | PUT    | 200 replication landed             |
+//! | `/cells?since=secs`          | GET    | 200 cache manifest (key + mtime)   |
 //! | `/workers`                   | GET    | 200 supervised fleet health        |
 //! | `/shutdown`                  | POST   | 202 drain begins                   |
 //!
@@ -26,7 +28,7 @@
 //! slice). Queue-full 503s carry a `Retry-After` header scaled to the
 //! backlog.
 
-use crate::cache::EntryLookup;
+use crate::cache::{EntryLookup, Replicate, ReplicateError};
 use crate::export;
 use crate::serve::http::{HttpError, Request, Response};
 use crate::serve::state::{CampaignPhase, ServerState, SubmitError};
@@ -99,7 +101,9 @@ pub fn handle(state: &ServerState, req: &Request) -> Response {
             }
         }
         ("GET", ["campaigns", id, "results"]) => results(state, req, id),
+        ("GET", ["cells"]) => manifest(state, req),
         ("GET", ["cells", hash]) => cell(state, hash),
+        ("PUT", ["cells", hash]) => cell_put(state, req, hash),
         ("GET", ["workers"]) => workers(state),
         ("POST", ["shutdown"]) => {
             state.begin_shutdown();
@@ -112,7 +116,7 @@ pub fn handle(state: &ServerState, req: &Request) -> Response {
             | ["healthz"]
             | ["stats"]
             | ["campaigns", ..]
-            | ["cells", _]
+            | ["cells", ..]
             | ["workers"]
             | ["shutdown"],
         ) => error_response(405, format!("method {} not allowed on {}", req.method, req.path)),
@@ -140,6 +144,8 @@ impl Default for ServiceIndex {
                 "GET /campaigns/:id",
                 "GET /campaigns/:id/results?format=json|csv|summary",
                 "GET /cells/:hash",
+                "PUT /cells/:hash?sha256=hex",
+                "GET /cells?since=secs",
                 "GET /workers",
                 "POST /shutdown",
             ],
@@ -200,7 +206,7 @@ fn workers(state: &ServerState) -> Response {
         Some(sup) => json_ok(200, &sup.fleet()),
         None => Response::json(
             200,
-            r#"{"supervising":0,"restarts_total":0,"broken":0,"workers":[]}"#.to_string(),
+            r#"{"supervising":0,"restarts_total":0,"broken":0,"partitions_total":0,"reowned":0,"workers":[]}"#.to_string(),
         ),
     }
 }
@@ -242,11 +248,18 @@ fn results(state: &ServerState, req: &Request, id: &str) -> Response {
     }
 }
 
+fn valid_cell_key(hash: &str) -> bool {
+    hash.len() == 64 && hash.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+}
+
 fn cell(state: &ServerState, hash: &str) -> Response {
-    if hash.len() != 64 || !hash.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()) {
+    if !valid_cell_key(hash) {
         return error_response(400, "cell key must be 64 lowercase hex chars (a SHA-256)");
     }
-    match state.cache.entry_text(hash) {
+    // Local-only lookup: a peered daemon answering this route must never
+    // consult its own peers, or two daemons missing a key would bounce
+    // the request between each other forever.
+    match state.cache.entry_text_local(hash) {
         // The on-disk entry is already the JSON response body.
         EntryLookup::Hit(text) => Response::json(200, text),
         EntryLookup::Miss => error_response(404, format!("no cached cell `{hash}`")),
@@ -255,6 +268,70 @@ fn cell(state: &ServerState, hash: &str) -> Response {
             format!("cell `{hash}` was corrupt and has been quarantined; it will re-simulate on next use"),
         ),
     }
+}
+
+/// `PUT /cells/:hash?sha256=hex` — land a replicated entry. The checksum
+/// covers the body in transit; the byte-equality conflict rule (entries
+/// are deterministic, so divergence is corruption) lives in the cache.
+fn cell_put(state: &ServerState, req: &Request, hash: &str) -> Response {
+    if !valid_cell_key(hash) {
+        return error_response(400, "cell key must be 64 lowercase hex chars (a SHA-256)");
+    }
+    let Some(claimed) = req.query_param("sha256") else {
+        return error_response(400, "missing sha256 checksum query parameter");
+    };
+    let body = match req.body_str() {
+        Ok(text) => text,
+        Err(e) => return error_response(400, e.to_string()),
+    };
+    if crate::hash::sha256_hex(body.as_bytes()) != claimed {
+        return error_response(422, "body does not match the sha256 checksum (corrupt in transit)");
+    }
+    match state.cache.put_entry_text(hash, body) {
+        Ok(Replicate::Stored) => Response::json(200, r#"{"status":"stored"}"#.to_string()),
+        Ok(Replicate::AlreadyPresent) => {
+            Response::json(200, r#"{"status":"already-present"}"#.to_string())
+        }
+        Err(ReplicateError::Invalid) => {
+            error_response(422, "body is not a valid cache entry; refusing to land it")
+        }
+        Err(ReplicateError::Conflict) => error_response(
+            409,
+            format!("cell `{hash}` already exists with different bytes; incoming copy quarantined"),
+        ),
+        Err(ReplicateError::Io(e)) => error_response(500, format!("failed to land cell: {e}")),
+    }
+}
+
+/// `GET /cells?since=secs` — the anti-entropy manifest: every cached key
+/// with its mtime (unix seconds), optionally floored so peers can diff
+/// incrementally.
+fn manifest(state: &ServerState, req: &Request) -> Response {
+    let since = match req.query_param("since") {
+        None => None,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(secs) => Some(secs),
+            Err(_) => {
+                return error_response(400, format!("malformed since `{raw}` (want unix seconds)"))
+            }
+        },
+    };
+    #[derive(serde::Serialize)]
+    struct ManifestCell {
+        key: String,
+        mtime: u64,
+    }
+    #[derive(serde::Serialize)]
+    struct Manifest {
+        cells: Vec<ManifestCell>,
+    }
+    let cells = state
+        .cache
+        .manifest(since)
+        .into_iter()
+        .map(|(key, mtime)| ManifestCell { key, mtime })
+        .collect();
+    json_ok(200, &Manifest { cells })
 }
 
 #[cfg(test)]
@@ -275,7 +352,13 @@ mod tests {
 
     fn get(path: &str) -> Request {
         let (path, query) = path.split_once('?').unwrap_or((path, ""));
-        Request { method: "GET".into(), path: path.into(), query: query.into(), body: Vec::new() }
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: query.into(),
+            body: Vec::new(),
+            keep_alive: true,
+        }
     }
 
     fn post(path: &str, body: &str) -> Request {
@@ -284,6 +367,18 @@ mod tests {
             path: path.into(),
             query: String::new(),
             body: body.as_bytes().to_vec(),
+            keep_alive: true,
+        }
+    }
+
+    fn put(path: &str, body: &str) -> Request {
+        let (path, query) = path.split_once('?').unwrap_or((path, ""));
+        Request {
+            method: "PUT".into(),
+            path: path.into(),
+            query: query.into(),
+            body: body.as_bytes().to_vec(),
+            keep_alive: true,
         }
     }
 
@@ -463,5 +558,80 @@ mod tests {
         );
         let stats = body_json(&handle(&state, &get("/stats")));
         assert_eq!(stats.get("accepting").and_then(|b| b.as_bool()), Some(false));
+    }
+
+    /// Exercise the replication surface end to end at the handler level:
+    /// manifest listing, checksum enforcement, idempotent landing, and
+    /// the byte-equality conflict rule.
+    #[test]
+    fn cell_replication_put_manifest_and_conflicts() {
+        // Source daemon: run a two-cell campaign so the cache holds two
+        // distinct entries (same spec shape, different bytes).
+        let src = tmp_state("repl-src");
+        let spec = r#"{"archs": ["M8"], "workloads": ["2W1", "2W7"], "policies": ["rr"]}"#;
+        assert_eq!(handle(&src, &post("/campaigns", spec)).status, 202);
+        let entry = src.queue.pop().unwrap();
+        src.execute(&entry);
+
+        let man = body_json(&handle(&src, &get("/cells")));
+        let keys: Vec<String> = man
+            .get("cells")
+            .and_then(|c| c.as_array())
+            .unwrap()
+            .iter()
+            .map(|c| c.get("key").and_then(|k| k.as_str()).unwrap().to_string())
+            .collect();
+        assert_eq!(keys.len(), 2, "{man:?}");
+        // An impossible floor filters everything; garbage is a 400.
+        let future = body_json(&handle(&src, &get("/cells?since=99999999999")));
+        assert_eq!(future.get("cells").and_then(|c| c.as_array()).map(|a| a.len()), Some(0));
+        assert_eq!(handle(&src, &get("/cells?since=soon")).status, 400);
+
+        let fetch = |key: &str| {
+            let resp = handle(&src, &get(&format!("/cells/{key}")));
+            assert_eq!(resp.status, 200);
+            String::from_utf8(resp.body.clone()).unwrap()
+        };
+        let (text_a, text_b) = (fetch(&keys[0]), fetch(&keys[1]));
+        assert_ne!(text_a, text_b, "distinct cells must serialize differently");
+
+        // Destination daemon: an empty cache on a "different host".
+        let dst = tmp_state("repl-dst");
+        let sha_a = crate::hash::sha256_hex(text_a.as_bytes());
+        let route = |sha: &str| format!("/cells/{}?sha256={sha}", keys[0]);
+        assert_eq!(handle(&dst, &put(&format!("/cells/{}", keys[0]), &text_a)).status, 400);
+        assert_eq!(handle(&dst, &put(&route(&"0".repeat(64)), &text_a)).status, 422);
+        assert_eq!(handle(&dst, &get(&format!("/cells/{}", keys[0]))).status, 404);
+
+        let stored = handle(&dst, &put(&route(&sha_a), &text_a));
+        assert_eq!(stored.status, 200, "{:?}", String::from_utf8_lossy(&stored.body));
+        assert_eq!(body_json(&stored).get("status").and_then(|s| s.as_str()), Some("stored"));
+        let again = body_json(&handle(&dst, &put(&route(&sha_a), &text_a)));
+        assert_eq!(again.get("status").and_then(|s| s.as_str()), Some("already-present"));
+
+        // A checksum-valid body that is not a cache entry never lands.
+        let garbage = r#"{"not": "a cache entry"}"#;
+        let sha_g = crate::hash::sha256_hex(garbage.as_bytes());
+        assert_eq!(handle(&dst, &put(&route(&sha_g), garbage)).status, 422);
+
+        // Byte conflict: different valid bytes under an existing key is
+        // corruption by definition — quarantined, never last-write-wins.
+        let sha_b = crate::hash::sha256_hex(text_b.as_bytes());
+        assert_eq!(handle(&dst, &put(&route(&sha_b), &text_b)).status, 409);
+        let served = handle(&dst, &get(&format!("/cells/{}", keys[0])));
+        assert_eq!(String::from_utf8(served.body).unwrap(), text_a, "original bytes survive");
+        let quarantine = std::path::Path::new(dst.cache.dir()).join("quarantine");
+        assert!(
+            std::fs::read_dir(&quarantine).map(|d| d.count() > 0).unwrap_or(false),
+            "conflicting copy must land in quarantine/"
+        );
+
+        let stats = body_json(&handle(&dst, &get("/stats")));
+        let counter = |k: &str| stats.get(k).and_then(|v| v.as_u64());
+        assert_eq!(counter("cells_replicated"), Some(1), "{stats:?}");
+        assert_eq!(counter("cache_remote_hits"), Some(0), "{stats:?}");
+
+        let _ = std::fs::remove_dir_all(src.cache.dir());
+        let _ = std::fs::remove_dir_all(dst.cache.dir());
     }
 }

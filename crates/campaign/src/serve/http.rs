@@ -4,9 +4,17 @@
 //! Like the `vendor/` dependency shims, this is deliberately tiny: no
 //! registry is reachable from this environment, so the daemon speaks the
 //! smallest HTTP/1.1 subset that curl, browsers, and our own client all
-//! understand. One request per connection (`Connection: close`), bodies
-//! framed by `Content-Length` only (no chunked transfer), byte-capped
-//! header and body sections so a misbehaving peer cannot balloon memory.
+//! understand. Bodies are framed by `Content-Length` only (no chunked
+//! transfer), with byte-capped header and body sections so a misbehaving
+//! peer cannot balloon memory. Connections are persistent by default
+//! (HTTP/1.1 keep-alive): the server loop serves requests until the peer
+//! sends `Connection: close` or goes idle, and [`HttpClient`] pools one
+//! connection per peer so fleet traffic — heartbeats, replication,
+//! backfill — stops paying a TCP connect per request.
+//!
+//! Every outbound request passes through [`crate::fault::on_net_op`],
+//! the seam where the `fault-inject` build drops, delays, or partitions
+//! network traffic on a seeded schedule.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -26,6 +34,9 @@ pub struct Request {
     /// Raw query string (`format=csv`), empty when absent.
     pub query: String,
     pub body: Vec<u8>,
+    /// Whether the peer allows the connection to be reused (HTTP/1.1
+    /// default unless it sent `Connection: close`).
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -170,6 +181,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     };
 
     let mut content_length = 0usize;
+    let mut keep_alive = true;
     for header in lines {
         let Some((name, value)) = header.split_once(':') else {
             return Err(HttpError::Malformed("header without colon"));
@@ -179,6 +191,8 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
                 .trim()
                 .parse::<usize>()
                 .map_err(|_| HttpError::Malformed("bad content-length"))?;
+        } else if name.trim().eq_ignore_ascii_case("connection") {
+            keep_alive = !value.trim().eq_ignore_ascii_case("close");
         }
     }
     if content_length > MAX_BODY {
@@ -187,22 +201,30 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
 
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).map_err(io)?;
-    Ok(Request { method, path, query, body })
+    Ok(Request { method, path, query, body, keep_alive })
 }
 
-/// Write `response` to `stream` (HTTP/1.1, `Connection: close`).
-pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+/// Write `response` to `stream`. `keep_alive` picks the `Connection`
+/// header — the server loop passes what it will actually do, so clients
+/// never wait on a connection the server is about to drop.
+pub fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     let retry_after = match response.retry_after {
         Some(secs) => format!("Retry-After: {secs}\r\n"),
         None => String::new(),
     };
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
         response.status,
         status_reason(response.status),
         response.content_type,
         response.body.len(),
         retry_after,
+        connection,
     );
     stream.write_all(head.as_bytes())?;
     stream.write_all(&response.body)?;
@@ -221,28 +243,8 @@ pub fn http_request(
     path: &str,
     body: Option<&str>,
 ) -> std::io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
-    let body = body.unwrap_or("");
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
-         Connection: close\r\n\r\n",
-        body.len(),
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()?;
-
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw)?;
-    let text = String::from_utf8_lossy(&raw);
-    let bad = || std::io::Error::other("malformed HTTP response");
-    let status: u16 =
-        text.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(bad)?;
-    let body_start = text.find("\r\n\r\n").map(|i| i + 4).ok_or_else(bad)?;
-    let body = text.get(body_start..).ok_or_else(bad)?;
-    Ok((status, body.to_string()))
+    let resp = http_request_full(addr, method, path, body)?;
+    Ok((resp.status, resp.body))
 }
 
 pub fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
@@ -266,44 +268,193 @@ pub struct HttpResponse {
 }
 
 /// Like [`http_request`], but keeps the header section long enough to
-/// extract `Retry-After`.
+/// extract `Retry-After`. One-shot: pools nothing.
 pub fn http_request_full(
     addr: &str,
     method: &str,
     path: &str,
     body: Option<&str>,
 ) -> std::io::Result<HttpResponse> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
-    let body = body.unwrap_or("");
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
-         Connection: close\r\n\r\n",
-        body.len(),
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()?;
+    HttpClient::new(addr).request(method, path, body)
+}
 
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw)?;
-    let text = String::from_utf8_lossy(&raw);
-    let bad = || std::io::Error::other("malformed HTTP response");
-    let status: u16 =
-        text.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(bad)?;
-    let body_start = text.find("\r\n\r\n").map(|i| i + 4).ok_or_else(bad)?;
-    let headers = text.get(..body_start).ok_or_else(bad)?;
-    let retry_after = headers.lines().find_map(|line| {
-        let (name, value) = line.split_once(':')?;
-        if name.trim().eq_ignore_ascii_case("retry-after") {
-            value.trim().parse::<u64>().ok()
-        } else {
-            None
+/// A keep-alive HTTP/1.1 client: pools one TCP connection to `addr` and
+/// reuses it across requests. Responses are `Content-Length`-framed, so
+/// the connection stays usable after every exchange; a stale pooled
+/// connection (the server closed it while idle) is retried exactly once
+/// on a fresh one. Every request first passes the [`crate::fault`]
+/// network seam.
+#[derive(Debug)]
+pub struct HttpClient {
+    addr: String,
+    stream: Option<TcpStream>,
+}
+
+impl HttpClient {
+    pub fn new(addr: &str) -> Self {
+        HttpClient { addr: addr.to_string(), stream: None }
+    }
+
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Send one request, reusing the pooled connection when possible.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<HttpResponse> {
+        crate::fault::on_net_op()?;
+        let reused = self.stream.is_some();
+        match self.send(method, path, body) {
+            Err(e) if reused => {
+                // The server may have dropped the idle pooled connection
+                // between requests; that failure mode gets one fresh
+                // connection, anything on a fresh connection is real.
+                let _ = e;
+                self.stream = None;
+                self.send(method, path, body)
+            }
+            other => other,
         }
-    });
-    let body = text.get(body_start..).ok_or_else(bad)?;
-    Ok(HttpResponse { status, body: body.to_string(), retry_after })
+    }
+
+    /// [`HttpClient::request`] with bounded retry under `policy` — the
+    /// same 503/transient-error schedule as [`http_request_retry`], but
+    /// reusing this client's pooled connection across attempts.
+    pub fn request_retry(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<HttpResponse> {
+        let salt = format!("{method} {}{path}", self.addr);
+        for attempt in 1..=policy.attempts.max(1) {
+            // The final attempt returns unconditionally — a lingering 503
+            // or refusal is the caller's to report, with full context.
+            let delay = match self.request(method, path, body) {
+                Ok(resp) if resp.status == 503 && attempt < policy.attempts => {
+                    let computed = policy.backoff(attempt, &salt);
+                    resp.retry_after
+                        .map(|secs| Duration::from_secs(secs).min(policy.cap))
+                        .unwrap_or(computed)
+                }
+                Ok(resp) => return Ok(resp),
+                Err(e) if transient(&e) && attempt < policy.attempts => {
+                    policy.backoff(attempt, &salt)
+                }
+                Err(e) => return Err(e),
+            };
+            std::thread::sleep(delay);
+        }
+        // The `attempt == policy.attempts` arms above always return; keep
+        // a real error (not `unreachable!`) so a future refactor of the
+        // retry arms degrades to a failed request instead of a panic.
+        Err(std::io::Error::other("retry budget exhausted"))
+    }
+
+    fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<HttpResponse> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+            stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+            self.stream = Some(stream);
+        }
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(std::io::Error::other("no pooled connection"));
+        };
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\
+             Connection: keep-alive\r\n\r\n",
+            self.addr,
+            body.len(),
+        );
+        let exchange = (|| {
+            stream.write_all(head.as_bytes())?;
+            stream.write_all(body.as_bytes())?;
+            stream.flush()?;
+            read_framed_response(stream)
+        })();
+        match exchange {
+            Ok((resp, server_keeps)) => {
+                if !server_keeps {
+                    self.stream = None;
+                }
+                Ok(resp)
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Read one `Content-Length`-framed response; returns it plus whether
+/// the server will keep the connection open.
+fn read_framed_response(stream: &mut TcpStream) -> std::io::Result<(HttpResponse, bool)> {
+    // A fresh BufReader per response is safe: responses are framed by
+    // Content-Length and the server sends nothing past the body until
+    // our next request, so the buffer cannot swallow later bytes.
+    let mut reader = BufReader::new(stream);
+    let bad = |what: &str| std::io::Error::other(format!("malformed HTTP response: {what}"));
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::ConnectionAborted,
+            "peer closed before the status line",
+        ));
+    }
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("status line"))?;
+    let mut content_length: Option<usize> = None;
+    let mut retry_after = None;
+    let mut keep_alive = true;
+    let mut head_len = line.len();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("peer closed mid-head"));
+        }
+        head_len += line.len();
+        if head_len > MAX_HEAD {
+            return Err(bad("head too large"));
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let value = value.trim();
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = Some(value.parse().map_err(|_| bad("content-length"))?);
+        } else if name.trim().eq_ignore_ascii_case("retry-after") {
+            // A missing or malformed hint simply means "no hint": the
+            // retry client falls back to its computed backoff.
+            retry_after = value.parse::<u64>().ok();
+        } else if name.trim().eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+    }
+    let len = content_length.ok_or_else(|| bad("missing content-length"))?;
+    if len > MAX_BODY {
+        return Err(bad("body too large"));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8_lossy(&body).into_owned();
+    Ok((HttpResponse { status, body, retry_after }, keep_alive))
 }
 
 /// Bounded exponential backoff for the thin client: how many attempts a
@@ -367,7 +518,8 @@ fn transient(e: &std::io::Error) -> bool {
 /// 503 responses are retried under `policy`, honoring a server-sent
 /// `Retry-After` (clamped to `policy.cap`) over the computed backoff.
 /// Every other status — including 4xx/5xx — returns on the first attempt;
-/// status handling stays with the caller.
+/// status handling stays with the caller. One pooled connection is reused
+/// across the attempts.
 pub fn http_request_retry(
     addr: &str,
     method: &str,
@@ -375,27 +527,7 @@ pub fn http_request_retry(
     body: Option<&str>,
     policy: &RetryPolicy,
 ) -> std::io::Result<HttpResponse> {
-    let salt = format!("{method} {addr}{path}");
-    for attempt in 1..=policy.attempts.max(1) {
-        // The final attempt returns unconditionally — a lingering 503 or
-        // refusal is the caller's to report, with full context.
-        let delay = match http_request_full(addr, method, path, body) {
-            Ok(resp) if resp.status == 503 && attempt < policy.attempts => {
-                let computed = policy.backoff(attempt, &salt);
-                resp.retry_after
-                    .map(|secs| Duration::from_secs(secs).min(policy.cap))
-                    .unwrap_or(computed)
-            }
-            Ok(resp) => return Ok(resp),
-            Err(e) if transient(&e) && attempt < policy.attempts => policy.backoff(attempt, &salt),
-            Err(e) => return Err(e),
-        };
-        std::thread::sleep(delay);
-    }
-    // The `attempt == policy.attempts` arms above always return; keep a
-    // real error (not `unreachable!`) so a future refactor of the retry
-    // arms degrades to a failed request instead of a panic.
-    Err(std::io::Error::other("retry budget exhausted"))
+    HttpClient::new(addr).request_retry(method, path, body, policy)
 }
 
 #[cfg(test)]
@@ -416,7 +548,7 @@ mod tests {
                 let (mut stream, _) = listener.accept().unwrap();
                 let req = read_request(&mut stream);
                 let resp = handler(req);
-                write_response(&mut stream, &resp).unwrap();
+                write_response(&mut stream, &resp, false).unwrap();
             }
         });
         addr
@@ -533,6 +665,137 @@ mod tests {
         assert_eq!(resp.status, 503);
         assert_eq!(resp.retry_after, Some(7));
         assert_eq!(resp.body, "q full");
+    }
+
+    /// Serve raw pre-baked response bytes, one connection per response.
+    fn raw_server(responses: Vec<&'static str>) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            for raw in responses {
+                let (mut stream, _) = listener.accept().unwrap();
+                let _ = read_request(&mut stream);
+                stream.write_all(raw.as_bytes()).unwrap();
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn keep_alive_client_reuses_one_connection() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let connections = Arc::new(AtomicUsize::new(0));
+        let conns_in = connections.clone();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            // Serve every request on each accepted connection until the
+            // peer closes, like the real server loop does.
+            while let Ok((mut stream, _)) = listener.accept() {
+                conns_in.fetch_add(1, Ordering::SeqCst);
+                let mut served = 0u32;
+                while let Ok(req) = read_request(&mut stream) {
+                    served += 1;
+                    let resp = Response::text(200, format!("req {served}"));
+                    if write_response(&mut stream, &resp, req.keep_alive).is_err() {
+                        break;
+                    }
+                    if !req.keep_alive {
+                        break;
+                    }
+                }
+            }
+        });
+
+        let mut client = HttpClient::new(&addr);
+        for i in 1..=3 {
+            let resp = client.request("GET", "/healthz", None).unwrap();
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.body, format!("req {i}"));
+        }
+        assert_eq!(connections.load(Ordering::SeqCst), 1, "three requests, one connection");
+    }
+
+    #[test]
+    fn stale_pooled_connection_is_retried_on_a_fresh_one() {
+        // Each connection serves exactly one request, then closes — so
+        // the client's second request hits a dead pooled connection and
+        // must transparently reconnect.
+        let addr = one_shot_server(2, |_req| Response::text(200, "ok".into()));
+        let mut client = HttpClient::new(&addr);
+        assert_eq!(client.request("GET", "/a", None).unwrap().status, 200);
+        assert_eq!(client.request("GET", "/b", None).unwrap().status, 200);
+    }
+
+    #[test]
+    fn retry_after_parsing_missing_malformed_and_huge() {
+        // Missing: no Retry-After header at all.
+        let addr = raw_server(vec![
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 4\r\nConnection: close\r\n\r\nbusy",
+        ]);
+        let resp = http_request_full(&addr, "GET", "/stats", None).unwrap();
+        assert_eq!((resp.status, resp.retry_after), (503, None));
+
+        // Malformed: an HTTP-date (or garbage) is "no hint", not an error.
+        let addr = raw_server(vec![
+            "HTTP/1.1 503 Service Unavailable\r\nRetry-After: soon\r\nContent-Length: 4\r\nConnection: close\r\n\r\nbusy",
+        ]);
+        let resp = http_request_full(&addr, "GET", "/stats", None).unwrap();
+        assert_eq!((resp.status, resp.retry_after), (503, None));
+
+        // Wider than u64: also "no hint".
+        let addr = raw_server(vec![
+            "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 99999999999999999999999999\r\nContent-Length: 4\r\nConnection: close\r\n\r\nbusy",
+        ]);
+        let resp = http_request_full(&addr, "GET", "/stats", None).unwrap();
+        assert_eq!((resp.status, resp.retry_after), (503, None));
+
+        // Huge but parseable survives parsing; the retry loop clamps it.
+        let addr = raw_server(vec![
+            "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 4294967295\r\nContent-Length: 4\r\nConnection: close\r\n\r\nbusy",
+        ]);
+        let resp = http_request_full(&addr, "GET", "/stats", None).unwrap();
+        assert_eq!((resp.status, resp.retry_after), (503, Some(4_294_967_295)));
+    }
+
+    #[test]
+    fn huge_retry_after_hint_is_clamped_to_the_policy_cap() {
+        let addr = raw_server(vec![
+            // A ~136-year hint, then success: the sleep must be `cap`.
+            "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 4294967295\r\nContent-Length: 4\r\nConnection: close\r\n\r\nbusy",
+            "HTTP/1.1 200 OK\r\nContent-Length: 4\r\nConnection: close\r\n\r\ndone",
+        ]);
+        let policy = RetryPolicy {
+            attempts: 3,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(20),
+        };
+        let started = std::time::Instant::now();
+        let resp = http_request_retry(&addr, "GET", "/stats", None, &policy).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(started.elapsed() < Duration::from_millis(900), "{:?}", started.elapsed());
+    }
+
+    #[test]
+    fn backoff_jitter_stays_within_the_25_percent_band() {
+        let p = RetryPolicy {
+            attempts: 10,
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(2),
+        };
+        for retry in 1..=10u32 {
+            let exp = p.base.saturating_mul(1u32 << (retry - 1).min(16)).min(p.cap);
+            for salt in ["a", "worker-0", "GET 127.0.0.1:1/x", ""] {
+                let b = p.backoff(retry, salt);
+                assert!(b >= exp, "retry {retry} salt {salt:?}: {b:?} < {exp:?}");
+                assert!(
+                    b <= exp + exp.mul_f64(0.25),
+                    "retry {retry} salt {salt:?}: {b:?} > 1.25 * {exp:?}"
+                );
+            }
+        }
     }
 
     #[test]

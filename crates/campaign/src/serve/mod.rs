@@ -18,7 +18,9 @@
 //! | `/campaigns/:id`          | GET    | per-cell progress snapshot                 |
 //! | `/campaigns/:id/results`  | GET    | export (`?format=json\|csv\|summary`)      |
 //! | `/cells/:hash`            | GET    | verbatim cache entry by content key        |
-//! | `/workers`                | GET    | supervised fleet health (restarts, backoff)|
+//! | `/cells?since=secs`       | GET    | cache manifest (`key` + `mtime`) for anti-entropy sync |
+//! | `/cells/:hash?sha256=hex` | PUT    | replicate one checksummed cache entry      |
+//! | `/workers`                | GET    | supervised fleet health (restarts, backoff, partitions)|
 //! | `/shutdown`               | POST   | graceful drain (same as SIGINT)            |
 //!
 //! Errors are structured JSON (`{"error":{"status":…,"message":…}}`) —
@@ -65,7 +67,9 @@
 //! form `kind@counter=n[,n...]`, firing on the n-th event of a
 //! per-process counter (see [`crate::fault`] for the grammar — `kill@sim`,
 //! `hang@sim`, `corrupt@put`, `err@put`, `err@get`, `kill@accept`,
-//! `err@journal`, `torn@journal`). The chaos e2e suite
+//! `err@journal`, `torn@journal`, and the network directives `drop@net=k`,
+//! `delay@net=k:ms`, `partition@net=k:dur`, injected at the outbound
+//! client seam in [`http`]). The chaos e2e suite
 //! drives kill/corrupt/hang matrices through the supervisor with
 //! single-threaded workers, so every failure fires at the same cell on
 //! every run. Without the feature (the default), every hook compiles to
@@ -84,6 +88,44 @@
 //! (arch, workload) pair landing on different shards duplicate a search
 //! *sweep*; the shared content-addressed cache coalesces those jobs, so
 //! the duplication costs at most one warm pass.)
+//!
+//! # Distributed deployment & the partition failure model
+//!
+//! Nothing above requires one filesystem. A fleet can span machines:
+//!
+//! - **Remote workers** (`serve --supervise 0 --worker HOST:PORT ...`):
+//!   each `--worker` entry is *adopted* instead of spawned — the
+//!   supervisor never forks or kills it, but health-probes it over
+//!   `/healthz` with the same max-missed / backoff / circuit-breaker
+//!   machinery as spawned children, and backfills every ledgered
+//!   campaign over the retrying client. The operator starts each remote
+//!   daemon with the matching `--shard i/n` (`n` = spawned + adopted)
+//!   and its own cache directory. `--supervise k --worker ...` mixes
+//!   `k` local children with adopted remotes.
+//! - **Cache peers** (`--peer HOST:PORT`, repeatable): a cache miss
+//!   consults each peer's `GET /cells/:hash` and lands a verified copy
+//!   locally (atomic tmp + rename) before falling back to simulation.
+//!   The supervisor's `/campaigns/:id/results` replay first runs an
+//!   anti-entropy pass — `GET /cells?since=` manifest diff against every
+//!   live worker, pulling entries it is missing — so results are served
+//!   entirely through HTTP when workers are remote.
+//! - **Replication rule: byte-equality or quarantine.** Cache entries
+//!   are deterministic, so two copies of one content key must be
+//!   byte-identical. `PUT /cells/:hash` verifies a `?sha256=` checksum
+//!   of the body (transit corruption → 422, nothing lands), validates
+//!   the entry, and lands it atomically; if a *different* body already
+//!   exists under the same key, the incoming copy is quarantined and
+//!   the PUT answers 409 — never last-write-wins, and a quarantined
+//!   copy is never served.
+//! - **Partition semantics**: a worker that stops answering probes is
+//!   restarted (spawned) or re-probed (adopted) under backoff; past the
+//!   restart budget it is *broken* and its shard's unfinished cells are
+//!   **re-owned** — the supervisor runs the broken worker's exact shard
+//!   slice through its own cached engine, so campaigns complete with
+//!   zero lost or duplicated cells (finished cells are cache or peer
+//!   hits). `GET /workers` reports per-worker partition counts and
+//!   re-owned totals; `GET /stats` reports `cache_remote_hits`,
+//!   `cells_replicated`, and `net_faults_injected`.
 //!
 //! # The cache is the database
 //!
@@ -217,9 +259,14 @@ impl Server {
         let poked = Arc::new(AtomicBool::new(false));
 
         if let Some(n) = state.config.supervise {
+            let remote_workers = state.config.remote_workers.clone();
+            // `--supervise 0` is adopt-only (remote workers required by
+            // the CLI); without remotes, keep the old floor of 1 child.
+            let spawned = if n == 0 && !remote_workers.is_empty() { 0 } else { n.max(1) };
             let sup = supervisor::Supervisor::start(
                 supervisor::SupervisorConfig {
-                    workers: n.max(1),
+                    workers: spawned,
+                    remote_workers,
                     cache_dir: state.config.cache_dir.clone(),
                     sim_workers: state.config.sim_workers,
                     binary: state.config.worker_binary.clone(),
@@ -351,16 +398,69 @@ fn poke(addr: &SocketAddr, poked: &AtomicBool) {
     }
 }
 
-/// Serve one connection: parse, route, respond. Transport errors that
-/// yield no parseable request are answered with a structured JSON error
-/// when possible and otherwise dropped.
+/// How long a keep-alive connection may sit idle between requests before
+/// the handler closes it and returns to the accept pool.
+const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(5);
+
+/// Serve one connection: parse, route, respond — repeatedly, while the
+/// peer asks for keep-alive. Transport errors that yield no parseable
+/// request are answered with a structured JSON error when possible and
+/// otherwise dropped.
 fn handle_connection(state: &ServerState, stream: &mut TcpStream) {
-    let response = match http::read_request(stream) {
-        Ok(request) => api::handle(state, &request),
-        Err(http::HttpError::Io(_)) => return, // peer went away mid-request
-        Err(err) => api::transport_error_response(&err),
-    };
-    let _ = http::write_response(stream, &response);
+    let mut first = true;
+    loop {
+        if !first && !wait_for_next_request(state, stream) {
+            return;
+        }
+        first = false;
+        let request = match http::read_request(stream) {
+            Ok(request) => request,
+            Err(http::HttpError::Io(_)) => return, // peer went away mid-request
+            Err(err) => {
+                let _ = http::write_response(stream, &api::transport_error_response(&err), false);
+                return;
+            }
+        };
+        // A draining daemon closes after the in-hand response so no
+        // handler thread stays pinned to an idle connection.
+        let keep = request.keep_alive && !state.is_shutting_down();
+        let response = api::handle(state, &request);
+        if http::write_response(stream, &response, keep).is_err() || !keep {
+            return;
+        }
+    }
+}
+
+/// Park between keep-alive requests. Peeks (never reads) in short slices
+/// so shutdown is noticed promptly and a partially arrived request is
+/// never consumed and dropped; `false` means close the connection (peer
+/// gone, idle past [`KEEP_ALIVE_IDLE`], or the daemon is draining).
+fn wait_for_next_request(state: &ServerState, stream: &mut TcpStream) -> bool {
+    let deadline = std::time::Instant::now() + KEEP_ALIVE_IDLE;
+    let mut byte = [0u8; 1];
+    loop {
+        if state.is_shutting_down() {
+            return false;
+        }
+        if stream.set_read_timeout(Some(Duration::from_millis(250))).is_err() {
+            return false;
+        }
+        match stream.peek(&mut byte) {
+            Ok(0) => return false, // peer closed
+            Ok(_) => return stream.set_read_timeout(Some(CONN_TIMEOUT)).is_ok(),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if std::time::Instant::now() >= deadline {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -59,6 +59,13 @@ pub struct ServerConfig {
     pub durable: bool,
     /// Reap orphaned `*.tmp` files older than this at startup.
     pub tmp_reap_age: std::time::Duration,
+    /// Peer daemons (`--peer host:port`) whose caches back this one: a
+    /// local miss is retried against each peer's `GET /cells/:hash` and
+    /// landed locally on success.
+    pub peers: Vec<String>,
+    /// Remote workers (`--worker host:port`) the supervisor adopts
+    /// alongside (or instead of) spawned children.
+    pub remote_workers: Vec<String>,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +86,8 @@ impl Default for ServerConfig {
             journal: true,
             durable: false,
             tmp_reap_age: std::time::Duration::from_secs(15 * 60),
+            peers: Vec::new(),
+            remote_workers: Vec::new(),
         }
     }
 }
@@ -329,7 +338,9 @@ impl ServerState {
     }
 
     pub fn new(config: ServerConfig) -> std::io::Result<Self> {
-        let cache = ResultCache::open(&config.cache_dir)?.with_durable(config.durable);
+        let cache = ResultCache::open(&config.cache_dir)?
+            .with_durable(config.durable)
+            .with_peers(config.peers.clone());
         // Reap what killed writers stranded before accepting new work;
         // the age threshold protects other live daemons on this cache.
         let tmp_reaped = cache.reap_tmp(config.tmp_reap_age) as u64;
@@ -576,6 +587,7 @@ impl ServerState {
     /// The `GET /stats` payload.
     pub fn stats(&self) -> ServerStats {
         let campaigns = self.campaigns_lock();
+        let cache_counters = self.cache.counters();
         ServerStats {
             uptime_secs: self.uptime_secs(),
             accepting: !self.is_shutting_down(),
@@ -599,10 +611,14 @@ impl ServerState {
                 timeouts: self.jobs.timeouts.load(Ordering::Relaxed) as usize,
                 retries: self.jobs.retries.load(Ordering::Relaxed) as usize,
             },
-            cache: self.cache.counters(),
+            cache_remote_hits: cache_counters.remote_hits,
+            cells_replicated: cache_counters.replicated,
+            cache: cache_counters,
             cache_entries: self.cache.len(),
             cache_quarantined: self.cache.quarantined_entries(),
             quarantine_oldest_secs: self.cache.quarantine_oldest_age().map(|a| a.as_secs()),
+            net_faults_injected: crate::fault::net_faults_injected(),
+            partitions_total: self.supervisor().map_or(0, |s| s.partitions_total()),
             journal_records: self.journal.as_ref().map_or(0, |j| j.records()),
             journal_replayed: self.journal.as_ref().map_or(0, |j| j.replayed()),
             tmp_reaped: self.tmp_reaped,
@@ -659,6 +675,17 @@ pub struct ServerStats {
     /// Age of the oldest quarantined entry, seconds — forgotten evidence
     /// shows up here instead of rotting silently.
     pub quarantine_oldest_secs: Option<u64>,
+    /// Cache misses satisfied by a peer over HTTP (mirrors
+    /// `cache.remote_hits`; surfaced top-level for scripts).
+    pub cache_remote_hits: u64,
+    /// Entries landed from peers (read-through, `PUT`, or anti-entropy;
+    /// mirrors `cache.replicated`).
+    pub cells_replicated: u64,
+    /// Network perturbations the fault layer injected in this process
+    /// (always 0 without the `fault-inject` feature).
+    pub net_faults_injected: u64,
+    /// Fleet-wide network-attributed worker losses (supervise mode).
+    pub partitions_total: u64,
     /// Frames currently in this daemon's write-ahead journal.
     pub journal_records: u64,
     /// Campaigns resubmitted from the journal at startup.

@@ -28,11 +28,30 @@
 //! The supervisor itself runs no simulations and holds no job state: kill
 //! it (or any worker) at any point and resubmitting the same specs to a
 //! fresh fleet resumes from the cache.
+//!
+//! # Remote workers and partitions
+//!
+//! `--worker ADDR` entries are **adopted** rather than spawned: the
+//! supervisor probes the fixed address through the same
+//! Starting→Up→Backoff lifecycle, but never forks a process, never kills
+//! one, and leaves the remote daemon running at shutdown (it belongs to
+//! its own operator). A remote worker's health failures are counted as
+//! *partitions* — the worker may be fine, the network between us is not —
+//! and surface per-worker in `GET /workers`. Remote workers keep their
+//! own cache directories; the supervisor's cache reads through its
+//! configured peers and runs an anti-entropy manifest pull before the
+//! results replay, so results never assume filesystem locality.
+//!
+//! When a worker trips the circuit breaker with campaign cells still
+//! unfinished, the monitor **re-owns** the broken shard: a local engine
+//! run over exactly that shard's cells (any cells the worker managed to
+//! finish are cache or peer hits) records a synthetic `done` snapshot on
+//! its behalf, so the campaign completes instead of staying `degraded`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -42,7 +61,8 @@ use crate::engine::{self, CampaignResult};
 use crate::hash::sha256_hex;
 use crate::job::JobRunner;
 use crate::journal::{self, Journal, Record};
-use crate::serve::http::{http_get, http_post, RetryPolicy};
+use crate::matrix::ShardSpec;
+use crate::serve::http::{http_get, http_post, HttpClient, RetryPolicy};
 use crate::serve::state::{CampaignSnapshot, CellCounts, SearchCounts, SubmitError};
 use crate::spec::CampaignSpec;
 
@@ -81,6 +101,10 @@ pub struct SupervisorConfig {
     /// Extra environment for workers only — fault plans (`HDSMT_FAULT`)
     /// are injected here so the supervisor process stays fault-free.
     pub child_env: Vec<(String, String)>,
+    /// Remote workers to adopt (fixed `host:port` addresses). They take
+    /// the shard indices after the spawned workers; the operator must
+    /// start each with the matching `--shard i/n`.
+    pub remote_workers: Vec<String>,
 }
 
 impl Default for SupervisorConfig {
@@ -99,6 +123,7 @@ impl Default for SupervisorConfig {
             max_restarts: 5,
             spawn_timeout: Duration::from_secs(10),
             child_env: Vec::new(),
+            remote_workers: Vec::new(),
         }
     }
 }
@@ -130,18 +155,42 @@ impl Phase {
     }
 }
 
+/// How a worker came to be supervised.
+#[derive(Clone, Debug)]
+enum WorkerKind {
+    /// A child process this supervisor forks, kills, and restarts.
+    Spawned,
+    /// A daemon someone else runs at a fixed address: probed and
+    /// backfilled like any worker, never forked or killed.
+    Remote { addr: String },
+}
+
 struct Worker {
     index: u32,
+    kind: WorkerKind,
     addr_file: PathBuf,
     child: Option<Child>,
+    /// Pooled keep-alive connection to the worker, created when it
+    /// reaches `Up` and dropped on any crash/partition.
+    client: Option<HttpClient>,
     phase: Phase,
     restarts: u32,
+    /// Health failures attributed to the network rather than the
+    /// process (remote workers only — we cannot tell a dead remote from
+    /// an unreachable one, so every remote loss counts as a partition).
+    partitions: u64,
     /// Ledger id → this incarnation's child-side campaign id.
     submitted: HashMap<String, String>,
     /// Ledger id → last snapshot polled from the child (survives the
     /// incarnation that produced it, so aggregation never goes blind
     /// during a restart).
     snapshots: HashMap<String, ChildSnapshot>,
+}
+
+impl Worker {
+    fn is_remote(&self) -> bool {
+        matches!(self.kind, WorkerKind::Remote { .. })
+    }
 }
 
 /// The slice of a child's `GET /campaigns/:id` the supervisor keeps.
@@ -185,17 +234,30 @@ pub struct Supervisor {
     /// owning [`crate::serve::ServerState`]. Workers run `--no-journal`;
     /// this is the single source of truth for accepted fleet campaigns.
     journal: Option<Arc<Journal>>,
+    /// Finished re-own runs, pushed by their worker threads and drained
+    /// by the next monitor tick (`(ledger id, worker index, outcome)` —
+    /// `None` means the run failed and may be retried).
+    reown_done: Arc<Mutex<Vec<ReownOutcome>>>,
+    /// `(ledger id, worker index)` pairs with a re-own run in flight.
+    reown_inflight: Mutex<HashSet<(String, u32)>>,
+    /// Completed re-own runs (broken shards whose cells a local run
+    /// covered).
+    reowned: AtomicU64,
 }
+
+type ReownOutcome = (String, u32, Option<ChildSnapshot>);
 
 /// JSON shape of one row of `GET /workers`.
 #[derive(Clone, Debug, serde::Serialize)]
 pub struct WorkerReport {
     pub index: u32,
     pub shard: String,
+    pub kind: String,
     pub state: String,
     pub addr: Option<String>,
     pub pid: Option<u32>,
     pub restarts: u32,
+    pub partitions: u64,
 }
 
 /// JSON shape of `GET /workers`.
@@ -204,6 +266,8 @@ pub struct FleetReport {
     pub supervising: u32,
     pub restarts_total: u64,
     pub broken: usize,
+    pub partitions_total: u64,
+    pub reowned: u64,
     pub workers: Vec<WorkerReport>,
 }
 
@@ -228,17 +292,29 @@ impl Supervisor {
         if stale > 0 {
             eprintln!("supervisor: removed {stale} stale worker address file(s)");
         }
-        let workers = (0..config.workers.max(1))
-            .map(|index| Worker {
-                index,
-                addr_file: handshake_dir.join(format!("worker-{index}.addr")),
-                child: None,
-                phase: Phase::Backoff { until: Instant::now() },
-                restarts: 0,
-                submitted: HashMap::new(),
-                snapshots: HashMap::new(),
-            })
-            .collect();
+        // Spawned workers take shard indices 0..spawned; adopted remote
+        // workers take the indices after them. Everyone starts in an
+        // expired Backoff so startup and restart share one code path.
+        let spawned = spawned_workers(&config);
+        let new_worker = |index: u32, kind: WorkerKind| Worker {
+            index,
+            kind,
+            addr_file: handshake_dir.join(format!("worker-{index}.addr")),
+            child: None,
+            client: None,
+            phase: Phase::Backoff { until: Instant::now() },
+            restarts: 0,
+            partitions: 0,
+            submitted: HashMap::new(),
+            snapshots: HashMap::new(),
+        };
+        let mut workers: Vec<Worker> =
+            (0..spawned).map(|index| new_worker(index, WorkerKind::Spawned)).collect();
+        for (i, addr) in config.remote_workers.iter().enumerate() {
+            let index = spawned + i as u32;
+            eprintln!("supervisor: adopting remote worker {index} at {addr}");
+            workers.push(new_worker(index, WorkerKind::Remote { addr: addr.clone() }));
+        }
         let seq = recovered.iter().map(|r| journal::id_seq(&r.id)).max().unwrap_or(0);
         let ledger: Vec<LedgerEntry> = recovered
             .into_iter()
@@ -260,10 +336,10 @@ impl Supervisor {
             stop: Arc::new(AtomicBool::new(false)),
             monitor: Mutex::new(None),
             journal,
+            reown_done: Arc::new(Mutex::new(Vec::new())),
+            reown_inflight: Mutex::new(HashSet::new()),
+            reowned: AtomicU64::new(0),
         });
-        // First spawn happens on the monitor's first tick (every worker
-        // starts in an expired Backoff), so startup and restart share one
-        // code path.
         let monitor = {
             let supervisor = supervisor.clone();
             std::thread::Builder::new()
@@ -291,6 +367,12 @@ impl Supervisor {
         }
     }
 
+    /// Total shard count: spawned children plus adopted remotes. Every
+    /// `--shard i/n` denominator and fleet report uses this.
+    fn shard_total(&self) -> u32 {
+        (spawned_workers(&self.config) + self.config.remote_workers.len() as u32).max(1)
+    }
+
     // ------------------------------------------------------------ monitor
 
     fn monitor_loop(&self) {
@@ -301,12 +383,38 @@ impl Supervisor {
     }
 
     /// One heartbeat over every worker: reap exits, advance handshakes,
-    /// probe health, backfill submissions, poll snapshots, and restart
-    /// what the backoff clock allows.
+    /// probe health, backfill submissions, poll snapshots, restart what
+    /// the backoff clock allows, and re-own broken shards' cells.
+    ///
+    /// Locks are taken strictly sequentially (re-own queues first, then
+    /// `inner`, then the queues again after `inner` is released) — never
+    /// nested.
     fn tick(&self) {
+        let drained: Vec<ReownOutcome> = {
+            let mut q = self.reown_done.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            std::mem::take(&mut *q)
+        };
+        {
+            let mut inflight =
+                self.reown_inflight.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            for (id, widx, _) in &drained {
+                inflight.remove(&(id.clone(), *widx));
+            }
+        }
         let now = Instant::now();
         let mut guard = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let Inner { workers, ledger, .. } = &mut *guard;
+        for (id, widx, outcome) in drained {
+            let Some(snap) = outcome else { continue };
+            self.reowned.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "supervisor: re-owned {} cell(s) of {id} from broken worker {widx}",
+                snap.cells.total
+            );
+            if let Some(w) = workers.iter_mut().find(|w| w.index == widx) {
+                w.snapshots.insert(id, snap);
+            }
+        }
         for w in workers.iter_mut() {
             // A reaped child trumps whatever phase says: SIGKILL, abort(),
             // or a clean-but-unexpected exit all land here.
@@ -314,7 +422,7 @@ impl Supervisor {
                 if let Ok(Some(status)) = child.try_wait() {
                     w.child = None;
                     if !matches!(w.phase, Phase::Stopped) {
-                        self.crashed(w, now, &format!("process exited: {status}"));
+                        self.crashed(w, now, &format!("process exited: {status}"), false);
                         continue;
                     }
                 }
@@ -322,41 +430,55 @@ impl Supervisor {
             enum Action {
                 Spawn,
                 Handshake { since: Instant },
-                Probe { addr: String },
+                Probe,
                 Idle,
             }
             let action = match &w.phase {
                 Phase::Backoff { until } if now >= *until => Action::Spawn,
                 Phase::Starting { since } => Action::Handshake { since: *since },
-                Phase::Up { addr, .. } => Action::Probe { addr: addr.clone() },
+                Phase::Up { .. } => Action::Probe,
                 _ => Action::Idle,
             };
             match action {
                 Action::Spawn => self.spawn_worker(w, now),
                 Action::Handshake { since } => {
-                    // An address file alone is not proof of life: a stale
-                    // file (previous SIGKILLed incarnation, or a worker
-                    // that died right after writing it) points at a dead
-                    // port. Only a live `/healthz` on that address
-                    // promotes the worker to Up.
-                    let live_addr = read_addr_file(&w.addr_file)
-                        .filter(|addr| matches!(http_get(addr, "/healthz"), Ok((200, _))));
+                    // An address alone is not proof of life: a stale
+                    // address file points at a dead port, and a remote
+                    // address is just configuration. Only a live
+                    // `/healthz` promotes the worker to Up.
+                    let candidate = match &w.kind {
+                        WorkerKind::Spawned => read_addr_file(&w.addr_file),
+                        WorkerKind::Remote { addr } => Some(addr.clone()),
+                    };
+                    let live_addr =
+                        candidate.filter(|addr| matches!(http_get(addr, "/healthz"), Ok((200, _))));
                     if let Some(addr) = live_addr {
                         eprintln!("supervisor: worker {} up at {addr}", w.index);
+                        w.client = Some(HttpClient::new(&addr));
                         w.phase = Phase::Up { addr, missed: 0 };
                     } else if now.duration_since(since) > self.config.spawn_timeout {
-                        self.crashed(w, now, "no address handshake before the spawn timeout");
+                        let partition = w.is_remote();
+                        self.crashed(
+                            w,
+                            now,
+                            "no address handshake before the spawn timeout",
+                            partition,
+                        );
                     }
                 }
-                Action::Probe { addr } => match http_get(&addr, "/healthz") {
-                    Ok((200, _)) => {
+                Action::Probe => {
+                    let healthy = w
+                        .client
+                        .as_mut()
+                        .and_then(|c| c.request("GET", "/healthz", None).ok())
+                        .is_some_and(|resp| resp.status == 200);
+                    if healthy {
                         if let Phase::Up { missed, .. } = &mut w.phase {
                             *missed = 0;
                         }
-                        backfill(w, &addr, ledger);
-                        poll_snapshots(w, &addr);
-                    }
-                    _ => {
+                        backfill(w, ledger);
+                        poll_snapshots(w);
+                    } else {
                         let gone = match &mut w.phase {
                             Phase::Up { missed, .. } => {
                                 *missed += 1;
@@ -365,13 +487,15 @@ impl Supervisor {
                             _ => false,
                         };
                         if gone {
-                            self.crashed(w, now, "health probes timed out");
+                            let partition = w.is_remote();
+                            self.crashed(w, now, "health probes timed out", partition);
                         }
                     }
-                },
+                }
                 Action::Idle => {}
             }
         }
+        let reown = self.reown_candidates(workers, ledger);
         // Journal terminal marks once per campaign, from the aggregate
         // view: `done` and `failed` are settled; `degraded`/`cancelled`
         // stay pending so the next incarnation resumes them.
@@ -389,13 +513,78 @@ impl Supervisor {
                 }
             }
         }
+        drop(guard);
+        for (id, spec_text, widx) in reown {
+            let claimed = self
+                .reown_inflight
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .insert((id.clone(), widx));
+            if claimed {
+                self.spawn_reown(id, spec_text, widx);
+            }
+        }
+    }
+
+    /// Broken-shard slices whose cells no one is finishing: each becomes
+    /// a local re-own run. Pure inspection — the in-flight claim happens
+    /// after `inner` is released.
+    fn reown_candidates(
+        &self,
+        workers: &[Worker],
+        ledger: &[LedgerEntry],
+    ) -> Vec<(String, String, u32)> {
+        let mut out = Vec::new();
+        for w in workers.iter().filter(|w| matches!(w.phase, Phase::Broken)) {
+            for entry in ledger {
+                if w.snapshots.get(&entry.id).is_some_and(|s| s.status == "done") {
+                    continue;
+                }
+                let status = aggregate(entry, workers).status;
+                if status == "failed" || status == "cancelled" {
+                    continue;
+                }
+                out.push((entry.id.clone(), entry.spec_text.clone(), w.index));
+            }
+        }
+        out
+    }
+
+    /// Run one broken shard's slice of a campaign on a thread, against
+    /// the supervisor's own (peer-reading) cache, and queue the outcome
+    /// for the next tick.
+    fn spawn_reown(&self, id: String, spec_text: String, widx: u32) {
+        eprintln!("supervisor: worker {widx} is broken; re-owning its shard of {id} locally");
+        let total = self.shard_total();
+        let cache = self.cache.clone();
+        let cache_dir = self.config.cache_dir.clone();
+        let sim_workers = self.config.sim_workers;
+        let done = self.reown_done.clone();
+        let key = (id.clone(), widx);
+        let spawned = std::thread::Builder::new().name(format!("reown-{widx}")).spawn(move || {
+            let outcome = reown_shard(&spec_text, &cache_dir, sim_workers, cache, widx, total);
+            done.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push((id, widx, outcome));
+        });
+        if spawned.is_err() {
+            self.reown_inflight
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .remove(&key);
+        }
     }
 
     /// Account a crash: clear the incarnation, arm the backoff clock, or
-    /// trip the breaker.
-    fn crashed(&self, w: &mut Worker, now: Instant, why: &str) {
+    /// trip the breaker. `partition` attributes the loss to the network
+    /// (remote workers) rather than the process.
+    fn crashed(&self, w: &mut Worker, now: Instant, why: &str, partition: bool) {
         kill(w);
+        w.client = None;
         w.submitted.clear();
+        if partition {
+            w.partitions += 1;
+        }
         w.restarts += 1;
         if w.restarts > self.config.max_restarts {
             eprintln!(
@@ -418,6 +607,12 @@ impl Supervisor {
     }
 
     fn spawn_worker(&self, w: &mut Worker, now: Instant) {
+        if w.is_remote() {
+            // Adopted, not spawned: enter Starting and let the handshake
+            // probe the fixed address until it answers or times out.
+            w.phase = Phase::Starting { since: now };
+            return;
+        }
         let _ = std::fs::remove_file(&w.addr_file);
         let mut cmd = Command::new(self.binary());
         cmd.arg("serve")
@@ -428,7 +623,7 @@ impl Supervisor {
             .arg("--cache")
             .arg(&self.config.cache_dir)
             .arg("--shard")
-            .arg(format!("{}/{}", w.index, self.config.workers.max(1)))
+            .arg(format!("{}/{}", w.index, self.shard_total()))
             .arg("--workers")
             .arg(self.config.sim_workers.to_string())
             .arg("--executors")
@@ -439,6 +634,10 @@ impl Supervisor {
             // campaigns; per-worker journals would replay every backfilled
             // spec a second time on each restart.
             .arg("--no-journal");
+        // Fault domains are explicit: a worker sees only the plan in
+        // `child_env`, never one inherited from the supervisor's own
+        // environment (the net-fault chaos tests seed the supervisor).
+        cmd.env_remove("HDSMT_FAULT");
         if let Some(d) = self.config.cell_deadline {
             cmd.arg("--cell-deadline-ms").arg(d.as_millis().to_string());
         }
@@ -451,7 +650,7 @@ impl Supervisor {
                 w.child = Some(child);
                 w.phase = Phase::Starting { since: now };
             }
-            Err(e) => self.crashed(w, now, &format!("spawn failed: {e}")),
+            Err(e) => self.crashed(w, now, &format!("spawn failed: {e}"), false),
         }
     }
 
@@ -494,9 +693,8 @@ impl Supervisor {
             done_logged: false,
         };
         for w in &mut guard.workers {
-            if let Phase::Up { addr, .. } = &w.phase {
-                let addr = addr.clone();
-                submit_to_worker(w, &addr, &entry);
+            if matches!(w.phase, Phase::Up { .. }) {
+                submit_to_worker(w, &entry);
             }
         }
         let snap = aggregate(&entry, &guard.workers);
@@ -523,7 +721,7 @@ impl Supervisor {
     /// read — every cell is a hit) and memoize it. `Err` carries the
     /// HTTP status + message for the API layer.
     pub fn results(&self, id: &str) -> Result<CampaignResult, (u16, String)> {
-        let spec_text = {
+        let (spec_text, worker_addrs) = {
             let guard = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             let entry = guard
                 .ledger
@@ -543,8 +741,26 @@ impl Supervisor {
                     ),
                 ));
             }
-            entry.spec_text.clone()
+            let addrs: Vec<String> = guard
+                .workers
+                .iter()
+                .filter_map(|w| match &w.phase {
+                    Phase::Up { addr, .. } => Some(addr.clone()),
+                    _ => None,
+                })
+                .collect();
+            (entry.spec_text.clone(), addrs)
         };
+        // Anti-entropy: remote workers land cells in *their* caches, not
+        // ours. Pull every live worker's manifest diff first so the
+        // replay below stays a pure local read (misses the pull raced
+        // still resolve through the read-through peer tier).
+        for addr in &worker_addrs {
+            let pulled = self.cache.sync_from_peer(addr, None);
+            if pulled > 0 {
+                eprintln!("supervisor: anti-entropy pulled {pulled} cell(s) from {addr}");
+            }
+        }
         // Replay outside the lock: the engine run is all cache hits, but
         // there is no reason to stall heartbeats on it.
         let mut spec =
@@ -570,20 +786,30 @@ impl Supervisor {
             .iter()
             .map(|w| WorkerReport {
                 index: w.index,
-                shard: format!("{}/{}", w.index, self.config.workers.max(1)),
+                shard: format!("{}/{}", w.index, self.shard_total()),
+                kind: match &w.kind {
+                    WorkerKind::Spawned => "spawned".to_string(),
+                    WorkerKind::Remote { .. } => "remote".to_string(),
+                },
                 state: w.phase.label().to_string(),
-                addr: match &w.phase {
-                    Phase::Up { addr, .. } => Some(addr.clone()),
+                addr: match (&w.phase, &w.kind) {
+                    (Phase::Up { addr, .. }, _) => Some(addr.clone()),
+                    // A down remote still has a configured address worth
+                    // showing to the operator.
+                    (_, WorkerKind::Remote { addr }) => Some(addr.clone()),
                     _ => None,
                 },
                 pid: w.child.as_ref().map(Child::id),
                 restarts: w.restarts,
+                partitions: w.partitions,
             })
             .collect();
         FleetReport {
-            supervising: self.config.workers.max(1),
+            supervising: self.shard_total(),
             restarts_total: guard.workers.iter().map(|w| w.restarts as u64).sum(),
             broken: guard.workers.iter().filter(|w| matches!(w.phase, Phase::Broken)).count(),
+            partitions_total: guard.workers.iter().map(|w| w.partitions).sum(),
+            reowned: self.reowned.load(Ordering::Relaxed),
             workers,
         }
     }
@@ -599,6 +825,13 @@ impl Supervisor {
         }
         let mut guard = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         for w in &mut guard.workers {
+            if w.is_remote() {
+                // An adopted worker belongs to its own operator: stop
+                // probing it, but never drain or kill it.
+                w.client = None;
+                w.phase = Phase::Stopped;
+                continue;
+            }
             if let Phase::Up { addr, .. } = &w.phase {
                 let _ = http_post(addr, "/shutdown", "");
             }
@@ -617,8 +850,20 @@ impl Supervisor {
                 }
             }
             w.child = None;
+            w.client = None;
             w.phase = Phase::Stopped;
         }
+    }
+
+    /// Health losses attributed to the network, summed over the fleet.
+    pub fn partitions_total(&self) -> u64 {
+        let guard = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.workers.iter().map(|w| w.partitions).sum()
+    }
+
+    /// Broken-shard slices completed locally on the workers' behalf.
+    pub fn reowned_total(&self) -> u64 {
+        self.reowned.load(Ordering::Relaxed)
     }
 }
 
@@ -639,6 +884,45 @@ fn kill(w: &mut Worker) {
         let _ = child.wait();
     }
     w.child = None;
+}
+
+/// How many workers this supervisor forks itself. The legacy default (no
+/// remotes, `workers: 0`) still spawns one; a pure-remote fleet
+/// (`--supervise 0 --worker ...`) spawns none.
+fn spawned_workers(config: &SupervisorConfig) -> u32 {
+    if config.workers == 0 && config.remote_workers.is_empty() {
+        1
+    } else {
+        config.workers
+    }
+}
+
+/// Run one broken shard's slice locally. The supervisor's cache reads
+/// through its peers, so cells the broken worker already finished are
+/// hits, not re-simulations. `None` = the run failed; a later tick may
+/// retry.
+fn reown_shard(
+    spec_text: &str,
+    cache_dir: &str,
+    sim_workers: usize,
+    cache: ResultCache,
+    widx: u32,
+    total: u32,
+) -> Option<ChildSnapshot> {
+    let shard = ShardSpec::parse(&format!("{widx}/{total}")).ok()?;
+    let mut spec = CampaignSpec::parse(spec_text).ok()?;
+    spec.cache_dir = Some(cache_dir.to_string());
+    spec.workers = Some(sim_workers as u64);
+    let catalog = engine::catalog_for(&spec);
+    let runner = JobRunner::new(sim_workers, Some(cache));
+    let result = engine::run_campaign_observed(&spec, &catalog, &runner, Some(shard), &()).ok()?;
+    let n = result.cells.len();
+    Some(ChildSnapshot {
+        status: "done".to_string(),
+        cells: CellCounts { total: n, done: n, ..CellCounts::default() },
+        search: SearchCounts::default(),
+        error: None,
+    })
 }
 
 /// Remove every `*.addr` (and stranded `*.tmp`) file under
@@ -673,40 +957,79 @@ fn read_addr_file(path: &std::path::Path) -> Option<String> {
     }
 }
 
+/// Submission retry policy: a couple of quick attempts over the pooled
+/// connection. Anything still failing is retried by the next heartbeat's
+/// backfill pass, so the budget stays small to keep ticks snappy.
+const SUBMIT_RETRY: RetryPolicy =
+    RetryPolicy { attempts: 3, base: Duration::from_millis(25), cap: Duration::from_millis(100) };
+
 /// Push every not-yet-submitted ledger entry to a live worker (no-op for
 /// a worker that already has them — this is what re-seeds a restarted
 /// incarnation).
-fn backfill(w: &mut Worker, addr: &str, ledger: &[LedgerEntry]) {
+fn backfill(w: &mut Worker, ledger: &[LedgerEntry]) {
     for entry in ledger {
         if !w.submitted.contains_key(&entry.id) {
-            submit_to_worker(w, addr, entry);
+            submit_to_worker(w, entry);
         }
     }
 }
 
-fn submit_to_worker(w: &mut Worker, addr: &str, entry: &LedgerEntry) {
-    // Anything but a 202 (503 backpressure, a dying socket) is retried
-    // by the next heartbeat's backfill pass.
-    if let Ok((202, body)) = http_post(addr, "/campaigns", &entry.spec_text) {
-        if let Some(child_id) = serde_json::from_str_value(&body)
-            .ok()
-            .and_then(|v| v.get("id").and_then(|i| i.as_str()).map(str::to_string))
-        {
-            w.submitted.insert(entry.id.clone(), child_id);
-        }
+fn submit_to_worker(w: &mut Worker, entry: &LedgerEntry) {
+    let Some(client) = w.client.as_mut() else { return };
+    // Transient errors and 503 backpressure get a short retry budget
+    // here; anything else waits for the next backfill pass.
+    let Ok(resp) =
+        client.request_retry("POST", "/campaigns", Some(&entry.spec_text), &SUBMIT_RETRY)
+    else {
+        return;
+    };
+    if resp.status != 202 {
+        return;
+    }
+    if let Some(child_id) = serde_json::from_str_value(&resp.body)
+        .ok()
+        .and_then(|v| v.get("id").and_then(|i| i.as_str()).map(str::to_string))
+    {
+        w.submitted.insert(entry.id.clone(), child_id);
     }
 }
 
 /// Refresh the worker's last-known snapshot of every submitted campaign.
-fn poll_snapshots(w: &mut Worker, addr: &str) {
+fn poll_snapshots(w: &mut Worker) {
     let pairs: Vec<(String, String)> =
         w.submitted.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
-    for (ledger_id, child_id) in pairs {
-        if let Ok((200, body)) = http_get(addr, &format!("/campaigns/{child_id}")) {
-            if let Some(snap) = parse_child_snapshot(&body) {
-                w.snapshots.insert(ledger_id, snap);
+    let mut fresh: Vec<(String, ChildSnapshot)> = Vec::new();
+    let mut lost: Vec<String> = Vec::new();
+    if let Some(client) = w.client.as_mut() {
+        for (ledger_id, child_id) in pairs {
+            let Ok(resp) = client.request("GET", &format!("/campaigns/{child_id}"), None) else {
+                continue;
+            };
+            if resp.status == 200 {
+                if let Some(snap) = parse_child_snapshot(&resp.body) {
+                    fresh.push((ledger_id, snap));
+                }
+            } else if resp.status == 404 {
+                // The worker answers but does not know the campaign: it
+                // restarted (same address, fresh ledger) between two
+                // probes, fast enough that no probe ever failed. An
+                // adopted remote can do this at any time — forget the
+                // submission so the next tick backfills it. Finished
+                // cells are cache hits on the worker, so the resubmit is
+                // idempotent.
+                lost.push(ledger_id);
             }
         }
+    }
+    for (ledger_id, snap) in fresh {
+        w.snapshots.insert(ledger_id, snap);
+    }
+    for ledger_id in lost {
+        eprintln!(
+            "supervisor: worker {} forgot campaign {ledger_id} (restarted?); resubmitting",
+            w.index
+        );
+        w.submitted.remove(&ledger_id);
     }
 }
 
@@ -742,6 +1065,10 @@ fn parse_child_snapshot(body: &str) -> Option<ChildSnapshot> {
 /// cancelled; every live shard `done` → done (or **degraded** when a
 /// broken shard can no longer finish its slice); otherwise running —
 /// or queued while no shard has reported at all.
+///
+/// A broken worker whose snapshot is `done` (its slice finished before
+/// the breaker tripped, or a re-own run completed it on its behalf)
+/// still *covers* its shard, so it counts toward done, not degraded.
 fn aggregate(entry: &LedgerEntry, workers: &[Worker]) -> CampaignSnapshot {
     let mut cells = CellCounts::default();
     let mut search = SearchCounts::default();
@@ -753,12 +1080,17 @@ fn aggregate(entry: &LedgerEntry, workers: &[Worker]) -> CampaignSnapshot {
     let mut live = 0usize;
     let mut broken = 0usize;
     for w in workers {
-        if matches!(w.phase, Phase::Broken) {
+        let snap = w.snapshots.get(&entry.id);
+        let done_snap = snap.is_some_and(|s| s.status == "done");
+        if matches!(w.phase, Phase::Broken) && !done_snap {
             broken += 1;
         } else {
             live += 1;
+            if done_snap {
+                live_done += 1;
+            }
         }
-        let Some(snap) = w.snapshots.get(&entry.id) else { continue };
+        let Some(snap) = snap else { continue };
         reported += 1;
         cells.total += snap.cells.total;
         cells.queued += snap.cells.queued;
@@ -772,7 +1104,6 @@ fn aggregate(entry: &LedgerEntry, workers: &[Worker]) -> CampaignSnapshot {
         match snap.status.as_str() {
             "failed" => any_failed = true,
             "cancelled" => any_cancelled = true,
-            "done" if !matches!(w.phase, Phase::Broken) => live_done += 1,
             _ => {}
         }
         if error.is_none() {

@@ -97,7 +97,10 @@ warmup_insts = 600
 search_insts = 500
 "#;
 
-/// A slower 8-cell campaign, so a SIGKILL can land mid-flight.
+/// A slower 8-cell campaign, so a SIGKILL can land mid-flight. The
+/// budget is sized so the campaign spans many 200ms supervisor ticks
+/// even on a fast host: a kill gated on a *partial* snapshot (see
+/// [`wait_partial`]) needs a genuine mid-flight window to aim at.
 const SLOW_SPEC: &str = r#"
 name = "chaos-kill"
 archs = ["M8", "3M4", "4M4", "2M4+2M2"]
@@ -105,7 +108,7 @@ workloads = ["2W1", "2W7"]
 policies = ["rr"]
 seed = 9
 [budget]
-measure_insts = 4000
+measure_insts = 150000
 warmup_insts = 1500
 search_insts = 500
 "#;
@@ -352,6 +355,33 @@ fn wait_progress(addr: &str, id: &str) {
     }
 }
 
+/// Poll `/campaigns/:id` until the campaign is observably *mid-flight*:
+/// some cells concluded, some still outstanding, and the status not yet
+/// terminal. A kill gated on this cannot race the supervisor's done-mark
+/// — on a loaded 1-CPU host, "at least one cell concluded" may only
+/// become observable in the same tick that concludes the whole campaign,
+/// and a kill landing after the done-mark tests nothing.
+fn wait_partial(addr: &str, id: &str) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (_, body) = http_get(addr, &format!("/campaigns/{id}")).unwrap();
+        let snap = json(&body);
+        let status = snap.get("status").and_then(|s| s.as_str()).unwrap().to_string();
+        let concluded = cell_count(&snap, "done")
+            + cell_count(&snap, "cached")
+            + cell_count(&snap, "failed")
+            + cell_count(&snap, "cancelled");
+        let total = cell_count(&snap, "total");
+        let terminal = ["done", "failed", "cancelled", "degraded"].contains(&status.as_str());
+        if !terminal && concluded >= 1 && concluded < total {
+            return;
+        }
+        assert!(!terminal, "campaign finished before a mid-flight kill could land: {snap:?}");
+        assert!(Instant::now() < deadline, "no progress before the kill: {snap:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
 #[test]
 fn sigkilled_daemon_replays_its_journal_and_completes_the_campaign() {
     let dir = tmpdir("daemon-kill");
@@ -400,9 +430,13 @@ fn sigkilled_supervisor_replays_its_fleet_journal_and_completes() {
     let id = submit(&addr, SLOW_SPEC);
     assert!(id.starts_with('f'), "fleet ids are supervisor-scoped: {id}");
 
-    // Progress, then a whole-host crash: SIGKILL the supervisor AND its
-    // worker (an orphaned worker would otherwise keep simulating).
-    wait_progress(&addr, &id);
+    // A *partial* snapshot, then a whole-host crash: SIGKILL the
+    // supervisor AND its worker (an orphaned worker would otherwise keep
+    // simulating). Gating on wait_progress alone was flaky on 1-CPU
+    // hosts — the first observable progress could be the all-done
+    // snapshot whose tick also journals the done-mark, and the replay
+    // then had nothing to prove.
+    wait_partial(&addr, &id);
     let worker_pids: Vec<u64> = fleet(&addr)
         .get("workers")
         .and_then(|w| w.as_array())
@@ -492,6 +526,226 @@ fn startup_reaps_aged_tmp_files_but_spares_fresh_ones() {
     assert_eq!(st.get("tmp_reaped").and_then(|v| v.as_u64()), Some(2), "{st:?}");
     server.shutdown_and_join();
     assert!(!cache.join("ab").join("deadbeef.json.tmp.4242.7").exists());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------- distributed fleet (no shared fs)
+//
+// Two independent worker daemons on disjoint cache directories, adopted
+// by a supervisor (`--supervise 0 --worker ADDR`). Nothing crosses a
+// filesystem boundary: results reach the supervisor purely over HTTP —
+// peer read-through plus anti-entropy — and replication refuses any
+// byte that differs from what a shard already holds.
+
+/// Fetch a daemon's cell manifest (`GET /cells`) as `(key, text)` pairs.
+fn manifest_cells(addr: &str) -> Vec<(String, String)> {
+    let (status, body) = http_get(addr, "/cells").unwrap();
+    assert_eq!(status, 200, "{body}");
+    json(&body)
+        .get("cells")
+        .and_then(|c| c.as_array())
+        .unwrap()
+        .iter()
+        .map(|c| {
+            let key = c.get("key").and_then(|k| k.as_str()).unwrap().to_string();
+            let (status, text) = http_get(addr, &format!("/cells/{key}")).unwrap();
+            assert_eq!(status, 200, "{text}");
+            (key, text)
+        })
+        .collect()
+}
+
+fn healthz_up(addr: &str) -> bool {
+    matches!(http_get(addr, "/healthz"), Ok((200, _)))
+}
+
+#[test]
+fn distributed_fleet_replicates_results_over_http_with_no_shared_filesystem() {
+    use hdsmt_campaign::hash::sha256_hex;
+    use hdsmt_campaign::serve::http::http_request_full;
+
+    let dir = tmpdir("dist");
+    let cache_a = dir.join("cache-a");
+    let cache_b = dir.join("cache-b");
+    let cache_sup = dir.join("cache-sup");
+
+    let (worker_a, addr_a) = spawn_daemon(&dir, &cache_a, "wa", &["--shard", "0/2"], &[]);
+    let (worker_b, addr_b) = spawn_daemon(&dir, &cache_b, "wb", &["--shard", "1/2"], &[]);
+    let (sup, addr) = spawn_daemon(
+        &dir,
+        &cache_sup,
+        "sup",
+        &[
+            "--supervise",
+            "0",
+            "--worker",
+            &addr_a,
+            "--worker",
+            &addr_b,
+            "--peer",
+            &addr_a,
+            "--peer",
+            &addr_b,
+        ],
+        &[],
+    );
+
+    let id = submit(&addr, SPEC);
+    assert!(id.starts_with('f'), "fleet ids are supervisor-scoped: {id}");
+    let snap = wait_terminal(&addr, &id);
+    assert_eq!(snap.get("status").and_then(|s| s.as_str()), Some("done"), "{snap:?}");
+    assert_eq!(cell_count(&snap, "total"), 4, "{snap:?}");
+    assert_eq!(cell_count(&snap, "failed"), 0, "{snap:?}");
+    assert_eq!(
+        cell_count(&snap, "done") + cell_count(&snap, "cached"),
+        4,
+        "no cell lost, none duplicated: {snap:?}"
+    );
+
+    // The fleet report shows two adopted shards, healthy, unpartitioned.
+    let report = fleet(&addr);
+    assert_eq!(report.get("supervising").and_then(|v| v.as_u64()), Some(2), "{report:?}");
+    assert_eq!(report.get("partitions_total").and_then(|v| v.as_u64()), Some(0), "{report:?}");
+    let workers = report.get("workers").and_then(|w| w.as_array()).unwrap();
+    assert_eq!(workers.len(), 2, "{report:?}");
+    for w in workers {
+        assert_eq!(w.get("kind").and_then(|k| k.as_str()), Some("remote"), "{w:?}");
+        assert_eq!(w.get("state").and_then(|s| s.as_str()), Some("up"), "{w:?}");
+        assert!(w.get("pid").and_then(|p| p.as_u64()).is_none(), "adopted, not spawned: {w:?}");
+    }
+
+    // Results replay through HTTP replication: byte-identical, twice,
+    // and cell-for-cell equal to an undisturbed single-node run.
+    let (status, body1) = http_get(&addr, &format!("/campaigns/{id}/results")).unwrap();
+    assert_eq!(status, 200, "{body1}");
+    let (_, body2) = http_get(&addr, &format!("/campaigns/{id}/results")).unwrap();
+    assert_eq!(body1, body2, "results must replay bit-identically");
+    assert_eq!(
+        json(&body1).get("cells").unwrap(),
+        &reference_cells(SPEC, &dir.join("reference-cache")),
+        "HTTP replication must not perturb a single cell"
+    );
+
+    // The supervisor landed every cell over the wire, none from disk.
+    let st = stats(&addr);
+    assert!(
+        st.get("cells_replicated").and_then(|v| v.as_u64()).unwrap() >= 4,
+        "all four cells crossed the network: {st:?}"
+    );
+    assert!(st.get("cache_remote_hits").and_then(|v| v.as_u64()).is_some(), "{st:?}");
+
+    // Replication is byte-equality-or-quarantine, never last-write-wins:
+    // push worker A's (valid, correctly checksummed) cell to worker B
+    // under a key worker B already owns with different bytes.
+    let cells_a = manifest_cells(&addr_a);
+    let cells_b = manifest_cells(&addr_b);
+    assert_eq!(cells_a.len(), 2, "shard 0/2 of a 4-cell campaign: {cells_a:?}");
+    assert_eq!(cells_b.len(), 2, "shard 1/2 of a 4-cell campaign: {cells_b:?}");
+    let (victim_key, victim_text) = &cells_b[0];
+    let foreign_text = &cells_a[0].1;
+    assert_ne!(victim_text, foreign_text);
+    let resp = http_request_full(
+        &addr_b,
+        "PUT",
+        &format!("/cells/{victim_key}?sha256={}", sha256_hex(foreign_text.as_bytes())),
+        Some(foreign_text),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 409, "conflicting bytes must be refused: {}", resp.body);
+    let (_, after) = http_get(&addr_b, &format!("/cells/{victim_key}")).unwrap();
+    assert_eq!(&after, victim_text, "the quarantined impostor must never be served");
+    let st_b = stats(&addr_b);
+    let conflicts = st_b.get("cache").and_then(|c| c.get("conflicts")).and_then(|v| v.as_u64());
+    assert_eq!(conflicts, Some(1), "{st_b:?}");
+
+    // Shutting the supervisor down must NOT take the adopted workers
+    // with it — they belong to their own operators.
+    shutdown_daemon(sup, &addr);
+    assert!(healthz_up(&addr_a), "supervisor shutdown must not kill adopted worker A");
+    assert!(healthz_up(&addr_b), "supervisor shutdown must not kill adopted worker B");
+    shutdown_daemon(worker_a, &addr_a);
+    shutdown_daemon(worker_b, &addr_b);
+
+    assert_fsck_clean(&cache_a);
+    assert_fsck_clean(&cache_sup);
+    // Worker B's cache is clean too; the conflict left evidence, not rot.
+    let report_b = fsck_report(&cache_b);
+    assert_eq!(report_b.get("clean").and_then(|v| v.as_bool()), Some(true), "{report_b:?}");
+    assert_eq!(
+        report_b.get("quarantine_entries").and_then(|v| v.as_u64()),
+        Some(1),
+        "the refused replica must sit in quarantine: {report_b:?}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn broken_remote_workers_shard_is_reowned_and_the_campaign_completes() {
+    use hdsmt_campaign::serve::supervisor::{Supervisor, SupervisorConfig};
+
+    let dir = tmpdir("reown");
+    let cache_live = dir.join("cache-live");
+    let cache_sup = dir.join("cache-sup");
+    let (live, addr_live) = spawn_daemon(&dir, &cache_live, "live", &["--shard", "0/2"], &[]);
+
+    // A worker that will never answer: a port nothing listens on.
+    let dead = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+
+    let cache = ResultCache::open(&cache_sup).unwrap().with_peers(vec![addr_live.clone()]);
+    let config = SupervisorConfig {
+        workers: 0,
+        cache_dir: cache_sup.to_string_lossy().into_owned(),
+        sim_workers: 1,
+        remote_workers: vec![addr_live.clone(), dead],
+        heartbeat_interval: Duration::from_millis(50),
+        spawn_timeout: Duration::from_millis(300),
+        backoff_base: Duration::from_millis(50),
+        backoff_cap: Duration::from_millis(100),
+        max_restarts: 0,
+        ..SupervisorConfig::default()
+    };
+    let sup = Supervisor::start(config, cache, None, Vec::new()).unwrap();
+
+    let id = sup.submit(SPEC).unwrap().id;
+    // "degraded" is transient here — the breaker trips, then the re-own
+    // recomputes the orphaned shard — so poll for full completion.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let snap = loop {
+        let snap = sup.snapshot(&id).expect("a submitted campaign is ledgered");
+        assert_ne!(snap.status, "failed", "{snap:?}");
+        assert_ne!(snap.status, "cancelled", "{snap:?}");
+        if snap.status == "done" {
+            break snap;
+        }
+        assert!(Instant::now() < deadline, "re-own never completed: {snap:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(snap.cells.failed, 0, "{snap:?}");
+
+    let report = sup.fleet();
+    assert_eq!(report.broken, 1, "the dead adoptee must trip the breaker: {report:?}");
+    assert!(report.partitions_total >= 1, "unreachable-remote crashes are partitions: {report:?}");
+    assert!(report.reowned >= 1, "the orphaned shard must be re-owned: {report:?}");
+    assert!(sup.reowned_total() >= 1);
+
+    // The stitched result — the live worker's shard read over HTTP plus
+    // the re-owned shard computed locally — matches an undisturbed run.
+    let result = sup.results(&id).unwrap_or_else(|(code, body)| panic!("{code}: {body}"));
+    let cells = json(&hdsmt_campaign::export::to_json(&result)).get("cells").unwrap().clone();
+    assert_eq!(
+        cells,
+        reference_cells(SPEC, &dir.join("reference-cache")),
+        "re-owning a shard must not perturb a single cell"
+    );
+
+    sup.shutdown();
+    assert!(healthz_up(&addr_live), "shutdown must not kill the adopted worker");
+    shutdown_daemon(live, &addr_live);
+    assert_fsck_clean(&cache_sup);
+    assert_fsck_clean(&cache_live);
     let _ = fs::remove_dir_all(&dir);
 }
 
@@ -850,6 +1104,90 @@ search_insts = 500
         for j in report.get("journals").and_then(|j| j.as_array()).unwrap() {
             assert_eq!(j.get("torn_bytes").and_then(|v| v.as_u64()), Some(0), "{j:?}");
         }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    // --------------------------------------- network fault injection
+
+    /// `partition@net`: a deterministic partition separates the
+    /// supervisor from both adopted workers mid-campaign. The workers
+    /// keep simulating on their side; when the partition heals, the
+    /// supervisor reconnects, backfills, and completes the campaign
+    /// with zero lost and zero duplicated cells — bit-identical to an
+    /// undisturbed single-node run on a fresh cache.
+    #[test]
+    fn network_partition_heals_and_the_distributed_campaign_completes_exactly() {
+        let dir = tmpdir("partition");
+        let cache_a = dir.join("cache-a");
+        let cache_b = dir.join("cache-b");
+        let cache_sup = dir.join("cache-sup");
+
+        // The fault plan rides on the supervisor daemon ONLY: workers
+        // stay fault-free, so the partition is purely a network event
+        // between otherwise-healthy processes.
+        let (worker_a, addr_a) = spawn_daemon(&dir, &cache_a, "pa", &["--shard", "0/2"], &[]);
+        let (worker_b, addr_b) = spawn_daemon(&dir, &cache_b, "pb", &["--shard", "1/2"], &[]);
+        let (sup, addr) = spawn_daemon(
+            &dir,
+            &cache_sup,
+            "psup",
+            &[
+                "--supervise",
+                "0",
+                "--worker",
+                &addr_a,
+                "--worker",
+                &addr_b,
+                "--peer",
+                &addr_a,
+                "--peer",
+                &addr_b,
+            ],
+            &[("HDSMT_FAULT", "partition@net=9:1400")],
+        );
+
+        let id = submit(&addr, SLOW_SPEC);
+        let snap = wait_terminal(&addr, &id);
+        assert_eq!(snap.get("status").and_then(|s| s.as_str()), Some("done"), "{snap:?}");
+        assert_eq!(cell_count(&snap, "total"), 8, "{snap:?}");
+        assert_eq!(cell_count(&snap, "failed"), 0, "{snap:?}");
+        assert_eq!(
+            cell_count(&snap, "done") + cell_count(&snap, "cached"),
+            8,
+            "no cell lost, none duplicated: {snap:?}"
+        );
+
+        // The partition was injected, detected as such, and healed:
+        // workers crashed-and-recovered in the supervisor's eyes, and
+        // nobody tripped the circuit breaker.
+        let report = fleet(&addr);
+        assert!(restarts_total(&report) >= 1, "the partition must be detected: {report:?}");
+        assert_eq!(report.get("broken").and_then(|v| v.as_u64()), Some(0), "{report:?}");
+        assert!(
+            report.get("partitions_total").and_then(|v| v.as_u64()).unwrap() >= 1,
+            "remote-worker crashes must be counted as partitions: {report:?}"
+        );
+        let st = stats(&addr);
+        assert!(st.get("net_faults_injected").and_then(|v| v.as_u64()).unwrap() >= 1, "{st:?}");
+        assert!(st.get("partitions_total").and_then(|v| v.as_u64()).unwrap() >= 1, "{st:?}");
+
+        // Bit-stability rides through the partition.
+        let (status, body1) = http_get(&addr, &format!("/campaigns/{id}/results")).unwrap();
+        assert_eq!(status, 200, "{body1}");
+        let (_, body2) = http_get(&addr, &format!("/campaigns/{id}/results")).unwrap();
+        assert_eq!(body1, body2, "results must replay bit-identically");
+        assert_eq!(
+            json(&body1).get("cells").unwrap(),
+            &reference_cells(SLOW_SPEC, &dir.join("reference-cache")),
+            "a healed partition must not perturb a single cell"
+        );
+
+        shutdown_daemon(sup, &addr);
+        shutdown_daemon(worker_a, &addr_a);
+        shutdown_daemon(worker_b, &addr_b);
+        assert_fsck_clean(&cache_a);
+        assert_fsck_clean(&cache_b);
+        assert_fsck_clean(&cache_sup);
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -105,7 +105,12 @@
 //! progress, fetch results, look cells up by content key), with
 //! `run`/`status`/`export --remote ADDR` as thin clients and
 //! `serve --shard i/n` workers splitting one campaign across processes
-//! on a shared cache — see [`campaign::serve`].
+//! on a shared cache — see [`campaign::serve`]. Fleets scale past one
+//! host: a supervisor adopts remote shard daemons (`--worker ADDR`)
+//! and reads their caches through an HTTP replication tier
+//! (`--peer ADDR`, `PUT`/`GET /cells/:hash` with
+//! byte-equality-or-quarantine conflict handling), riding out network
+//! partitions by re-owning a broken worker's shard locally.
 //!
 //! ## Project invariants & lint rules
 //!
